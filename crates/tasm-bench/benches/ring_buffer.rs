@@ -1,0 +1,47 @@
+//! Micro-benchmarks for the prefix ring buffer (Sec. V): pruning
+//! throughput across thresholds and document shapes, vs the simple-pruning
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tasm_core::{prb_pruning_stats, simple_pruning};
+use tasm_data::{dblp_tree, psd_tree, DblpConfig, PsdConfig};
+use tasm_tree::{LabelDict, TreeQueue};
+
+fn bench_ring_buffer_tau(c: &mut Criterion) {
+    let mut dict = LabelDict::new();
+    let doc = dblp_tree(&mut dict, &DblpConfig::new(1, 100_000));
+    let mut group = c.benchmark_group("prb/tau");
+    group.throughput(Throughput::Elements(doc.len() as u64));
+    for &tau in &[13u32, 50, 200, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
+            b.iter(|| {
+                let mut q = TreeQueue::new(&doc);
+                prb_pruning_stats(&mut q, tau, None)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_vs_simple(c: &mut Criterion) {
+    let mut dict = LabelDict::new();
+    let doc = psd_tree(&mut dict, &PsdConfig::new(2, 100_000));
+    let mut group = c.benchmark_group("prb/vs_simple");
+    group.throughput(Throughput::Elements(doc.len() as u64));
+    group.bench_function("ring_buffer", |b| {
+        b.iter(|| {
+            let mut q = TreeQueue::new(&doc);
+            prb_pruning_stats(&mut q, 50, None)
+        });
+    });
+    group.bench_function("simple_pruning", |b| {
+        b.iter(|| {
+            let mut q = TreeQueue::new(&doc);
+            simple_pruning(&mut q, 50)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_buffer_tau, bench_ring_vs_simple);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! End-to-end TASM benchmarks: postorder vs dynamic vs naive, and the τ'
+//! refinement ablation, at micro scale (the figure-scale sweeps live in
+//! the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tasm_core::{tasm_dynamic, tasm_naive, tasm_postorder, TasmOptions};
+use tasm_data::{dblp_tree, random_query, xmark_tree, DblpConfig, XMarkConfig};
+use tasm_ted::UnitCost;
+use tasm_tree::{LabelDict, TreeQueue};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut dict = LabelDict::new();
+    let doc = dblp_tree(&mut dict, &DblpConfig::new(1, 20_000));
+    let (query, _) = random_query(&doc, 8, 3);
+    let k = 5;
+    let mut group = c.benchmark_group("tasm/algorithms_20k");
+    group.throughput(Throughput::Elements(doc.len() as u64));
+    group.bench_function("postorder", |b| {
+        b.iter(|| {
+            let mut q = TreeQueue::new(&doc);
+            tasm_postorder(&query, &mut q, k, &UnitCost, 1, TasmOptions::default(), None)
+        });
+    });
+    group.bench_function("dynamic", |b| {
+        b.iter(|| tasm_dynamic(&query, &doc, k, &UnitCost, TasmOptions::default(), None));
+    });
+    group.sample_size(10);
+    group.bench_function("naive", |b| {
+        b.iter(|| tasm_naive(&query, &doc, k, &UnitCost, TasmOptions::default(), None));
+    });
+    group.finish();
+}
+
+fn bench_postorder_k(c: &mut Criterion) {
+    let mut dict = LabelDict::new();
+    let doc = xmark_tree(&mut dict, &XMarkConfig::new(2, 50_000));
+    let (query, _) = random_query(&doc, 16, 5);
+    let mut group = c.benchmark_group("tasm/postorder_k");
+    for &k in &[1usize, 10, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut q = TreeQueue::new(&doc);
+                tasm_postorder(&query, &mut q, k, &UnitCost, 1, TasmOptions::default(), None)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tau_prime_ablation(c: &mut Criterion) {
+    let mut dict = LabelDict::new();
+    let doc = xmark_tree(&mut dict, &XMarkConfig::new(3, 50_000));
+    let (query, _) = random_query(&doc, 16, 9);
+    let k = 5;
+    let mut group = c.benchmark_group("tasm/tau_prime");
+    for (name, on) in [("on", true), ("off", false)] {
+        group.bench_function(name, |b| {
+            let opts = TasmOptions { use_tau_prime: on, ..Default::default() };
+            b.iter(|| {
+                let mut q = TreeQueue::new(&doc);
+                tasm_postorder(&query, &mut q, k, &UnitCost, 1, opts, None)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_postorder_k, bench_tau_prime_ablation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-benchmarks for the Zhang–Shasha tree edit distance: scaling in
+//! document size (the `O(m²n)` regime for shallow trees) and in query
+//! size, plus the cost of the full distance matrix vs a plain distance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tasm_data::{dblp_tree, random_query, DblpConfig};
+use tasm_ted::{ted, ted_full, UnitCost};
+use tasm_tree::LabelDict;
+
+fn bench_ted_doc_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ted/doc_size");
+    for &n in &[500usize, 1_000, 2_000, 4_000] {
+        let mut dict = LabelDict::new();
+        let doc = dblp_tree(&mut dict, &DblpConfig::new(1, n));
+        let (query, _) = random_query(&doc, 8, 7);
+        group.throughput(Throughput::Elements(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &doc, |b, doc| {
+            b.iter(|| ted(&query, doc, &UnitCost));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ted_query_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ted/query_size");
+    let mut dict = LabelDict::new();
+    let doc = dblp_tree(&mut dict, &DblpConfig::new(2, 2_000));
+    for &m in &[4u32, 8, 16, 32, 64] {
+        let (query, _) = random_query(&doc, m, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &query, |b, query| {
+            b.iter(|| ted(query, &doc, &UnitCost));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ted_full_matrix(c: &mut Criterion) {
+    let mut dict = LabelDict::new();
+    let doc = dblp_tree(&mut dict, &DblpConfig::new(3, 2_000));
+    let (query, _) = random_query(&doc, 16, 13);
+    c.bench_function("ted/full_matrix_2k", |b| {
+        b.iter(|| ted_full(&query, &doc, &UnitCost, None));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ted_doc_size,
+    bench_ted_query_size,
+    bench_ted_full_matrix
+);
+criterion_main!(benches);

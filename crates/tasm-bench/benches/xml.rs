@@ -1,0 +1,35 @@
+//! XML substrate benchmarks: streaming parse throughput into a postorder
+//! queue, and writer throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tasm_data::{dblp_tree, DblpConfig};
+use tasm_tree::{LabelDict, PostorderQueue};
+use tasm_xml::{tree_to_xml, XmlPostorderQueue};
+
+fn bench_xml(c: &mut Criterion) {
+    let mut dict = LabelDict::new();
+    let doc = dblp_tree(&mut dict, &DblpConfig::new(1, 50_000));
+    let xml = tree_to_xml(&doc, &dict);
+
+    let mut group = c.benchmark_group("xml");
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("stream_to_postorder_queue", |b| {
+        b.iter(|| {
+            let mut d = LabelDict::new();
+            let mut q = XmlPostorderQueue::new(xml.as_bytes(), &mut d);
+            let mut count = 0u64;
+            while q.dequeue().is_some() {
+                count += 1;
+            }
+            assert!(q.is_ok());
+            count
+        });
+    });
+    group.bench_function("write_tree", |b| {
+        b.iter(|| tree_to_xml(&doc, &dict).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xml);
+criterion_main!(benches);

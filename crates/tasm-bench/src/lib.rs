@@ -1,0 +1,16 @@
+//! Experiment harness and benchmarks for the TASM reproduction.
+//!
+//! * [`harness`] — one function per figure of the paper's Sec. VII
+//!   (Figs. 9a–c, 10, 11a–c, 12) plus two ablations; driven by the
+//!   `experiments` binary.
+//! * [`alloc`] — a counting global allocator for the Fig. 10 memory
+//!   experiment.
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+// `alloc` wraps the system allocator, which requires `unsafe`; everything
+// else in the workspace forbids it.
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod harness;

@@ -1,0 +1,122 @@
+//! Minimal argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments and
+/// `--flag[=| ]value` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+    /// `--name value` options; bare `--name` maps to `"true"`.
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an iterator of arguments.
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if let Some((k, v)) = name.split_once('=') {
+                    out.options.insert(k.to_string(), v.to_string());
+                } else if iter
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false)
+                {
+                    let v = iter.next().expect("peeked");
+                    out.options.insert(name.to_string(), v);
+                } else {
+                    out.options.insert(name.to_string(), "true".to_string());
+                }
+            } else if out.command.is_none() {
+                out.command = Some(arg);
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        out
+    }
+
+    /// A string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(|s| s.as_str())
+    }
+
+    /// A required string option, with an error message naming it.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    /// A numeric option with a default.
+    pub fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("option --{name}: cannot parse '{s}'")),
+        }
+    }
+
+    /// A boolean flag (present = true).
+    pub fn flag(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn command_and_positionals() {
+        let a = parse("query q.xml d.xml");
+        assert_eq!(a.command.as_deref(), Some("query"));
+        assert_eq!(a.positional, vec!["q.xml", "d.xml"]);
+    }
+
+    #[test]
+    fn options_with_space_and_equals() {
+        let a = parse("gen --nodes 1000 --dataset=dblp --verbose");
+        assert_eq!(a.get("nodes"), Some("1000"));
+        assert_eq!(a.get("dataset"), Some("dblp"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn numeric_parsing() {
+        let a = parse("query --k 7");
+        assert_eq!(a.get_num("k", 1usize).unwrap(), 7);
+        assert_eq!(a.get_num("missing", 3usize).unwrap(), 3);
+        let bad = parse("query --k seven");
+        assert!(bad.get_num("k", 1usize).is_err());
+    }
+
+    #[test]
+    fn require_reports_name() {
+        let a = parse("query");
+        let err = a.require("doc").unwrap_err();
+        assert!(err.contains("--doc"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse("query --stats --k 2");
+        assert!(a.flag("stats"));
+        assert_eq!(a.get_num("k", 0usize).unwrap(), 2);
+    }
+}

@@ -1,0 +1,297 @@
+//! `tasm` — Top-k Approximate Subtree Matching from the command line.
+//!
+//! Subcommands:
+//!
+//! * `query`  — rank the subtrees of an XML document against a query
+//! * `ted`    — tree edit distance between two XML documents
+//! * `gen`    — generate synthetic datasets (xmark / dblp / psd / random)
+//! * `stats`  — shape statistics of an XML document
+//! * `candidates` — run the prefix-ring-buffer pruning and report stats
+//!
+//! Run `tasm help` for details.
+
+mod args;
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use args::Args;
+use tasm_core::{
+    prb_pruning_stats, simple_pruning, tasm_dynamic, tasm_naive, tasm_postorder,
+    threshold_for_query, TasmOptions,
+};
+use tasm_data::{
+    dblp_tree, psd_tree, random_tree, xmark_tree, DblpConfig, PsdConfig, RandomTreeConfig,
+    XMarkConfig,
+};
+use tasm_ted::{ted, TedStats, UnitCost};
+use tasm_tree::postfile::{save_tree, PostFileReader};
+use tasm_tree::{LabelDict, PostorderQueue, Tree, TreeQueue};
+use tasm_xml::{parse_tree, tree_to_xml, XmlPostorderQueue};
+
+const HELP: &str = "\
+tasm — Top-k Approximate Subtree Matching (ICDE 2010)
+
+USAGE:
+    tasm <command> [options]
+
+COMMANDS:
+    query       Rank document subtrees by tree edit distance to a query
+                  --query <file.xml>     query XML (or --query-str '<a/>')
+                  --doc <file.xml>       document XML
+                  --k <n>                ranking size          [default: 5]
+                  --algorithm <name>     postorder|dynamic|naive [postorder]
+                  --show-xml             print matched subtrees as XML
+                  --stats                print work statistics
+
+    ted         Tree edit distance between two XML files
+                  --left <a.xml> --right <b.xml>
+
+    gen         Generate a synthetic dataset as XML on stdout or --out
+                  --dataset <name>       xmark|dblp|psd|random  [dblp]
+                  --nodes <n>            approximate node count [10000]
+                  --seed <n>             RNG seed               [42]
+                  --out <file.xml>       output path            [stdout]
+
+    stats       Shape statistics of an XML document
+                  --doc <file.xml>
+
+    candidates  Prefix ring buffer pruning statistics
+                  --doc <file.xml> --tau <n> [--compare-simple]
+
+    convert     Parse XML once and store it as a binary postorder file
+                (.pq), which all other commands accept in place of XML
+                  --doc <file.xml> --out <file.pq>
+
+    help        Show this message
+";
+
+fn main() -> ExitCode {
+    let args = Args::from_env();
+    let result = match args.command.as_deref() {
+        Some("query") => cmd_query(&args),
+        Some("ted") => cmd_ted(&args),
+        Some("gen") => cmd_gen(&args),
+        Some("stats") => cmd_stats(&args),
+        Some("candidates") => cmd_candidates(&args),
+        Some("convert") => cmd_convert(&args),
+        Some("help") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'; see `tasm help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Loads a document: `.pq` postorder files are streamed directly, anything
+/// else is parsed as XML. The file's labels are re-interned into `dict`.
+fn load_xml(path: &str, dict: &mut LabelDict) -> Result<Tree, String> {
+    if path.ends_with(".pq") {
+        let mut reader = PostFileReader::open(path).map_err(|e| format!("{path}: {e}"))?;
+        // Remap the file's label ids into the caller's dictionary.
+        let file_dict = reader.dict().clone();
+        let mut entries = Vec::new();
+        while let Some(e) = reader.dequeue() {
+            entries.push((dict.intern(file_dict.resolve(e.label)), e.size));
+        }
+        return Tree::from_postorder(entries).map_err(|e| format!("{path}: {e}"));
+    }
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    parse_tree(BufReader::new(file), dict).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_convert(args: &Args) -> Result<(), String> {
+    let doc_path = args.require("doc")?;
+    let out = args.require("out")?;
+    let mut dict = LabelDict::new();
+    let tree = load_xml(doc_path, &mut dict)?;
+    save_tree(out, &tree, &dict).map_err(|e| format!("{out}: {e}"))?;
+    let in_size = std::fs::metadata(doc_path).map(|m| m.len()).unwrap_or(0);
+    let out_size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    eprintln!(
+        "converted {} nodes: {doc_path} ({in_size} B) -> {out} ({out_size} B)",
+        tree.len()
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let mut dict = LabelDict::new();
+    let query = if let Some(qs) = args.get("query-str") {
+        tasm_xml::parse_tree_str(qs, &mut dict).map_err(|e| format!("--query-str: {e}"))?
+    } else {
+        load_xml(args.require("query")?, &mut dict)?
+    };
+    let doc_path = args.require("doc")?;
+    let k: usize = args.get_num("k", 5)?;
+    let algorithm = args.get("algorithm").unwrap_or("postorder");
+    let opts = TasmOptions { keep_trees: args.flag("show-xml"), ..Default::default() };
+    let mut stats = TedStats::new();
+    let want_stats = args.flag("stats");
+    let sink = want_stats.then_some(&mut stats);
+
+    let t0 = Instant::now();
+    let matches = match algorithm {
+        "postorder" if doc_path.ends_with(".pq") => {
+            // Stream the binary postorder file. Label ids in the file come
+            // from its own dictionary, so the query is re-encoded into it.
+            let mut reader =
+                PostFileReader::open(doc_path).map_err(|e| format!("{doc_path}: {e}"))?;
+            let mut file_dict = reader.dict().clone();
+            let entries: Vec<_> = query
+                .postorder()
+                .map(|(l, s)| (file_dict.intern(dict.resolve(l)), s))
+                .collect();
+            let query_in_file_ids =
+                Tree::from_postorder(entries).expect("query re-encoding is valid");
+            let m = tasm_postorder(
+                &query_in_file_ids, &mut reader, k, &UnitCost, 1, opts, sink,
+            );
+            dict = file_dict;
+            m
+        }
+        "postorder" => {
+            let file =
+                File::open(doc_path).map_err(|e| format!("cannot open {doc_path}: {e}"))?;
+            let mut queue = XmlPostorderQueue::new(BufReader::new(file), &mut dict);
+            let m = tasm_postorder(&query, &mut queue, k, &UnitCost, 1, opts, sink);
+            if let Some(e) = queue.take_error() {
+                return Err(format!("{doc_path}: {e}"));
+            }
+            m
+        }
+        "dynamic" | "naive" => {
+            let doc = load_xml(doc_path, &mut dict)?;
+            if algorithm == "dynamic" {
+                tasm_dynamic(&query, &doc, k, &UnitCost, opts, sink)
+            } else {
+                tasm_naive(&query, &doc, k, &UnitCost, opts, sink)
+            }
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let elapsed = t0.elapsed();
+
+    println!("# query: {} nodes, k = {k}, algorithm = {algorithm}", query.len());
+    println!("{:<6} {:>10} {:>10} {:>8}", "rank", "node", "distance", "size");
+    for (rank, m) in matches.iter().enumerate() {
+        println!(
+            "{:<6} {:>10} {:>10} {:>8}",
+            rank + 1,
+            m.root.post(),
+            m.distance.to_string(),
+            m.size
+        );
+        if let Some(tree) = &m.tree {
+            println!("       {}", tree_to_xml(tree, &dict));
+        }
+    }
+    println!("# elapsed: {elapsed:?}");
+    if want_stats {
+        println!(
+            "# relevant subtrees computed: {} (largest {} nodes), ted calls: {}, tau = {}",
+            stats.total_relevant(),
+            stats.max_relevant_size(),
+            stats.ted_calls,
+            threshold_for_query(&query, &UnitCost, 1, k as u64),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_ted(args: &Args) -> Result<(), String> {
+    let mut dict = LabelDict::new();
+    let left = load_xml(args.require("left")?, &mut dict)?;
+    let right = load_xml(args.require("right")?, &mut dict)?;
+    let t0 = Instant::now();
+    let d = ted(&left, &right, &UnitCost);
+    println!(
+        "delta = {d}  (|left| = {}, |right| = {}, {:?})",
+        left.len(),
+        right.len(),
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let dataset = args.get("dataset").unwrap_or("dblp");
+    let nodes: usize = args.get_num("nodes", 10_000)?;
+    let seed: u64 = args.get_num("seed", 42)?;
+    let mut dict = LabelDict::new();
+    let tree = match dataset {
+        "xmark" => xmark_tree(&mut dict, &XMarkConfig::new(seed, nodes)),
+        "dblp" => dblp_tree(&mut dict, &DblpConfig::new(seed, nodes)),
+        "psd" => psd_tree(&mut dict, &PsdConfig::new(seed, nodes)),
+        "random" => random_tree(
+            &mut dict,
+            &RandomTreeConfig { seed, nodes, ..Default::default() },
+        ),
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    let xml = tree_to_xml(&tree, &dict);
+    match args.get("out") {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let mut w = BufWriter::new(file);
+            w.write_all(xml.as_bytes()).map_err(|e| e.to_string())?;
+            eprintln!("wrote {} nodes to {path}", tree.len());
+        }
+        None => println!("{xml}"),
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let mut dict = LabelDict::new();
+    let doc = load_xml(args.require("doc")?, &mut dict)?;
+    let s = tasm_tree::stats::TreeStats::of(&doc);
+    println!("nodes:            {}", s.nodes);
+    println!("leaves:           {}", s.leaves);
+    println!("height:           {}", s.height);
+    println!("max fanout:       {}", s.max_fanout);
+    println!("mean fanout:      {:.2}", s.mean_internal_fanout);
+    println!("distinct labels:  {}", s.distinct_labels);
+    for tau in [10u32, 50, 100] {
+        println!(
+            "subtrees <= {tau:>3}:  {:.2}%",
+            100.0 * tasm_tree::stats::fraction_below(&doc, tau)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_candidates(args: &Args) -> Result<(), String> {
+    let mut dict = LabelDict::new();
+    let doc = load_xml(args.require("doc")?, &mut dict)?;
+    let tau: u32 = args.get_num("tau", 50)?;
+    let mut queue = TreeQueue::new(&doc);
+    let t0 = Instant::now();
+    let st = prb_pruning_stats(&mut queue, tau, None);
+    let dt = t0.elapsed();
+    println!("tau = {tau}");
+    println!("candidates:        {}", st.candidates);
+    println!("candidate nodes:   {}", st.candidate_nodes);
+    println!("peak ring buffer:  {} nodes (bound: tau = {tau})", st.peak_buffered);
+    println!("nodes scanned:     {}", st.nodes_seen);
+    println!("elapsed:           {dt:?}");
+    if args.flag("compare-simple") {
+        let mut queue = TreeQueue::new(&doc);
+        let (_, simple) = simple_pruning(&mut queue, tau);
+        println!(
+            "simple pruning (Sec. V-B) peak buffer: {} nodes ({}x the ring buffer)",
+            simple.peak_buffered,
+            simple.peak_buffered.checked_div(st.peak_buffered).unwrap_or(0)
+        );
+    }
+    Ok(())
+}

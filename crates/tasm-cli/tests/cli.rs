@@ -1,0 +1,149 @@
+//! Integration tests spawning the `tasm` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tasm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tasm"))
+        .args(args)
+        .output()
+        .expect("spawn tasm")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tasm_cli_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = tasm(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for cmd in ["query", "ted", "gen", "stats", "candidates"] {
+        assert!(text.contains(cmd), "help must mention {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = tasm(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown command"));
+}
+
+#[test]
+fn gen_stats_query_candidates_pipeline() {
+    let doc = tmp("pipeline.xml");
+    let doc_s = doc.to_str().unwrap();
+
+    // gen
+    let out = tasm(&["gen", "--dataset", "dblp", "--nodes", "2000", "--seed", "7", "--out", doc_s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(doc.exists());
+
+    // stats
+    let out = tasm(&["stats", "--doc", doc_s]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("nodes:"), "{text}");
+
+    // query with each algorithm: identical distance column.
+    let mut tables = Vec::new();
+    for algo in ["postorder", "dynamic", "naive"] {
+        let out = tasm(&[
+            "query",
+            "--query-str",
+            "<article><author>Author_0</author><title>x</title></article>",
+            "--doc",
+            doc_s,
+            "--k",
+            "3",
+            "--algorithm",
+            algo,
+            "--stats",
+        ]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8(out.stdout).unwrap();
+        let distances: Vec<String> = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+            .map(|l| l.split_whitespace().nth(2).unwrap_or("").to_string())
+            .collect();
+        assert_eq!(distances.len(), 3, "{text}");
+        tables.push(distances);
+    }
+    assert_eq!(tables[0], tables[1]);
+    assert_eq!(tables[0], tables[2]);
+
+    // candidates
+    let out = tasm(&["candidates", "--doc", doc_s, "--tau", "25", "--compare-simple"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("peak ring buffer"), "{text}");
+
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn ted_between_files() {
+    let a = tmp("ted_a.xml");
+    let b = tmp("ted_b.xml");
+    std::fs::write(&a, "<x><y>1</y></x>").unwrap();
+    std::fs::write(&b, "<x><y>2</y></x>").unwrap();
+    let out = tasm(&["ted", "--left", a.to_str().unwrap(), "--right", b.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("delta = 1"), "{text}");
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn query_missing_doc_is_an_error() {
+    let out = tasm(&["query", "--query-str", "<a/>"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--doc"));
+}
+
+#[test]
+fn show_xml_prints_matches() {
+    let doc = tmp("showxml.xml");
+    std::fs::write(&doc, "<r><a><b>x</b></a><c/></r>").unwrap();
+    let out = tasm(&[
+        "query",
+        "--query-str",
+        "<a><b>x</b></a>",
+        "--doc",
+        doc.to_str().unwrap(),
+        "--k",
+        "1",
+        "--show-xml",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("<a><b>x</b></a>"), "{text}");
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn convert_and_query_postorder_file() {
+    let xml = tmp("conv.xml");
+    let pq = tmp("conv.pq");
+    std::fs::write(&xml, "<r><a><b>x</b></a><a><b>y</b></a></r>").unwrap();
+    let out = tasm(&["convert", "--doc", xml.to_str().unwrap(), "--out", pq.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Query the .pq with every algorithm; the exact-match line must agree.
+    for algo in ["postorder", "dynamic"] {
+        let out = tasm(&[
+            "query", "--query-str", "<a><b>x</b></a>",
+            "--doc", pq.to_str().unwrap(),
+            "--k", "2", "--algorithm", algo, "--show-xml",
+        ]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("<a><b>x</b></a>"), "[{algo}] {text}");
+    }
+    std::fs::remove_file(&xml).ok();
+    std::fs::remove_file(&pq).ok();
+}

@@ -1,0 +1,58 @@
+//! TASM: Top-k Approximate Subtree Matching (Augsten, Böhlen, Barbosa,
+//! Palpanas — ICDE 2010).
+//!
+//! Given a small query tree `Q` and a large document tree `T`, find the `k`
+//! subtrees of `T` closest to `Q` under the tree edit distance (Def. 1).
+//! This crate implements the paper's contribution:
+//!
+//! * [`threshold`] — the query-only upper bound
+//!   `τ = |Q|(c_Q + 1) + k·c_T` on answer subtree sizes (Theorem 3);
+//! * [`PrefixRingBuffer`] / [`prb_pruning`] — candidate-set computation in
+//!   one postorder scan with `O(τ)` memory (Sec. V, Algorithms 1–2);
+//! * [`tasm_postorder`] — the single-pass, document-size-independent-memory
+//!   TASM algorithm (Algorithm 3);
+//! * [`tasm_dynamic`] — the state-of-the-art baseline (Sec. IV-F) and
+//!   [`tasm_naive`] — the ground-truth oracle;
+//! * [`simple_pruning`] — the O(n)-buffer pruning baseline of Sec. V-B.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tasm_tree::{bracket, LabelDict, TreeQueue};
+//! use tasm_ted::UnitCost;
+//! use tasm_core::{tasm_postorder, TasmOptions};
+//!
+//! let mut dict = LabelDict::new();
+//! let query = bracket::parse("{article{auth}{title}}", &mut dict).unwrap();
+//! let doc = bracket::parse(
+//!     "{dblp{article{auth{John}}{title{X1}}}{book{title{X2}}}}",
+//!     &mut dict,
+//! ).unwrap();
+//!
+//! let mut stream = TreeQueue::new(&doc); // any postorder queue works
+//! let top1 = tasm_postorder(&query, &mut stream, 1, &UnitCost, 1,
+//!                           TasmOptions::default(), None);
+//! assert_eq!(top1[0].root.post(), 5); // the article subtree
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod naive;
+mod ranking;
+mod ring_buffer;
+mod simple_pruning;
+mod tasm_dynamic;
+mod tasm_postorder;
+mod threshold;
+
+pub use naive::tasm_naive;
+pub use ranking::{Match, TopKHeap};
+pub use ring_buffer::{
+    candidate_set_reference, prb_pruning, prb_pruning_stats, Candidate,
+    PrefixRingBuffer, PruningStats,
+};
+pub use simple_pruning::simple_pruning;
+pub use tasm_dynamic::{tasm_dynamic, TasmOptions};
+pub use tasm_postorder::tasm_postorder;
+pub use threshold::{refined_threshold, threshold, threshold_for_query};

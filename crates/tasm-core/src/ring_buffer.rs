@@ -1,0 +1,451 @@
+//! The prefix ring buffer (Sec. V of the paper): candidate-set computation
+//! in a single postorder scan with `O(τ)` memory.
+//!
+//! Given a size threshold τ, the **candidate set** `cand(T, τ)` (Def. 9)
+//! contains every subtree of size `<= τ` whose proper ancestors all root
+//! subtrees larger than τ. The prefix ring buffer emits exactly this set
+//! while consuming the document as a postorder queue, using `b = τ + 1`
+//! slots (Theorem 2): no candidate needs a look-ahead of more than
+//! `τ - |T_i|` nodes (Lemma 1).
+//!
+//! # Data layout
+//!
+//! Two synchronized rings of `b = τ + 1` slots, as in the paper's
+//! Algorithm 1/Fig. 8: `lbl` holds node labels and `pfx` the *prefix array*
+//! (Def. 10). The node with postorder number `id` lives in slot
+//! `(id − 1) % b`, and its `pfx` entry is
+//!
+//! * for a non-leaf: the postorder number of its leftmost leaf
+//!   (`lml = id − size + 1`), i.e. a pointer **left**;
+//! * for a leaf: the postorder number of the root of the largest *valid*
+//!   subtree (size `<= τ`) whose leftmost leaf it is, i.e. a pointer
+//!   **right** (at least its own id).
+//!
+//! A slot holds a leaf iff `pfx[slot] >= id`. The subtree size of a
+//! non-leaf is recovered as `id − pfx[slot] + 1`, so no separate size ring
+//! is needed.
+//!
+//! Note: the paper's Algorithm 2 pseudocode stores `c − size` while its
+//! Figure 8 stores `c − size + 1` (the true `lml`); we follow Figure 8 and
+//! keep one consistent slot convention.
+
+use tasm_ted::TedStats;
+use tasm_tree::{LabelId, NodeId, PostorderQueue, Tree};
+
+/// A candidate subtree emitted by the pruning scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// The subtree, renumbered to local postorder `1..=tree.len()`.
+    pub tree: Tree,
+    /// Postorder number of the subtree's root **in the document**. The
+    /// local node `j` corresponds to document node
+    /// `root.post() − tree.len() as u32 + j.post()`.
+    pub root: NodeId,
+}
+
+impl Candidate {
+    /// Maps a local postorder number to the document postorder number.
+    #[inline]
+    pub fn doc_post(&self, local: NodeId) -> NodeId {
+        NodeId::new(self.root.post() - self.tree.len() as u32 + local.post())
+    }
+}
+
+/// Streaming candidate-set computation over a postorder queue
+/// (Algorithms 1–2, `prb-pruning` / `prb-next`).
+///
+/// Iterate with [`PrefixRingBuffer::next_candidate`]; candidates are
+/// yielded in ascending order of their root's postorder number, which for
+/// disjoint subtrees is also ascending document order.
+#[derive(Debug)]
+pub struct PrefixRingBuffer<'q, Q: PostorderQueue + ?Sized> {
+    queue: &'q mut Q,
+    /// Ring capacity `b = τ + 1`.
+    b: usize,
+    tau: u32,
+    lbl: Vec<LabelId>,
+    pfx: Vec<u32>,
+    /// Slot of the leftmost buffered node.
+    s: usize,
+    /// Slot one past the rightmost buffered node.
+    e: usize,
+    /// Number of nodes appended so far (= postorder number of the newest).
+    c: u32,
+    /// Peak number of buffered nodes (instrumentation; Theorem 2 says <= τ).
+    peak: usize,
+}
+
+impl<'q, Q: PostorderQueue + ?Sized> PrefixRingBuffer<'q, Q> {
+    /// Creates the buffer for threshold `tau >= 1` over `queue`.
+    pub fn new(queue: &'q mut Q, tau: u32) -> Self {
+        let tau = tau.max(1);
+        let b = tau as usize + 1;
+        PrefixRingBuffer {
+            queue,
+            b,
+            tau,
+            lbl: vec![LabelId(0); b],
+            pfx: vec![0; b],
+            s: 0,
+            e: 0,
+            c: 0,
+            peak: 0,
+        }
+    }
+
+    /// The threshold τ.
+    pub fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    /// Peak number of simultaneously buffered nodes so far.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of nodes consumed from the queue so far.
+    pub fn nodes_seen(&self) -> u32 {
+        self.c
+    }
+
+    #[inline]
+    fn slot(&self, id: u32) -> usize {
+        ((id - 1) as usize) % self.b
+    }
+
+    #[inline]
+    fn buffered(&self) -> usize {
+        (self.e + self.b - self.s) % self.b
+    }
+
+    #[inline]
+    fn is_full(&self) -> bool {
+        self.s == (self.e + 1) % self.b
+    }
+
+    /// Postorder number of the node in the leftmost slot.
+    #[inline]
+    fn leftmost_id(&self) -> u32 {
+        self.c + 1 - self.buffered() as u32
+    }
+
+    /// Advances the scan to the next candidate subtree (the paper's
+    /// `prb-next`), returning `None` when queue and buffer are exhausted.
+    pub fn next_candidate(&mut self) -> Option<Candidate> {
+        loop {
+            // Step 1: fill the ring from the queue.
+            let mut queue_empty = false;
+            while !self.is_full() {
+                match self.queue.dequeue() {
+                    Some(entry) => self.append(entry.label, entry.size),
+                    None => {
+                        queue_empty = true;
+                        break;
+                    }
+                }
+            }
+            if self.s == self.e {
+                // Buffer drained and (necessarily) queue empty.
+                return None;
+            }
+            // Step 2: examine the leftmost node.
+            if self.is_full() || queue_empty {
+                let id = self.leftmost_id();
+                if self.pfx[self.s] >= id {
+                    // Leaf: it starts a candidate subtree; the prefix array
+                    // points at the root of the largest valid subtree.
+                    let root = self.pfx[self.s];
+                    let cand = self.materialize(id, root);
+                    // Remove the subtree: jump past its root.
+                    self.s = self.slot(root + 1);
+                    return Some(cand);
+                }
+                // Non-leaf at the leftmost position: by Lemma 2 it roots a
+                // subtree larger than τ — skip it.
+                self.s = (self.s + 1) % self.b;
+            }
+        }
+    }
+
+    /// Appends one postorder entry (Step 1 of the pruning).
+    fn append(&mut self, label: LabelId, size: u32) {
+        self.c += 1;
+        let id = self.c;
+        debug_assert!(size >= 1 && size <= id, "postorder sizes are 1..=id");
+        let lml = id - size + 1;
+        self.lbl[self.e] = label;
+        self.pfx[self.e] = lml;
+        if size <= self.tau {
+            // Register this node as the (currently largest) valid subtree
+            // rooted above its leftmost leaf. For a leaf this writes its own
+            // slot (lml = id).
+            let lml_slot = self.slot(lml);
+            self.pfx[lml_slot] = id;
+        }
+        self.e = (self.e + 1) % self.b;
+        self.peak = self.peak.max(self.buffered());
+    }
+
+    /// Copies nodes `lo..=root` out of the ring as an owned tree.
+    ///
+    /// Subtree sizes are recovered from the prefix array: a slot holds a
+    /// leaf iff its pointer is `>= id` (size 1), otherwise the pointer is
+    /// the node's leftmost leaf.
+    fn materialize(&self, lo: u32, root: u32) -> Candidate {
+        let n = (root - lo + 1) as usize;
+        let mut labels = Vec::with_capacity(n);
+        let mut sizes = Vec::with_capacity(n);
+        for id in lo..=root {
+            let slot = self.slot(id);
+            labels.push(self.lbl[slot]);
+            let p = self.pfx[slot];
+            let size = if p >= id { 1 } else { id - p + 1 };
+            sizes.push(size);
+            debug_assert!(size <= self.tau, "candidate node exceeds τ");
+        }
+        // Renumber: local sizes are already local (subtree sizes are
+        // invariant under the shift), validity is by construction.
+        Candidate {
+            tree: Tree::from_postorder_unchecked(labels, sizes),
+            root: NodeId::new(root),
+        }
+    }
+}
+
+/// Convenience: runs the full pruning (Algorithm 1, `prb-pruning`) and
+/// collects the candidate set.
+pub fn prb_pruning<Q: PostorderQueue + ?Sized>(queue: &mut Q, tau: u32) -> Vec<Candidate> {
+    let mut prb = PrefixRingBuffer::new(queue, tau);
+    let mut out = Vec::new();
+    while let Some(c) = prb.next_candidate() {
+        out.push(c);
+    }
+    out
+}
+
+/// Reference implementation of `cand(T, τ)` straight from Def. 9, for an
+/// in-memory tree: all subtrees of size `<= τ` whose ancestors are all
+/// larger than τ. O(n · height); test oracle for the ring buffer.
+pub fn candidate_set_reference(tree: &Tree, tau: u32) -> Vec<Candidate> {
+    let parents = tree.parents();
+    let mut out = Vec::new();
+    for id in tree.nodes() {
+        if tree.size(id) > tau {
+            continue;
+        }
+        // Check all ancestors are larger than τ.
+        let mut ok = true;
+        let mut a = parents[id.index()];
+        while let Some(anc) = a {
+            if tree.size(anc) <= tau {
+                ok = false;
+                break;
+            }
+            a = parents[anc.index()];
+        }
+        if ok {
+            out.push(Candidate { tree: tree.subtree(id), root: id });
+        }
+    }
+    out
+}
+
+/// Statistics of a pruning run, for the ablation experiments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PruningStats {
+    /// Candidates emitted.
+    pub candidates: usize,
+    /// Total nodes across all candidates.
+    pub candidate_nodes: u64,
+    /// Peak buffered nodes.
+    pub peak_buffered: usize,
+    /// Nodes consumed from the queue.
+    pub nodes_seen: u32,
+}
+
+/// Runs the pruning, collecting only statistics (used by experiments that
+/// do not need the candidate trees). `stats_sink` receives one relevant
+/// "document side" record per candidate if provided.
+pub fn prb_pruning_stats<Q: PostorderQueue + ?Sized>(
+    queue: &mut Q,
+    tau: u32,
+    mut stats_sink: Option<&mut TedStats>,
+) -> PruningStats {
+    let mut prb = PrefixRingBuffer::new(queue, tau);
+    let mut st = PruningStats::default();
+    while let Some(c) = prb.next_candidate() {
+        st.candidates += 1;
+        st.candidate_nodes += c.tree.len() as u64;
+        if let Some(s) = stats_sink.as_deref_mut() {
+            s.record_relevant(c.tree.len() as u32);
+        }
+    }
+    st.peak_buffered = prb.peak_buffered();
+    st.nodes_seen = prb.nodes_seen();
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasm_tree::{bracket, LabelDict, TreeQueue};
+
+    /// The example document D of Fig. 4a.
+    fn example_d() -> (Tree, LabelDict) {
+        let mut dict = LabelDict::new();
+        let t = bracket::parse(
+            "{dblp{article{auth{John}}{title{X1}}}{proceedings{conf{VLDB}}\
+             {article{auth{Peter}}{title{X3}}}{article{auth{Mike}}{title{X4}}}}\
+             {book{title{X2}}}}",
+            &mut dict,
+        )
+        .unwrap();
+        assert_eq!(t.len(), 22);
+        (t, dict)
+    }
+
+    #[test]
+    fn paper_example_3_candidate_set() {
+        // cand(D, 6) = {D5, D7, D12, D17, D21} (Example 3 / Fig. 6).
+        let (t, _) = example_d();
+        let mut q = TreeQueue::new(&t);
+        let cands = prb_pruning(&mut q, 6);
+        let roots: Vec<u32> = cands.iter().map(|c| c.root.post()).collect();
+        assert_eq!(roots, vec![5, 7, 12, 17, 21]);
+        let sizes: Vec<usize> = cands.iter().map(|c| c.tree.len()).collect();
+        assert_eq!(sizes, vec![5, 2, 5, 5, 3]);
+    }
+
+    #[test]
+    fn candidates_match_subtree_content() {
+        let (t, _) = example_d();
+        let mut q = TreeQueue::new(&t);
+        for cand in prb_pruning(&mut q, 6) {
+            assert_eq!(cand.tree, t.subtree(cand.root), "candidate {}", cand.root);
+        }
+    }
+
+    #[test]
+    fn doc_post_mapping() {
+        let (t, _) = example_d();
+        let mut q = TreeQueue::new(&t);
+        let cands = prb_pruning(&mut q, 6);
+        // D12 spans document ids 8..=12; local node 1 is doc node 8.
+        let d12 = &cands[2];
+        assert_eq!(d12.root.post(), 12);
+        assert_eq!(d12.doc_post(NodeId::new(1)).post(), 8);
+        assert_eq!(d12.doc_post(NodeId::new(5)).post(), 12);
+    }
+
+    #[test]
+    fn reference_matches_ring_buffer_on_example() {
+        let (t, _) = example_d();
+        for tau in 1..=23 {
+            let mut q = TreeQueue::new(&t);
+            let got: Vec<u32> = prb_pruning(&mut q, tau).iter().map(|c| c.root.post()).collect();
+            let want: Vec<u32> = candidate_set_reference(&t, tau)
+                .iter()
+                .map(|c| c.root.post())
+                .collect();
+            assert_eq!(got, want, "τ = {tau}");
+        }
+    }
+
+    #[test]
+    fn whole_tree_is_single_candidate_when_tau_large() {
+        let (t, _) = example_d();
+        let mut q = TreeQueue::new(&t);
+        let cands = prb_pruning(&mut q, 22);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].root.post(), 22);
+        assert_eq!(cands[0].tree, t);
+    }
+
+    #[test]
+    fn tau_one_yields_leaves_under_big_internals() {
+        // τ = 1: candidates are leaves whose ancestors all have size > 1 —
+        // i.e. every leaf (internal nodes always have size >= 2).
+        let (t, _) = example_d();
+        let mut q = TreeQueue::new(&t);
+        let cands = prb_pruning(&mut q, 1);
+        let n_leaves = t.nodes().filter(|&i| t.is_leaf(i)).count();
+        assert_eq!(cands.len(), n_leaves);
+        assert!(cands.iter().all(|c| c.tree.len() == 1));
+    }
+
+    #[test]
+    fn single_node_document() {
+        let mut d = LabelDict::new();
+        let t = bracket::parse("{a}", &mut d).unwrap();
+        let mut q = TreeQueue::new(&t);
+        let cands = prb_pruning(&mut q, 5);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].tree.len(), 1);
+    }
+
+    #[test]
+    fn peak_buffer_is_bounded_by_tau(){
+        let (t, _) = example_d();
+        for tau in 1..=10u32 {
+            let mut q = TreeQueue::new(&t);
+            let st = prb_pruning_stats(&mut q, tau, None);
+            assert!(
+                st.peak_buffered <= tau as usize,
+                "peak {} > τ {}",
+                st.peak_buffered,
+                tau
+            );
+            assert_eq!(st.nodes_seen, 22);
+        }
+    }
+
+    #[test]
+    fn deep_path_document() {
+        // Path of 10 nodes, τ = 3: only the bottom 3-node subtree (rooted
+        // at the node of size 3) qualifies; ancestors sizes 4..10 are all
+        // bigger than τ.
+        let mut d = LabelDict::new();
+        let t = bracket::parse("{a{a{a{a{a{a{a{a{a{a}}}}}}}}}}", &mut d).unwrap();
+        let mut q = TreeQueue::new(&t);
+        let cands = prb_pruning(&mut q, 3);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].root.post(), 3);
+        assert_eq!(cands[0].tree.len(), 3);
+    }
+
+    #[test]
+    fn wide_flat_document_streams_with_small_buffer() {
+        // DBLP-shaped: root with 200 children of size 3 each; τ = 6. The
+        // simple pruning would buffer all 600 nodes; the ring buffer must
+        // stay <= τ.
+        let mut dict = LabelDict::new();
+        let mut s = String::from("{dblp");
+        for i in 0..200 {
+            s.push_str(&format!("{{article{{a{i}}}{{t{i}}}}}"));
+        }
+        s.push('}');
+        let t = bracket::parse(&s, &mut dict).unwrap();
+        assert_eq!(t.len(), 601);
+        let mut q = TreeQueue::new(&t);
+        let mut prb = PrefixRingBuffer::new(&mut q, 6);
+        let mut count = 0;
+        while let Some(c) = prb.next_candidate() {
+            assert_eq!(c.tree.len(), 3);
+            count += 1;
+        }
+        assert_eq!(count, 200);
+        assert!(prb.peak_buffered() <= 6);
+    }
+
+    #[test]
+    fn stats_sink_records_candidate_sizes() {
+        let (t, _) = example_d();
+        let mut q = TreeQueue::new(&t);
+        let mut sink = TedStats::new();
+        let st = prb_pruning_stats(&mut q, 6, Some(&mut sink));
+        assert_eq!(st.candidates, 5);
+        assert_eq!(st.candidate_nodes, 5 + 2 + 5 + 5 + 3);
+        assert_eq!(sink.total_relevant(), 5);
+        assert_eq!(sink.relevant_by_size[&5], 3);
+    }
+}

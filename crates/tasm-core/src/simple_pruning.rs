@@ -1,0 +1,174 @@
+//! The *simple pruning* baseline of Sec. V-B, kept for the ablation
+//! experiments.
+//!
+//! It buffers every incoming node until a non-candidate node (size > τ)
+//! arrives, then emits the buffered subtrees rooted among that node's
+//! children. Correct, but the look-ahead — and hence the buffer — is O(n):
+//! in data-centric XML (e.g. DBLP, where over 99% of the root's subtrees
+//! are below τ) nearly the whole document sits in the buffer until the root
+//! is processed. The prefix ring buffer replaces this with an O(τ) buffer;
+//! the `ablation-buffer` experiment contrasts the two peak sizes.
+
+use crate::ring_buffer::{Candidate, PruningStats};
+use tasm_tree::{NodeId, PostorderEntry, PostorderQueue, Tree};
+
+/// Runs the simple pruning, returning the candidate set and stats
+/// (notably `peak_buffered`, the point of the ablation).
+pub fn simple_pruning<Q: PostorderQueue + ?Sized>(
+    queue: &mut Q,
+    tau: u32,
+) -> (Vec<Candidate>, PruningStats) {
+    let tau = tau.max(1);
+    let mut stats = PruningStats::default();
+    let mut out = Vec::new();
+    // All buffered nodes, indexed by (id - base - 1) where ids of removed
+    // prefixes have been compacted away.
+    let mut buf: Vec<PostorderEntry> = Vec::new();
+    /// A completed top-level subtree currently in the buffer.
+    #[derive(Clone, Copy)]
+    struct Pending {
+        /// Document postorder number of the subtree root.
+        root: u32,
+        /// Index into `buf` of the subtree's first node.
+        start: usize,
+        size: u32,
+    }
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut id = 0u32;
+
+    let emit = |p: Pending, buf: &[PostorderEntry], out: &mut Vec<Candidate>| {
+        let slice = &buf[p.start..p.start + p.size as usize];
+        let labels = slice.iter().map(|e| e.label).collect();
+        let sizes = slice.iter().map(|e| e.size).collect();
+        out.push(Candidate {
+            tree: Tree::from_postorder_unchecked(labels, sizes),
+            root: NodeId::new(p.root),
+        });
+    };
+
+    while let Some(entry) = queue.dequeue() {
+        id += 1;
+        if entry.size <= tau {
+            // Candidate node: absorb the completed child subtrees.
+            let mut need = entry.size - 1;
+            let mut start = buf.len();
+            while need > 0 {
+                let child = pending.pop().expect("valid postorder stream");
+                start = child.start;
+                need -= child.size;
+            }
+            buf.push(entry);
+            pending.push(Pending { root: id, start, size: entry.size });
+        } else {
+            // Non-candidate node: every completed subtree still pending
+            // inside its span is a candidate (its ancestors up to and
+            // including this node are all > τ). Emit them left to right.
+            let lml = id - entry.size + 1;
+            let from = pending
+                .iter()
+                .position(|p| p.root >= lml)
+                .unwrap_or(pending.len());
+            for p in pending.drain(from..) {
+                emit(p, &buf, &mut out);
+            }
+            // Drop the emitted nodes from the buffer; anything left is a
+            // pending subtree to the left of this node's span.
+            let keep = pending.last().map(|p| p.start + p.size as usize).unwrap_or(0);
+            buf.truncate(keep);
+            // The non-candidate node itself is never buffered.
+        }
+        stats.peak_buffered = stats.peak_buffered.max(buf.len());
+    }
+    // End of stream: the root is always a non-candidate or the last pending
+    // subtree; emit whatever remains (mirrors "when the root node arrives").
+    for p in pending.drain(..) {
+        emit(p, &buf, &mut out);
+    }
+    stats.nodes_seen = id;
+    stats.candidates = out.len();
+    stats.candidate_nodes = out.iter().map(|c| c.tree.len() as u64).sum();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring_buffer::{candidate_set_reference, prb_pruning_stats};
+    use tasm_tree::{bracket, LabelDict, TreeQueue};
+
+    fn example_d() -> Tree {
+        let mut dict = LabelDict::new();
+        bracket::parse(
+            "{dblp{article{auth{John}}{title{X1}}}{proceedings{conf{VLDB}}\
+             {article{auth{Peter}}{title{X3}}}{article{auth{Mike}}{title{X4}}}}\
+             {book{title{X2}}}}",
+            &mut dict,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_example_5() {
+        // Example 5: with τ = 6 the first non-candidate is d18; subtrees
+        // D7, D12, D17 are emitted at that point, D5 and D21 at the root.
+        let t = example_d();
+        let mut q = TreeQueue::new(&t);
+        let (cands, stats) = simple_pruning(&mut q, 6);
+        let roots: Vec<u32> = cands.iter().map(|c| c.root.post()).collect();
+        // Emission order: D7, D12, D17 (at d18), then D5, D21 (at root).
+        assert_eq!(roots, vec![7, 12, 17, 5, 21]);
+        // Example 5: nodes d1..d17 are all buffered when d18 arrives.
+        assert_eq!(stats.peak_buffered, 17);
+        assert_eq!(stats.candidates, 5);
+    }
+
+    #[test]
+    fn same_candidate_set_as_reference() {
+        let t = example_d();
+        for tau in 1..=23 {
+            let mut q = TreeQueue::new(&t);
+            let (cands, _) = simple_pruning(&mut q, tau);
+            let mut got: Vec<u32> = cands.iter().map(|c| c.root.post()).collect();
+            got.sort_unstable();
+            let want: Vec<u32> = candidate_set_reference(&t, tau)
+                .iter()
+                .map(|c| c.root.post())
+                .collect();
+            assert_eq!(got, want, "τ = {tau}");
+            for c in &cands {
+                assert_eq!(c.tree, t.subtree(c.root));
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_blowup_vs_ring_buffer() {
+        // Wide flat tree: simple pruning buffers ~everything, the ring
+        // buffer stays at τ.
+        let mut dict = LabelDict::new();
+        let mut s = String::from("{dblp");
+        for i in 0..100 {
+            s.push_str(&format!("{{article{{a{i}}}{{t{i}}}}}"));
+        }
+        s.push('}');
+        let t = bracket::parse(&s, &mut dict).unwrap();
+
+        let mut q1 = TreeQueue::new(&t);
+        let (_, simple) = simple_pruning(&mut q1, 6);
+        let mut q2 = TreeQueue::new(&t);
+        let ring = prb_pruning_stats(&mut q2, 6, None);
+
+        assert_eq!(simple.candidates, ring.candidates);
+        assert_eq!(simple.peak_buffered, 300); // all children of the root
+        assert!(ring.peak_buffered <= 6);
+    }
+
+    #[test]
+    fn single_node() {
+        let mut dict = LabelDict::new();
+        let t = bracket::parse("{a}", &mut dict).unwrap();
+        let mut q = TreeQueue::new(&t);
+        let (cands, _) = simple_pruning(&mut q, 4);
+        assert_eq!(cands.len(), 1);
+    }
+}

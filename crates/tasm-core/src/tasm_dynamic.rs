@@ -1,0 +1,182 @@
+//! TASM-dynamic (Sec. IV-F): the state-of-the-art baseline the paper
+//! improves on.
+//!
+//! One tree-edit-distance computation between the query and the whole
+//! document fills the tree distance matrix `td`; its last row holds
+//! `δ(Q, T_j)` for every subtree `T_j`, so ranking the last row solves
+//! TASM. Time `O(m² n)` for shallow documents, but **space `O(m n)`**:
+//! both the document and the matrix must be memory-resident, which is what
+//! TASM-postorder eliminates.
+
+use crate::ranking::{Match, TopKHeap};
+use tasm_ted::{ted_full_with_costs, Cost, CostModel, NodeCosts, TedStats};
+use tasm_tree::{NodeId, Tree};
+
+/// Options shared by the TASM algorithms.
+#[derive(Debug, Clone, Copy)]
+pub struct TasmOptions {
+    /// Keep a copy of each matched subtree in the [`Match`] (costs O(k·τ)
+    /// memory; required to show match content after streaming evaluation).
+    pub keep_trees: bool,
+    /// Apply the Lemma 4 refinement `τ' = min(τ, max(R) + |Q|)` inside
+    /// candidate subtrees (Algorithm 3, line 10). Disabling it keeps only
+    /// the static Theorem 3 bound — the `ablation-tau` experiment measures
+    /// what the refinement buys.
+    pub use_tau_prime: bool,
+}
+
+impl Default for TasmOptions {
+    fn default() -> Self {
+        TasmOptions { keep_trees: false, use_tau_prime: true }
+    }
+}
+
+/// Computes the top-`k` ranking of the subtrees of `doc` w.r.t. `query`
+/// (Def. 1) by the TASM-dynamic algorithm.
+///
+/// # Examples
+///
+/// Example 2 of the paper: top-2 for query G in document H is `(H6, H3)`
+/// with distances 0 and 1.
+///
+/// ```
+/// use tasm_tree::{bracket, LabelDict, NodeId};
+/// use tasm_ted::UnitCost;
+/// use tasm_core::{tasm_dynamic, TasmOptions};
+///
+/// let mut dict = LabelDict::new();
+/// let g = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
+/// let h = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict).unwrap();
+/// let top2 = tasm_dynamic(&g, &h, 2, &UnitCost, TasmOptions::default(), None);
+/// assert_eq!(top2[0].root, NodeId::new(6));
+/// assert_eq!(top2[0].distance.floor_natural(), 0);
+/// assert_eq!(top2[1].root, NodeId::new(3));
+/// assert_eq!(top2[1].distance.floor_natural(), 1);
+/// ```
+pub fn tasm_dynamic(
+    query: &Tree,
+    doc: &Tree,
+    k: usize,
+    model: &dyn CostModel,
+    opts: TasmOptions,
+    stats: Option<&mut TedStats>,
+) -> Vec<Match> {
+    let query_costs = NodeCosts::compute(query, model);
+    let doc_costs = NodeCosts::compute(doc, model);
+    let mut heap = TopKHeap::new(k.max(1));
+    rank_subtrees_into(
+        &mut heap, query, &query_costs, doc, &doc_costs, 0, opts, stats,
+    );
+    heap.into_sorted()
+}
+
+/// Core of TASM-dynamic, reusable by TASM-postorder: computes the distance
+/// matrix for (`query`, `doc`) and offers every subtree of `doc` to `heap`.
+///
+/// `doc_post_offset` shifts reported postorder numbers: when `doc` is a
+/// candidate subtree of a larger document, pass the document postorder
+/// number of the node *preceding* the candidate's leftmost node.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rank_subtrees_into(
+    heap: &mut TopKHeap,
+    query: &Tree,
+    query_costs: &NodeCosts,
+    doc: &Tree,
+    doc_costs: &NodeCosts,
+    doc_post_offset: u32,
+    opts: TasmOptions,
+    stats: Option<&mut TedStats>,
+) {
+    let td = ted_full_with_costs(query, query_costs, doc, doc_costs, stats);
+    let row = td.query_row();
+    for j in doc.nodes() {
+        let distance: Cost = row[j.post() as usize];
+        heap.offer(Match {
+            root: NodeId::new(doc_post_offset + j.post()),
+            size: doc.size(j),
+            distance,
+            tree: None,
+        });
+    }
+    if opts.keep_trees {
+        // Attach subtree copies to the surviving matches rooted in this
+        // doc. Done once per doc rather than per offer: only the at most k
+        // survivors pay the clone.
+        let lo = doc_post_offset + 1;
+        let hi = doc_post_offset + doc.len() as u32;
+        heap.attach_trees(lo, hi, |doc_post| {
+            doc.subtree(NodeId::new(doc_post - doc_post_offset))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasm_ted::UnitCost;
+    use tasm_tree::{bracket, LabelDict};
+
+    fn gh() -> (Tree, Tree) {
+        let mut dict = LabelDict::new();
+        let g = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
+        let h = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict).unwrap();
+        (g, h)
+    }
+
+    #[test]
+    fn paper_example_2_top2() {
+        let (g, h) = gh();
+        let top2 = tasm_dynamic(&g, &h, 2, &UnitCost, TasmOptions::default(), None);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].root.post(), 6);
+        assert_eq!(top2[0].distance, Cost::ZERO);
+        assert_eq!(top2[1].root.post(), 3);
+        assert_eq!(top2[1].distance, Cost::from_natural(1));
+    }
+
+    #[test]
+    fn k_larger_than_document_returns_all() {
+        let (g, h) = gh();
+        let all = tasm_dynamic(&g, &h, 100, &UnitCost, TasmOptions::default(), None);
+        assert_eq!(all.len(), 7);
+        // Sorted ascending by (distance, id): from Fig. 3 last row
+        // (2,3,1,2,2,0,4) => 0@6, 1@3, 2@1, 2@4, 2@5, 3@2, 4@7.
+        let got: Vec<(u64, u32)> = all
+            .iter()
+            .map(|m| (m.distance.floor_natural(), m.root.post()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![(0, 6), (1, 3), (2, 1), (2, 4), (2, 5), (3, 2), (4, 7)]
+        );
+    }
+
+    #[test]
+    fn top1_is_exact_match() {
+        let (g, h) = gh();
+        let top1 = tasm_dynamic(&g, &h, 1, &UnitCost, TasmOptions::default(), None);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].root.post(), 6);
+        assert_eq!(top1[0].size, 3);
+    }
+
+    #[test]
+    fn keep_trees_attaches_subtrees() {
+        let (g, h) = gh();
+        let opts = TasmOptions { keep_trees: true, ..Default::default() };
+        let top2 = tasm_dynamic(&g, &h, 2, &UnitCost, opts, None);
+        let t6 = top2[0].tree.as_ref().expect("tree kept");
+        assert_eq!(t6, &h.subtree(NodeId::new(6)));
+        assert_eq!(top2[1].tree.as_ref().unwrap(), &h.subtree(NodeId::new(3)));
+    }
+
+    #[test]
+    fn stats_see_whole_document() {
+        let (g, h) = gh();
+        let mut st = TedStats::new();
+        tasm_dynamic(&g, &h, 2, &UnitCost, TasmOptions::default(), Some(&mut st));
+        // TASM-dynamic computes the whole document: max relevant size = |H|.
+        assert_eq!(st.max_relevant_size(), 7);
+        assert_eq!(st.ted_calls, 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! The subtree-size upper bound τ (Sec. VI-A, Theorem 3) and its
+//! intermediate-ranking refinement τ' (Lemma 4).
+//!
+//! Theorem 3: for query `Q`, result size `k`, maximum node costs `c_Q`
+//! (query) and `c_T` (document), every subtree in the final top-k ranking
+//! has size at most
+//!
+//! ```text
+//! τ = |Q| · (c_Q + 1) + k · c_T
+//! ```
+//!
+//! independent of the document's size and structure. Once an intermediate
+//! ranking with `k` entries exists, Lemma 4 tightens this to
+//! `τ' = min(τ, max(R) + |Q|)`.
+
+use tasm_ted::{Cost, CostModel, NodeCosts};
+use tasm_tree::Tree;
+
+/// Computes τ = `|Q|·(c_Q + 1) + k·c_T` (Theorem 3).
+///
+/// `c_q` and `c_t` are the maximum node costs of query and document in
+/// natural units (both `>= 1`; e.g. 1 and 1 under unit costs). The result
+/// is a subtree size measured in nodes.
+///
+/// # Examples
+///
+/// The paper's running DBLP numbers (Sec. VI-B): a 15-node query, `k = 20`,
+/// unit costs: τ = 2·|Q| + k = 50.
+///
+/// ```
+/// use tasm_core::threshold;
+/// assert_eq!(threshold(15, 1, 1, 20), 50);
+/// ```
+pub fn threshold(query_size: u64, c_q: u64, c_t: u64, k: u64) -> u64 {
+    query_size
+        .saturating_mul(c_q.max(1).saturating_add(1))
+        .saturating_add(k.saturating_mul(c_t.max(1)))
+}
+
+/// Computes τ for a concrete query under a cost model, given the maximum
+/// document node cost `c_t`.
+pub fn threshold_for_query(query: &Tree, model: &dyn CostModel, c_t: u64, k: u64) -> u64 {
+    let c_q = NodeCosts::compute(query, model).max();
+    threshold(query.len() as u64, c_q, c_t, k)
+}
+
+/// The refined bound τ' of Lemma 4, as a *size*: subtrees of size `>= τ'`
+/// cannot strictly improve an intermediate ranking whose worst distance is
+/// `max_ranked`.
+///
+/// Lemma 3 gives `|T_i| <= δ(Q, T_i) + |Q|`; since sizes are integral,
+/// a subtree with `|T_i| >= ceil(max(R)) + |Q|` has
+/// `δ(Q, T_i) >= |T_i| - |Q| >= ceil(max(R)) >= max(R)` and can be pruned.
+/// The ceiling keeps the bound sound for fractional (half-unit) distances.
+pub fn refined_threshold(tau: u64, max_ranked: Cost, query_size: u64) -> u64 {
+    let ceil_nat = max_ranked.halves().div_ceil(2);
+    tau.min(ceil_nat.saturating_add(query_size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasm_ted::{FanoutWeighted, UnitCost};
+    use tasm_tree::{bracket, LabelDict};
+
+    #[test]
+    fn paper_dblp_example() {
+        // |Q| = 15, unit costs, k = 20 => τ = 2|Q| + k = 50 (Sec. VI-B).
+        assert_eq!(threshold(15, 1, 1, 20), 50);
+    }
+
+    #[test]
+    fn unit_cost_formula() {
+        // τ = |Q|·2 + k under unit costs.
+        assert_eq!(threshold(4, 1, 1, 5), 13);
+        assert_eq!(threshold(64, 1, 1, 10000), 128 + 10000);
+    }
+
+    #[test]
+    fn costs_are_clamped() {
+        assert_eq!(threshold(10, 0, 0, 3), threshold(10, 1, 1, 3));
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        assert_eq!(threshold(u64::MAX, u64::MAX, u64::MAX, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn threshold_for_query_uses_max_query_cost() {
+        let mut d = LabelDict::new();
+        let q = bracket::parse("{a{b}{c}{d}}", &mut d).unwrap();
+        // Unit: τ = 4*2 + 5 = 13.
+        assert_eq!(threshold_for_query(&q, &UnitCost, 1, 5), 13);
+        // Fanout-weighted: root costs 1 + 3 => c_q = 4, τ = 4*5 + 5*2 = 30.
+        let model = FanoutWeighted { base: 1, weight: 1 };
+        assert_eq!(threshold_for_query(&q, &model, 2, 5), 30);
+    }
+
+    #[test]
+    fn refined_threshold_integral() {
+        // max(R) = 3.0, |Q| = 4: τ' = min(τ, 3 + 4).
+        assert_eq!(refined_threshold(100, Cost::from_natural(3), 4), 7);
+        assert_eq!(refined_threshold(5, Cost::from_natural(3), 4), 5);
+    }
+
+    #[test]
+    fn refined_threshold_rounds_up_fractional_distances() {
+        // max(R) = 2.5 must behave like 3: pruning at size >= 2 + |Q| would
+        // discard subtrees with distance 2.0 < 2.5.
+        assert_eq!(refined_threshold(100, Cost::from_halves(5), 4), 3 + 4);
+    }
+
+    #[test]
+    fn refined_threshold_zero_distance() {
+        // Perfect matches found: only subtrees smaller than |Q| could tie.
+        assert_eq!(refined_threshold(100, Cost::ZERO, 4), 4);
+    }
+}

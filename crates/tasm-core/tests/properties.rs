@@ -1,0 +1,268 @@
+//! Property-based tests for the TASM algorithms.
+//!
+//! * the prefix ring buffer emits exactly `cand(T, τ)` (Def. 9) — checked
+//!   against a brute-force reference and against the simple pruning;
+//! * the ring buffer never holds more than τ nodes (Theorem 2);
+//! * TASM-postorder, TASM-dynamic and the naive algorithm produce the same
+//!   distance ranking (the sorted distance sequence of a top-k ranking is
+//!   unique even when ids tie);
+//! * every returned match respects the Theorem 3 size bound;
+//! * the rankings satisfy Def. 1 against exhaustive distances.
+
+use proptest::prelude::*;
+use tasm_core::{
+    candidate_set_reference, prb_pruning, simple_pruning, tasm_dynamic, tasm_naive,
+    tasm_postorder, threshold, PrefixRingBuffer, TasmOptions,
+};
+use tasm_ted::{ted, Cost, PerLabelCost, UnitCost};
+use tasm_tree::{LabelId, Tree, TreeBuilder, TreeQueue};
+
+/// Builds a uniformly-shaped random tree of exactly `n` nodes by random
+/// attachment: node `i` picks a uniformly random existing parent. Labels
+/// are drawn from `n_labels` distinct values so renames and exact matches
+/// both occur.
+fn random_tree(seed: u64, n: usize, n_labels: u32) -> Tree {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut labels: Vec<u32> = Vec::with_capacity(n);
+    labels.push(rng.gen_range(0..n_labels));
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        children[parent].push(i);
+        labels.push(rng.gen_range(0..n_labels));
+    }
+    fn rec(node: usize, children: &[Vec<usize>], labels: &[u32], b: &mut TreeBuilder) {
+        b.start(LabelId(labels[node]));
+        for &c in &children[node] {
+            rec(c, children, labels, b);
+        }
+        b.end().expect("balanced");
+    }
+    let mut b = TreeBuilder::with_capacity(n);
+    rec(0, &children, &labels, &mut b);
+    b.finish().expect("single root")
+}
+
+/// Documents: 1–150 nodes over 4 labels.
+fn arb_doc() -> impl Strategy<Value = Tree> {
+    (any::<u64>(), 1usize..150).prop_map(|(seed, n)| random_tree(seed, n, 4))
+}
+
+/// Queries: 1–10 nodes over the same label universe.
+fn arb_query() -> impl Strategy<Value = Tree> {
+    (any::<u64>(), 1usize..10).prop_map(|(seed, n)| random_tree(seed, n, 4))
+}
+
+fn distances(ms: &[tasm_core::Match]) -> Vec<u64> {
+    ms.iter().map(|m| m.distance.halves()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ring_buffer_equals_reference_candidate_set(doc in arb_doc(), tau in 1u32..40) {
+        let mut q = TreeQueue::new(&doc);
+        let got = prb_pruning(&mut q, tau);
+        let want = candidate_set_reference(&doc, tau);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.root, w.root);
+            prop_assert_eq!(&g.tree, &w.tree);
+        }
+    }
+
+    #[test]
+    fn simple_pruning_equals_reference_candidate_set(doc in arb_doc(), tau in 1u32..40) {
+        let mut q = TreeQueue::new(&doc);
+        let (mut got, _) = simple_pruning(&mut q, tau);
+        got.sort_by_key(|c| c.root);
+        let want = candidate_set_reference(&doc, tau);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.root, w.root);
+            prop_assert_eq!(&g.tree, &w.tree);
+        }
+    }
+
+    #[test]
+    fn ring_buffer_space_bound_theorem_2(doc in arb_doc(), tau in 1u32..40) {
+        let mut q = TreeQueue::new(&doc);
+        let mut prb = PrefixRingBuffer::new(&mut q, tau);
+        while prb.next_candidate().is_some() {}
+        prop_assert!(prb.peak_buffered() <= tau as usize);
+        prop_assert_eq!(prb.nodes_seen() as usize, doc.len());
+    }
+
+    #[test]
+    fn candidate_set_partitions_small_subtrees(doc in arb_doc(), tau in 1u32..40) {
+        // Every node in a subtree of size <= τ is covered by exactly one
+        // candidate; candidates are disjoint.
+        let cands = candidate_set_reference(&doc, tau);
+        let mut covered = vec![false; doc.len()];
+        for c in &cands {
+            let lo = (c.root.post() - c.tree.len() as u32) as usize;
+            for (i, slot) in covered.iter_mut().enumerate().take(c.root.post() as usize).skip(lo) {
+                prop_assert!(!*slot, "overlap at node {}", i + 1);
+                *slot = true;
+            }
+        }
+        for id in doc.nodes() {
+            if doc.size(id) <= tau {
+                prop_assert!(covered[id.index()], "node {} uncovered", id);
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_algorithms_agree_on_distances(
+        q in arb_query(),
+        t in arb_doc(),
+        k in 1usize..8,
+    ) {
+        let opts = TasmOptions::default();
+        let naive = tasm_naive(&q, &t, k, &UnitCost, opts, None);
+        let dynamic = tasm_dynamic(&q, &t, k, &UnitCost, opts, None);
+        let mut stream = TreeQueue::new(&t);
+        let postorder = tasm_postorder(&q, &mut stream, k, &UnitCost, 1, opts, None);
+
+        prop_assert_eq!(distances(&naive), distances(&dynamic));
+        prop_assert_eq!(distances(&naive), distances(&postorder));
+        // Naive and dynamic share identical tie-breaking and see all
+        // subtrees: exact agreement.
+        let ids = |ms: &[tasm_core::Match]| ms.iter().map(|m| m.root).collect::<Vec<_>>();
+        prop_assert_eq!(ids(&naive), ids(&dynamic));
+    }
+
+    #[test]
+    fn algorithms_agree_under_weighted_costs(
+        q in arb_query(),
+        t in arb_doc(),
+        k in 1usize..5,
+    ) {
+        let model = PerLabelCost::new(1)
+            .with(LabelId(0), 2)
+            .with(LabelId(1), 3)
+            .with(LabelId(2), 1)
+            .with(LabelId(3), 5);
+        let c_t = 5; // max of the table
+        let opts = TasmOptions::default();
+        let dynamic = tasm_dynamic(&q, &t, k, &model, opts, None);
+        let mut stream = TreeQueue::new(&t);
+        let postorder = tasm_postorder(&q, &mut stream, k, &model, c_t, opts, None);
+        prop_assert_eq!(distances(&dynamic), distances(&postorder));
+    }
+
+    #[test]
+    fn ranking_satisfies_definition_1(
+        q in arb_query(),
+        t in arb_doc(),
+        k in 1usize..6,
+    ) {
+        let opts = TasmOptions::default();
+        let mut stream = TreeQueue::new(&t);
+        let ranking = tasm_postorder(&q, &mut stream, k, &UnitCost, 1, opts, None);
+        let k_eff = k.min(t.len());
+        prop_assert_eq!(ranking.len(), k_eff);
+        // Condition 2: sorted by distance.
+        for w in ranking.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance);
+        }
+        // Condition 1: no excluded subtree beats the k-th ranked one.
+        let worst = ranking.last().unwrap().distance;
+        let ranked: std::collections::HashSet<u32> =
+            ranking.iter().map(|m| m.root.post()).collect();
+        for j in t.nodes() {
+            if !ranked.contains(&j.post()) {
+                let d = ted(&q, &t.subtree(j), &UnitCost);
+                prop_assert!(
+                    worst <= d,
+                    "excluded subtree {} at distance {} beats ranked max {}",
+                    j, d, worst
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_3_size_bound_holds(
+        q in arb_query(),
+        t in arb_doc(),
+        k in 1usize..6,
+    ) {
+        let tau = threshold(q.len() as u64, 1, 1, k as u64);
+        let mut stream = TreeQueue::new(&t);
+        let ranking =
+            tasm_postorder(&q, &mut stream, k, &UnitCost, 1, TasmOptions::default(), None);
+        for m in &ranking {
+            prop_assert!(u64::from(m.size) <= tau, "match size {} > τ {}", m.size, tau);
+            // Lemma 3 per match: |T_i| <= δ + |Q|.
+            prop_assert!(
+                u64::from(m.size) <= m.distance.floor_natural() + q.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn match_sizes_and_trees_are_consistent(
+        q in arb_query(),
+        t in arb_doc(),
+        k in 1usize..4,
+    ) {
+        let opts = TasmOptions { keep_trees: true, ..Default::default() };
+        let mut stream = TreeQueue::new(&t);
+        let ranking = tasm_postorder(&q, &mut stream, k, &UnitCost, 1, opts, None);
+        for m in &ranking {
+            let tree = m.tree.as_ref().expect("keep_trees");
+            prop_assert_eq!(tree.len() as u32, m.size);
+            prop_assert_eq!(tree, &t.subtree(m.root));
+            prop_assert_eq!(ted(&q, tree, &UnitCost), m.distance);
+        }
+    }
+}
+
+#[test]
+fn zero_cost_between_identical_query_everywhere() {
+    // A document made of repeated copies of the query: top-k are all exact.
+    let mut b = TreeBuilder::new();
+    b.start(LabelId(9));
+    for _ in 0..6 {
+        b.start(LabelId(0));
+        b.leaf(LabelId(1));
+        b.leaf(LabelId(2));
+        b.end().unwrap();
+    }
+    b.end().unwrap();
+    let doc = b.finish().unwrap();
+    let query = Tree::from_postorder(vec![
+        (LabelId(1), 1),
+        (LabelId(2), 1),
+        (LabelId(0), 3),
+    ])
+    .unwrap();
+    let mut stream = TreeQueue::new(&doc);
+    let top4 = tasm_postorder(&query, &mut stream, 4, &UnitCost, 1, TasmOptions::default(), None);
+    assert_eq!(top4.len(), 4);
+    assert!(top4.iter().all(|m| m.distance == Cost::ZERO));
+}
+
+#[test]
+fn generated_docs_are_nontrivial() {
+    // Guard against the generators silently collapsing to single nodes:
+    // sample documents across many seeds and require real spread.
+    use proptest::strategy::{Strategy, ValueTree};
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::default();
+    let strat = arb_doc();
+    let mut sizes = Vec::new();
+    for _ in 0..200 {
+        let tree = strat.new_tree(&mut runner).unwrap().current();
+        sizes.push(tree.len());
+    }
+    let max = *sizes.iter().max().unwrap();
+    let avg = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+    assert!(max >= 40, "largest sampled doc only {max} nodes");
+    assert!(avg >= 5.0, "average sampled doc only {avg:.1} nodes");
+}

@@ -1,0 +1,232 @@
+//! A DBLP-like bibliographic document generator (substitute for the real
+//! DBLP snapshot of Sec. VII-B: 26 M nodes, 476 MB, height 6).
+//!
+//! The property that matters for the pruning experiments is extreme
+//! shallow-and-wide shape: one root with on the order of a million small
+//! record children, >99% of which are below τ = 50 (Sec. V-B). Records
+//! mimic DBLP entry types with realistic field mixes; the typical article
+//! subtree has ≈15 nodes, matching the paper's "typical query" size.
+
+use crate::gen::GenCtx;
+use crate::words::WordSampler;
+use rand::Rng;
+use tasm_tree::{LabelDict, Tree};
+
+/// Configuration for the DBLP-like generator.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Approximate number of nodes.
+    pub target_nodes: usize,
+}
+
+impl DblpConfig {
+    /// Convenience constructor.
+    pub fn new(seed: u64, target_nodes: usize) -> Self {
+        DblpConfig { seed, target_nodes }
+    }
+}
+
+/// Nodes-per-megabyte calibration for DBLP: 476 MB ≈ 26 M nodes.
+pub const NODES_PER_MB: usize = 54_621;
+
+/// Generates a DBLP-like document of roughly `config.target_nodes` nodes.
+pub fn dblp_tree(dict: &mut LabelDict, config: &DblpConfig) -> Tree {
+    let words = WordSampler::new(4000, "t", 1.05);
+    let authors = WordSampler::new(1200, "Author_", 0.9);
+    let mut g = GenCtx::new(dict, config.seed);
+    let budget = config.target_nodes.max(20);
+
+    g.start("dblp");
+    let mut id = 0usize;
+    while g.produced() < budget {
+        match g.rng.gen_range(0..100) {
+            0..=54 => article(&mut g, &words, &authors, id),
+            55..=84 => inproceedings(&mut g, &words, &authors, id),
+            85..=92 => proceedings(&mut g, &words, id),
+            93..=97 => book(&mut g, &words, &authors, id),
+            _ => phdthesis(&mut g, &words, &authors, id),
+        }
+        id += 1;
+    }
+    g.end();
+    g.finish().expect("generator produces a single balanced tree")
+}
+
+fn year(g: &mut GenCtx<'_>) -> String {
+    format!("{}", g.rng.gen_range(1970..2010))
+}
+
+fn pages(g: &mut GenCtx<'_>) -> String {
+    let a = g.rng.gen_range(1..900);
+    format!("{}-{}", a, a + g.rng.gen_range(5..25))
+}
+
+fn article(g: &mut GenCtx<'_>, words: &WordSampler, authors: &WordSampler, id: usize) {
+    g.start("article");
+    g.attr("key", &format!("journals/j{}/a{id}", id % 40));
+    g.attr("mdate", "2002-01-03");
+    let n_auth = g.rng.gen_range(1..=4);
+    for _ in 0..n_auth {
+        let a = authors.word(&mut g.rng);
+        g.field("author", &a);
+    }
+    let title = words.sentence(&mut g.rng, 4, 10);
+    g.field("title", &title);
+    let p = pages(g);
+    g.field("pages", &p);
+    let y = year(g);
+    g.field("year", &y);
+    g.field("volume", &format!("{}", id % 60 + 1));
+    g.field("journal", &format!("Journal {}", id % 40));
+    if g.rng.gen_bool(0.5) {
+        g.field("number", &format!("{}", id % 12 + 1));
+    }
+    if g.rng.gen_bool(0.6) {
+        g.field("ee", &format!("db/journals/j{}/a{id}.html", id % 40));
+    }
+    if g.rng.gen_bool(0.4) {
+        g.field("url", &format!("db/journals/j{}/#{id}", id % 40));
+    }
+    g.end();
+}
+
+fn inproceedings(g: &mut GenCtx<'_>, words: &WordSampler, authors: &WordSampler, id: usize) {
+    g.start("inproceedings");
+    g.attr("key", &format!("conf/c{}/p{id}", id % 50));
+    let n_auth = g.rng.gen_range(1..=3);
+    for _ in 0..n_auth {
+        let a = authors.word(&mut g.rng);
+        g.field("author", &a);
+    }
+    let title = words.sentence(&mut g.rng, 4, 9);
+    g.field("title", &title);
+    let p = pages(g);
+    g.field("pages", &p);
+    let y = year(g);
+    g.field("year", &y);
+    g.field("crossref", &format!("conf/c{}/2000", id % 50));
+    g.field("booktitle", &format!("CONF {}", id % 50));
+    if g.rng.gen_bool(0.5) {
+        g.field("ee", &format!("db/conf/c{}/p{id}.html", id % 50));
+    }
+    g.end();
+}
+
+fn proceedings(g: &mut GenCtx<'_>, words: &WordSampler, id: usize) {
+    g.start("proceedings");
+    g.attr("key", &format!("conf/c{}/2000", id % 50));
+    let ed = words.word(&mut g.rng);
+    g.field("editor", &ed);
+    let title = words.sentence(&mut g.rng, 5, 12);
+    g.field("title", &title);
+    g.field("booktitle", &format!("CONF {}", id % 50));
+    g.field("publisher", "Springer");
+    let y = year(g);
+    g.field("year", &y);
+    g.field("isbn", &format!("3-540-{:05}-{}", id % 99999, id % 10));
+    g.end();
+}
+
+fn book(g: &mut GenCtx<'_>, words: &WordSampler, authors: &WordSampler, id: usize) {
+    g.start("book");
+    g.attr("key", &format!("books/b{id}"));
+    let n_auth = g.rng.gen_range(1..=2);
+    for _ in 0..n_auth {
+        let a = authors.word(&mut g.rng);
+        g.field("author", &a);
+    }
+    let title = words.sentence(&mut g.rng, 3, 8);
+    g.field("title", &title);
+    g.field("publisher", "Morgan Kaufmann");
+    let y = year(g);
+    g.field("year", &y);
+    g.end();
+}
+
+fn phdthesis(g: &mut GenCtx<'_>, words: &WordSampler, authors: &WordSampler, id: usize) {
+    g.start("phdthesis");
+    g.attr("key", &format!("phd/t{id}"));
+    let a = authors.word(&mut g.rng);
+    g.field("author", &a);
+    let title = words.sentence(&mut g.rng, 4, 10);
+    g.field("title", &title);
+    g.field("school", &format!("University {}", id % 25));
+    let y = year(g);
+    g.field("year", &y);
+    g.end();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasm_tree::stats::{fraction_below, TreeStats};
+    use tasm_tree::NodeId;
+
+    #[test]
+    fn hits_target_node_count() {
+        let mut dict = LabelDict::new();
+        let t = dblp_tree(&mut dict, &DblpConfig::new(1, 30_000));
+        let n = t.len();
+        assert!((30_000..31_000).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn shallow_and_wide_like_dblp() {
+        let mut dict = LabelDict::new();
+        let t = dblp_tree(&mut dict, &DblpConfig::new(2, 20_000));
+        let s = TreeStats::of(&t);
+        assert!(s.height <= 4, "DBLP-like documents are shallow: {}", s.height);
+        // Root fanout is the number of records: ~ n / 17.
+        assert!(t.fanout(t.root()) > 500);
+    }
+
+    #[test]
+    fn paper_premise_99_percent_below_tau_50() {
+        // Sec. V-B: over 99% of the root's subtrees are smaller than τ=50.
+        let mut dict = LabelDict::new();
+        let t = dblp_tree(&mut dict, &DblpConfig::new(3, 20_000));
+        assert!(fraction_below(&t, 50) > 0.99);
+    }
+
+    #[test]
+    fn typical_article_has_about_15_nodes() {
+        let mut dict = LabelDict::new();
+        let t = dblp_tree(&mut dict, &DblpConfig::new(4, 20_000));
+        let article = dict.get("article").unwrap();
+        let sizes: Vec<u32> = t
+            .nodes()
+            .filter(|&i| t.label(i) == article)
+            .map(|i| t.size(i))
+            .collect();
+        assert!(!sizes.is_empty());
+        let avg = sizes.iter().sum::<u32>() as f64 / sizes.len() as f64;
+        assert!((12.0..25.0).contains(&avg), "avg article size {avg}");
+    }
+
+    #[test]
+    fn records_follow_root() {
+        let mut dict = LabelDict::new();
+        let t = dblp_tree(&mut dict, &DblpConfig::new(5, 5_000));
+        assert_eq!(dict.resolve(t.label(t.root())), "dblp");
+        for child in t.children(NodeId::new(t.len() as u32)) {
+            let l = dict.resolve(t.label(child));
+            assert!(
+                ["article", "inproceedings", "proceedings", "book", "phdthesis"]
+                    .contains(&l),
+                "unexpected record {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut d1 = LabelDict::new();
+        let mut d2 = LabelDict::new();
+        assert_eq!(
+            dblp_tree(&mut d1, &DblpConfig::new(9, 3_000)),
+            dblp_tree(&mut d2, &DblpConfig::new(9, 3_000))
+        );
+    }
+}

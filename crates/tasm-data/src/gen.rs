@@ -1,0 +1,124 @@
+//! Shared generator plumbing: a budgeted tree-building context.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tasm_tree::{LabelDict, Tree, TreeBuilder, TreeError};
+
+/// A tree-building context that tracks how many nodes have been produced,
+/// so record-oriented generators can stop near a node budget.
+pub struct GenCtx<'d> {
+    /// Random source (seeded; generators are deterministic per seed).
+    pub rng: StdRng,
+    /// Shared label dictionary.
+    pub dict: &'d mut LabelDict,
+    builder: TreeBuilder,
+}
+
+impl<'d> GenCtx<'d> {
+    /// Creates a context seeded with `seed`.
+    pub fn new(dict: &'d mut LabelDict, seed: u64) -> Self {
+        GenCtx {
+            rng: StdRng::seed_from_u64(seed),
+            dict,
+            builder: TreeBuilder::new(),
+        }
+    }
+
+    /// Opens an element node labeled `name`.
+    pub fn start(&mut self, name: &str) {
+        let id = self.dict.intern(name);
+        self.builder.start(id);
+    }
+
+    /// Closes the current element.
+    pub fn end(&mut self) {
+        self.builder.end().expect("generator keeps tags balanced");
+    }
+
+    /// Adds a leaf labeled `name` (an element without children).
+    pub fn leaf(&mut self, name: &str) {
+        let id = self.dict.intern(name);
+        self.builder.leaf(id);
+    }
+
+    /// Adds a text leaf.
+    pub fn text(&mut self, content: &str) {
+        self.leaf(content);
+    }
+
+    /// Adds `<name>text</name>` (2 nodes).
+    pub fn field(&mut self, name: &str, content: &str) {
+        self.start(name);
+        self.text(content);
+        self.end();
+    }
+
+    /// Adds an attribute node `@name` with a text-value child (2 nodes),
+    /// mirroring the XML node mapping.
+    pub fn attr(&mut self, name: &str, value: &str) {
+        self.start(&format!("@{name}"));
+        self.text(value);
+        self.end();
+    }
+
+    /// Nodes completed so far (closed elements and leaves).
+    pub fn completed(&self) -> usize {
+        self.builder.completed()
+    }
+
+    /// Total nodes produced so far including currently open elements.
+    pub fn produced(&self) -> usize {
+        self.builder.completed() + self.builder.depth()
+    }
+
+    /// Finishes the tree.
+    pub fn finish(self) -> Result<Tree, TreeError> {
+        self.builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_and_attr_shapes() {
+        let mut dict = LabelDict::new();
+        let mut g = GenCtx::new(&mut dict, 0);
+        g.start("article");
+        g.attr("key", "a/1");
+        g.field("title", "X1");
+        g.end();
+        let t = g.finish().unwrap();
+        // article, @key, "a/1", title, "X1" = 5 nodes.
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn produced_counts_open_elements() {
+        let mut dict = LabelDict::new();
+        let mut g = GenCtx::new(&mut dict, 0);
+        g.start("a");
+        g.start("b");
+        assert_eq!(g.completed(), 0);
+        assert_eq!(g.produced(), 2);
+        g.leaf("c");
+        assert_eq!(g.produced(), 3);
+        g.end();
+        g.end();
+        assert_eq!(g.finish().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn deterministic_rng() {
+        let mut d1 = LabelDict::new();
+        let mut d2 = LabelDict::new();
+        use rand::Rng;
+        let mut a = GenCtx::new(&mut d1, 42);
+        let mut b = GenCtx::new(&mut d2, 42);
+        let xa: u64 = a.rng.gen();
+        let xb: u64 = b.rng.gen();
+        assert_eq!(xa, xb);
+    }
+}

@@ -1,0 +1,47 @@
+//! Synthetic workload generators for the TASM reproduction.
+//!
+//! The paper (Sec. VII) evaluates on XMark benchmark documents
+//! (112–1792 MB, height 13), the DBLP bibliography (26 M nodes, height 6)
+//! and the PSD7003 protein dataset (37 M nodes, height 7). Those exact
+//! files are not redistributable here, so this crate provides seeded
+//! generators reproducing the *shape statistics* each experiment depends
+//! on — see `DESIGN.md` for the substitution rationale:
+//!
+//! * [`xmark_tree`] — auction-site schema, stable height, linear size;
+//! * [`dblp_tree`] — shallow-and-wide bibliographic records (~15 nodes);
+//! * [`psd_tree`] — deeper protein entries (tens of nodes, height ~7);
+//! * [`random_tree`] / [`random_query`] — unstructured trees and the
+//!   paper's random-subtree query workload.
+//!
+//! All generators are deterministic given a seed.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tasm_data::{dblp_tree, random_query, DblpConfig};
+//! use tasm_tree::LabelDict;
+//!
+//! let mut dict = LabelDict::new();
+//! let doc = dblp_tree(&mut dict, &DblpConfig::new(42, 5_000));
+//! let (query, root) = random_query(&doc, 16, 7);
+//! assert_eq!(query, doc.subtree(root));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dblp;
+mod gen;
+mod psd;
+mod random;
+mod treebank;
+mod words;
+mod xmark;
+
+pub use dblp::{dblp_tree, DblpConfig, NODES_PER_MB as DBLP_NODES_PER_MB};
+pub use gen::GenCtx;
+pub use psd::{psd_tree, PsdConfig, NODES_PER_MB as PSD_NODES_PER_MB};
+pub use random::{random_query, random_tree, RandomTreeConfig};
+pub use treebank::{treebank_tree, TreebankConfig};
+pub use words::{WordSampler, Zipf};
+pub use xmark::{nodes_for_mb, xmark_tree, XMarkConfig, NODES_PER_MB as XMARK_NODES_PER_MB};

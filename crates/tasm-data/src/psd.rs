@@ -1,0 +1,203 @@
+//! A PSD-like protein-sequence document generator (substitute for the
+//! PSD7003 dataset of Sec. VII-B: 37 M nodes, 683 MB, height 7).
+//!
+//! ProteinEntry records are larger and deeper than DBLP entries (nested
+//! reference/refinfo/authors structures reaching depth 7), which is what
+//! differentiates the Fig. 11a/b scatter from the DBLP histogram: a wider
+//! spread of relevant-subtree sizes below τ.
+
+use crate::gen::GenCtx;
+use crate::words::WordSampler;
+use rand::Rng;
+use tasm_tree::{LabelDict, Tree};
+
+/// Configuration for the PSD-like generator.
+#[derive(Debug, Clone)]
+pub struct PsdConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Approximate number of nodes.
+    pub target_nodes: usize,
+}
+
+impl PsdConfig {
+    /// Convenience constructor.
+    pub fn new(seed: u64, target_nodes: usize) -> Self {
+        PsdConfig { seed, target_nodes }
+    }
+}
+
+/// Nodes-per-megabyte calibration for PSD: 683 MB ≈ 37 M nodes.
+pub const NODES_PER_MB: usize = 54_173;
+
+/// Generates a PSD-like document of roughly `config.target_nodes` nodes.
+pub fn psd_tree(dict: &mut LabelDict, config: &PsdConfig) -> Tree {
+    let words = WordSampler::new(2500, "p", 1.0);
+    let authors = WordSampler::new(900, "Auth_", 0.9);
+    let mut g = GenCtx::new(dict, config.seed);
+    let budget = config.target_nodes.max(60);
+
+    g.start("ProteinDatabase");
+    let mut id = 0usize;
+    while g.produced() < budget {
+        protein_entry(&mut g, &words, &authors, id);
+        id += 1;
+    }
+    g.end();
+    g.finish().expect("generator produces a single balanced tree")
+}
+
+fn protein_entry(g: &mut GenCtx<'_>, words: &WordSampler, authors: &WordSampler, id: usize) {
+    g.start("ProteinEntry");
+    g.attr("id", &format!("PSD{:07}", id));
+
+    g.start("header");
+    g.field("uid", &format!("{:07}", id));
+    let n_acc = g.rng.gen_range(1..=2);
+    for a in 0..n_acc {
+        g.field("accession", &format!("A{:05}{}", id % 99999, a));
+    }
+    g.end();
+
+    g.start("protein");
+    let name = words.sentence(&mut g.rng, 2, 5);
+    g.field("name", &name);
+    if g.rng.gen_bool(0.6) {
+        g.start("classification");
+        let sf = words.sentence(&mut g.rng, 1, 3);
+        g.field("superfamily", &sf);
+        g.end();
+    }
+    g.end();
+
+    g.start("organism");
+    let src = words.sentence(&mut g.rng, 1, 2);
+    g.field("source", &src);
+    if g.rng.gen_bool(0.5) {
+        let common = words.word(&mut g.rng);
+        g.field("common", &common);
+    }
+    g.field("formal", "Homo sapiens");
+    g.end();
+
+    let n_refs = g.rng.gen_range(1..=3);
+    for r in 0..n_refs {
+        g.start("reference");
+        g.start("refinfo");
+        g.attr("refid", &format!("{id}.{r}"));
+        g.start("authors");
+        let n_auth = g.rng.gen_range(1..=5);
+        for _ in 0..n_auth {
+            let a = authors.word(&mut g.rng);
+            g.field("author", &a);
+        }
+        g.end();
+        let cit = words.sentence(&mut g.rng, 3, 7);
+        g.field("citation", &cit);
+        let v = format!("{}", g.rng.gen_range(1..300));
+        g.field("volume", &v);
+        let v = format!("{}", g.rng.gen_range(1975..2003));
+        g.field("year", &v);
+        g.end();
+        g.start("accinfo");
+        g.field("accession", &format!("B{:05}{}", (id + r) % 99999, r));
+        g.field("mol-type", "complete");
+        g.end();
+        g.end();
+    }
+
+    if g.rng.gen_bool(0.5) {
+        g.start("genetics");
+        let gene = words.word(&mut g.rng);
+        g.field("gene", &gene);
+        g.end();
+    }
+
+    if g.rng.gen_bool(0.7) {
+        g.start("keywords");
+        let n_kw = g.rng.gen_range(1..=4);
+        for _ in 0..n_kw {
+            let kw = words.word(&mut g.rng);
+            g.field("keyword", &kw);
+        }
+        g.end();
+    }
+
+    let n_feat = g.rng.gen_range(0..=3);
+    for f in 0..n_feat {
+        g.start("feature");
+        g.field("seq-spec", &format!("{}-{}", f * 10 + 1, f * 10 + 9));
+        g.field("status", "predicted");
+        if g.rng.gen_bool(0.4) {
+            let d = words.sentence(&mut g.rng, 2, 4);
+            g.field("description", &d);
+        }
+        g.end();
+    }
+
+    g.start("summary");
+    let v = format!("{}", g.rng.gen_range(80..900));
+    g.field("length", &v);
+    g.field("type", "complete");
+    g.end();
+
+    let seq = words.sentence(&mut g.rng, 1, 2);
+    g.field("sequence", &seq);
+
+    g.end();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasm_tree::stats::TreeStats;
+
+    #[test]
+    fn hits_target_node_count() {
+        let mut dict = LabelDict::new();
+        let t = psd_tree(&mut dict, &PsdConfig::new(1, 30_000));
+        let n = t.len();
+        assert!((30_000..30_300).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn height_matches_psd() {
+        // Paper: PSD height is 7.
+        let mut dict = LabelDict::new();
+        let t = psd_tree(&mut dict, &PsdConfig::new(2, 20_000));
+        assert!((5..=8).contains(&t.height()), "height {}", t.height());
+    }
+
+    #[test]
+    fn entries_are_larger_than_dblp_records() {
+        let mut dict = LabelDict::new();
+        let t = psd_tree(&mut dict, &PsdConfig::new(3, 20_000));
+        let entry = dict.get("ProteinEntry").unwrap();
+        let sizes: Vec<u32> = t
+            .nodes()
+            .filter(|&i| t.label(i) == entry)
+            .map(|i| t.size(i))
+            .collect();
+        let avg = sizes.iter().sum::<u32>() as f64 / sizes.len() as f64;
+        assert!((40.0..120.0).contains(&avg), "avg entry size {avg}");
+    }
+
+    #[test]
+    fn shape_summary() {
+        let mut dict = LabelDict::new();
+        let t = psd_tree(&mut dict, &PsdConfig::new(4, 10_000));
+        let s = TreeStats::of(&t);
+        assert!(s.leaves * 5 >= s.nodes * 2);
+        assert!(s.max_fanout >= 50, "root should have many entries");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut d1 = LabelDict::new();
+        let mut d2 = LabelDict::new();
+        assert_eq!(
+            psd_tree(&mut d1, &PsdConfig::new(5, 3_000)),
+            psd_tree(&mut d2, &PsdConfig::new(5, 3_000))
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Random trees and query extraction.
+//!
+//! The paper's queries are "randomly chosen subtrees from one of the XMark
+//! documents with sizes varying from 4 to 64 nodes" (Sec. VII-A);
+//! [`random_query`] reproduces that. [`random_tree`] generates unstructured
+//! random trees for property tests and stress tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tasm_tree::{LabelDict, LabelId, NodeId, Tree, TreeBuilder};
+
+/// Shape parameters for [`random_tree`].
+#[derive(Debug, Clone)]
+pub struct RandomTreeConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Exact number of nodes.
+    pub nodes: usize,
+    /// Number of distinct labels (`label0..labelN`).
+    pub labels: u32,
+    /// Depth bias in `0.0..=1.0`: 0 attaches to a uniformly random earlier
+    /// node (bushy, logarithmic depth); values toward 1 prefer recently
+    /// added nodes (deep, path-like).
+    pub depth_bias: f64,
+}
+
+impl Default for RandomTreeConfig {
+    fn default() -> Self {
+        RandomTreeConfig { seed: 0, nodes: 100, labels: 8, depth_bias: 0.0 }
+    }
+}
+
+/// Generates a random ordered labeled tree with exactly `config.nodes`
+/// nodes, interning labels into `dict`.
+pub fn random_tree(dict: &mut LabelDict, config: &RandomTreeConfig) -> Tree {
+    let n = config.nodes.max(1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let label_ids: Vec<LabelId> = (0..config.labels.max(1))
+        .map(|i| dict.intern(&format!("label{i}")))
+        .collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut labels: Vec<LabelId> = Vec::with_capacity(n);
+    labels.push(label_ids[rng.gen_range(0..label_ids.len())]);
+    for i in 1..n {
+        let parent = if rng.gen_bool(config.depth_bias.clamp(0.0, 1.0)) {
+            i - 1 // chain onto the most recent node
+        } else {
+            rng.gen_range(0..i)
+        };
+        children[parent].push(i);
+        labels.push(label_ids[rng.gen_range(0..label_ids.len())]);
+    }
+    let mut builder = TreeBuilder::with_capacity(n);
+    // Iterative DFS to avoid recursion limits on deep trees.
+    enum Op {
+        Enter(usize),
+        Exit,
+    }
+    let mut stack = vec![Op::Enter(0)];
+    while let Some(op) = stack.pop() {
+        match op {
+            Op::Enter(node) => {
+                builder.start(labels[node]);
+                stack.push(Op::Exit);
+                for &c in children[node].iter().rev() {
+                    stack.push(Op::Enter(c));
+                }
+            }
+            Op::Exit => builder.end().expect("balanced"),
+        }
+    }
+    builder.finish().expect("single root")
+}
+
+/// Extracts a random subtree of `doc` with size as close as possible to
+/// `target_size` — the paper's query workload. Returns the extracted query
+/// and the postorder number of its root in `doc`.
+pub fn random_query(doc: &Tree, target_size: u32, seed: u64) -> (Tree, NodeId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Find the best achievable size, then choose uniformly among nodes of
+    // that size.
+    let mut best_diff = u32::MAX;
+    for id in doc.nodes() {
+        let diff = doc.size(id).abs_diff(target_size);
+        if diff < best_diff {
+            best_diff = diff;
+        }
+    }
+    let candidates: Vec<NodeId> = doc
+        .nodes()
+        .filter(|&id| doc.size(id).abs_diff(target_size) == best_diff)
+        .collect();
+    let root = candidates[rng.gen_range(0..candidates.len())];
+    (doc.subtree(root), root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_node_count() {
+        let mut dict = LabelDict::new();
+        for n in [1usize, 2, 17, 500] {
+            let t = random_tree(&mut dict, &RandomTreeConfig { nodes: n, ..Default::default() });
+            assert_eq!(t.len(), n);
+        }
+    }
+
+    #[test]
+    fn depth_bias_controls_shape() {
+        let mut dict = LabelDict::new();
+        let bushy = random_tree(
+            &mut dict,
+            &RandomTreeConfig { seed: 1, nodes: 400, depth_bias: 0.0, ..Default::default() },
+        );
+        let deep = random_tree(
+            &mut dict,
+            &RandomTreeConfig { seed: 1, nodes: 400, depth_bias: 0.95, ..Default::default() },
+        );
+        assert!(
+            deep.height() > bushy.height() * 3,
+            "deep {} vs bushy {}",
+            deep.height(),
+            bushy.height()
+        );
+    }
+
+    #[test]
+    fn deep_trees_do_not_overflow_the_stack() {
+        let mut dict = LabelDict::new();
+        let t = random_tree(
+            &mut dict,
+            &RandomTreeConfig { seed: 2, nodes: 200_000, depth_bias: 1.0, ..Default::default() },
+        );
+        assert_eq!(t.height(), 199_999); // a pure path
+    }
+
+    #[test]
+    fn random_query_prefers_exact_size() {
+        let mut dict = LabelDict::new();
+        let doc = random_tree(&mut dict, &RandomTreeConfig { seed: 3, nodes: 500, ..Default::default() });
+        for target in [4u32, 8, 16] {
+            let (q, root) = random_query(&doc, target, 1);
+            assert_eq!(q.len() as u32, doc.size(root));
+            // Exact size exists in a 500-node random tree for small targets.
+            assert_eq!(q.len() as u32, target, "target {target}");
+        }
+    }
+
+    #[test]
+    fn random_query_is_a_real_subtree() {
+        let mut dict = LabelDict::new();
+        let doc = random_tree(&mut dict, &RandomTreeConfig { seed: 4, nodes: 300, ..Default::default() });
+        let (q, root) = random_query(&doc, 10, 7);
+        assert_eq!(q, doc.subtree(root));
+    }
+
+    #[test]
+    fn random_query_caps_at_document() {
+        let mut dict = LabelDict::new();
+        let doc = random_tree(&mut dict, &RandomTreeConfig { seed: 5, nodes: 20, ..Default::default() });
+        let (q, root) = random_query(&doc, 10_000, 1);
+        assert_eq!(root, doc.root());
+        assert_eq!(q.len(), 20);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut d1 = LabelDict::new();
+        let mut d2 = LabelDict::new();
+        let cfg = RandomTreeConfig { seed: 11, nodes: 64, ..Default::default() };
+        assert_eq!(random_tree(&mut d1, &cfg), random_tree(&mut d2, &cfg));
+    }
+}

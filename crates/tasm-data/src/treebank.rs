@@ -1,0 +1,155 @@
+//! A Treebank-like generator: deep, recursive parse trees.
+//!
+//! The paper's datasets are shallow and wide ("XML documents tend to be
+//! shallow and wide [19]"), which is the regime where Zhang–Shasha is
+//! near-linear. Linguistic corpora such as the Penn Treebank are the
+//! opposite — heights in the dozens — and are the classic stress case for
+//! tree edit distance implementations. This generator produces
+//! sentence-like documents from a small probabilistic grammar so the test
+//! suite and the benches can cover the deep-tree regime too.
+
+use crate::gen::GenCtx;
+use crate::words::WordSampler;
+use rand::Rng;
+use tasm_tree::{LabelDict, Tree};
+
+/// Configuration for the Treebank-like generator.
+#[derive(Debug, Clone)]
+pub struct TreebankConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Approximate number of nodes.
+    pub target_nodes: usize,
+    /// Maximum recursion depth per sentence (real Treebank ~36).
+    pub max_depth: u32,
+}
+
+impl TreebankConfig {
+    /// Convenience constructor with the Treebank-like default depth.
+    pub fn new(seed: u64, target_nodes: usize) -> Self {
+        TreebankConfig { seed, target_nodes, max_depth: 30 }
+    }
+}
+
+/// Generates a Treebank-like document of roughly `config.target_nodes`
+/// nodes: a `corpus` root of `S` sentences with recursive NP/VP/PP/SBAR
+/// structure and word leaves.
+pub fn treebank_tree(dict: &mut LabelDict, config: &TreebankConfig) -> Tree {
+    let words = WordSampler::new(3000, "tok", 1.1);
+    let mut g = GenCtx::new(dict, config.seed);
+    let budget = config.target_nodes.max(30);
+    g.start("corpus");
+    while g.produced() < budget {
+        sentence(&mut g, &words, config.max_depth);
+    }
+    g.end();
+    g.finish().expect("generator produces a single balanced tree")
+}
+
+fn sentence(g: &mut GenCtx<'_>, words: &WordSampler, max_depth: u32) {
+    g.start("S");
+    np(g, words, max_depth.saturating_sub(1));
+    vp(g, words, max_depth.saturating_sub(1));
+    g.end();
+}
+
+fn np(g: &mut GenCtx<'_>, words: &WordSampler, depth: u32) {
+    g.start("NP");
+    if depth > 0 && g.rng.gen_bool(0.3) {
+        // Recursive NP with a PP or SBAR modifier.
+        np(g, words, depth - 1);
+        if g.rng.gen_bool(0.5) {
+            pp(g, words, depth - 1);
+        } else {
+            g.start("SBAR");
+            sentence_body(g, words, depth - 1);
+            g.end();
+        }
+    } else {
+        if g.rng.gen_bool(0.6) {
+            let w = words.word(&mut g.rng);
+            g.field("DT", &w);
+        }
+        let w = words.word(&mut g.rng);
+        g.field("NN", &w);
+    }
+    g.end();
+}
+
+fn vp(g: &mut GenCtx<'_>, words: &WordSampler, depth: u32) {
+    g.start("VP");
+    let w = words.word(&mut g.rng);
+    g.field("VB", &w);
+    if depth > 0 && g.rng.gen_bool(0.55) {
+        np(g, words, depth - 1);
+    }
+    if depth > 0 && g.rng.gen_bool(0.25) {
+        pp(g, words, depth - 1);
+    }
+    g.end();
+}
+
+fn pp(g: &mut GenCtx<'_>, words: &WordSampler, depth: u32) {
+    g.start("PP");
+    let w = words.word(&mut g.rng);
+    g.field("IN", &w);
+    np(g, words, depth.saturating_sub(1));
+    g.end();
+}
+
+fn sentence_body(g: &mut GenCtx<'_>, words: &WordSampler, depth: u32) {
+    np(g, words, depth);
+    vp(g, words, depth);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasm_tree::stats::TreeStats;
+
+    #[test]
+    fn hits_target_node_count_roughly() {
+        let mut dict = LabelDict::new();
+        let t = treebank_tree(&mut dict, &TreebankConfig::new(1, 20_000));
+        let n = t.len();
+        assert!((20_000..20_400).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn trees_are_deep() {
+        let mut dict = LabelDict::new();
+        let t = treebank_tree(&mut dict, &TreebankConfig::new(2, 50_000));
+        assert!(t.height() >= 15, "treebank-like height, got {}", t.height());
+    }
+
+    #[test]
+    fn depth_is_capped() {
+        let mut dict = LabelDict::new();
+        let cfg = TreebankConfig { seed: 3, target_nodes: 50_000, max_depth: 8 };
+        let t = treebank_tree(&mut dict, &cfg);
+        // Each grammar level adds a handful of tree levels; 8 grammar
+        // levels stay well below 50.
+        assert!(t.height() < 50, "got {}", t.height());
+    }
+
+    #[test]
+    fn shape_contrasts_with_dblp() {
+        let mut dict = LabelDict::new();
+        let tb = treebank_tree(&mut dict, &TreebankConfig::new(4, 20_000));
+        let db = crate::dblp::dblp_tree(&mut dict, &crate::dblp::DblpConfig::new(4, 20_000));
+        let s_tb = TreeStats::of(&tb);
+        let s_db = TreeStats::of(&db);
+        assert!(s_tb.height > 3 * s_db.height, "{} vs {}", s_tb.height, s_db.height);
+        assert!(s_tb.max_fanout < s_db.max_fanout);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut d1 = LabelDict::new();
+        let mut d2 = LabelDict::new();
+        assert_eq!(
+            treebank_tree(&mut d1, &TreebankConfig::new(9, 5_000)),
+            treebank_tree(&mut d2, &TreebankConfig::new(9, 5_000))
+        );
+    }
+}

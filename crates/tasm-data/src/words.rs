@@ -1,0 +1,146 @@
+//! Text-content sampling: a deterministic vocabulary with Zipf-distributed
+//! word frequencies, approximating the "realistic text" of the XMark
+//! benchmark and the title/author strings of bibliographic corpora.
+
+use rand::Rng;
+
+/// A Zipf sampler over ranks `0..n` with exponent `s`:
+/// `P(rank i) ∝ 1 / (i + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative distribution, `cdf[i]` = P(rank <= i), last entry 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n >= 1` ranks with exponent `s` (s = 0 is
+    /// uniform; larger s is more skewed; classic Zipf uses s ≈ 1).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "need at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A deterministic word vocabulary with Zipf-distributed sampling.
+#[derive(Debug, Clone)]
+pub struct WordSampler {
+    zipf: Zipf,
+    prefix: &'static str,
+}
+
+impl WordSampler {
+    /// A vocabulary of `n` words named `<prefix><rank>`.
+    pub fn new(n: usize, prefix: &'static str, s: f64) -> Self {
+        WordSampler { zipf: Zipf::new(n, s), prefix }
+    }
+
+    /// Draws one word.
+    pub fn word<R: Rng>(&self, rng: &mut R) -> String {
+        format!("{}{}", self.prefix, self.zipf.sample(rng))
+    }
+
+    /// Draws a sentence of `min..=max` words.
+    pub fn sentence<R: Rng>(&self, rng: &mut R, min: usize, max: usize) -> String {
+        let n = rng.gen_range(min..=max);
+        let mut out = String::new();
+        for i in 0..n {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&self.word(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate rank 50 by a wide margin.
+        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        // All samples in range (implicitly, via indexing) and rank 0 common.
+        assert!(counts[0] > 2000);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform-ish expected: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let w = WordSampler::new(50, "w", 1.0);
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| w.word(&mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| w.word(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sentence_length_bounds() {
+        let w = WordSampler::new(50, "w", 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let s = w.sentence(&mut rng, 2, 5);
+            let words = s.split(' ').count();
+            assert!((2..=5).contains(&words));
+        }
+    }
+}

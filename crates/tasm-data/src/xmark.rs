@@ -1,0 +1,360 @@
+//! An XMark-like synthetic document generator (substitute for the XMark
+//! benchmark data [25] used in Sec. VII-A).
+//!
+//! Reproduces the *shape* properties the experiments depend on: the
+//! auction-site schema (regions/items, people, open and closed auctions,
+//! categories), a fixed height of 13 that does not grow with document
+//! size, a linear relation between "document size" and node count, and
+//! record subtrees of a few dozen nodes with recursive `parlist`
+//! descriptions providing the depth. Text content is Zipf-distributed.
+//!
+//! Documents are parameterized by **node count**; the paper's 112 MB
+//! XMark document has ≈3.4 M nodes (≈30 K nodes per MB), which
+//! [`nodes_for_mb`] encodes so experiments can use the paper's x-axes.
+
+use crate::gen::GenCtx;
+use crate::words::WordSampler;
+use rand::Rng;
+use tasm_tree::{LabelDict, Tree};
+
+/// Configuration for the XMark-like generator.
+#[derive(Debug, Clone)]
+pub struct XMarkConfig {
+    /// RNG seed; same seed + target = identical document.
+    pub seed: u64,
+    /// Approximate number of nodes to generate (within one record).
+    pub target_nodes: usize,
+}
+
+impl XMarkConfig {
+    /// Convenience constructor.
+    pub fn new(seed: u64, target_nodes: usize) -> Self {
+        XMarkConfig { seed, target_nodes }
+    }
+}
+
+/// Nodes-per-megabyte calibration: the paper's XMark documents have a
+/// linear size↔nodes relation (Sec. VII-A); 112 MB ≈ 3.4 M nodes.
+pub const NODES_PER_MB: usize = 30_357;
+
+/// Approximate node count of an XMark document of `mb` megabytes.
+pub fn nodes_for_mb(mb: usize) -> usize {
+    mb * NODES_PER_MB
+}
+
+const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+/// Generates an XMark-like document of roughly `config.target_nodes` nodes.
+pub fn xmark_tree(dict: &mut LabelDict, config: &XMarkConfig) -> Tree {
+    let words = WordSampler::new(1000, "w", 1.0);
+    let mut g = GenCtx::new(dict, config.seed);
+    let budget = config.target_nodes.max(60);
+
+    g.start("site");
+
+    // Budget shares per container, mirroring XMark's rough proportions.
+    let items_budget = budget * 45 / 100;
+    let people_budget = budget * 20 / 100;
+    let open_budget = budget * 15 / 100;
+    let closed_budget = budget * 10 / 100;
+    // Remainder: categories.
+
+    let mut item_id = 0usize;
+    g.start("regions");
+    for (ri, region) in REGIONS.iter().enumerate() {
+        g.start(region);
+        let region_budget = g.produced() + (items_budget / REGIONS.len()).max(40);
+        while g.produced() < region_budget {
+            item(&mut g, &words, item_id, ri);
+            item_id += 1;
+        }
+        g.end();
+    }
+    g.end();
+
+    let stop = g.produced() + people_budget;
+    g.start("people");
+    let mut pid = 0usize;
+    while g.produced() < stop {
+        person(&mut g, &words, pid);
+        pid += 1;
+    }
+    g.end();
+
+    let stop = g.produced() + open_budget;
+    g.start("open_auctions");
+    let mut aid = 0usize;
+    while g.produced() < stop {
+        open_auction(&mut g, &words, aid, pid.max(1), item_id.max(1));
+        aid += 1;
+    }
+    g.end();
+
+    let stop = g.produced() + closed_budget;
+    g.start("closed_auctions");
+    let mut cid = 0usize;
+    while g.produced() < stop {
+        closed_auction(&mut g, &words, cid, pid.max(1), item_id.max(1));
+        cid += 1;
+    }
+    g.end();
+
+    g.start("categories");
+    let mut cat = 0usize;
+    while g.produced() < budget {
+        category(&mut g, &words, cat);
+        cat += 1;
+    }
+    g.end();
+
+    g.end(); // site
+    g.finish().expect("generator produces a single balanced tree")
+}
+
+/// `description` with a recursive parlist: provides XMark's fixed depth.
+/// `levels` parlist levels remain (2 at items, giving the height-13 paths:
+/// site/regions/region/item/description/parlist/listitem/parlist/listitem/
+/// text ≈ 9 + mailbox/mail adds more).
+fn description(g: &mut GenCtx<'_>, words: &WordSampler, levels: u32) {
+    g.start("description");
+    parlist(g, words, levels);
+    g.end();
+}
+
+fn parlist(g: &mut GenCtx<'_>, words: &WordSampler, levels: u32) {
+    g.start("parlist");
+    let items = g.rng.gen_range(1..=2);
+    for _ in 0..items {
+        g.start("listitem");
+        if levels > 0 && g.rng.gen_bool(0.4) {
+            parlist(g, words, levels - 1);
+        } else {
+            let s = words.sentence(&mut g.rng, 2, 6);
+            g.field("text", &s);
+        }
+        g.end();
+    }
+    g.end();
+}
+
+fn item(g: &mut GenCtx<'_>, words: &WordSampler, id: usize, region: usize) {
+    g.start("item");
+    g.attr("id", &format!("item{id}"));
+    g.field("location", &format!("country{}", region));
+    let v = format!("{}", g.rng.gen_range(1..5));
+    g.field("quantity", &v);
+    let name = words.sentence(&mut g.rng, 1, 3);
+    g.field("name", &name);
+    g.start("payment");
+    g.text("Creditcard");
+    g.end();
+    description(g, words, 2);
+    g.leaf("shipping");
+    let ncat = g.rng.gen_range(1..=2);
+    for c in 0..ncat {
+        g.start("incategory");
+        g.attr("category", &format!("category{}", (id + c) % 97));
+        g.end();
+    }
+    if g.rng.gen_bool(0.3) {
+        g.start("mailbox");
+        let mails = g.rng.gen_range(1..=2);
+        for m in 0..mails {
+            g.start("mail");
+            g.field("from", &format!("person{}", (id + m) % 311));
+            g.field("to", &format!("person{}", (id + m + 1) % 311));
+            g.field("date", &format!("{:02}/{:02}/2000", 1 + m % 12, 1 + id % 28));
+            description(g, words, 1);
+            g.end();
+        }
+        g.end();
+    }
+    g.end();
+}
+
+fn person(g: &mut GenCtx<'_>, words: &WordSampler, id: usize) {
+    g.start("person");
+    g.attr("id", &format!("person{id}"));
+    let name = words.sentence(&mut g.rng, 2, 2);
+    g.field("name", &name);
+    g.field("emailaddress", &format!("mailto:{}@example.org", id));
+    if g.rng.gen_bool(0.5) {
+        g.field("phone", &format!("+1 ({}) {}", id % 999, id % 99999));
+    }
+    if g.rng.gen_bool(0.6) {
+        g.start("address");
+        let v = words.sentence(&mut g.rng, 2, 3);
+        g.field("street", &v);
+        let v = words.word(&mut g.rng);
+        g.field("city", &v);
+        g.field("country", "United States");
+        g.field("zipcode", &format!("{}", 10000 + id % 89999));
+        g.end();
+    }
+    if g.rng.gen_bool(0.7) {
+        g.start("profile");
+        g.attr("income", &format!("{}", 20000 + (id * 37) % 80000));
+        let ints = g.rng.gen_range(0..=3);
+        for c in 0..ints {
+            g.start("interest");
+            g.attr("category", &format!("category{}", (id + c) % 97));
+            g.end();
+        }
+        g.field("education", "Graduate School");
+        g.field("business", if id.is_multiple_of(2) { "Yes" } else { "No" });
+        g.end();
+    }
+    if g.rng.gen_bool(0.4) {
+        g.start("watches");
+        let n = g.rng.gen_range(1..=3);
+        for w in 0..n {
+            g.start("watch");
+            g.attr("open_auction", &format!("open_auction{}", (id + w) % 131));
+            g.end();
+        }
+        g.end();
+    }
+    g.end();
+}
+
+fn open_auction(
+    g: &mut GenCtx<'_>,
+    words: &WordSampler,
+    id: usize,
+    n_people: usize,
+    n_items: usize,
+) {
+    g.start("open_auction");
+    g.attr("id", &format!("open_auction{id}"));
+    let v = format!("{}.{:02}", g.rng.gen_range(1..300), id % 100);
+    g.field("initial", &v);
+    let bidders = g.rng.gen_range(0..=3);
+    for b in 0..bidders {
+        g.start("bidder");
+        g.field("date", &format!("{:02}/{:02}/2000", 1 + b % 12, 1 + id % 28));
+        g.field("time", &format!("{:02}:{:02}:00", b % 24, id % 60));
+        g.start("personref");
+        g.attr("person", &format!("person{}", (id + b) % n_people));
+        g.end();
+        g.field("increase", &format!("{}.00", 1 + b * 3));
+        g.end();
+    }
+    let v = format!("{}.00", g.rng.gen_range(1..500));
+    g.field("current", &v);
+    g.start("itemref");
+    g.attr("item", &format!("item{}", id % n_items));
+    g.end();
+    g.start("seller");
+    g.attr("person", &format!("person{}", (id * 7) % n_people));
+    g.end();
+    g.start("annotation");
+    g.start("author");
+    g.attr("person", &format!("person{}", (id * 3) % n_people));
+    g.end();
+    description(g, words, 1);
+    g.field("happiness", &format!("{}", 1 + id % 10));
+    g.end();
+    g.field("quantity", "1");
+    g.field("type", "Regular");
+    g.start("interval");
+    g.field("start", "01/01/2000");
+    g.field("end", "12/31/2000");
+    g.end();
+    g.end();
+}
+
+fn closed_auction(
+    g: &mut GenCtx<'_>,
+    words: &WordSampler,
+    id: usize,
+    n_people: usize,
+    n_items: usize,
+) {
+    g.start("closed_auction");
+    g.start("seller");
+    g.attr("person", &format!("person{}", id % n_people));
+    g.end();
+    g.start("buyer");
+    g.attr("person", &format!("person{}", (id + 1) % n_people));
+    g.end();
+    g.start("itemref");
+    g.attr("item", &format!("item{}", id % n_items));
+    g.end();
+    let v = format!("{}.00", g.rng.gen_range(1..500));
+    g.field("price", &v);
+    g.field("date", &format!("{:02}/{:02}/2000", 1 + id % 12, 1 + id % 28));
+    g.field("quantity", "1");
+    g.field("type", "Regular");
+    g.start("annotation");
+    g.start("author");
+    g.attr("person", &format!("person{}", (id * 5) % n_people));
+    g.end();
+    description(g, words, 1);
+    g.end();
+    g.end();
+}
+
+fn category(g: &mut GenCtx<'_>, words: &WordSampler, id: usize) {
+    g.start("category");
+    g.attr("id", &format!("category{id}"));
+    let name = words.word(&mut g.rng);
+    g.field("name", &name);
+    description(g, words, 1);
+    g.end();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasm_tree::stats::TreeStats;
+
+    #[test]
+    fn hits_target_node_count_roughly() {
+        let mut dict = LabelDict::new();
+        for target in [1000usize, 10_000, 50_000] {
+            let t = xmark_tree(&mut dict, &XMarkConfig::new(1, target));
+            let n = t.len();
+            assert!(
+                n >= target && n <= target + target / 4 + 600,
+                "target {target}, got {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn height_is_stable_across_sizes() {
+        // The paper: XMark height is 13 for all document sizes.
+        let mut dict = LabelDict::new();
+        let h1 = xmark_tree(&mut dict, &XMarkConfig::new(1, 2_000)).height();
+        let h2 = xmark_tree(&mut dict, &XMarkConfig::new(1, 40_000)).height();
+        assert_eq!(h1, h2, "height must not grow with size");
+        assert!((9..=14).contains(&h1), "height {h1} out of XMark-like range");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut d1 = LabelDict::new();
+        let mut d2 = LabelDict::new();
+        let a = xmark_tree(&mut d1, &XMarkConfig::new(7, 5_000));
+        let b = xmark_tree(&mut d2, &XMarkConfig::new(7, 5_000));
+        assert_eq!(a, b);
+        let c = xmark_tree(&mut d2, &XMarkConfig::new(8, 5_000));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shape_is_document_like() {
+        let mut dict = LabelDict::new();
+        let t = xmark_tree(&mut dict, &XMarkConfig::new(3, 20_000));
+        let s = TreeStats::of(&t);
+        assert!(s.leaves * 3 >= s.nodes, "document trees are leaf-heavy");
+        assert!(s.max_fanout > 20, "containers have many records");
+        assert!(s.distinct_labels > 100, "text content diversity");
+    }
+
+    #[test]
+    fn nodes_for_mb_is_linear() {
+        assert_eq!(nodes_for_mb(112) / 1000, 3_399);
+        assert_eq!(nodes_for_mb(224), 2 * nodes_for_mb(112));
+    }
+}

@@ -1,0 +1,353 @@
+//! Edit mapping extraction (Def. 3): not just the distance, but the
+//! node alignments and edit operations that realize it.
+//!
+//! A downstream user of TASM usually wants to *explain* a match — which
+//! fields were renamed, which were missing. This module backtraces the
+//! forest-distance recursion to produce an optimal edit mapping
+//! `M ⊆ V_ε(Q) × V_ε(T)` and its operation list. It reuses the memoized
+//! interval recursion of [`crate::oracle`] (quadratic tables per forest
+//! pair), which is exactly right for the paper's use case: the trees being
+//! explained are a query and a matched subtree, both bounded by τ — never
+//! a whole document.
+
+use std::collections::HashMap;
+
+use crate::cost::{rename_cost, Cost, CostModel, NodeCosts};
+use tasm_tree::{NodeId, Tree};
+
+/// One edit operation of the script transforming `Q` into `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOp {
+    /// Delete a query node (aligned with ε).
+    Delete {
+        /// The deleted query node.
+        q: NodeId,
+    },
+    /// Insert a document node (ε aligned with it).
+    Insert {
+        /// The inserted document node.
+        t: NodeId,
+    },
+    /// Align two nodes with different labels (a rename).
+    Rename {
+        /// Query node.
+        q: NodeId,
+        /// Document node it is renamed into.
+        t: NodeId,
+    },
+    /// Align two nodes with equal labels (no change, zero cost).
+    Keep {
+        /// Query node.
+        q: NodeId,
+        /// Document node it maps to.
+        t: NodeId,
+    },
+}
+
+/// An optimal edit script between two trees.
+#[derive(Debug, Clone)]
+pub struct EditScript {
+    /// Operations, one per node of either tree (every node is mapped,
+    /// Def. 3 condition 1).
+    pub ops: Vec<EditOp>,
+    /// Total cost — always equals the tree edit distance.
+    pub cost: Cost,
+}
+
+impl EditScript {
+    /// The node alignments (`Keep`/`Rename` pairs) of the mapping.
+    pub fn alignments(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.ops.iter().filter_map(|op| match *op {
+            EditOp::Rename { q, t } | EditOp::Keep { q, t } => Some((q, t)),
+            _ => None,
+        })
+    }
+
+    /// Counts of (keeps, renames, deletes, inserts).
+    pub fn op_counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for op in &self.ops {
+            match op {
+                EditOp::Keep { .. } => c.0 += 1,
+                EditOp::Rename { .. } => c.1 += 1,
+                EditOp::Delete { .. } => c.2 += 1,
+                EditOp::Insert { .. } => c.3 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// An inclusive postorder interval; `lo > hi` encodes the empty forest.
+type Interval = (u32, u32);
+
+struct Backtracer<'a> {
+    q: &'a Tree,
+    t: &'a Tree,
+    cq: NodeCosts,
+    ct: NodeCosts,
+    memo: HashMap<(Interval, Interval), Cost>,
+}
+
+impl Backtracer<'_> {
+    fn forest_cost_q(&self, (lo, hi): Interval) -> Cost {
+        (lo..=hi).fold(Cost::ZERO, |acc, i| acc + self.cq.del_ins(i))
+    }
+
+    fn forest_cost_t(&self, (lo, hi): Interval) -> Cost {
+        (lo..=hi).fold(Cost::ZERO, |acc, j| acc + self.ct.del_ins(j))
+    }
+
+    fn ren(&self, i: u32, j: u32) -> Cost {
+        rename_cost(
+            self.q.label(NodeId::new(i)),
+            self.cq.natural(i),
+            self.t.label(NodeId::new(j)),
+            self.ct.natural(j),
+        )
+    }
+
+    /// The memoized forest distance (same recursion as the oracle).
+    fn dist(&mut self, f: Interval, g: Interval) -> Cost {
+        let f_empty = f.0 > f.1;
+        let g_empty = g.0 > g.1;
+        if f_empty && g_empty {
+            return Cost::ZERO;
+        }
+        if f_empty {
+            return self.forest_cost_t(g);
+        }
+        if g_empty {
+            return self.forest_cost_q(f);
+        }
+        if let Some(&c) = self.memo.get(&(f, g)) {
+            return c;
+        }
+        let v = NodeId::new(f.1);
+        let w = NodeId::new(g.1);
+        let lv = self.q.lml(v).post();
+        let lw = self.t.lml(w).post();
+        let del = self.dist((f.0, f.1 - 1), g) + self.cq.del_ins(f.1);
+        let ins = self.dist(f, (g.0, g.1 - 1)) + self.ct.del_ins(g.1);
+        let mat = self.dist((lv, f.1 - 1), (lw, g.1 - 1))
+            + self.dist((f.0, lv - 1), (g.0, lw - 1))
+            + self.ren(f.1, g.1);
+        let best = del.min(ins).min(mat);
+        self.memo.insert((f, g), best);
+        best
+    }
+
+    /// Replays the optimal choices, emitting operations.
+    fn trace(&mut self, f: Interval, g: Interval, ops: &mut Vec<EditOp>) {
+        let f_empty = f.0 > f.1;
+        let g_empty = g.0 > g.1;
+        if f_empty && g_empty {
+            return;
+        }
+        if f_empty {
+            for j in g.0..=g.1 {
+                ops.push(EditOp::Insert { t: NodeId::new(j) });
+            }
+            return;
+        }
+        if g_empty {
+            for i in f.0..=f.1 {
+                ops.push(EditOp::Delete { q: NodeId::new(i) });
+            }
+            return;
+        }
+        let total = self.dist(f, g);
+        let v = NodeId::new(f.1);
+        let w = NodeId::new(g.1);
+        let lv = self.q.lml(v).post();
+        let lw = self.t.lml(w).post();
+
+        let del = self.dist((f.0, f.1 - 1), g) + self.cq.del_ins(f.1);
+        if del == total {
+            ops.push(EditOp::Delete { q: v });
+            self.trace((f.0, f.1 - 1), g, ops);
+            return;
+        }
+        let ins = self.dist(f, (g.0, g.1 - 1)) + self.ct.del_ins(g.1);
+        if ins == total {
+            ops.push(EditOp::Insert { t: w });
+            self.trace(f, (g.0, g.1 - 1), ops);
+            return;
+        }
+        // Match v with w.
+        if self.q.label(v) == self.t.label(w) {
+            ops.push(EditOp::Keep { q: v, t: w });
+        } else {
+            ops.push(EditOp::Rename { q: v, t: w });
+        }
+        self.trace((lv, f.1 - 1), (lw, g.1 - 1), ops);
+        self.trace((f.0, lv - 1), (g.0, lw - 1), ops);
+    }
+}
+
+/// Computes an optimal edit script from `query` to `doc` under `model`.
+///
+/// The script cost always equals [`crate::ted`] on the same inputs, and
+/// the alignments satisfy the mapping conditions of Def. 3 (one-to-one,
+/// ancestor, order).
+///
+/// # Examples
+///
+/// ```
+/// use tasm_tree::{bracket, LabelDict};
+/// use tasm_ted::{edit_script, ted, UnitCost};
+///
+/// let mut dict = LabelDict::new();
+/// let g = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
+/// let h = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict).unwrap();
+/// let script = edit_script(&g, &h, &UnitCost);
+/// assert_eq!(script.cost, ted(&g, &h, &UnitCost));
+/// let (keeps, renames, deletes, inserts) = script.op_counts();
+/// assert_eq!(keeps + renames, 3);             // every query node is aligned
+/// assert_eq!(deletes, 0);
+/// assert_eq!(inserts, 4);                      // |H| - |G| nodes appear
+/// ```
+pub fn edit_script(query: &Tree, doc: &Tree, model: &dyn CostModel) -> EditScript {
+    let mut bt = Backtracer {
+        q: query,
+        t: doc,
+        cq: NodeCosts::compute(query, model),
+        ct: NodeCosts::compute(doc, model),
+        memo: HashMap::new(),
+    };
+    let f = (1, query.len() as u32);
+    let g = (1, doc.len() as u32);
+    let cost = bt.dist(f, g);
+    let mut ops = Vec::with_capacity(query.len() + doc.len());
+    bt.trace(f, g, &mut ops);
+    EditScript { ops, cost }
+}
+
+/// Checks the Def. 3 mapping conditions for a script over `(query, doc)`;
+/// used by tests and available for debugging user cost models.
+pub fn validate_mapping(script: &EditScript, query: &Tree, doc: &Tree) -> Result<(), String> {
+    let pairs: Vec<(NodeId, NodeId)> = script.alignments().collect();
+    let mut q_seen = vec![false; query.len()];
+    let mut t_seen = vec![false; doc.len()];
+    for &(q, t) in &pairs {
+        if std::mem::replace(&mut q_seen[q.index()], true) {
+            return Err(format!("query node {q} aligned twice"));
+        }
+        if std::mem::replace(&mut t_seen[t.index()], true) {
+            return Err(format!("doc node {t} aligned twice"));
+        }
+    }
+    // Every node accounted for exactly once across ops.
+    let (keeps, renames, deletes, inserts) = script.op_counts();
+    if keeps + renames + deletes != query.len() {
+        return Err("not every query node is mapped".into());
+    }
+    if keeps + renames + inserts != doc.len() {
+        return Err("not every doc node is mapped".into());
+    }
+    // Ancestor and order conditions over all pairs of alignments.
+    for (a, &(q1, t1)) in pairs.iter().enumerate() {
+        for &(q2, t2) in &pairs[a + 1..] {
+            let anc_q = query.is_ancestor(q1, q2);
+            let anc_t = doc.is_ancestor(t1, t2);
+            if anc_q != anc_t {
+                return Err(format!("ancestor condition violated for ({q1},{t1}) ({q2},{t2})"));
+            }
+            let anc_q_rev = query.is_ancestor(q2, q1);
+            let anc_t_rev = doc.is_ancestor(t2, t1);
+            if anc_q_rev != anc_t_rev {
+                return Err(format!("ancestor condition violated for ({q2},{t2}) ({q1},{t1})"));
+            }
+            let left_q = query.is_left_of(q1, q2);
+            let left_t = doc.is_left_of(t1, t2);
+            if left_q != left_t {
+                return Err(format!("order condition violated for ({q1},{t1}) ({q2},{t2})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{PerLabelCost, UnitCost};
+    use crate::zhang_shasha::ted;
+    use tasm_tree::{bracket, LabelDict};
+
+    fn parse2(a: &str, b: &str) -> (Tree, Tree) {
+        let mut d = LabelDict::new();
+        (bracket::parse(a, &mut d).unwrap(), bracket::parse(b, &mut d).unwrap())
+    }
+
+    #[test]
+    fn script_cost_equals_ted_on_fixtures() {
+        let cases = [
+            ("{a}", "{a}"),
+            ("{a}", "{b}"),
+            ("{a{b}{c}}", "{x{a{b}{d}}{a{b}{c}}}"),
+            ("{a{b{c{d}}}}", "{a{b}{c}{d}}"),
+            ("{r{a}{b}{c}}", "{r{c}{b}{a}}"),
+            ("{a{a{a}}{a}}", "{a{a}{a{a}}}"),
+        ];
+        for (x, y) in cases {
+            let (q, t) = parse2(x, y);
+            let script = edit_script(&q, &t, &UnitCost);
+            assert_eq!(script.cost, ted(&q, &t, &UnitCost), "{x} vs {y}");
+            validate_mapping(&script, &q, &t).unwrap_or_else(|e| panic!("{x} vs {y}: {e}"));
+        }
+    }
+
+    #[test]
+    fn identical_trees_keep_everything() {
+        let (q, t) = parse2("{a{b}{c{d}}}", "{a{b}{c{d}}}");
+        let script = edit_script(&q, &t, &UnitCost);
+        let (keeps, renames, deletes, inserts) = script.op_counts();
+        assert_eq!((keeps, renames, deletes, inserts), (4, 0, 0, 0));
+        assert_eq!(script.cost, Cost::ZERO);
+    }
+
+    #[test]
+    fn single_rename_is_identified() {
+        let (q, t) = parse2("{a{b}{c}}", "{a{b}{z}}");
+        let script = edit_script(&q, &t, &UnitCost);
+        let renames: Vec<_> = script
+            .ops
+            .iter()
+            .filter(|o| matches!(o, EditOp::Rename { .. }))
+            .collect();
+        assert_eq!(renames.len(), 1);
+        // c (postorder 2 in q) renamed to z (postorder 2 in t).
+        assert_eq!(*renames[0], EditOp::Rename { q: NodeId::new(2), t: NodeId::new(2) });
+    }
+
+    #[test]
+    fn weighted_costs_change_the_script() {
+        let mut d = LabelDict::new();
+        let q = bracket::parse("{a{b}}", &mut d).unwrap();
+        let t = bracket::parse("{a{z}}", &mut d).unwrap();
+        let b = d.get("b").unwrap();
+        let z = d.get("z").unwrap();
+        // Rename b->z costs (9+9)/2 = 9; delete+insert costs 9+9 = 18.
+        let expensive = PerLabelCost::new(1).with(b, 9).with(z, 9);
+        let script = edit_script(&q, &t, &expensive);
+        assert_eq!(script.cost, ted(&q, &t, &expensive));
+        let (_, renames, deletes, inserts) = script.op_counts();
+        assert_eq!((renames, deletes, inserts), (1, 0, 0));
+    }
+
+    #[test]
+    fn paper_example_script() {
+        let (g, h) = parse2("{a{b}{c}}", "{x{a{b}{d}}{a{b}{c}}}");
+        let script = edit_script(&g, &h, &UnitCost);
+        assert_eq!(script.cost, Cost::from_natural(4));
+        validate_mapping(&script, &g, &h).unwrap();
+        // One optimal mapping keeps G aligned with H6's subtree (a,b,c all
+        // keep) and inserts the other four nodes.
+        let (keeps, renames, deletes, inserts) = script.op_counts();
+        assert_eq!(keeps + renames, 3);
+        assert_eq!(deletes, 0);
+        assert_eq!(inserts, 4);
+        assert_eq!(keeps, 3, "an all-keep alignment exists");
+    }
+}

@@ -1,0 +1,117 @@
+//! A dense row-major 2-D matrix used by the dynamic programs.
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Matrix<T> {
+    /// Creates a `rows × cols` matrix filled with `T::default()`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+}
+
+impl<T: Clone> Matrix<T> {
+    /// Creates a `rows × cols` matrix filled with `fill`.
+    pub fn filled(rows: usize, cols: usize, fill: T) -> Self {
+        Matrix { rows, cols, data: vec![fill; rows * cols] }
+    }
+}
+
+impl<T> Matrix<T> {
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> &T {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+
+    /// Writes `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A whole row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The underlying row-major storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> std::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        self.get(r, c)
+    }
+}
+
+impl<T> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let m: Matrix<u64> = Matrix::new(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert!(m.as_slice().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn set_get_and_index() {
+        let mut m: Matrix<u64> = Matrix::new(3, 3);
+        m.set(1, 2, 42);
+        m[(2, 0)] = 7;
+        assert_eq!(*m.get(1, 2), 42);
+        assert_eq!(m[(2, 0)], 7);
+        assert_eq!(m[(0, 0)], 0);
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let mut m: Matrix<u32> = Matrix::new(2, 4);
+        for c in 0..4 {
+            m.set(1, c, c as u32);
+        }
+        assert_eq!(m.row(1), &[0, 1, 2, 3]);
+        assert_eq!(m.row(0), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn filled() {
+        let m: Matrix<u8> = Matrix::filled(2, 2, 9);
+        assert!(m.as_slice().iter().all(|&v| v == 9));
+    }
+}

@@ -1,0 +1,155 @@
+//! A reference tree edit distance implementation used as a test oracle.
+//!
+//! Independent of the Zhang–Shasha module: a direct memoized recursion on
+//! *postorder-interval forests* following the classic forest decomposition
+//! (delete rightmost root / insert rightmost root / match rightmost trees —
+//! the same rules as Fig. 1 of the paper, evaluated top-down). It is
+//! asymptotically slower (`O(m²n²)` with hash-map memoization) but short
+//! enough to audit by eye, which is what an oracle is for.
+//!
+//! Every forest that arises is a contiguous postorder interval `[lo, hi]`
+//! of the original tree: removing the rightmost root keeps the interval
+//! contiguous (`[lo, hi-1]`), and removing the rightmost tree yields
+//! `[lo, lml(hi)-1]`.
+
+use std::collections::HashMap;
+
+use crate::cost::{rename_cost, Cost, CostModel, NodeCosts};
+use tasm_tree::{NodeId, Tree};
+
+/// An inclusive postorder interval; `lo > hi` encodes the empty forest.
+type Interval = (u32, u32);
+
+struct Oracle<'a> {
+    q: &'a Tree,
+    t: &'a Tree,
+    cq: NodeCosts,
+    ct: NodeCosts,
+    memo: HashMap<(Interval, Interval), Cost>,
+}
+
+impl Oracle<'_> {
+    fn forest_cost_q(&self, (lo, hi): Interval) -> Cost {
+        let mut c = Cost::ZERO;
+        for i in lo..=hi {
+            c += self.cq.del_ins(i);
+        }
+        c
+    }
+
+    fn forest_cost_t(&self, (lo, hi): Interval) -> Cost {
+        let mut c = Cost::ZERO;
+        for j in lo..=hi {
+            c += self.ct.del_ins(j);
+        }
+        c
+    }
+
+    fn dist(&mut self, f: Interval, g: Interval) -> Cost {
+        let f_empty = f.0 > f.1;
+        let g_empty = g.0 > g.1;
+        if f_empty && g_empty {
+            return Cost::ZERO;
+        }
+        if f_empty {
+            return self.forest_cost_t(g);
+        }
+        if g_empty {
+            return self.forest_cost_q(f);
+        }
+        if let Some(&c) = self.memo.get(&(f, g)) {
+            return c;
+        }
+        let v = NodeId::new(f.1); // rightmost root of F
+        let w = NodeId::new(g.1); // rightmost root of G
+        let lv = self.q.lml(v).post();
+        let lw = self.t.lml(w).post();
+
+        // (a) delete v.
+        let del = self.dist((f.0, f.1 - 1), g) + self.cq.del_ins(f.1);
+        // (b) insert w.
+        let ins = self.dist(f, (g.0, g.1 - 1)) + self.ct.del_ins(g.1);
+        // (c) match the rightmost trees T(v) and T(w): align v with w,
+        // their child forests with each other, and the remainders.
+        let children = self.dist((lv, f.1 - 1), (lw, g.1 - 1));
+        let rest = self.dist((f.0, lv.saturating_sub(1)), (g.0, lw.saturating_sub(1)));
+        let mat = children
+            + rest
+            + rename_cost(
+                self.q.label(v),
+                self.cq.natural(f.1),
+                self.t.label(w),
+                self.ct.natural(g.1),
+            );
+
+        let best = del.min(ins).min(mat);
+        self.memo.insert((f, g), best);
+        best
+    }
+}
+
+/// Tree edit distance by memoized forest recursion. Exponentially many
+/// intervals never arise; still, use only for small trees (≲ a few hundred
+/// nodes).
+pub fn ted_oracle(query: &Tree, doc: &Tree, model: &dyn CostModel) -> Cost {
+    let mut o = Oracle {
+        q: query,
+        t: doc,
+        cq: NodeCosts::compute(query, model),
+        ct: NodeCosts::compute(doc, model),
+        memo: HashMap::new(),
+    };
+    o.dist((1, query.len() as u32), (1, doc.len() as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{PerLabelCost, UnitCost};
+    use crate::zhang_shasha::ted;
+    use tasm_tree::{bracket, LabelDict};
+
+    fn both(q: &str, t: &str) -> (Cost, Cost) {
+        let mut d = LabelDict::new();
+        let q = bracket::parse(q, &mut d).unwrap();
+        let t = bracket::parse(t, &mut d).unwrap();
+        (ted_oracle(&q, &t, &UnitCost), ted(&q, &t, &UnitCost))
+    }
+
+    #[test]
+    fn oracle_matches_paper_example() {
+        let (o, z) = both("{a{b}{c}}", "{x{a{b}{d}}{a{b}{c}}}");
+        assert_eq!(o, Cost::from_natural(4));
+        assert_eq!(o, z);
+    }
+
+    #[test]
+    fn oracle_agrees_with_zhang_shasha_on_fixtures() {
+        let cases = [
+            ("{a}", "{a}"),
+            ("{a}", "{b}"),
+            ("{a{b}}", "{a}"),
+            ("{a{b{c{d}}}}", "{a{b}{c}{d}}"),
+            ("{a{b}{c}}", "{a{c}{b}}"),
+            ("{r{a{x}{y}}{b}{c{z}}}", "{r{a{x}}{c{z}{y}}}"),
+            ("{a{b{c}{d}{e}}{f{g{h}}}}", "{a{f{g{h}}}{b{c}{d}{e}}}"),
+            ("{a{a{a}}{a}}", "{a{a}{a{a}}}"),
+        ];
+        for (qs, ts) in cases {
+            let (o, z) = both(qs, ts);
+            assert_eq!(o, z, "oracle vs ZS for {qs} / {ts}");
+        }
+    }
+
+    #[test]
+    fn oracle_with_weighted_costs() {
+        let mut d = LabelDict::new();
+        let q = bracket::parse("{a{b}}", &mut d).unwrap();
+        let t = bracket::parse("{x{b}{c}}", &mut d).unwrap();
+        let a = d.get("a").unwrap();
+        let model = PerLabelCost::new(1).with(a, 3);
+        // rename a->x = (3+1)/2 = 2, insert c = 1 => 3.
+        assert_eq!(ted_oracle(&q, &t, &model), Cost::from_natural(3));
+        assert_eq!(ted(&q, &t, &model), Cost::from_natural(3));
+    }
+}

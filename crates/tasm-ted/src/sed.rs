@@ -1,0 +1,106 @@
+//! String (sequence) edit distance under the same cost semantics as the
+//! tree edit distance (Def. 4).
+//!
+//! Used in two roles:
+//!
+//! * a cheap lower-bound filter: the edit distance between the postorder
+//!   label sequences of two trees never exceeds the tree edit distance;
+//! * a test oracle: on *path* trees (every node has at most one child) the
+//!   tree edit distance equals the string edit distance of the label
+//!   sequences, which gives an independent check of the Zhang–Shasha
+//!   implementation.
+
+use crate::cost::Cost;
+use tasm_tree::LabelId;
+
+/// Weighted string edit distance between two label sequences.
+///
+/// `cost_a[i]` / `cost_b[j]` are the natural-unit node costs; deletion and
+/// insertion cost the full node cost, substitution costs the half-sum when
+/// labels differ and 0 otherwise — identical to the tree alignment costs.
+///
+/// O(|a|·|b|) time, O(min) space (two rows).
+#[allow(clippy::needless_range_loop)] // DP indices mirror the recurrence
+pub fn string_edit_distance(
+    a: &[LabelId],
+    cost_a: &[u64],
+    b: &[LabelId],
+    cost_b: &[u64],
+) -> Cost {
+    assert_eq!(a.len(), cost_a.len());
+    assert_eq!(b.len(), cost_b.len());
+    let (m, n) = (a.len(), b.len());
+    let mut prev: Vec<Cost> = Vec::with_capacity(n + 1);
+    prev.push(Cost::ZERO);
+    for j in 0..n {
+        let last = *prev.last().expect("non-empty");
+        prev.push(last + Cost::from_natural(cost_b[j]));
+    }
+    let mut cur: Vec<Cost> = vec![Cost::ZERO; n + 1];
+    for i in 0..m {
+        cur[0] = prev[0] + Cost::from_natural(cost_a[i]);
+        for j in 0..n {
+            let del = prev[j + 1] + Cost::from_natural(cost_a[i]);
+            let ins = cur[j] + Cost::from_natural(cost_b[j]);
+            let sub = prev[j]
+                + if a[i] == b[j] {
+                    Cost::ZERO
+                } else {
+                    Cost::from_halves(cost_a[i] + cost_b[j])
+                };
+            cur[j + 1] = del.min(ins).min(sub);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Unit-cost string edit distance (Levenshtein) over label sequences.
+pub fn levenshtein(a: &[LabelId], b: &[LabelId]) -> Cost {
+    string_edit_distance(a, &vec![1; a.len()], b, &vec![1; b.len()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(s: &str) -> Vec<LabelId> {
+        s.bytes().map(|b| LabelId(b as u32)).collect()
+    }
+
+    #[test]
+    fn classic_levenshtein_cases() {
+        assert_eq!(levenshtein(&ids("kitten"), &ids("sitting")), Cost::from_natural(3));
+        assert_eq!(levenshtein(&ids("abc"), &ids("abc")), Cost::ZERO);
+        assert_eq!(levenshtein(&ids(""), &ids("abc")), Cost::from_natural(3));
+        assert_eq!(levenshtein(&ids("abc"), &ids("")), Cost::from_natural(3));
+        assert_eq!(levenshtein(&ids("flaw"), &ids("lawn")), Cost::from_natural(2));
+    }
+
+    #[test]
+    fn weighted_substitution_is_half_sum() {
+        let a = ids("a");
+        let b = ids("b");
+        // cst(a)=3, cst(b)=1: substitute = 2.0 beats delete+insert = 4.0.
+        assert_eq!(
+            string_edit_distance(&a, &[3], &b, &[1]),
+            Cost::from_natural(2)
+        );
+        // cst(a)=9: substitute = 5.0, delete+insert = 10.0 -> still substitute.
+        assert_eq!(
+            string_edit_distance(&a, &[9], &b, &[1]),
+            Cost::from_natural(5)
+        );
+    }
+
+    #[test]
+    fn empty_vs_empty() {
+        assert_eq!(levenshtein(&[], &[]), Cost::ZERO);
+    }
+
+    #[test]
+    fn symmetric() {
+        let (a, b) = (ids("abcdef"), ids("azced"));
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+}

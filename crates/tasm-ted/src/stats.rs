@@ -1,0 +1,166 @@
+//! Instrumentation for the pruning experiments (Figs. 11 and 12).
+//!
+//! The cost of the tree edit distance is driven by the *relevant subtrees*
+//! (keyroot subtrees) it decomposes the inputs into: for each pair of
+//! relevant subtrees `Q_i`, `T_j` a `|Q_i| × |T_j|` forest-distance matrix
+//! is filled (Sec. IV-F). [`TedStats`] records, for every distance
+//! invocation, the sizes of the document-side relevant subtrees — exactly
+//! the quantity plotted in Fig. 11 — plus total matrix cells as a secondary
+//! effort measure.
+
+use std::collections::BTreeMap;
+
+/// Collects relevant-subtree statistics across distance computations.
+#[derive(Debug, Clone, Default)]
+pub struct TedStats {
+    /// `size -> count` of document-side relevant (keyroot) subtrees computed.
+    pub relevant_by_size: BTreeMap<u32, u64>,
+    /// Total number of forest-distance matrix cells filled (`Σ |Q_i|·|T_j|`).
+    pub fd_cells: u64,
+    /// Number of tree-distance invocations.
+    pub ted_calls: u64,
+}
+
+impl TedStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one document-side relevant subtree of the given size.
+    #[inline]
+    pub fn record_relevant(&mut self, size: u32) {
+        *self.relevant_by_size.entry(size).or_insert(0) += 1;
+    }
+
+    /// Records forest-distance matrix work.
+    #[inline]
+    pub fn record_cells(&mut self, cells: u64) {
+        self.fd_cells += cells;
+    }
+
+    /// Records the start of a tree-distance invocation.
+    #[inline]
+    pub fn record_call(&mut self) {
+        self.ted_calls += 1;
+    }
+
+    /// Total number of relevant subtrees recorded.
+    pub fn total_relevant(&self) -> u64 {
+        self.relevant_by_size.values().sum()
+    }
+
+    /// Size of the largest relevant subtree computed.
+    pub fn max_relevant_size(&self) -> u32 {
+        self.relevant_by_size.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// The **cumulative subtree size** `css(x) = Σ_{i<=x} i·f_i` of
+    /// Sec. VII-B, where `f_i` is the number of relevant subtrees of size
+    /// `i` recorded.
+    pub fn css(&self, x: u32) -> u64 {
+        self.relevant_by_size
+            .range(..=x)
+            .map(|(&size, &count)| size as u64 * count)
+            .sum()
+    }
+
+    /// All `(size, count)` pairs ascending — the Fig. 11 scatter series.
+    pub fn series(&self) -> Vec<(u32, u64)> {
+        self.relevant_by_size.iter().map(|(&s, &c)| (s, c)).collect()
+    }
+
+    /// Bins counts like Fig. 11c: bin boundaries 1e1, 5e1, 1e2, 5e2, 1e3,
+    /// 1e4, … — each bin labeled by its *upper* bound, covering sizes from
+    /// the previous bound (inclusive) upward.
+    pub fn binned(&self, bounds: &[u32]) -> Vec<(u32, u64)> {
+        let mut out: Vec<(u32, u64)> = bounds.iter().map(|&b| (b, 0)).collect();
+        for (&size, &count) in &self.relevant_by_size {
+            // Find the first bound strictly greater than size; it belongs to
+            // the previous bin per the paper's convention ("1e1 shows sizes
+            // 0-9, 5e1 shows 10-49, ...").
+            let idx = bounds.partition_point(|&b| b <= size);
+            if idx < out.len() {
+                out[idx].1 += count;
+            } else if let Some(last) = out.last_mut() {
+                last.1 += count;
+            }
+        }
+        out
+    }
+
+    /// Merges another collector into this one.
+    pub fn merge(&mut self, other: &TedStats) {
+        for (&s, &c) in &other.relevant_by_size {
+            *self.relevant_by_size.entry(s).or_insert(0) += c;
+        }
+        self.fd_cells += other.fd_cells;
+        self.ted_calls += other.ted_calls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = TedStats::new();
+        s.record_relevant(1);
+        s.record_relevant(1);
+        s.record_relevant(5);
+        assert_eq!(s.total_relevant(), 3);
+        assert_eq!(s.max_relevant_size(), 5);
+        assert_eq!(s.relevant_by_size[&1], 2);
+    }
+
+    #[test]
+    fn css_accumulates() {
+        let mut s = TedStats::new();
+        s.record_relevant(1);
+        s.record_relevant(1);
+        s.record_relevant(3);
+        s.record_relevant(10);
+        assert_eq!(s.css(0), 0);
+        assert_eq!(s.css(1), 2);
+        assert_eq!(s.css(3), 2 + 3);
+        assert_eq!(s.css(10), 2 + 3 + 10);
+        assert_eq!(s.css(u32::MAX), 15);
+    }
+
+    #[test]
+    fn binning_follows_paper_convention() {
+        let mut s = TedStats::new();
+        for size in [1, 9, 10, 49, 50, 120] {
+            s.record_relevant(size);
+        }
+        let bins = s.binned(&[10, 50, 100, 500]);
+        // sizes 0-9 -> bin "10"; 10-49 -> "50"; 50-99 -> "100"; 100-499 -> "500"
+        assert_eq!(bins, vec![(10, 2), (50, 2), (100, 1), (500, 1)]);
+    }
+
+    #[test]
+    fn binning_overflow_goes_to_last() {
+        let mut s = TedStats::new();
+        s.record_relevant(1_000_000);
+        let bins = s.binned(&[10, 100]);
+        assert_eq!(bins, vec![(10, 0), (100, 1)]);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = TedStats::new();
+        a.record_relevant(2);
+        a.record_cells(10);
+        a.record_call();
+        let mut b = TedStats::new();
+        b.record_relevant(2);
+        b.record_relevant(4);
+        b.record_cells(5);
+        a.merge(&b);
+        assert_eq!(a.relevant_by_size[&2], 2);
+        assert_eq!(a.relevant_by_size[&4], 1);
+        assert_eq!(a.fd_cells, 15);
+        assert_eq!(a.ted_calls, 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Property-based tests for the tree edit distance.
+//!
+//! Invariants checked on randomly generated trees:
+//! * Zhang–Shasha agrees with the independent memoized-recursion oracle;
+//! * the distance is a metric: identity, symmetry, triangle inequality;
+//! * on path trees it equals the string edit distance of the label sequence;
+//! * Lemma 3: `|T| <= δ(Q, T) + |Q|` (and symmetrically);
+//! * the postorder-label string edit distance is a lower bound;
+//! * the tree-distance matrix is consistent with recomputing each subtree
+//!   pair from scratch.
+
+use proptest::prelude::*;
+use tasm_ted::oracle::ted_oracle;
+use tasm_ted::sed::string_edit_distance;
+use tasm_ted::{ted, ted_full, Cost, CostModel, NodeCosts, PerLabelCost, UnitCost};
+use tasm_tree::{LabelId, NodeId, Tree, TreeBuilder};
+
+/// Builds a random tree of exactly `n` nodes by random attachment: node
+/// `i` picks a uniformly random existing parent.
+fn random_tree(seed: u64, n: usize, n_labels: u32) -> Tree {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut labels: Vec<u32> = Vec::with_capacity(n);
+    labels.push(rng.gen_range(0..n_labels));
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        children[parent].push(i);
+        labels.push(rng.gen_range(0..n_labels));
+    }
+    fn rec(node: usize, children: &[Vec<usize>], labels: &[u32], b: &mut TreeBuilder) {
+        b.start(LabelId(labels[node]));
+        for &c in &children[node] {
+            rec(c, children, labels, b);
+        }
+        b.end().expect("balanced");
+    }
+    let mut b = TreeBuilder::with_capacity(n);
+    rec(0, &children, &labels, &mut b);
+    b.finish().expect("single root")
+}
+
+/// Trees of 1–20 nodes: large enough for interesting structure, small
+/// enough for the O(m²n²) oracle.
+fn arb_tree(n_labels: u32) -> impl Strategy<Value = Tree> {
+    (any::<u64>(), 1usize..=20).prop_map(move |(seed, n)| random_tree(seed, n, n_labels))
+}
+
+/// A path tree: every node has exactly one child (or none).
+fn arb_path_tree(n_labels: u32) -> impl Strategy<Value = Tree> {
+    prop::collection::vec(0..n_labels, 1..12).prop_map(|labels| {
+        let entries: Vec<(LabelId, u32)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (LabelId(l), i as u32 + 1))
+            .collect();
+        Tree::from_postorder(entries).expect("path encoding is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn zhang_shasha_matches_oracle_unit(q in arb_tree(3), t in arb_tree(3)) {
+        prop_assert_eq!(ted(&q, &t, &UnitCost), ted_oracle(&q, &t, &UnitCost));
+    }
+
+    #[test]
+    fn zhang_shasha_matches_oracle_weighted(q in arb_tree(4), t in arb_tree(4)) {
+        // Label i costs i + 1, producing fractional renames.
+        let model = PerLabelCost::new(1)
+            .with(LabelId(0), 1)
+            .with(LabelId(1), 2)
+            .with(LabelId(2), 3)
+            .with(LabelId(3), 4);
+        prop_assert_eq!(ted(&q, &t, &model), ted_oracle(&q, &t, &model));
+    }
+
+    #[test]
+    fn identity_of_indiscernibles(q in arb_tree(3), t in arb_tree(3)) {
+        prop_assert_eq!(ted(&q, &q, &UnitCost), Cost::ZERO);
+        let d = ted(&q, &t, &UnitCost);
+        prop_assert_eq!(d == Cost::ZERO, q == t);
+    }
+
+    #[test]
+    fn symmetry(q in arb_tree(3), t in arb_tree(3)) {
+        prop_assert_eq!(ted(&q, &t, &UnitCost), ted(&t, &q, &UnitCost));
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_tree(2), b in arb_tree(2), c in arb_tree(2)) {
+        let ab = ted(&a, &b, &UnitCost);
+        let bc = ted(&b, &c, &UnitCost);
+        let ac = ted(&a, &c, &UnitCost);
+        prop_assert!(ac <= ab + bc, "d(a,c)={} > d(a,b)={} + d(b,c)={}", ac, ab, bc);
+    }
+
+    #[test]
+    fn path_trees_reduce_to_string_edit_distance(
+        q in arb_path_tree(3),
+        t in arb_path_tree(3),
+    ) {
+        let cq: Vec<u64> = vec![1; q.len()];
+        let ct: Vec<u64> = vec![1; t.len()];
+        let sed = string_edit_distance(q.labels(), &cq, t.labels(), &ct);
+        prop_assert_eq!(ted(&q, &t, &UnitCost), sed);
+    }
+
+    #[test]
+    fn lemma_3_size_bound(q in arb_tree(3), t in arb_tree(3)) {
+        let d = ted(&q, &t, &UnitCost);
+        prop_assert!(t.len() as u64 <= d.floor_natural() + q.len() as u64);
+        prop_assert!(q.len() as u64 <= d.floor_natural() + t.len() as u64);
+    }
+
+    #[test]
+    fn postorder_sed_is_lower_bound(q in arb_tree(3), t in arb_tree(3)) {
+        let nq = NodeCosts::compute(&q, &UnitCost);
+        let nt = NodeCosts::compute(&t, &UnitCost);
+        let cq: Vec<u64> = (1..=q.len() as u32).map(|i| nq.natural(i)).collect();
+        let ct: Vec<u64> = (1..=t.len() as u32).map(|j| nt.natural(j)).collect();
+        let sed = string_edit_distance(q.labels(), &cq, t.labels(), &ct);
+        prop_assert!(sed <= ted(&q, &t, &UnitCost));
+    }
+
+    #[test]
+    fn distance_matrix_entries_are_subtree_distances(
+        q in arb_tree(3),
+        t in arb_tree(3),
+    ) {
+        let td = ted_full(&q, &t, &UnitCost, None);
+        // Spot-check every pair against an independent whole-tree call.
+        for qi in q.nodes() {
+            for tj in t.nodes() {
+                let sub_q = q.subtree(qi);
+                let sub_t = t.subtree(tj);
+                let expect = ted(&sub_q, &sub_t, &UnitCost);
+                prop_assert_eq!(
+                    td.subtree_distance(qi, tj),
+                    expect,
+                    "td[{}][{}]", qi, tj
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_cost_matches_scan(t in arb_tree(4)) {
+        let model = PerLabelCost::new(2).with(LabelId(1), 5);
+        let via_trait = model.max_cost(&t);
+        let manual = t
+            .nodes()
+            .map(|id| model.node_cost(&t, id).max(1))
+            .max()
+            .unwrap();
+        prop_assert_eq!(via_trait, manual);
+    }
+
+    #[test]
+    fn unit_distance_bounded_by_sum_of_sizes(q in arb_tree(3), t in arb_tree(3)) {
+        // Empty mapping: delete all of Q, insert all of T.
+        let d = ted(&q, &t, &UnitCost);
+        prop_assert!(d <= Cost::from_natural((q.len() + t.len()) as u64));
+        // And at least the size difference (Lemma 3 both ways).
+        let diff = (q.len() as i64 - t.len() as i64).unsigned_abs();
+        prop_assert!(d >= Cost::from_natural(diff));
+    }
+}
+
+#[test]
+fn node_id_helpers_in_matrix_bounds() {
+    // Regression guard: NodeId::new(1) maps to matrix row/col 1.
+    assert_eq!(NodeId::new(1).post(), 1);
+}
+
+mod filter_properties {
+    use super::*;
+    use tasm_ted::filters::{
+        binary_branch_distance, binary_branch_lower_bound, label_histogram_lower_bound,
+        pq_gram_distance,
+    };
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn histogram_lower_bound_never_exceeds_ted(
+            a in arb_tree(3),
+            b in arb_tree(3),
+        ) {
+            let lb = label_histogram_lower_bound(&a, &b);
+            prop_assert!(lb <= ted(&a, &b, &UnitCost));
+        }
+
+        #[test]
+        fn binary_branch_lower_bound_never_exceeds_ted(
+            a in arb_tree(3),
+            b in arb_tree(3),
+        ) {
+            let lb = binary_branch_lower_bound(&a, &b);
+            let d = ted(&a, &b, &UnitCost);
+            prop_assert!(lb <= d, "bb/5 = {} > δ = {}", lb, d);
+        }
+
+        #[test]
+        fn binary_branch_is_a_symmetric_bag_distance(
+            a in arb_tree(3),
+            b in arb_tree(3),
+            c in arb_tree(3),
+        ) {
+            prop_assert_eq!(binary_branch_distance(&a, &a), 0);
+            prop_assert_eq!(binary_branch_distance(&a, &b), binary_branch_distance(&b, &a));
+            // Triangle inequality: L1 over bags.
+            let ab = binary_branch_distance(&a, &b);
+            let bc = binary_branch_distance(&b, &c);
+            let ac = binary_branch_distance(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn pq_grams_form_a_pseudo_metric(
+            a in arb_tree(3),
+            b in arb_tree(3),
+            c in arb_tree(3),
+        ) {
+            prop_assert_eq!(pq_gram_distance(&a, &a, 2, 3), 0);
+            prop_assert_eq!(pq_gram_distance(&a, &b, 2, 3), pq_gram_distance(&b, &a, 2, 3));
+            let ab = pq_gram_distance(&a, &b, 2, 3);
+            let bc = pq_gram_distance(&b, &c, 2, 3);
+            let ac = pq_gram_distance(&a, &c, 2, 3);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn pq_gram_profile_has_expected_cardinality(a in arb_tree(4)) {
+            // Total pq-grams = Σ_nodes max(1, fanout + q − 1) for q = 3.
+            let profile = tasm_ted::filters::pq_gram_profile(&a, 2, 3);
+            let total: i64 = profile.values().sum();
+            let expected: i64 = a
+                .nodes()
+                .map(|id| {
+                    let f = a.fanout(id) as i64;
+                    if f == 0 { 1 } else { f + 2 }
+                })
+                .sum();
+            prop_assert_eq!(total, expected);
+        }
+    }
+}
+
+mod mapping_properties {
+    use super::*;
+    use tasm_ted::{edit_script, validate_mapping};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        #[test]
+        fn edit_script_cost_equals_ted(a in arb_tree(3), b in arb_tree(3)) {
+            let script = edit_script(&a, &b, &UnitCost);
+            prop_assert_eq!(script.cost, ted(&a, &b, &UnitCost));
+        }
+
+        #[test]
+        fn edit_script_is_a_valid_mapping(a in arb_tree(3), b in arb_tree(3)) {
+            let script = edit_script(&a, &b, &UnitCost);
+            if let Err(e) = validate_mapping(&script, &a, &b) {
+                prop_assert!(false, "invalid mapping: {}", e);
+            }
+        }
+
+        #[test]
+        fn edit_script_under_weighted_costs(a in arb_tree(4), b in arb_tree(4)) {
+            let model = PerLabelCost::new(1)
+                .with(LabelId(0), 2)
+                .with(LabelId(1), 3)
+                .with(LabelId(3), 7);
+            let script = edit_script(&a, &b, &model);
+            prop_assert_eq!(script.cost, ted(&a, &b, &model));
+            if let Err(e) = validate_mapping(&script, &a, &b) {
+                prop_assert!(false, "invalid mapping: {}", e);
+            }
+        }
+
+        #[test]
+        fn keeps_have_equal_labels_renames_do_not(a in arb_tree(3), b in arb_tree(3)) {
+            use tasm_ted::EditOp;
+            let script = edit_script(&a, &b, &UnitCost);
+            for op in &script.ops {
+                match *op {
+                    EditOp::Keep { q, t } => prop_assert_eq!(a.label(q), b.label(t)),
+                    EditOp::Rename { q, t } => prop_assert_ne!(a.label(q), b.label(t)),
+                    _ => {}
+                }
+            }
+        }
+    }
+}

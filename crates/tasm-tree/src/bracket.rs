@@ -1,0 +1,236 @@
+//! Bracket notation for trees: a compact text format used in tests,
+//! examples and the CLI.
+//!
+//! Grammar: `tree := '{' label tree* '}'`. The label is any run of
+//! characters other than `{`, `}` and `\`; those three can be escaped with a
+//! backslash. Whitespace between trees is ignored. Example:
+//! `{a{b}{c}}` is the query G of the paper's Fig. 2.
+//!
+//! This is the notation commonly used by tree-edit-distance implementations,
+//! which makes hand-written fixtures easy to diff against the literature.
+
+use crate::error::TreeError;
+use crate::label::LabelDict;
+use crate::tree::Tree;
+use crate::TreeBuilder;
+
+/// Parses a tree in bracket notation, interning labels into `dict`.
+///
+/// # Examples
+///
+/// ```
+/// use tasm_tree::{bracket, LabelDict};
+///
+/// let mut dict = LabelDict::new();
+/// let g = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
+/// assert_eq!(g.len(), 3);
+/// assert_eq!(bracket::to_string(&g, &dict), "{a{b}{c}}");
+/// ```
+pub fn parse(input: &str, dict: &mut LabelDict) -> Result<Tree, TreeError> {
+    let bytes = input.as_bytes();
+    let mut builder = TreeBuilder::new();
+    let mut i = 0usize;
+    let mut label = String::new();
+    let mut depth = 0usize;
+    let mut seen_root = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => {
+                if depth == 0 && seen_root {
+                    return Err(TreeError::BracketSyntax {
+                        offset: i,
+                        message: "trailing content after the root tree".into(),
+                    });
+                }
+                depth += 1;
+                i += 1;
+                // Read the label up to the next unescaped '{' or '}'.
+                label.clear();
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' if i + 1 < bytes.len() => {
+                            label.push(bytes[i + 1] as char);
+                            i += 2;
+                        }
+                        b'{' | b'}' => break,
+                        _ => {
+                            // Collect raw UTF-8 bytes; validity is inherited
+                            // from the &str input.
+                            let start = i;
+                            let ch_len = utf8_len(bytes[i]);
+                            i += ch_len;
+                            label.push_str(&input[start..i]);
+                        }
+                    }
+                }
+                builder.start(dict.intern(label.trim()));
+            }
+            b'}' => {
+                if depth == 0 {
+                    return Err(TreeError::BracketSyntax {
+                        offset: i,
+                        message: "unmatched '}'".into(),
+                    });
+                }
+                builder.end().expect("depth tracked above");
+                depth -= 1;
+                if depth == 0 {
+                    seen_root = true;
+                }
+                i += 1;
+            }
+            c if (c as char).is_whitespace() => i += 1,
+            _ => {
+                return Err(TreeError::BracketSyntax {
+                    offset: i,
+                    message: "expected '{'".into(),
+                })
+            }
+        }
+    }
+    if depth != 0 {
+        return Err(TreeError::BracketSyntax {
+            offset: input.len(),
+            message: format!("{depth} unclosed '{{'"),
+        });
+    }
+    builder.finish()
+}
+
+/// Serializes `tree` to bracket notation, resolving labels through `dict`.
+///
+/// Labels containing `{`, `}` or `\` are escaped so the output always
+/// re-parses to an equal tree.
+pub fn to_string(tree: &Tree, dict: &LabelDict) -> String {
+    let mut out = String::with_capacity(tree.len() * 4);
+    write_node(tree, dict, tree.root(), &mut out);
+    out
+}
+
+fn write_node(tree: &Tree, dict: &LabelDict, node: crate::NodeId, out: &mut String) {
+    out.push('{');
+    for ch in dict.resolve(tree.label(node)).chars() {
+        if matches!(ch, '{' | '}' | '\\') {
+            out.push('\\');
+        }
+        out.push(ch);
+    }
+    for child in tree.children(node) {
+        write_node(tree, dict, child, out);
+    }
+    out.push('}');
+}
+
+#[inline]
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    fn round_trip(s: &str) -> String {
+        let mut d = LabelDict::new();
+        let t = parse(s, &mut d).unwrap();
+        to_string(&t, &d)
+    }
+
+    #[test]
+    fn parses_paper_query_g() {
+        let mut d = LabelDict::new();
+        let g = parse("{a{b}{c}}", &mut d).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(d.resolve(g.label(NodeId::new(3))), "a");
+        assert_eq!(d.resolve(g.label(NodeId::new(1))), "b");
+        assert_eq!(d.resolve(g.label(NodeId::new(2))), "c");
+    }
+
+    #[test]
+    fn parses_paper_document_h() {
+        let mut d = LabelDict::new();
+        let h = parse("{x{a{b}{d}}{a{b}{c}}}", &mut d).unwrap();
+        assert_eq!(h.len(), 7);
+        assert_eq!(h.size(NodeId::new(3)), 3);
+        assert_eq!(h.height(), 2);
+    }
+
+    #[test]
+    fn round_trips() {
+        for s in ["{a}", "{a{b}}", "{a{b}{c}{d}}", "{x{a{b}{d}}{a{b}{c}}}"] {
+            assert_eq!(round_trip(s), s);
+        }
+    }
+
+    #[test]
+    fn whitespace_between_trees_is_ignored() {
+        let mut d = LabelDict::new();
+        let t = parse("{ a {b} \n {c} }", &mut d).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(d.resolve(t.label(t.root())), "a");
+    }
+
+    #[test]
+    fn escaped_braces_in_labels() {
+        let mut d = LabelDict::new();
+        let t = parse(r"{a\{b\}}", &mut d).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(d.resolve(t.label(t.root())), "a{b}");
+        // And escaping survives serialization.
+        assert_eq!(to_string(&t, &d), r"{a\{b\}}");
+    }
+
+    #[test]
+    fn unicode_labels() {
+        assert_eq!(round_trip("{héllo{wörld}}"), "{héllo{wörld}}");
+    }
+
+    #[test]
+    fn empty_label_is_allowed() {
+        let mut d = LabelDict::new();
+        let t = parse("{{x}}", &mut d).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(d.resolve(t.label(t.root())), "");
+    }
+
+    #[test]
+    fn error_unmatched_close() {
+        let mut d = LabelDict::new();
+        assert!(matches!(
+            parse("}", &mut d),
+            Err(TreeError::BracketSyntax { offset: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn error_unclosed_open() {
+        let mut d = LabelDict::new();
+        assert!(matches!(
+            parse("{a{b}", &mut d),
+            Err(TreeError::BracketSyntax { .. })
+        ));
+    }
+
+    #[test]
+    fn error_trailing_garbage() {
+        let mut d = LabelDict::new();
+        assert!(matches!(
+            parse("{a}{b}", &mut d),
+            Err(TreeError::BracketSyntax { .. })
+        ));
+        assert!(matches!(parse("x", &mut d), Err(TreeError::BracketSyntax { .. })));
+    }
+
+    #[test]
+    fn error_empty_input() {
+        let mut d = LabelDict::new();
+        assert!(matches!(parse("", &mut d), Err(TreeError::Empty)));
+        assert!(matches!(parse("   ", &mut d), Err(TreeError::Empty)));
+    }
+}

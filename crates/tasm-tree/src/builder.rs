@@ -1,0 +1,218 @@
+//! Incremental tree construction in document order.
+//!
+//! [`TreeBuilder`] assembles a [`Tree`] from `start(label)` / `end()` events
+//! — the natural shape of a depth-first producer such as an XML parser. The
+//! builder emits nodes in postorder as elements close, so it never holds
+//! more than the currently open path plus the completed prefix.
+
+use crate::error::TreeError;
+use crate::label::LabelId;
+use crate::tree::Tree;
+
+/// Builds a [`Tree`] from nested `start`/`end` (or `leaf`) events.
+///
+/// # Examples
+///
+/// Building the query G of the paper (Fig. 2), `a(b, c)`:
+///
+/// ```
+/// use tasm_tree::{LabelDict, TreeBuilder};
+///
+/// let mut dict = LabelDict::new();
+/// let mut b = TreeBuilder::new();
+/// b.start(dict.intern("a"));
+/// b.leaf(dict.intern("b"));
+/// b.leaf(dict.intern("c"));
+/// b.end().unwrap();
+/// let g = b.finish().unwrap();
+/// assert_eq!(g.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    /// Postorder labels of completed nodes.
+    labels: Vec<LabelId>,
+    /// Postorder subtree sizes of completed nodes.
+    sizes: Vec<u32>,
+    /// For each open element: its label and the count of nodes completed
+    /// strictly inside it so far.
+    open: Vec<(LabelId, u32)>,
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with room for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        TreeBuilder {
+            labels: Vec::with_capacity(n),
+            sizes: Vec::with_capacity(n),
+            open: Vec::new(),
+        }
+    }
+
+    /// Opens a new node with `label`; its children are the nodes produced
+    /// until the matching [`end`](Self::end).
+    pub fn start(&mut self, label: LabelId) {
+        self.open.push((label, 0));
+    }
+
+    /// Closes the most recently opened node.
+    pub fn end(&mut self) -> Result<(), TreeError> {
+        let (label, inner) = self.open.pop().ok_or(TreeError::UnbalancedEnd)?;
+        let size = inner + 1;
+        self.labels.push(label);
+        self.sizes.push(size);
+        if let Some(parent) = self.open.last_mut() {
+            parent.1 += size;
+        }
+        Ok(())
+    }
+
+    /// Adds a leaf node (equivalent to `start(label); end()`).
+    pub fn leaf(&mut self, label: LabelId) {
+        self.start(label);
+        self.end().expect("start was just pushed");
+    }
+
+    /// Number of nodes completed so far.
+    pub fn completed(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Depth of the currently open path.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeError::UnclosedStart`] if elements remain open,
+    /// [`TreeError::Empty`] if no node was produced,
+    /// [`TreeError::NotATree`] if the events formed a forest.
+    pub fn finish(self) -> Result<Tree, TreeError> {
+        if !self.open.is_empty() {
+            return Err(TreeError::UnclosedStart { open: self.open.len() });
+        }
+        if self.labels.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        let n = self.labels.len();
+        if self.sizes[n - 1] as usize != n {
+            // More than one root: count the top-level subtrees.
+            let mut roots = 0usize;
+            let mut i = n;
+            while i > 0 {
+                roots += 1;
+                i -= self.sizes[i - 1] as usize;
+            }
+            return Err(TreeError::NotATree { roots });
+        }
+        Ok(Tree::from_postorder_unchecked(self.labels, self.sizes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelDict;
+    use crate::node::NodeId;
+
+    #[test]
+    fn builds_example_document_h() {
+        // H = x(a(b, d), a(b, c)) from Fig. 2.
+        let mut d = LabelDict::new();
+        let (a, b, c, dd, x) = (
+            d.intern("a"),
+            d.intern("b"),
+            d.intern("c"),
+            d.intern("d"),
+            d.intern("x"),
+        );
+        let mut bld = TreeBuilder::new();
+        bld.start(x);
+        bld.start(a);
+        bld.leaf(b);
+        bld.leaf(dd);
+        bld.end().unwrap();
+        bld.start(a);
+        bld.leaf(b);
+        bld.leaf(c);
+        bld.end().unwrap();
+        bld.end().unwrap();
+        let h = bld.finish().unwrap();
+        assert_eq!(h.len(), 7);
+        assert_eq!(h.size(NodeId::new(3)), 3);
+        assert_eq!(h.size(NodeId::new(7)), 7);
+        assert_eq!(h.label(NodeId::new(7)), x);
+        // Matches the postorder construction.
+        let h2 = Tree::from_postorder(vec![
+            (b, 1),
+            (dd, 1),
+            (a, 3),
+            (b, 1),
+            (c, 1),
+            (a, 3),
+            (x, 7),
+        ])
+        .unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn single_leaf() {
+        let mut d = LabelDict::new();
+        let mut b = TreeBuilder::new();
+        b.leaf(d.intern("only"));
+        let t = b.finish().unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn unbalanced_end_errors() {
+        let mut b = TreeBuilder::new();
+        assert_eq!(b.end(), Err(TreeError::UnbalancedEnd));
+    }
+
+    #[test]
+    fn unclosed_start_errors() {
+        let mut d = LabelDict::new();
+        let mut b = TreeBuilder::new();
+        b.start(d.intern("a"));
+        assert_eq!(b.finish().unwrap_err(), TreeError::UnclosedStart { open: 1 });
+    }
+
+    #[test]
+    fn empty_builder_errors() {
+        assert_eq!(TreeBuilder::new().finish().unwrap_err(), TreeError::Empty);
+    }
+
+    #[test]
+    fn forest_errors() {
+        let mut d = LabelDict::new();
+        let l = d.intern("a");
+        let mut b = TreeBuilder::new();
+        b.leaf(l);
+        b.leaf(l);
+        assert_eq!(b.finish().unwrap_err(), TreeError::NotATree { roots: 2 });
+    }
+
+    #[test]
+    fn depth_and_completed_track_progress() {
+        let mut d = LabelDict::new();
+        let l = d.intern("a");
+        let mut b = TreeBuilder::new();
+        assert_eq!(b.depth(), 0);
+        b.start(l);
+        b.start(l);
+        assert_eq!(b.depth(), 2);
+        assert_eq!(b.completed(), 0);
+        b.end().unwrap();
+        assert_eq!(b.depth(), 1);
+        assert_eq!(b.completed(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for tree construction and parsing.
+
+use std::fmt;
+
+/// Errors produced when constructing or validating trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// A `(label, size)` postorder sequence does not encode a tree: the
+    /// declared subtree size at this postorder position cannot be assembled
+    /// from the subtrees completed so far.
+    InvalidPostorder {
+        /// 1-based postorder position of the offending entry.
+        position: usize,
+        /// The declared subtree size.
+        size: u32,
+    },
+    /// The postorder sequence ended with more than one root (a forest) or
+    /// with a root whose size does not cover all nodes.
+    NotATree {
+        /// Number of disconnected subtrees remaining.
+        roots: usize,
+    },
+    /// The input was empty; trees are non-empty by definition (Sec. IV-A).
+    Empty,
+    /// A builder `end()` call without a matching `start()`.
+    UnbalancedEnd,
+    /// A builder finished while elements were still open.
+    UnclosedStart {
+        /// How many elements were still open.
+        open: usize,
+    },
+    /// Bracket-notation syntax error.
+    BracketSyntax {
+        /// Byte offset of the error in the input.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::InvalidPostorder { position, size } => write!(
+                f,
+                "invalid postorder sequence: entry {position} declares subtree size {size} \
+                 which does not match the completed subtrees before it"
+            ),
+            TreeError::NotATree { roots } => {
+                write!(f, "postorder sequence encodes a forest of {roots} trees, not a tree")
+            }
+            TreeError::Empty => write!(f, "trees are non-empty; got an empty input"),
+            TreeError::UnbalancedEnd => write!(f, "end() without matching start()"),
+            TreeError::UnclosedStart { open } => {
+                write!(f, "builder finished with {open} unclosed start() calls")
+            }
+            TreeError::BracketSyntax { offset, message } => {
+                write!(f, "bracket syntax error at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}

@@ -1,0 +1,134 @@
+//! Relevant subtrees (Def. 8) a.k.a. *keyroots* of Zhang–Shasha.
+//!
+//! A subtree `T_i` is **relevant** iff it is not a prefix of any other
+//! subtree (Def. 8). Because a subtree is a prefix of its parent's subtree
+//! exactly when its root is the parent's *leftmost* child (they then share
+//! the leftmost leaf), the relevant subtrees are rooted at the nodes that
+//! are either the tree root or not a leftmost child — precisely the
+//! `LR_keyroots` of Zhang & Shasha [9]:
+//!
+//! `keyroots(T) = { k | k is the root, or lml(k) != lml(parent(k)) }`.
+//!
+//! The tree edit distance algorithm runs one forest-distance pass per pair
+//! of keyroots, so the number and sizes of keyroot subtrees determine its
+//! cost — this is what Figs. 11 and 12 of the paper count.
+
+use crate::node::NodeId;
+use crate::tree::Tree;
+
+/// Returns the keyroots of `tree` in ascending postorder.
+///
+/// A node is a keyroot iff no other node has the same leftmost leaf and a
+/// larger postorder number; equivalently, iff it is the largest node of its
+/// `lml` class.
+///
+/// # Examples
+///
+/// The example trees of the paper (Fig. 2, Example 1): the relevant subtrees
+/// of G are G2 and G3; of H they are H2, H5, H6 and H7.
+///
+/// ```
+/// use tasm_tree::{bracket, keyroots, LabelDict, NodeId};
+///
+/// let mut dict = LabelDict::new();
+/// let g = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
+/// let h = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict).unwrap();
+/// let kg: Vec<u32> = keyroots(&g).iter().map(|n| n.post()).collect();
+/// let kh: Vec<u32> = keyroots(&h).iter().map(|n| n.post()).collect();
+/// assert_eq!(kg, vec![2, 3]);
+/// assert_eq!(kh, vec![2, 5, 6, 7]);
+/// ```
+pub fn keyroots(tree: &Tree) -> Vec<NodeId> {
+    let n = tree.len();
+    // A node k is a keyroot iff there is no node with the same lml later in
+    // postorder. Scanning backwards and remembering seen lmls gives the
+    // keyroots; scanning forward is easier with a "seen" bitmap over lml.
+    let mut seen = vec![false; n + 1];
+    let mut roots = Vec::new();
+    for id in tree.nodes().rev() {
+        let lml = tree.lml(id).post() as usize;
+        if !seen[lml] {
+            seen[lml] = true;
+            roots.push(id);
+        }
+    }
+    roots.reverse();
+    roots
+}
+
+/// The sizes of all relevant (keyroot) subtrees, ascending postorder.
+pub fn keyroot_sizes(tree: &Tree) -> Vec<u32> {
+    keyroots(tree).into_iter().map(|k| tree.size(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelDict;
+
+    fn parse(s: &str) -> Tree {
+        let mut d = LabelDict::new();
+        crate::bracket::parse(s, &mut d).unwrap()
+    }
+
+    #[test]
+    fn paper_example_1() {
+        let g = parse("{a{b}{c}}");
+        let h = parse("{x{a{b}{d}}{a{b}{c}}}");
+        let kg: Vec<u32> = keyroots(&g).iter().map(|n| n.post()).collect();
+        let kh: Vec<u32> = keyroots(&h).iter().map(|n| n.post()).collect();
+        assert_eq!(kg, vec![2, 3]);
+        assert_eq!(kh, vec![2, 5, 6, 7]);
+    }
+
+    #[test]
+    fn path_tree_has_single_keyroot() {
+        // In a path (each node one child) every subtree is a prefix of the
+        // whole tree, so only the root is relevant.
+        let t = parse("{a{b{c{d}}}}");
+        let k: Vec<u32> = keyroots(&t).iter().map(|n| n.post()).collect();
+        assert_eq!(k, vec![4]);
+    }
+
+    #[test]
+    fn star_tree_keyroots_are_all_but_first_leaf() {
+        let t = parse("{r{a}{b}{c}{d}}");
+        let k: Vec<u32> = keyroots(&t).iter().map(|n| n.post()).collect();
+        // Leaves 2,3,4 have left siblings; leaf 1 is the leftmost child.
+        assert_eq!(k, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn single_node() {
+        let t = parse("{a}");
+        assert_eq!(keyroots(&t), vec![crate::NodeId::new(1)]);
+    }
+
+    #[test]
+    fn keyroots_match_definition_brute_force() {
+        // Brute force Def. 8: T_i is relevant iff it is not a prefix of any
+        // other subtree, i.e. no other node shares its lml while being larger.
+        for s in [
+            "{a{b}{c}}",
+            "{x{a{b}{d}}{a{b}{c}}}",
+            "{r{a{x}{y}}{b}{c{z}}}",
+            "{a{b{c}{d}{e}}{f{g{h}}}}",
+        ] {
+            let t = parse(s);
+            let expected: Vec<NodeId> = t
+                .nodes()
+                .filter(|&i| {
+                    !t.nodes().any(|k| k != i && t.lml(k) == t.lml(i) && k > i)
+                })
+                .collect();
+            assert_eq!(keyroots(&t), expected, "tree {s}");
+        }
+    }
+
+    #[test]
+    fn keyroot_sizes_cover_root() {
+        let t = parse("{x{a{b}{d}}{a{b}{c}}}");
+        let sizes = keyroot_sizes(&t);
+        assert_eq!(sizes, vec![1, 1, 3, 7]);
+    }
+}

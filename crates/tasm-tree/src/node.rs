@@ -1,0 +1,85 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a node: its **postorder number**, 1-based.
+///
+/// The paper orders nodes by postorder traversal (Sec. IV-A): node `i` is the
+/// `i`-th node visited in postorder, children precede parents, and a subtree
+/// rooted at node `i` occupies the *contiguous* postorder interval
+/// `[lml(i), i]` where `lml` is the leftmost leaf. This makes the postorder
+/// number the natural node identity for every algorithm in this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a 1-based postorder number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `post` is zero (postorder numbers are 1-based).
+    #[inline]
+    pub fn new(post: u32) -> Self {
+        assert!(post > 0, "postorder numbers are 1-based");
+        NodeId(post)
+    }
+
+    /// The 1-based postorder number.
+    #[inline]
+    pub fn post(self) -> u32 {
+        self.0
+    }
+
+    /// The 0-based index into the tree's internal arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Creates a node id from a 0-based array index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32 + 1)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(post: u32) -> Self {
+        NodeId::new(post)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_and_index_round_trip() {
+        let id = NodeId::new(5);
+        assert_eq!(id.post(), 5);
+        assert_eq!(id.index(), 4);
+        assert_eq!(NodeId::from_index(4), id);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_is_rejected() {
+        let _ = NodeId::new(0);
+    }
+
+    #[test]
+    fn ordering_follows_postorder() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId::new(3).to_string(), "t3");
+    }
+}

@@ -1,0 +1,279 @@
+//! A binary on-disk format for postorder queues — the "persistent XML
+//! store" angle of the paper.
+//!
+//! Sec. VIII argues the postorder queue "can be implemented by any XML
+//! processing or storage system that allows an efficient postorder
+//! traversal", citing interval-encoded stores [24]. This module is such a
+//! store: parse a document once, persist it as a compact postorder file,
+//! and afterwards stream TASM queries straight from disk without
+//! re-parsing XML (typically several times smaller and faster to scan).
+//!
+//! # Format (version 1, little-endian)
+//!
+//! ```text
+//! magic   "TASMPQ1\n"                      8 bytes
+//! n_nodes u64
+//! n_labels u64
+//! labels  n_labels × (u32 len, bytes)       the dictionary, id order
+//! entries n_nodes × (u32 label, u32 size)   postorder
+//! ```
+//!
+//! The whole dictionary is stored in the header so readers can stream the
+//! fixed-width entry section with O(1) state per node.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::label::{LabelDict, LabelId};
+use crate::postorder_queue::{PostorderEntry, PostorderQueue};
+use crate::tree::Tree;
+
+const MAGIC: &[u8; 8] = b"TASMPQ1\n";
+
+/// Errors for the postorder file format.
+#[derive(Debug)]
+pub enum PostFileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Bad magic or malformed header/dictionary.
+    Format(String),
+}
+
+impl std::fmt::Display for PostFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PostFileError::Io(e) => write!(f, "postorder file I/O error: {e}"),
+            PostFileError::Format(m) => write!(f, "postorder file format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PostFileError {}
+
+impl From<io::Error> for PostFileError {
+    fn from(e: io::Error) -> Self {
+        PostFileError::Io(e)
+    }
+}
+
+/// Writes `queue` (with its dictionary) to `out` in the postorder file
+/// format. `n_nodes` must match the number of entries the queue yields.
+pub fn write_postfile<W: Write>(
+    mut out: W,
+    dict: &LabelDict,
+    queue: &mut dyn PostorderQueue,
+    n_nodes: u64,
+) -> Result<(), PostFileError> {
+    out.write_all(MAGIC)?;
+    out.write_all(&n_nodes.to_le_bytes())?;
+    out.write_all(&(dict.len() as u64).to_le_bytes())?;
+    for (_, name) in dict.iter() {
+        let bytes = name.as_bytes();
+        out.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        out.write_all(bytes)?;
+    }
+    let mut written = 0u64;
+    while let Some(e) = queue.dequeue() {
+        out.write_all(&e.label.0.to_le_bytes())?;
+        out.write_all(&e.size.to_le_bytes())?;
+        written += 1;
+    }
+    if written != n_nodes {
+        return Err(PostFileError::Format(format!(
+            "queue yielded {written} entries, header promised {n_nodes}"
+        )));
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Convenience: persists an in-memory tree to `path`.
+pub fn save_tree(path: impl AsRef<Path>, tree: &Tree, dict: &LabelDict) -> Result<(), PostFileError> {
+    let file = File::create(path)?;
+    let mut queue = crate::postorder_queue::TreeQueue::new(tree);
+    write_postfile(BufWriter::new(file), dict, &mut queue, tree.len() as u64)
+}
+
+/// A streaming reader over a postorder file: implements
+/// [`PostorderQueue`], holding O(1) state beyond the dictionary.
+#[derive(Debug)]
+pub struct PostFileReader<R: Read> {
+    input: R,
+    dict: LabelDict,
+    remaining: u64,
+    total: u64,
+}
+
+impl PostFileReader<BufReader<File>> {
+    /// Opens a postorder file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, PostFileError> {
+        let file = File::open(path)?;
+        Self::new(BufReader::new(file))
+    }
+}
+
+impl<R: Read> PostFileReader<R> {
+    /// Reads the header and dictionary from `input`.
+    pub fn new(mut input: R) -> Result<Self, PostFileError> {
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(PostFileError::Format("bad magic; not a TASMPQ1 file".into()));
+        }
+        let total = read_u64(&mut input)?;
+        let n_labels = read_u64(&mut input)?;
+        let mut dict = LabelDict::with_capacity(n_labels as usize);
+        let mut buf = Vec::new();
+        for i in 0..n_labels {
+            let len = read_u32(&mut input)? as usize;
+            if len > 1 << 24 {
+                return Err(PostFileError::Format(format!("label {i} is {len} bytes")));
+            }
+            buf.resize(len, 0);
+            input.read_exact(&mut buf)?;
+            let name = std::str::from_utf8(&buf)
+                .map_err(|_| PostFileError::Format(format!("label {i} is not UTF-8")))?;
+            let id = dict.intern(name);
+            if id.index() as u64 != i {
+                return Err(PostFileError::Format(format!("duplicate label {name}")));
+            }
+        }
+        Ok(PostFileReader { input, dict, remaining: total, total })
+    }
+
+    /// The dictionary stored in the file.
+    pub fn dict(&self) -> &LabelDict {
+        &self.dict
+    }
+
+    /// Total number of nodes in the file.
+    pub fn total_nodes(&self) -> u64 {
+        self.total
+    }
+
+    /// Consumes the reader, returning the dictionary (e.g. to resolve
+    /// match labels after the scan).
+    pub fn into_dict(self) -> LabelDict {
+        self.dict
+    }
+}
+
+impl<R: Read> PostorderQueue for PostFileReader<R> {
+    fn dequeue(&mut self) -> Option<PostorderEntry> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let label = read_u32(&mut self.input).ok()?;
+        let size = read_u32(&mut self.input).ok()?;
+        self.remaining -= 1;
+        Some(PostorderEntry { label: LabelId(label), size })
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        usize::try_from(self.remaining).ok()
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bracket;
+    use crate::postorder_queue::collect_tree;
+
+    fn sample() -> (Tree, LabelDict) {
+        let mut dict = LabelDict::new();
+        let t = bracket::parse(
+            "{dblp{article{auth{John}}{title{X1}}}{book{title{X2}}}}",
+            &mut dict,
+        )
+        .unwrap();
+        (t, dict)
+    }
+
+    #[test]
+    fn round_trip_in_memory() {
+        let (t, dict) = sample();
+        let mut bytes = Vec::new();
+        let mut q = crate::postorder_queue::TreeQueue::new(&t);
+        write_postfile(&mut bytes, &dict, &mut q, t.len() as u64).unwrap();
+
+        let mut reader = PostFileReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.total_nodes(), t.len() as u64);
+        assert_eq!(reader.dict().len(), dict.len());
+        assert_eq!(reader.dict().resolve(LabelId(0)), dict.resolve(LabelId(0)));
+        let t2 = collect_tree(&mut reader).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn round_trip_via_file() {
+        let (t, dict) = sample();
+        let path = std::env::temp_dir().join(format!("tasm_pf_{}.pq", std::process::id()));
+        save_tree(&path, &t, &dict).unwrap();
+        let mut reader = PostFileReader::open(&path).unwrap();
+        let t2 = collect_tree(&mut reader).unwrap();
+        assert_eq!(t, t2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn len_hint_counts_down() {
+        let (t, dict) = sample();
+        let mut bytes = Vec::new();
+        let mut q = crate::postorder_queue::TreeQueue::new(&t);
+        write_postfile(&mut bytes, &dict, &mut q, t.len() as u64).unwrap();
+        let mut reader = PostFileReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.len_hint(), Some(t.len()));
+        reader.dequeue();
+        assert_eq!(reader.len_hint(), Some(t.len() - 1));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = PostFileReader::new(&b"NOTAPQFILE______"[..]).unwrap_err();
+        assert!(matches!(err, PostFileError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        let err = PostFileReader::new(&b"TASMPQ1\n\x01"[..]).unwrap_err();
+        assert!(matches!(err, PostFileError::Io(_)));
+    }
+
+    #[test]
+    fn truncated_entries_end_the_stream() {
+        let (t, dict) = sample();
+        let mut bytes = Vec::new();
+        let mut q = crate::postorder_queue::TreeQueue::new(&t);
+        write_postfile(&mut bytes, &dict, &mut q, t.len() as u64).unwrap();
+        bytes.truncate(bytes.len() - 4); // cut the last entry in half
+        let mut reader = PostFileReader::new(bytes.as_slice()).unwrap();
+        let mut n = 0;
+        while reader.dequeue().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, t.len() - 1);
+    }
+
+    #[test]
+    fn writer_validates_count() {
+        let (t, dict) = sample();
+        let mut bytes = Vec::new();
+        let mut q = crate::postorder_queue::TreeQueue::new(&t);
+        let err = write_postfile(&mut bytes, &dict, &mut q, 99).unwrap_err();
+        assert!(matches!(err, PostFileError::Format(_)));
+    }
+}

@@ -1,0 +1,227 @@
+//! The postorder queue (Def. 2): the streaming interface to a document.
+//!
+//! A postorder queue is the sequence of `(label, size)` pairs of a tree's
+//! nodes in postorder; `size` is the size of the subtree rooted at the node.
+//! It uniquely defines the tree, and the only permitted operation is
+//! `dequeue`. TASM-postorder consumes a document exclusively through this
+//! interface, which is what makes it a *single-pass* algorithm: any storage
+//! layer that can produce an efficient postorder traversal (an XML parser, an
+//! XML stream, an interval-encoded relational store) can implement it.
+
+use crate::label::LabelId;
+use crate::tree::Tree;
+
+/// One element of a postorder queue: the node's label and the size of the
+/// subtree rooted at it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PostorderEntry {
+    /// Interned node label.
+    pub label: LabelId,
+    /// Size of the subtree rooted at this node (>= 1).
+    pub size: u32,
+}
+
+impl PostorderEntry {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(label: LabelId, size: u32) -> Self {
+        PostorderEntry { label, size }
+    }
+}
+
+/// A stream of tree nodes in postorder — the paper's *postorder queue*.
+///
+/// Implementations must yield a valid postorder encoding of a single tree
+/// (every prefix of the stream is a valid forest; the final entry is the
+/// root covering all nodes).
+pub trait PostorderQueue {
+    /// Removes and returns the next entry, or `None` when exhausted.
+    fn dequeue(&mut self) -> Option<PostorderEntry>;
+
+    /// A hint of the total number of nodes, if known (used only to size
+    /// buffers; correctness never depends on it).
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A postorder queue over an in-memory [`Tree`].
+#[derive(Debug, Clone)]
+pub struct TreeQueue<'a> {
+    tree: &'a Tree,
+    next: usize,
+}
+
+impl<'a> TreeQueue<'a> {
+    /// Creates a queue that yields all nodes of `tree` in postorder.
+    pub fn new(tree: &'a Tree) -> Self {
+        TreeQueue { tree, next: 0 }
+    }
+}
+
+impl PostorderQueue for TreeQueue<'_> {
+    fn dequeue(&mut self) -> Option<PostorderEntry> {
+        if self.next >= self.tree.len() {
+            return None;
+        }
+        let e = PostorderEntry {
+            label: self.tree.labels()[self.next],
+            size: self.tree.sizes()[self.next],
+        };
+        self.next += 1;
+        Some(e)
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.tree.len() - self.next)
+    }
+}
+
+/// A postorder queue over an owned vector of entries (used by generators
+/// and tests).
+#[derive(Debug, Clone)]
+pub struct VecQueue {
+    entries: std::vec::IntoIter<PostorderEntry>,
+}
+
+impl VecQueue {
+    /// Wraps a vector of postorder entries.
+    pub fn new(entries: Vec<PostorderEntry>) -> Self {
+        VecQueue { entries: entries.into_iter() }
+    }
+
+    /// Builds the queue for `tree` (copies the arrays).
+    pub fn from_tree(tree: &Tree) -> Self {
+        VecQueue::new(
+            tree.postorder()
+                .map(|(label, size)| PostorderEntry { label, size })
+                .collect(),
+        )
+    }
+}
+
+impl PostorderQueue for VecQueue {
+    fn dequeue(&mut self) -> Option<PostorderEntry> {
+        self.entries.next()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.entries.len())
+    }
+}
+
+/// Adapts any iterator of postorder entries into a postorder queue.
+#[derive(Debug, Clone)]
+pub struct IterQueue<I>(pub I);
+
+impl<I: Iterator<Item = PostorderEntry>> PostorderQueue for IterQueue<I> {
+    fn dequeue(&mut self) -> Option<PostorderEntry> {
+        self.0.next()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        match self.0.size_hint() {
+            (lo, Some(hi)) if lo == hi => Some(lo),
+            _ => None,
+        }
+    }
+}
+
+/// Collects a whole postorder queue back into a [`Tree`] (validating).
+///
+/// Mostly useful in tests: production code streams instead.
+pub fn collect_tree(
+    queue: &mut dyn PostorderQueue,
+) -> Result<Tree, crate::error::TreeError> {
+    let mut entries = Vec::new();
+    while let Some(e) = queue.dequeue() {
+        entries.push((e.label, e.size));
+    }
+    Tree::from_postorder(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelDict;
+
+    fn example_d_dict() -> (Tree, LabelDict) {
+        // The example document D of Fig. 4a (22 nodes).
+        let mut dict = LabelDict::new();
+        let t = crate::bracket::parse(
+            "{dblp{article{auth{John}}{title{X1}}}{proceedings{conf{VLDB}}\
+             {article{auth{Peter}}{title{X3}}}{article{auth{Mike}}{title{X4}}}}\
+             {book{title{X2}}}}",
+            &mut dict,
+        )
+        .unwrap();
+        (t, dict)
+    }
+
+    #[test]
+    fn example_d_postorder_queue_matches_fig_4b() {
+        let (t, dict) = example_d_dict();
+        assert_eq!(t.len(), 22);
+        let mut q = TreeQueue::new(&t);
+        let mut seq = Vec::new();
+        while let Some(e) = q.dequeue() {
+            seq.push((dict.resolve(e.label).to_string(), e.size));
+        }
+        let expected: Vec<(&str, u32)> = vec![
+            ("John", 1),
+            ("auth", 2),
+            ("X1", 1),
+            ("title", 2),
+            ("article", 5),
+            ("VLDB", 1),
+            ("conf", 2),
+            ("Peter", 1),
+            ("auth", 2),
+            ("X3", 1),
+            ("title", 2),
+            ("article", 5),
+            ("Mike", 1),
+            ("auth", 2),
+            ("X4", 1),
+            ("title", 2),
+            ("article", 5),
+            ("proceedings", 13),
+            ("X2", 1),
+            ("title", 2),
+            ("book", 3),
+            ("dblp", 22),
+        ];
+        let got: Vec<(&str, u32)> = seq.iter().map(|(s, n)| (s.as_str(), *n)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn tree_queue_len_hint_counts_down() {
+        let (t, _) = example_d_dict();
+        let mut q = TreeQueue::new(&t);
+        assert_eq!(q.len_hint(), Some(22));
+        q.dequeue();
+        assert_eq!(q.len_hint(), Some(21));
+    }
+
+    #[test]
+    fn vec_queue_round_trips() {
+        let (t, _) = example_d_dict();
+        let mut q = VecQueue::from_tree(&t);
+        let t2 = collect_tree(&mut q).unwrap();
+        assert_eq!(t, t2);
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn iterator_is_a_queue() {
+        let (t, _) = example_d_dict();
+        let entries: Vec<PostorderEntry> = t
+            .postorder()
+            .map(|(l, s)| PostorderEntry::new(l, s))
+            .collect();
+        let mut iter_queue = IterQueue(entries.into_iter());
+        let t2 = collect_tree(&mut iter_queue).unwrap();
+        assert_eq!(t, t2);
+    }
+}

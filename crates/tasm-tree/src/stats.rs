@@ -1,0 +1,138 @@
+//! Structural statistics of trees: shape summaries used by the experiment
+//! harness and for sanity-checking generated datasets against the shapes
+//! reported in the paper (XMark height 13, DBLP height 6, PSD height 7, …).
+
+use crate::tree::Tree;
+
+/// Shape summary of a tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Height (edges on the longest root-to-leaf path).
+    pub height: u32,
+    /// Maximum fanout over all nodes.
+    pub max_fanout: usize,
+    /// Mean fanout over internal nodes (0 if the tree is a single leaf).
+    pub mean_internal_fanout: f64,
+    /// Number of distinct labels used.
+    pub distinct_labels: usize,
+}
+
+impl TreeStats {
+    /// Computes the summary in O(n).
+    pub fn of(tree: &Tree) -> Self {
+        let mut leaves = 0usize;
+        let mut max_fanout = 0usize;
+        let mut internal = 0usize;
+        let mut child_edges = 0usize;
+        for id in tree.nodes() {
+            if tree.is_leaf(id) {
+                leaves += 1;
+            } else {
+                internal += 1;
+                let f = tree.fanout(id);
+                child_edges += f;
+                max_fanout = max_fanout.max(f);
+            }
+        }
+        let mut labels: Vec<u32> = tree.labels().iter().map(|l| l.0).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        TreeStats {
+            nodes: tree.len(),
+            leaves,
+            height: tree.height(),
+            max_fanout,
+            mean_internal_fanout: if internal == 0 {
+                0.0
+            } else {
+                child_edges as f64 / internal as f64
+            },
+            distinct_labels: labels.len(),
+        }
+    }
+}
+
+/// Histogram of subtree sizes: `histogram[s]` = number of nodes whose
+/// subtree has exactly `s` nodes (index 0 unused).
+///
+/// Used to validate the "data-centric XML" premise of Sec. V-B: in DBLP-like
+/// documents almost all subtrees are tiny while a few (the root path) are
+/// huge.
+pub fn subtree_size_histogram(tree: &Tree) -> Vec<u64> {
+    let mut hist = vec![0u64; tree.len() + 1];
+    for id in tree.nodes() {
+        hist[tree.size(id) as usize] += 1;
+    }
+    hist
+}
+
+/// Fraction of subtrees with size <= `threshold` (excluding the root).
+///
+/// The paper observes that over 99% of the root's subtrees in DBLP are below
+/// τ = 50; generators are checked against this.
+pub fn fraction_below(tree: &Tree, threshold: u32) -> f64 {
+    let n = tree.len();
+    if n <= 1 {
+        return 1.0;
+    }
+    let below = tree
+        .nodes()
+        .filter(|&id| id != tree.root() && tree.size(id) <= threshold)
+        .count();
+    below as f64 / (n - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelDict;
+
+    fn parse(s: &str) -> Tree {
+        let mut d = LabelDict::new();
+        crate::bracket::parse(s, &mut d).unwrap()
+    }
+
+    #[test]
+    fn stats_of_example_h() {
+        let t = parse("{x{a{b}{d}}{a{b}{c}}}");
+        let s = TreeStats::of(&t);
+        assert_eq!(s.nodes, 7);
+        assert_eq!(s.leaves, 4);
+        assert_eq!(s.height, 2);
+        assert_eq!(s.max_fanout, 2);
+        assert!((s.mean_internal_fanout - 2.0).abs() < 1e-12);
+        assert_eq!(s.distinct_labels, 5); // x, a, b, c, d
+    }
+
+    #[test]
+    fn histogram_counts_every_node() {
+        let t = parse("{x{a{b}{d}}{a{b}{c}}}");
+        let h = subtree_size_histogram(&t);
+        assert_eq!(h[1], 4); // four leaves
+        assert_eq!(h[3], 2); // two "a" subtrees
+        assert_eq!(h[7], 1); // root
+        assert_eq!(h.iter().sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn fraction_below_small_threshold() {
+        let t = parse("{x{a{b}{d}}{a{b}{c}}}");
+        // Non-root nodes: 4 leaves (size 1) and 2 size-3 subtrees.
+        assert!((fraction_below(&t, 1) - 4.0 / 6.0).abs() < 1e-12);
+        assert!((fraction_below(&t, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_stats() {
+        let t = parse("{a}");
+        let s = TreeStats::of(&t);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.height, 0);
+        assert_eq!(s.mean_internal_fanout, 0.0);
+        assert_eq!(fraction_below(&t, 1), 1.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Additional traversals over postorder arenas: preorder (document
+//! order), ancestor walks, and depth-first visits with enter/leave hooks.
+//!
+//! The arena stores nodes in postorder; preorder and ancestor traversals
+//! are derived from the size array without auxiliary structures, matching
+//! the paper's interval-encoding portability argument.
+
+use crate::node::NodeId;
+use crate::tree::Tree;
+
+/// Iterates the node ids of `tree` in **preorder** (document order):
+/// every node before its descendants, siblings left to right.
+///
+/// Derived directly from the postorder arena: the preorder successor of a
+/// non-leaf is its leftmost child's... more simply, preorder visits nodes
+/// in decreasing order of `(lml, -post)`; this iterator runs in O(n) with
+/// an explicit stack of pending sibling groups.
+pub fn preorder(tree: &Tree) -> Preorder<'_> {
+    Preorder { tree, stack: vec![tree.root()] }
+}
+
+/// Iterator for [`preorder`].
+#[derive(Debug)]
+pub struct Preorder<'a> {
+    tree: &'a Tree,
+    /// Pending nodes; the top is visited next, its children are pushed
+    /// right-to-left so the leftmost pops first.
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let node = self.stack.pop()?;
+        for child in self.tree.children_rl(node) {
+            self.stack.push(child);
+        }
+        Some(node)
+    }
+}
+
+/// Iterates the ancestors of `node`, nearest first (excludes `node`,
+/// ends at the root). O(height) total using binary-search-free upward
+/// scanning: the parent of `i` is the smallest `j > i` with `lml(j) <= lml(i)`.
+pub fn ancestors(tree: &Tree, node: NodeId) -> Ancestors<'_> {
+    Ancestors { tree, current: node }
+}
+
+/// Iterator for [`ancestors`].
+#[derive(Debug)]
+pub struct Ancestors<'a> {
+    tree: &'a Tree,
+    current: NodeId,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.current == self.tree.root() {
+            return None;
+        }
+        // Scan upward: the parent is the first node after `current` whose
+        // interval covers it.
+        let lml = self.tree.lml(self.current);
+        let mut candidate = NodeId::new(self.current.post() + 1);
+        loop {
+            if self.tree.lml(candidate) <= lml {
+                self.current = candidate;
+                return Some(candidate);
+            }
+            candidate = NodeId::new(candidate.post() + 1);
+        }
+    }
+}
+
+/// The lowest common ancestor of two nodes. O(height).
+pub fn lca(tree: &Tree, a: NodeId, b: NodeId) -> NodeId {
+    if a == b {
+        return a;
+    }
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    if tree.lml(hi) <= lo {
+        // hi is an ancestor of lo (or hi == lo handled above).
+        return hi;
+    }
+    for anc in ancestors(tree, hi) {
+        if tree.lml(anc) <= lo && lo <= anc {
+            return anc;
+        }
+    }
+    tree.root()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bracket;
+    use crate::label::LabelDict;
+
+    fn example_h() -> (Tree, LabelDict) {
+        let mut d = LabelDict::new();
+        let t = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut d).unwrap();
+        (t, d)
+    }
+
+    #[test]
+    fn preorder_of_example_h() {
+        let (h, d) = example_h();
+        let order: Vec<String> = preorder(&h)
+            .map(|id| d.resolve(h.label(id)).to_string())
+            .collect();
+        assert_eq!(order, vec!["x", "a", "b", "d", "a", "b", "c"]);
+        let ids: Vec<u32> = preorder(&h).map(|id| id.post()).collect();
+        assert_eq!(ids, vec![7, 3, 1, 2, 6, 4, 5]);
+    }
+
+    #[test]
+    fn preorder_visits_every_node_once() {
+        let mut d = LabelDict::new();
+        let t = bracket::parse("{r{a{x}{y{z}}}{b}{c{u}{v}}}", &mut d).unwrap();
+        let mut seen = vec![false; t.len()];
+        for id in preorder(&t) {
+            assert!(!seen[id.index()]);
+            seen[id.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn preorder_parent_before_child() {
+        let (h, _) = example_h();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; h.len()];
+            for (i, id) in preorder(&h).enumerate() {
+                pos[id.index()] = i;
+            }
+            pos
+        };
+        let parents = h.parents();
+        for id in h.nodes() {
+            if let Some(p) = parents[id.index()] {
+                assert!(pos[p.index()] < pos[id.index()], "{p} before {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_of_leaf() {
+        let (h, _) = example_h();
+        let anc: Vec<u32> = ancestors(&h, NodeId::new(1)).map(|a| a.post()).collect();
+        assert_eq!(anc, vec![3, 7]);
+        let anc: Vec<u32> = ancestors(&h, NodeId::new(5)).map(|a| a.post()).collect();
+        assert_eq!(anc, vec![6, 7]);
+    }
+
+    #[test]
+    fn ancestors_of_root_is_empty() {
+        let (h, _) = example_h();
+        assert_eq!(ancestors(&h, h.root()).count(), 0);
+    }
+
+    #[test]
+    fn ancestors_match_parents_chain() {
+        let mut d = LabelDict::new();
+        let t = bracket::parse("{r{a{x}{y{z}}}{b}{c{u}{v}}}", &mut d).unwrap();
+        let parents = t.parents();
+        for id in t.nodes() {
+            let mut expected = Vec::new();
+            let mut p = parents[id.index()];
+            while let Some(anc) = p {
+                expected.push(anc);
+                p = parents[anc.index()];
+            }
+            let got: Vec<NodeId> = ancestors(&t, id).collect();
+            assert_eq!(got, expected, "ancestors of {id}");
+        }
+    }
+
+    #[test]
+    fn lca_cases() {
+        let (h, _) = example_h();
+        // Siblings under a: lca(b1, d2) = a3.
+        assert_eq!(lca(&h, NodeId::new(1), NodeId::new(2)), NodeId::new(3));
+        // Across the two a-subtrees: root.
+        assert_eq!(lca(&h, NodeId::new(1), NodeId::new(4)), NodeId::new(7));
+        // Ancestor pair: the ancestor itself.
+        assert_eq!(lca(&h, NodeId::new(1), NodeId::new(3)), NodeId::new(3));
+        assert_eq!(lca(&h, NodeId::new(3), NodeId::new(1)), NodeId::new(3));
+        // Identical nodes.
+        assert_eq!(lca(&h, NodeId::new(5), NodeId::new(5)), NodeId::new(5));
+        // With the root.
+        assert_eq!(lca(&h, NodeId::new(7), NodeId::new(2)), NodeId::new(7));
+    }
+
+    #[test]
+    fn lca_brute_force_agreement() {
+        let mut d = LabelDict::new();
+        let t = bracket::parse("{r{a{x}{y{z}}}{b}{c{u}{v}}}", &mut d).unwrap();
+        let parents = t.parents();
+        let chain = |mut n: NodeId| {
+            let mut c = vec![n];
+            while let Some(p) = parents[n.index()] {
+                c.push(p);
+                n = p;
+            }
+            c
+        };
+        for a in t.nodes() {
+            for b in t.nodes() {
+                let ca = chain(a);
+                let cb = chain(b);
+                let expected = *ca
+                    .iter()
+                    .find(|x| cb.contains(x))
+                    .expect("root is shared");
+                assert_eq!(lca(&t, a, b), expected, "lca({a},{b})");
+            }
+        }
+    }
+}

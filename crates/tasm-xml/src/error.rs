@@ -1,0 +1,83 @@
+//! XML parsing errors.
+
+use std::fmt;
+
+/// Errors from the streaming XML parser.
+#[derive(Debug)]
+pub enum XmlError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed XML.
+    Syntax {
+        /// Approximate byte offset in the stream.
+        offset: u64,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A close tag did not match the open element.
+    MismatchedTag {
+        /// Byte offset of the close tag.
+        offset: u64,
+        /// The element that was open.
+        expected: String,
+        /// The name in the close tag.
+        found: String,
+    },
+    /// The document ended while elements were still open.
+    UnexpectedEof {
+        /// How many elements were open.
+        open: usize,
+    },
+    /// The document contains no root element.
+    NoRootElement,
+    /// Content found after the root element closed.
+    TrailingContent {
+        /// Byte offset of the trailing content.
+        offset: u64,
+    },
+    /// Invalid UTF-8 in the stream.
+    InvalidUtf8 {
+        /// Approximate byte offset.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Io(e) => write!(f, "I/O error: {e}"),
+            XmlError::Syntax { offset, message } => {
+                write!(f, "XML syntax error near byte {offset}: {message}")
+            }
+            XmlError::MismatchedTag { offset, expected, found } => write!(
+                f,
+                "mismatched close tag near byte {offset}: expected </{expected}>, found </{found}>"
+            ),
+            XmlError::UnexpectedEof { open } => {
+                write!(f, "unexpected end of document with {open} open element(s)")
+            }
+            XmlError::NoRootElement => write!(f, "document has no root element"),
+            XmlError::TrailingContent { offset } => {
+                write!(f, "content after the root element near byte {offset}")
+            }
+            XmlError::InvalidUtf8 { offset } => {
+                write!(f, "invalid UTF-8 near byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XmlError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for XmlError {
+    fn from(e: std::io::Error) -> Self {
+        XmlError::Io(e)
+    }
+}

@@ -1,0 +1,424 @@
+//! A streaming (pull) XML parser.
+//!
+//! Implemented from scratch for this reproduction: the paper's pipeline
+//! needs a parser that can drive a postorder queue without materializing
+//! the document ("a standard XML parser was used to implement the postorder
+//! queues", Sec. VII). The parser is event-based and incremental over any
+//! [`BufRead`], holding only the current element path.
+//!
+//! Scope (documented trade-offs, adequate for data-centric corpora):
+//!
+//! * elements, attributes, text, CDATA, comments, processing instructions
+//!   and DOCTYPE (with internal subset) are recognized;
+//! * namespaces are not resolved (prefixes are kept verbatim in names);
+//! * unknown entities pass through undecoded (see [`crate::escape`]);
+//! * whitespace-only text between elements is skipped.
+
+use std::io::BufRead;
+
+use crate::error::XmlError;
+use crate::escape::unescape;
+
+/// An attribute of a start tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name (namespace prefixes kept verbatim).
+    pub name: String,
+    /// Attribute value with entities resolved.
+    pub value: String,
+}
+
+/// A parsing event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// `<name attr="…">` or `<name/>` (the latter is followed by a matching
+    /// [`XmlEvent::EndElement`]).
+    StartElement {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// `</name>` (also synthesized for self-closing elements).
+    EndElement {
+        /// Element name.
+        name: String,
+    },
+    /// Character data (entities resolved; CDATA passed through raw).
+    /// Whitespace-only segments are never reported.
+    Text(String),
+}
+
+/// Pull parser over a buffered reader.
+#[derive(Debug)]
+pub struct XmlParser<R: BufRead> {
+    reader: R,
+    offset: u64,
+    /// Stack of open element names.
+    stack: Vec<String>,
+    /// Set once the root element has closed.
+    root_closed: bool,
+    /// Set once any root element was seen.
+    seen_root: bool,
+    /// Pending synthetic end tag for a self-closing element.
+    pending_end: Option<String>,
+    /// An event parsed early (a tag adjacent to a text segment that had to
+    /// be delivered first).
+    stashed: Option<XmlEvent>,
+    /// Scratch buffer reused across events.
+    buf: Vec<u8>,
+}
+
+impl<R: BufRead> XmlParser<R> {
+    /// Creates a parser over `reader`.
+    pub fn new(reader: R) -> Self {
+        XmlParser {
+            reader,
+            offset: 0,
+            stack: Vec::new(),
+            root_closed: false,
+            seen_root: false,
+            pending_end: None,
+            stashed: None,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Current element depth (number of open elements).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Approximate byte offset consumed so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Returns the next event, or `None` at a well-formed end of document.
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+        // A stashed event precedes any pending synthetic end tag: if a
+        // self-closing start tag was stashed, its end tag is also pending
+        // and must come after it.
+        if let Some(ev) = self.stashed.take() {
+            return Ok(Some(ev));
+        }
+        if let Some(name) = self.pending_end.take() {
+            let popped = self.stack.pop().expect("self-closing element was pushed");
+            debug_assert_eq!(popped, name);
+            if self.stack.is_empty() {
+                self.root_closed = true;
+            }
+            return Ok(Some(XmlEvent::EndElement { name }));
+        }
+        loop {
+            // Accumulate text up to the next '<' (or EOF).
+            self.buf.clear();
+            let n = self.reader.read_until(b'<', &mut self.buf)?;
+            if n == 0 {
+                // EOF.
+                if !self.stack.is_empty() {
+                    return Err(XmlError::UnexpectedEof { open: self.stack.len() });
+                }
+                if !self.seen_root {
+                    return Err(XmlError::NoRootElement);
+                }
+                return Ok(None);
+            }
+            self.offset += n as u64;
+            let had_tag = *self.buf.last().expect("n > 0") == b'<';
+            if had_tag {
+                self.buf.pop();
+            }
+            if !self.buf.iter().all(|b| b.is_ascii_whitespace()) {
+                let text = self.take_buf_utf8()?;
+                if self.stack.is_empty() {
+                    return Err(XmlError::TrailingContent {
+                        offset: self.offset,
+                    });
+                }
+                let text = unescape(&text);
+                if had_tag {
+                    // Push the tag processing to the next call by handling
+                    // it eagerly: we must not lose the '<' we consumed.
+                    // Emit the text now and parse the tag on the next call
+                    // via the `in_tag` fast path below.
+                    let event = self.parse_tag()?;
+                    // Deliver text first; stash the tag event.
+                    self.stash(event);
+                    return Ok(Some(XmlEvent::Text(text)));
+                }
+                return Ok(Some(XmlEvent::Text(text)));
+            }
+            if !had_tag {
+                // Whitespace then EOF; loop to hit the EOF branch.
+                continue;
+            }
+            if let Some(ev) = self.parse_tag()? {
+                return Ok(Some(ev));
+            }
+            // Comment / PI / DOCTYPE: keep scanning.
+        }
+    }
+
+    /// Stashes an event produced while another had to be delivered first.
+    fn stash(&mut self, ev: Option<XmlEvent>) {
+        debug_assert!(self.stashed.is_none(), "at most one stashed event");
+        self.stashed = ev;
+    }
+
+    fn take_buf_utf8(&mut self) -> Result<String, XmlError> {
+        String::from_utf8(std::mem::take(&mut self.buf))
+            .map_err(|_| XmlError::InvalidUtf8 { offset: self.offset })
+    }
+
+    /// Parses one markup construct after a consumed `<`. Returns `None`
+    /// for ignorable constructs (comments, PIs, DOCTYPE).
+    fn parse_tag(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+        let first = self.read_byte()?;
+        match first {
+            b'?' => {
+                self.skip_until(b"?>")?;
+                Ok(None)
+            }
+            b'!' => self.parse_bang(),
+            b'/' => {
+                // Close tag.
+                self.buf.clear();
+                let n = self.reader.read_until(b'>', &mut self.buf)?;
+                if n == 0 || *self.buf.last().unwrap() != b'>' {
+                    return Err(XmlError::UnexpectedEof { open: self.stack.len() });
+                }
+                self.offset += n as u64;
+                self.buf.pop();
+                let name = self.take_buf_utf8()?;
+                let name = name.trim().to_string();
+                match self.stack.pop() {
+                    Some(open) if open == name => {
+                        if self.stack.is_empty() {
+                            self.root_closed = true;
+                        }
+                        Ok(Some(XmlEvent::EndElement { name }))
+                    }
+                    Some(open) => Err(XmlError::MismatchedTag {
+                        offset: self.offset,
+                        expected: open,
+                        found: name,
+                    }),
+                    None => Err(XmlError::Syntax {
+                        offset: self.offset,
+                        message: format!("close tag </{name}> with no open element"),
+                    }),
+                }
+            }
+            c => {
+                // Start tag (or self-closing). Scan to '>' respecting quotes.
+                self.buf.clear();
+                self.buf.push(c);
+                let mut quote: Option<u8> = None;
+                loop {
+                    let b = self.read_byte()?;
+                    match quote {
+                        Some(q) if b == q => quote = None,
+                        Some(_) => {}
+                        None => match b {
+                            b'"' | b'\'' => quote = Some(b),
+                            b'>' => break,
+                            _ => {}
+                        },
+                    }
+                    self.buf.push(b);
+                }
+                let raw = self.take_buf_utf8()?;
+                let (raw, self_closing) = match raw.strip_suffix('/') {
+                    Some(r) => (r, true),
+                    None => (raw.as_str(), false),
+                };
+                if self.root_closed {
+                    return Err(XmlError::TrailingContent { offset: self.offset });
+                }
+                let (name, attributes) = parse_start_tag(raw, self.offset)?;
+                self.seen_root = true;
+                self.stack.push(name.clone());
+                if self_closing {
+                    self.pending_end = Some(name.clone());
+                }
+                Ok(Some(XmlEvent::StartElement { name, attributes }))
+            }
+        }
+    }
+
+    /// Parses `<!...` constructs: comments, CDATA, DOCTYPE.
+    fn parse_bang(&mut self) -> Result<Option<XmlEvent>, XmlError> {
+        let b1 = self.read_byte()?;
+        match b1 {
+            b'-' => {
+                let b2 = self.read_byte()?;
+                if b2 != b'-' {
+                    return Err(XmlError::Syntax {
+                        offset: self.offset,
+                        message: "malformed comment".into(),
+                    });
+                }
+                self.skip_until(b"-->")?;
+                Ok(None)
+            }
+            b'[' => {
+                // Expect CDATA[.
+                let mut head = [0u8; 6];
+                for slot in &mut head {
+                    *slot = self.read_byte()?;
+                }
+                if &head != b"CDATA[" {
+                    return Err(XmlError::Syntax {
+                        offset: self.offset,
+                        message: "malformed <![ construct (expected CDATA)".into(),
+                    });
+                }
+                let content = self.read_until_seq(b"]]>")?;
+                if self.stack.is_empty() {
+                    return Err(XmlError::TrailingContent { offset: self.offset });
+                }
+                if content.iter().all(|b| b.is_ascii_whitespace()) {
+                    return Ok(None);
+                }
+                let text = String::from_utf8(content)
+                    .map_err(|_| XmlError::InvalidUtf8 { offset: self.offset })?;
+                Ok(Some(XmlEvent::Text(text)))
+            }
+            _ => {
+                // DOCTYPE (or other declaration): skip to the matching '>'
+                // accounting for an internal subset in [ ... ].
+                let mut depth = 0i32;
+                loop {
+                    let b = self.read_byte()?;
+                    match b {
+                        b'[' => depth += 1,
+                        b']' => depth -= 1,
+                        b'>' if depth <= 0 => break,
+                        _ => {}
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn read_byte(&mut self) -> Result<u8, XmlError> {
+        let mut one = [0u8; 1];
+        match self.reader.read_exact(&mut one) {
+            Ok(()) => {
+                self.offset += 1;
+                Ok(one[0])
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                Err(XmlError::UnexpectedEof { open: self.stack.len() })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Skips input until `seq` has been consumed.
+    fn skip_until(&mut self, seq: &[u8]) -> Result<(), XmlError> {
+        self.read_until_seq(seq).map(|_| ())
+    }
+
+    /// Reads input until `seq`, returning the bytes before it.
+    fn read_until_seq(&mut self, seq: &[u8]) -> Result<Vec<u8>, XmlError> {
+        let mut out = Vec::new();
+        let mut matched = 0usize;
+        loop {
+            let b = self.read_byte()?;
+            if b == seq[matched] {
+                matched += 1;
+                if matched == seq.len() {
+                    return Ok(out);
+                }
+            } else {
+                if matched > 0 {
+                    out.extend_from_slice(&seq[..matched]);
+                    matched = 0;
+                    // The current byte might start a new match.
+                    if b == seq[0] {
+                        matched = 1;
+                        continue;
+                    }
+                }
+                out.push(b);
+            }
+        }
+    }
+}
+
+/// Parses the inside of a start tag: `name attr="v" attr2='w'`.
+fn parse_start_tag(raw: &str, offset: u64) -> Result<(String, Vec<Attribute>), XmlError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(XmlError::Syntax { offset, message: "empty tag".into() });
+    }
+    let name_end = raw
+        .find(|c: char| c.is_whitespace())
+        .unwrap_or(raw.len());
+    let name = raw[..name_end].to_string();
+    let mut attributes = Vec::new();
+    let rest = &raw[name_end..];
+    let bytes = rest.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Skip whitespace.
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        // Attribute name up to '=' or whitespace.
+        let start = i;
+        while i < bytes.len() && bytes[i] != b'=' && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let attr_name = rest[start..i].to_string();
+        // Skip whitespace before '='.
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b'=' {
+            // Valueless attribute (lenient).
+            attributes.push(Attribute { name: attr_name, value: String::new() });
+            continue;
+        }
+        i += 1; // consume '='
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(XmlError::Syntax {
+                offset,
+                message: format!("attribute {attr_name} has '=' but no value"),
+            });
+        }
+        let quote = bytes[i];
+        if quote != b'"' && quote != b'\'' {
+            return Err(XmlError::Syntax {
+                offset,
+                message: format!("attribute {attr_name} value must be quoted"),
+            });
+        }
+        i += 1;
+        let vstart = i;
+        while i < bytes.len() && bytes[i] != quote {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(XmlError::Syntax {
+                offset,
+                message: format!("unterminated value for attribute {attr_name}"),
+            });
+        }
+        attributes.push(Attribute {
+            name: attr_name,
+            value: unescape(&rest[vstart..i]),
+        });
+        i += 1; // closing quote
+    }
+    Ok((name, attributes))
+}

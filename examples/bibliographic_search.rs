@@ -1,0 +1,137 @@
+//! Bibliographic search — the paper's motivating scenario (Sec. I): find
+//! the articles in a DBLP-scale bibliography that best match a partially
+//! remembered citation.
+//!
+//! Generates a DBLP-like document with `tasm::data`, extracts one real
+//! article, perturbs it (as a user misremembering fields would), and runs
+//! both TASM algorithms, comparing their answers and their work.
+//!
+//! Run with: `cargo run --release --example bibliographic_search`
+
+use std::time::Instant;
+
+use tasm::data::{dblp_tree, DblpConfig};
+use tasm::prelude::*;
+use tasm::ted::TedStats;
+
+fn main() {
+    let mut dict = LabelDict::new();
+
+    // A bibliography with ~200k nodes (~12k records).
+    let doc = dblp_tree(&mut dict, &DblpConfig::new(2024, 200_000));
+    println!(
+        "document: {} nodes, height {}, {} records",
+        doc.len(),
+        doc.height(),
+        doc.fanout(doc.root())
+    );
+
+    // Take a real article and misremember it: wrong year, missing pages.
+    let article_label = dict.get("article").expect("generator uses articles");
+    let some_article = doc
+        .nodes()
+        .find(|&i| doc.label(i) == article_label && doc.size(i) >= 12)
+        .expect("an article exists");
+    let original = doc.subtree(some_article);
+
+    let mut b = TreeBuilder::new();
+    let pages_label = dict.get("pages");
+    let wrong_year = dict.intern("1999");
+    // Rebuild the query: copy the article, drop the pages field, change year.
+    rebuild_without_pages(&original, &mut b, &dict, pages_label, wrong_year);
+    let query = b.finish().expect("query is a tree");
+    println!(
+        "query: {} nodes (from a real {}-node article, year changed, pages dropped)",
+        query.len(),
+        original.len()
+    );
+
+    let k = 5;
+
+    // --- TASM-postorder (streaming, the paper's algorithm) -------------
+    let mut stats_po = TedStats::new();
+    let t0 = Instant::now();
+    let mut stream = TreeQueue::new(&doc);
+    let top_po = tasm_postorder(
+        &query,
+        &mut stream,
+        k,
+        &UnitCost,
+        1,
+        TasmOptions::default(),
+        Some(&mut stats_po),
+    );
+    let dt_po = t0.elapsed();
+
+    // --- TASM-dynamic (baseline) ---------------------------------------
+    let mut stats_dy = TedStats::new();
+    let t0 = Instant::now();
+    let top_dy = tasm_dynamic(&query, &doc, k, &UnitCost, TasmOptions::default(), Some(&mut stats_dy));
+    let dt_dy = t0.elapsed();
+
+    println!("\ntop-{k} (TASM-postorder, {dt_po:?}):");
+    for (rank, m) in top_po.iter().enumerate() {
+        println!(
+            "  #{} node {:>7}  distance {:>4}  size {}",
+            rank + 1,
+            m.root.post(),
+            m.distance.to_string(),
+            m.size
+        );
+    }
+
+    // Both algorithms agree on distances (and here, on the subtrees).
+    assert_eq!(
+        top_po.iter().map(|m| m.distance).collect::<Vec<_>>(),
+        top_dy.iter().map(|m| m.distance).collect::<Vec<_>>()
+    );
+    // The perturbed original is the best match.
+    assert_eq!(top_po[0].root.post(), some_article.post());
+
+    println!("\nwork comparison (Fig. 11 in miniature):");
+    println!(
+        "  dynamic:   {} relevant subtrees, largest {} nodes",
+        stats_dy.total_relevant(),
+        stats_dy.max_relevant_size()
+    );
+    println!(
+        "  postorder: {} relevant subtrees, largest {} nodes (τ = {})",
+        stats_po.total_relevant(),
+        stats_po.max_relevant_size(),
+        threshold(query.len() as u64, 1, 1, k as u64)
+    );
+    println!("  dynamic/postorder runtime: {:.1}×", dt_dy.as_secs_f64() / dt_po.as_secs_f64());
+}
+
+/// Copies `tree` into `b`, dropping `pages` subtrees and renaming any year
+/// text to `wrong_year`.
+fn rebuild_without_pages(
+    tree: &Tree,
+    b: &mut TreeBuilder,
+    dict: &LabelDict,
+    pages_label: Option<LabelId>,
+    wrong_year: LabelId,
+) {
+    fn rec(
+        tree: &Tree,
+        node: NodeId,
+        b: &mut TreeBuilder,
+        dict: &LabelDict,
+        pages_label: Option<LabelId>,
+        wrong_year: LabelId,
+        in_year: bool,
+    ) {
+        if Some(tree.label(node)) == pages_label {
+            return; // forget the pages field entirely
+        }
+        let label = tree.label(node);
+        let is_year = dict.resolve(label) == "year";
+        let out_label = if in_year && tree.is_leaf(node) { wrong_year } else { label };
+        b.start(out_label);
+        for c in tree.children(node) {
+            rec(tree, c, b, dict, pages_label, wrong_year, is_year);
+        }
+        b.end().expect("balanced");
+    }
+    rec(tree, tree.root(), b, dict, pages_label, wrong_year, false);
+}

@@ -1,0 +1,103 @@
+//! Approximate XML keyword search — the future-work direction sketched in
+//! the paper's conclusion (Sec. VIII): "one is interested in small subtrees
+//! that match a set of keywords, which can be accommodated in the
+//! formulation of the tree edit distance".
+//!
+//! Keywords are turned into a star query (a result-type root whose
+//! children are the keywords). The cost model does the ranking work the
+//! paper alludes to ("the node cost can depend on the element type",
+//! Sec. IV-D): keyword nodes carry a high cost, so *dropping* a keyword is
+//! expensive, while document nodes are cheap to insert — the best answers
+//! are small subtrees that cover many keywords. Content score (coverage)
+//! and structure score (conciseness) of XML keyword search (Sec. III)
+//! emerge from one edit-distance formulation.
+//!
+//! Run with: `cargo run --release --example keyword_search`
+
+use tasm::data::{dblp_tree, DblpConfig};
+use tasm::prelude::*;
+use tasm::PerLabelCost;
+
+/// Cost of a keyword node: dropping one costs this many unit edits.
+const KEYWORD_WEIGHT: u64 = 25;
+
+/// Builds the star query for a keyword set: root `root` with one child per
+/// keyword.
+fn keyword_query(dict: &mut LabelDict, root: &str, keywords: &[&str]) -> Tree {
+    let mut b = TreeBuilder::new();
+    b.start(dict.intern(root));
+    for kw in keywords {
+        b.leaf(dict.intern(kw));
+    }
+    b.end().expect("balanced");
+    b.finish().expect("single root")
+}
+
+fn main() {
+    let mut dict = LabelDict::new();
+    let doc = dblp_tree(&mut dict, &DblpConfig::new(99, 100_000));
+    println!("bibliography: {} nodes", doc.len());
+
+    // Keywords must match whole text nodes (a text node is one label in
+    // the paper's node model), so we search by field values: an author
+    // name, a year and a journal.
+    let keywords = ["Author_0", "1995", "Journal 3"];
+    let query = keyword_query(&mut dict, "article", &keywords);
+    println!("keywords: {keywords:?} -> star query of {} nodes", query.len());
+
+    // Keywords are precious; everything else is cheap filler.
+    let mut model = PerLabelCost::new(1);
+    for kw in &keywords {
+        model.set(dict.get(kw).expect("interned"), KEYWORD_WEIGHT);
+    }
+
+    let k = 5;
+    let mut stream = TreeQueue::new(&doc);
+    let matches = tasm_postorder(
+        &query,
+        &mut stream,
+        k,
+        &model,
+        KEYWORD_WEIGHT, // c_T: keyword labels also occur in the document
+        TasmOptions { keep_trees: true, ..Default::default() },
+        None,
+    );
+
+    println!("\ntop-{k} matches (coverage beats conciseness):");
+    for (rank, m) in matches.iter().enumerate() {
+        let tree = m.tree.as_ref().expect("keep_trees");
+        let covered = keywords
+            .iter()
+            .filter(|kw| {
+                dict.get(kw)
+                    .map(|id| tree.labels().contains(&id))
+                    .unwrap_or(false)
+            })
+            .count();
+        println!(
+            "  #{} node {:>7} distance {:>6} size {:>3} keywords covered {}/{}",
+            rank + 1,
+            m.root.post(),
+            m.distance.to_string(),
+            m.size,
+            covered,
+            keywords.len()
+        );
+    }
+
+    // The top answer covers at least two of the three keywords: dropping
+    // a keyword (25.0) outweighs inserting a whole extra field (1.0 each).
+    let best = matches[0].tree.as_ref().unwrap();
+    let covered_best = keywords
+        .iter()
+        .filter(|kw| dict.get(kw).map(|id| best.labels().contains(&id)).unwrap_or(false))
+        .count();
+    assert!(covered_best >= 2, "top answer covers {covered_best} keywords");
+
+    // And answers remain small: Theorem 3 bounds them by τ even with the
+    // weighted costs.
+    let c_q = KEYWORD_WEIGHT; // max query node cost
+    let tau = threshold(query.len() as u64, c_q, KEYWORD_WEIGHT, k as u64);
+    assert!(matches.iter().all(|m| u64::from(m.size) <= tau));
+    println!("\nall answers within τ = {tau} nodes");
+}

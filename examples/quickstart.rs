@@ -1,0 +1,74 @@
+//! Quickstart: the 60-second tour of the TASM API.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use tasm::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. High-level API: query an XML document with `TasmQuery`.
+    // ------------------------------------------------------------------
+    let document = r#"
+        <dblp>
+          <article><author>John Doe</author><title>Tree Edit Distance</title><year>2008</year></article>
+          <article><author>Jane Roe</author><title>Subtree Matching</title><year>2009</year></article>
+          <article><author>Jane Roe</author><title>Tree Edit Distance</title><year>2010</year></article>
+          <book><title>Algorithms on Trees</title></book>
+        </dblp>"#;
+
+    let query_xml =
+        "<article><author>Jane Roe</author><title>Tree Edit Distance</title><year>2010</year></article>";
+
+    let mut query = TasmQuery::from_xml(query_xml).expect("valid query XML").k(3);
+    let matches = query.run_xml_str(document).expect("valid document XML");
+
+    println!("Top-{} matches for the query article:", matches.len());
+    for (rank, m) in matches.iter().enumerate() {
+        println!(
+            "  #{} distance={} size={} root=node {}",
+            rank + 1,
+            m.distance,
+            m.size,
+            m.root.post()
+        );
+        if let Some(xml) = query.match_to_xml(m) {
+            println!("     {xml}");
+        }
+    }
+    assert_eq!(matches[0].distance, Cost::ZERO); // exact copy exists
+
+    // ------------------------------------------------------------------
+    // 2. Low-level API: trees, edit distance, and the paper's example.
+    // ------------------------------------------------------------------
+    let mut dict = LabelDict::new();
+    // Query G and document H from Fig. 2 of the paper.
+    let g = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
+    let h = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict).unwrap();
+
+    // δ(G, H) = 4 (Fig. 3).
+    let distance = ted(&g, &h, &UnitCost);
+    println!("\nPaper example: δ(G, H) = {distance}");
+    assert_eq!(distance, Cost::from_natural(4));
+
+    // TASM with the streaming algorithm: top-2 = (H6, H3) (Example 2).
+    let mut stream = TreeQueue::new(&h);
+    let top2 = tasm_postorder(&g, &mut stream, 2, &UnitCost, 1, TasmOptions::default(), None);
+    println!(
+        "Top-2 subtrees of H: nodes {} and {} at distances {} and {}",
+        top2[0].root.post(),
+        top2[1].root.post(),
+        top2[0].distance,
+        top2[1].distance
+    );
+    assert_eq!(top2[0].root.post(), 6);
+    assert_eq!(top2[1].root.post(), 3);
+
+    // ------------------------------------------------------------------
+    // 3. The size threshold τ (Theorem 3): why TASM-postorder scales.
+    // ------------------------------------------------------------------
+    // A 15-node query, top-20, unit costs — any answer subtree has at most
+    // 2·|Q| + k = 50 nodes, no matter how big the document is.
+    let tau = threshold(15, 1, 1, 20);
+    println!("\nτ for |Q|=15, k=20 under unit costs: {tau} nodes");
+    assert_eq!(tau, 50);
+}

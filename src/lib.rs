@@ -1,0 +1,253 @@
+//! # TASM: Top-k Approximate Subtree Matching
+//!
+//! A Rust implementation of *Augsten, Böhlen, Barbosa, Palpanas — "TASM:
+//! Top-k Approximate Subtree Matching", ICDE 2010*: find the `k` subtrees
+//! of a large document tree that are closest to a small query tree under
+//! the canonical tree edit distance, in **one pass** over the document and
+//! with memory **independent of the document size**.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`tree`] | ordered labeled trees, label dictionary, postorder queues |
+//! | [`ted`] | Zhang–Shasha tree edit distance, cost models |
+//! | [`core`] | τ threshold, prefix ring buffer, TASM-dynamic/postorder |
+//! | [`xml`] | streaming XML parser → postorder queue |
+//! | [`data`] | XMark/DBLP/PSD-like workload generators |
+//!
+//! # Quick start
+//!
+//! ```
+//! use tasm::TasmQuery;
+//!
+//! let document = r#"
+//!     <dblp>
+//!       <article><author>John Doe</author><title>Tree Matching</title></article>
+//!       <article><author>Jane Roe</author><title>Graph Matching</title></article>
+//!       <book><title>Trees</title></book>
+//!     </dblp>"#;
+//!
+//! let matches = TasmQuery::from_xml(
+//!         "<article><author>Jane Roe</author><title>Tree Matching</title></article>")
+//!     .unwrap()
+//!     .k(2)
+//!     .run_xml_str(document)
+//!     .unwrap();
+//!
+//! assert_eq!(matches.len(), 2);
+//! // Both articles match with one rename each; the book is further away.
+//! assert_eq!(matches[0].distance.as_f64(), 1.0);
+//! ```
+//!
+//! For streaming gigabyte-scale documents use
+//! [`TasmQuery::run_xml_file`], which keeps only `O(τ)` nodes in memory
+//! (Theorem 2 of the paper), or drive [`core::tasm_postorder`] with any
+//! [`tree::PostorderQueue`] implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tasm_core as core;
+pub use tasm_data as data;
+pub use tasm_ted as ted;
+pub use tasm_tree as tree;
+pub use tasm_xml as xml;
+
+pub use tasm_core::{Match, TasmOptions};
+pub use tasm_ted::{Cost, CostModel, FanoutWeighted, PerLabelCost, UnitCost};
+pub use tasm_tree::{LabelDict, NodeId, Tree};
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+/// Everything needed for typical use, in one import.
+pub mod prelude {
+    pub use crate::core::{
+        prb_pruning, tasm_dynamic, tasm_naive, tasm_postorder, threshold, Match,
+        PrefixRingBuffer, TasmOptions, TopKHeap,
+    };
+    pub use crate::ted::{ted, ted_full, Cost, CostModel, FanoutWeighted, UnitCost};
+    pub use crate::tree::{
+        bracket, LabelDict, LabelId, NodeId, PostorderEntry, PostorderQueue, Tree,
+        TreeBuilder, TreeQueue,
+    };
+    pub use crate::xml::{parse_tree_str, XmlPostorderQueue};
+    pub use crate::TasmQuery;
+}
+
+/// Errors from the high-level query API.
+#[derive(Debug)]
+pub enum TasmError {
+    /// Query or document XML failed to parse.
+    Xml(xml::XmlError),
+    /// I/O failure opening or reading the document.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TasmError::Xml(e) => write!(f, "XML error: {e}"),
+            TasmError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TasmError {}
+
+impl From<xml::XmlError> for TasmError {
+    fn from(e: xml::XmlError) -> Self {
+        TasmError::Xml(e)
+    }
+}
+
+impl From<std::io::Error> for TasmError {
+    fn from(e: std::io::Error) -> Self {
+        TasmError::Io(e)
+    }
+}
+
+/// A configured TASM query: the high-level entry point.
+///
+/// Wraps query parsing, the label dictionary, the Theorem 3 threshold and
+/// the single-pass evaluation. Uses the unit cost model; for custom cost
+/// models call [`core::tasm_postorder`] directly.
+#[derive(Debug)]
+pub struct TasmQuery {
+    dict: LabelDict,
+    query: Tree,
+    k: usize,
+    options: TasmOptions,
+}
+
+impl TasmQuery {
+    /// Parses the query from an XML fragment.
+    pub fn from_xml(query_xml: &str) -> Result<Self, TasmError> {
+        let mut dict = LabelDict::new();
+        let query = xml::parse_tree_str(query_xml, &mut dict)?;
+        Ok(TasmQuery { dict, query, k: 1, options: TasmOptions { keep_trees: true, ..Default::default() } })
+    }
+
+    /// Parses the query from bracket notation (e.g. `{a{b}{c}}`).
+    pub fn from_bracket(query: &str) -> Result<Self, tree::TreeError> {
+        let mut dict = LabelDict::new();
+        let query = tree::bracket::parse(query, &mut dict)?;
+        Ok(TasmQuery { dict, query, k: 1, options: TasmOptions { keep_trees: true, ..Default::default() } })
+    }
+
+    /// Sets the ranking size `k` (default 1).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k.max(1);
+        self
+    }
+
+    /// Sets whether matched subtrees are copied into the results
+    /// (default `true`).
+    pub fn keep_trees(mut self, keep: bool) -> Self {
+        self.options.keep_trees = keep;
+        self
+    }
+
+    /// The parsed query tree.
+    pub fn query(&self) -> &Tree {
+        &self.query
+    }
+
+    /// The label dictionary (grows while documents are processed).
+    pub fn dict(&self) -> &LabelDict {
+        &self.dict
+    }
+
+    /// Runs the query against an XML string (streamed; the document tree is
+    /// never materialized).
+    pub fn run_xml_str(&mut self, document: &str) -> Result<Vec<Match>, TasmError> {
+        self.run_reader(document.as_bytes())
+    }
+
+    /// Runs the query against an XML file, streaming it with `O(τ)` memory.
+    pub fn run_xml_file(&mut self, path: impl AsRef<Path>) -> Result<Vec<Match>, TasmError> {
+        let file = File::open(path)?;
+        self.run_reader(BufReader::new(file))
+    }
+
+    /// Runs the query against any buffered XML source.
+    pub fn run_reader<R: std::io::BufRead>(
+        &mut self,
+        reader: R,
+    ) -> Result<Vec<Match>, TasmError> {
+        let mut queue = xml::XmlPostorderQueue::new(reader, &mut self.dict);
+        let matches = core::tasm_postorder(
+            &self.query,
+            &mut queue,
+            self.k,
+            &UnitCost,
+            1,
+            self.options,
+            None,
+        );
+        if let Some(err) = queue.take_error() {
+            return Err(err.into());
+        }
+        Ok(matches)
+    }
+
+    /// Runs the query against an in-memory tree that shares this query's
+    /// dictionary (e.g. built with [`TasmQuery::parse_document`]).
+    pub fn run_tree(&self, doc: &Tree) -> Vec<Match> {
+        let mut queue = tree::TreeQueue::new(doc);
+        core::tasm_postorder(&self.query, &mut queue, self.k, &UnitCost, 1, self.options, None)
+    }
+
+    /// Parses a document into this query's dictionary for use with
+    /// [`TasmQuery::run_tree`] / repeated runs.
+    pub fn parse_document(&mut self, xml_text: &str) -> Result<Tree, TasmError> {
+        Ok(xml::parse_tree_str(xml_text, &mut self.dict)?)
+    }
+
+    /// Renders a match's subtree back to XML (requires `keep_trees`).
+    pub fn match_to_xml(&self, m: &Match) -> Option<String> {
+        m.tree.as_ref().map(|t| xml::tree_to_xml(t, &self.dict))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let doc = "<r><a><b>x</b></a><a><b>y</b></a></r>";
+        let matches = TasmQuery::from_xml("<a><b>x</b></a>")
+            .unwrap()
+            .k(2)
+            .run_xml_str(doc)
+            .unwrap();
+        assert_eq!(matches.len(), 2);
+        assert_eq!(matches[0].distance, Cost::ZERO);
+        assert_eq!(matches[1].distance.as_f64(), 1.0);
+    }
+
+    #[test]
+    fn match_to_xml_renders() {
+        let mut q = TasmQuery::from_xml("<a><b>x</b></a>").unwrap();
+        let matches = q.run_xml_str("<r><a><b>x</b></a></r>").unwrap();
+        let rendered = q.match_to_xml(&matches[0]).unwrap();
+        assert_eq!(rendered, "<a><b>x</b></a>");
+    }
+
+    #[test]
+    fn bracket_queries_work() {
+        let mut q = TasmQuery::from_bracket("{a{b}}").unwrap();
+        let doc = q.parse_document("<r><a><b/></a></r>").unwrap();
+        let matches = q.run_tree(&doc);
+        assert_eq!(matches[0].distance, Cost::ZERO);
+    }
+
+    #[test]
+    fn malformed_document_errors() {
+        let mut q = TasmQuery::from_xml("<a/>").unwrap();
+        assert!(q.run_xml_str("<r><a></r>").is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-crate integration: generators → XML files → streaming parse →
+//! TASM, checked against the in-memory pipeline.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use tasm::core::{tasm_dynamic, tasm_postorder, TasmOptions};
+use tasm::data::{dblp_tree, psd_tree, random_query, xmark_tree, DblpConfig, PsdConfig, XMarkConfig};
+use tasm::ted::UnitCost;
+use tasm::tree::{LabelDict, PostorderQueue, TreeQueue};
+use tasm::xml::{parse_tree, write_tree, XmlPostorderQueue};
+use tasm::TasmQuery;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tasm_it_{}_{name}", std::process::id()))
+}
+
+/// Writing a generated tree to XML and re-parsing it yields the same tree,
+/// for all three dataset generators.
+#[test]
+fn xml_round_trip_of_generators() {
+    let mut dict = LabelDict::new();
+    let docs = [xmark_tree(&mut dict, &XMarkConfig::new(1, 5_000)),
+        dblp_tree(&mut dict, &DblpConfig::new(2, 5_000)),
+        psd_tree(&mut dict, &PsdConfig::new(3, 5_000))];
+    for (i, doc) in docs.iter().enumerate() {
+        let path = tmp(&format!("round_{i}.xml"));
+        let file = File::create(&path).unwrap();
+        write_tree(doc, &dict, BufWriter::new(file)).unwrap();
+        let file = File::open(&path).unwrap();
+        let reparsed = parse_tree(BufReader::new(file), &mut dict).unwrap();
+        assert_eq!(doc, &reparsed, "generator {i} round trip");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Streaming a file through the ring buffer gives the same ranking as the
+/// fully in-memory dynamic algorithm.
+#[test]
+fn streamed_file_matches_in_memory_ranking() {
+    let mut dict = LabelDict::new();
+    let doc = dblp_tree(&mut dict, &DblpConfig::new(11, 20_000));
+    let (query, _) = random_query(&doc, 12, 5);
+
+    let path = tmp("stream.xml");
+    let file = File::create(&path).unwrap();
+    write_tree(&doc, &dict, BufWriter::new(file)).unwrap();
+
+    let k = 7;
+    let in_memory = tasm_dynamic(&query, &doc, k, &UnitCost, TasmOptions::default(), None);
+
+    let file = File::open(&path).unwrap();
+    let mut queue = XmlPostorderQueue::new(BufReader::new(file), &mut dict);
+    let streamed =
+        tasm_postorder(&query, &mut queue, k, &UnitCost, 1, TasmOptions::default(), None);
+    assert!(queue.is_ok());
+
+    let dist = |ms: &[tasm::Match]| ms.iter().map(|m| m.distance).collect::<Vec<_>>();
+    assert_eq!(dist(&in_memory), dist(&streamed));
+    // Exact-match roots also agree (ties broken identically here).
+    assert_eq!(
+        in_memory.iter().map(|m| m.root).collect::<Vec<_>>(),
+        streamed.iter().map(|m| m.root).collect::<Vec<_>>()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// The high-level `TasmQuery` API against a file on disk.
+#[test]
+fn tasm_query_over_file() {
+    let mut dict = LabelDict::new();
+    let doc = dblp_tree(&mut dict, &DblpConfig::new(21, 10_000));
+    let path = tmp("api.xml");
+    let file = File::create(&path).unwrap();
+    write_tree(&doc, &dict, BufWriter::new(file)).unwrap();
+
+    // Query: one real record serialized back to XML.
+    let article = dict.get("article").unwrap();
+    let rec = doc
+        .nodes()
+        .find(|&i| doc.label(i) == article)
+        .expect("an article exists");
+    let query_xml = tasm::xml::tree_to_xml(&doc.subtree(rec), &dict);
+
+    let mut q = TasmQuery::from_xml(&query_xml).unwrap().k(3);
+    let matches = q.run_xml_file(&path).unwrap();
+    assert_eq!(matches.len(), 3);
+    assert_eq!(matches[0].distance, tasm::Cost::ZERO, "the record finds itself");
+    // Rendered match re-parses to the same subtree.
+    let rendered = q.match_to_xml(&matches[0]).unwrap();
+    let mut d2 = LabelDict::new();
+    let t2 = tasm::xml::parse_tree_str(&rendered, &mut d2).unwrap();
+    assert_eq!(t2.len() as u32, matches[0].size);
+    std::fs::remove_file(&path).ok();
+}
+
+/// The streaming queue and the in-memory queue of the same document yield
+/// byte-identical postorder entries (label strings and sizes).
+#[test]
+fn xml_queue_equals_tree_queue() {
+    let mut dict = LabelDict::new();
+    let doc = xmark_tree(&mut dict, &XMarkConfig::new(31, 3_000));
+    let xml = tasm::xml::tree_to_xml(&doc, &dict);
+
+    let mut mem: Vec<(String, u32)> = Vec::new();
+    let mut q = TreeQueue::new(&doc);
+    while let Some(e) = q.dequeue() {
+        mem.push((dict.resolve(e.label).to_string(), e.size));
+    }
+
+    let mut dict2 = LabelDict::new();
+    let mut q2 = XmlPostorderQueue::new(xml.as_bytes(), &mut dict2);
+    let mut streamed: Vec<tasm::tree::PostorderEntry> = Vec::new();
+    while let Some(e) = q2.dequeue() {
+        streamed.push(e);
+    }
+    assert!(q2.is_ok());
+    let streamed: Vec<(String, u32)> = streamed
+        .into_iter()
+        .map(|e| (dict2.resolve(e.label).to_string(), e.size))
+        .collect();
+    assert_eq!(mem, streamed);
+}
+
+/// k larger than the number of small subtrees, deep queries, degenerate
+/// documents: the pipeline must not panic and must keep rankings sorted.
+#[test]
+fn edge_shapes_do_not_break_the_pipeline() {
+    let cases = [
+        "<r/>",
+        "<r><a/></r>",
+        "<r><a><b><c><d><e>x</e></d></c></b></a></r>",
+        "<r><a/><b/><c/><d/><e/><f/><g/><h/></r>",
+    ];
+    for xml in cases {
+        let mut q = TasmQuery::from_xml("<a><b/></a>").unwrap().k(50);
+        let matches = q.run_xml_str(xml).expect("parses");
+        assert!(!matches.is_empty());
+        assert!(matches.windows(2).all(|w| w[0].distance <= w[1].distance), "{xml}");
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end checks against every worked example in the paper.
+//!
+//! Fig. 2 (trees G and H), Fig. 3 (tree distance matrix), Example 1
+//! (relevant subtrees), Example 2 (TASM-dynamic top-2), Example 3 /
+//! Figs. 4–6 (document D, its postorder queue, the candidate set for
+//! τ = 6), and the Sec. VI-B running numbers.
+
+use tasm::core::{prb_pruning, tasm_dynamic, tasm_naive, tasm_postorder, threshold, TasmOptions};
+use tasm::ted::{ted, ted_full, Cost, UnitCost};
+use tasm::tree::{bracket, keyroots, LabelDict, NodeId, PostorderQueue, TreeQueue};
+
+fn dict_g_h() -> (LabelDict, tasm::Tree, tasm::Tree) {
+    let mut dict = LabelDict::new();
+    let g = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
+    let h = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict).unwrap();
+    (dict, g, h)
+}
+
+fn document_d(dict: &mut LabelDict) -> tasm::Tree {
+    bracket::parse(
+        "{dblp{article{auth{John}}{title{X1}}}{proceedings{conf{VLDB}}\
+         {article{auth{Peter}}{title{X3}}}{article{auth{Mike}}{title{X4}}}}\
+         {book{title{X2}}}}",
+        dict,
+    )
+    .unwrap()
+}
+
+#[test]
+fn example_1_relevant_subtrees() {
+    let (_, g, h) = dict_g_h();
+    let kg: Vec<u32> = keyroots(&g).iter().map(|n| n.post()).collect();
+    let kh: Vec<u32> = keyroots(&h).iter().map(|n| n.post()).collect();
+    assert_eq!(kg, vec![2, 3], "relevant subtrees of G are G2, G3");
+    assert_eq!(kh, vec![2, 5, 6, 7], "relevant subtrees of H are H2, H5, H6, H7");
+}
+
+#[test]
+fn fig_3_tree_distance_matrix() {
+    let (_, g, h) = dict_g_h();
+    let td = ted_full(&g, &h, &UnitCost, None);
+    let expected: [[u64; 7]; 3] = [
+        [0, 1, 2, 0, 1, 2, 6],
+        [1, 1, 3, 1, 0, 2, 6],
+        [2, 3, 1, 2, 2, 0, 4],
+    ];
+    for (i, row) in expected.iter().enumerate() {
+        for (j, &want) in row.iter().enumerate() {
+            assert_eq!(
+                td.subtree_distance(NodeId::new(i as u32 + 1), NodeId::new(j as u32 + 1)),
+                Cost::from_natural(want),
+                "td[G{}][H{}]",
+                i + 1,
+                j + 1
+            );
+        }
+    }
+    assert_eq!(ted(&g, &h, &UnitCost), Cost::from_natural(4));
+}
+
+#[test]
+fn example_2_tasm_dynamic_top2() {
+    let (_, g, h) = dict_g_h();
+    let r = tasm_dynamic(&g, &h, 2, &UnitCost, TasmOptions::default(), None);
+    assert_eq!(r[0].root.post(), 6, "first H6");
+    assert_eq!(r[0].distance, Cost::ZERO);
+    assert_eq!(r[1].root.post(), 3, "then H3");
+    assert_eq!(r[1].distance, Cost::from_natural(1));
+}
+
+#[test]
+fn fig_4b_postorder_queue_of_d() {
+    let mut dict = LabelDict::new();
+    let d = document_d(&mut dict);
+    assert_eq!(d.len(), 22);
+    let mut q = TreeQueue::new(&d);
+    let mut seq = Vec::new();
+    while let Some(e) = q.dequeue() {
+        seq.push((dict.resolve(e.label).to_string(), e.size));
+    }
+    assert_eq!(seq[0], ("John".to_string(), 1));
+    assert_eq!(seq[4], ("article".to_string(), 5));
+    assert_eq!(seq[17], ("proceedings".to_string(), 13));
+    assert_eq!(seq[21], ("dblp".to_string(), 22));
+}
+
+#[test]
+fn example_3_candidate_set_tau_6() {
+    let mut dict = LabelDict::new();
+    let d = document_d(&mut dict);
+    let mut q = TreeQueue::new(&d);
+    let cands = prb_pruning(&mut q, 6);
+    let roots: Vec<u32> = cands.iter().map(|c| c.root.post()).collect();
+    assert_eq!(roots, vec![5, 7, 12, 17, 21], "cand(D, 6) = {{D5, D7, D12, D17, D21}}");
+}
+
+#[test]
+fn sec_vi_b_running_numbers() {
+    // "a typical query for an article in DBLP has 15 nodes … top 20 …
+    //  TASM-postorder only needs to consider subtrees up to τ = 2|Q| + k = 50".
+    assert_eq!(threshold(15, 1, 1, 20), 50);
+}
+
+#[test]
+fn all_algorithms_agree_on_document_d() {
+    let mut dict = LabelDict::new();
+    let d = document_d(&mut dict);
+    let query = bracket::parse("{article{auth{Ann}}{title{X9}}}", &mut dict).unwrap();
+    for k in [1usize, 2, 4, 8] {
+        let a = tasm_naive(&query, &d, k, &UnitCost, TasmOptions::default(), None);
+        let b = tasm_dynamic(&query, &d, k, &UnitCost, TasmOptions::default(), None);
+        let mut q = TreeQueue::new(&d);
+        let c = tasm_postorder(&query, &mut q, k, &UnitCost, 1, TasmOptions::default(), None);
+        let key = |ms: &[tasm::Match]| {
+            ms.iter().map(|m| (m.distance.halves(), m.root.post())).collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b), "k = {k}");
+        assert_eq!(key(&a), key(&c), "k = {k}");
+    }
+}
