@@ -18,7 +18,15 @@ fn bench_algorithms(c: &mut Criterion) {
     group.bench_function("postorder", |b| {
         b.iter(|| {
             let mut q = TreeQueue::new(&doc);
-            tasm_postorder(&query, &mut q, k, &UnitCost, 1, TasmOptions::default(), None)
+            tasm_postorder(
+                &query,
+                &mut q,
+                k,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                None,
+            )
         });
     });
     group.bench_function("dynamic", |b| {
@@ -40,7 +48,15 @@ fn bench_postorder_k(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
                 let mut q = TreeQueue::new(&doc);
-                tasm_postorder(&query, &mut q, k, &UnitCost, 1, TasmOptions::default(), None)
+                tasm_postorder(
+                    &query,
+                    &mut q,
+                    k,
+                    &UnitCost,
+                    1,
+                    TasmOptions::default(),
+                    None,
+                )
             });
         });
     }
@@ -55,7 +71,10 @@ fn bench_tau_prime_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("tasm/tau_prime");
     for (name, on) in [("on", true), ("off", false)] {
         group.bench_function(name, |b| {
-            let opts = TasmOptions { use_tau_prime: on, ..Default::default() };
+            let opts = TasmOptions {
+                use_tau_prime: on,
+                ..Default::default()
+            };
             b.iter(|| {
                 let mut q = TreeQueue::new(&doc);
                 tasm_postorder(&query, &mut q, k, &UnitCost, 1, opts, None)
@@ -65,5 +84,10 @@ fn bench_tau_prime_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithms, bench_postorder_k, bench_tau_prime_ablation);
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_postorder_k,
+    bench_tau_prime_ablation
+);
 criterion_main!(benches);

@@ -28,13 +28,10 @@ fn main() {
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--scale" => {
-                scale = iter
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--scale needs a number");
-                        std::process::exit(2);
-                    });
+                scale = iter.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--scale needs a number");
+                    std::process::exit(2);
+                });
             }
             "--quick" => scale = 128,
             "--help" | "-h" => {
@@ -45,11 +42,19 @@ fn main() {
         }
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
-        which = ["fig9a", "fig9b", "fig9c", "fig10", "fig11", "fig12",
-                 "ablation-tau", "ablation-buffer"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        which = [
+            "fig9a",
+            "fig9b",
+            "fig9c",
+            "fig10",
+            "fig11",
+            "fig12",
+            "ablation-tau",
+            "ablation-buffer",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     let ctx = Ctx::new(scale);
     println!(

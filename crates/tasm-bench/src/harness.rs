@@ -13,8 +13,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use tasm_core::{
-    prb_pruning_stats, simple_pruning, tasm_dynamic, tasm_postorder, threshold,
-    TasmOptions,
+    prb_pruning_stats, simple_pruning, tasm_dynamic, tasm_postorder, threshold, TasmOptions,
 };
 use tasm_data::{
     dblp_tree, psd_tree, random_query, xmark_tree, DblpConfig, PsdConfig, XMarkConfig,
@@ -161,7 +160,10 @@ pub fn time_dynamic_file(
 pub fn fig9a(ctx: &Ctx) {
     let k = 5;
     let mut csv = Csv::create(ctx, "fig9a", "doc_mb,nodes,query_size,algorithm,seconds");
-    println!("\n=== Fig. 9a: time vs document size (k = {k}, scale 1/{}) ===", ctx.scale);
+    println!(
+        "\n=== Fig. 9a: time vs document size (k = {k}, scale 1/{}) ===",
+        ctx.scale
+    );
     println!(
         "{:>8} {:>10} {:>6}  {:>12} {:>12}",
         "MB", "nodes", "|Q|", "postorder(s)", "dynamic(s)"
@@ -182,7 +184,10 @@ pub fn fig9a(ctx: &Ctx) {
                 }
                 None => "OOM".to_string(),
             };
-            csv.row(format_args!("{mb},{n},{qsize},postorder,{}", dt_pos.as_secs_f64()));
+            csv.row(format_args!(
+                "{mb},{n},{qsize},postorder,{}",
+                dt_pos.as_secs_f64()
+            ));
             println!(
                 "{:>8} {:>10} {:>6}  {:>12.3} {:>12}",
                 mb,
@@ -199,7 +204,10 @@ pub fn fig9a(ctx: &Ctx) {
 pub fn fig9b(ctx: &Ctx) {
     let k = 5;
     let mut csv = Csv::create(ctx, "fig9b", "doc_mb,nodes,query_size,algorithm,seconds");
-    println!("\n=== Fig. 9b: time vs query size (k = {k}, scale 1/{}) ===", ctx.scale);
+    println!(
+        "\n=== Fig. 9b: time vs query size (k = {k}, scale 1/{}) ===",
+        ctx.scale
+    );
     println!(
         "{:>8} {:>10} {:>6}  {:>12} {:>12}",
         "MB", "nodes", "|Q|", "postorder(s)", "dynamic(s)"
@@ -212,7 +220,10 @@ pub fn fig9b(ctx: &Ctx) {
             let (query, _) = random_query(&tree, qsize, 0xB7 + qsize as u64);
             drop(tree);
             let (dt_pos, _) = time_postorder_file(&query, &mut dict, &path, k);
-            csv.row(format_args!("{mb},{n},{qsize},postorder,{}", dt_pos.as_secs_f64()));
+            csv.row(format_args!(
+                "{mb},{n},{qsize},postorder,{}",
+                dt_pos.as_secs_f64()
+            ));
             // The paper plots dynamic only for the two smaller documents.
             let dy_str = if mb <= 224 {
                 match time_dynamic_file(ctx, &query, &mut dict, &path, n, k) {
@@ -241,7 +252,10 @@ pub fn fig9b(ctx: &Ctx) {
 pub fn fig9c(ctx: &Ctx) {
     let qsize = 16u32;
     let mut csv = Csv::create(ctx, "fig9c", "doc_mb,nodes,k,algorithm,seconds");
-    println!("\n=== Fig. 9c: time vs k (|Q| = {qsize}, scale 1/{}) ===", ctx.scale);
+    println!(
+        "\n=== Fig. 9c: time vs k (|Q| = {qsize}, scale 1/{}) ===",
+        ctx.scale
+    );
     println!(
         "{:>8} {:>10} {:>7}  {:>12} {:>12}",
         "MB", "nodes", "k", "postorder(s)", "dynamic(s)"
@@ -254,7 +268,10 @@ pub fn fig9c(ctx: &Ctx) {
             let (query, _) = random_query(&tree, qsize, 0xC1);
             drop(tree);
             let (dt_pos, _) = time_postorder_file(&query, &mut dict, &path, k);
-            csv.row(format_args!("{mb},{n},{k},postorder,{}", dt_pos.as_secs_f64()));
+            csv.row(format_args!(
+                "{mb},{n},{k},postorder,{}",
+                dt_pos.as_secs_f64()
+            ));
             let dy_str = match time_dynamic_file(ctx, &query, &mut dict, &path, n, k) {
                 Some((d, _)) => {
                     csv.row(format_args!("{mb},{n},{k},dynamic,{}", d.as_secs_f64()));
@@ -281,7 +298,10 @@ pub fn fig9c(ctx: &Ctx) {
 pub fn fig10(ctx: &Ctx, measure: &dyn Fn(&mut dyn FnMut()) -> usize) {
     let k = 5;
     let mut csv = Csv::create(ctx, "fig10", "doc_mb,nodes,query_size,algorithm,peak_mb");
-    println!("\n=== Fig. 10: peak memory vs document size (k = {k}, scale 1/{}) ===", ctx.scale);
+    println!(
+        "\n=== Fig. 10: peak memory vs document size (k = {k}, scale 1/{}) ===",
+        ctx.scale
+    );
     println!(
         "{:>8} {:>10} {:>6}  {:>14} {:>14}",
         "MB", "nodes", "|Q|", "postorder(MB)", "dynamic(MB)"
@@ -299,7 +319,13 @@ pub fn fig10(ctx: &Ctx, measure: &dyn Fn(&mut dyn FnMut()) -> usize) {
                 let file = File::open(&path).expect("open");
                 let mut queue = XmlPostorderQueue::new(BufReader::new(file), &mut dict);
                 let m = tasm_postorder(
-                    &query, &mut queue, k, &UnitCost, 1, TasmOptions::default(), None,
+                    &query,
+                    &mut queue,
+                    k,
+                    &UnitCost,
+                    1,
+                    TasmOptions::default(),
+                    None,
                 );
                 std::hint::black_box(m.len());
             };
@@ -312,11 +338,8 @@ pub fn fig10(ctx: &Ctx, measure: &dyn Fn(&mut dyn FnMut()) -> usize) {
             } else {
                 let mut run_dy = || {
                     let file = File::open(&path).expect("open");
-                    let doc =
-                        parse_tree(BufReader::new(file), &mut dict).expect("parse");
-                    let m = tasm_dynamic(
-                        &query, &doc, k, &UnitCost, TasmOptions::default(), None,
-                    );
+                    let doc = parse_tree(BufReader::new(file), &mut dict).expect("parse");
+                    let m = tasm_dynamic(&query, &doc, k, &UnitCost, TasmOptions::default(), None);
                     std::hint::black_box(m.len());
                 };
                 Some(measure(&mut run_dy))
@@ -377,7 +400,16 @@ pub fn fig11(ctx: &Ctx) {
     // DBLP-like histogram (Fig. 11c), paper bins.
     let (dblp_dy, dblp_po, dblp_n) = relevant_stats(ctx, Dataset::Dblp, qsize, k);
     let bins: Vec<u32> = vec![
-        10, 50, 100, 500, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000,
+        10,
+        50,
+        100,
+        500,
+        1_000,
+        10_000,
+        100_000,
+        1_000_000,
+        10_000_000,
+        100_000_000,
     ];
     let hd = dblp_dy.binned(&bins);
     let hp = dblp_po.binned(&bins);
@@ -398,7 +430,11 @@ pub fn fig12(ctx: &Ctx) {
     let k = 1;
     let qsize = 4u32;
     println!("\n=== Fig. 12: cumulative subtree size difference (top-1) ===");
-    let mut csv = Csv::create(ctx, "fig12", "dataset,subtree_size,css_dyn,css_pos,difference");
+    let mut csv = Csv::create(
+        ctx,
+        "fig12",
+        "dataset,subtree_size,css_dyn,css_pos,difference",
+    );
     for ds in [Dataset::Dblp, Dataset::Psd] {
         let (dy, po, n) = relevant_stats(ctx, ds, qsize, k);
         println!("\n{} ({} nodes):", ds.name(), n);
@@ -437,7 +473,10 @@ pub fn ablation_tau(ctx: &Ctx) {
         for &k in &[5usize, 100] {
             for use_tau_prime in [true, false] {
                 let mut st = TedStats::new();
-                let opts = TasmOptions { use_tau_prime, ..Default::default() };
+                let opts = TasmOptions {
+                    use_tau_prime,
+                    ..Default::default()
+                };
                 let t0 = Instant::now();
                 let mut q = TreeQueue::new(&doc);
                 let m = tasm_postorder(&query, &mut q, k, &UnitCost, 1, opts, Some(&mut st));
@@ -544,10 +583,25 @@ fn relevant_stats(ctx: &Ctx, ds: Dataset, qsize: u32, k: usize) -> (TedStats, Te
     let doc = ds.generate(ctx, &mut dict);
     let (query, _) = random_query(&doc, qsize, 0xF00D);
     let mut dy = TedStats::new();
-    tasm_dynamic(&query, &doc, k, &UnitCost, TasmOptions::default(), Some(&mut dy));
+    tasm_dynamic(
+        &query,
+        &doc,
+        k,
+        &UnitCost,
+        TasmOptions::default(),
+        Some(&mut dy),
+    );
     let mut po = TedStats::new();
     let mut q = TreeQueue::new(&doc);
-    tasm_postorder(&query, &mut q, k, &UnitCost, 1, TasmOptions::default(), Some(&mut po));
+    tasm_postorder(
+        &query,
+        &mut q,
+        k,
+        &UnitCost,
+        1,
+        TasmOptions::default(),
+        Some(&mut po),
+    );
     (dy, po, doc.len())
 }
 
@@ -559,10 +613,8 @@ mod tests {
         use std::sync::atomic::{AtomicUsize, Ordering};
         static NEXT: AtomicUsize = AtomicUsize::new(0);
         let unique = NEXT.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "tasm_bench_test_{}_{unique}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("tasm_bench_test_{}_{unique}", std::process::id()));
         Ctx {
             scale: 4096,
             data_dir: dir.join("data"),
@@ -592,8 +644,7 @@ mod tests {
         let n = tree.len();
         let (query, _) = random_query(&tree, 8, 1);
         let (_, found_pos) = time_postorder_file(&query, &mut dict, &path, 5);
-        let (_, found_dy) =
-            time_dynamic_file(&ctx, &query, &mut dict, &path, n, 5).expect("fits");
+        let (_, found_dy) = time_dynamic_file(&ctx, &query, &mut dict, &path, n, 5).expect("fits");
         assert_eq!(found_pos, 5);
         assert_eq!(found_dy, 5);
         std::fs::remove_dir_all(&ctx.out_dir).ok();

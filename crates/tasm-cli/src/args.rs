@@ -54,7 +54,8 @@ impl Args {
 
     /// A required string option, with an error message naming it.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required option --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required option --{name}"))
     }
 
     /// A numeric option with a default.

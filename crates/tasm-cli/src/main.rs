@@ -134,7 +134,10 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let doc_path = args.require("doc")?;
     let k: usize = args.get_num("k", 5)?;
     let algorithm = args.get("algorithm").unwrap_or("postorder");
-    let opts = TasmOptions { keep_trees: args.flag("show-xml"), ..Default::default() };
+    let opts = TasmOptions {
+        keep_trees: args.flag("show-xml"),
+        ..Default::default()
+    };
     let mut stats = TedStats::new();
     let want_stats = args.flag("stats");
     let sink = want_stats.then_some(&mut stats);
@@ -153,15 +156,12 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                 .collect();
             let query_in_file_ids =
                 Tree::from_postorder(entries).expect("query re-encoding is valid");
-            let m = tasm_postorder(
-                &query_in_file_ids, &mut reader, k, &UnitCost, 1, opts, sink,
-            );
+            let m = tasm_postorder(&query_in_file_ids, &mut reader, k, &UnitCost, 1, opts, sink);
             dict = file_dict;
             m
         }
         "postorder" => {
-            let file =
-                File::open(doc_path).map_err(|e| format!("cannot open {doc_path}: {e}"))?;
+            let file = File::open(doc_path).map_err(|e| format!("cannot open {doc_path}: {e}"))?;
             let mut queue = XmlPostorderQueue::new(BufReader::new(file), &mut dict);
             let m = tasm_postorder(&query, &mut queue, k, &UnitCost, 1, opts, sink);
             if let Some(e) = queue.take_error() {
@@ -181,8 +181,14 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     };
     let elapsed = t0.elapsed();
 
-    println!("# query: {} nodes, k = {k}, algorithm = {algorithm}", query.len());
-    println!("{:<6} {:>10} {:>10} {:>8}", "rank", "node", "distance", "size");
+    println!(
+        "# query: {} nodes, k = {k}, algorithm = {algorithm}",
+        query.len()
+    );
+    println!(
+        "{:<6} {:>10} {:>10} {:>8}",
+        "rank", "node", "distance", "size"
+    );
     for (rank, m) in matches.iter().enumerate() {
         println!(
             "{:<6} {:>10} {:>10} {:>8}",
@@ -234,7 +240,11 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
         "psd" => psd_tree(&mut dict, &PsdConfig::new(seed, nodes)),
         "random" => random_tree(
             &mut dict,
-            &RandomTreeConfig { seed, nodes, ..Default::default() },
+            &RandomTreeConfig {
+                seed,
+                nodes,
+                ..Default::default()
+            },
         ),
         other => return Err(format!("unknown dataset '{other}'")),
     };
@@ -281,7 +291,10 @@ fn cmd_candidates(args: &Args) -> Result<(), String> {
     println!("tau = {tau}");
     println!("candidates:        {}", st.candidates);
     println!("candidate nodes:   {}", st.candidate_nodes);
-    println!("peak ring buffer:  {} nodes (bound: tau = {tau})", st.peak_buffered);
+    println!(
+        "peak ring buffer:  {} nodes (bound: tau = {tau})",
+        st.peak_buffered
+    );
     println!("nodes scanned:     {}", st.nodes_seen);
     println!("elapsed:           {dt:?}");
     if args.flag("compare-simple") {
@@ -290,7 +303,10 @@ fn cmd_candidates(args: &Args) -> Result<(), String> {
         println!(
             "simple pruning (Sec. V-B) peak buffer: {} nodes ({}x the ring buffer)",
             simple.peak_buffered,
-            simple.peak_buffered.checked_div(st.peak_buffered).unwrap_or(0)
+            simple
+                .peak_buffered
+                .checked_div(st.peak_buffered)
+                .unwrap_or(0)
         );
     }
     Ok(())

@@ -28,7 +28,9 @@ fn help_lists_commands() {
 fn unknown_command_fails() {
     let out = tasm(&["frobnicate"]);
     assert!(!out.status.success());
-    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown command"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown command"));
 }
 
 #[test]
@@ -37,8 +39,22 @@ fn gen_stats_query_candidates_pipeline() {
     let doc_s = doc.to_str().unwrap();
 
     // gen
-    let out = tasm(&["gen", "--dataset", "dblp", "--nodes", "2000", "--seed", "7", "--out", doc_s]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = tasm(&[
+        "gen",
+        "--dataset",
+        "dblp",
+        "--nodes",
+        "2000",
+        "--seed",
+        "7",
+        "--out",
+        doc_s,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(doc.exists());
 
     // stats
@@ -62,7 +78,11 @@ fn gen_stats_query_candidates_pipeline() {
             algo,
             "--stats",
         ]);
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let text = String::from_utf8(out.stdout).unwrap();
         let distances: Vec<String> = text
             .lines()
@@ -76,7 +96,14 @@ fn gen_stats_query_candidates_pipeline() {
     assert_eq!(tables[0], tables[2]);
 
     // candidates
-    let out = tasm(&["candidates", "--doc", doc_s, "--tau", "25", "--compare-simple"]);
+    let out = tasm(&[
+        "candidates",
+        "--doc",
+        doc_s,
+        "--tau",
+        "25",
+        "--compare-simple",
+    ]);
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("peak ring buffer"), "{text}");
@@ -90,7 +117,13 @@ fn ted_between_files() {
     let b = tmp("ted_b.xml");
     std::fs::write(&a, "<x><y>1</y></x>").unwrap();
     std::fs::write(&b, "<x><y>2</y></x>").unwrap();
-    let out = tasm(&["ted", "--left", a.to_str().unwrap(), "--right", b.to_str().unwrap()]);
+    let out = tasm(&[
+        "ted",
+        "--left",
+        a.to_str().unwrap(),
+        "--right",
+        b.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("delta = 1"), "{text}");
@@ -130,17 +163,38 @@ fn convert_and_query_postorder_file() {
     let xml = tmp("conv.xml");
     let pq = tmp("conv.pq");
     std::fs::write(&xml, "<r><a><b>x</b></a><a><b>y</b></a></r>").unwrap();
-    let out = tasm(&["convert", "--doc", xml.to_str().unwrap(), "--out", pq.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = tasm(&[
+        "convert",
+        "--doc",
+        xml.to_str().unwrap(),
+        "--out",
+        pq.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Query the .pq with every algorithm; the exact-match line must agree.
     for algo in ["postorder", "dynamic"] {
         let out = tasm(&[
-            "query", "--query-str", "<a><b>x</b></a>",
-            "--doc", pq.to_str().unwrap(),
-            "--k", "2", "--algorithm", algo, "--show-xml",
+            "query",
+            "--query-str",
+            "<a><b>x</b></a>",
+            "--doc",
+            pq.to_str().unwrap(),
+            "--k",
+            "2",
+            "--algorithm",
+            algo,
+            "--show-xml",
         ]);
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let text = String::from_utf8(out.stdout).unwrap();
         assert!(text.contains("<a><b>x</b></a>"), "[{algo}] {text}");
     }

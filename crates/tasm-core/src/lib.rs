@@ -49,8 +49,8 @@ mod threshold;
 pub use naive::tasm_naive;
 pub use ranking::{Match, TopKHeap};
 pub use ring_buffer::{
-    candidate_set_reference, prb_pruning, prb_pruning_stats, Candidate,
-    PrefixRingBuffer, PruningStats,
+    candidate_set_reference, prb_pruning, prb_pruning_stats, Candidate, PrefixRingBuffer,
+    PruningStats,
 };
 pub use simple_pruning::simple_pruning;
 pub use tasm_dynamic::{tasm_dynamic, TasmOptions};

@@ -59,11 +59,7 @@ mod tests {
     fn agrees_with_dynamic_exactly() {
         let mut dict = LabelDict::new();
         let q = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
-        let t = bracket::parse(
-            "{r{a{b}{c}}{z{a{b}}{a{b}{c}{d}}}{a{c}{b}}}",
-            &mut dict,
-        )
-        .unwrap();
+        let t = bracket::parse("{r{a{b}{c}}{z{a{b}}{a{b}{c}{d}}}{a{c}{b}}}", &mut dict).unwrap();
         for k in [1, 2, 3, 5, 20] {
             let naive = tasm_naive(&q, &t, k, &UnitCost, TasmOptions::default(), None);
             let dynamic = tasm_dynamic(&q, &t, k, &UnitCost, TasmOptions::default(), None);
@@ -84,7 +80,17 @@ mod tests {
         let mut dict = LabelDict::new();
         let q = bracket::parse("{b}", &mut dict).unwrap();
         let t = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
-        let top = tasm_naive(&q, &t, 1, &UnitCost, TasmOptions { keep_trees: true, ..Default::default() }, None);
+        let top = tasm_naive(
+            &q,
+            &t,
+            1,
+            &UnitCost,
+            TasmOptions {
+                keep_trees: true,
+                ..Default::default()
+            },
+            None,
+        );
         assert_eq!(top[0].tree.as_ref().unwrap().len(), 1);
     }
 

@@ -65,7 +65,10 @@ impl TopKHeap {
     /// Panics if `k == 0`; a top-0 ranking is meaningless.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be at least 1");
-        TopKHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
+        TopKHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// The ranking size `k`.
@@ -223,7 +226,11 @@ mod tests {
         b.offer(m(3, 4));
         b.offer(m(9, 5));
         a.merge(b);
-        let dists: Vec<u64> = a.into_sorted().iter().map(|x| x.distance.floor_natural()).collect();
+        let dists: Vec<u64> = a
+            .into_sorted()
+            .iter()
+            .map(|x| x.distance.floor_natural())
+            .collect();
         assert_eq!(dists, vec![1, 2, 3]);
     }
 

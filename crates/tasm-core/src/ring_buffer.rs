@@ -244,7 +244,10 @@ pub fn candidate_set_reference(tree: &Tree, tau: u32) -> Vec<Candidate> {
             a = parents[anc.index()];
         }
         if ok {
-            out.push(Candidate { tree: tree.subtree(id), root: id });
+            out.push(Candidate {
+                tree: tree.subtree(id),
+                root: id,
+            });
         }
     }
     out
@@ -342,7 +345,10 @@ mod tests {
         let (t, _) = example_d();
         for tau in 1..=23 {
             let mut q = TreeQueue::new(&t);
-            let got: Vec<u32> = prb_pruning(&mut q, tau).iter().map(|c| c.root.post()).collect();
+            let got: Vec<u32> = prb_pruning(&mut q, tau)
+                .iter()
+                .map(|c| c.root.post())
+                .collect();
             let want: Vec<u32> = candidate_set_reference(&t, tau)
                 .iter()
                 .map(|c| c.root.post())
@@ -384,7 +390,7 @@ mod tests {
     }
 
     #[test]
-    fn peak_buffer_is_bounded_by_tau(){
+    fn peak_buffer_is_bounded_by_tau() {
         let (t, _) = example_d();
         for tau in 1..=10u32 {
             let mut q = TreeQueue::new(&t);

@@ -58,7 +58,11 @@ pub fn simple_pruning<Q: PostorderQueue + ?Sized>(
                 need -= child.size;
             }
             buf.push(entry);
-            pending.push(Pending { root: id, start, size: entry.size });
+            pending.push(Pending {
+                root: id,
+                start,
+                size: entry.size,
+            });
         } else {
             // Non-candidate node: every completed subtree still pending
             // inside its span is a candidate (its ancestors up to and
@@ -73,7 +77,10 @@ pub fn simple_pruning<Q: PostorderQueue + ?Sized>(
             }
             // Drop the emitted nodes from the buffer; anything left is a
             // pending subtree to the left of this node's span.
-            let keep = pending.last().map(|p| p.start + p.size as usize).unwrap_or(0);
+            let keep = pending
+                .last()
+                .map(|p| p.start + p.size as usize)
+                .unwrap_or(0);
             buf.truncate(keep);
             // The non-candidate node itself is never buffered.
         }

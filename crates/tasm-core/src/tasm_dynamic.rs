@@ -27,7 +27,10 @@ pub struct TasmOptions {
 
 impl Default for TasmOptions {
     fn default() -> Self {
-        TasmOptions { keep_trees: false, use_tau_prime: true }
+        TasmOptions {
+            keep_trees: false,
+            use_tau_prime: true,
+        }
     }
 }
 
@@ -65,7 +68,14 @@ pub fn tasm_dynamic(
     let doc_costs = NodeCosts::compute(doc, model);
     let mut heap = TopKHeap::new(k.max(1));
     rank_subtrees_into(
-        &mut heap, query, &query_costs, doc, &doc_costs, 0, opts, stats,
+        &mut heap,
+        query,
+        &query_costs,
+        doc,
+        &doc_costs,
+        0,
+        opts,
+        stats,
     );
     heap.into_sorted()
 }
@@ -163,7 +173,10 @@ mod tests {
     #[test]
     fn keep_trees_attaches_subtrees() {
         let (g, h) = gh();
-        let opts = TasmOptions { keep_trees: true, ..Default::default() };
+        let opts = TasmOptions {
+            keep_trees: true,
+            ..Default::default()
+        };
         let top2 = tasm_dynamic(&g, &h, 2, &UnitCost, opts, None);
         let t6 = top2[0].tree.as_ref().expect("tree kept");
         assert_eq!(t6, &h.subtree(NodeId::new(6)));

@@ -153,13 +153,9 @@ mod tests {
         let g = parse("{a{b}{c}}", &mut dict);
         let h = parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict);
         let mut q = TreeQueue::new(&h);
-        let top2 =
-            tasm_postorder(&g, &mut q, 2, &UnitCost, 1, TasmOptions::default(), None);
+        let top2 = tasm_postorder(&g, &mut q, 2, &UnitCost, 1, TasmOptions::default(), None);
         assert_eq!(top2.len(), 2);
-        assert_eq!(
-            (top2[0].root.post(), top2[0].distance),
-            (6, Cost::ZERO)
-        );
+        assert_eq!((top2[0].root.post(), top2[0].distance), (6, Cost::ZERO));
         assert_eq!(
             (top2[1].root.post(), top2[1].distance),
             (3, Cost::from_natural(1))
@@ -175,7 +171,13 @@ mod tests {
             let dy = tasm_dynamic(&query, &doc, k, &UnitCost, TasmOptions::default(), None);
             let mut q = TreeQueue::new(&doc);
             let po = tasm_postorder(
-                &query, &mut q, k, &UnitCost, 1, TasmOptions::default(), None,
+                &query,
+                &mut q,
+                k,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                None,
             );
             let dyd: Vec<(u64, u32)> = dy
                 .iter()
@@ -195,8 +197,15 @@ mod tests {
         let doc = example_d(&mut dict);
         let query = parse("{book{title{X2}}}", &mut dict);
         let mut q = TreeQueue::new(&doc);
-        let top =
-            tasm_postorder(&query, &mut q, 1, &UnitCost, 1, TasmOptions::default(), None);
+        let top = tasm_postorder(
+            &query,
+            &mut q,
+            1,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            None,
+        );
         assert_eq!(top[0].distance, Cost::ZERO);
         assert_eq!(top[0].root.post(), 21);
     }
@@ -207,7 +216,10 @@ mod tests {
         let doc = example_d(&mut dict);
         let query = parse("{book{title{X2}}}", &mut dict);
         let mut q = TreeQueue::new(&doc);
-        let opts = TasmOptions { keep_trees: true, ..Default::default() };
+        let opts = TasmOptions {
+            keep_trees: true,
+            ..Default::default()
+        };
         let top = tasm_postorder(&query, &mut q, 1, &UnitCost, 1, opts, None);
         let tree = top[0].tree.as_ref().expect("kept");
         assert_eq!(tree, &doc.subtree(NodeId::new(21)));
@@ -223,13 +235,26 @@ mod tests {
         let k = 1;
 
         let mut st_dy = TedStats::new();
-        tasm_dynamic(&query, &doc, k, &UnitCost, TasmOptions::default(), Some(&mut st_dy));
+        tasm_dynamic(
+            &query,
+            &doc,
+            k,
+            &UnitCost,
+            TasmOptions::default(),
+            Some(&mut st_dy),
+        );
         assert_eq!(st_dy.max_relevant_size(), doc.len() as u32);
 
         let mut st_po = TedStats::new();
         let mut q = TreeQueue::new(&doc);
         tasm_postorder(
-            &query, &mut q, k, &UnitCost, 1, TasmOptions::default(), Some(&mut st_po),
+            &query,
+            &mut q,
+            k,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            Some(&mut st_po),
         );
         let tau = threshold(query.len() as u64, 1, 1, k as u64);
         assert!(u64::from(st_po.max_relevant_size()) <= tau);
@@ -241,8 +266,15 @@ mod tests {
         let doc = parse("{a{b}{c}}", &mut dict);
         let query = parse("{a}", &mut dict);
         let mut q = TreeQueue::new(&doc);
-        let all =
-            tasm_postorder(&query, &mut q, 10, &UnitCost, 1, TasmOptions::default(), None);
+        let all = tasm_postorder(
+            &query,
+            &mut q,
+            10,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            None,
+        );
         assert_eq!(all.len(), 3);
         // Ascending distances.
         assert!(all.windows(2).all(|w| w[0].distance <= w[1].distance));
@@ -254,8 +286,15 @@ mod tests {
         let doc = parse("{a}", &mut dict);
         let query = parse("{a}", &mut dict);
         let mut q = TreeQueue::new(&doc);
-        let top =
-            tasm_postorder(&query, &mut q, 1, &UnitCost, 1, TasmOptions::default(), None);
+        let top = tasm_postorder(
+            &query,
+            &mut q,
+            1,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            None,
+        );
         assert_eq!(top.len(), 1);
         assert_eq!(top[0].distance, Cost::ZERO);
     }

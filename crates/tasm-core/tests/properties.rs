@@ -11,8 +11,8 @@
 
 use proptest::prelude::*;
 use tasm_core::{
-    candidate_set_reference, prb_pruning, simple_pruning, tasm_dynamic, tasm_naive,
-    tasm_postorder, threshold, PrefixRingBuffer, TasmOptions,
+    candidate_set_reference, prb_pruning, simple_pruning, tasm_dynamic, tasm_naive, tasm_postorder,
+    threshold, PrefixRingBuffer, TasmOptions,
 };
 use tasm_ted::{ted, Cost, PerLabelCost, UnitCost};
 use tasm_tree::{LabelId, Tree, TreeBuilder, TreeQueue};
@@ -236,14 +236,18 @@ fn zero_cost_between_identical_query_everywhere() {
     }
     b.end().unwrap();
     let doc = b.finish().unwrap();
-    let query = Tree::from_postorder(vec![
-        (LabelId(1), 1),
-        (LabelId(2), 1),
-        (LabelId(0), 3),
-    ])
-    .unwrap();
+    let query =
+        Tree::from_postorder(vec![(LabelId(1), 1), (LabelId(2), 1), (LabelId(0), 3)]).unwrap();
     let mut stream = TreeQueue::new(&doc);
-    let top4 = tasm_postorder(&query, &mut stream, 4, &UnitCost, 1, TasmOptions::default(), None);
+    let top4 = tasm_postorder(
+        &query,
+        &mut stream,
+        4,
+        &UnitCost,
+        1,
+        TasmOptions::default(),
+        None,
+    );
     assert_eq!(top4.len(), 4);
     assert!(top4.iter().all(|m| m.distance == Cost::ZERO));
 }

@@ -51,7 +51,8 @@ pub fn dblp_tree(dict: &mut LabelDict, config: &DblpConfig) -> Tree {
         id += 1;
     }
     g.end();
-    g.finish().expect("generator produces a single balanced tree")
+    g.finish()
+        .expect("generator produces a single balanced tree")
 }
 
 fn year(g: &mut GenCtx<'_>) -> String {
@@ -177,7 +178,11 @@ mod tests {
         let mut dict = LabelDict::new();
         let t = dblp_tree(&mut dict, &DblpConfig::new(2, 20_000));
         let s = TreeStats::of(&t);
-        assert!(s.height <= 4, "DBLP-like documents are shallow: {}", s.height);
+        assert!(
+            s.height <= 4,
+            "DBLP-like documents are shallow: {}",
+            s.height
+        );
         // Root fanout is the number of records: ~ n / 17.
         assert!(t.fanout(t.root()) > 500);
     }
@@ -213,8 +218,14 @@ mod tests {
         for child in t.children(NodeId::new(t.len() as u32)) {
             let l = dict.resolve(t.label(child));
             assert!(
-                ["article", "inproceedings", "proceedings", "book", "phdthesis"]
-                    .contains(&l),
+                [
+                    "article",
+                    "inproceedings",
+                    "proceedings",
+                    "book",
+                    "phdthesis"
+                ]
+                .contains(&l),
                 "unexpected record {l}"
             );
         }

@@ -44,7 +44,8 @@ pub fn psd_tree(dict: &mut LabelDict, config: &PsdConfig) -> Tree {
         id += 1;
     }
     g.end();
-    g.finish().expect("generator produces a single balanced tree")
+    g.finish()
+        .expect("generator produces a single balanced tree")
 }
 
 fn protein_entry(g: &mut GenCtx<'_>, words: &WordSampler, authors: &WordSampler, id: usize) {

@@ -26,7 +26,12 @@ pub struct RandomTreeConfig {
 
 impl Default for RandomTreeConfig {
     fn default() -> Self {
-        RandomTreeConfig { seed: 0, nodes: 100, labels: 8, depth_bias: 0.0 }
+        RandomTreeConfig {
+            seed: 0,
+            nodes: 100,
+            labels: 8,
+            depth_bias: 0.0,
+        }
     }
 }
 
@@ -102,7 +107,13 @@ mod tests {
     fn exact_node_count() {
         let mut dict = LabelDict::new();
         for n in [1usize, 2, 17, 500] {
-            let t = random_tree(&mut dict, &RandomTreeConfig { nodes: n, ..Default::default() });
+            let t = random_tree(
+                &mut dict,
+                &RandomTreeConfig {
+                    nodes: n,
+                    ..Default::default()
+                },
+            );
             assert_eq!(t.len(), n);
         }
     }
@@ -112,11 +123,21 @@ mod tests {
         let mut dict = LabelDict::new();
         let bushy = random_tree(
             &mut dict,
-            &RandomTreeConfig { seed: 1, nodes: 400, depth_bias: 0.0, ..Default::default() },
+            &RandomTreeConfig {
+                seed: 1,
+                nodes: 400,
+                depth_bias: 0.0,
+                ..Default::default()
+            },
         );
         let deep = random_tree(
             &mut dict,
-            &RandomTreeConfig { seed: 1, nodes: 400, depth_bias: 0.95, ..Default::default() },
+            &RandomTreeConfig {
+                seed: 1,
+                nodes: 400,
+                depth_bias: 0.95,
+                ..Default::default()
+            },
         );
         assert!(
             deep.height() > bushy.height() * 3,
@@ -131,7 +152,12 @@ mod tests {
         let mut dict = LabelDict::new();
         let t = random_tree(
             &mut dict,
-            &RandomTreeConfig { seed: 2, nodes: 200_000, depth_bias: 1.0, ..Default::default() },
+            &RandomTreeConfig {
+                seed: 2,
+                nodes: 200_000,
+                depth_bias: 1.0,
+                ..Default::default()
+            },
         );
         assert_eq!(t.height(), 199_999); // a pure path
     }
@@ -139,7 +165,14 @@ mod tests {
     #[test]
     fn random_query_prefers_exact_size() {
         let mut dict = LabelDict::new();
-        let doc = random_tree(&mut dict, &RandomTreeConfig { seed: 3, nodes: 500, ..Default::default() });
+        let doc = random_tree(
+            &mut dict,
+            &RandomTreeConfig {
+                seed: 3,
+                nodes: 500,
+                ..Default::default()
+            },
+        );
         for target in [4u32, 8, 16] {
             let (q, root) = random_query(&doc, target, 1);
             assert_eq!(q.len() as u32, doc.size(root));
@@ -151,7 +184,14 @@ mod tests {
     #[test]
     fn random_query_is_a_real_subtree() {
         let mut dict = LabelDict::new();
-        let doc = random_tree(&mut dict, &RandomTreeConfig { seed: 4, nodes: 300, ..Default::default() });
+        let doc = random_tree(
+            &mut dict,
+            &RandomTreeConfig {
+                seed: 4,
+                nodes: 300,
+                ..Default::default()
+            },
+        );
         let (q, root) = random_query(&doc, 10, 7);
         assert_eq!(q, doc.subtree(root));
     }
@@ -159,7 +199,14 @@ mod tests {
     #[test]
     fn random_query_caps_at_document() {
         let mut dict = LabelDict::new();
-        let doc = random_tree(&mut dict, &RandomTreeConfig { seed: 5, nodes: 20, ..Default::default() });
+        let doc = random_tree(
+            &mut dict,
+            &RandomTreeConfig {
+                seed: 5,
+                nodes: 20,
+                ..Default::default()
+            },
+        );
         let (q, root) = random_query(&doc, 10_000, 1);
         assert_eq!(root, doc.root());
         assert_eq!(q.len(), 20);
@@ -169,7 +216,11 @@ mod tests {
     fn deterministic() {
         let mut d1 = LabelDict::new();
         let mut d2 = LabelDict::new();
-        let cfg = RandomTreeConfig { seed: 11, nodes: 64, ..Default::default() };
+        let cfg = RandomTreeConfig {
+            seed: 11,
+            nodes: 64,
+            ..Default::default()
+        };
         assert_eq!(random_tree(&mut d1, &cfg), random_tree(&mut d2, &cfg));
     }
 }

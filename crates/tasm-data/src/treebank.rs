@@ -27,7 +27,11 @@ pub struct TreebankConfig {
 impl TreebankConfig {
     /// Convenience constructor with the Treebank-like default depth.
     pub fn new(seed: u64, target_nodes: usize) -> Self {
-        TreebankConfig { seed, target_nodes, max_depth: 30 }
+        TreebankConfig {
+            seed,
+            target_nodes,
+            max_depth: 30,
+        }
     }
 }
 
@@ -43,7 +47,8 @@ pub fn treebank_tree(dict: &mut LabelDict, config: &TreebankConfig) -> Tree {
         sentence(&mut g, &words, config.max_depth);
     }
     g.end();
-    g.finish().expect("generator produces a single balanced tree")
+    g.finish()
+        .expect("generator produces a single balanced tree")
 }
 
 fn sentence(g: &mut GenCtx<'_>, words: &WordSampler, max_depth: u32) {
@@ -125,7 +130,11 @@ mod tests {
     #[test]
     fn depth_is_capped() {
         let mut dict = LabelDict::new();
-        let cfg = TreebankConfig { seed: 3, target_nodes: 50_000, max_depth: 8 };
+        let cfg = TreebankConfig {
+            seed: 3,
+            target_nodes: 50_000,
+            max_depth: 8,
+        };
         let t = treebank_tree(&mut dict, &cfg);
         // Each grammar level adds a handful of tree levels; 8 grammar
         // levels stay well below 50.
@@ -139,7 +148,12 @@ mod tests {
         let db = crate::dblp::dblp_tree(&mut dict, &crate::dblp::DblpConfig::new(4, 20_000));
         let s_tb = TreeStats::of(&tb);
         let s_db = TreeStats::of(&db);
-        assert!(s_tb.height > 3 * s_db.height, "{} vs {}", s_tb.height, s_db.height);
+        assert!(
+            s_tb.height > 3 * s_db.height,
+            "{} vs {}",
+            s_tb.height,
+            s_db.height
+        );
         assert!(s_tb.max_fanout < s_db.max_fanout);
     }
 

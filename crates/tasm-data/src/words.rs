@@ -57,7 +57,10 @@ pub struct WordSampler {
 impl WordSampler {
     /// A vocabulary of `n` words named `<prefix><rank>`.
     pub fn new(n: usize, prefix: &'static str, s: f64) -> Self {
-        WordSampler { zipf: Zipf::new(n, s), prefix }
+        WordSampler {
+            zipf: Zipf::new(n, s),
+            prefix,
+        }
     }
 
     /// Draws one word.
@@ -94,7 +97,12 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         // Rank 0 must dominate rank 50 by a wide margin.
-        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         // All samples in range (implicitly, via indexing) and rank 0 common.
         assert!(counts[0] > 2000);
     }

@@ -42,7 +42,14 @@ pub fn nodes_for_mb(mb: usize) -> usize {
     mb * NODES_PER_MB
 }
 
-const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+const REGIONS: [&str; 6] = [
+    "africa",
+    "asia",
+    "australia",
+    "europe",
+    "namerica",
+    "samerica",
+];
 
 /// Generates an XMark-like document of roughly `config.target_nodes` nodes.
 pub fn xmark_tree(dict: &mut LabelDict, config: &XMarkConfig) -> Tree {
@@ -108,7 +115,8 @@ pub fn xmark_tree(dict: &mut LabelDict, config: &XMarkConfig) -> Tree {
     g.end();
 
     g.end(); // site
-    g.finish().expect("generator produces a single balanced tree")
+    g.finish()
+        .expect("generator produces a single balanced tree")
 }
 
 /// `description` with a recursive parlist: provides XMark's fixed depth.
@@ -163,7 +171,10 @@ fn item(g: &mut GenCtx<'_>, words: &WordSampler, id: usize, region: usize) {
             g.start("mail");
             g.field("from", &format!("person{}", (id + m) % 311));
             g.field("to", &format!("person{}", (id + m + 1) % 311));
-            g.field("date", &format!("{:02}/{:02}/2000", 1 + m % 12, 1 + id % 28));
+            g.field(
+                "date",
+                &format!("{:02}/{:02}/2000", 1 + m % 12, 1 + id % 28),
+            );
             description(g, words, 1);
             g.end();
         }
@@ -231,7 +242,10 @@ fn open_auction(
     let bidders = g.rng.gen_range(0..=3);
     for b in 0..bidders {
         g.start("bidder");
-        g.field("date", &format!("{:02}/{:02}/2000", 1 + b % 12, 1 + id % 28));
+        g.field(
+            "date",
+            &format!("{:02}/{:02}/2000", 1 + b % 12, 1 + id % 28),
+        );
         g.field("time", &format!("{:02}:{:02}:00", b % 24, id % 60));
         g.start("personref");
         g.attr("person", &format!("person{}", (id + b) % n_people));
@@ -282,7 +296,10 @@ fn closed_auction(
     g.end();
     let v = format!("{}.00", g.rng.gen_range(1..500));
     g.field("price", &v);
-    g.field("date", &format!("{:02}/{:02}/2000", 1 + id % 12, 1 + id % 28));
+    g.field(
+        "date",
+        &format!("{:02}/{:02}/2000", 1 + id % 12, 1 + id % 28),
+    );
     g.field("quantity", "1");
     g.field("type", "Regular");
     g.start("annotation");
@@ -328,7 +345,10 @@ mod tests {
         let h1 = xmark_tree(&mut dict, &XMarkConfig::new(1, 2_000)).height();
         let h2 = xmark_tree(&mut dict, &XMarkConfig::new(1, 40_000)).height();
         assert_eq!(h1, h2, "height must not grow with size");
-        assert!((9..=14).contains(&h1), "height {h1} out of XMark-like range");
+        assert!(
+            (9..=14).contains(&h1),
+            "height {h1} out of XMark-like range"
+        );
     }
 
     #[test]

@@ -169,7 +169,10 @@ pub struct PerLabelCost {
 impl PerLabelCost {
     /// Creates a table with the given default cost (clamped to >= 1).
     pub fn new(default_cost: u64) -> Self {
-        PerLabelCost { costs: HashMap::new(), default_cost: default_cost.max(1) }
+        PerLabelCost {
+            costs: HashMap::new(),
+            default_cost: default_cost.max(1),
+        }
     }
 
     /// Sets the cost of `label` (clamped to >= 1). Returns `self` for

@@ -65,7 +65,11 @@ pub fn binary_branches(tree: &Tree) -> HashMap<BinaryBranch, i64> {
     }
     let mut bag: HashMap<BinaryBranch, i64> = HashMap::new();
     for id in tree.nodes() {
-        let key = (tree.label(id), first_child[id.index()], next_sibling[id.index()]);
+        let key = (
+            tree.label(id),
+            first_child[id.index()],
+            next_sibling[id.index()],
+        );
         *bag.entry(key).or_insert(0) += 1;
     }
     bag
@@ -164,7 +168,10 @@ mod tests {
 
     fn parse2(a: &str, b: &str) -> (Tree, Tree) {
         let mut d = LabelDict::new();
-        (bracket::parse(a, &mut d).unwrap(), bracket::parse(b, &mut d).unwrap())
+        (
+            bracket::parse(a, &mut d).unwrap(),
+            bracket::parse(b, &mut d).unwrap(),
+        )
     }
 
     #[test]
@@ -189,7 +196,10 @@ mod tests {
         // Same shape, totally different labels: bound = n renames... the
         // histogram gives L1/2 = n, and ted = n.
         let (t1, t2) = parse2("{a{b}{c}}", "{x{y}{z}}");
-        assert_eq!(label_histogram_lower_bound(&t1, &t2), ted(&t1, &t2, &UnitCost));
+        assert_eq!(
+            label_histogram_lower_bound(&t1, &t2),
+            ted(&t1, &t2, &UnitCost)
+        );
     }
 
     #[test]
@@ -197,7 +207,10 @@ mod tests {
         let (t1, t2) = parse2("{a{b}{c}}", "{a{b}{c}}");
         assert_eq!(binary_branch_distance(&t1, &t2), 0);
         let (t1, t2) = parse2("{a{b}{c}}", "{a{c}{b}}");
-        assert!(binary_branch_distance(&t1, &t2) > 0, "sibling order matters");
+        assert!(
+            binary_branch_distance(&t1, &t2) > 0,
+            "sibling order matters"
+        );
     }
 
     #[test]

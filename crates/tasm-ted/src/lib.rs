@@ -36,9 +36,7 @@ pub mod sed;
 pub mod stats;
 mod zhang_shasha;
 
-pub use cost::{
-    rename_cost, Cost, CostModel, FanoutWeighted, NodeCosts, PerLabelCost, UnitCost,
-};
+pub use cost::{rename_cost, Cost, CostModel, FanoutWeighted, NodeCosts, PerLabelCost, UnitCost};
 pub use mapping::{edit_script, validate_mapping, EditOp, EditScript};
 pub use matrix::Matrix;
 pub use stats::TedStats;

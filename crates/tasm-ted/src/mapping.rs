@@ -251,17 +251,23 @@ pub fn validate_mapping(script: &EditScript, query: &Tree, doc: &Tree) -> Result
             let anc_q = query.is_ancestor(q1, q2);
             let anc_t = doc.is_ancestor(t1, t2);
             if anc_q != anc_t {
-                return Err(format!("ancestor condition violated for ({q1},{t1}) ({q2},{t2})"));
+                return Err(format!(
+                    "ancestor condition violated for ({q1},{t1}) ({q2},{t2})"
+                ));
             }
             let anc_q_rev = query.is_ancestor(q2, q1);
             let anc_t_rev = doc.is_ancestor(t2, t1);
             if anc_q_rev != anc_t_rev {
-                return Err(format!("ancestor condition violated for ({q2},{t2}) ({q1},{t1})"));
+                return Err(format!(
+                    "ancestor condition violated for ({q2},{t2}) ({q1},{t1})"
+                ));
             }
             let left_q = query.is_left_of(q1, q2);
             let left_t = doc.is_left_of(t1, t2);
             if left_q != left_t {
-                return Err(format!("order condition violated for ({q1},{t1}) ({q2},{t2})"));
+                return Err(format!(
+                    "order condition violated for ({q1},{t1}) ({q2},{t2})"
+                ));
             }
         }
     }
@@ -277,7 +283,10 @@ mod tests {
 
     fn parse2(a: &str, b: &str) -> (Tree, Tree) {
         let mut d = LabelDict::new();
-        (bracket::parse(a, &mut d).unwrap(), bracket::parse(b, &mut d).unwrap())
+        (
+            bracket::parse(a, &mut d).unwrap(),
+            bracket::parse(b, &mut d).unwrap(),
+        )
     }
 
     #[test]
@@ -318,7 +327,13 @@ mod tests {
             .collect();
         assert_eq!(renames.len(), 1);
         // c (postorder 2 in q) renamed to z (postorder 2 in t).
-        assert_eq!(*renames[0], EditOp::Rename { q: NodeId::new(2), t: NodeId::new(2) });
+        assert_eq!(
+            *renames[0],
+            EditOp::Rename {
+                q: NodeId::new(2),
+                t: NodeId::new(2)
+            }
+        );
     }
 
     #[test]

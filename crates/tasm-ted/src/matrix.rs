@@ -11,14 +11,22 @@ pub struct Matrix<T> {
 impl<T: Clone + Default> Matrix<T> {
     /// Creates a `rows × cols` matrix filled with `T::default()`.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
     }
 }
 
 impl<T: Clone> Matrix<T> {
     /// Creates a `rows × cols` matrix filled with `fill`.
     pub fn filled(rows: usize, cols: usize, fill: T) -> Self {
-        Matrix { rows, cols, data: vec![fill; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![fill; rows * cols],
+        }
     }
 }
 

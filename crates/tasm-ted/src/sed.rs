@@ -21,12 +21,7 @@ use tasm_tree::LabelId;
 ///
 /// O(|a|·|b|) time, O(min) space (two rows).
 #[allow(clippy::needless_range_loop)] // DP indices mirror the recurrence
-pub fn string_edit_distance(
-    a: &[LabelId],
-    cost_a: &[u64],
-    b: &[LabelId],
-    cost_b: &[u64],
-) -> Cost {
+pub fn string_edit_distance(a: &[LabelId], cost_a: &[u64], b: &[LabelId], cost_b: &[u64]) -> Cost {
     assert_eq!(a.len(), cost_a.len());
     assert_eq!(b.len(), cost_b.len());
     let (m, n) = (a.len(), b.len());
@@ -70,11 +65,17 @@ mod tests {
 
     #[test]
     fn classic_levenshtein_cases() {
-        assert_eq!(levenshtein(&ids("kitten"), &ids("sitting")), Cost::from_natural(3));
+        assert_eq!(
+            levenshtein(&ids("kitten"), &ids("sitting")),
+            Cost::from_natural(3)
+        );
         assert_eq!(levenshtein(&ids("abc"), &ids("abc")), Cost::ZERO);
         assert_eq!(levenshtein(&ids(""), &ids("abc")), Cost::from_natural(3));
         assert_eq!(levenshtein(&ids("abc"), &ids("")), Cost::from_natural(3));
-        assert_eq!(levenshtein(&ids("flaw"), &ids("lawn")), Cost::from_natural(2));
+        assert_eq!(
+            levenshtein(&ids("flaw"), &ids("lawn")),
+            Cost::from_natural(2)
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl TedStats {
 
     /// Size of the largest relevant subtree computed.
     pub fn max_relevant_size(&self) -> u32 {
-        self.relevant_by_size.keys().next_back().copied().unwrap_or(0)
+        self.relevant_by_size
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The **cumulative subtree size** `css(x) = Σ_{i<=x} i·f_i` of
@@ -67,7 +71,10 @@ impl TedStats {
 
     /// All `(size, count)` pairs ascending — the Fig. 11 scatter series.
     pub fn series(&self) -> Vec<(u32, u64)> {
-        self.relevant_by_size.iter().map(|(&s, &c)| (s, c)).collect()
+        self.relevant_by_size
+            .iter()
+            .map(|(&s, &c)| (s, c))
+            .collect()
     }
 
     /// Bins counts like Fig. 11c: bin boundaries 1e1, 5e1, 1e2, 5e2, 1e3,

@@ -245,17 +245,8 @@ mod tests {
         ];
         for (i, row) in expected.iter().enumerate() {
             for (j, &want) in row.iter().enumerate() {
-                let got = td.subtree_distance(
-                    NodeId::new(i as u32 + 1),
-                    NodeId::new(j as u32 + 1),
-                );
-                assert_eq!(
-                    got,
-                    Cost::from_natural(want),
-                    "td[G{}][H{}]",
-                    i + 1,
-                    j + 1
-                );
+                let got = td.subtree_distance(NodeId::new(i as u32 + 1), NodeId::new(j as u32 + 1));
+                assert_eq!(got, Cost::from_natural(want), "td[G{}][H{}]", i + 1, j + 1);
             }
         }
         assert_eq!(td.distance(), Cost::from_natural(4));
@@ -333,7 +324,10 @@ mod tests {
         // Q: a(b, c); T: a(b, c, d) — inserting leaf d costs base.
         let q = bracket::parse("{a{b}{c}}", &mut d).unwrap();
         let t = bracket::parse("{a{b}{c}{d}}", &mut d).unwrap();
-        let model = FanoutWeighted { base: 1, weight: 10 };
+        let model = FanoutWeighted {
+            base: 1,
+            weight: 10,
+        };
         assert_eq!(ted(&q, &t, &model), Cost::from_natural(1));
     }
 

@@ -224,7 +224,10 @@ mod tests {
             parse("{a}{b}", &mut d),
             Err(TreeError::BracketSyntax { .. })
         ));
-        assert!(matches!(parse("x", &mut d), Err(TreeError::BracketSyntax { .. })));
+        assert!(matches!(
+            parse("x", &mut d),
+            Err(TreeError::BracketSyntax { .. })
+        ));
     }
 
     #[test]

@@ -96,7 +96,9 @@ impl TreeBuilder {
     /// [`TreeError::NotATree`] if the events formed a forest.
     pub fn finish(self) -> Result<Tree, TreeError> {
         if !self.open.is_empty() {
-            return Err(TreeError::UnclosedStart { open: self.open.len() });
+            return Err(TreeError::UnclosedStart {
+                open: self.open.len(),
+            });
         }
         if self.labels.is_empty() {
             return Err(TreeError::Empty);
@@ -183,7 +185,10 @@ mod tests {
         let mut d = LabelDict::new();
         let mut b = TreeBuilder::new();
         b.start(d.intern("a"));
-        assert_eq!(b.finish().unwrap_err(), TreeError::UnclosedStart { open: 1 });
+        assert_eq!(
+            b.finish().unwrap_err(),
+            TreeError::UnclosedStart { open: 1 }
+        );
     }
 
     #[test]

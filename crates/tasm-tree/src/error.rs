@@ -47,7 +47,10 @@ impl fmt::Display for TreeError {
                  which does not match the completed subtrees before it"
             ),
             TreeError::NotATree { roots } => {
-                write!(f, "postorder sequence encodes a forest of {roots} trees, not a tree")
+                write!(
+                    f,
+                    "postorder sequence encodes a forest of {roots} trees, not a tree"
+                )
             }
             TreeError::Empty => write!(f, "trees are non-empty; got an empty input"),
             TreeError::UnbalancedEnd => write!(f, "end() without matching start()"),

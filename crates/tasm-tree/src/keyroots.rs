@@ -117,9 +117,7 @@ mod tests {
             let t = parse(s);
             let expected: Vec<NodeId> = t
                 .nodes()
-                .filter(|&i| {
-                    !t.nodes().any(|k| k != i && t.lml(k) == t.lml(i) && k > i)
-                })
+                .filter(|&i| !t.nodes().any(|k| k != i && t.lml(k) == t.lml(i) && k > i))
                 .collect();
             assert_eq!(keyroots(&t), expected, "tree {s}");
         }

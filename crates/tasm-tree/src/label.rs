@@ -142,7 +142,10 @@ mod tests {
     #[test]
     fn resolve_round_trips() {
         let mut d = LabelDict::new();
-        let ids: Vec<_> = ["dblp", "article", "title", ""].iter().map(|s| d.intern(s)).collect();
+        let ids: Vec<_> = ["dblp", "article", "title", ""]
+            .iter()
+            .map(|s| d.intern(s))
+            .collect();
         for (i, s) in ["dblp", "article", "title", ""].iter().enumerate() {
             assert_eq!(d.resolve(ids[i]), *s);
         }

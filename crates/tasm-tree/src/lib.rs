@@ -39,8 +39,8 @@ mod error;
 mod keyroots;
 mod label;
 mod node;
-mod postorder_queue;
 pub mod postfile;
+mod postorder_queue;
 pub mod stats;
 pub mod traversal;
 mod tree;

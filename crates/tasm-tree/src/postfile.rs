@@ -89,7 +89,11 @@ pub fn write_postfile<W: Write>(
 }
 
 /// Convenience: persists an in-memory tree to `path`.
-pub fn save_tree(path: impl AsRef<Path>, tree: &Tree, dict: &LabelDict) -> Result<(), PostFileError> {
+pub fn save_tree(
+    path: impl AsRef<Path>,
+    tree: &Tree,
+    dict: &LabelDict,
+) -> Result<(), PostFileError> {
     let file = File::create(path)?;
     let mut queue = crate::postorder_queue::TreeQueue::new(tree);
     write_postfile(BufWriter::new(file), dict, &mut queue, tree.len() as u64)
@@ -119,7 +123,9 @@ impl<R: Read> PostFileReader<R> {
         let mut magic = [0u8; 8];
         input.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(PostFileError::Format("bad magic; not a TASMPQ1 file".into()));
+            return Err(PostFileError::Format(
+                "bad magic; not a TASMPQ1 file".into(),
+            ));
         }
         let total = read_u64(&mut input)?;
         let n_labels = read_u64(&mut input)?;
@@ -139,7 +145,12 @@ impl<R: Read> PostFileReader<R> {
                 return Err(PostFileError::Format(format!("duplicate label {name}")));
             }
         }
-        Ok(PostFileReader { input, dict, remaining: total, total })
+        Ok(PostFileReader {
+            input,
+            dict,
+            remaining: total,
+            total,
+        })
     }
 
     /// The dictionary stored in the file.
@@ -167,7 +178,10 @@ impl<R: Read> PostorderQueue for PostFileReader<R> {
         let label = read_u32(&mut self.input).ok()?;
         let size = read_u32(&mut self.input).ok()?;
         self.remaining -= 1;
-        Some(PostorderEntry { label: LabelId(label), size })
+        Some(PostorderEntry {
+            label: LabelId(label),
+            size,
+        })
     }
 
     fn len_hint(&self) -> Option<usize> {

@@ -87,7 +87,9 @@ pub struct VecQueue {
 impl VecQueue {
     /// Wraps a vector of postorder entries.
     pub fn new(entries: Vec<PostorderEntry>) -> Self {
-        VecQueue { entries: entries.into_iter() }
+        VecQueue {
+            entries: entries.into_iter(),
+        }
     }
 
     /// Builds the queue for `tree` (copies the arrays).
@@ -130,9 +132,7 @@ impl<I: Iterator<Item = PostorderEntry>> PostorderQueue for IterQueue<I> {
 /// Collects a whole postorder queue back into a [`Tree`] (validating).
 ///
 /// Mostly useful in tests: production code streams instead.
-pub fn collect_tree(
-    queue: &mut dyn PostorderQueue,
-) -> Result<Tree, crate::error::TreeError> {
+pub fn collect_tree(queue: &mut dyn PostorderQueue) -> Result<Tree, crate::error::TreeError> {
     let mut entries = Vec::new();
     while let Some(e) = queue.dequeue() {
         entries.push((e.label, e.size));

@@ -16,7 +16,10 @@ use crate::tree::Tree;
 /// in decreasing order of `(lml, -post)`; this iterator runs in O(n) with
 /// an explicit stack of pending sibling groups.
 pub fn preorder(tree: &Tree) -> Preorder<'_> {
-    Preorder { tree, stack: vec![tree.root()] }
+    Preorder {
+        tree,
+        stack: vec![tree.root()],
+    }
 }
 
 /// Iterator for [`preorder`].
@@ -44,7 +47,10 @@ impl Iterator for Preorder<'_> {
 /// ends at the root). O(height) total using binary-search-free upward
 /// scanning: the parent of `i` is the smallest `j > i` with `lml(j) <= lml(i)`.
 pub fn ancestors(tree: &Tree, node: NodeId) -> Ancestors<'_> {
-    Ancestors { tree, current: node }
+    Ancestors {
+        tree,
+        current: node,
+    }
 }
 
 /// Iterator for [`ancestors`].
@@ -211,10 +217,7 @@ mod tests {
             for b in t.nodes() {
                 let ca = chain(a);
                 let cb = chain(b);
-                let expected = *ca
-                    .iter()
-                    .find(|x| cb.contains(x))
-                    .expect("root is shared");
+                let expected = *ca.iter().find(|x| cb.contains(x)).expect("root is shared");
                 assert_eq!(lca(&t, a, b), expected, "lca({a},{b})");
             }
         }

@@ -62,7 +62,10 @@ impl Tree {
         let mut stack: Vec<u32> = Vec::new();
         for (pos, (label, size)) in iter.enumerate() {
             if size == 0 {
-                return Err(TreeError::InvalidPostorder { position: pos + 1, size });
+                return Err(TreeError::InvalidPostorder {
+                    position: pos + 1,
+                    size,
+                });
             }
             // The new node adopts the most recent completed subtrees as its
             // children; their sizes must sum to exactly size - 1.
@@ -73,7 +76,10 @@ impl Tree {
                     size,
                 })?;
                 if child > need {
-                    return Err(TreeError::InvalidPostorder { position: pos + 1, size });
+                    return Err(TreeError::InvalidPostorder {
+                        position: pos + 1,
+                        size,
+                    });
                 }
                 need -= child;
             }
@@ -109,7 +115,10 @@ impl Tree {
 
     /// A single-node tree.
     pub fn leaf(label: LabelId) -> Self {
-        Tree { labels: vec![label], sizes: vec![1] }
+        Tree {
+            labels: vec![label],
+            sizes: vec![1],
+        }
     }
 
     /// Number of nodes `|T|`.

@@ -49,7 +49,11 @@ impl fmt::Display for XmlError {
             XmlError::Syntax { offset, message } => {
                 write!(f, "XML syntax error near byte {offset}: {message}")
             }
-            XmlError::MismatchedTag { offset, expected, found } => write!(
+            XmlError::MismatchedTag {
+                offset,
+                expected,
+                found,
+            } => write!(
                 f,
                 "mismatched close tag near byte {offset}: expected </{expected}>, found </{found}>"
             ),

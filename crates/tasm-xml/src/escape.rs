@@ -73,7 +73,9 @@ pub fn unescape(s: &str) -> String {
             "quot" => Some('"'),
             "apos" => Some('\''),
             _ if entity.starts_with("#x") || entity.starts_with("#X") => {
-                u32::from_str_radix(&entity[2..], 16).ok().and_then(char::from_u32)
+                u32::from_str_radix(&entity[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
             }
             _ if entity.starts_with('#') => {
                 entity[1..].parse::<u32>().ok().and_then(char::from_u32)
@@ -122,7 +124,10 @@ mod tests {
 
     #[test]
     fn unescape_predefined() {
-        assert_eq!(unescape("&lt;tag&gt; &amp; &quot;x&quot; &apos;y&apos;"), "<tag> & \"x\" 'y'");
+        assert_eq!(
+            unescape("&lt;tag&gt; &amp; &quot;x&quot; &apos;y&apos;"),
+            "<tag> & \"x\" 'y'"
+        );
     }
 
     #[test]

@@ -117,7 +117,9 @@ impl<R: BufRead> XmlParser<R> {
             if n == 0 {
                 // EOF.
                 if !self.stack.is_empty() {
-                    return Err(XmlError::UnexpectedEof { open: self.stack.len() });
+                    return Err(XmlError::UnexpectedEof {
+                        open: self.stack.len(),
+                    });
                 }
                 if !self.seen_root {
                     return Err(XmlError::NoRootElement);
@@ -167,8 +169,9 @@ impl<R: BufRead> XmlParser<R> {
     }
 
     fn take_buf_utf8(&mut self) -> Result<String, XmlError> {
-        String::from_utf8(std::mem::take(&mut self.buf))
-            .map_err(|_| XmlError::InvalidUtf8 { offset: self.offset })
+        String::from_utf8(std::mem::take(&mut self.buf)).map_err(|_| XmlError::InvalidUtf8 {
+            offset: self.offset,
+        })
     }
 
     /// Parses one markup construct after a consumed `<`. Returns `None`
@@ -186,7 +189,9 @@ impl<R: BufRead> XmlParser<R> {
                 self.buf.clear();
                 let n = self.reader.read_until(b'>', &mut self.buf)?;
                 if n == 0 || *self.buf.last().unwrap() != b'>' {
-                    return Err(XmlError::UnexpectedEof { open: self.stack.len() });
+                    return Err(XmlError::UnexpectedEof {
+                        open: self.stack.len(),
+                    });
                 }
                 self.offset += n as u64;
                 self.buf.pop();
@@ -234,7 +239,9 @@ impl<R: BufRead> XmlParser<R> {
                     None => (raw.as_str(), false),
                 };
                 if self.root_closed {
-                    return Err(XmlError::TrailingContent { offset: self.offset });
+                    return Err(XmlError::TrailingContent {
+                        offset: self.offset,
+                    });
                 }
                 let (name, attributes) = parse_start_tag(raw, self.offset)?;
                 self.seen_root = true;
@@ -276,13 +283,16 @@ impl<R: BufRead> XmlParser<R> {
                 }
                 let content = self.read_until_seq(b"]]>")?;
                 if self.stack.is_empty() {
-                    return Err(XmlError::TrailingContent { offset: self.offset });
+                    return Err(XmlError::TrailingContent {
+                        offset: self.offset,
+                    });
                 }
                 if content.iter().all(|b| b.is_ascii_whitespace()) {
                     return Ok(None);
                 }
-                let text = String::from_utf8(content)
-                    .map_err(|_| XmlError::InvalidUtf8 { offset: self.offset })?;
+                let text = String::from_utf8(content).map_err(|_| XmlError::InvalidUtf8 {
+                    offset: self.offset,
+                })?;
                 Ok(Some(XmlEvent::Text(text)))
             }
             _ => {
@@ -311,7 +321,9 @@ impl<R: BufRead> XmlParser<R> {
                 Ok(one[0])
             }
             Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-                Err(XmlError::UnexpectedEof { open: self.stack.len() })
+                Err(XmlError::UnexpectedEof {
+                    open: self.stack.len(),
+                })
             }
             Err(e) => Err(e.into()),
         }
@@ -353,11 +365,12 @@ impl<R: BufRead> XmlParser<R> {
 fn parse_start_tag(raw: &str, offset: u64) -> Result<(String, Vec<Attribute>), XmlError> {
     let raw = raw.trim();
     if raw.is_empty() {
-        return Err(XmlError::Syntax { offset, message: "empty tag".into() });
+        return Err(XmlError::Syntax {
+            offset,
+            message: "empty tag".into(),
+        });
     }
-    let name_end = raw
-        .find(|c: char| c.is_whitespace())
-        .unwrap_or(raw.len());
+    let name_end = raw.find(|c: char| c.is_whitespace()).unwrap_or(raw.len());
     let name = raw[..name_end].to_string();
     let mut attributes = Vec::new();
     let rest = &raw[name_end..];
@@ -383,7 +396,10 @@ fn parse_start_tag(raw: &str, offset: u64) -> Result<(String, Vec<Attribute>), X
         }
         if i >= bytes.len() || bytes[i] != b'=' {
             // Valueless attribute (lenient).
-            attributes.push(Attribute { name: attr_name, value: String::new() });
+            attributes.push(Attribute {
+                name: attr_name,
+                value: String::new(),
+            });
             continue;
         }
         i += 1; // consume '='

@@ -108,8 +108,7 @@ impl<'d, R: BufRead> XmlPostorderQueue<'d, R> {
                     self.open.push(0);
                     if self.config.include_attributes {
                         for attr in attributes {
-                            let label =
-                                format!("{}{}", self.config.attribute_prefix, attr.name);
+                            let label = format!("{}{}", self.config.attribute_prefix, attr.name);
                             let name_id = self.dict.intern(&label);
                             if attr.value.is_empty() {
                                 self.ready.push_back(PostorderEntry::new(name_id, 1));
@@ -220,11 +219,28 @@ mod tests {
                    <book><title>X2</title></book></dblp>";
         let got = entries(xml);
         let expected: Vec<(&str, u32)> = vec![
-            ("John", 1), ("auth", 2), ("X1", 1), ("title", 2), ("article", 5),
-            ("VLDB", 1), ("conf", 2), ("Peter", 1), ("auth", 2), ("X3", 1),
-            ("title", 2), ("article", 5), ("Mike", 1), ("auth", 2), ("X4", 1),
-            ("title", 2), ("article", 5), ("proceedings", 13), ("X2", 1),
-            ("title", 2), ("book", 3), ("dblp", 22),
+            ("John", 1),
+            ("auth", 2),
+            ("X1", 1),
+            ("title", 2),
+            ("article", 5),
+            ("VLDB", 1),
+            ("conf", 2),
+            ("Peter", 1),
+            ("auth", 2),
+            ("X3", 1),
+            ("title", 2),
+            ("article", 5),
+            ("Mike", 1),
+            ("auth", 2),
+            ("X4", 1),
+            ("title", 2),
+            ("article", 5),
+            ("proceedings", 13),
+            ("X2", 1),
+            ("title", 2),
+            ("book", 3),
+            ("dblp", 22),
         ];
         let got_ref: Vec<(&str, u32)> = got.iter().map(|(s, n)| (s.as_str(), *n)).collect();
         assert_eq!(got_ref, expected);
@@ -233,9 +249,8 @@ mod tests {
     #[test]
     fn attributes_become_at_nodes() {
         let got = entries(r#"<a x="1" y="2"><b/></a>"#);
-        let expected: Vec<(&str, u32)> = vec![
-            ("1", 1), ("@x", 2), ("2", 1), ("@y", 2), ("b", 1), ("a", 6),
-        ];
+        let expected: Vec<(&str, u32)> =
+            vec![("1", 1), ("@x", 2), ("2", 1), ("@y", 2), ("b", 1), ("a", 6)];
         let got_ref: Vec<(&str, u32)> = got.iter().map(|(s, n)| (s.as_str(), *n)).collect();
         assert_eq!(got_ref, expected);
     }
@@ -269,12 +284,8 @@ mod tests {
             include_text: false,
             ..Default::default()
         };
-        let t = parse_tree_with_config(
-            r#"<a x="1"><b>text</b></a>"#.as_bytes(),
-            &mut dict,
-            cfg,
-        )
-        .unwrap();
+        let t = parse_tree_with_config(r#"<a x="1"><b>text</b></a>"#.as_bytes(), &mut dict, cfg)
+            .unwrap();
         assert_eq!(t.len(), 2); // just a and b
     }
 
@@ -292,7 +303,10 @@ mod tests {
         let mut dict = LabelDict::new();
         let mut q = XmlPostorderQueue::new("<a><b></a>".as_bytes(), &mut dict);
         while q.dequeue().is_some() {}
-        assert!(matches!(q.take_error(), Some(XmlError::MismatchedTag { .. })));
+        assert!(matches!(
+            q.take_error(),
+            Some(XmlError::MismatchedTag { .. })
+        ));
     }
 
     #[test]
@@ -305,7 +319,8 @@ mod tests {
 
     #[test]
     fn prolog_comments_doctype_are_ignored() {
-        let xml = "<?xml version=\"1.0\"?>\n<!DOCTYPE dblp SYSTEM \"dblp.dtd\" [<!ENTITY x \"y\">]>\n\
+        let xml =
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE dblp SYSTEM \"dblp.dtd\" [<!ENTITY x \"y\">]>\n\
                    <!-- header -->\n<a><!-- inner --><b>v</b></a>";
         let got = entries(xml);
         let got_ref: Vec<(&str, u32)> = got.iter().map(|(s, n)| (s.as_str(), *n)).collect();

@@ -37,7 +37,11 @@ pub struct XmlWriter<W: Write> {
 impl<W: Write> XmlWriter<W> {
     /// Creates a writer over `out`.
     pub fn new(out: W) -> Self {
-        XmlWriter { out, stack: Vec::new(), tag_open: false }
+        XmlWriter {
+            out,
+            stack: Vec::new(),
+            tag_open: false,
+        }
     }
 
     fn close_tag(&mut self) -> io::Result<()> {

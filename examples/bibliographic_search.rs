@@ -66,7 +66,14 @@ fn main() {
     // --- TASM-dynamic (baseline) ---------------------------------------
     let mut stats_dy = TedStats::new();
     let t0 = Instant::now();
-    let top_dy = tasm_dynamic(&query, &doc, k, &UnitCost, TasmOptions::default(), Some(&mut stats_dy));
+    let top_dy = tasm_dynamic(
+        &query,
+        &doc,
+        k,
+        &UnitCost,
+        TasmOptions::default(),
+        Some(&mut stats_dy),
+    );
     let dt_dy = t0.elapsed();
 
     println!("\ntop-{k} (TASM-postorder, {dt_po:?}):");
@@ -100,7 +107,10 @@ fn main() {
         stats_po.max_relevant_size(),
         threshold(query.len() as u64, 1, 1, k as u64)
     );
-    println!("  dynamic/postorder runtime: {:.1}×", dt_dy.as_secs_f64() / dt_po.as_secs_f64());
+    println!(
+        "  dynamic/postorder runtime: {:.1}×",
+        dt_dy.as_secs_f64() / dt_po.as_secs_f64()
+    );
 }
 
 /// Copies `tree` into `b`, dropping `pages` subtrees and renaming any year
@@ -126,7 +136,11 @@ fn rebuild_without_pages(
         }
         let label = tree.label(node);
         let is_year = dict.resolve(label) == "year";
-        let out_label = if in_year && tree.is_leaf(node) { wrong_year } else { label };
+        let out_label = if in_year && tree.is_leaf(node) {
+            wrong_year
+        } else {
+            label
+        };
         b.start(out_label);
         for c in tree.children(node) {
             rec(tree, c, b, dict, pages_label, wrong_year, is_year);

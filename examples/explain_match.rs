@@ -32,7 +32,11 @@ fn main() {
             let under_year = parents[id.index()]
                 .map(|p| dict.resolve(original.label(p)) == "year")
                 .unwrap_or(false);
-            if under_year { mistyped } else { original.label(id) }
+            if under_year {
+                mistyped
+            } else {
+                original.label(id)
+            }
         })
         .collect();
     let query = Tree::from_postorder_unchecked(labels, original.sizes().to_vec());
@@ -45,14 +49,20 @@ fn main() {
         3,
         &UnitCost,
         1,
-        TasmOptions { keep_trees: true, ..Default::default() },
+        TasmOptions {
+            keep_trees: true,
+            ..Default::default()
+        },
         None,
     );
 
     for (rank, m) in matches.iter().enumerate() {
         let tree = m.tree.as_ref().expect("keep_trees");
         let script = edit_script(&query, tree, &UnitCost);
-        assert_eq!(script.cost, m.distance, "script must realize the ranked distance");
+        assert_eq!(
+            script.cost, m.distance,
+            "script must realize the ranked distance"
+        );
         let (keeps, renames, deletes, inserts) = script.op_counts();
         println!(
             "\n#{} node {} — distance {} ({} kept, {} renamed, {} deleted, {} inserted)",
@@ -85,11 +95,7 @@ fn main() {
     // The best match is the original record, explained as a single rename
     // of the year text.
     assert_eq!(matches[0].root.post(), rec.post());
-    let best_script = edit_script(
-        &query,
-        matches[0].tree.as_ref().unwrap(),
-        &UnitCost,
-    );
+    let best_script = edit_script(&query, matches[0].tree.as_ref().unwrap(), &UnitCost);
     let renames: Vec<_> = best_script
         .ops
         .iter()

@@ -76,7 +76,10 @@ fn main() {
     let dt_filtered = t0.elapsed();
 
     println!("\njoin predicate: δ(query, record) <= {threshold_dist}");
-    println!("exact-only:        {} matches in {dt_exact:?}", exact_matches.len());
+    println!(
+        "exact-only:        {} matches in {dt_exact:?}",
+        exact_matches.len()
+    );
     println!(
         "filter-and-verify: {} matches in {dt_filtered:?} \
          ({} survived histogram, {} survived binary-branch, {} verified)",
@@ -97,5 +100,8 @@ fn main() {
         "the perturbed original must match"
     );
     // And filtering must actually filter.
-    assert!(survived_hist < records.len() / 2, "histogram filter too weak");
+    assert!(
+        survived_hist < records.len() / 2,
+        "histogram filter too weak"
+    );
 }

@@ -43,7 +43,10 @@ fn main() {
     // name, a year and a journal.
     let keywords = ["Author_0", "1995", "Journal 3"];
     let query = keyword_query(&mut dict, "article", &keywords);
-    println!("keywords: {keywords:?} -> star query of {} nodes", query.len());
+    println!(
+        "keywords: {keywords:?} -> star query of {} nodes",
+        query.len()
+    );
 
     // Keywords are precious; everything else is cheap filler.
     let mut model = PerLabelCost::new(1);
@@ -59,7 +62,10 @@ fn main() {
         k,
         &model,
         KEYWORD_WEIGHT, // c_T: keyword labels also occur in the document
-        TasmOptions { keep_trees: true, ..Default::default() },
+        TasmOptions {
+            keep_trees: true,
+            ..Default::default()
+        },
         None,
     );
 
@@ -90,9 +96,16 @@ fn main() {
     let best = matches[0].tree.as_ref().unwrap();
     let covered_best = keywords
         .iter()
-        .filter(|kw| dict.get(kw).map(|id| best.labels().contains(&id)).unwrap_or(false))
+        .filter(|kw| {
+            dict.get(kw)
+                .map(|id| best.labels().contains(&id))
+                .unwrap_or(false)
+        })
         .count();
-    assert!(covered_best >= 2, "top answer covers {covered_best} keywords");
+    assert!(
+        covered_best >= 2,
+        "top answer covers {covered_best} keywords"
+    );
 
     // And answers remain small: Theorem 3 bounds them by τ even with the
     // weighted costs.

@@ -19,7 +19,9 @@ fn main() {
     let query_xml =
         "<article><author>Jane Roe</author><title>Tree Edit Distance</title><year>2010</year></article>";
 
-    let mut query = TasmQuery::from_xml(query_xml).expect("valid query XML").k(3);
+    let mut query = TasmQuery::from_xml(query_xml)
+        .expect("valid query XML")
+        .k(3);
     let matches = query.run_xml_str(document).expect("valid document XML");
 
     println!("Top-{} matches for the query article:", matches.len());
@@ -52,7 +54,15 @@ fn main() {
 
     // TASM with the streaming algorithm: top-2 = (H6, H3) (Example 2).
     let mut stream = TreeQueue::new(&h);
-    let top2 = tasm_postorder(&g, &mut stream, 2, &UnitCost, 1, TasmOptions::default(), None);
+    let top2 = tasm_postorder(
+        &g,
+        &mut stream,
+        2,
+        &UnitCost,
+        1,
+        TasmOptions::default(),
+        None,
+    );
     println!(
         "Top-2 subtrees of H: nodes {} and {} at distances {} and {}",
         top2[0].root.post(),

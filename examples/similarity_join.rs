@@ -40,7 +40,10 @@ fn main() {
 
     let mut joined = 0usize;
     let mut total = 0usize;
-    println!("\n{:<8} {:>9} {:>9} {:>9}", "record", "B node", "A node", "distance");
+    println!(
+        "\n{:<8} {:>9} {:>9} {:>9}",
+        "record", "B node", "A node", "distance"
+    );
     for &rec in &records {
         let original = repo_b_clean.subtree(rec);
         let query = perturb_year(&original, &dict, year_label, perturbed_year);

@@ -65,13 +65,13 @@ use std::path::Path;
 /// Everything needed for typical use, in one import.
 pub mod prelude {
     pub use crate::core::{
-        prb_pruning, tasm_dynamic, tasm_naive, tasm_postorder, threshold, Match,
-        PrefixRingBuffer, TasmOptions, TopKHeap,
+        prb_pruning, tasm_dynamic, tasm_naive, tasm_postorder, threshold, Match, PrefixRingBuffer,
+        TasmOptions, TopKHeap,
     };
     pub use crate::ted::{ted, ted_full, Cost, CostModel, FanoutWeighted, UnitCost};
     pub use crate::tree::{
-        bracket, LabelDict, LabelId, NodeId, PostorderEntry, PostorderQueue, Tree,
-        TreeBuilder, TreeQueue,
+        bracket, LabelDict, LabelId, NodeId, PostorderEntry, PostorderQueue, Tree, TreeBuilder,
+        TreeQueue,
     };
     pub use crate::xml::{parse_tree_str, XmlPostorderQueue};
     pub use crate::TasmQuery;
@@ -127,14 +127,30 @@ impl TasmQuery {
     pub fn from_xml(query_xml: &str) -> Result<Self, TasmError> {
         let mut dict = LabelDict::new();
         let query = xml::parse_tree_str(query_xml, &mut dict)?;
-        Ok(TasmQuery { dict, query, k: 1, options: TasmOptions { keep_trees: true, ..Default::default() } })
+        Ok(TasmQuery {
+            dict,
+            query,
+            k: 1,
+            options: TasmOptions {
+                keep_trees: true,
+                ..Default::default()
+            },
+        })
     }
 
     /// Parses the query from bracket notation (e.g. `{a{b}{c}}`).
     pub fn from_bracket(query: &str) -> Result<Self, tree::TreeError> {
         let mut dict = LabelDict::new();
         let query = tree::bracket::parse(query, &mut dict)?;
-        Ok(TasmQuery { dict, query, k: 1, options: TasmOptions { keep_trees: true, ..Default::default() } })
+        Ok(TasmQuery {
+            dict,
+            query,
+            k: 1,
+            options: TasmOptions {
+                keep_trees: true,
+                ..Default::default()
+            },
+        })
     }
 
     /// Sets the ranking size `k` (default 1).
@@ -173,10 +189,7 @@ impl TasmQuery {
     }
 
     /// Runs the query against any buffered XML source.
-    pub fn run_reader<R: std::io::BufRead>(
-        &mut self,
-        reader: R,
-    ) -> Result<Vec<Match>, TasmError> {
+    pub fn run_reader<R: std::io::BufRead>(&mut self, reader: R) -> Result<Vec<Match>, TasmError> {
         let mut queue = xml::XmlPostorderQueue::new(reader, &mut self.dict);
         let matches = core::tasm_postorder(
             &self.query,
@@ -197,7 +210,15 @@ impl TasmQuery {
     /// dictionary (e.g. built with [`TasmQuery::parse_document`]).
     pub fn run_tree(&self, doc: &Tree) -> Vec<Match> {
         let mut queue = tree::TreeQueue::new(doc);
-        core::tasm_postorder(&self.query, &mut queue, self.k, &UnitCost, 1, self.options, None)
+        core::tasm_postorder(
+            &self.query,
+            &mut queue,
+            self.k,
+            &UnitCost,
+            1,
+            self.options,
+            None,
+        )
     }
 
     /// Parses a document into this query's dictionary for use with
@@ -249,5 +270,27 @@ mod tests {
     fn malformed_document_errors() {
         let mut q = TasmQuery::from_xml("<a/>").unwrap();
         assert!(q.run_xml_str("<r><a></r>").is_err());
+    }
+
+    #[test]
+    fn empty_document_errors() {
+        let mut q = TasmQuery::from_xml("<a/>").unwrap();
+        assert!(matches!(q.run_xml_str(""), Err(TasmError::Xml(_))));
+    }
+
+    #[test]
+    fn k_zero_is_clamped() {
+        let mut q = TasmQuery::from_xml("<a/>").unwrap().k(0);
+        let matches = q.run_xml_str("<r><a/></r>").unwrap();
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn query_recovers_after_a_failed_run() {
+        // A mid-stream parse error must not poison the query for later runs.
+        let mut q = TasmQuery::from_xml("<a><b>x</b></a>").unwrap().k(1);
+        assert!(q.run_xml_str("<r><a><b>x</b></a><broken>").is_err());
+        let matches = q.run_xml_str("<r><a><b>x</b></a></r>").unwrap();
+        assert_eq!(matches[0].distance, Cost::ZERO);
     }
 }

@@ -5,7 +5,9 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use tasm::core::{tasm_dynamic, tasm_postorder, TasmOptions};
-use tasm::data::{dblp_tree, psd_tree, random_query, xmark_tree, DblpConfig, PsdConfig, XMarkConfig};
+use tasm::data::{
+    dblp_tree, psd_tree, random_query, xmark_tree, DblpConfig, PsdConfig, XMarkConfig,
+};
 use tasm::ted::UnitCost;
 use tasm::tree::{LabelDict, PostorderQueue, TreeQueue};
 use tasm::xml::{parse_tree, write_tree, XmlPostorderQueue};
@@ -20,9 +22,11 @@ fn tmp(name: &str) -> std::path::PathBuf {
 #[test]
 fn xml_round_trip_of_generators() {
     let mut dict = LabelDict::new();
-    let docs = [xmark_tree(&mut dict, &XMarkConfig::new(1, 5_000)),
+    let docs = [
+        xmark_tree(&mut dict, &XMarkConfig::new(1, 5_000)),
         dblp_tree(&mut dict, &DblpConfig::new(2, 5_000)),
-        psd_tree(&mut dict, &PsdConfig::new(3, 5_000))];
+        psd_tree(&mut dict, &PsdConfig::new(3, 5_000)),
+    ];
     for (i, doc) in docs.iter().enumerate() {
         let path = tmp(&format!("round_{i}.xml"));
         let file = File::create(&path).unwrap();
@@ -51,8 +55,15 @@ fn streamed_file_matches_in_memory_ranking() {
 
     let file = File::open(&path).unwrap();
     let mut queue = XmlPostorderQueue::new(BufReader::new(file), &mut dict);
-    let streamed =
-        tasm_postorder(&query, &mut queue, k, &UnitCost, 1, TasmOptions::default(), None);
+    let streamed = tasm_postorder(
+        &query,
+        &mut queue,
+        k,
+        &UnitCost,
+        1,
+        TasmOptions::default(),
+        None,
+    );
     assert!(queue.is_ok());
 
     let dist = |ms: &[tasm::Match]| ms.iter().map(|m| m.distance).collect::<Vec<_>>();
@@ -85,7 +96,11 @@ fn tasm_query_over_file() {
     let mut q = TasmQuery::from_xml(&query_xml).unwrap().k(3);
     let matches = q.run_xml_file(&path).unwrap();
     assert_eq!(matches.len(), 3);
-    assert_eq!(matches[0].distance, tasm::Cost::ZERO, "the record finds itself");
+    assert_eq!(
+        matches[0].distance,
+        tasm::Cost::ZERO,
+        "the record finds itself"
+    );
     // Rendered match re-parses to the same subtree.
     let rendered = q.match_to_xml(&matches[0]).unwrap();
     let mut d2 = LabelDict::new();
@@ -122,6 +137,61 @@ fn xml_queue_equals_tree_queue() {
     assert_eq!(mem, streamed);
 }
 
+/// Malformed XML that breaks *after* complete subtrees have already been
+/// streamed must surface as an error, not a truncated ranking.
+#[test]
+fn malformed_xml_mid_stream_is_an_error() {
+    let mut q = TasmQuery::from_xml("<a><b/></a>").unwrap().k(3);
+    // First record is well-formed; the second one closes the wrong tag.
+    let err = q
+        .run_xml_str("<r><a><b/></a><a><b></a></r>")
+        .expect_err("mismatched close tag mid-stream");
+    assert!(matches!(err, tasm::TasmError::Xml(_)), "{err}");
+
+    // A document truncated mid-stream (unclosed root) is also an error.
+    let err = q
+        .run_xml_str("<r><a><b/></a>")
+        .expect_err("unclosed root element");
+    assert!(matches!(err, tasm::TasmError::Xml(_)), "{err}");
+}
+
+/// An empty (or whitespace-only) document has no root element: error.
+#[test]
+fn empty_document_is_an_error() {
+    let mut q = TasmQuery::from_xml("<a/>").unwrap();
+    assert!(q.run_xml_str("").is_err(), "empty string");
+    assert!(q.run_xml_str("  \n\t ").is_err(), "whitespace only");
+}
+
+/// `k(0)` clamps to 1 rather than returning an empty ranking.
+#[test]
+fn k_zero_clamps_to_one() {
+    let matches = TasmQuery::from_xml("<a/>")
+        .unwrap()
+        .k(0)
+        .run_xml_str("<r><a/><b/></r>")
+        .unwrap();
+    assert_eq!(matches.len(), 1);
+    assert_eq!(matches[0].distance, tasm::Cost::ZERO);
+}
+
+/// Opening a nonexistent file surfaces as `TasmError::Io`.
+#[test]
+fn missing_file_is_an_io_error() {
+    let mut q = TasmQuery::from_xml("<a/>").unwrap();
+    let path = tmp("does_not_exist.xml");
+    let err = q.run_xml_file(&path).expect_err("file is missing");
+    assert!(matches!(err, tasm::TasmError::Io(_)), "{err}");
+}
+
+/// Malformed or empty *query* XML is rejected up front.
+#[test]
+fn bad_query_xml_is_an_error() {
+    assert!(TasmQuery::from_xml("").is_err());
+    assert!(TasmQuery::from_xml("<a>").is_err());
+    assert!(TasmQuery::from_xml("<a></b>").is_err());
+}
+
 /// k larger than the number of small subtrees, deep queries, degenerate
 /// documents: the pipeline must not panic and must keep rankings sorted.
 #[test]
@@ -136,6 +206,9 @@ fn edge_shapes_do_not_break_the_pipeline() {
         let mut q = TasmQuery::from_xml("<a><b/></a>").unwrap().k(50);
         let matches = q.run_xml_str(xml).expect("parses");
         assert!(!matches.is_empty());
-        assert!(matches.windows(2).all(|w| w[0].distance <= w[1].distance), "{xml}");
+        assert!(
+            matches.windows(2).all(|w| w[0].distance <= w[1].distance),
+            "{xml}"
+        );
     }
 }

@@ -32,7 +32,11 @@ fn example_1_relevant_subtrees() {
     let kg: Vec<u32> = keyroots(&g).iter().map(|n| n.post()).collect();
     let kh: Vec<u32> = keyroots(&h).iter().map(|n| n.post()).collect();
     assert_eq!(kg, vec![2, 3], "relevant subtrees of G are G2, G3");
-    assert_eq!(kh, vec![2, 5, 6, 7], "relevant subtrees of H are H2, H5, H6, H7");
+    assert_eq!(
+        kh,
+        vec![2, 5, 6, 7],
+        "relevant subtrees of H are H2, H5, H6, H7"
+    );
 }
 
 #[test]
@@ -91,7 +95,11 @@ fn example_3_candidate_set_tau_6() {
     let mut q = TreeQueue::new(&d);
     let cands = prb_pruning(&mut q, 6);
     let roots: Vec<u32> = cands.iter().map(|c| c.root.post()).collect();
-    assert_eq!(roots, vec![5, 7, 12, 17, 21], "cand(D, 6) = {{D5, D7, D12, D17, D21}}");
+    assert_eq!(
+        roots,
+        vec![5, 7, 12, 17, 21],
+        "cand(D, 6) = {{D5, D7, D12, D17, D21}}"
+    );
 }
 
 #[test]
@@ -110,9 +118,19 @@ fn all_algorithms_agree_on_document_d() {
         let a = tasm_naive(&query, &d, k, &UnitCost, TasmOptions::default(), None);
         let b = tasm_dynamic(&query, &d, k, &UnitCost, TasmOptions::default(), None);
         let mut q = TreeQueue::new(&d);
-        let c = tasm_postorder(&query, &mut q, k, &UnitCost, 1, TasmOptions::default(), None);
+        let c = tasm_postorder(
+            &query,
+            &mut q,
+            k,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            None,
+        );
         let key = |ms: &[tasm::Match]| {
-            ms.iter().map(|m| (m.distance.halves(), m.root.post())).collect::<Vec<_>>()
+            ms.iter()
+                .map(|m| (m.distance.halves(), m.root.post()))
+                .collect::<Vec<_>>()
         };
         assert_eq!(key(&a), key(&b), "k = {k}");
         assert_eq!(key(&a), key(&c), "k = {k}");

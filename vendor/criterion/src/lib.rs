@@ -1,0 +1,237 @@
+//! Offline shim for the subset of the `criterion` API used by this
+//! workspace's benches.
+//!
+//! The build environment has no network access, so this path dependency
+//! provides the same surface (`Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Throughput`, `Bencher`, `criterion_group!`,
+//! `criterion_main!`, `black_box`) backed by a simple wall-clock timer:
+//! each benchmark is warmed up once, then timed over a fixed iteration
+//! budget, and the mean time per iteration is printed. There is no
+//! statistical analysis, HTML report, or baseline comparison — enough to
+//! keep `cargo bench` runnable and `cargo bench --no-run` compiling.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, None, f);
+        self
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility; the shim
+    /// uses a fixed time budget instead).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a function within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, f);
+        self
+    }
+
+    /// Benchmarks a function with an input value.
+    pub fn bench_with_input<I, F, In>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &In),
+        In: ?Sized,
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times the routine given to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly within a small budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration run.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+        // Aim for ~200ms of measurement, capped to keep `cargo bench` fast.
+        let budget = Duration::from_millis(200);
+        let reps = if once.is_zero() {
+            1000
+        } else {
+            (budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 1000) as u64
+        };
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            black_box(routine());
+        }
+        self.elapsed = t1.elapsed();
+        self.iters = reps;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    let per_iter = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / (b.iters as u32).max(1)
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if !per_iter.is_zero() => {
+            format!("  ({:.1} Melem/s)", n as f64 / per_iter.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if !per_iter.is_zero() => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("bench: {id:<50} {per_iter:>12?}/iter{rate}");
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(10);
+        group.bench_function("trivial", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        c.bench_function("toplevel", |b| b.iter(|| black_box(2) + 2));
+    }
+}
