@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
 /// Counting wrapper around the system allocator.
 pub struct CountingAlloc;
@@ -21,6 +22,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let ptr = unsafe { System.alloc(layout) };
         if !ptr.is_null() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(live, Ordering::Relaxed);
         }
@@ -35,6 +37,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
         if !new_ptr.is_null() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
             if new_size >= layout.size() {
                 let live = LIVE.fetch_add(new_size - layout.size(), Ordering::Relaxed) + new_size
                     - layout.size();
@@ -50,6 +53,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 /// Bytes currently allocated.
 pub fn live_bytes() -> usize {
     LIVE.load(Ordering::Relaxed)
+}
+
+/// Total number of allocation events (alloc + realloc calls) since
+/// process start. Monotonic; diff two snapshots to count the allocations
+/// a code region performed — the zero-allocation steady-state regression
+/// test is built on this.
+pub fn alloc_count() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
 }
 
 /// High-water mark since the last [`reset_peak`].

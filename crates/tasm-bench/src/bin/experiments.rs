@@ -16,13 +16,19 @@ use tasm_bench::harness::{self, Ctx};
 static ALLOC: CountingAlloc = CountingAlloc;
 
 const USAGE: &str = "\
-usage: experiments [fig9a|fig9b|fig9c|fig10|fig11|fig12|ablation-tau|ablation-buffer|all]...
-                   [--scale N] [--quick]
+usage: experiments [fig9a|fig9b|fig9c|fig10|fig11|fig12|ablation-tau|ablation-buffer|bench|all]...
+                   [--scale N] [--quick] [--json] [--label S]
+
+`bench` times the tasm_postorder hot path (candidates/s, ns/candidate,
+peak heap); with `--json` it also appends a snapshot (named by --label)
+to BENCH_tasm.json in the current directory — the perf trajectory.
 ";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale: usize = 16;
+    let mut json = false;
+    let mut label = String::from("tasm-bench experiments");
     let mut which: Vec<String> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(a) = iter.next() {
@@ -34,12 +40,25 @@ fn main() {
                 });
             }
             "--quick" => scale = 128,
+            "--json" => json = true,
+            "--label" => {
+                label = iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--label needs a value");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return;
             }
             other => which.push(other.to_string()),
         }
+    }
+    // `--json` always implies the bench workload (`experiments -- --json`
+    // is the canonical perf-trajectory call; with an explicit workload
+    // list it is appended rather than silently ignored).
+    if json && !which.iter().any(|w| w == "bench" || w == "all") {
+        which.push("bench".to_string());
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = [
@@ -51,6 +70,7 @@ fn main() {
             "fig12",
             "ablation-tau",
             "ablation-buffer",
+            "bench",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -72,6 +92,15 @@ fn main() {
             "fig12" => harness::fig12(&ctx),
             "ablation-tau" => harness::ablation_tau(&ctx),
             "ablation-buffer" => harness::ablation_buffer(&ctx),
+            "bench" => {
+                let out = json.then(|| std::path::PathBuf::from(tasm_bench::report::BENCH_JSON));
+                harness::bench_summary(
+                    &ctx,
+                    &|f: &mut dyn FnMut()| measure_peak(f).1,
+                    out.as_deref(),
+                    &label,
+                );
+            }
             other => {
                 eprintln!("unknown experiment '{other}'\n{USAGE}");
                 std::process::exit(2);

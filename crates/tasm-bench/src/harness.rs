@@ -543,6 +543,92 @@ pub fn ablation_buffer(ctx: &Ctx) {
     }
 }
 
+/// Perf snapshot for the BENCH trajectory: streams generated documents
+/// through `tasm_postorder` and reports candidates/s, ns/candidate and a
+/// peak-heap proxy. With `json_out` set, a [`crate::report::BENCH_JSON`]
+/// summary is written for machine consumption.
+///
+/// Workload sizes scale with `ctx.scale` (default 16 ⇒ ~50k-node
+/// documents); compare runs only at equal scale.
+pub fn bench_summary(
+    ctx: &Ctx,
+    measure: &dyn Fn(&mut dyn FnMut()) -> usize,
+    json_out: Option<&Path>,
+    label: &str,
+) -> Vec<crate::report::BenchRecord> {
+    use crate::report::BenchRecord;
+    let nodes = (800_000 / ctx.scale).max(2_000);
+    println!("\n=== bench: tasm_postorder hot path ({nodes}-node documents) ===");
+    println!(
+        "{:>14} {:>9} {:>4} {:>6} {:>10} {:>12} {:>14} {:>12}",
+        "workload", "nodes", "|Q|", "k", "seconds", "cand/s", "ns/candidate", "peak(KiB)"
+    );
+    let mut records = Vec::new();
+    for (dataset, qsize, k) in [("dblp", 8u32, 5usize), ("xmark", 8, 5), ("xmark", 16, 100)] {
+        let mut dict = LabelDict::new();
+        let doc = match dataset {
+            "dblp" => dblp_tree(&mut dict, &DblpConfig::new(7, nodes)),
+            _ => xmark_tree(&mut dict, &XMarkConfig::new(7, nodes)),
+        };
+        let (query, _) = random_query(&doc, qsize, 0xBE40 + qsize as u64);
+        let tau = threshold(query.len() as u64, 1, 1, k as u64);
+        let mut q = TreeQueue::new(&doc);
+        let candidates =
+            prb_pruning_stats(&mut q, u32::try_from(tau).unwrap_or(u32::MAX), None).candidates;
+
+        let mut run = || {
+            let mut q = TreeQueue::new(&doc);
+            let m = tasm_postorder(
+                &query,
+                &mut q,
+                k,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                None,
+            );
+            std::hint::black_box(m.len());
+        };
+        run(); // warm-up
+        let seconds = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                run();
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min);
+        let peak_heap_bytes = measure(&mut run);
+
+        let r = BenchRecord {
+            name: format!("{dataset} q{} k{k}", query.len()),
+            nodes: doc.len(),
+            query_size: query.len(),
+            k,
+            tau,
+            candidates,
+            seconds,
+            peak_heap_bytes,
+        };
+        println!(
+            "{:>14} {:>9} {:>4} {:>6} {:>10.4} {:>12.0} {:>14.0} {:>12.1}",
+            r.name,
+            r.nodes,
+            r.query_size,
+            r.k,
+            r.seconds,
+            r.candidates_per_sec(),
+            r.ns_per_candidate(),
+            r.peak_heap_bytes as f64 / 1024.0
+        );
+        records.push(r);
+    }
+    if let Some(path) = json_out {
+        crate::report::write_json(path, label, ctx.scale, &records).expect("write bench json");
+        println!("wrote {} (snapshot \"{label}\")", path.display());
+    }
+    records
+}
+
 /// Which real-world-like dataset an experiment runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dataset {

@@ -4,7 +4,8 @@
 //!   (Figs. 9a–c, 10, 11a–c, 12) plus two ablations; driven by the
 //!   `experiments` binary.
 //! * [`alloc`] — a counting global allocator for the Fig. 10 memory
-//!   experiment.
+//!   experiment and the zero-allocation regression tests.
+//! * [`report`] — the `BENCH_tasm.json` perf-trajectory summary.
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 
@@ -14,3 +15,4 @@
 
 pub mod alloc;
 pub mod harness;
+pub mod report;

@@ -1,0 +1,117 @@
+//! Zero-allocation steady-state regression test (the PR-2 tentpole
+//! guarantee): with a warmed [`TasmWorkspace`], the TASM-postorder
+//! candidate loop performs **no heap allocation at all**, and a full
+//! stream costs O(1) allocations independent of its length.
+//!
+//! This file intentionally holds a single `#[test]` so no sibling test
+//! can allocate concurrently while the counters are being diffed.
+
+use tasm_bench::alloc::{alloc_count, CountingAlloc};
+use tasm_core::{
+    process_candidate, tasm_postorder_with_workspace, threshold, PrefixRingBuffer, TasmOptions,
+    TasmWorkspace, TopKHeap,
+};
+use tasm_ted::{QueryContext, UnitCost};
+use tasm_tree::{bracket, LabelDict, NodeId, Tree, TreeQueue};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A DBLP-shaped document whose candidates have *varying* sizes
+/// (1 to 5 nodes): a wide root over `n` record subtrees.
+fn varied_doc(dict: &mut LabelDict, records: usize) -> Tree {
+    let mut s = String::from("{dblp");
+    for i in 0..records {
+        match i % 4 {
+            0 => s.push_str("{article{a}{t}}"),
+            1 => s.push_str("{x}"),
+            2 => s.push_str("{article{a}{t}{y}{z}}"),
+            _ => s.push_str("{book{t}}"),
+        }
+    }
+    s.push('}');
+    bracket::parse(&s, dict).unwrap()
+}
+
+#[test]
+fn candidate_loop_is_allocation_free_after_warmup() {
+    let mut dict = LabelDict::new();
+    let doc = varied_doc(&mut dict, 60);
+    let query = bracket::parse("{article{a}{t}}", &mut dict).unwrap();
+    let k = 2;
+    let opts = TasmOptions::default();
+
+    // Replicate the candidate loop of `tasm_postorder_with_workspace`
+    // step by step so the measurement brackets exactly the steady state.
+    let ctx = QueryContext::new(&query, &UnitCost);
+    let tau64 = threshold(query.len() as u64, ctx.max_cost(), 1, k as u64);
+    let tau = u32::try_from(tau64).unwrap();
+    let mut ws = TasmWorkspace::new();
+    ws.reserve(query.len(), tau);
+    let mut heap = TopKHeap::new(k);
+    let mut queue = TreeQueue::new(&doc);
+    let mut prb = PrefixRingBuffer::new(&mut queue, tau);
+    let mut cand = doc.subtree(NodeId::new(1));
+    cand.reserve(tau as usize);
+
+    // First candidate: warm-up (everything is pre-reserved, but the
+    // guarantee under test starts at candidate two).
+    let root = prb.next_candidate_into(&mut cand).expect("has candidates");
+    process_candidate(
+        &mut heap,
+        &ctx,
+        &cand,
+        root.post() - cand.len() as u32,
+        tau64,
+        opts,
+        &mut ws,
+        None,
+    );
+
+    let before = alloc_count();
+    let mut streamed = 0u32;
+    while let Some(root) = prb.next_candidate_into(&mut cand) {
+        process_candidate(
+            &mut heap,
+            &ctx,
+            &cand,
+            root.post() - cand.len() as u32,
+            tau64,
+            opts,
+            &mut ws,
+            None,
+        );
+        streamed += 1;
+    }
+    let loop_allocs = alloc_count() - before;
+
+    assert!(
+        streamed >= 50,
+        "expected a multi-candidate stream, got {streamed}"
+    );
+    assert_eq!(
+        loop_allocs, 0,
+        "candidate loop performed {loop_allocs} heap allocations across \
+         {streamed} candidates; steady state must be allocation-free"
+    );
+    assert_eq!(heap.len(), k, "sanity: ranking still filled");
+
+    // And end to end: with a warm workspace, a whole stream costs the
+    // same O(1) allocations regardless of its length.
+    let long_doc = varied_doc(&mut dict, 400);
+    let run = |ws: &mut TasmWorkspace, doc: &Tree| {
+        let mut q = TreeQueue::new(doc);
+        let before = alloc_count();
+        let m = tasm_postorder_with_workspace(&query, &mut q, k, &UnitCost, 1, opts, ws, None);
+        assert_eq!(m.len(), k);
+        alloc_count() - before
+    };
+    run(&mut ws, &doc); // warm the wrapper path itself
+    let short_allocs = run(&mut ws, &doc);
+    let long_allocs = run(&mut ws, &long_doc);
+    assert_eq!(
+        short_allocs, long_allocs,
+        "per-stream allocations must not depend on document length \
+         (short: {short_allocs}, long: {long_allocs})"
+    );
+}

@@ -19,8 +19,8 @@ use std::time::Instant;
 
 use args::Args;
 use tasm_core::{
-    prb_pruning_stats, simple_pruning, tasm_dynamic, tasm_naive, tasm_postorder,
-    threshold_for_query, TasmOptions,
+    prb_pruning_stats, simple_pruning, tasm_dynamic, tasm_naive, tasm_postorder_with_workspace,
+    threshold_for_query, TasmOptions, TasmWorkspace,
 };
 use tasm_data::{
     dblp_tree, psd_tree, random_tree, xmark_tree, DblpConfig, PsdConfig, RandomTreeConfig,
@@ -141,6 +141,9 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let mut stats = TedStats::new();
     let want_stats = args.flag("stats");
     let sink = want_stats.then_some(&mut stats);
+    // One evaluation workspace for the whole run: the candidate loop is
+    // allocation-free in steady state (PR-2 tentpole).
+    let mut ws = TasmWorkspace::new();
 
     let t0 = Instant::now();
     let matches = match algorithm {
@@ -156,14 +159,25 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                 .collect();
             let query_in_file_ids =
                 Tree::from_postorder(entries).expect("query re-encoding is valid");
-            let m = tasm_postorder(&query_in_file_ids, &mut reader, k, &UnitCost, 1, opts, sink);
+            let m = tasm_postorder_with_workspace(
+                &query_in_file_ids,
+                &mut reader,
+                k,
+                &UnitCost,
+                1,
+                opts,
+                &mut ws,
+                sink,
+            );
             dict = file_dict;
             m
         }
         "postorder" => {
             let file = File::open(doc_path).map_err(|e| format!("cannot open {doc_path}: {e}"))?;
             let mut queue = XmlPostorderQueue::new(BufReader::new(file), &mut dict);
-            let m = tasm_postorder(&query, &mut queue, k, &UnitCost, 1, opts, sink);
+            let m = tasm_postorder_with_workspace(
+                &query, &mut queue, k, &UnitCost, 1, opts, &mut ws, sink,
+            );
             if let Some(e) = queue.take_error() {
                 return Err(format!("{doc_path}: {e}"));
             }

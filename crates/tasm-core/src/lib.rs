@@ -45,6 +45,7 @@ mod simple_pruning;
 mod tasm_dynamic;
 mod tasm_postorder;
 mod threshold;
+mod workspace;
 
 pub use naive::tasm_naive;
 pub use ranking::{Match, TopKHeap};
@@ -53,6 +54,7 @@ pub use ring_buffer::{
     PruningStats,
 };
 pub use simple_pruning::simple_pruning;
-pub use tasm_dynamic::{tasm_dynamic, TasmOptions};
-pub use tasm_postorder::tasm_postorder;
+pub use tasm_dynamic::{tasm_dynamic, tasm_dynamic_with_workspace, TasmOptions};
+pub use tasm_postorder::{process_candidate, tasm_postorder, tasm_postorder_with_workspace};
 pub use threshold::{refined_threshold, threshold, threshold_for_query};
+pub use workspace::{TasmWorkspace, RESERVE_CAP_BYTES};

@@ -132,6 +132,32 @@ impl<'q, Q: PostorderQueue + ?Sized> PrefixRingBuffer<'q, Q> {
     /// Advances the scan to the next candidate subtree (the paper's
     /// `prb-next`), returning `None` when queue and buffer are exhausted.
     pub fn next_candidate(&mut self) -> Option<Candidate> {
+        let (lo, root) = self.advance()?;
+        let cand = self.materialize(lo, root);
+        self.consume(root);
+        Some(cand)
+    }
+
+    /// As [`PrefixRingBuffer::next_candidate`], but renumbering the
+    /// candidate into the caller-owned `scratch` tree instead of
+    /// allocating one, and returning the candidate root's postorder
+    /// number **in the document** (`None` when exhausted).
+    ///
+    /// This is the borrowed-candidate fast path used by `tasm_postorder`:
+    /// once `scratch`'s capacity covers the largest candidate (at most τ
+    /// nodes), the scan emits candidates with zero heap allocation. The
+    /// local-to-document numbering correspondence is as in
+    /// [`Candidate::doc_post`].
+    pub fn next_candidate_into(&mut self, scratch: &mut Tree) -> Option<NodeId> {
+        let (lo, root) = self.advance()?;
+        self.materialize_into(lo, root, scratch);
+        self.consume(root);
+        Some(NodeId::new(root))
+    }
+
+    /// Core of the scan: finds the next candidate span `lo..=root`
+    /// (document postorder numbers) without removing it from the ring.
+    fn advance(&mut self) -> Option<(u32, u32)> {
         loop {
             // Step 1: fill the ring from the queue.
             let mut queue_empty = false;
@@ -154,17 +180,19 @@ impl<'q, Q: PostorderQueue + ?Sized> PrefixRingBuffer<'q, Q> {
                 if self.pfx[self.s] >= id {
                     // Leaf: it starts a candidate subtree; the prefix array
                     // points at the root of the largest valid subtree.
-                    let root = self.pfx[self.s];
-                    let cand = self.materialize(id, root);
-                    // Remove the subtree: jump past its root.
-                    self.s = self.slot(root + 1);
-                    return Some(cand);
+                    return Some((id, self.pfx[self.s]));
                 }
                 // Non-leaf at the leftmost position: by Lemma 2 it roots a
                 // subtree larger than τ — skip it.
                 self.s = (self.s + 1) % self.b;
             }
         }
+    }
+
+    /// Removes an emitted candidate from the ring: jump past its root.
+    #[inline]
+    fn consume(&mut self, root: u32) {
+        self.s = self.slot(root + 1);
     }
 
     /// Appends one postorder entry (Step 1 of the pruning).
@@ -196,12 +224,9 @@ impl<'q, Q: PostorderQueue + ?Sized> PrefixRingBuffer<'q, Q> {
         let mut labels = Vec::with_capacity(n);
         let mut sizes = Vec::with_capacity(n);
         for id in lo..=root {
-            let slot = self.slot(id);
-            labels.push(self.lbl[slot]);
-            let p = self.pfx[slot];
-            let size = if p >= id { 1 } else { id - p + 1 };
+            let (label, size) = self.node_entry(id);
+            labels.push(label);
             sizes.push(size);
-            debug_assert!(size <= self.tau, "candidate node exceeds τ");
         }
         // Renumber: local sizes are already local (subtree sizes are
         // invariant under the shift), validity is by construction.
@@ -210,13 +235,37 @@ impl<'q, Q: PostorderQueue + ?Sized> PrefixRingBuffer<'q, Q> {
             root: NodeId::new(root),
         }
     }
+
+    /// As [`PrefixRingBuffer::materialize`], but renumbering into the
+    /// caller's scratch tree (allocation-free once warm).
+    fn materialize_into(&self, lo: u32, root: u32, scratch: &mut Tree) {
+        scratch.set_postorder_unchecked((lo..=root).map(|id| self.node_entry(id)));
+    }
+
+    /// Recovers the `(label, local subtree size)` of buffered node `id`.
+    #[inline]
+    fn node_entry(&self, id: u32) -> (LabelId, u32) {
+        let slot = self.slot(id);
+        let p = self.pfx[slot];
+        let size = if p >= id { 1 } else { id - p + 1 };
+        debug_assert!(size <= self.tau, "candidate node exceeds τ");
+        (self.lbl[slot], size)
+    }
 }
+
+/// Cap on speculative accumulator reservations derived from τ, so a
+/// saturated τ (u32::MAX = "no pruning") cannot demand a huge up-front
+/// allocation. Geometric growth takes over beyond it.
+pub(crate) const INITIAL_RESERVE_CAP: usize = 4096;
 
 /// Convenience: runs the full pruning (Algorithm 1, `prb-pruning`) and
 /// collects the candidate set.
 pub fn prb_pruning<Q: PostorderQueue + ?Sized>(queue: &mut Q, tau: u32) -> Vec<Candidate> {
     let mut prb = PrefixRingBuffer::new(queue, tau);
-    let mut out = Vec::new();
+    // The stream length is unknown, but the ring bound b = τ + 1 is a
+    // sound first guess for the accumulator (capped; geometric growth
+    // after).
+    let mut out = Vec::with_capacity(prb.b.min(INITIAL_RESERVE_CAP));
     while let Some(c) = prb.next_candidate() {
         out.push(c);
     }
@@ -228,7 +277,18 @@ pub fn prb_pruning<Q: PostorderQueue + ?Sized>(queue: &mut Q, tau: u32) -> Vec<C
 /// larger than τ. O(n · height); test oracle for the ring buffer.
 pub fn candidate_set_reference(tree: &Tree, tau: u32) -> Vec<Candidate> {
     let parents = tree.parents();
-    let mut out = Vec::new();
+    // Exact-size accumulator: subtree sizes are strictly increasing
+    // towards the root, so "all ancestors larger than τ" is equivalent to
+    // "the parent is larger than τ" — one cheap counting pass. The
+    // emission loop below still walks all ancestors, staying literal to
+    // Def. 9 (this is the test oracle).
+    let n_cands = tree
+        .nodes()
+        .filter(|&id| {
+            tree.size(id) <= tau && parents[id.index()].is_none_or(|p| tree.size(p) > tau)
+        })
+        .count();
+    let mut out = Vec::with_capacity(n_cands);
     for id in tree.nodes() {
         if tree.size(id) > tau {
             continue;
@@ -250,6 +310,11 @@ pub fn candidate_set_reference(tree: &Tree, tau: u32) -> Vec<Candidate> {
             });
         }
     }
+    debug_assert_eq!(
+        out.len(),
+        n_cands,
+        "parent-size shortcut disagrees with Def. 9"
+    );
     out
 }
 

@@ -9,7 +9,7 @@
 //! is processed. The prefix ring buffer replaces this with an O(τ) buffer;
 //! the `ablation-buffer` experiment contrasts the two peak sizes.
 
-use crate::ring_buffer::{Candidate, PruningStats};
+use crate::ring_buffer::{Candidate, PruningStats, INITIAL_RESERVE_CAP};
 use tasm_tree::{NodeId, PostorderEntry, PostorderQueue, Tree};
 
 /// Runs the simple pruning, returning the candidate set and stats
@@ -20,10 +20,15 @@ pub fn simple_pruning<Q: PostorderQueue + ?Sized>(
 ) -> (Vec<Candidate>, PruningStats) {
     let tau = tau.max(1);
     let mut stats = PruningStats::default();
-    let mut out = Vec::new();
+    // Initial-capacity guess from the ring bound τ + 1, capped so a
+    // saturated τ (e.g. u32::MAX for "no pruning") cannot demand a
+    // gigantic up-front allocation; geometric growth takes over after.
+    let guess = (tau as usize + 1).min(INITIAL_RESERVE_CAP);
+    let mut out = Vec::with_capacity(guess);
     // All buffered nodes, indexed by (id - base - 1) where ids of removed
-    // prefixes have been compacted away.
-    let mut buf: Vec<PostorderEntry> = Vec::new();
+    // prefixes have been compacted away. O(n) by design (the point of
+    // the ablation), but it starts at the candidate bound, not empty.
+    let mut buf: Vec<PostorderEntry> = Vec::with_capacity(guess);
     /// A completed top-level subtree currently in the buffer.
     #[derive(Clone, Copy)]
     struct Pending {

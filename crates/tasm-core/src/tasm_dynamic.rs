@@ -9,7 +9,8 @@
 //! TASM-postorder eliminates.
 
 use crate::ranking::{Match, TopKHeap};
-use tasm_ted::{ted_full_with_costs, Cost, CostModel, NodeCosts, TedStats};
+use crate::workspace::TasmWorkspace;
+use tasm_ted::{ted_full_with_workspace, Cost, CostModel, QueryContext, TedStats, TedWorkspace};
 use tasm_tree::{NodeId, Tree};
 
 /// Options shared by the TASM algorithms.
@@ -64,40 +65,48 @@ pub fn tasm_dynamic(
     opts: TasmOptions,
     stats: Option<&mut TedStats>,
 ) -> Vec<Match> {
-    let query_costs = NodeCosts::compute(query, model);
-    let doc_costs = NodeCosts::compute(doc, model);
+    let mut ws = TasmWorkspace::new();
+    tasm_dynamic_with_workspace(query, doc, k, model, opts, &mut ws, stats)
+}
+
+/// As [`tasm_dynamic`], but reusing the caller's [`TasmWorkspace`] for
+/// the distance matrices and document-side buffers (the dominant, O(m·n)
+/// allocations). The query-side [`QueryContext`] is still rebuilt per
+/// call — O(m), negligible next to the DP — so queries may change freely
+/// between calls.
+pub fn tasm_dynamic_with_workspace(
+    query: &Tree,
+    doc: &Tree,
+    k: usize,
+    model: &dyn CostModel,
+    opts: TasmOptions,
+    ws: &mut TasmWorkspace,
+    stats: Option<&mut TedStats>,
+) -> Vec<Match> {
+    let ctx = QueryContext::new(query, model);
     let mut heap = TopKHeap::new(k.max(1));
-    rank_subtrees_into(
-        &mut heap,
-        query,
-        &query_costs,
-        doc,
-        &doc_costs,
-        0,
-        opts,
-        stats,
-    );
+    rank_subtrees_into(&mut heap, &ctx, doc, 0, opts, &mut ws.ted, stats);
     heap.into_sorted()
 }
 
 /// Core of TASM-dynamic, reusable by TASM-postorder: computes the distance
-/// matrix for (`query`, `doc`) and offers every subtree of `doc` to `heap`.
+/// matrix for (`ctx.query()`, `doc`) inside the workspace and offers every
+/// subtree of `doc` to `heap`. Allocation-free once the workspace is warm
+/// (`keep_trees` aside, which clones at most `k` surviving subtrees).
 ///
 /// `doc_post_offset` shifts reported postorder numbers: when `doc` is a
 /// candidate subtree of a larger document, pass the document postorder
 /// number of the node *preceding* the candidate's leftmost node.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn rank_subtrees_into(
     heap: &mut TopKHeap,
-    query: &Tree,
-    query_costs: &NodeCosts,
+    ctx: &QueryContext<'_>,
     doc: &Tree,
-    doc_costs: &NodeCosts,
     doc_post_offset: u32,
     opts: TasmOptions,
+    ted_ws: &mut TedWorkspace,
     stats: Option<&mut TedStats>,
 ) {
-    let td = ted_full_with_costs(query, query_costs, doc, doc_costs, stats);
+    let td = ted_full_with_workspace(ctx, doc, ted_ws, stats);
     let row = td.query_row();
     for j in doc.nodes() {
         let distance: Cost = row[j.post() as usize];

@@ -16,7 +16,8 @@ use crate::ranking::{Match, TopKHeap};
 use crate::ring_buffer::PrefixRingBuffer;
 use crate::tasm_dynamic::{rank_subtrees_into, TasmOptions};
 use crate::threshold::{refined_threshold, threshold};
-use tasm_ted::{CostModel, NodeCosts, TedStats};
+use crate::workspace::TasmWorkspace;
+use tasm_ted::{CostModel, QueryContext, TedStats, TedWorkspace};
 use tasm_tree::{NodeId, PostorderQueue, Tree};
 
 /// Computes the top-`k` ranking of the subtrees of a streamed document
@@ -50,52 +51,103 @@ pub fn tasm_postorder<Q: PostorderQueue + ?Sized>(
     model: &dyn CostModel,
     c_t: u64,
     opts: TasmOptions,
+    stats: Option<&mut TedStats>,
+) -> Vec<Match> {
+    let mut ws = TasmWorkspace::new();
+    tasm_postorder_with_workspace(query, queue, k, model, c_t, opts, &mut ws, stats)
+}
+
+/// As [`tasm_postorder`], but reusing the caller's [`TasmWorkspace`].
+///
+/// The query context (keyroots, leftmost leaves, node costs) is computed
+/// once up front; every candidate is renumbered into, evaluated from and
+/// ranked through the workspace's buffers. After
+/// [`TasmWorkspace::reserve`] (called internally with the Theorem 3
+/// bound τ) the entire candidate loop performs **zero heap allocations**
+/// — the document stream costs O(1) allocations total, regardless of its
+/// length. Reuse the same workspace across streams to amortize even the
+/// warm-up.
+#[allow(clippy::too_many_arguments)]
+pub fn tasm_postorder_with_workspace<Q: PostorderQueue + ?Sized>(
+    query: &Tree,
+    queue: &mut Q,
+    k: usize,
+    model: &dyn CostModel,
+    c_t: u64,
+    opts: TasmOptions,
+    ws: &mut TasmWorkspace,
     mut stats: Option<&mut TedStats>,
 ) -> Vec<Match> {
     let k = k.max(1);
     let m = query.len() as u64;
-    let query_costs = NodeCosts::compute(query, model);
-    let tau64 = threshold(m, query_costs.max(), c_t, k as u64);
+    let ctx = QueryContext::new(query, model);
+    let tau64 = threshold(m, ctx.max_cost(), c_t, k as u64);
     let tau = u32::try_from(tau64).unwrap_or(u32::MAX);
+    ws.reserve(query.len(), tau);
 
     let mut heap = TopKHeap::new(k);
     let mut prb = PrefixRingBuffer::new(queue, tau);
+    let TasmWorkspace { ted, cand, sub } = ws;
 
-    while let Some(cand) = prb.next_candidate() {
+    while let Some(root) = prb.next_candidate_into(cand) {
         // Document postorder number of the node before the candidate span.
-        let offset = cand.root.post() - cand.tree.len() as u32;
-        process_candidate(
+        let offset = root.post() - cand.len() as u32;
+        process_candidate_parts(
             &mut heap,
-            query,
-            &query_costs,
-            &cand.tree,
+            &ctx,
+            cand,
             offset,
             tau64,
-            model,
             opts,
+            sub,
+            ted,
             stats.as_deref_mut(),
         );
     }
     heap.into_sorted()
 }
 
-/// Algorithm 3, lines 7–19: traverse the subtrees of candidate `cand` in
-/// reverse postorder; evaluate each maximal subtree below the current
-/// bound `τ'` with TASM-dynamic and skip over its nodes, descending one
-/// node at a time otherwise.
+/// Algorithm 3, lines 7–19, against a caller-owned workspace: traverse
+/// the subtrees of candidate `cand` in reverse postorder; evaluate each
+/// maximal subtree below the current bound `τ'` with TASM-dynamic and
+/// skip over its nodes, descending one node at a time otherwise.
+///
+/// `doc_post_offset` is the document postorder number of the node
+/// preceding the candidate's leftmost node; `tau` is the Theorem 3 bound
+/// used by the Lemma 4 refinement. Exposed so external drivers (e.g. the
+/// allocation regression test) can replicate the candidate loop of
+/// [`tasm_postorder_with_workspace`] step by step.
 #[allow(clippy::too_many_arguments)]
-fn process_candidate(
+pub fn process_candidate(
     heap: &mut TopKHeap,
-    query: &Tree,
-    query_costs: &NodeCosts,
+    ctx: &QueryContext<'_>,
     cand: &Tree,
     doc_post_offset: u32,
     tau: u64,
-    model: &dyn CostModel,
     opts: TasmOptions,
+    ws: &mut TasmWorkspace,
+    stats: Option<&mut TedStats>,
+) {
+    let TasmWorkspace { ted, sub, .. } = ws;
+    process_candidate_parts(heap, ctx, cand, doc_post_offset, tau, opts, sub, ted, stats);
+}
+
+/// [`process_candidate`] with the workspace split into fields, so the
+/// internal caller can borrow `ws.cand` as the candidate while the rest
+/// of the workspace stays mutable.
+#[allow(clippy::too_many_arguments)]
+fn process_candidate_parts(
+    heap: &mut TopKHeap,
+    ctx: &QueryContext<'_>,
+    cand: &Tree,
+    doc_post_offset: u32,
+    tau: u64,
+    opts: TasmOptions,
+    sub: &mut Tree,
+    ted: &mut TedWorkspace,
     mut stats: Option<&mut TedStats>,
 ) {
-    let m = query.len() as u64;
+    let m = ctx.len() as u64;
     let mut r = cand.len() as u32; // local postorder of the current root
     while r >= 1 {
         let node = NodeId::new(r);
@@ -106,20 +158,18 @@ fn process_candidate(
             tau
         };
         if !heap.is_full() || size < tau_prime {
-            let subtree = cand.subtree(node);
-            let sub_offset = doc_post_offset + r - subtree.len() as u32;
-            let doc_costs = NodeCosts::compute(&subtree, model);
-            rank_subtrees_into(
-                heap,
-                query,
-                query_costs,
-                &subtree,
-                &doc_costs,
-                sub_offset,
-                opts,
-                stats.as_deref_mut(),
-            );
-            // All subtrees of `subtree` were ranked as a side effect.
+            let sub_offset = doc_post_offset + r - size as u32;
+            // Whole-candidate fast path: no copy needed; proper subtrees
+            // are renumbered into the scratch tree (no allocation once
+            // its capacity covers τ).
+            let doc: &Tree = if size as usize == cand.len() {
+                cand
+            } else {
+                sub.clone_subtree_from(cand, node);
+                sub
+            };
+            rank_subtrees_into(heap, ctx, doc, sub_offset, opts, ted, stats.as_deref_mut());
+            // All subtrees of `doc` were ranked as a side effect.
             r -= size as u32;
         } else {
             r -= 1;

@@ -1,0 +1,93 @@
+//! The evaluation workspace threaded through the TASM matching stack.
+//!
+//! TASM-postorder's guarantee (Theorem 5) is document-independent memory
+//! in a single pass — yet a naive implementation re-allocates on every
+//! candidate: a fresh candidate tree from the ring buffer, a fresh
+//! subtree copy per evaluated root, fresh cost arrays, keyroot vectors
+//! and DP matrices inside Zhang–Shasha. [`TasmWorkspace`] owns every one
+//! of those buffers and is reused across the whole stream, so after
+//! warm-up (or up front, via [`TasmWorkspace::reserve`] with the
+//! Theorem 3 bound τ) the candidate loop performs **zero heap
+//! allocations** — verified by the counting-allocator regression test in
+//! `tasm-bench`.
+
+use tasm_ted::TedWorkspace;
+use tasm_tree::{LabelId, Tree};
+
+/// Reusable scratch state for [`tasm_postorder`](crate::tasm_postorder)
+/// and [`tasm_dynamic`](crate::tasm_dynamic).
+///
+/// Create once (per stream, or per thread for sharded streams) and pass
+/// `&mut` to the `_with_workspace` entry points. All buffers grow but
+/// never shrink.
+#[derive(Debug)]
+pub struct TasmWorkspace {
+    /// Distance-side scratch: DP matrices, doc keyroots, doc costs.
+    pub(crate) ted: TedWorkspace,
+    /// Scratch tree the ring buffer renumbers each candidate into.
+    pub(crate) cand: Tree,
+    /// Scratch tree for proper subtrees of a candidate (Algorithm 3's
+    /// descent below τ').
+    pub(crate) sub: Tree,
+}
+
+impl Default for TasmWorkspace {
+    fn default() -> Self {
+        TasmWorkspace::new()
+    }
+}
+
+impl TasmWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        TasmWorkspace {
+            ted: TedWorkspace::new(),
+            cand: Tree::leaf(LabelId(0)),
+            sub: Tree::leaf(LabelId(0)),
+        }
+    }
+
+    /// Pre-reserves all buffers for an `m`-node query and candidates of
+    /// up to `tau` nodes (the Theorem 3 bound), so that not even the
+    /// first candidate allocates.
+    ///
+    /// The DP matrices need `2 · (m+1) · (tau+1)` cells; to keep a
+    /// pathological τ (e.g. saturated by a huge `k`) from reserving
+    /// gigabytes up front, reservations above [`RESERVE_CAP_BYTES`] fall
+    /// back to on-demand growth, which still reaches the same
+    /// steady state.
+    pub fn reserve(&mut self, m: usize, tau: u32) {
+        let n = tau as usize;
+        let cells = 2u128 * (m as u128 + 1) * (n as u128 + 1);
+        if cells * std::mem::size_of::<tasm_ted::Cost>() as u128 <= RESERVE_CAP_BYTES as u128 {
+            self.ted.reserve(m, n);
+            self.cand.reserve(n);
+            self.sub.reserve(n);
+        }
+    }
+
+    /// Access to the inner distance workspace (e.g. for standalone
+    /// [`ted_full_with_workspace`](tasm_ted::ted_full_with_workspace)
+    /// calls sharing the same buffers).
+    pub fn ted_mut(&mut self) -> &mut TedWorkspace {
+        &mut self.ted
+    }
+}
+
+/// Upper bound on the up-front matrix reservation of
+/// [`TasmWorkspace::reserve`] (64 MiB).
+pub const RESERVE_CAP_BYTES: usize = 64 << 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_caps_pathological_tau() {
+        let mut ws = TasmWorkspace::new();
+        // Would be ~64 GiB of matrices; must not reserve.
+        ws.reserve(64, u32::MAX);
+        // And a sane bound reserves fine.
+        ws.reserve(8, 1000);
+    }
+}

@@ -11,10 +11,11 @@
 
 use proptest::prelude::*;
 use tasm_core::{
-    candidate_set_reference, prb_pruning, simple_pruning, tasm_dynamic, tasm_naive, tasm_postorder,
-    threshold, PrefixRingBuffer, TasmOptions,
+    candidate_set_reference, prb_pruning, simple_pruning, tasm_dynamic,
+    tasm_dynamic_with_workspace, tasm_naive, tasm_postorder, tasm_postorder_with_workspace,
+    threshold, PrefixRingBuffer, TasmOptions, TasmWorkspace,
 };
-use tasm_ted::{ted, Cost, PerLabelCost, UnitCost};
+use tasm_ted::{ted, ted_with_workspace, Cost, PerLabelCost, TedWorkspace, UnitCost};
 use tasm_tree::{LabelId, Tree, TreeBuilder, TreeQueue};
 
 /// Builds a uniformly-shaped random tree of exactly `n` nodes by random
@@ -201,6 +202,38 @@ proptest! {
             // Lemma 3 per match: |T_i| <= δ + |Q|.
             prop_assert!(
                 u64::from(m.size) <= m.distance.floor_natural() + q.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_identical_to_fresh_allocation(
+        runs in proptest::collection::vec((arb_query(), arb_doc(), 1usize..7), 2..5),
+    ) {
+        // One workspace reused across *different* query/document pairs —
+        // consecutive candidates (and whole documents) of different
+        // sizes must leave no trace: results are identical to the
+        // fresh-allocation wrappers in every field.
+        let mut ws = TasmWorkspace::new();
+        let mut ted_ws = TedWorkspace::new();
+        for (q, t, k) in &runs {
+            let (q, t, k) = (q, t, *k);
+            let opts = TasmOptions { keep_trees: true, ..Default::default() };
+
+            let fresh_dy = tasm_dynamic(q, t, k, &UnitCost, opts, None);
+            let reuse_dy = tasm_dynamic_with_workspace(q, t, k, &UnitCost, opts, &mut ws, None);
+            prop_assert_eq!(&fresh_dy, &reuse_dy);
+
+            let mut s1 = TreeQueue::new(t);
+            let fresh_po = tasm_postorder(q, &mut s1, k, &UnitCost, 1, opts, None);
+            let mut s2 = TreeQueue::new(t);
+            let reuse_po =
+                tasm_postorder_with_workspace(q, &mut s2, k, &UnitCost, 1, opts, &mut ws, None);
+            prop_assert_eq!(&fresh_po, &reuse_po);
+
+            prop_assert_eq!(
+                ted(q, t, &UnitCost),
+                ted_with_workspace(q, t, &UnitCost, &mut ted_ws)
             );
         }
     }

@@ -208,19 +208,45 @@ pub struct NodeCosts {
     max: u64,
 }
 
+impl Default for NodeCosts {
+    fn default() -> Self {
+        NodeCosts::empty()
+    }
+}
+
 impl NodeCosts {
     /// Evaluates `model` on every node of `tree`.
     pub fn compute(tree: &Tree, model: &dyn CostModel) -> Self {
-        let mut max = 1;
-        let costs: Vec<u64> = tree
-            .nodes()
-            .map(|id| {
-                let c = model.node_cost(tree, id).max(1);
-                max = max.max(c);
-                c
-            })
-            .collect();
-        NodeCosts { costs, max }
+        let mut nc = NodeCosts::empty();
+        nc.compute_into(tree, model);
+        nc
+    }
+
+    /// An empty scratch instance, to be filled with
+    /// [`NodeCosts::compute_into`] (workspace reuse).
+    pub fn empty() -> Self {
+        NodeCosts {
+            costs: Vec::new(),
+            max: 1,
+        }
+    }
+
+    /// Re-evaluates `model` on every node of `tree` in place, reusing the
+    /// buffer (allocation-free once capacity covers the largest tree
+    /// seen).
+    pub fn compute_into(&mut self, tree: &Tree, model: &dyn CostModel) {
+        self.costs.clear();
+        self.max = 1;
+        for id in tree.nodes() {
+            let c = model.node_cost(tree, id).max(1);
+            self.max = self.max.max(c);
+            self.costs.push(c);
+        }
+    }
+
+    /// Ensures capacity for at least `n` nodes (workspace warm-up).
+    pub fn reserve(&mut self, n: usize) {
+        self.costs.reserve(n.saturating_sub(self.costs.len()));
     }
 
     /// The cost of deleting/inserting the node with postorder `post`

@@ -24,7 +24,10 @@
 //! assert_eq!(row, vec![2, 3, 1, 2, 2, 0, 4]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed only in the two modules that
+// implement the debug-asserted unchecked DP-matrix access (`matrix`,
+// `zhang_shasha`); everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cost;
@@ -34,10 +37,15 @@ mod matrix;
 pub mod oracle;
 pub mod sed;
 pub mod stats;
+mod workspace;
 mod zhang_shasha;
 
 pub use cost::{rename_cost, Cost, CostModel, FanoutWeighted, NodeCosts, PerLabelCost, UnitCost};
 pub use mapping::{edit_script, validate_mapping, EditOp, EditScript};
 pub use matrix::Matrix;
 pub use stats::TedStats;
-pub use zhang_shasha::{ted, ted_full, ted_full_with_costs, TreeDistances};
+pub use workspace::{QueryContext, TedWorkspace};
+pub use zhang_shasha::{
+    ted, ted_full, ted_full_with_costs, ted_full_with_workspace, ted_with_workspace, TreeDistances,
+    TreeDistancesView,
+};

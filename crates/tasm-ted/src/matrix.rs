@@ -1,10 +1,22 @@
 //! A dense row-major 2-D matrix used by the dynamic programs.
+//!
+//! Besides plain construction, the matrix supports **grow-don't-shrink
+//! reuse** ([`Matrix::reset`] / [`Matrix::reset_stale`]): a workspace
+//! re-dimensions the same backing buffer for every candidate subtree, so
+//! the steady state of the streaming algorithms performs no heap
+//! allocation. The DP inner loops use the debug-asserted unchecked
+//! accessors; this is the one module in the crate allowed to use
+//! `unsafe`.
+#![allow(unsafe_code)]
 
 /// Dense row-major matrix.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct Matrix<T> {
     rows: usize,
     cols: usize,
+    /// Backing storage; `data.len() >= rows * cols`. May be longer after
+    /// a shrinking [`Matrix::reset`] — the logical content is always the
+    /// first `rows * cols` elements.
     data: Vec<T>,
 }
 
@@ -16,6 +28,32 @@ impl<T: Clone + Default> Matrix<T> {
             cols,
             data: vec![T::default(); rows * cols],
         }
+    }
+
+    /// Re-dimensions the matrix to `rows × cols` and fills the logical
+    /// region with `T::default()`, reusing the backing buffer
+    /// (grow-don't-shrink: no allocation once the buffer has seen its
+    /// largest size).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(n, T::default());
+    }
+
+    /// Re-dimensions the matrix to `rows × cols` **without clearing**:
+    /// cells keep whatever value a previous use left behind. For DP
+    /// tables that are fully written before being read (the Zhang–Shasha
+    /// `fd` rectangle, and `td` under the keyroot-ordering invariant),
+    /// this skips the O(rows·cols) fill of [`Matrix::reset`].
+    pub fn reset_stale(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        if self.data.len() < n {
+            self.data.resize(n, T::default());
+        }
+        self.rows = rows;
+        self.cols = cols;
     }
 }
 
@@ -57,15 +95,54 @@ impl<T> Matrix<T> {
         self.data[r * self.cols + c] = v;
     }
 
+    /// Reads `(r, c)` without bounds checks in release builds.
+    ///
+    /// # Safety
+    ///
+    /// `r < rows()` and `c < cols()` must hold; checked by
+    /// `debug_assert!` only. The DP inner loops guarantee this from
+    /// their loop bounds.
+    #[inline(always)]
+    pub unsafe fn get_unchecked(&self, r: usize, c: usize) -> &T {
+        debug_assert!(r < self.rows && c < self.cols);
+        // SAFETY: caller guarantees r/c in range, so the flat index is
+        // < rows * cols <= data.len().
+        unsafe { self.data.get_unchecked(r * self.cols + c) }
+    }
+
+    /// Writes `(r, c)` without bounds checks in release builds.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Matrix::get_unchecked`].
+    #[inline(always)]
+    pub unsafe fn set_unchecked(&mut self, r: usize, c: usize, v: T) {
+        debug_assert!(r < self.rows && c < self.cols);
+        // SAFETY: caller guarantees r/c in range (see get_unchecked).
+        unsafe {
+            *self.data.get_unchecked_mut(r * self.cols + c) = v;
+        }
+    }
+
     /// A whole row as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[T] {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// The underlying row-major storage.
+    /// The underlying row-major storage (logical region only).
     pub fn as_slice(&self) -> &[T] {
-        &self.data
+        &self.data[..self.rows * self.cols]
+    }
+}
+
+// Manual impl: after a shrinking `reset` the backing buffer can be longer
+// than the logical region, which derived `PartialEq` would compare.
+impl<T: PartialEq> PartialEq for Matrix<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.data[..self.rows * self.cols] == other.data[..other.rows * other.cols]
     }
 }
 
@@ -121,5 +198,49 @@ mod tests {
     fn filled() {
         let m: Matrix<u8> = Matrix::filled(2, 2, 9);
         assert!(m.as_slice().iter().all(|&v| v == 9));
+    }
+
+    #[test]
+    fn reset_reuses_and_zeroes() {
+        let mut m: Matrix<u64> = Matrix::new(4, 4);
+        m.set(3, 3, 7);
+        m.reset(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 0));
+        assert_eq!(m.as_slice().len(), 6);
+        // Growing again also zeroes.
+        m.set(1, 2, 5);
+        m.reset(5, 5);
+        assert!(m.as_slice().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn reset_stale_keeps_dims_but_not_content_guarantees() {
+        let mut m: Matrix<u64> = Matrix::new(2, 2);
+        m.set(1, 1, 9);
+        m.reset_stale(1, 2);
+        assert_eq!((m.rows(), m.cols()), (1, 2));
+        // Growing past the old buffer default-fills the tail.
+        m.reset_stale(3, 4);
+        assert_eq!(m.as_slice().len(), 12);
+    }
+
+    #[test]
+    fn unchecked_matches_checked() {
+        let mut m: Matrix<u32> = Matrix::new(3, 4);
+        // SAFETY: indices below are within the 3×4 bounds.
+        unsafe {
+            m.set_unchecked(2, 3, 11);
+            assert_eq!(*m.get_unchecked(2, 3), 11);
+        }
+        assert_eq!(*m.get(2, 3), 11);
+    }
+
+    #[test]
+    fn partial_eq_ignores_spare_capacity() {
+        let mut a: Matrix<u8> = Matrix::new(4, 4);
+        a.reset(2, 2);
+        let b: Matrix<u8> = Matrix::new(2, 2);
+        assert_eq!(a, b);
     }
 }

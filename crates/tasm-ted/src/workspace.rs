@@ -1,0 +1,225 @@
+//! Reusable evaluation state for repeated distance computations.
+//!
+//! TASM-postorder (Sec. VI of the paper) invokes the Zhang–Shasha dynamic
+//! program once per candidate subtree — thousands to millions of times per
+//! document stream — always against the *same* query. The paper stresses
+//! that per-candidate work must not depend on the document (Theorem 5) and
+//! that repeated state should be interned and reused (Sec. VII). Two types
+//! implement that here:
+//!
+//! * [`QueryContext`] — everything derivable from the query alone,
+//!   computed **once per query**: its keyroot decomposition (Def. 8), the
+//!   leftmost-leaf array `lml`, and the per-node [`NodeCosts`] (Def. 4).
+//! * [`TedWorkspace`] — the per-candidate scratch state, **owned by the
+//!   caller and reused across candidates**: the tree/forest distance
+//!   matrices `td`/`fd` with grow-don't-shrink buffers, the document-side
+//!   keyroot buffers, and the document-side node costs.
+//!
+//! With both in place, [`ted_full_with_workspace`](crate::ted_full_with_workspace)
+//! performs **zero heap allocations** once the workspace's capacity covers
+//! the largest candidate seen (and none at all if
+//! [`TedWorkspace::reserve`] was called with the Theorem 3 bound τ).
+
+use crate::cost::{Cost, CostModel, NodeCosts};
+use crate::matrix::Matrix;
+use tasm_tree::{keyroots_into, NodeId, Tree};
+
+/// Query-side state of a TASM evaluation, computed once per query.
+///
+/// Borrows the query tree and cost model; owns the derived arrays. Build
+/// it outside the candidate loop and pass it to every
+/// [`ted_full_with_workspace`](crate::ted_full_with_workspace) call.
+pub struct QueryContext<'a> {
+    query: &'a Tree,
+    model: &'a dyn CostModel,
+    /// Keyroots of the query (Def. 8), ascending postorder.
+    keyroots: Vec<NodeId>,
+    /// `lml[i]` = postorder number of the leftmost leaf of the node with
+    /// postorder number `i + 1`.
+    lml: Vec<u32>,
+    /// Per-node costs `cst(q)` (Def. 4), clamped to `>= 1`.
+    costs: NodeCosts,
+}
+
+impl std::fmt::Debug for QueryContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryContext")
+            .field("query_len", &self.query.len())
+            .field("keyroots", &self.keyroots)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> QueryContext<'a> {
+    /// Precomputes keyroots, leftmost leaves and node costs for `query`.
+    pub fn new(query: &'a Tree, model: &'a dyn CostModel) -> Self {
+        let costs = NodeCosts::compute(query, model);
+        let mut seen = Vec::new();
+        let mut keyroots = Vec::new();
+        keyroots_into(query, &mut seen, &mut keyroots);
+        let lml = query.nodes().map(|id| query.lml(id).post()).collect();
+        QueryContext {
+            query,
+            model,
+            keyroots,
+            lml,
+            costs,
+        }
+    }
+
+    /// The query tree.
+    #[inline]
+    pub fn query(&self) -> &'a Tree {
+        self.query
+    }
+
+    /// The cost model shared by query and document sides.
+    #[inline]
+    pub fn model(&self) -> &'a dyn CostModel {
+        self.model
+    }
+
+    /// The query's keyroots (Def. 8), ascending postorder.
+    #[inline]
+    pub fn keyroots(&self) -> &[NodeId] {
+        &self.keyroots
+    }
+
+    /// The precomputed per-node costs of the query.
+    #[inline]
+    pub fn costs(&self) -> &NodeCosts {
+        &self.costs
+    }
+
+    /// The leftmost-leaf array: entry `i` is `lml` of postorder `i + 1`.
+    #[inline]
+    pub fn lml_array(&self) -> &[u32] {
+        &self.lml
+    }
+
+    /// Number of query nodes `|Q|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.query.len()
+    }
+
+    /// Trees are non-empty by definition; always `false`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The maximum query node cost `c_Q` (Theorem 3).
+    #[inline]
+    pub fn max_cost(&self) -> u64 {
+        self.costs.max()
+    }
+}
+
+/// Document-side scratch state for repeated Zhang–Shasha runs.
+///
+/// All buffers grow to the largest document (candidate) seen and are
+/// never shrunk, so a streaming loop's steady state performs no heap
+/// allocation. Create once, pass `&mut` to every call.
+#[derive(Debug)]
+pub struct TedWorkspace {
+    /// Tree distance matrix `td` (Fig. 3), `(m+1) × (n+1)`.
+    pub(crate) td: Matrix<Cost>,
+    /// Forest distance table `fd`, same dimensions.
+    pub(crate) fd: Matrix<Cost>,
+    /// Document keyroots, recomputed per document into this buffer.
+    pub(crate) doc_keyroots: Vec<NodeId>,
+    /// Scratch bitmap for the keyroot scan.
+    pub(crate) kr_seen: Vec<bool>,
+    /// Document-side per-node costs.
+    pub(crate) doc_costs: NodeCosts,
+    /// Document-side leftmost-leaf array (`lml` of postorder `i + 1`),
+    /// hoisted out of the DP inner loop.
+    pub(crate) doc_lml: Vec<u32>,
+    /// Document-side delete/insert costs in half-units, pre-multiplied so
+    /// the inner loop reads a `Cost` directly.
+    pub(crate) doc_del_ins: Vec<Cost>,
+}
+
+impl Default for TedWorkspace {
+    fn default() -> Self {
+        TedWorkspace::new()
+    }
+}
+
+impl TedWorkspace {
+    /// An empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        TedWorkspace {
+            td: Matrix::new(0, 0),
+            fd: Matrix::new(0, 0),
+            doc_keyroots: Vec::new(),
+            kr_seen: Vec::new(),
+            doc_costs: NodeCosts::empty(),
+            doc_lml: Vec::new(),
+            doc_del_ins: Vec::new(),
+        }
+    }
+
+    /// Pre-reserves every buffer for an `m`-node query against documents
+    /// of up to `n` nodes, so that not even the first evaluation
+    /// allocates. For TASM, `n` is the Theorem 3 threshold τ.
+    pub fn reserve(&mut self, m: usize, n: usize) {
+        self.td.reset_stale(m + 1, n + 1);
+        self.fd.reset_stale(m + 1, n + 1);
+        self.doc_keyroots
+            .reserve(n.saturating_sub(self.doc_keyroots.len()));
+        self.kr_seen
+            .reserve((n + 1).saturating_sub(self.kr_seen.len()));
+        self.doc_costs.reserve(n);
+        self.doc_lml.reserve(n.saturating_sub(self.doc_lml.len()));
+        self.doc_del_ins
+            .reserve(n.saturating_sub(self.doc_del_ins.len()));
+    }
+
+    /// Prepares the document side of a run: recomputes document
+    /// keyroots, costs and the hoisted per-node arrays into the
+    /// reusable buffers.
+    pub(crate) fn prepare(&mut self, doc: &Tree, model: &dyn CostModel) {
+        self.doc_costs.compute_into(doc, model);
+        keyroots_into(doc, &mut self.kr_seen, &mut self.doc_keyroots);
+        self.doc_lml.clear();
+        self.doc_lml
+            .extend(doc.nodes().map(|id| doc.lml(id).post()));
+        let costs = &self.doc_costs;
+        self.doc_del_ins.clear();
+        self.doc_del_ins
+            .extend(doc.nodes().map(|id| costs.del_ins(id.post())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UnitCost;
+    use tasm_tree::{bracket, keyroots, LabelDict};
+
+    #[test]
+    fn query_context_matches_free_functions() {
+        let mut d = LabelDict::new();
+        let q = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut d).unwrap();
+        let ctx = QueryContext::new(&q, &UnitCost);
+        assert_eq!(ctx.keyroots(), keyroots(&q).as_slice());
+        assert_eq!(ctx.len(), 7);
+        assert_eq!(ctx.max_cost(), 1);
+        for id in q.nodes() {
+            assert_eq!(ctx.lml_array()[id.index()], q.lml(id).post());
+        }
+    }
+
+    #[test]
+    fn workspace_reserve_then_use_is_consistent() {
+        let mut d = LabelDict::new();
+        let t = bracket::parse("{a{b}{c}}", &mut d).unwrap();
+        let mut ws = TedWorkspace::new();
+        ws.reserve(8, 32);
+        ws.prepare(&t, &UnitCost);
+        assert_eq!(ws.doc_keyroots.len(), keyroots(&t).len());
+        assert_eq!(ws.doc_costs.len(), 3);
+    }
+}

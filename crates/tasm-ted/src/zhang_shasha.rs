@@ -16,9 +16,15 @@
 //! `O(m n)` space. For shallow-and-wide XML this is near `O(m n)` time,
 //! which is why the paper adopts it.
 
+// The DP inner loop uses the debug-asserted unchecked matrix accessors;
+// the index bounds are established once per keyroot pair (see the SAFETY
+// comment in `fill_td`).
+#![allow(unsafe_code)]
+
 use crate::cost::{rename_cost, Cost, CostModel, NodeCosts};
 use crate::matrix::Matrix;
 use crate::stats::TedStats;
+use crate::workspace::{QueryContext, TedWorkspace};
 use tasm_tree::{keyroots, NodeId, Tree};
 
 /// The tree distance matrix `td` plus everything needed to interpret it.
@@ -32,6 +38,44 @@ pub struct TreeDistances {
 }
 
 impl TreeDistances {
+    /// A borrowed view with the same accessors.
+    pub fn view(&self) -> TreeDistancesView<'_> {
+        TreeDistancesView { td: &self.td }
+    }
+
+    /// `δ(Q_i, T_j)` for subtree roots given by postorder numbers.
+    #[inline]
+    pub fn subtree_distance(&self, qi: NodeId, tj: NodeId) -> Cost {
+        self.view().subtree_distance(qi, tj)
+    }
+
+    /// The distance between the whole query and the whole document.
+    pub fn distance(&self) -> Cost {
+        self.view().distance()
+    }
+
+    /// The last row: `δ(Q, T_j)` for every document subtree `T_j`
+    /// (index 0 is padding). This is what TASM-dynamic ranks.
+    pub fn query_row(&self) -> &[Cost] {
+        self.view().query_row()
+    }
+
+    /// Number of document nodes `n` (columns minus padding).
+    pub fn doc_len(&self) -> usize {
+        self.view().doc_len()
+    }
+}
+
+/// A borrowed tree distance matrix, as produced by the workspace-reusing
+/// entry point [`ted_full_with_workspace`]. Same interpretation as
+/// [`TreeDistances`], but the storage belongs to the [`TedWorkspace`]
+/// (no allocation, invalidated by the next run).
+#[derive(Debug, Clone, Copy)]
+pub struct TreeDistancesView<'a> {
+    td: &'a Matrix<Cost>,
+}
+
+impl<'a> TreeDistancesView<'a> {
     /// `δ(Q_i, T_j)` for subtree roots given by postorder numbers.
     #[inline]
     pub fn subtree_distance(&self, qi: NodeId, tj: NodeId) -> Cost {
@@ -44,8 +88,8 @@ impl TreeDistances {
     }
 
     /// The last row: `δ(Q, T_j)` for every document subtree `T_j`
-    /// (index 0 is padding). This is what TASM-dynamic ranks.
-    pub fn query_row(&self) -> &[Cost] {
+    /// (index 0 is padding; the borrow outlives the view itself).
+    pub fn query_row(&self) -> &'a [Cost] {
         self.td.row(self.td.rows() - 1)
     }
 
@@ -93,6 +137,9 @@ pub fn ted_full(
 
 /// As [`ted_full`], but with precomputed node costs (hot path for
 /// TASM-dynamic invoked many times with the same query).
+///
+/// Allocates fresh matrices and keyroot decompositions per call; the
+/// allocation-free path is [`ted_full_with_workspace`].
 pub fn ted_full_with_costs(
     query: &Tree,
     query_costs: &NodeCosts,
@@ -102,15 +149,147 @@ pub fn ted_full_with_costs(
 ) -> TreeDistances {
     let m = query.len();
     let n = doc.len();
-    debug_assert_eq!(query_costs.len(), m);
-    debug_assert_eq!(doc_costs.len(), n);
-
     let kq = keyroots(query);
     let kt = keyroots(doc);
+    let q_lml: Vec<u32> = query.nodes().map(|id| query.lml(id).post()).collect();
+    let t_lml: Vec<u32> = doc.nodes().map(|id| doc.lml(id).post()).collect();
+    let t_del: Vec<Cost> = doc.nodes().map(|id| doc_costs.del_ins(id.post())).collect();
+    // td[i][j] = δ(Q_i, T_j); row/col 0 are padding so indexes are postorder.
+    let mut td: Matrix<Cost> = Matrix::new(m + 1, n + 1);
+    let mut fd: Matrix<Cost> = Matrix::new(m + 1, n + 1);
+    fill_td(
+        query,
+        &kq,
+        &q_lml,
+        query_costs,
+        doc,
+        &kt,
+        &t_lml,
+        &t_del,
+        doc_costs,
+        &mut td,
+        &mut fd,
+        stats,
+    );
+    TreeDistances { td }
+}
+
+/// The zero-allocation-steady-state entry point: computes the tree
+/// distance matrix between the context's query and `doc` inside the
+/// caller's [`TedWorkspace`].
+///
+/// The query-side decomposition comes precomputed from `ctx`
+/// (once per query); the document-side keyroots, costs and both DP
+/// matrices live in `ws` and are reused across calls
+/// (grow-don't-shrink). After the workspace has seen its largest
+/// document — or after [`TedWorkspace::reserve`] — a call performs **no
+/// heap allocation**.
+pub fn ted_full_with_workspace<'w>(
+    ctx: &QueryContext<'_>,
+    doc: &Tree,
+    ws: &'w mut TedWorkspace,
+    stats: Option<&mut TedStats>,
+) -> TreeDistancesView<'w> {
+    let m = ctx.len();
+    let n = doc.len();
+    ws.prepare(doc, ctx.model());
+    // Stale reset: every cell the DP reads is written first — `fd` border
+    // and interior are initialized per keyroot pair, and `td[i][j]` reads
+    // in the forest case refer to pairs persisted earlier in this same
+    // run (the Zhang–Shasha keyroot-ordering invariant) — so the
+    // O(m·n) zero-fill is skipped along with the allocation.
+    ws.td.reset_stale(m + 1, n + 1);
+    ws.fd.reset_stale(m + 1, n + 1);
+    fill_td(
+        ctx.query(),
+        ctx.keyroots(),
+        ctx.lml_array(),
+        ctx.costs(),
+        doc,
+        &ws.doc_keyroots,
+        &ws.doc_lml,
+        &ws.doc_del_ins,
+        &ws.doc_costs,
+        &mut ws.td,
+        &mut ws.fd,
+        stats,
+    );
+    TreeDistancesView { td: &ws.td }
+}
+
+/// As [`ted`], but reusing the caller's [`TedWorkspace`] for the DP
+/// matrices and document-side buffers. For many distances against the
+/// same query, hoist a [`QueryContext`] and use
+/// [`ted_full_with_workspace`] instead.
+pub fn ted_with_workspace(
+    query: &Tree,
+    doc: &Tree,
+    model: &dyn CostModel,
+    ws: &mut TedWorkspace,
+) -> Cost {
+    let ctx = QueryContext::new(query, model);
+    ted_full_with_workspace(&ctx, doc, ws, None).distance()
+}
+
+/// The Zhang–Shasha dynamic program over prepared inputs (the shared
+/// core of all public entry points).
+///
+/// `td`/`fd` must be `(m+1) × (n+1)`; their prior content is irrelevant
+/// (see the stale-reset note in [`ted_full_with_workspace`]).
+#[allow(clippy::too_many_arguments)]
+fn fill_td(
+    query: &Tree,
+    kq: &[NodeId],
+    q_lml: &[u32],
+    query_costs: &NodeCosts,
+    doc: &Tree,
+    kt: &[NodeId],
+    t_lml: &[u32],
+    t_del: &[Cost],
+    doc_costs: &NodeCosts,
+    td: &mut Matrix<Cost>,
+    fd: &mut Matrix<Cost>,
+    stats: Option<&mut TedStats>,
+) {
+    let m = query.len();
+    let n = doc.len();
+    debug_assert_eq!(query_costs.len(), m);
+    debug_assert_eq!(doc_costs.len(), n);
+    assert_eq!(t_del.len(), n, "del/ins cost array length mismatch");
+    // Keyroots are ascending and end at the root, so every postorder
+    // index visited below is bounded by m (query side) / n (doc side).
+    debug_assert_eq!(kq.last().map(|k| k.post() as usize), Some(m));
+    debug_assert_eq!(kt.last().map(|k| k.post() as usize), Some(n));
+
+    // Memory-safety guard for the unchecked matrix access below (kept in
+    // release builds; O(m + n) against the O(|kq|·|kt|·m·n) DP). Every
+    // index is derived from `lml` values, which for any *range-valid*
+    // encoding (1 <= lml(i) <= i, i.e. 1 <= size(i) <= i) stay inside the
+    // (m+1) × (n+1) matrices — so a structurally inconsistent tree built
+    // via the debug-assert-only unchecked constructors yields a wrong
+    // distance or this panic, never out-of-bounds access.
+    assert_eq!(q_lml.len(), m, "query lml array length mismatch");
+    assert_eq!(t_lml.len(), n, "document lml array length mismatch");
+    assert_eq!((td.rows(), td.cols()), (m + 1, n + 1));
+    assert_eq!((fd.rows(), fd.cols()), (m + 1, n + 1));
+    for (idx, &l) in q_lml.iter().enumerate() {
+        assert!(
+            l >= 1 && l as usize <= idx + 1,
+            "invalid query lml at postorder {}",
+            idx + 1
+        );
+    }
+    for (idx, &l) in t_lml.iter().enumerate() {
+        assert!(
+            l >= 1 && l as usize <= idx + 1,
+            "invalid document lml at postorder {}",
+            idx + 1
+        );
+    }
 
     if let Some(s) = stats {
         s.record_call();
-        for &k in &kt {
+        for &k in kt {
             s.record_relevant(doc.size(k));
         }
         let qwork: u64 = kq.iter().map(|&k| query.size(k) as u64).sum();
@@ -118,74 +297,95 @@ pub fn ted_full_with_costs(
         s.record_cells(qwork * twork);
     }
 
-    // td[i][j] = δ(Q_i, T_j); row/col 0 are padding so indexes are postorder.
-    let mut td: Matrix<Cost> = Matrix::new(m + 1, n + 1);
-    // Forest distance table, absolute-indexed: fd[i][j] = distance between
-    // pfx(Q_kq, i) and pfx(T_kt, j) within the current keyroot pair, where
-    // row/col `lq-1` / `lt-1` represent the empty forest. Reused across
-    // pairs; only the rectangle of the current pair is touched.
-    let mut fd: Matrix<Cost> = Matrix::new(m + 1, n + 1);
+    // The padding cell of the exposed query row (`query_row()[0]`) is
+    // never written by the DP; pin it so the stale-reset workspace path
+    // exposes the same content as the zero-filled fresh path.
+    td.set(m, 0, Cost::ZERO);
 
-    for &q_key in &kq {
-        let lq = query.lml(q_key).post() as usize; // leftmost leaf of Q_kq
+    let t_labels = doc.labels();
+    for &q_key in kq {
+        let lq = q_lml[q_key.index()] as usize; // leftmost leaf of Q_kq
         let q_hi = q_key.post() as usize;
-        for &t_key in &kt {
-            let lt = doc.lml(t_key).post() as usize;
+        for &t_key in kt {
+            let lt = t_lml[t_key.index()] as usize;
             let t_hi = t_key.post() as usize;
 
-            // Empty-vs-empty.
-            fd.set(lq - 1, lt - 1, Cost::ZERO);
-            // First column: delete all query prefix nodes.
-            for i in lq..=q_hi {
-                let v = *fd.get(i - 1, lt - 1) + query_costs.del_ins(i as u32);
-                fd.set(i, lt - 1, v);
-            }
-            // First row: insert all document prefix nodes.
-            for j in lt..=t_hi {
-                let v = *fd.get(lq - 1, j - 1) + doc_costs.del_ins(j as u32);
-                fd.set(lq - 1, j, v);
-            }
-
-            for i in lq..=q_hi {
-                let qi = NodeId::new(i as u32);
-                let lqi = query.lml(qi).post() as usize;
-                let q_label = query.label(qi);
-                let q_nat = query_costs.natural(i as u32);
-                let q_del = query_costs.del_ins(i as u32);
+            // Forest distance table, absolute-indexed: fd[i][j] is the
+            // distance between pfx(Q_kq, i) and pfx(T_kt, j), where
+            // row/col `lq-1` / `lt-1` represent the empty forest. Only
+            // the rectangle of the current pair is touched.
+            //
+            // SAFETY (for the unchecked matrix access): keyroots come
+            // from `keyroots`/`keyroots_into` over the same trees at
+            // both (private) call sites, so q_key/t_key posts are in
+            // [1, m] / [1, n]; the release-mode guard above pins every
+            // lml/size-derived index (lq, lqi, lt, ltj) to
+            // 1 <= lq <= m and 1 <= lt <= n. Hence all row indices are
+            // in [0, m] < rows and all column indices in [0, n] < cols
+            // of the asserted (m+1) × (n+1) matrices.
+            unsafe {
+                // Empty-vs-empty.
+                fd.set_unchecked(lq - 1, lt - 1, Cost::ZERO);
+                // First column: delete all query prefix nodes.
+                for i in lq..=q_hi {
+                    let v = *fd.get_unchecked(i - 1, lt - 1) + query_costs.del_ins(i as u32);
+                    fd.set_unchecked(i, lt - 1, v);
+                }
+                // First row: insert all document prefix nodes.
                 for j in lt..=t_hi {
-                    let tj = NodeId::new(j as u32);
-                    let ltj = doc.lml(tj).post() as usize;
-                    let t_ins = doc_costs.del_ins(j as u32);
+                    let v = *fd.get_unchecked(lq - 1, j - 1) + t_del[j - 1];
+                    fd.set_unchecked(lq - 1, j, v);
+                }
 
-                    let del = *fd.get(i - 1, j) + q_del;
-                    let ins = *fd.get(i, j - 1) + t_ins;
-
-                    if lqi == lq && ltj == lt {
-                        // Both prefixes are whole subtrees: the match case
-                        // is a rename, and the value is a tree distance.
-                        let ren = *fd.get(i - 1, j - 1)
-                            + rename_cost(
-                                q_label,
-                                q_nat,
-                                doc.label(tj),
-                                doc_costs.natural(j as u32),
-                            );
-                        let v = del.min(ins).min(ren);
-                        fd.set(i, j, v);
-                        td.set(i, j, v);
+                for i in lq..=q_hi {
+                    let lqi = q_lml[i - 1] as usize;
+                    let q_del = query_costs.del_ins(i as u32);
+                    if lqi == lq {
+                        // Q-prefix is a whole subtree: cells split on
+                        // whether the T-prefix is one too.
+                        let q_label = query.label(NodeId::new(i as u32));
+                        let q_nat = query_costs.natural(i as u32);
+                        for j in lt..=t_hi {
+                            let ltj = t_lml[j - 1] as usize;
+                            let del = *fd.get_unchecked(i - 1, j) + q_del;
+                            let ins = *fd.get_unchecked(i, j - 1) + t_del[j - 1];
+                            if ltj == lt {
+                                // Both prefixes are whole subtrees: the
+                                // match case is a rename, and the value
+                                // is a tree distance.
+                                let ren = *fd.get_unchecked(i - 1, j - 1)
+                                    + rename_cost(
+                                        q_label,
+                                        q_nat,
+                                        t_labels[j - 1],
+                                        doc_costs.natural(j as u32),
+                                    );
+                                let v = del.min(ins).min(ren);
+                                fd.set_unchecked(i, j, v);
+                                td.set_unchecked(i, j, v);
+                            } else {
+                                let sub =
+                                    *fd.get_unchecked(lq - 1, ltj - 1) + *td.get_unchecked(i, j);
+                                let v = del.min(ins).min(sub);
+                                fd.set_unchecked(i, j, v);
+                            }
+                        }
                     } else {
-                        // General forests: match the whole subtrees via the
-                        // persisted tree distance.
-                        let sub = *fd.get(lqi - 1, ltj - 1) + *td.get(i, j);
-                        let v = del.min(ins).min(sub);
-                        fd.set(i, j, v);
+                        // General forests throughout this row: match the
+                        // whole subtrees via the persisted tree distance.
+                        for j in lt..=t_hi {
+                            let ltj = t_lml[j - 1] as usize;
+                            let del = *fd.get_unchecked(i - 1, j) + q_del;
+                            let ins = *fd.get_unchecked(i, j - 1) + t_del[j - 1];
+                            let sub = *fd.get_unchecked(lqi - 1, ltj - 1) + *td.get_unchecked(i, j);
+                            let v = del.min(ins).min(sub);
+                            fd.set_unchecked(i, j, v);
+                        }
                     }
                 }
             }
         }
     }
-
-    TreeDistances { td }
 }
 
 #[cfg(test)]

@@ -39,21 +39,33 @@ use crate::tree::Tree;
 /// assert_eq!(kh, vec![2, 5, 6, 7]);
 /// ```
 pub fn keyroots(tree: &Tree) -> Vec<NodeId> {
+    let mut seen = Vec::new();
+    let mut roots = Vec::new();
+    keyroots_into(tree, &mut seen, &mut roots);
+    roots
+}
+
+/// As [`keyroots`], but writing into caller-owned buffers so repeated
+/// decompositions (one per streamed candidate subtree) are
+/// allocation-free once the buffers' capacity covers the largest tree
+/// seen. `seen` is scratch space (a bitmap over `lml` values); `out`
+/// receives the keyroots in ascending postorder.
+pub fn keyroots_into(tree: &Tree, seen: &mut Vec<bool>, out: &mut Vec<NodeId>) {
     let n = tree.len();
     // A node k is a keyroot iff there is no node with the same lml later in
     // postorder. Scanning backwards and remembering seen lmls gives the
     // keyroots; scanning forward is easier with a "seen" bitmap over lml.
-    let mut seen = vec![false; n + 1];
-    let mut roots = Vec::new();
+    seen.clear();
+    seen.resize(n + 1, false);
+    out.clear();
     for id in tree.nodes().rev() {
         let lml = tree.lml(id).post() as usize;
         if !seen[lml] {
             seen[lml] = true;
-            roots.push(id);
+            out.push(id);
         }
     }
-    roots.reverse();
-    roots
+    out.reverse();
 }
 
 /// The sizes of all relevant (keyroot) subtrees, ascending postorder.

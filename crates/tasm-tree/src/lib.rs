@@ -47,7 +47,7 @@ mod tree;
 
 pub use builder::TreeBuilder;
 pub use error::TreeError;
-pub use keyroots::{keyroot_sizes, keyroots};
+pub use keyroots::{keyroot_sizes, keyroots, keyroots_into};
 pub use label::{LabelDict, LabelId};
 pub use node::NodeId;
 pub use postorder_queue::{

@@ -113,6 +113,49 @@ impl Tree {
         Tree { labels, sizes }
     }
 
+    /// Overwrites this tree in place with the given postorder encoding,
+    /// **without validation**, reusing the existing buffers.
+    ///
+    /// This is the scratch-tree API used by the streaming workspaces:
+    /// buffers grow but never shrink, so repeatedly rebuilding a scratch
+    /// tree is allocation-free once its capacity covers the largest
+    /// encoding seen. The entries must satisfy the invariants of
+    /// [`Tree::from_postorder_unchecked`]; only debug assertions check
+    /// them.
+    pub fn set_postorder_unchecked(&mut self, entries: impl IntoIterator<Item = (LabelId, u32)>) {
+        self.labels.clear();
+        self.sizes.clear();
+        for (label, size) in entries {
+            self.labels.push(label);
+            self.sizes.push(size);
+        }
+        debug_assert!(!self.labels.is_empty());
+        debug_assert_eq!(
+            self.sizes[self.labels.len() - 1] as usize,
+            self.labels.len()
+        );
+    }
+
+    /// Overwrites this tree in place with a copy of the subtree of `src`
+    /// rooted at `node`, reusing buffers. Equivalent to
+    /// `*self = src.subtree(node)` but allocation-free once capacity
+    /// suffices.
+    pub fn clone_subtree_from(&mut self, src: &Tree, node: NodeId) {
+        let lo = src.lml(node).index();
+        let hi = node.index() + 1;
+        self.labels.clear();
+        self.labels.extend_from_slice(&src.labels[lo..hi]);
+        self.sizes.clear();
+        self.sizes.extend_from_slice(&src.sizes[lo..hi]);
+    }
+
+    /// Ensures capacity for at least `n` nodes without changing the
+    /// tree's content (scratch-tree warm-up).
+    pub fn reserve(&mut self, n: usize) {
+        self.labels.reserve(n.saturating_sub(self.labels.len()));
+        self.sizes.reserve(n.saturating_sub(self.sizes.len()));
+    }
+
     /// A single-node tree.
     pub fn leaf(label: LabelId) -> Self {
         Tree {

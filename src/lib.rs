@@ -65,10 +65,14 @@ use std::path::Path;
 /// Everything needed for typical use, in one import.
 pub mod prelude {
     pub use crate::core::{
-        prb_pruning, tasm_dynamic, tasm_naive, tasm_postorder, threshold, Match, PrefixRingBuffer,
-        TasmOptions, TopKHeap,
+        prb_pruning, tasm_dynamic, tasm_dynamic_with_workspace, tasm_naive, tasm_postorder,
+        tasm_postorder_with_workspace, threshold, Match, PrefixRingBuffer, TasmOptions,
+        TasmWorkspace, TopKHeap,
     };
-    pub use crate::ted::{ted, ted_full, Cost, CostModel, FanoutWeighted, UnitCost};
+    pub use crate::ted::{
+        ted, ted_full, ted_with_workspace, Cost, CostModel, FanoutWeighted, QueryContext,
+        TedWorkspace, UnitCost,
+    };
     pub use crate::tree::{
         bracket, LabelDict, LabelId, NodeId, PostorderEntry, PostorderQueue, Tree, TreeBuilder,
         TreeQueue,
@@ -120,6 +124,9 @@ pub struct TasmQuery {
     query: Tree,
     k: usize,
     options: TasmOptions,
+    /// Evaluation workspace reused across runs: repeated streaming
+    /// evaluations are allocation-free in steady state.
+    workspace: core::TasmWorkspace,
 }
 
 impl TasmQuery {
@@ -135,6 +142,7 @@ impl TasmQuery {
                 keep_trees: true,
                 ..Default::default()
             },
+            workspace: core::TasmWorkspace::new(),
         })
     }
 
@@ -150,6 +158,7 @@ impl TasmQuery {
                 keep_trees: true,
                 ..Default::default()
             },
+            workspace: core::TasmWorkspace::new(),
         })
     }
 
@@ -188,16 +197,19 @@ impl TasmQuery {
         self.run_reader(BufReader::new(file))
     }
 
-    /// Runs the query against any buffered XML source.
+    /// Runs the query against any buffered XML source. The internal
+    /// workspace is reused, so back-to-back runs skip all warm-up
+    /// allocations.
     pub fn run_reader<R: std::io::BufRead>(&mut self, reader: R) -> Result<Vec<Match>, TasmError> {
         let mut queue = xml::XmlPostorderQueue::new(reader, &mut self.dict);
-        let matches = core::tasm_postorder(
+        let matches = core::tasm_postorder_with_workspace(
             &self.query,
             &mut queue,
             self.k,
             &UnitCost,
             1,
             self.options,
+            &mut self.workspace,
             None,
         );
         if let Some(err) = queue.take_error() {
