@@ -4,12 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tasm_core::{
-    prb_pruning_stats, tasm_dynamic, tasm_naive, tasm_postorder, tasm_postorder_with_workspace,
-    threshold, TasmOptions, TasmWorkspace,
+    prb_pruning_stats, tasm_batch_with_workspace, tasm_dynamic, tasm_naive, tasm_parallel,
+    tasm_postorder, tasm_postorder_with_workspace, threshold, BatchQuery, BatchWorkspace,
+    TasmOptions, TasmWorkspace,
 };
 use tasm_data::{dblp_tree, random_query, xmark_tree, DblpConfig, XMarkConfig};
 use tasm_ted::UnitCost;
-use tasm_tree::{LabelDict, TreeQueue};
+use tasm_tree::{LabelDict, Tree, TreeQueue};
 
 fn bench_algorithms(c: &mut Criterion) {
     let mut dict = LabelDict::new();
@@ -124,6 +125,79 @@ fn bench_emit_summary(_c: &mut Criterion) {
     println!("bench: wrote {} ({rate:.0} candidates/s)", path.display());
 }
 
+/// Multi-query batching: one shared scan for N queries vs N independent
+/// sequential scans (both with warm workspaces) — the scan-amortization
+/// curve of the engine layer.
+fn bench_batch_widths(c: &mut Criterion) {
+    let mut dict = LabelDict::new();
+    let doc = dblp_tree(&mut dict, &DblpConfig::new(1, 20_000));
+    let k = 5;
+    let mut group = c.benchmark_group("tasm/batch_width");
+    for &width in &[1usize, 4, 16] {
+        let queries: Vec<Tree> = (0..width)
+            .map(|i| random_query(&doc, 8, 3 + i as u64).0)
+            .collect();
+        group.bench_with_input(BenchmarkId::new("batch", width), &width, |b, _| {
+            let mut ws = BatchWorkspace::new();
+            b.iter(|| {
+                let batch: Vec<BatchQuery<'_>> = queries
+                    .iter()
+                    .map(|query| BatchQuery { query, k })
+                    .collect();
+                let mut q = TreeQueue::new(&doc);
+                tasm_batch_with_workspace(
+                    &batch,
+                    &mut q,
+                    &UnitCost,
+                    1,
+                    TasmOptions::default(),
+                    &mut ws,
+                    None,
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", width), &width, |b, _| {
+            let mut ws = TasmWorkspace::new();
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|query| {
+                        let mut q = TreeQueue::new(&doc);
+                        tasm_postorder_with_workspace(
+                            query,
+                            &mut q,
+                            k,
+                            &UnitCost,
+                            1,
+                            TasmOptions::default(),
+                            &mut ws,
+                            None,
+                        )
+                        .len()
+                    })
+                    .sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Sharded parallel scans at 1/2/4 worker threads (t1 falls back to the
+/// sequential engine path).
+fn bench_parallel_threads(c: &mut Criterion) {
+    let mut dict = LabelDict::new();
+    let doc = dblp_tree(&mut dict, &DblpConfig::new(1, 20_000));
+    let (query, _) = random_query(&doc, 8, 3);
+    let k = 5;
+    let mut group = c.benchmark_group("tasm/parallel_threads");
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| tasm_parallel(&query, &doc, k, &UnitCost, 1, TasmOptions::default(), t));
+        });
+    }
+    group.finish();
+}
+
 fn bench_postorder_k(c: &mut Criterion) {
     let mut dict = LabelDict::new();
     let doc = xmark_tree(&mut dict, &XMarkConfig::new(2, 50_000));
@@ -172,6 +246,8 @@ fn bench_tau_prime_ablation(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_algorithms,
+    bench_batch_widths,
+    bench_parallel_threads,
     bench_postorder_k,
     bench_tau_prime_ablation,
     bench_emit_summary

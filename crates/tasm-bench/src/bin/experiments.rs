@@ -16,12 +16,14 @@ use tasm_bench::harness::{self, Ctx};
 static ALLOC: CountingAlloc = CountingAlloc;
 
 const USAGE: &str = "\
-usage: experiments [fig9a|fig9b|fig9c|fig10|fig11|fig12|ablation-tau|ablation-buffer|bench|all]...
+usage: experiments [fig9a|fig9b|fig9c|fig10|fig11|fig12|ablation-tau|ablation-buffer|bench|scaling|all]...
                    [--scale N] [--quick] [--json] [--label S]
 
 `bench` times the tasm_postorder hot path (candidates/s, ns/candidate,
-peak heap); with `--json` it also appends a snapshot (named by --label)
-to BENCH_tasm.json in the current directory — the perf trajectory.
+peak heap); `scaling` times multi-query batching (one shared scan vs N
+independent scans) and sharded parallel scans (1/2/4 threads). With
+`--json` both append snapshots (named by --label) to BENCH_tasm.json in
+the current directory — the perf trajectory.
 ";
 
 fn main() {
@@ -54,11 +56,16 @@ fn main() {
             other => which.push(other.to_string()),
         }
     }
-    // `--json` always implies the bench workload (`experiments -- --json`
-    // is the canonical perf-trajectory call; with an explicit workload
-    // list it is appended rather than silently ignored).
-    if json && !which.iter().any(|w| w == "bench" || w == "all") {
+    // `--json` always implies the perf-trajectory workloads
+    // (`experiments -- --json` is the canonical call; with an explicit
+    // workload list they are appended rather than silently ignored).
+    if json
+        && !which
+            .iter()
+            .any(|w| w == "bench" || w == "scaling" || w == "all")
+    {
         which.push("bench".to_string());
+        which.push("scaling".to_string());
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = [
@@ -71,6 +78,7 @@ fn main() {
             "ablation-tau",
             "ablation-buffer",
             "bench",
+            "scaling",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -99,6 +107,15 @@ fn main() {
                     &|f: &mut dyn FnMut()| measure_peak(f).1,
                     out.as_deref(),
                     &label,
+                );
+            }
+            "scaling" => {
+                let out = json.then(|| std::path::PathBuf::from(tasm_bench::report::BENCH_JSON));
+                harness::scaling_summary(
+                    &ctx,
+                    &|f: &mut dyn FnMut()| measure_peak(f).1,
+                    out.as_deref(),
+                    &format!("{label} (scaling)"),
                 );
             }
             other => {

@@ -13,7 +13,9 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use tasm_core::{
-    prb_pruning_stats, simple_pruning, tasm_dynamic, tasm_postorder, threshold, TasmOptions,
+    prb_pruning_stats, simple_pruning, tasm_batch_with_workspace, tasm_dynamic, tasm_parallel,
+    tasm_postorder, tasm_postorder_with_workspace, threshold, BatchQuery, BatchWorkspace,
+    TasmOptions, TasmWorkspace,
 };
 use tasm_data::{
     dblp_tree, psd_tree, random_query, xmark_tree, DblpConfig, PsdConfig, XMarkConfig,
@@ -629,6 +631,177 @@ pub fn bench_summary(
     records
 }
 
+/// Scan-engine scaling snapshot: multi-query batching (one shared scan
+/// vs N independent sequential scans) and sharded parallel scans
+/// (1/2/4 worker threads), on a DBLP-shaped document.
+///
+/// Batch records are named `batch xN …` with the matching independent
+/// baseline `seq xN …`; `candidates` counts candidate *evaluations*
+/// (scan candidates × batch width) so candidates/s is directly
+/// comparable between the two. Parallel records are `parallel tN …`
+/// (t1 = the sequential engine path). With `json_out` set, the records
+/// are appended to the [`crate::report::BENCH_JSON`] trajectory.
+pub fn scaling_summary(
+    ctx: &Ctx,
+    measure: &dyn Fn(&mut dyn FnMut()) -> usize,
+    json_out: Option<&Path>,
+    label: &str,
+) -> Vec<crate::report::BenchRecord> {
+    use crate::report::BenchRecord;
+    let nodes = (800_000 / ctx.scale).max(2_000);
+    let (qsize, k) = (8u32, 5usize);
+    let mut dict = LabelDict::new();
+    let doc = dblp_tree(&mut dict, &DblpConfig::new(7, nodes));
+    println!("\n=== scaling: batch + parallel scan engine ({nodes}-node DBLP document) ===");
+    println!(
+        "{:>16} {:>9} {:>6} {:>10} {:>14} {:>14} {:>12}",
+        "config", "nodes", "k", "seconds", "evaluations", "ns/candidate", "peak(KiB)"
+    );
+    let mut records = Vec::new();
+    let push = |records: &mut Vec<BenchRecord>, r: BenchRecord| {
+        println!(
+            "{:>16} {:>9} {:>6} {:>10.4} {:>14} {:>14.0} {:>12.1}",
+            r.name,
+            r.nodes,
+            r.k,
+            r.seconds,
+            r.candidates,
+            r.ns_per_candidate(),
+            r.peak_heap_bytes as f64 / 1024.0
+        );
+        records.push(r);
+    };
+
+    let time3 = |run: &mut dyn FnMut()| -> f64 {
+        run(); // warm-up
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                run();
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    // --- Multi-query batching: one shared scan vs N independent scans.
+    for &width in &[1usize, 4, 16] {
+        let queries: Vec<Tree> = (0..width)
+            .map(|i| random_query(&doc, qsize, 0x5CA1E + i as u64).0)
+            .collect();
+        let tau = queries
+            .iter()
+            .map(|q| threshold(q.len() as u64, 1, 1, k as u64))
+            .max()
+            .expect("non-empty batch");
+        let mut q = TreeQueue::new(&doc);
+        let scan_candidates =
+            prb_pruning_stats(&mut q, u32::try_from(tau).unwrap_or(u32::MAX), None).candidates;
+        let evaluations = scan_candidates * width;
+
+        let mut ws = TasmWorkspace::new();
+        let mut run_seq = || {
+            for query in &queries {
+                let mut q = TreeQueue::new(&doc);
+                let m = tasm_postorder_with_workspace(
+                    query,
+                    &mut q,
+                    k,
+                    &UnitCost,
+                    1,
+                    TasmOptions::default(),
+                    &mut ws,
+                    None,
+                );
+                std::hint::black_box(m.len());
+            }
+        };
+        let seq_seconds = time3(&mut run_seq);
+        let seq_peak = measure(&mut run_seq);
+
+        let mut bws = BatchWorkspace::new();
+        let mut run_batch = || {
+            let batch: Vec<BatchQuery<'_>> = queries
+                .iter()
+                .map(|query| BatchQuery { query, k })
+                .collect();
+            let mut q = TreeQueue::new(&doc);
+            let r = tasm_batch_with_workspace(
+                &batch,
+                &mut q,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                &mut bws,
+                None,
+            );
+            std::hint::black_box(r.len());
+        };
+        let batch_seconds = time3(&mut run_batch);
+        let batch_peak = measure(&mut run_batch);
+
+        for (name, seconds, peak) in [
+            (format!("seq x{width}"), seq_seconds, seq_peak),
+            (format!("batch x{width}"), batch_seconds, batch_peak),
+        ] {
+            push(
+                &mut records,
+                BenchRecord {
+                    name: format!("{name} dblp q{qsize} k{k}"),
+                    nodes: doc.len(),
+                    query_size: qsize as usize,
+                    k,
+                    tau,
+                    candidates: evaluations,
+                    seconds,
+                    peak_heap_bytes: peak,
+                },
+            );
+        }
+    }
+
+    // --- Sharded parallel scans.
+    let (query, _) = random_query(&doc, qsize, 0x5CA1E);
+    let tau = threshold(query.len() as u64, 1, 1, k as u64);
+    let mut q = TreeQueue::new(&doc);
+    let candidates =
+        prb_pruning_stats(&mut q, u32::try_from(tau).unwrap_or(u32::MAX), None).candidates;
+    for &threads in &[1usize, 2, 4] {
+        let mut run = || {
+            let m = tasm_parallel(
+                &query,
+                &doc,
+                k,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                threads,
+            );
+            std::hint::black_box(m.len());
+        };
+        let seconds = time3(&mut run);
+        let peak = measure(&mut run);
+        push(
+            &mut records,
+            BenchRecord {
+                name: format!("parallel t{threads} dblp q{qsize} k{k}"),
+                nodes: doc.len(),
+                query_size: qsize as usize,
+                k,
+                tau,
+                candidates,
+                seconds,
+                peak_heap_bytes: peak,
+            },
+        );
+    }
+
+    if let Some(path) = json_out {
+        crate::report::write_json(path, label, ctx.scale, &records).expect("write bench json");
+        println!("wrote {} (snapshot \"{label}\")", path.display());
+    }
+    records
+}
+
 /// Which real-world-like dataset an experiment runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dataset {
@@ -742,6 +915,37 @@ mod tests {
         assert!(dynamic_footprint(8, 1000) < dynamic_footprint(16, 1000));
         // The paper's OOM case: 64-node query on 26 M nodes blows 4 GB.
         assert!(dynamic_footprint(64, 26_000_000) > (4u64 << 30));
+    }
+
+    #[test]
+    fn scaling_summary_produces_comparable_records() {
+        let ctx = tiny_ctx();
+        let records = scaling_summary(
+            &ctx,
+            &|f: &mut dyn FnMut()| {
+                f();
+                0
+            },
+            None,
+            "test",
+        );
+        // 3 batch widths × (seq + batch) + 3 thread counts.
+        assert_eq!(records.len(), 9);
+        for width in [1usize, 4, 16] {
+            let seq = records
+                .iter()
+                .find(|r| r.name.starts_with(&format!("seq x{width} ")))
+                .expect("seq record");
+            let batch = records
+                .iter()
+                .find(|r| r.name.starts_with(&format!("batch x{width} ")))
+                .expect("batch record");
+            // Same evaluation count: candidates/s is directly comparable.
+            assert_eq!(seq.candidates, batch.candidates);
+            assert!(seq.candidates > 0);
+        }
+        assert!(records.iter().any(|r| r.name.starts_with("parallel t2 ")));
+        std::fs::remove_dir_all(&ctx.out_dir).ok();
     }
 
     #[test]

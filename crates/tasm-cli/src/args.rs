@@ -1,17 +1,20 @@
 //! Minimal argument parsing (no external dependencies).
 
-use std::collections::HashMap;
-
 /// Parsed command line: a subcommand, positional arguments and
 /// `--flag[=| ]value` options.
+///
+/// Options are kept in order and may repeat (e.g. several `--query`
+/// flags for a batch); [`Args::get`] returns the last occurrence,
+/// [`Args::get_all`] all of them.
 #[derive(Debug, Default)]
 pub struct Args {
     /// The subcommand (first non-flag argument).
     pub command: Option<String>,
     /// Remaining positional arguments.
     pub positional: Vec<String>,
-    /// `--name value` options; bare `--name` maps to `"true"`.
-    pub options: HashMap<String, String>,
+    /// `--name value` options in command-line order; bare `--name` maps
+    /// to `"true"`.
+    pub options: Vec<(String, String)>,
 }
 
 impl Args {
@@ -27,16 +30,16 @@ impl Args {
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
                 if let Some((k, v)) = name.split_once('=') {
-                    out.options.insert(k.to_string(), v.to_string());
+                    out.options.push((k.to_string(), v.to_string()));
                 } else if iter
                     .peek()
                     .map(|next| !next.starts_with("--"))
                     .unwrap_or(false)
                 {
                     let v = iter.next().expect("peeked");
-                    out.options.insert(name.to_string(), v);
+                    out.options.push((name.to_string(), v));
                 } else {
-                    out.options.insert(name.to_string(), "true".to_string());
+                    out.options.push((name.to_string(), "true".to_string()));
                 }
             } else if out.command.is_none() {
                 out.command = Some(arg);
@@ -47,9 +50,26 @@ impl Args {
         out
     }
 
-    /// A string option.
+    /// A string option (the last occurrence when repeated).
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.options.get(name).map(|s| s.as_str())
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every occurrence of a repeatable option, in command-line order.
+    /// (Callers that must preserve the interleaving of *several*
+    /// repeatable options — like `query`/`query-str` — walk
+    /// [`Args::options`] directly instead.)
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.options
+            .iter()
+            .filter(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     /// A required string option, with an error message naming it.
@@ -119,5 +139,15 @@ mod tests {
         let a = parse("query --stats --k 2");
         assert!(a.flag("stats"));
         assert_eq!(a.get_num("k", 0usize).unwrap(), 2);
+    }
+
+    #[test]
+    fn repeated_options_collect_in_order() {
+        let a = parse("query --query a.xml --k 2 --query b.xml --query=c.xml");
+        assert_eq!(a.get_all("query"), vec!["a.xml", "b.xml", "c.xml"]);
+        // `get` takes the last occurrence; non-repeated options see one.
+        assert_eq!(a.get("query"), Some("c.xml"));
+        assert_eq!(a.get_all("k"), vec!["2"]);
+        assert!(a.get_all("missing").is_empty());
     }
 }

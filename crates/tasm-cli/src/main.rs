@@ -19,8 +19,8 @@ use std::time::Instant;
 
 use args::Args;
 use tasm_core::{
-    prb_pruning_stats, simple_pruning, tasm_dynamic, tasm_naive, tasm_postorder_with_workspace,
-    threshold_for_query, TasmOptions, TasmWorkspace,
+    prb_pruning_stats, simple_pruning, tasm_batch, tasm_dynamic, tasm_naive, tasm_parallel,
+    tasm_postorder_with_workspace, threshold_for_query, BatchQuery, TasmOptions, TasmWorkspace,
 };
 use tasm_data::{
     dblp_tree, psd_tree, random_tree, xmark_tree, DblpConfig, PsdConfig, RandomTreeConfig,
@@ -39,10 +39,15 @@ USAGE:
 
 COMMANDS:
     query       Rank document subtrees by tree edit distance to a query
-                  --query <file.xml>     query XML (or --query-str '<a/>')
+                  --query <file.xml>     query XML (or --query-str '<a/>');
+                                         repeat either flag to run a batch
+                                         of queries in ONE document scan
                   --doc <file.xml>       document XML
                   --k <n>                ranking size          [default: 5]
                   --algorithm <name>     postorder|dynamic|naive [postorder]
+                  --threads <n>          shard the scan across n worker
+                                         threads (0 = all cores; postorder,
+                                         single query)         [default: 1]
                   --show-xml             print matched subtrees as XML
                   --stats                print work statistics
 
@@ -103,6 +108,10 @@ fn load_xml(path: &str, dict: &mut LabelDict) -> Result<Tree, String> {
         while let Some(e) = reader.dequeue() {
             entries.push((dict.intern(file_dict.resolve(e.label)), e.size));
         }
+        // A short read ends the stream silently; a truncated file must
+        // not pass as a smaller document even when the surviving prefix
+        // happens to form a valid tree.
+        check_pq_complete(&reader, path)?;
         return Tree::from_postorder(entries).map_err(|e| format!("{path}: {e}"));
     }
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
@@ -124,15 +133,54 @@ fn cmd_convert(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Re-interns a query's labels into a postorder file's dictionary so it
+/// can be matched against the file's label ids.
+fn reencode_query(query: &Tree, dict: &LabelDict, file_dict: &mut LabelDict) -> Tree {
+    let entries: Vec<_> = query
+        .postorder()
+        .map(|(l, s)| (file_dict.intern(dict.resolve(l)), s))
+        .collect();
+    Tree::from_postorder(entries).expect("query re-encoding is valid")
+}
+
+/// Fails a `.pq` scan that ended before the header-promised node count —
+/// a truncated file must not silently pass as a smaller document.
+fn check_pq_complete<R: std::io::Read>(
+    reader: &PostFileReader<R>,
+    doc_path: &str,
+) -> Result<(), String> {
+    if reader.remaining_nodes() > 0 {
+        return Err(format!(
+            "{doc_path}: truncated postorder file ({} of {} nodes missing)",
+            reader.remaining_nodes(),
+            reader.total_nodes()
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_query(args: &Args) -> Result<(), String> {
     let mut dict = LabelDict::new();
-    let query = if let Some(qs) = args.get("query-str") {
-        tasm_xml::parse_tree_str(qs, &mut dict).map_err(|e| format!("--query-str: {e}"))?
-    } else {
-        load_xml(args.require("query")?, &mut dict)?
-    };
+    // Collect queries in command-line order, even when --query files and
+    // --query-str literals are interleaved: output tables are numbered by
+    // that order.
+    let mut queries: Vec<Tree> = Vec::new();
+    for (name, value) in &args.options {
+        match name.as_str() {
+            "query" => queries.push(load_xml(value, &mut dict)?),
+            "query-str" => queries.push(
+                tasm_xml::parse_tree_str(value, &mut dict)
+                    .map_err(|e| format!("--query-str: {e}"))?,
+            ),
+            _ => {}
+        }
+    }
+    if queries.is_empty() {
+        return Err("missing required option --query <file> (or --query-str '<xml>')".into());
+    }
     let doc_path = args.require("doc")?;
     let k: usize = args.get_num("k", 5)?;
+    let threads: usize = args.get_num("threads", 1)?;
     let algorithm = args.get("algorithm").unwrap_or("postorder");
     let opts = TasmOptions {
         keep_trees: args.flag("show-xml"),
@@ -140,89 +188,173 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     };
     let mut stats = TedStats::new();
     let want_stats = args.flag("stats");
+    let batch = queries.len() > 1;
+    let parallel = threads != 1;
+    if batch && algorithm != "postorder" {
+        return Err(format!(
+            "--algorithm {algorithm} evaluates a single query; batch mode needs postorder"
+        ));
+    }
+    if parallel && algorithm != "postorder" {
+        return Err(format!(
+            "--threads applies to --algorithm postorder, not {algorithm}"
+        ));
+    }
+    if batch && parallel {
+        return Err("--threads with multiple queries is not supported yet; \
+                    run the batch sequentially or shard per query"
+            .into());
+    }
+    if want_stats && parallel {
+        return Err("--stats is not collected by the sharded parallel path; drop --threads".into());
+    }
     let sink = want_stats.then_some(&mut stats);
     // One evaluation workspace for the whole run: the candidate loop is
     // allocation-free in steady state (PR-2 tentpole).
     let mut ws = TasmWorkspace::new();
 
     let t0 = Instant::now();
-    let matches = match algorithm {
-        "postorder" if doc_path.ends_with(".pq") => {
-            // Stream the binary postorder file. Label ids in the file come
-            // from its own dictionary, so the query is re-encoded into it.
+    let rankings: Vec<Vec<tasm_core::Match>> = if batch {
+        // All queries share ONE scan of the document stream.
+        fn batch_of(queries: &[Tree], k: usize) -> Vec<BatchQuery<'_>> {
+            queries
+                .iter()
+                .map(|query| BatchQuery { query, k })
+                .collect()
+        }
+        if doc_path.ends_with(".pq") {
             let mut reader =
                 PostFileReader::open(doc_path).map_err(|e| format!("{doc_path}: {e}"))?;
             let mut file_dict = reader.dict().clone();
-            let entries: Vec<_> = query
-                .postorder()
-                .map(|(l, s)| (file_dict.intern(dict.resolve(l)), s))
+            let reencoded: Vec<Tree> = queries
+                .iter()
+                .map(|q| reencode_query(q, &dict, &mut file_dict))
                 .collect();
-            let query_in_file_ids =
-                Tree::from_postorder(entries).expect("query re-encoding is valid");
-            let m = tasm_postorder_with_workspace(
-                &query_in_file_ids,
+            let r = tasm_batch(
+                &batch_of(&reencoded, k),
                 &mut reader,
-                k,
                 &UnitCost,
                 1,
                 opts,
-                &mut ws,
                 sink,
             );
+            check_pq_complete(&reader, doc_path)?;
             dict = file_dict;
-            m
-        }
-        "postorder" => {
+            r
+        } else {
             let file = File::open(doc_path).map_err(|e| format!("cannot open {doc_path}: {e}"))?;
             let mut queue = XmlPostorderQueue::new(BufReader::new(file), &mut dict);
-            let m = tasm_postorder_with_workspace(
-                &query, &mut queue, k, &UnitCost, 1, opts, &mut ws, sink,
-            );
+            let r = tasm_batch(&batch_of(&queries, k), &mut queue, &UnitCost, 1, opts, sink);
             if let Some(e) = queue.take_error() {
                 return Err(format!("{doc_path}: {e}"));
             }
-            m
+            r
         }
-        "dynamic" | "naive" => {
-            let doc = load_xml(doc_path, &mut dict)?;
-            if algorithm == "dynamic" {
-                tasm_dynamic(&query, &doc, k, &UnitCost, opts, sink)
-            } else {
-                tasm_naive(&query, &doc, k, &UnitCost, opts, sink)
+    } else {
+        let query = &queries[0];
+        let matches = match algorithm {
+            "postorder" if parallel => {
+                // Sharded scan: needs the materialized document.
+                let doc = load_xml(doc_path, &mut dict)?;
+                tasm_parallel(query, &doc, k, &UnitCost, 1, opts, threads)
             }
-        }
-        other => return Err(format!("unknown algorithm '{other}'")),
+            "postorder" if doc_path.ends_with(".pq") => {
+                // Stream the binary postorder file. Label ids in the file
+                // come from its own dictionary, so the query is re-encoded
+                // into it.
+                let mut reader =
+                    PostFileReader::open(doc_path).map_err(|e| format!("{doc_path}: {e}"))?;
+                let mut file_dict = reader.dict().clone();
+                let query_in_file_ids = reencode_query(query, &dict, &mut file_dict);
+                let m = tasm_postorder_with_workspace(
+                    &query_in_file_ids,
+                    &mut reader,
+                    k,
+                    &UnitCost,
+                    1,
+                    opts,
+                    &mut ws,
+                    sink,
+                );
+                check_pq_complete(&reader, doc_path)?;
+                dict = file_dict;
+                m
+            }
+            "postorder" => {
+                let file =
+                    File::open(doc_path).map_err(|e| format!("cannot open {doc_path}: {e}"))?;
+                let mut queue = XmlPostorderQueue::new(BufReader::new(file), &mut dict);
+                let m = tasm_postorder_with_workspace(
+                    query, &mut queue, k, &UnitCost, 1, opts, &mut ws, sink,
+                );
+                if let Some(e) = queue.take_error() {
+                    return Err(format!("{doc_path}: {e}"));
+                }
+                m
+            }
+            "dynamic" | "naive" => {
+                let doc = load_xml(doc_path, &mut dict)?;
+                if algorithm == "dynamic" {
+                    tasm_dynamic(query, &doc, k, &UnitCost, opts, sink)
+                } else {
+                    tasm_naive(query, &doc, k, &UnitCost, opts, sink)
+                }
+            }
+            other => return Err(format!("unknown algorithm '{other}'")),
+        };
+        vec![matches]
     };
     let elapsed = t0.elapsed();
 
-    println!(
-        "# query: {} nodes, k = {k}, algorithm = {algorithm}",
-        query.len()
-    );
-    println!(
-        "{:<6} {:>10} {:>10} {:>8}",
-        "rank", "node", "distance", "size"
-    );
-    for (rank, m) in matches.iter().enumerate() {
+    for (qi, (query, matches)) in queries.iter().zip(&rankings).enumerate() {
+        if batch {
+            println!(
+                "# query {}: {} nodes, k = {k}, algorithm = {algorithm} (batched scan)",
+                qi + 1,
+                query.len()
+            );
+        } else {
+            println!(
+                "# query: {} nodes, k = {k}, algorithm = {algorithm}{}",
+                query.len(),
+                if parallel {
+                    format!(", threads = {threads}")
+                } else {
+                    String::new()
+                }
+            );
+        }
         println!(
             "{:<6} {:>10} {:>10} {:>8}",
-            rank + 1,
-            m.root.post(),
-            m.distance.to_string(),
-            m.size
+            "rank", "node", "distance", "size"
         );
-        if let Some(tree) = &m.tree {
-            println!("       {}", tree_to_xml(tree, &dict));
+        for (rank, m) in matches.iter().enumerate() {
+            println!(
+                "{:<6} {:>10} {:>10} {:>8}",
+                rank + 1,
+                m.root.post(),
+                m.distance.to_string(),
+                m.size
+            );
+            if let Some(tree) = &m.tree {
+                println!("       {}", tree_to_xml(tree, &dict));
+            }
         }
     }
     println!("# elapsed: {elapsed:?}");
     if want_stats {
+        let tau = queries
+            .iter()
+            .map(|q| threshold_for_query(q, &UnitCost, 1, k as u64))
+            .max()
+            .expect("at least one query");
         println!(
-            "# relevant subtrees computed: {} (largest {} nodes), ted calls: {}, tau = {}",
+            "# relevant subtrees computed: {} (largest {} nodes), ted calls: {}, {} = {}",
             stats.total_relevant(),
             stats.max_relevant_size(),
             stats.ted_calls,
-            threshold_for_query(&query, &UnitCost, 1, k as u64),
+            if batch { "scan tau" } else { "tau" },
+            tau,
         );
     }
     Ok(())
@@ -270,7 +402,21 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
             w.write_all(xml.as_bytes()).map_err(|e| e.to_string())?;
             eprintln!("wrote {} nodes to {path}", tree.len());
         }
-        None => println!("{xml}"),
+        None => {
+            // Large documents are routinely piped into `head`/`grep`;
+            // treat a closed pipe as a clean exit instead of the default
+            // println! panic, and report real write failures.
+            let mut out = std::io::stdout().lock();
+            let result = out
+                .write_all(xml.as_bytes())
+                .and_then(|()| out.write_all(b"\n"))
+                .and_then(|()| out.flush());
+            if let Err(e) = result {
+                if e.kind() != std::io::ErrorKind::BrokenPipe {
+                    return Err(format!("stdout: {e}"));
+                }
+            }
+        }
     }
     Ok(())
 }

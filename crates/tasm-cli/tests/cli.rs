@@ -139,6 +139,245 @@ fn query_missing_doc_is_an_error() {
 }
 
 #[test]
+fn nonexistent_doc_is_a_clean_error_everywhere() {
+    for args in [
+        vec!["query", "--query-str", "<a/>", "--doc", "/no/such/file.xml"],
+        vec![
+            "query",
+            "--query-str",
+            "<a/>",
+            "--doc",
+            "/no/such/file.xml",
+            "--threads",
+            "2",
+        ],
+        vec!["query", "--query-str", "<a/>", "--doc", "/no/such/file.pq"],
+        vec!["stats", "--doc", "/no/such/file.xml"],
+        vec!["candidates", "--doc", "/no/such/file.xml", "--tau", "5"],
+        vec![
+            "convert",
+            "--doc",
+            "/no/such/file.xml",
+            "--out",
+            "/tmp/x.pq",
+        ],
+    ] {
+        let out = tasm(&args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.starts_with("error:") && err.contains("/no/such/file"),
+            "{args:?} -> {err}"
+        );
+    }
+}
+
+#[test]
+fn malformed_doc_is_a_clean_error() {
+    let doc = tmp("malformed.xml");
+    std::fs::write(&doc, "<r><a></r>").unwrap();
+    for algo in ["postorder", "dynamic", "naive"] {
+        let out = tasm(&[
+            "query",
+            "--query-str",
+            "<a/>",
+            "--doc",
+            doc.to_str().unwrap(),
+            "--algorithm",
+            algo,
+        ]);
+        assert!(!out.status.success(), "[{algo}] must fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.starts_with("error:"), "[{algo}] {err}");
+    }
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn truncated_pq_is_a_clean_error() {
+    let xml = tmp("trunc.xml");
+    let pq = tmp("trunc.pq");
+    std::fs::write(&xml, "<r><a><b>x</b></a><a><b>y</b></a></r>").unwrap();
+    let out = tasm(&[
+        "convert",
+        "--doc",
+        xml.to_str().unwrap(),
+        "--out",
+        pq.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    // Cut the file at an entry boundary: the surviving prefix is a valid
+    // forest, so only the header count can reveal the truncation.
+    let bytes = std::fs::read(&pq).unwrap();
+    std::fs::write(&pq, &bytes[..bytes.len() - 16]).unwrap();
+    // Every .pq consumer must reject it: the streaming postorder path,
+    // the materializing paths (dynamic, --threads), and stats.
+    for args in [
+        vec!["query", "--query-str", "<a><b>x</b></a>", "--doc"],
+        vec![
+            "query",
+            "--query-str",
+            "<a><b>x</b></a>",
+            "--algorithm",
+            "dynamic",
+            "--doc",
+        ],
+        vec![
+            "query",
+            "--query-str",
+            "<a><b>x</b></a>",
+            "--threads",
+            "2",
+            "--doc",
+        ],
+        vec!["stats", "--doc"],
+    ] {
+        let mut args = args.clone();
+        args.push(pq.to_str().unwrap());
+        let out = tasm(&args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("truncated"), "{args:?} -> {err}");
+    }
+    std::fs::remove_file(&xml).ok();
+    std::fs::remove_file(&pq).ok();
+}
+
+#[test]
+fn batch_queries_share_one_scan_and_match_solo_runs() {
+    let doc = tmp("batch.xml");
+    std::fs::write(&doc, "<r><a><b>x</b></a><a><b>y</b></a><c><d>z</d></c></r>").unwrap();
+    let doc_s = doc.to_str().unwrap();
+    let queries = ["<a><b>x</b></a>", "<c><d>z</d></c>"];
+
+    let out = tasm(&[
+        "query",
+        "--query-str",
+        queries[0],
+        "--query-str",
+        queries[1],
+        "--doc",
+        doc_s,
+        "--k",
+        "2",
+        "--stats",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.matches("batched scan").count(), 2, "{text}");
+    assert!(text.contains("scan tau"), "{text}");
+    let batch_tables: Vec<&str> = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+        .collect();
+    assert_eq!(batch_tables.len(), 4, "{text}"); // 2 queries × k=2
+
+    // Each batched table equals the solo run of the same query.
+    for (qi, q) in queries.iter().enumerate() {
+        let solo = tasm(&["query", "--query-str", q, "--doc", doc_s, "--k", "2"]);
+        assert!(solo.status.success());
+        let solo_text = String::from_utf8(solo.stdout).unwrap();
+        let solo_tables: Vec<String> = solo_text
+            .lines()
+            .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            &batch_tables[qi * 2..qi * 2 + 2],
+            solo_tables.as_slice(),
+            "query {qi}"
+        );
+    }
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn threads_flag_matches_sequential_output() {
+    let doc = tmp("threads.xml");
+    let mut xml = String::from("<dblp>");
+    for i in 0..50 {
+        xml.push_str(&format!("<article><a>n{i}</a><t>t{}</t></article>", i % 5));
+    }
+    xml.push_str("</dblp>");
+    std::fs::write(&doc, &xml).unwrap();
+    let doc_s = doc.to_str().unwrap();
+    let q = "<article><a>n7</a><t>t2</t></article>";
+
+    let rows = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+            .map(|s| s.to_string())
+            .collect()
+    };
+    let seq = tasm(&["query", "--query-str", q, "--doc", doc_s, "--k", "4"]);
+    assert!(seq.status.success());
+    let seq_rows = rows(&String::from_utf8(seq.stdout).unwrap());
+    assert_eq!(seq_rows.len(), 4);
+    for threads in ["2", "4", "0"] {
+        let par = tasm(&[
+            "query",
+            "--query-str",
+            q,
+            "--doc",
+            doc_s,
+            "--k",
+            "4",
+            "--threads",
+            threads,
+        ]);
+        assert!(
+            par.status.success(),
+            "{}",
+            String::from_utf8_lossy(&par.stderr)
+        );
+        let text = String::from_utf8(par.stdout).unwrap();
+        assert_eq!(rows(&text), seq_rows, "--threads {threads}");
+        assert!(text.contains("threads = "), "{text}");
+    }
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn threads_misuse_is_rejected() {
+    let doc = tmp("threads_misuse.xml");
+    std::fs::write(&doc, "<r><a/></r>").unwrap();
+    let doc_s = doc.to_str().unwrap();
+    // --threads with a non-postorder algorithm.
+    let out = tasm(&[
+        "query",
+        "--query-str",
+        "<a/>",
+        "--doc",
+        doc_s,
+        "--algorithm",
+        "dynamic",
+        "--threads",
+        "2",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--threads"));
+    // --threads with a batch of queries.
+    let out = tasm(&[
+        "query",
+        "--query-str",
+        "<a/>",
+        "--query-str",
+        "<b/>",
+        "--doc",
+        doc_s,
+        "--threads",
+        "2",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--threads"));
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
 fn show_xml_prints_matches() {
     let doc = tmp("showxml.xml");
     std::fs::write(&doc, "<r><a><b>x</b></a><c/></r>").unwrap();

@@ -1,0 +1,350 @@
+//! Multi-query batching: N TASM queries answered in **one** document
+//! scan.
+//!
+//! A production matcher rarely serves one query at a time. The scan
+//! layer's work — ring-buffer maintenance, candidate materialization,
+//! stream decoding — depends only on the document and the size
+//! threshold, so it can be shared: the [`ScanEngine`] runs once at
+//! `τ_scan = max_i τ_i` and every candidate is offered to one
+//! evaluation *lane* per query, each with its own
+//! [`QueryContext`], its own Theorem 3/Lemma 4 pruning bound and its
+//! own [`TopKHeap`]. A query whose own τ is smaller than `τ_scan`
+//! simply prunes harder inside each candidate; the per-lane bounds are
+//! exactly the sequential ones, so every lane returns **exactly** the
+//! ranking [`tasm_postorder`](crate::tasm_postorder) would (property
+//! tested in `tests/properties.rs`).
+//!
+//! Memory stays document-independent: `O(Σ m_i² + τ_scan · Σ m_i)` for
+//! the lane matrices plus the shared `O(τ_scan)` ring — and with a warm
+//! [`BatchWorkspace`] a scan performs O(#queries) allocations total,
+//! regardless of the document's length (regression-tested with the
+//! counting allocator in `tasm-bench`).
+
+use crate::engine::{CandidateSink, ScanEngine};
+use crate::ranking::{Match, TopKHeap};
+use crate::tasm_dynamic::TasmOptions;
+use crate::tasm_postorder::process_candidate_parts;
+use crate::threshold::threshold;
+use crate::workspace::{matrices_fit_cap, scratch_fits_cap};
+use tasm_ted::{CostModel, QueryContext, TedStats, TedWorkspace};
+use tasm_tree::{LabelId, NodeId, PostorderQueue, Tree};
+
+/// One query of a batch: the query tree and its ranking size.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchQuery<'a> {
+    /// The query tree.
+    pub query: &'a Tree,
+    /// The ranking size `k` for this query (clamped to `>= 1`).
+    pub k: usize,
+}
+
+/// Reusable scratch state for [`tasm_batch_with_workspace`]: the shared
+/// scan engine plus one distance workspace per lane. All buffers grow
+/// but never shrink; reuse across streams for an allocation profile of
+/// O(#queries) per scan.
+#[derive(Debug)]
+pub struct BatchWorkspace {
+    engine: ScanEngine,
+    /// Scratch tree for proper subtrees during the per-lane descent
+    /// (only one lane evaluates at a time, so it is shared).
+    sub: Tree,
+    /// One distance workspace per lane; grown to the batch width.
+    lanes: Vec<TedWorkspace>,
+}
+
+impl Default for BatchWorkspace {
+    fn default() -> Self {
+        BatchWorkspace::new()
+    }
+}
+
+impl BatchWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        BatchWorkspace {
+            engine: ScanEngine::new(1),
+            sub: Tree::leaf(LabelId(0)),
+            lanes: Vec::new(),
+        }
+    }
+}
+
+/// The per-query evaluation lane of a batch scan.
+struct BatchLane<'a> {
+    ctx: QueryContext<'a>,
+    /// This query's own Theorem 3 bound τ_i (pruning is per lane).
+    tau: u64,
+    heap: TopKHeap,
+    ted: &'a mut TedWorkspace,
+}
+
+/// [`CandidateSink`] fanning each candidate out to every query lane.
+struct MultiQuerySink<'a> {
+    lanes: Vec<BatchLane<'a>>,
+    sub: &'a mut Tree,
+    opts: TasmOptions,
+    stats: Option<&'a mut TedStats>,
+}
+
+impl CandidateSink for MultiQuerySink<'_> {
+    fn consume(&mut self, cand: &Tree, root: NodeId) {
+        let offset = root.post() - cand.len() as u32;
+        for lane in &mut self.lanes {
+            process_candidate_parts(
+                &mut lane.heap,
+                &lane.ctx,
+                cand,
+                offset,
+                lane.tau,
+                self.opts,
+                self.sub,
+                lane.ted,
+                self.stats.as_deref_mut(),
+            );
+        }
+    }
+}
+
+/// Answers every query of `queries` over **one** pass of `queue`,
+/// returning one ranking per query, in input order.
+///
+/// Each ranking is exactly what the sequential
+/// [`tasm_postorder`](crate::tasm_postorder) returns for that query
+/// alone; the shared scan only amortizes the per-candidate stream work
+/// across the batch. `c_t` is the maximum document node cost under
+/// `model`, as for the sequential entry point. `stats` (if any)
+/// aggregates the evaluation work of **all** lanes.
+///
+/// # Examples
+///
+/// ```
+/// use tasm_tree::{bracket, LabelDict, TreeQueue};
+/// use tasm_ted::UnitCost;
+/// use tasm_core::{tasm_batch, BatchQuery, TasmOptions};
+///
+/// let mut dict = LabelDict::new();
+/// let q1 = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
+/// let q2 = bracket::parse("{a{b}}", &mut dict).unwrap();
+/// let doc = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict).unwrap();
+/// let queries = [
+///     BatchQuery { query: &q1, k: 2 },
+///     BatchQuery { query: &q2, k: 1 },
+/// ];
+/// let mut queue = TreeQueue::new(&doc);
+/// let rankings =
+///     tasm_batch(&queries, &mut queue, &UnitCost, 1, TasmOptions::default(), None);
+/// assert_eq!(rankings.len(), 2);
+/// assert_eq!(rankings[0][0].root.post(), 6); // exact match for q1
+/// ```
+pub fn tasm_batch<Q: PostorderQueue + ?Sized>(
+    queries: &[BatchQuery<'_>],
+    queue: &mut Q,
+    model: &dyn CostModel,
+    c_t: u64,
+    opts: TasmOptions,
+    stats: Option<&mut TedStats>,
+) -> Vec<Vec<Match>> {
+    let mut ws = BatchWorkspace::new();
+    tasm_batch_with_workspace(queries, queue, model, c_t, opts, &mut ws, stats)
+}
+
+/// As [`tasm_batch`], but reusing the caller's [`BatchWorkspace`]: with
+/// warm buffers a whole scan costs O(#queries) heap allocations,
+/// independent of the document's length.
+pub fn tasm_batch_with_workspace<Q: PostorderQueue + ?Sized>(
+    queries: &[BatchQuery<'_>],
+    queue: &mut Q,
+    model: &dyn CostModel,
+    c_t: u64,
+    opts: TasmOptions,
+    ws: &mut BatchWorkspace,
+    stats: Option<&mut TedStats>,
+) -> Vec<Vec<Match>> {
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    if ws.lanes.len() < queries.len() {
+        ws.lanes.resize_with(queries.len(), TedWorkspace::new);
+    }
+
+    // Per-query contexts and bounds; the scan must cover the widest τ.
+    let mut scan_tau: u32 = 1;
+    let mut lanes = Vec::with_capacity(queries.len());
+    for (bq, ted) in queries.iter().zip(ws.lanes.iter_mut()) {
+        let k = bq.k.max(1);
+        let ctx = QueryContext::new(bq.query, model);
+        let tau64 = threshold(bq.query.len() as u64, ctx.max_cost(), c_t, k as u64);
+        let tau = u32::try_from(tau64).unwrap_or(u32::MAX);
+        scan_tau = scan_tau.max(tau);
+        lanes.push(BatchLane {
+            ctx,
+            tau: tau64,
+            heap: TopKHeap::new(k),
+            ted,
+        });
+    }
+
+    // Reserve lanes for the widest candidate the scan can emit; the same
+    // byte cap as `TasmWorkspace::reserve` guards pathological τ.
+    let n = scan_tau as usize;
+    for lane in &mut lanes {
+        let m = lane.ctx.len();
+        if matrices_fit_cap(m, n) {
+            lane.ted.reserve(m, n);
+        }
+    }
+    ws.engine.set_tau(scan_tau);
+    if scratch_fits_cap(n) {
+        ws.engine.reserve();
+        ws.sub.reserve(n);
+    }
+
+    let mut sink = MultiQuerySink {
+        lanes,
+        sub: &mut ws.sub,
+        opts,
+        stats,
+    };
+    ws.engine.scan(queue, &mut sink);
+    sink.lanes
+        .into_iter()
+        .map(|lane| lane.heap.into_sorted())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasm_postorder::tasm_postorder;
+    use tasm_ted::UnitCost;
+    use tasm_tree::{bracket, LabelDict, TreeQueue};
+
+    fn example_d(dict: &mut LabelDict) -> Tree {
+        bracket::parse(
+            "{dblp{article{auth{John}}{title{X1}}}{proceedings{conf{VLDB}}\
+             {article{auth{Peter}}{title{X3}}}{article{auth{Mike}}{title{X4}}}}\
+             {book{title{X2}}}}",
+            dict,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_equals_sequential_per_query() {
+        let mut dict = LabelDict::new();
+        let doc = example_d(&mut dict);
+        let q1 = bracket::parse("{article{auth{Peter}}{title{X3}}}", &mut dict).unwrap();
+        let q2 = bracket::parse("{book{title{X2}}}", &mut dict).unwrap();
+        let q3 = bracket::parse("{auth{X}}", &mut dict).unwrap();
+        let opts = TasmOptions {
+            keep_trees: true,
+            ..Default::default()
+        };
+        let queries = [
+            BatchQuery { query: &q1, k: 3 },
+            BatchQuery { query: &q2, k: 1 },
+            BatchQuery { query: &q3, k: 22 },
+        ];
+        let mut queue = TreeQueue::new(&doc);
+        let batch = tasm_batch(&queries, &mut queue, &UnitCost, 1, opts, None);
+        assert_eq!(batch.len(), 3);
+        for (bq, got) in queries.iter().zip(&batch) {
+            let mut q = TreeQueue::new(&doc);
+            let want = tasm_postorder(bq.query, &mut q, bq.k, &UnitCost, 1, opts, None);
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_nothing_and_consumes_nothing() {
+        let mut dict = LabelDict::new();
+        let doc = example_d(&mut dict);
+        let mut queue = TreeQueue::new(&doc);
+        let out = tasm_batch(&[], &mut queue, &UnitCost, 1, TasmOptions::default(), None);
+        assert!(out.is_empty());
+        // The queue was not touched: a full sequential run still works.
+        let q = bracket::parse("{book{title{X2}}}", &mut dict).unwrap();
+        let top = tasm_postorder(
+            &q,
+            &mut queue,
+            1,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            None,
+        );
+        assert_eq!(top[0].root.post(), 21);
+    }
+
+    #[test]
+    fn workspace_reuse_across_batches_is_identical() {
+        let mut dict = LabelDict::new();
+        let doc = example_d(&mut dict);
+        let q1 = bracket::parse("{article{auth}{title}}", &mut dict).unwrap();
+        let q2 = bracket::parse("{title{X1}}", &mut dict).unwrap();
+        let queries = [
+            BatchQuery { query: &q1, k: 4 },
+            BatchQuery { query: &q2, k: 2 },
+        ];
+        let mut ws = BatchWorkspace::new();
+        let run = |ws: &mut BatchWorkspace| {
+            let mut queue = TreeQueue::new(&doc);
+            tasm_batch_with_workspace(
+                &queries,
+                &mut queue,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                ws,
+                None,
+            )
+        };
+        let first = run(&mut ws);
+        let second = run(&mut ws);
+        assert_eq!(first, second);
+        let mut queue = TreeQueue::new(&doc);
+        let fresh = tasm_batch(
+            &queries,
+            &mut queue,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            None,
+        );
+        assert_eq!(first, fresh);
+    }
+
+    #[test]
+    fn batch_stats_aggregate_all_lanes() {
+        let mut dict = LabelDict::new();
+        let doc = example_d(&mut dict);
+        let q1 = bracket::parse("{auth{X}}", &mut dict).unwrap();
+        let q2 = bracket::parse("{title{X}}", &mut dict).unwrap();
+        let mut solo1 = TedStats::new();
+        let mut q = TreeQueue::new(&doc);
+        tasm_postorder(
+            &q1,
+            &mut q,
+            1,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            Some(&mut solo1),
+        );
+        let mut both = TedStats::new();
+        let queries = [
+            BatchQuery { query: &q1, k: 1 },
+            BatchQuery { query: &q2, k: 1 },
+        ];
+        let mut q = TreeQueue::new(&doc);
+        tasm_batch(
+            &queries,
+            &mut q,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            Some(&mut both),
+        );
+        assert!(both.ted_calls >= solo1.ted_calls);
+    }
+}

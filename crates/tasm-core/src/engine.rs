@@ -1,0 +1,215 @@
+//! The streaming scan engine: one prefix-ring-buffer pass over a
+//! postorder queue, feeding candidate subtrees to a pluggable sink.
+//!
+//! TASM-postorder's structure (Algorithm 3) splits naturally into two
+//! layers: a **scan** that consumes the document stream once and emits
+//! the candidate set `cand(T, τ)` with `O(τ)` memory (Sec. V), and an
+//! **evaluation** of each candidate against one or more queries.
+//! [`ScanEngine`] owns the scan layer — the ring buffer and the scratch
+//! tree candidates are renumbered into — and drives any
+//! [`CandidateSink`]:
+//!
+//! * the single-query sink behind [`tasm_postorder`](crate::tasm_postorder);
+//! * the multi-query sink behind [`tasm_batch`](crate::tasm_batch),
+//!   which amortizes ring-buffer maintenance and candidate
+//!   materialization across N queries in one pass;
+//! * the per-shard sinks of [`tasm_parallel`](crate::tasm_parallel),
+//!   where each worker runs its own engine over a contiguous slice of
+//!   the candidate stream.
+//!
+//! The engine preserves the zero-allocation steady state of PR 2: the
+//! scratch tree grows but never shrinks, so once its capacity covers τ
+//! the scan emits candidates without heap allocation.
+
+use crate::ring_buffer::PrefixRingBuffer;
+use tasm_tree::{LabelId, NodeId, PostorderQueue, Tree};
+
+/// A consumer of candidate subtrees emitted by a [`ScanEngine`] pass.
+///
+/// `consume` is called once per candidate, in ascending order of the
+/// candidate root's postorder number in the scanned stream. `cand` is
+/// renumbered to local postorder `1..=cand.len()`; `root` is the
+/// candidate root's postorder number **in the stream** (so local node
+/// `j` corresponds to stream node `root.post() - cand.len() as u32 +
+/// j.post()`, as in [`Candidate::doc_post`](crate::Candidate::doc_post)).
+///
+/// The candidate borrow ends when `consume` returns: sinks that need a
+/// candidate beyond the call must copy it.
+pub trait CandidateSink {
+    /// Evaluates (or otherwise processes) one candidate subtree.
+    fn consume(&mut self, cand: &Tree, root: NodeId);
+}
+
+/// Statistics of one [`ScanEngine::scan`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Candidate subtrees emitted to the sink.
+    pub candidates: usize,
+    /// Nodes consumed from the queue.
+    pub nodes_seen: u32,
+    /// Peak number of simultaneously buffered nodes (`<= τ`, Theorem 2).
+    pub peak_buffered: usize,
+}
+
+/// The streaming scan layer of TASM: owns the prefix ring buffer of one
+/// pass and the scratch tree candidates are renumbered into, and drives
+/// a pluggable [`CandidateSink`] over the candidate set `cand(T, τ)`.
+///
+/// Create once (or embed in a workspace) and reuse across streams: the
+/// scratch tree grows but never shrinks, so repeated scans are
+/// allocation-free in steady state apart from the `O(τ)` ring itself.
+///
+/// # Examples
+///
+/// ```
+/// use tasm_core::{CandidateSink, ScanEngine};
+/// use tasm_tree::{bracket, LabelDict, NodeId, Tree, TreeQueue};
+///
+/// struct CountNodes(u64);
+/// impl CandidateSink for CountNodes {
+///     fn consume(&mut self, cand: &Tree, _root: NodeId) {
+///         self.0 += cand.len() as u64;
+///     }
+/// }
+///
+/// let mut dict = LabelDict::new();
+/// let doc = bracket::parse("{dblp{article{a}{t}}{article{a}{t}}}", &mut dict).unwrap();
+/// let mut sink = CountNodes(0);
+/// let mut engine = ScanEngine::new(3);
+/// let stats = engine.scan(&mut TreeQueue::new(&doc), &mut sink);
+/// assert_eq!(stats.candidates, 2); // the two article subtrees
+/// assert_eq!(sink.0, 6);
+/// ```
+#[derive(Debug)]
+pub struct ScanEngine {
+    tau: u32,
+    /// Scratch tree the ring buffer renumbers each candidate into
+    /// (grow-don't-shrink).
+    cand: Tree,
+}
+
+impl ScanEngine {
+    /// Creates an engine emitting the candidate set for threshold
+    /// `tau >= 1` (clamped).
+    pub fn new(tau: u32) -> Self {
+        ScanEngine {
+            tau: tau.max(1),
+            cand: Tree::leaf(LabelId(0)),
+        }
+    }
+
+    /// The scan threshold τ.
+    pub fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    /// Re-targets the engine to a new threshold, keeping the (grown)
+    /// scratch capacity.
+    pub fn set_tau(&mut self, tau: u32) {
+        self.tau = tau.max(1);
+    }
+
+    /// Pre-reserves the candidate scratch for the current τ so that not
+    /// even the first candidate allocates. Capped by the caller (see
+    /// [`TasmWorkspace::reserve`](crate::TasmWorkspace::reserve)).
+    pub fn reserve(&mut self) {
+        self.cand.reserve(self.tau as usize);
+    }
+
+    /// Runs one full pass: consumes `queue` through a fresh prefix ring
+    /// buffer and feeds every candidate of `cand(T, τ)` to `sink`, in
+    /// stream order.
+    ///
+    /// The queue may encode a single tree or a forest of complete
+    /// subtrees (every prefix a valid forest) — the latter is how
+    /// [`tasm_parallel`](crate::tasm_parallel) shards one document
+    /// across engines.
+    pub fn scan<Q: PostorderQueue + ?Sized>(
+        &mut self,
+        queue: &mut Q,
+        sink: &mut dyn CandidateSink,
+    ) -> ScanStats {
+        let mut prb = PrefixRingBuffer::new(queue, self.tau);
+        let mut candidates = 0usize;
+        while let Some(root) = prb.next_candidate_into(&mut self.cand) {
+            sink.consume(&self.cand, root);
+            candidates += 1;
+        }
+        ScanStats {
+            candidates,
+            nodes_seen: prb.nodes_seen(),
+            peak_buffered: prb.peak_buffered(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring_buffer::prb_pruning;
+    use tasm_tree::{bracket, LabelDict, TreeQueue};
+
+    /// Collects owned copies of every candidate (test sink).
+    struct Collect(Vec<(u32, Tree)>);
+
+    impl CandidateSink for Collect {
+        fn consume(&mut self, cand: &Tree, root: NodeId) {
+            self.0.push((root.post(), cand.clone()));
+        }
+    }
+
+    fn example_d(dict: &mut LabelDict) -> Tree {
+        bracket::parse(
+            "{dblp{article{auth{John}}{title{X1}}}{proceedings{conf{VLDB}}\
+             {article{auth{Peter}}{title{X3}}}{article{auth{Mike}}{title{X4}}}}\
+             {book{title{X2}}}}",
+            dict,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn engine_emits_exactly_the_candidate_set() {
+        let mut dict = LabelDict::new();
+        let doc = example_d(&mut dict);
+        for tau in 1..=23u32 {
+            let mut engine = ScanEngine::new(tau);
+            let mut sink = Collect(Vec::new());
+            let mut q = TreeQueue::new(&doc);
+            let stats = engine.scan(&mut q, &mut sink);
+            let mut q = TreeQueue::new(&doc);
+            let want = prb_pruning(&mut q, tau);
+            assert_eq!(stats.candidates, want.len(), "τ = {tau}");
+            assert_eq!(stats.nodes_seen as usize, doc.len());
+            assert!(stats.peak_buffered <= tau.max(1) as usize);
+            for ((root, tree), w) in sink.0.iter().zip(&want) {
+                assert_eq!(*root, w.root.post());
+                assert_eq!(tree, &w.tree);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_reusable_across_streams_and_taus() {
+        let mut dict = LabelDict::new();
+        let doc = example_d(&mut dict);
+        let mut engine = ScanEngine::new(6);
+        engine.reserve();
+        let mut first = Collect(Vec::new());
+        engine.scan(&mut TreeQueue::new(&doc), &mut first);
+        assert_eq!(first.0.len(), 5); // Example 3: cand(D, 6)
+
+        engine.set_tau(22);
+        assert_eq!(engine.tau(), 22);
+        let mut second = Collect(Vec::new());
+        engine.scan(&mut TreeQueue::new(&doc), &mut second);
+        assert_eq!(second.0.len(), 1);
+        assert_eq!(second.0[0].1, doc);
+    }
+
+    #[test]
+    fn tau_is_clamped_to_one() {
+        let engine = ScanEngine::new(0);
+        assert_eq!(engine.tau(), 1);
+    }
+}

@@ -13,7 +13,12 @@
 //!   TASM algorithm (Algorithm 3);
 //! * [`tasm_dynamic`] — the state-of-the-art baseline (Sec. IV-F) and
 //!   [`tasm_naive`] — the ground-truth oracle;
-//! * [`simple_pruning`] — the O(n)-buffer pruning baseline of Sec. V-B.
+//! * [`simple_pruning`] — the O(n)-buffer pruning baseline of Sec. V-B;
+//! * [`ScanEngine`] / [`CandidateSink`] — the streaming scan layer the
+//!   algorithms above are built on, reusable for custom evaluations;
+//! * [`tasm_batch`] — N queries answered in **one** shared document scan;
+//! * [`tasm_parallel`] — the candidate stream sharded across worker
+//!   threads, merged with [`TopKHeap::merge`].
 //!
 //! # Quick start
 //!
@@ -38,7 +43,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
+mod engine;
 mod naive;
+mod parallel;
 mod ranking;
 mod ring_buffer;
 mod simple_pruning;
@@ -47,7 +55,10 @@ mod tasm_postorder;
 mod threshold;
 mod workspace;
 
+pub use batch::{tasm_batch, tasm_batch_with_workspace, BatchQuery, BatchWorkspace};
+pub use engine::{CandidateSink, ScanEngine, ScanStats};
 pub use naive::tasm_naive;
+pub use parallel::tasm_parallel;
 pub use ranking::{Match, TopKHeap};
 pub use ring_buffer::{
     candidate_set_reference, prb_pruning, prb_pruning_stats, Candidate, PrefixRingBuffer,

@@ -1,0 +1,375 @@
+//! Sharded parallel TASM: the candidate stream split across worker
+//! threads, each running its own scan engine, merged by the top-k heap.
+//!
+//! The candidate set `cand(T, τ)` (Def. 9) is a sequence of **disjoint**
+//! subtrees in document order, and candidate evaluation (Algorithm 3,
+//! lines 7–19) touches nothing outside the candidate plus the query-side
+//! state. That makes the scan embarrassingly parallel once the candidate
+//! spans are known: shard the spans into contiguous, node-balanced
+//! ranges, give every worker its own [`ScanEngine`] + [`TasmWorkspace`]
+//! over a [`SpanQueue`] replaying just its spans (a valid postorder
+//! *forest* stream), and merge the per-shard heaps with
+//! [`TopKHeap::merge`] at the end.
+//!
+//! Determinism: the heap's rank key (distance, document postorder, size)
+//! is a total order, every subtree that can appear in the final ranking
+//! is evaluated by exactly one shard (its candidate is in exactly one
+//! shard), and merging keeps the k smallest keys — so the result is
+//! **identical** to the sequential [`tasm_postorder`] ranking for any
+//! thread count (property tested in `tests/properties.rs`).
+//!
+//! Only `std::thread::scope` is used — no external dependencies.
+
+use crate::engine::CandidateSink;
+use crate::ranking::{Match, TopKHeap};
+use crate::tasm_dynamic::TasmOptions;
+use crate::tasm_postorder::{process_candidate_parts, tasm_postorder};
+use crate::threshold::threshold;
+use crate::workspace::TasmWorkspace;
+use tasm_ted::{CostModel, QueryContext, TedStats};
+use tasm_tree::{NodeId, PostorderEntry, PostorderQueue, Tree, TreeQueue};
+
+/// A postorder queue replaying selected `(lml, root)` spans of an
+/// in-memory document — each span a complete subtree, so every prefix of
+/// the stream is a valid forest (what the ring buffer requires).
+struct SpanQueue<'a> {
+    doc: &'a Tree,
+    spans: &'a [(u32, u32)],
+    /// Index of the span currently being replayed.
+    span_idx: usize,
+    /// Next document postorder number within the current span (0 = start
+    /// of the span not yet entered).
+    pos: u32,
+}
+
+impl<'a> SpanQueue<'a> {
+    fn new(doc: &'a Tree, spans: &'a [(u32, u32)]) -> Self {
+        SpanQueue {
+            doc,
+            spans,
+            span_idx: 0,
+            pos: 0,
+        }
+    }
+}
+
+impl PostorderQueue for SpanQueue<'_> {
+    fn dequeue(&mut self) -> Option<PostorderEntry> {
+        loop {
+            let &(lo, hi) = self.spans.get(self.span_idx)?;
+            if self.pos == 0 {
+                self.pos = lo;
+            }
+            if self.pos > hi {
+                self.span_idx += 1;
+                self.pos = 0;
+                continue;
+            }
+            let id = NodeId::new(self.pos);
+            self.pos += 1;
+            // Subtree sizes are invariant under the renumbering of a span
+            // to local postorder, so the arena values stream unchanged.
+            return Some(PostorderEntry {
+                label: self.doc.label(id),
+                size: self.doc.size(id),
+            });
+        }
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(
+            self.spans
+                .iter()
+                .map(|&(lo, hi)| (hi - lo + 1) as usize)
+                .sum(),
+        )
+    }
+}
+
+/// Computes the `(lml, root)` document-postorder spans of `cand(T, τ)`
+/// in document order: the maximal subtrees of size `<= tau` (every
+/// candidate's parent, if any, is larger than τ). One O(n) pass.
+pub(crate) fn candidate_spans(doc: &Tree, tau: u32) -> Vec<(u32, u32)> {
+    let parents = doc.parents();
+    doc.nodes()
+        .filter(|&id| doc.size(id) <= tau && parents[id.index()].is_none_or(|p| doc.size(p) > tau))
+        .map(|id| (doc.lml(id).post(), id.post()))
+        .collect()
+}
+
+/// Splits `spans` into at most `shards` contiguous groups of roughly
+/// equal **node** weight (candidate counts can be wildly uneven in
+/// size); every group is non-empty.
+pub(crate) fn shard_spans(spans: &[(u32, u32)], shards: usize) -> Vec<&[(u32, u32)]> {
+    let span_weight = |&(lo, hi): &(u32, u32)| u64::from(hi - lo + 1);
+    if spans.is_empty() {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, spans.len());
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut remaining_weight: u64 = spans.iter().map(span_weight).sum();
+    for s in 0..shards {
+        if s + 1 == shards {
+            out.push(&spans[start..]);
+            break;
+        }
+        // Fill this shard up to its fair share of the remaining weight,
+        // but leave at least one span for each remaining shard. Since
+        // `shards <= spans.len()`, the cap always leaves this shard at
+        // least one span as well.
+        let target = remaining_weight / (shards - s) as u64;
+        let cap = spans.len() - (shards - s - 1);
+        let mut weight = 0u64;
+        let mut end = start;
+        while end < cap && (end == start || weight + span_weight(&spans[end]) <= target) {
+            weight += span_weight(&spans[end]);
+            end += 1;
+        }
+        out.push(&spans[start..end]);
+        remaining_weight -= weight;
+        start = end;
+    }
+    out
+}
+
+/// Shard-side sink: maps each emitted candidate back to its document
+/// span (the scan re-derives candidates 1:1 with the shard's spans, in
+/// order) and hands it to the standard single-query evaluation.
+struct ShardSink<'a> {
+    heap: &'a mut TopKHeap,
+    ctx: &'a QueryContext<'a>,
+    tau: u64,
+    opts: TasmOptions,
+    sub: &'a mut Tree,
+    ted: &'a mut tasm_ted::TedWorkspace,
+    spans: &'a [(u32, u32)],
+    next: usize,
+    stats: Option<&'a mut TedStats>,
+}
+
+impl CandidateSink for ShardSink<'_> {
+    fn consume(&mut self, cand: &Tree, _local_root: NodeId) {
+        let (lml, root) = self.spans[self.next];
+        self.next += 1;
+        debug_assert_eq!(
+            cand.len() as u32,
+            root - lml + 1,
+            "shard scan must re-derive exactly the sharded candidate"
+        );
+        process_candidate_parts(
+            self.heap,
+            self.ctx,
+            cand,
+            lml - 1,
+            self.tau,
+            self.opts,
+            self.sub,
+            self.ted,
+            self.stats.as_deref_mut(),
+        );
+    }
+}
+
+/// Computes the top-`k` ranking of `query` against the in-memory `doc`
+/// with the candidate stream sharded across `threads` worker threads.
+///
+/// Returns **exactly** the ranking of the sequential
+/// [`tasm_postorder`] for any `threads >= 1` (`0` means "use
+/// [`std::thread::available_parallelism`]"). Each worker owns a full
+/// [`TasmWorkspace`] and a [`ScanEngine`] over its shard of the
+/// candidate spans; the per-shard heaps are combined with
+/// [`TopKHeap::merge`].
+///
+/// Unlike the streaming entry point this needs the materialized
+/// document (`O(n)` memory) — sharding requires random access to the
+/// candidate spans. `c_t` is the maximum document node cost under
+/// `model`, as for [`tasm_postorder`].
+///
+/// # Examples
+///
+/// ```
+/// use tasm_tree::{bracket, LabelDict};
+/// use tasm_ted::UnitCost;
+/// use tasm_core::{tasm_parallel, TasmOptions};
+///
+/// let mut dict = LabelDict::new();
+/// let g = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
+/// let h = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict).unwrap();
+/// let top2 = tasm_parallel(&g, &h, 2, &UnitCost, 1, TasmOptions::default(), 2);
+/// assert_eq!(top2[0].root.post(), 6);
+/// assert_eq!(top2[1].root.post(), 3);
+/// ```
+pub fn tasm_parallel(
+    query: &Tree,
+    doc: &Tree,
+    k: usize,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+) -> Vec<Match> {
+    let k = k.max(1);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let m = query.len() as u64;
+    let c_q = QueryContext::new(query, model).max_cost();
+    let tau64 = threshold(m, c_q, c_t, k as u64);
+    let tau = u32::try_from(tau64).unwrap_or(u32::MAX);
+
+    let spans = candidate_spans(doc, tau);
+    let shards = shard_spans(&spans, threads);
+    if shards.len() <= 1 {
+        // One shard (or no candidates at all): the sequential path is the
+        // same work without the thread.
+        let mut queue = TreeQueue::new(doc);
+        return tasm_postorder(query, &mut queue, k, model, c_t, opts, None);
+    }
+
+    let mut heaps: Vec<TopKHeap> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                scope.spawn(move || {
+                    let ctx = QueryContext::new(query, model);
+                    let mut ws = TasmWorkspace::new();
+                    ws.reserve(query.len(), tau); // also targets ws.engine at τ
+                    let mut heap = TopKHeap::new(k);
+                    let TasmWorkspace { ted, engine, sub } = &mut ws;
+                    let mut sink = ShardSink {
+                        heap: &mut heap,
+                        ctx: &ctx,
+                        tau: tau64,
+                        opts,
+                        sub,
+                        ted,
+                        spans: shard,
+                        next: 0,
+                        stats: None,
+                    };
+                    let mut queue = SpanQueue::new(doc, shard);
+                    let stats = engine.scan(&mut queue, &mut sink);
+                    debug_assert_eq!(stats.candidates, shard.len());
+                    heap
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    let mut merged = heaps.pop().expect("at least two shards");
+    for heap in heaps {
+        merged.merge(heap);
+    }
+    merged.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasm_ted::UnitCost;
+    use tasm_tree::{bracket, LabelDict};
+
+    fn wide_doc(dict: &mut LabelDict, records: usize) -> Tree {
+        let mut s = String::from("{dblp");
+        for i in 0..records {
+            match i % 3 {
+                0 => s.push_str("{article{a}{t}}"),
+                1 => s.push_str("{book{t}}"),
+                _ => s.push_str("{article{a}{t}{y}}"),
+            }
+        }
+        s.push('}');
+        bracket::parse(&s, dict).unwrap()
+    }
+
+    #[test]
+    fn candidate_spans_match_reference() {
+        let mut dict = LabelDict::new();
+        let doc = wide_doc(&mut dict, 40);
+        for tau in 1..=12u32 {
+            let spans = candidate_spans(&doc, tau);
+            let want = crate::ring_buffer::candidate_set_reference(&doc, tau);
+            assert_eq!(spans.len(), want.len(), "τ = {tau}");
+            for (s, w) in spans.iter().zip(&want) {
+                assert_eq!(s.1, w.root.post());
+                assert_eq!(s.1 - s.0 + 1, w.tree.len() as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_spans_cover_everything_contiguously() {
+        let mut dict = LabelDict::new();
+        let doc = wide_doc(&mut dict, 50);
+        let spans = candidate_spans(&doc, 5);
+        for shards in 1..=8 {
+            let groups = shard_spans(&spans, shards);
+            assert!(!groups.is_empty() && groups.len() <= shards);
+            assert!(groups.iter().all(|g| !g.is_empty()));
+            let flat: Vec<_> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+            assert_eq!(flat, spans, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn shard_spans_handles_empty_input() {
+        assert_eq!(shard_spans(&[], 4).len(), 0);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_wide_doc() {
+        let mut dict = LabelDict::new();
+        let doc = wide_doc(&mut dict, 60);
+        let query = bracket::parse("{article{a}{t}}", &mut dict).unwrap();
+        let opts = TasmOptions {
+            keep_trees: true,
+            ..Default::default()
+        };
+        for k in [1usize, 3, 10] {
+            let mut q = TreeQueue::new(&doc);
+            let want = tasm_postorder(&query, &mut q, k, &UnitCost, 1, opts, None);
+            for threads in [1usize, 2, 3, 4, 7] {
+                let got = tasm_parallel(&query, &doc, k, &UnitCost, 1, opts, threads);
+                assert_eq!(got, want, "k = {k}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_uses_available_parallelism() {
+        let mut dict = LabelDict::new();
+        let doc = wide_doc(&mut dict, 20);
+        let query = bracket::parse("{book{t}}", &mut dict).unwrap();
+        let got = tasm_parallel(&query, &doc, 2, &UnitCost, 1, TasmOptions::default(), 0);
+        let mut q = TreeQueue::new(&doc);
+        let want = tasm_postorder(
+            &query,
+            &mut q,
+            2,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            None,
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_node_document_works() {
+        let mut dict = LabelDict::new();
+        let doc = bracket::parse("{a}", &mut dict).unwrap();
+        let query = bracket::parse("{a}", &mut dict).unwrap();
+        let got = tasm_parallel(&query, &doc, 1, &UnitCost, 1, TasmOptions::default(), 4);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].distance, tasm_ted::Cost::ZERO);
+    }
+}

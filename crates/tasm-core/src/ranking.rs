@@ -124,6 +124,14 @@ impl TopKHeap {
 
     /// Merges another heap into this one (the paper's `merge-heap` followed
     /// by popping back down to `k`).
+    ///
+    /// The result keeps **this** heap's `k`; `other`'s `k` only bounded
+    /// how many entries it contributes. Because the rank key
+    /// ([`Match::rank_key`]: distance, then document postorder number,
+    /// then size) is a total order, the merged content is the unique
+    /// top-`k` of the union and does not depend on merge order — the
+    /// guarantee `tasm_parallel` relies on when combining per-shard
+    /// heaps.
     pub fn merge(&mut self, other: TopKHeap) {
         for e in other.heap {
             self.offer(e.0);
@@ -252,5 +260,80 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_k_panics() {
         let _ = TopKHeap::new(0);
+    }
+
+    #[test]
+    fn merge_with_duplicate_scores_is_order_independent() {
+        // Duplicate distances everywhere: the id tiebreak must decide, and
+        // the same ids must survive regardless of which heap held them.
+        let entries = [(2u64, 5u32), (2, 1), (2, 9), (2, 3), (2, 7)];
+        let (mut left, mut right) = (TopKHeap::new(3), TopKHeap::new(3));
+        for (i, &(d, r)) in entries.iter().enumerate() {
+            if i % 2 == 0 {
+                left.offer(m(d, r));
+            } else {
+                right.offer(m(d, r));
+            }
+        }
+        let mut one = TopKHeap::new(3);
+        for &(d, r) in &entries {
+            one.offer(m(d, r));
+        }
+        left.merge(right);
+        let merged: Vec<u32> = left.into_sorted().iter().map(|x| x.root.post()).collect();
+        let direct: Vec<u32> = one.into_sorted().iter().map(|x| x.root.post()).collect();
+        assert_eq!(merged, direct);
+        assert_eq!(merged, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn merge_empty_heaps() {
+        // Empty into full, full into empty, empty into empty.
+        let mut full = TopKHeap::new(2);
+        full.offer(m(1, 1));
+        full.offer(m(2, 2));
+        full.merge(TopKHeap::new(2));
+        assert_eq!(full.len(), 2);
+
+        let mut empty = TopKHeap::new(2);
+        let mut donor = TopKHeap::new(2);
+        donor.offer(m(3, 3));
+        empty.merge(donor);
+        assert_eq!(empty.len(), 1);
+        assert_eq!(empty.max_distance(), Some(Cost::from_natural(3)));
+
+        let mut a = TopKHeap::new(5);
+        a.merge(TopKHeap::new(5));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn merge_k1_keeps_single_best() {
+        let mut a = TopKHeap::new(1);
+        a.offer(m(4, 2));
+        let mut b = TopKHeap::new(1);
+        b.offer(m(4, 1)); // same distance, smaller id: must win
+        a.merge(b);
+        let out = a.into_sorted();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].root, NodeId::new(1));
+    }
+
+    #[test]
+    fn merge_keeps_receivers_k() {
+        let mut small = TopKHeap::new(2);
+        small.offer(m(5, 1));
+        let mut big = TopKHeap::new(4);
+        for (d, r) in [(1, 2), (2, 3), (3, 4), (4, 5)] {
+            big.offer(m(d, r));
+        }
+        small.merge(big);
+        assert_eq!(small.k(), 2);
+        let dists: Vec<u64> = small
+            .into_sorted()
+            .iter()
+            .map(|x| x.distance.floor_natural())
+            .collect();
+        assert_eq!(dists, vec![1, 2]);
     }
 }

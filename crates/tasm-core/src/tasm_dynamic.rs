@@ -8,7 +8,9 @@
 //! both the document and the matrix must be memory-resident, which is what
 //! TASM-postorder eliminates.
 
+use crate::engine::CandidateSink;
 use crate::ranking::{Match, TopKHeap};
+use crate::tasm_postorder::SingleQuerySink;
 use crate::workspace::TasmWorkspace;
 use tasm_ted::{ted_full_with_workspace, Cost, CostModel, QueryContext, TedStats, TedWorkspace};
 use tasm_tree::{NodeId, Tree};
@@ -74,6 +76,11 @@ pub fn tasm_dynamic(
 /// allocations). The query-side [`QueryContext`] is still rebuilt per
 /// call — O(m), negligible next to the DP — so queries may change freely
 /// between calls.
+///
+/// Structurally this is the scan-engine evaluation layer with the
+/// pruning disabled: the whole (already materialized) document is fed to
+/// the single-query sink as one candidate under an unbounded τ, so one
+/// DP fills the distance matrix and its last row ranks every subtree.
 pub fn tasm_dynamic_with_workspace(
     query: &Tree,
     doc: &Tree,
@@ -85,7 +92,17 @@ pub fn tasm_dynamic_with_workspace(
 ) -> Vec<Match> {
     let ctx = QueryContext::new(query, model);
     let mut heap = TopKHeap::new(k.max(1));
-    rank_subtrees_into(&mut heap, &ctx, doc, 0, opts, &mut ws.ted, stats);
+    let TasmWorkspace { ted, sub, .. } = ws;
+    let mut sink = SingleQuerySink {
+        heap: &mut heap,
+        ctx: &ctx,
+        tau: u64::MAX,
+        opts,
+        sub,
+        ted,
+        stats,
+    };
+    sink.consume(doc, doc.root());
     heap.into_sorted()
 }
 

@@ -12,8 +12,8 @@
 //! Space is `O(m² c_Q + m k c_T)` — independent of the document — and time
 //! is `O(m² n)` (Theorem 5).
 
+use crate::engine::CandidateSink;
 use crate::ranking::{Match, TopKHeap};
-use crate::ring_buffer::PrefixRingBuffer;
 use crate::tasm_dynamic::{rank_subtrees_into, TasmOptions};
 use crate::threshold::{refined_threshold, threshold};
 use crate::workspace::TasmWorkspace;
@@ -76,7 +76,7 @@ pub fn tasm_postorder_with_workspace<Q: PostorderQueue + ?Sized>(
     c_t: u64,
     opts: TasmOptions,
     ws: &mut TasmWorkspace,
-    mut stats: Option<&mut TedStats>,
+    stats: Option<&mut TedStats>,
 ) -> Vec<Match> {
     let k = k.max(1);
     let m = query.len() as u64;
@@ -86,25 +86,51 @@ pub fn tasm_postorder_with_workspace<Q: PostorderQueue + ?Sized>(
     ws.reserve(query.len(), tau);
 
     let mut heap = TopKHeap::new(k);
-    let mut prb = PrefixRingBuffer::new(queue, tau);
-    let TasmWorkspace { ted, cand, sub } = ws;
+    let TasmWorkspace { ted, engine, sub } = ws;
+    let mut sink = SingleQuerySink {
+        heap: &mut heap,
+        ctx: &ctx,
+        tau: tau64,
+        opts,
+        sub,
+        ted,
+        stats,
+    };
+    engine.scan(queue, &mut sink);
+    heap.into_sorted()
+}
 
-    while let Some(root) = prb.next_candidate_into(cand) {
+/// The evaluation layer of TASM-postorder as a [`CandidateSink`]: every
+/// candidate the scan engine emits is descended per Algorithm 3
+/// (lines 7–19) against one query's context, heap and τ bound.
+pub(crate) struct SingleQuerySink<'a> {
+    pub(crate) heap: &'a mut TopKHeap,
+    pub(crate) ctx: &'a QueryContext<'a>,
+    /// The Theorem 3 bound τ for this query (Lemma 4 refines it per
+    /// candidate once the heap is full).
+    pub(crate) tau: u64,
+    pub(crate) opts: TasmOptions,
+    pub(crate) sub: &'a mut Tree,
+    pub(crate) ted: &'a mut TedWorkspace,
+    pub(crate) stats: Option<&'a mut TedStats>,
+}
+
+impl CandidateSink for SingleQuerySink<'_> {
+    fn consume(&mut self, cand: &Tree, root: NodeId) {
         // Document postorder number of the node before the candidate span.
         let offset = root.post() - cand.len() as u32;
         process_candidate_parts(
-            &mut heap,
-            &ctx,
+            self.heap,
+            self.ctx,
             cand,
             offset,
-            tau64,
-            opts,
-            sub,
-            ted,
-            stats.as_deref_mut(),
+            self.tau,
+            self.opts,
+            self.sub,
+            self.ted,
+            self.stats.as_deref_mut(),
         );
     }
-    heap.into_sorted()
 }
 
 /// Algorithm 3, lines 7–19, against a caller-owned workspace: traverse
@@ -132,11 +158,12 @@ pub fn process_candidate(
     process_candidate_parts(heap, ctx, cand, doc_post_offset, tau, opts, sub, ted, stats);
 }
 
-/// [`process_candidate`] with the workspace split into fields, so the
-/// internal caller can borrow `ws.cand` as the candidate while the rest
-/// of the workspace stays mutable.
+/// [`process_candidate`] with the workspace split into fields, so
+/// internal callers (the single-query sink, the batch lanes, the
+/// parallel shard sinks) can borrow the candidate from elsewhere while
+/// the evaluation scratch stays mutable.
 #[allow(clippy::too_many_arguments)]
-fn process_candidate_parts(
+pub(crate) fn process_candidate_parts(
     heap: &mut TopKHeap,
     ctx: &QueryContext<'_>,
     cand: &Tree,
@@ -157,7 +184,13 @@ fn process_candidate_parts(
         } else {
             tau
         };
-        if !heap.is_full() || size < tau_prime {
+        // `<=` (not `<`): both Theorem 3 and Lemma 3 bound answer sizes
+        // *inclusively* (|T_i| <= δ + |Q|), and a subtree of size exactly
+        // τ' can still tie the current maximum on distance and win on
+        // postorder number. Evaluating the boundary keeps the ranking
+        // exact — the batch and parallel paths rely on it for result-set
+        // equality with this sequential path.
+        if !heap.is_full() || size <= tau_prime {
             let sub_offset = doc_post_offset + r - size as u32;
             // Whole-candidate fast path: no copy needed; proper subtrees
             // are renumbered into the scratch tree (no allocation once

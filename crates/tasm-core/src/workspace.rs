@@ -11,6 +11,7 @@
 //! allocations** — verified by the counting-allocator regression test in
 //! `tasm-bench`.
 
+use crate::engine::ScanEngine;
 use tasm_ted::TedWorkspace;
 use tasm_tree::{LabelId, Tree};
 
@@ -19,13 +20,16 @@ use tasm_tree::{LabelId, Tree};
 ///
 /// Create once (per stream, or per thread for sharded streams) and pass
 /// `&mut` to the `_with_workspace` entry points. All buffers grow but
-/// never shrink.
+/// never shrink. The scan layer — the [`ScanEngine`] with its candidate
+/// scratch tree — lives inside the workspace, so workspace reuse also
+/// amortizes the scan warm-up.
 #[derive(Debug)]
 pub struct TasmWorkspace {
     /// Distance-side scratch: DP matrices, doc keyroots, doc costs.
     pub(crate) ted: TedWorkspace,
-    /// Scratch tree the ring buffer renumbers each candidate into.
-    pub(crate) cand: Tree,
+    /// The scan layer: ring-buffer pass plus the scratch tree candidates
+    /// are renumbered into.
+    pub(crate) engine: ScanEngine,
     /// Scratch tree for proper subtrees of a candidate (Algorithm 3's
     /// descent below τ').
     pub(crate) sub: Tree,
@@ -42,14 +46,15 @@ impl TasmWorkspace {
     pub fn new() -> Self {
         TasmWorkspace {
             ted: TedWorkspace::new(),
-            cand: Tree::leaf(LabelId(0)),
+            engine: ScanEngine::new(1),
             sub: Tree::leaf(LabelId(0)),
         }
     }
 
     /// Pre-reserves all buffers for an `m`-node query and candidates of
     /// up to `tau` nodes (the Theorem 3 bound), so that not even the
-    /// first candidate allocates.
+    /// first candidate allocates. Also re-targets the embedded
+    /// [`ScanEngine`] to `tau`.
     ///
     /// The DP matrices need `2 · (m+1) · (tau+1)` cells; to keep a
     /// pathological τ (e.g. saturated by a huge `k`) from reserving
@@ -57,11 +62,11 @@ impl TasmWorkspace {
     /// back to on-demand growth, which still reaches the same
     /// steady state.
     pub fn reserve(&mut self, m: usize, tau: u32) {
+        self.engine.set_tau(tau);
         let n = tau as usize;
-        let cells = 2u128 * (m as u128 + 1) * (n as u128 + 1);
-        if cells * std::mem::size_of::<tasm_ted::Cost>() as u128 <= RESERVE_CAP_BYTES as u128 {
+        if matrices_fit_cap(m, n) {
             self.ted.reserve(m, n);
-            self.cand.reserve(n);
+            self.engine.reserve();
             self.sub.reserve(n);
         }
     }
@@ -77,6 +82,21 @@ impl TasmWorkspace {
 /// Upper bound on the up-front matrix reservation of
 /// [`TasmWorkspace::reserve`] (64 MiB).
 pub const RESERVE_CAP_BYTES: usize = 64 << 20;
+
+/// Whether the DP matrices for an `m`-node query against `n`-node
+/// documents (`2 · (m+1) · (n+1)` cells) fit [`RESERVE_CAP_BYTES`].
+/// The single reservation-policy predicate shared by the sequential
+/// and batch workspaces.
+pub(crate) fn matrices_fit_cap(m: usize, n: usize) -> bool {
+    let cells = 2u128 * (m as u128 + 1) * (n as u128 + 1);
+    cells * std::mem::size_of::<tasm_ted::Cost>() as u128 <= RESERVE_CAP_BYTES as u128
+}
+
+/// Whether the `O(n)` scratch trees (candidate + subtree copies, 8
+/// bytes per node) fit [`RESERVE_CAP_BYTES`] — guards a saturated τ.
+pub(crate) fn scratch_fits_cap(n: usize) -> bool {
+    n.saturating_mul(8) <= RESERVE_CAP_BYTES
+}
 
 #[cfg(test)]
 mod tests {

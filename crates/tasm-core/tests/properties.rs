@@ -3,17 +3,22 @@
 //! * the prefix ring buffer emits exactly `cand(T, τ)` (Def. 9) — checked
 //!   against a brute-force reference and against the simple pruning;
 //! * the ring buffer never holds more than τ nodes (Theorem 2);
-//! * TASM-postorder, TASM-dynamic and the naive algorithm produce the same
-//!   distance ranking (the sorted distance sequence of a top-k ranking is
-//!   unique even when ids tie);
+//! * TASM-postorder, TASM-dynamic and the naive algorithm return the
+//!   **identical** ranking (the rank key — distance, postorder number,
+//!   size — is a total order, and the τ' boundary is evaluated
+//!   inclusively, so even ties resolve the same way);
+//! * `tasm_batch` and `tasm_parallel` (any thread count) return exactly
+//!   the sequential single-query rankings;
+//! * `TopKHeap::merge` equals offering every entry into one heap;
 //! * every returned match respects the Theorem 3 size bound;
 //! * the rankings satisfy Def. 1 against exhaustive distances.
 
 use proptest::prelude::*;
 use tasm_core::{
-    candidate_set_reference, prb_pruning, simple_pruning, tasm_dynamic,
-    tasm_dynamic_with_workspace, tasm_naive, tasm_postorder, tasm_postorder_with_workspace,
-    threshold, PrefixRingBuffer, TasmOptions, TasmWorkspace,
+    candidate_set_reference, prb_pruning, simple_pruning, tasm_batch, tasm_dynamic,
+    tasm_dynamic_with_workspace, tasm_naive, tasm_parallel, tasm_postorder,
+    tasm_postorder_with_workspace, threshold, BatchQuery, Match, PrefixRingBuffer, TasmOptions,
+    TasmWorkspace, TopKHeap,
 };
 use tasm_ted::{ted, ted_with_workspace, Cost, PerLabelCost, TedWorkspace, UnitCost};
 use tasm_tree::{LabelId, Tree, TreeBuilder, TreeQueue};
@@ -118,7 +123,7 @@ proptest! {
     }
 
     #[test]
-    fn all_three_algorithms_agree_on_distances(
+    fn all_three_algorithms_agree_exactly(
         q in arb_query(),
         t in arb_doc(),
         k in 1usize..8,
@@ -131,10 +136,76 @@ proptest! {
 
         prop_assert_eq!(distances(&naive), distances(&dynamic));
         prop_assert_eq!(distances(&naive), distances(&postorder));
-        // Naive and dynamic share identical tie-breaking and see all
-        // subtrees: exact agreement.
-        let ids = |ms: &[tasm_core::Match]| ms.iter().map(|m| m.root).collect::<Vec<_>>();
+        // The rank key is a total order and the τ' boundary is evaluated
+        // inclusively, so all three agree on the ids too — not just the
+        // distance sequence.
+        let ids = |ms: &[Match]| ms.iter().map(|m| m.root).collect::<Vec<_>>();
         prop_assert_eq!(ids(&naive), ids(&dynamic));
+        prop_assert_eq!(ids(&naive), ids(&postorder));
+    }
+
+    #[test]
+    fn batch_returns_exactly_the_sequential_rankings(
+        queries in proptest::collection::vec((arb_query(), 1usize..8), 1..5),
+        t in arb_doc(),
+        keep in any::<bool>(),
+    ) {
+        let opts = TasmOptions { keep_trees: keep, ..Default::default() };
+        let batch_queries: Vec<BatchQuery<'_>> = queries
+            .iter()
+            .map(|(q, k)| BatchQuery { query: q, k: *k })
+            .collect();
+        let mut stream = TreeQueue::new(&t);
+        let batch = tasm_batch(&batch_queries, &mut stream, &UnitCost, 1, opts, None);
+        prop_assert_eq!(batch.len(), queries.len());
+        for ((q, k), got) in queries.iter().zip(&batch) {
+            let mut stream = TreeQueue::new(&t);
+            let want = tasm_postorder(q, &mut stream, *k, &UnitCost, 1, opts, None);
+            prop_assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn parallel_returns_exactly_the_sequential_ranking(
+        q in arb_query(),
+        t in arb_doc(),
+        k in 1usize..8,
+        threads in 1usize..6,
+        keep in any::<bool>(),
+    ) {
+        let opts = TasmOptions { keep_trees: keep, ..Default::default() };
+        let mut stream = TreeQueue::new(&t);
+        let want = tasm_postorder(&q, &mut stream, k, &UnitCost, 1, opts, None);
+        let got = tasm_parallel(&q, &t, k, &UnitCost, 1, opts, threads);
+        prop_assert_eq!(got, want, "threads = {}", threads);
+    }
+
+    #[test]
+    fn heap_merge_equals_single_heap(
+        entries in proptest::collection::vec((0u64..6, 1u32..60), 0..24),
+        k in 1usize..6,
+        split in any::<u64>(),
+    ) {
+        use tasm_tree::NodeId;
+        let mk = |d: u64, r: u32| Match {
+            root: NodeId::new(r),
+            size: 1,
+            distance: tasm_ted::Cost::from_natural(d),
+            tree: None,
+        };
+        let mut one = TopKHeap::new(k);
+        let mut left = TopKHeap::new(k);
+        let mut right = TopKHeap::new(k);
+        for (i, &(d, r)) in entries.iter().enumerate() {
+            one.offer(mk(d, r));
+            if (split >> (i % 64)) & 1 == 0 {
+                left.offer(mk(d, r));
+            } else {
+                right.offer(mk(d, r));
+            }
+        }
+        left.merge(right);
+        prop_assert_eq!(left.into_sorted(), one.into_sorted());
     }
 
     #[test]

@@ -163,6 +163,16 @@ impl<R: Read> PostFileReader<R> {
         self.total
     }
 
+    /// Entries the header promised but that have not been dequeued yet.
+    ///
+    /// [`PostorderQueue::dequeue`] ends the stream early (returns `None`)
+    /// on a short read, so after a scan a non-zero value means the file
+    /// was **truncated** — callers that must not silently accept partial
+    /// documents (e.g. the CLI) check this.
+    pub fn remaining_nodes(&self) -> u64 {
+        self.remaining
+    }
+
     /// Consumes the reader, returning the dictionary (e.g. to resolve
     /// match labels after the scan).
     pub fn into_dict(self) -> LabelDict {
@@ -280,6 +290,8 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, t.len() - 1);
+        // The shortfall is detectable after the scan.
+        assert_eq!(reader.remaining_nodes(), 1);
     }
 
     #[test]

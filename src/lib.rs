@@ -65,9 +65,10 @@ use std::path::Path;
 /// Everything needed for typical use, in one import.
 pub mod prelude {
     pub use crate::core::{
-        prb_pruning, tasm_dynamic, tasm_dynamic_with_workspace, tasm_naive, tasm_postorder,
-        tasm_postorder_with_workspace, threshold, Match, PrefixRingBuffer, TasmOptions,
-        TasmWorkspace, TopKHeap,
+        prb_pruning, tasm_batch, tasm_batch_with_workspace, tasm_dynamic,
+        tasm_dynamic_with_workspace, tasm_naive, tasm_parallel, tasm_postorder,
+        tasm_postorder_with_workspace, threshold, BatchQuery, BatchWorkspace, CandidateSink, Match,
+        PrefixRingBuffer, ScanEngine, TasmOptions, TasmWorkspace, TopKHeap,
     };
     pub use crate::ted::{
         ted, ted_full, ted_with_workspace, Cost, CostModel, FanoutWeighted, QueryContext,
@@ -78,7 +79,7 @@ pub mod prelude {
         TreeQueue,
     };
     pub use crate::xml::{parse_tree_str, XmlPostorderQueue};
-    pub use crate::TasmQuery;
+    pub use crate::{TasmBatch, TasmQuery};
 }
 
 /// Errors from the high-level query API.
@@ -124,6 +125,8 @@ pub struct TasmQuery {
     query: Tree,
     k: usize,
     options: TasmOptions,
+    /// Worker threads for sharded evaluation (1 = sequential streaming).
+    threads: usize,
     /// Evaluation workspace reused across runs: repeated streaming
     /// evaluations are allocation-free in steady state.
     workspace: core::TasmWorkspace,
@@ -142,6 +145,7 @@ impl TasmQuery {
                 keep_trees: true,
                 ..Default::default()
             },
+            threads: 1,
             workspace: core::TasmWorkspace::new(),
         })
     }
@@ -158,6 +162,7 @@ impl TasmQuery {
                 keep_trees: true,
                 ..Default::default()
             },
+            threads: 1,
             workspace: core::TasmWorkspace::new(),
         })
     }
@@ -165,6 +170,18 @@ impl TasmQuery {
     /// Sets the ranking size `k` (default 1).
     pub fn k(mut self, k: usize) -> Self {
         self.k = k.max(1);
+        self
+    }
+
+    /// Sets the number of worker threads for sharded evaluation
+    /// (default 1 = sequential; 0 = one per available core).
+    ///
+    /// With more than one thread the document is materialized and its
+    /// candidate stream sharded across workers
+    /// ([`core::tasm_parallel`]), trading the `O(τ)` streaming memory
+    /// bound for `O(n)` — results are identical to the sequential pass.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -200,7 +217,14 @@ impl TasmQuery {
     /// Runs the query against any buffered XML source. The internal
     /// workspace is reused, so back-to-back runs skip all warm-up
     /// allocations.
+    ///
+    /// With [`TasmQuery::threads`] above 1 the document is parsed into
+    /// memory first and evaluated by the sharded parallel path.
     pub fn run_reader<R: std::io::BufRead>(&mut self, reader: R) -> Result<Vec<Match>, TasmError> {
+        if self.threads != 1 {
+            let doc = xml::parse_tree(reader, &mut self.dict)?;
+            return Ok(self.run_tree(&doc));
+        }
         let mut queue = xml::XmlPostorderQueue::new(reader, &mut self.dict);
         let matches = core::tasm_postorder_with_workspace(
             &self.query,
@@ -219,8 +243,21 @@ impl TasmQuery {
     }
 
     /// Runs the query against an in-memory tree that shares this query's
-    /// dictionary (e.g. built with [`TasmQuery::parse_document`]).
+    /// dictionary (e.g. built with [`TasmQuery::parse_document`]),
+    /// sharding the scan across [`TasmQuery::threads`] workers when more
+    /// than one is configured.
     pub fn run_tree(&self, doc: &Tree) -> Vec<Match> {
+        if self.threads != 1 {
+            return core::tasm_parallel(
+                &self.query,
+                doc,
+                self.k,
+                &UnitCost,
+                1,
+                self.options,
+                self.threads,
+            );
+        }
         let mut queue = tree::TreeQueue::new(doc);
         core::tasm_postorder(
             &self.query,
@@ -237,6 +274,138 @@ impl TasmQuery {
     /// [`TasmQuery::run_tree`] / repeated runs.
     pub fn parse_document(&mut self, xml_text: &str) -> Result<Tree, TasmError> {
         Ok(xml::parse_tree_str(xml_text, &mut self.dict)?)
+    }
+
+    /// Renders a match's subtree back to XML (requires `keep_trees`).
+    pub fn match_to_xml(&self, m: &Match) -> Option<String> {
+        m.tree.as_ref().map(|t| xml::tree_to_xml(t, &self.dict))
+    }
+}
+
+/// A batch of TASM queries answered in **one** shared document scan.
+///
+/// Ring-buffer maintenance and candidate materialization are paid once
+/// for the whole batch ([`core::tasm_batch`]); each query keeps its own
+/// pruning bound and ranking, and each result is exactly what the
+/// corresponding single [`TasmQuery`] run would return.
+///
+/// # Examples
+///
+/// ```
+/// use tasm::TasmBatch;
+///
+/// let doc = "<dblp>\
+///     <article><author>Jane</author><title>Trees</title></article>\
+///     <book><title>Graphs</title></book></dblp>";
+/// let rankings = TasmBatch::from_xml(&[
+///         "<article><author>Jane</author><title>Trees</title></article>",
+///         "<book><title>Trees</title></book>",
+///     ])
+///     .unwrap()
+///     .k(1)
+///     .run_xml_str(doc)
+///     .unwrap();
+/// assert_eq!(rankings.len(), 2);
+/// assert_eq!(rankings[0][0].distance.as_f64(), 0.0);
+/// assert_eq!(rankings[1][0].distance.as_f64(), 1.0);
+/// ```
+#[derive(Debug)]
+pub struct TasmBatch {
+    dict: LabelDict,
+    queries: Vec<Tree>,
+    k: usize,
+    options: TasmOptions,
+    /// Scan + per-lane workspaces reused across runs.
+    workspace: core::BatchWorkspace,
+}
+
+impl TasmBatch {
+    /// Parses every query from an XML fragment; all queries share one
+    /// label dictionary.
+    pub fn from_xml(query_xmls: &[&str]) -> Result<Self, TasmError> {
+        let mut dict = LabelDict::new();
+        let queries = query_xmls
+            .iter()
+            .map(|q| xml::parse_tree_str(q, &mut dict))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TasmBatch {
+            dict,
+            queries,
+            k: 1,
+            options: TasmOptions {
+                keep_trees: true,
+                ..Default::default()
+            },
+            workspace: core::BatchWorkspace::new(),
+        })
+    }
+
+    /// Sets the ranking size `k` for every query (default 1).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k.max(1);
+        self
+    }
+
+    /// Sets whether matched subtrees are copied into the results
+    /// (default `true`).
+    pub fn keep_trees(mut self, keep: bool) -> Self {
+        self.options.keep_trees = keep;
+        self
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The label dictionary (grows while documents are processed).
+    pub fn dict(&self) -> &LabelDict {
+        &self.dict
+    }
+
+    /// Runs every query against an XML string in one shared scan,
+    /// returning one ranking per query, in input order.
+    pub fn run_xml_str(&mut self, document: &str) -> Result<Vec<Vec<Match>>, TasmError> {
+        self.run_reader(document.as_bytes())
+    }
+
+    /// Runs every query against an XML file, streaming it once with
+    /// `O(τ_max)` memory.
+    pub fn run_xml_file(&mut self, path: impl AsRef<Path>) -> Result<Vec<Vec<Match>>, TasmError> {
+        let file = File::open(path)?;
+        self.run_reader(BufReader::new(file))
+    }
+
+    /// Runs every query against any buffered XML source in one shared
+    /// scan. The internal workspace is reused across runs.
+    pub fn run_reader<R: std::io::BufRead>(
+        &mut self,
+        reader: R,
+    ) -> Result<Vec<Vec<Match>>, TasmError> {
+        let batch: Vec<core::BatchQuery<'_>> = self
+            .queries
+            .iter()
+            .map(|query| core::BatchQuery { query, k: self.k })
+            .collect();
+        let mut queue = xml::XmlPostorderQueue::new(reader, &mut self.dict);
+        let rankings = core::tasm_batch_with_workspace(
+            &batch,
+            &mut queue,
+            &UnitCost,
+            1,
+            self.options,
+            &mut self.workspace,
+            None,
+        );
+        if let Some(err) = queue.take_error() {
+            return Err(err.into());
+        }
+        Ok(rankings)
     }
 
     /// Renders a match's subtree back to XML (requires `keep_trees`).
@@ -295,6 +464,78 @@ mod tests {
         let mut q = TasmQuery::from_xml("<a/>").unwrap().k(0);
         let matches = q.run_xml_str("<r><a/></r>").unwrap();
         assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn threads_builder_matches_sequential() {
+        let doc: String = std::iter::once("<dblp>".to_string())
+            .chain((0..40).map(|i| format!("<article><a>n{i}</a><t>t{}</t></article>", i % 7)))
+            .chain(std::iter::once("</dblp>".to_string()))
+            .collect();
+        let q = "<article><a>n3</a><t>t3</t></article>";
+        let sequential = TasmQuery::from_xml(q)
+            .unwrap()
+            .k(5)
+            .run_xml_str(&doc)
+            .unwrap();
+        for threads in [0usize, 2, 4] {
+            let parallel = TasmQuery::from_xml(q)
+                .unwrap()
+                .k(5)
+                .threads(threads)
+                .run_xml_str(&doc)
+                .unwrap();
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn threads_run_surfaces_parse_errors() {
+        let mut q = TasmQuery::from_xml("<a/>").unwrap().threads(2);
+        assert!(q.run_xml_str("<r><a></r>").is_err());
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let doc = "<r><a><b>x</b></a><a><b>y</b></a><c><d/></c></r>";
+        let queries = ["<a><b>x</b></a>", "<c><d/></c>", "<b>z</b>"];
+        let rankings = TasmBatch::from_xml(&queries)
+            .unwrap()
+            .k(2)
+            .run_xml_str(doc)
+            .unwrap();
+        assert_eq!(rankings.len(), queries.len());
+        for (q, got) in queries.iter().zip(&rankings) {
+            let want = TasmQuery::from_xml(q)
+                .unwrap()
+                .k(2)
+                .run_xml_str(doc)
+                .unwrap();
+            // Dictionaries differ between the two facades, so compare the
+            // dictionary-independent fields plus the rendered XML.
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!((g.root, g.size, g.distance), (w.root, w.size, w.distance));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_workspace_reuse_and_errors() {
+        let mut batch = TasmBatch::from_xml(&["<a/>", "<b/>"]).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        let first = batch.run_xml_str("<r><a/><b/></r>").unwrap();
+        let second = batch.run_xml_str("<r><a/><b/></r>").unwrap();
+        assert_eq!(first, second);
+        assert!(batch.run_xml_str("<r><a>").is_err());
+        // And the batch recovers after the failed run.
+        assert_eq!(batch.run_xml_str("<r><a/><b/></r>").unwrap(), first);
+    }
+
+    #[test]
+    fn batch_rejects_malformed_query() {
+        assert!(TasmBatch::from_xml(&["<a/>", "<broken"]).is_err());
     }
 
     #[test]
