@@ -113,7 +113,9 @@ fn bench_emit_summary(_c: &mut Criterion) {
         candidates,
         seconds,
         peak_heap_bytes: 0, // no counting allocator in the bench harness
-    };
+        ..Default::default()
+    }
+    .with_scan_stats(&ws.last_scan_stats());
     // cargo bench runs with CWD = the package dir; anchor the trajectory
     // file at the workspace root where `experiments` writes it.
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -222,6 +224,44 @@ fn bench_postorder_k(c: &mut Criterion) {
     group.finish();
 }
 
+/// The lower-bound pruning cascade on/off across the three recorded
+/// perf-trajectory workloads (DBLP q11 k5, XMark q8 k5, XMark q16
+/// k100): what the histogram + banded-SED tiers buy on each shape.
+/// Rankings are identical either way (property-tested); only the number
+/// of exact DP evaluations differs.
+fn bench_pruning_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tasm/pruning_cascade");
+    for (dataset, qsize, k) in [("dblp", 8u32, 5usize), ("xmark", 8, 5), ("xmark", 16, 100)] {
+        let mut dict = LabelDict::new();
+        let doc = match dataset {
+            "dblp" => dblp_tree(&mut dict, &DblpConfig::new(7, 20_000)),
+            _ => xmark_tree(&mut dict, &XMarkConfig::new(7, 20_000)),
+        };
+        let (query, _) = random_query(&doc, qsize, 0xBE40 + qsize as u64);
+        let workload = format!("{dataset} q{} k{k}", query.len());
+        for (mode, use_cascade) in [("on", true), ("off", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(mode, &workload),
+                &use_cascade,
+                |b, &use_cascade| {
+                    let opts = TasmOptions {
+                        use_cascade,
+                        ..Default::default()
+                    };
+                    let mut ws = TasmWorkspace::new();
+                    b.iter(|| {
+                        let mut q = TreeQueue::new(&doc);
+                        tasm_postorder_with_workspace(
+                            &query, &mut q, k, &UnitCost, 1, opts, &mut ws, None,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_tau_prime_ablation(c: &mut Criterion) {
     let mut dict = LabelDict::new();
     let doc = xmark_tree(&mut dict, &XMarkConfig::new(3, 50_000));
@@ -249,6 +289,7 @@ criterion_group!(
     bench_batch_widths,
     bench_parallel_threads,
     bench_postorder_k,
+    bench_pruning_cascade,
     bench_tau_prime_ablation,
     bench_emit_summary
 );

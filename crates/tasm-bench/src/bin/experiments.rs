@@ -16,14 +16,16 @@ use tasm_bench::harness::{self, Ctx};
 static ALLOC: CountingAlloc = CountingAlloc;
 
 const USAGE: &str = "\
-usage: experiments [fig9a|fig9b|fig9c|fig10|fig11|fig12|ablation-tau|ablation-buffer|bench|scaling|all]...
+usage: experiments [fig9a|fig9b|fig9c|fig10|fig11|fig12|ablation-tau|ablation-buffer|bench|scaling|funnel|all]...
                    [--scale N] [--quick] [--json] [--label S]
 
 `bench` times the tasm_postorder hot path (candidates/s, ns/candidate,
-peak heap); `scaling` times multi-query batching (one shared scan vs N
-independent scans) and sharded parallel scans (1/2/4 threads). With
-`--json` both append snapshots (named by --label) to BENCH_tasm.json in
-the current directory — the perf trajectory.
+peak heap, cascade prune rate); `scaling` times multi-query batching
+(one shared scan vs N independent scans) and sharded parallel scans
+(1/2/4 threads); `funnel` prints the per-tier prune funnel of the
+lower-bound cascade. With `--json`, bench and scaling append snapshots
+(named by --label) to BENCH_tasm.json in the current directory — the
+perf trajectory.
 ";
 
 fn main() {
@@ -79,6 +81,7 @@ fn main() {
             "ablation-buffer",
             "bench",
             "scaling",
+            "funnel",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -100,6 +103,7 @@ fn main() {
             "fig12" => harness::fig12(&ctx),
             "ablation-tau" => harness::ablation_tau(&ctx),
             "ablation-buffer" => harness::ablation_buffer(&ctx),
+            "funnel" => harness::funnel(&ctx),
             "bench" => {
                 let out = json.then(|| std::path::PathBuf::from(tasm_bench::report::BENCH_JSON));
                 harness::bench_summary(

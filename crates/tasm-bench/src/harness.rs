@@ -562,8 +562,8 @@ pub fn bench_summary(
     let nodes = (800_000 / ctx.scale).max(2_000);
     println!("\n=== bench: tasm_postorder hot path ({nodes}-node documents) ===");
     println!(
-        "{:>14} {:>9} {:>4} {:>6} {:>10} {:>12} {:>14} {:>12}",
-        "workload", "nodes", "|Q|", "k", "seconds", "cand/s", "ns/candidate", "peak(KiB)"
+        "{:>14} {:>9} {:>4} {:>6} {:>10} {:>12} {:>14} {:>12} {:>8}",
+        "workload", "nodes", "|Q|", "k", "seconds", "cand/s", "ns/candidate", "peak(KiB)", "pruned"
     );
     let mut records = Vec::new();
     for (dataset, qsize, k) in [("dblp", 8u32, 5usize), ("xmark", 8, 5), ("xmark", 16, 100)] {
@@ -578,15 +578,17 @@ pub fn bench_summary(
         let candidates =
             prb_pruning_stats(&mut q, u32::try_from(tau).unwrap_or(u32::MAX), None).candidates;
 
+        let mut ws = TasmWorkspace::new();
         let mut run = || {
             let mut q = TreeQueue::new(&doc);
-            let m = tasm_postorder(
+            let m = tasm_postorder_with_workspace(
                 &query,
                 &mut q,
                 k,
                 &UnitCost,
                 1,
                 TasmOptions::default(),
+                &mut ws,
                 None,
             );
             std::hint::black_box(m.len());
@@ -600,6 +602,7 @@ pub fn bench_summary(
             })
             .fold(f64::INFINITY, f64::min);
         let peak_heap_bytes = measure(&mut run);
+        let scan = ws.last_scan_stats();
 
         let r = BenchRecord {
             name: format!("{dataset} q{} k{k}", query.len()),
@@ -610,9 +613,11 @@ pub fn bench_summary(
             candidates,
             seconds,
             peak_heap_bytes,
-        };
+            ..Default::default()
+        }
+        .with_scan_stats(&scan);
         println!(
-            "{:>14} {:>9} {:>4} {:>6} {:>10.4} {:>12.0} {:>14.0} {:>12.1}",
+            "{:>14} {:>9} {:>4} {:>6} {:>10.4} {:>12.0} {:>14.0} {:>12.1} {:>7.1}%",
             r.name,
             r.nodes,
             r.query_size,
@@ -620,7 +625,8 @@ pub fn bench_summary(
             r.seconds,
             r.candidates_per_sec(),
             r.ns_per_candidate(),
-            r.peak_heap_bytes as f64 / 1024.0
+            r.peak_heap_bytes as f64 / 1024.0,
+            100.0 * r.prune_rate(),
         );
         records.push(r);
     }
@@ -739,23 +745,31 @@ pub fn scaling_summary(
         let batch_seconds = time3(&mut run_batch);
         let batch_peak = measure(&mut run_batch);
 
-        for (name, seconds, peak) in [
-            (format!("seq x{width}"), seq_seconds, seq_peak),
-            (format!("batch x{width}"), batch_seconds, batch_peak),
+        let batch_scan = bws.last_scan_stats();
+        for (name, seconds, peak, scan) in [
+            (format!("seq x{width}"), seq_seconds, seq_peak, None),
+            (
+                format!("batch x{width}"),
+                batch_seconds,
+                batch_peak,
+                Some(batch_scan),
+            ),
         ] {
-            push(
-                &mut records,
-                BenchRecord {
-                    name: format!("{name} dblp q{qsize} k{k}"),
-                    nodes: doc.len(),
-                    query_size: qsize as usize,
-                    k,
-                    tau,
-                    candidates: evaluations,
-                    seconds,
-                    peak_heap_bytes: peak,
-                },
-            );
+            let mut r = BenchRecord {
+                name: format!("{name} dblp q{qsize} k{k}"),
+                nodes: doc.len(),
+                query_size: qsize as usize,
+                k,
+                tau,
+                candidates: evaluations,
+                seconds,
+                peak_heap_bytes: peak,
+                ..Default::default()
+            };
+            if let Some(scan) = scan {
+                r = r.with_scan_stats(&scan);
+            }
+            push(&mut records, r);
         }
     }
 
@@ -791,6 +805,7 @@ pub fn scaling_summary(
                 candidates,
                 seconds,
                 peak_heap_bytes: peak,
+                ..Default::default()
             },
         );
     }
@@ -800,6 +815,77 @@ pub fn scaling_summary(
         println!("wrote {} (snapshot \"{label}\")", path.display());
     }
     records
+}
+
+/// Per-tier prune-funnel table: how many subtree evaluations each tier
+/// of the lower-bound cascade kills on the recorded workloads, so
+/// future PRs can see which tier is earning its keep.
+///
+/// Runs `tasm_postorder` with the cascade enabled over the same
+/// generated documents as [`bench_summary`] plus a PSD-shaped one, and
+/// prints (and CSVs) the funnel: candidates emitted, size-skipped
+/// roots, histogram prunes, SED prunes, exact evaluations, prune rate.
+pub fn funnel(ctx: &Ctx) {
+    use tasm_data::{psd_tree, PsdConfig};
+    let nodes = (800_000 / ctx.scale).max(2_000);
+    println!("\n=== prune funnel: lower-bound cascade per-tier kills ({nodes}-node documents) ===");
+    println!(
+        "{:>16} {:>10} {:>11} {:>11} {:>9} {:>10} {:>9}",
+        "workload", "candidates", "size-skip", "histogram", "sed", "evaluated", "pruned"
+    );
+    let mut csv = Csv::create(
+        ctx,
+        "funnel",
+        "workload,candidates,pruned_size,pruned_histogram,pruned_sed,evaluated,prune_rate",
+    );
+    for (dataset, qsize, k) in [
+        ("dblp", 8u32, 5usize),
+        ("xmark", 8, 5),
+        ("xmark", 16, 100),
+        ("psd", 8, 5),
+    ] {
+        let mut dict = LabelDict::new();
+        let doc = match dataset {
+            "dblp" => dblp_tree(&mut dict, &DblpConfig::new(7, nodes)),
+            "psd" => psd_tree(&mut dict, &PsdConfig::new(7, nodes)),
+            _ => xmark_tree(&mut dict, &XMarkConfig::new(7, nodes)),
+        };
+        let (query, _) = random_query(&doc, qsize, 0xBE40 + qsize as u64);
+        let mut ws = TasmWorkspace::new();
+        let mut q = TreeQueue::new(&doc);
+        let m = tasm_postorder_with_workspace(
+            &query,
+            &mut q,
+            k,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            &mut ws,
+            None,
+        );
+        std::hint::black_box(m.len());
+        let scan = ws.last_scan_stats();
+        let name = format!("{dataset} q{} k{k}", query.len());
+        println!(
+            "{:>16} {:>10} {:>11} {:>11} {:>9} {:>10} {:>8.1}%",
+            name,
+            scan.candidates,
+            scan.pruned_size,
+            scan.pruned_histogram,
+            scan.pruned_sed,
+            scan.evaluated,
+            100.0 * scan.prune_rate(),
+        );
+        csv.row(format_args!(
+            "{name},{},{},{},{},{},{:.4}",
+            scan.candidates,
+            scan.pruned_size,
+            scan.pruned_histogram,
+            scan.pruned_sed,
+            scan.evaluated,
+            scan.prune_rate()
+        ));
+    }
 }
 
 /// Which real-world-like dataset an experiment runs on.

@@ -18,7 +18,7 @@ pub const BENCH_JSON: &str = "BENCH_tasm.json";
 
 /// One benchmarked workload: a full `tasm_postorder` pass over a
 /// generated document.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BenchRecord {
     /// Workload name (dataset + parameters).
     pub name: String,
@@ -37,6 +37,14 @@ pub struct BenchRecord {
     /// Extra peak heap (bytes) one pass needed, per the counting
     /// allocator; 0 when measured without the counting allocator.
     pub peak_heap_bytes: usize,
+    /// Subtree roots rejected by the τ' size bound during the descent.
+    pub pruned_size: u64,
+    /// In-bound subtrees skipped by the label-histogram cascade tier.
+    pub pruned_histogram: u64,
+    /// In-bound subtrees skipped by the substring-SED cascade tier.
+    pub pruned_sed: u64,
+    /// Subtrees that survived every tier and were evaluated by the DP.
+    pub evaluated: u64,
 }
 
 impl BenchRecord {
@@ -65,6 +73,26 @@ impl BenchRecord {
         } else {
             0.0
         }
+    }
+
+    /// Fraction of in-bound subtree evaluations the lower-bound cascade
+    /// pruned before the DP (0.0 when no decisions were recorded).
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.pruned_histogram + self.pruned_sed + self.evaluated;
+        if total == 0 {
+            0.0
+        } else {
+            (self.pruned_histogram + self.pruned_sed) as f64 / total as f64
+        }
+    }
+
+    /// Copies the pruning-funnel counters out of a scan's [`ScanStats`].
+    pub fn with_scan_stats(mut self, scan: &tasm_core::ScanStats) -> Self {
+        self.pruned_size = scan.pruned_size;
+        self.pruned_histogram = scan.pruned_histogram;
+        self.pruned_sed = scan.pruned_sed;
+        self.evaluated = scan.evaluated;
+        self
     }
 }
 
@@ -116,6 +144,15 @@ pub fn render_snapshot(label: &str, scale: usize, records: &[BenchRecord]) -> St
             "          \"nodes_per_sec\": {:.1},",
             r.nodes_per_sec()
         );
+        let _ = writeln!(out, "          \"pruned_size\": {},", r.pruned_size);
+        let _ = writeln!(
+            out,
+            "          \"pruned_histogram\": {},",
+            r.pruned_histogram
+        );
+        let _ = writeln!(out, "          \"pruned_sed\": {},", r.pruned_sed);
+        let _ = writeln!(out, "          \"evaluated\": {},", r.evaluated);
+        let _ = writeln!(out, "          \"prune_rate\": {:.4},", r.prune_rate());
         let _ = writeln!(out, "          \"peak_heap_bytes\": {}", r.peak_heap_bytes);
         out.push_str(if i + 1 == records.len() {
             "        }\n"
@@ -194,6 +231,10 @@ mod tests {
             candidates: 10_000,
             seconds: 0.5,
             peak_heap_bytes: 4096,
+            pruned_size: 7,
+            pruned_histogram: 9_000,
+            pruned_sed: 500,
+            evaluated: 500,
         }
     }
 
@@ -206,11 +247,22 @@ mod tests {
     }
 
     #[test]
+    fn prune_rate_counts_cascade_decisions() {
+        let r = record();
+        assert!((r.prune_rate() - 0.95).abs() < 1e-9);
+        let mut none = record();
+        (none.pruned_histogram, none.pruned_sed, none.evaluated) = (0, 0, 0);
+        assert_eq!(none.prune_rate(), 0.0);
+    }
+
+    #[test]
     fn renders_valid_enough_json() {
         let json = render_file(&[render_snapshot("test", 16, &[record()])]);
         assert!(json.contains("\"candidates_per_sec\": 20000.0"));
         assert!(json.contains("\"name\": \"dblp q8 k5\""));
         assert!(json.contains("\"label\": \"test\""));
+        assert!(json.contains("\"pruned_histogram\": 9000"));
+        assert!(json.contains("\"prune_rate\": 0.9500"));
         // Balanced braces/brackets at least.
         assert_eq!(
             json.matches('{').count(),

@@ -1,17 +1,19 @@
 //! Zero-allocation steady-state regression test (the PR-2 tentpole
-//! guarantee): with a warmed [`TasmWorkspace`], the TASM-postorder
-//! candidate loop performs **no heap allocation at all**, and a full
-//! stream costs O(1) allocations independent of its length.
+//! guarantee, extended to the PR-4 pruning cascade): with a warmed
+//! [`TasmWorkspace`], the TASM-postorder candidate loop — including the
+//! [`LowerBoundCascade`] checks against the live heap cutoff — performs
+//! **no heap allocation at all**, and a full stream costs O(1)
+//! allocations independent of its length.
 //!
 //! This file intentionally holds a single `#[test]` so no sibling test
 //! can allocate concurrently while the counters are being diffed.
 
 use tasm_bench::alloc::{alloc_count, CountingAlloc};
 use tasm_core::{
-    process_candidate, tasm_postorder_with_workspace, threshold, PrefixRingBuffer, TasmOptions,
-    TasmWorkspace, TopKHeap,
+    process_candidate, tasm_postorder_with_workspace, threshold, PrefixRingBuffer, ScanStats,
+    TasmOptions, TasmWorkspace, TopKHeap,
 };
-use tasm_ted::{QueryContext, UnitCost};
+use tasm_ted::{LowerBoundCascade, QueryContext, UnitCost};
 use tasm_tree::{bracket, LabelDict, NodeId, Tree, TreeQueue};
 
 #[global_allocator]
@@ -40,15 +42,18 @@ fn candidate_loop_is_allocation_free_after_warmup() {
     let query = bracket::parse("{article{a}{t}}", &mut dict).unwrap();
     let k = 2;
     let opts = TasmOptions::default();
+    assert!(opts.use_cascade, "the cascade must be part of the loop");
 
     // Replicate the candidate loop of `tasm_postorder_with_workspace`
     // step by step so the measurement brackets exactly the steady state.
     let ctx = QueryContext::new(&query, &UnitCost);
+    let cascade = LowerBoundCascade::from_context(&ctx);
     let tau64 = threshold(query.len() as u64, ctx.max_cost(), 1, k as u64);
     let tau = u32::try_from(tau64).unwrap();
     let mut ws = TasmWorkspace::new();
     ws.reserve(query.len(), tau);
     let mut heap = TopKHeap::new(k);
+    let mut scan = ScanStats::default();
     let mut queue = TreeQueue::new(&doc);
     let mut prb = PrefixRingBuffer::new(&mut queue, tau);
     let mut cand = doc.subtree(NodeId::new(1));
@@ -60,13 +65,16 @@ fn candidate_loop_is_allocation_free_after_warmup() {
     process_candidate(
         &mut heap,
         &ctx,
+        &cascade,
         &cand,
         root.post() - cand.len() as u32,
         tau64,
         opts,
         &mut ws,
+        &mut scan,
         None,
     );
+    assert!(heap.is_full(), "cutoff must be live from candidate two on");
 
     let before = alloc_count();
     let mut streamed = 0u32;
@@ -74,11 +82,13 @@ fn candidate_loop_is_allocation_free_after_warmup() {
         process_candidate(
             &mut heap,
             &ctx,
+            &cascade,
             &cand,
             root.post() - cand.len() as u32,
             tau64,
             opts,
             &mut ws,
+            &mut scan,
             None,
         );
         streamed += 1;
@@ -95,6 +105,14 @@ fn candidate_loop_is_allocation_free_after_warmup() {
          {streamed} candidates; steady state must be allocation-free"
     );
     assert_eq!(heap.len(), k, "sanity: ranking still filled");
+    // The cascade really ran: the stream contains both prunable
+    // candidates (e.g. {x}, {book{t}} against a 0-distance cutoff) and
+    // survivors that had to be evaluated exactly.
+    assert!(
+        scan.pruned_histogram + scan.pruned_sed > 0,
+        "cascade never pruned: {scan:?}"
+    );
+    assert!(scan.evaluated > 0, "cascade pruned everything: {scan:?}");
 
     // And end to end: with a warm workspace, a whole stream costs the
     // same O(1) allocations regardless of its length.

@@ -19,8 +19,9 @@ use std::time::Instant;
 
 use args::Args;
 use tasm_core::{
-    prb_pruning_stats, simple_pruning, tasm_batch, tasm_dynamic, tasm_naive, tasm_parallel,
-    tasm_postorder_with_workspace, threshold_for_query, BatchQuery, TasmOptions, TasmWorkspace,
+    prb_pruning_stats, simple_pruning, tasm_batch_with_workspace, tasm_dynamic, tasm_naive,
+    tasm_parallel_with_stats, tasm_postorder_with_workspace, threshold_for_query, BatchQuery,
+    BatchWorkspace, ScanStats, TasmOptions, TasmWorkspace,
 };
 use tasm_data::{
     dblp_tree, psd_tree, random_tree, xmark_tree, DblpConfig, PsdConfig, RandomTreeConfig,
@@ -49,7 +50,8 @@ COMMANDS:
                                          threads (0 = all cores; postorder,
                                          single query)         [default: 1]
                   --show-xml             print matched subtrees as XML
-                  --stats                print work statistics
+                  --stats                print work statistics and the
+                                         per-tier pruning funnel
 
     ted         Tree edit distance between two XML files
                   --left <a.xml> --right <b.xml>
@@ -205,13 +207,13 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                     run the batch sequentially or shard per query"
             .into());
     }
-    if want_stats && parallel {
-        return Err("--stats is not collected by the sharded parallel path; drop --threads".into());
-    }
     let sink = want_stats.then_some(&mut stats);
     // One evaluation workspace for the whole run: the candidate loop is
     // allocation-free in steady state (PR-2 tentpole).
     let mut ws = TasmWorkspace::new();
+    // Scan + pruning-funnel statistics of the run, when the scan-engine
+    // path produced them (postorder single/batch/parallel).
+    let mut scan_stats: Option<ScanStats> = None;
 
     let t0 = Instant::now();
     let rankings: Vec<Vec<tasm_core::Match>> = if batch {
@@ -222,7 +224,8 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                 .map(|query| BatchQuery { query, k })
                 .collect()
         }
-        if doc_path.ends_with(".pq") {
+        let mut bws = BatchWorkspace::new();
+        let r = if doc_path.ends_with(".pq") {
             let mut reader =
                 PostFileReader::open(doc_path).map_err(|e| format!("{doc_path}: {e}"))?;
             let mut file_dict = reader.dict().clone();
@@ -230,12 +233,13 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                 .iter()
                 .map(|q| reencode_query(q, &dict, &mut file_dict))
                 .collect();
-            let r = tasm_batch(
+            let r = tasm_batch_with_workspace(
                 &batch_of(&reencoded, k),
                 &mut reader,
                 &UnitCost,
                 1,
                 opts,
+                &mut bws,
                 sink,
             );
             check_pq_complete(&reader, doc_path)?;
@@ -244,19 +248,32 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         } else {
             let file = File::open(doc_path).map_err(|e| format!("cannot open {doc_path}: {e}"))?;
             let mut queue = XmlPostorderQueue::new(BufReader::new(file), &mut dict);
-            let r = tasm_batch(&batch_of(&queries, k), &mut queue, &UnitCost, 1, opts, sink);
+            let r = tasm_batch_with_workspace(
+                &batch_of(&queries, k),
+                &mut queue,
+                &UnitCost,
+                1,
+                opts,
+                &mut bws,
+                sink,
+            );
             if let Some(e) = queue.take_error() {
                 return Err(format!("{doc_path}: {e}"));
             }
             r
-        }
+        };
+        scan_stats = Some(bws.last_scan_stats());
+        r
     } else {
         let query = &queries[0];
         let matches = match algorithm {
             "postorder" if parallel => {
                 // Sharded scan: needs the materialized document.
                 let doc = load_xml(doc_path, &mut dict)?;
-                tasm_parallel(query, &doc, k, &UnitCost, 1, opts, threads)
+                let (m, st) =
+                    tasm_parallel_with_stats(query, &doc, k, &UnitCost, 1, opts, threads, sink);
+                scan_stats = Some(st);
+                m
             }
             "postorder" if doc_path.ends_with(".pq") => {
                 // Stream the binary postorder file. Label ids in the file
@@ -278,6 +295,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                 );
                 check_pq_complete(&reader, doc_path)?;
                 dict = file_dict;
+                scan_stats = Some(ws.last_scan_stats());
                 m
             }
             "postorder" => {
@@ -290,6 +308,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                 if let Some(e) = queue.take_error() {
                     return Err(format!("{doc_path}: {e}"));
                 }
+                scan_stats = Some(ws.last_scan_stats());
                 m
             }
             "dynamic" | "naive" => {
@@ -356,8 +375,40 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             if batch { "scan tau" } else { "tau" },
             tau,
         );
+        if let Some(scan) = scan_stats {
+            print_scan_stats(&scan);
+        }
     }
     Ok(())
+}
+
+/// Prints the scan-layer counters and the per-tier pruning funnel of a
+/// run (shared by single, batch and parallel `query` invocations).
+fn print_scan_stats(scan: &ScanStats) {
+    println!(
+        "# scan: {} candidates from {} nodes (peak ring buffer {})",
+        scan.candidates, scan.nodes_seen, scan.peak_buffered
+    );
+    let decisions = scan.eval_decisions();
+    let pct = |n: u64| {
+        if decisions == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / decisions as f64
+        }
+    };
+    println!(
+        "# prune funnel: size-skipped {}, histogram-pruned {} ({:.1}%), \
+         sed-pruned {} ({:.1}%), evaluated {} ({:.1}%); cascade prune rate {:.1}%",
+        scan.pruned_size,
+        scan.pruned_histogram,
+        pct(scan.pruned_histogram),
+        scan.pruned_sed,
+        pct(scan.pruned_sed),
+        scan.evaluated,
+        pct(scan.evaluated),
+        100.0 * scan.prune_rate(),
+    );
 }
 
 fn cmd_ted(args: &Args) -> Result<(), String> {

@@ -132,6 +132,87 @@ fn ted_between_files() {
 }
 
 #[test]
+fn stats_flag_prints_prune_funnel_for_all_scan_paths() {
+    let doc = tmp("funnel.xml");
+    let doc_s = doc.to_str().unwrap();
+    let out = tasm(&[
+        "gen",
+        "--dataset",
+        "dblp",
+        "--nodes",
+        "4000",
+        "--seed",
+        "11",
+        "--out",
+        doc_s,
+    ]);
+    assert!(out.status.success());
+
+    let q = "<article><author>Author_0</author><title>x</title></article>";
+    // Single streaming scan, multi-query batch scan, sharded parallel
+    // scan: every scan-engine path must report the per-tier funnel.
+    let runs: Vec<Vec<&str>> = vec![
+        vec![
+            "query",
+            "--query-str",
+            q,
+            "--doc",
+            doc_s,
+            "--k",
+            "3",
+            "--stats",
+        ],
+        vec![
+            "query",
+            "--query-str",
+            q,
+            "--query-str",
+            "<book><title>y</title></book>",
+            "--doc",
+            doc_s,
+            "--k",
+            "3",
+            "--stats",
+        ],
+        vec![
+            "query",
+            "--query-str",
+            q,
+            "--doc",
+            doc_s,
+            "--k",
+            "3",
+            "--threads",
+            "2",
+            "--stats",
+        ],
+    ];
+    for args in runs {
+        let out = tasm(&args);
+        assert!(
+            out.status.success(),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("# scan:"), "{args:?}\n{text}");
+        assert!(text.contains("# prune funnel:"), "{args:?}\n{text}");
+        assert!(text.contains("cascade prune rate"), "{args:?}\n{text}");
+        // On a DBLP-shaped document with exact matches present, the
+        // histogram tier must actually fire.
+        let funnel = text
+            .lines()
+            .find(|l| l.starts_with("# prune funnel:"))
+            .unwrap();
+        assert!(
+            !funnel.contains("histogram-pruned 0 "),
+            "{args:?}\n{funnel}"
+        );
+    }
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
 fn query_missing_doc_is_an_error() {
     let out = tasm(&["query", "--query-str", "<a/>"]);
     assert!(!out.status.success());

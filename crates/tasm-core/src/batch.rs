@@ -20,14 +20,16 @@
 //! regardless of the document's length (regression-tested with the
 //! counting allocator in `tasm-bench`).
 
-use crate::engine::{CandidateSink, ScanEngine};
+use crate::engine::{CandidateSink, ScanEngine, ScanStats};
 use crate::ranking::{Match, TopKHeap};
 use crate::tasm_dynamic::TasmOptions;
 use crate::tasm_postorder::process_candidate_parts;
 use crate::threshold::threshold;
 use crate::workspace::{matrices_fit_cap, scratch_fits_cap};
-use tasm_ted::{CostModel, QueryContext, TedStats, TedWorkspace};
-use tasm_tree::{LabelId, NodeId, PostorderQueue, Tree};
+use tasm_ted::{
+    CascadeScratch, CostModel, LowerBoundCascade, QueryContext, TedStats, TedWorkspace,
+};
+use tasm_tree::{NodeId, PostorderQueue, Tree};
 
 /// One query of a batch: the query tree and its ranking size.
 #[derive(Debug, Clone, Copy)]
@@ -45,11 +47,14 @@ pub struct BatchQuery<'a> {
 #[derive(Debug)]
 pub struct BatchWorkspace {
     engine: ScanEngine,
-    /// Scratch tree for proper subtrees during the per-lane descent
-    /// (only one lane evaluates at a time, so it is shared).
-    sub: Tree,
+    /// Lower-bound cascade scratch (only one lane checks at a time, so
+    /// it is shared).
+    lb: CascadeScratch,
     /// One distance workspace per lane; grown to the batch width.
     lanes: Vec<TedWorkspace>,
+    /// Scan + pruning-funnel statistics of the most recent run
+    /// (aggregated over all lanes).
+    last_scan: ScanStats,
 }
 
 impl Default for BatchWorkspace {
@@ -63,15 +68,25 @@ impl BatchWorkspace {
     pub fn new() -> Self {
         BatchWorkspace {
             engine: ScanEngine::new(1),
-            sub: Tree::leaf(LabelId(0)),
+            lb: CascadeScratch::new(),
             lanes: Vec::new(),
+            last_scan: ScanStats::default(),
         }
+    }
+
+    /// The scan and pruning-funnel statistics of the most recent
+    /// [`tasm_batch_with_workspace`] run: one shared scan, with the
+    /// funnel counters aggregated over every query lane.
+    pub fn last_scan_stats(&self) -> ScanStats {
+        self.last_scan
     }
 }
 
 /// The per-query evaluation lane of a batch scan.
 struct BatchLane<'a> {
     ctx: QueryContext<'a>,
+    /// This lane's admissible lower-bound cascade (its own cutoff).
+    cascade: LowerBoundCascade<'a>,
     /// This query's own Theorem 3 bound τ_i (pruning is per lane).
     tau: u64,
     heap: TopKHeap,
@@ -81,24 +96,26 @@ struct BatchLane<'a> {
 /// [`CandidateSink`] fanning each candidate out to every query lane.
 struct MultiQuerySink<'a> {
     lanes: Vec<BatchLane<'a>>,
-    sub: &'a mut Tree,
+    lb: &'a mut CascadeScratch,
     opts: TasmOptions,
     stats: Option<&'a mut TedStats>,
 }
 
 impl CandidateSink for MultiQuerySink<'_> {
-    fn consume(&mut self, cand: &Tree, root: NodeId) {
+    fn consume(&mut self, cand: &Tree, root: NodeId, scan: &mut ScanStats) {
         let offset = root.post() - cand.len() as u32;
         for lane in &mut self.lanes {
             process_candidate_parts(
                 &mut lane.heap,
                 &lane.ctx,
+                &lane.cascade,
                 cand,
                 offset,
                 lane.tau,
                 self.opts,
-                self.sub,
+                self.lb,
                 lane.ted,
+                scan,
                 self.stats.as_deref_mut(),
             );
         }
@@ -173,11 +190,13 @@ pub fn tasm_batch_with_workspace<Q: PostorderQueue + ?Sized>(
     for (bq, ted) in queries.iter().zip(ws.lanes.iter_mut()) {
         let k = bq.k.max(1);
         let ctx = QueryContext::new(bq.query, model);
+        let cascade = LowerBoundCascade::from_context(&ctx);
         let tau64 = threshold(bq.query.len() as u64, ctx.max_cost(), c_t, k as u64);
         let tau = u32::try_from(tau64).unwrap_or(u32::MAX);
         scan_tau = scan_tau.max(tau);
         lanes.push(BatchLane {
             ctx,
+            cascade,
             tau: tau64,
             heap: TopKHeap::new(k),
             ted,
@@ -187,8 +206,10 @@ pub fn tasm_batch_with_workspace<Q: PostorderQueue + ?Sized>(
     // Reserve lanes for the widest candidate the scan can emit; the same
     // byte cap as `TasmWorkspace::reserve` guards pathological τ.
     let n = scan_tau as usize;
+    let mut max_m = 0usize;
     for lane in &mut lanes {
         let m = lane.ctx.len();
+        max_m = max_m.max(m);
         if matrices_fit_cap(m, n) {
             lane.ted.reserve(m, n);
         }
@@ -196,16 +217,16 @@ pub fn tasm_batch_with_workspace<Q: PostorderQueue + ?Sized>(
     ws.engine.set_tau(scan_tau);
     if scratch_fits_cap(n) {
         ws.engine.reserve();
-        ws.sub.reserve(n);
+        ws.lb.reserve(max_m, n);
     }
 
     let mut sink = MultiQuerySink {
         lanes,
-        sub: &mut ws.sub,
+        lb: &mut ws.lb,
         opts,
         stats,
     };
-    ws.engine.scan(queue, &mut sink);
+    ws.last_scan = ws.engine.scan(queue, &mut sink);
     sink.lanes
         .into_iter()
         .map(|lane| lane.heap.into_sorted())

@@ -32,15 +32,21 @@ use tasm_tree::{LabelId, NodeId, PostorderQueue, Tree};
 /// candidate root's postorder number **in the stream** (so local node
 /// `j` corresponds to stream node `root.post() - cand.len() as u32 +
 /// j.post()`, as in [`Candidate::doc_post`](crate::Candidate::doc_post)).
+/// `stats` is the pass's [`ScanStats`]: evaluation-layer sinks record
+/// their per-tier pruning-funnel counters into it.
 ///
 /// The candidate borrow ends when `consume` returns: sinks that need a
 /// candidate beyond the call must copy it.
 pub trait CandidateSink {
     /// Evaluates (or otherwise processes) one candidate subtree.
-    fn consume(&mut self, cand: &Tree, root: NodeId);
+    fn consume(&mut self, cand: &Tree, root: NodeId, stats: &mut ScanStats);
 }
 
-/// Statistics of one [`ScanEngine::scan`] pass.
+/// Statistics of one [`ScanEngine::scan`] pass: the scan-layer counters
+/// plus the evaluation-layer **pruning funnel** — how many subtree
+/// evaluations each tier of the
+/// [`LowerBoundCascade`](tasm_ted::LowerBoundCascade) killed before the
+/// `O(m²·n²)` DP ran.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScanStats {
     /// Candidate subtrees emitted to the sink.
@@ -49,6 +55,50 @@ pub struct ScanStats {
     pub nodes_seen: u32,
     /// Peak number of simultaneously buffered nodes (`<= τ`, Theorem 2).
     pub peak_buffered: usize,
+    /// Subtree roots rejected by the τ' size bound during the
+    /// Algorithm 3 descent (the descent then steps one node down, so
+    /// smaller subtrees may still be evaluated).
+    pub pruned_size: u64,
+    /// Maximal in-bound subtrees skipped (with their whole subtree) by
+    /// the label-histogram tier.
+    pub pruned_histogram: u64,
+    /// Maximal in-bound subtrees skipped by the substring-SED tier.
+    pub pruned_sed: u64,
+    /// Subtrees that survived every tier and were evaluated by the exact
+    /// DP (one DP ranks the subtree *and* all its descendants).
+    pub evaluated: u64,
+}
+
+impl ScanStats {
+    /// Sums another pass's counters into this one (used by the batch
+    /// lanes sharing a scan and by `tasm_parallel` merging per-shard
+    /// stats; `peak_buffered` takes the maximum).
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.candidates += other.candidates;
+        self.nodes_seen += other.nodes_seen;
+        self.peak_buffered = self.peak_buffered.max(other.peak_buffered);
+        self.pruned_size += other.pruned_size;
+        self.pruned_histogram += other.pruned_histogram;
+        self.pruned_sed += other.pruned_sed;
+        self.evaluated += other.evaluated;
+    }
+
+    /// Evaluation decisions the cascade faced: pruned (any tier beyond
+    /// the size bound) plus actually evaluated.
+    pub fn eval_decisions(&self) -> u64 {
+        self.pruned_histogram + self.pruned_sed + self.evaluated
+    }
+
+    /// Fraction of in-bound subtree evaluations the cascade pruned
+    /// (0.0 when nothing was decided).
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.eval_decisions();
+        if total == 0 {
+            0.0
+        } else {
+            (self.pruned_histogram + self.pruned_sed) as f64 / total as f64
+        }
+    }
 }
 
 /// The streaming scan layer of TASM: owns the prefix ring buffer of one
@@ -67,7 +117,7 @@ pub struct ScanStats {
 ///
 /// struct CountNodes(u64);
 /// impl CandidateSink for CountNodes {
-///     fn consume(&mut self, cand: &Tree, _root: NodeId) {
+///     fn consume(&mut self, cand: &Tree, _root: NodeId, _stats: &mut tasm_core::ScanStats) {
 ///         self.0 += cand.len() as u64;
 ///     }
 /// }
@@ -130,16 +180,14 @@ impl ScanEngine {
         sink: &mut dyn CandidateSink,
     ) -> ScanStats {
         let mut prb = PrefixRingBuffer::new(queue, self.tau);
-        let mut candidates = 0usize;
+        let mut stats = ScanStats::default();
         while let Some(root) = prb.next_candidate_into(&mut self.cand) {
-            sink.consume(&self.cand, root);
-            candidates += 1;
+            sink.consume(&self.cand, root, &mut stats);
+            stats.candidates += 1;
         }
-        ScanStats {
-            candidates,
-            nodes_seen: prb.nodes_seen(),
-            peak_buffered: prb.peak_buffered(),
-        }
+        stats.nodes_seen = prb.nodes_seen();
+        stats.peak_buffered = prb.peak_buffered();
+        stats
     }
 }
 
@@ -153,7 +201,7 @@ mod tests {
     struct Collect(Vec<(u32, Tree)>);
 
     impl CandidateSink for Collect {
-        fn consume(&mut self, cand: &Tree, root: NodeId) {
+        fn consume(&mut self, cand: &Tree, root: NodeId, _stats: &mut ScanStats) {
             self.0.push((root.post(), cand.clone()));
         }
     }
@@ -211,5 +259,31 @@ mod tests {
     fn tau_is_clamped_to_one() {
         let engine = ScanEngine::new(0);
         assert_eq!(engine.tau(), 1);
+    }
+
+    #[test]
+    fn scan_stats_merge_and_prune_rate() {
+        let a = ScanStats {
+            candidates: 3,
+            nodes_seen: 10,
+            peak_buffered: 4,
+            pruned_size: 1,
+            pruned_histogram: 6,
+            pruned_sed: 2,
+            evaluated: 2,
+        };
+        let mut b = ScanStats {
+            candidates: 2,
+            nodes_seen: 5,
+            peak_buffered: 6,
+            ..Default::default()
+        };
+        b.merge(&a);
+        assert_eq!(b.candidates, 5);
+        assert_eq!(b.nodes_seen, 15);
+        assert_eq!(b.peak_buffered, 6); // max, not sum
+        assert_eq!(b.eval_decisions(), 10);
+        assert!((b.prune_rate() - 0.8).abs() < 1e-9);
+        assert_eq!(ScanStats::default().prune_rate(), 0.0);
     }
 }

@@ -20,6 +20,16 @@
 //! * [`tasm_parallel`] — the candidate stream sharded across worker
 //!   threads, merged with [`TopKHeap::merge`].
 //!
+//! Between the scan and every evaluation sits the admissible
+//! lower-bound **pruning cascade**
+//! ([`LowerBoundCascade`](tasm_ted::LowerBoundCascade)): once the top-k
+//! heap is full, each in-bound subtree is first tested against the
+//! current cutoff `max(R)` with a label-histogram deficit and a banded
+//! substring edit distance; refuted subtrees never reach the `O(m²·n²)`
+//! DP, and surviving ones are evaluated zero-copy as
+//! [`TreeView`](tasm_tree::TreeView) slices of the candidate arena.
+//! [`ScanStats`] reports the per-tier funnel.
+//!
 //! # Quick start
 //!
 //! ```
@@ -58,7 +68,7 @@ mod workspace;
 pub use batch::{tasm_batch, tasm_batch_with_workspace, BatchQuery, BatchWorkspace};
 pub use engine::{CandidateSink, ScanEngine, ScanStats};
 pub use naive::tasm_naive;
-pub use parallel::tasm_parallel;
+pub use parallel::{tasm_parallel, tasm_parallel_with_stats};
 pub use ranking::{Match, TopKHeap};
 pub use ring_buffer::{
     candidate_set_reference, prb_pruning, prb_pruning_stats, Candidate, PrefixRingBuffer,

@@ -20,13 +20,13 @@
 //!
 //! Only `std::thread::scope` is used — no external dependencies.
 
-use crate::engine::CandidateSink;
+use crate::engine::{CandidateSink, ScanStats};
 use crate::ranking::{Match, TopKHeap};
 use crate::tasm_dynamic::TasmOptions;
-use crate::tasm_postorder::{process_candidate_parts, tasm_postorder};
+use crate::tasm_postorder::{process_candidate_parts, tasm_postorder_with_workspace};
 use crate::threshold::threshold;
 use crate::workspace::TasmWorkspace;
-use tasm_ted::{CostModel, QueryContext, TedStats};
+use tasm_ted::{CostModel, LowerBoundCascade, QueryContext, TedStats};
 use tasm_tree::{NodeId, PostorderEntry, PostorderQueue, Tree, TreeQueue};
 
 /// A postorder queue replaying selected `(lml, root)` spans of an
@@ -139,9 +139,10 @@ pub(crate) fn shard_spans(spans: &[(u32, u32)], shards: usize) -> Vec<&[(u32, u3
 struct ShardSink<'a> {
     heap: &'a mut TopKHeap,
     ctx: &'a QueryContext<'a>,
+    cascade: &'a LowerBoundCascade<'a>,
     tau: u64,
     opts: TasmOptions,
-    sub: &'a mut Tree,
+    lb: &'a mut tasm_ted::CascadeScratch,
     ted: &'a mut tasm_ted::TedWorkspace,
     spans: &'a [(u32, u32)],
     next: usize,
@@ -149,7 +150,7 @@ struct ShardSink<'a> {
 }
 
 impl CandidateSink for ShardSink<'_> {
-    fn consume(&mut self, cand: &Tree, _local_root: NodeId) {
+    fn consume(&mut self, cand: &Tree, _local_root: NodeId, scan: &mut ScanStats) {
         let (lml, root) = self.spans[self.next];
         self.next += 1;
         debug_assert_eq!(
@@ -160,12 +161,14 @@ impl CandidateSink for ShardSink<'_> {
         process_candidate_parts(
             self.heap,
             self.ctx,
+            self.cascade,
             cand,
             lml - 1,
             self.tau,
             self.opts,
-            self.sub,
+            self.lb,
             self.ted,
+            scan,
             self.stats.as_deref_mut(),
         );
     }
@@ -209,6 +212,23 @@ pub fn tasm_parallel(
     opts: TasmOptions,
     threads: usize,
 ) -> Vec<Match> {
+    tasm_parallel_with_stats(query, doc, k, model, c_t, opts, threads, None).0
+}
+
+/// As [`tasm_parallel`], but also returning the merged per-shard
+/// [`ScanStats`] (scan counters summed, pruning funnel aggregated) and,
+/// if `stats` is given, merging every worker's [`TedStats`] into it.
+#[allow(clippy::too_many_arguments)]
+pub fn tasm_parallel_with_stats(
+    query: &Tree,
+    doc: &Tree,
+    k: usize,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+    mut stats: Option<&mut TedStats>,
+) -> (Vec<Match>, ScanStats) {
     let k = k.max(1);
     let threads = if threads == 0 {
         std::thread::available_parallelism()
@@ -228,34 +248,53 @@ pub fn tasm_parallel(
         // One shard (or no candidates at all): the sequential path is the
         // same work without the thread.
         let mut queue = TreeQueue::new(doc);
-        return tasm_postorder(query, &mut queue, k, model, c_t, opts, None);
+        let mut ws = TasmWorkspace::new();
+        let matches = tasm_postorder_with_workspace(
+            query,
+            &mut queue,
+            k,
+            model,
+            c_t,
+            opts,
+            &mut ws,
+            stats.as_deref_mut(),
+        );
+        return (matches, ws.last_scan_stats());
     }
 
-    let mut heaps: Vec<TopKHeap> = std::thread::scope(|scope| {
+    let want_ted_stats = stats.is_some();
+    let results: Vec<(TopKHeap, ScanStats, Option<TedStats>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
             .map(|shard| {
                 scope.spawn(move || {
                     let ctx = QueryContext::new(query, model);
+                    let cascade = LowerBoundCascade::from_context(&ctx);
                     let mut ws = TasmWorkspace::new();
                     ws.reserve(query.len(), tau); // also targets ws.engine at τ
                     let mut heap = TopKHeap::new(k);
-                    let TasmWorkspace { ted, engine, sub } = &mut ws;
-                    let mut sink = ShardSink {
-                        heap: &mut heap,
-                        ctx: &ctx,
-                        tau: tau64,
-                        opts,
-                        sub,
-                        ted,
-                        spans: shard,
-                        next: 0,
-                        stats: None,
+                    let mut ted_stats = want_ted_stats.then(TedStats::new);
+                    let scan = {
+                        let TasmWorkspace {
+                            ted, engine, lb, ..
+                        } = &mut ws;
+                        let mut sink = ShardSink {
+                            heap: &mut heap,
+                            ctx: &ctx,
+                            cascade: &cascade,
+                            tau: tau64,
+                            opts,
+                            lb,
+                            ted,
+                            spans: shard,
+                            next: 0,
+                            stats: ted_stats.as_mut(),
+                        };
+                        let mut queue = SpanQueue::new(doc, shard);
+                        engine.scan(&mut queue, &mut sink)
                     };
-                    let mut queue = SpanQueue::new(doc, shard);
-                    let stats = engine.scan(&mut queue, &mut sink);
-                    debug_assert_eq!(stats.candidates, shard.len());
-                    heap
+                    debug_assert_eq!(scan.candidates, shard.len());
+                    (heap, scan, ted_stats)
                 })
             })
             .collect();
@@ -265,16 +304,29 @@ pub fn tasm_parallel(
             .collect()
     });
 
-    let mut merged = heaps.pop().expect("at least two shards");
-    for heap in heaps {
-        merged.merge(heap);
+    let mut merged: Option<TopKHeap> = None;
+    let mut scan = ScanStats::default();
+    for (heap, shard_scan, ted_stats) in results {
+        scan.merge(&shard_scan);
+        if let (Some(out), Some(ts)) = (stats.as_deref_mut(), ted_stats.as_ref()) {
+            out.merge(ts);
+        }
+        merged = Some(match merged {
+            None => heap,
+            Some(mut acc) => {
+                acc.merge(heap);
+                acc
+            }
+        });
     }
-    merged.into_sorted()
+    let merged = merged.expect("at least two shards");
+    (merged.into_sorted(), scan)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tasm_postorder::tasm_postorder;
     use tasm_ted::UnitCost;
     use tasm_tree::{bracket, LabelDict};
 

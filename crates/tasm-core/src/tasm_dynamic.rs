@@ -8,12 +8,15 @@
 //! both the document and the matrix must be memory-resident, which is what
 //! TASM-postorder eliminates.
 
-use crate::engine::CandidateSink;
+use crate::engine::{CandidateSink, ScanStats};
 use crate::ranking::{Match, TopKHeap};
 use crate::tasm_postorder::SingleQuerySink;
 use crate::workspace::TasmWorkspace;
-use tasm_ted::{ted_full_with_workspace, Cost, CostModel, QueryContext, TedStats, TedWorkspace};
-use tasm_tree::{NodeId, Tree};
+use tasm_ted::{
+    ted_view_with_workspace, Cost, CostModel, LowerBoundCascade, QueryContext, TedStats,
+    TedWorkspace,
+};
+use tasm_tree::{NodeId, Tree, TreeView};
 
 /// Options shared by the TASM algorithms.
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +29,12 @@ pub struct TasmOptions {
     /// the static Theorem 3 bound — the `ablation-tau` experiment measures
     /// what the refinement buys.
     pub use_tau_prime: bool,
+    /// Run the admissible [`LowerBoundCascade`] (label-histogram deficit,
+    /// then banded substring SED) against the current heap cutoff before
+    /// each exact DP evaluation. Pruning is strict (`bound > max(R)`),
+    /// so the ranking is **identical** with the cascade on or off
+    /// (property-tested); disabling it measures what the cascade buys.
+    pub use_cascade: bool,
 }
 
 impl Default for TasmOptions {
@@ -33,6 +42,7 @@ impl Default for TasmOptions {
         TasmOptions {
             keep_trees: false,
             use_tau_prime: true,
+            use_cascade: true,
         }
     }
 }
@@ -91,24 +101,33 @@ pub fn tasm_dynamic_with_workspace(
     stats: Option<&mut TedStats>,
 ) -> Vec<Match> {
     let ctx = QueryContext::new(query, model);
+    let cascade = LowerBoundCascade::from_context(&ctx);
     let mut heap = TopKHeap::new(k.max(1));
-    let TasmWorkspace { ted, sub, .. } = ws;
-    let mut sink = SingleQuerySink {
-        heap: &mut heap,
-        ctx: &ctx,
-        tau: u64::MAX,
-        opts,
-        sub,
-        ted,
-        stats,
-    };
-    sink.consume(doc, doc.root());
+    let mut scan = ScanStats::default();
+    {
+        let TasmWorkspace { ted, lb, .. } = ws;
+        let mut sink = SingleQuerySink {
+            heap: &mut heap,
+            ctx: &ctx,
+            cascade: &cascade,
+            tau: u64::MAX,
+            opts,
+            lb,
+            ted,
+            stats,
+        };
+        sink.consume(doc, doc.root(), &mut scan);
+        scan.candidates = 1;
+    }
+    ws.last_scan = scan;
     heap.into_sorted()
 }
 
 /// Core of TASM-dynamic, reusable by TASM-postorder: computes the distance
 /// matrix for (`ctx.query()`, `doc`) inside the workspace and offers every
-/// subtree of `doc` to `heap`. Allocation-free once the workspace is warm
+/// subtree of `doc` to `heap`. The document side arrives as a borrowed
+/// [`TreeView`] — for TASM-postorder a zero-copy slice of the candidate
+/// arena — so the call is allocation-free once the workspace is warm
 /// (`keep_trees` aside, which clones at most `k` surviving subtrees).
 ///
 /// `doc_post_offset` shifts reported postorder numbers: when `doc` is a
@@ -117,13 +136,13 @@ pub fn tasm_dynamic_with_workspace(
 pub(crate) fn rank_subtrees_into(
     heap: &mut TopKHeap,
     ctx: &QueryContext<'_>,
-    doc: &Tree,
+    doc: TreeView<'_>,
     doc_post_offset: u32,
     opts: TasmOptions,
     ted_ws: &mut TedWorkspace,
     stats: Option<&mut TedStats>,
 ) {
-    let td = ted_full_with_workspace(ctx, doc, ted_ws, stats);
+    let td = ted_view_with_workspace(ctx, doc, ted_ws, stats);
     let row = td.query_row();
     for j in doc.nodes() {
         let distance: Cost = row[j.post() as usize];

@@ -11,14 +11,24 @@
 //!
 //! Space is `O(m² c_Q + m k c_T)` — independent of the document — and time
 //! is `O(m² n)` (Theorem 5).
+//!
+//! On top of Algorithm 3, each maximal in-bound subtree is offered to the
+//! admissible [`LowerBoundCascade`] against the current heap cutoff
+//! `max(R)` before its DP runs: a refuted subtree (every one of its
+//! subtrees provably beyond the cutoff) is skipped wholesale, and the
+//! surviving ones are evaluated **in place** as [`TreeView`] slices of
+//! the candidate arena — no scratch-tree copy.
 
-use crate::engine::CandidateSink;
+use crate::engine::{CandidateSink, ScanStats};
 use crate::ranking::{Match, TopKHeap};
 use crate::tasm_dynamic::{rank_subtrees_into, TasmOptions};
 use crate::threshold::{refined_threshold, threshold};
 use crate::workspace::TasmWorkspace;
-use tasm_ted::{CostModel, QueryContext, TedStats, TedWorkspace};
-use tasm_tree::{NodeId, PostorderQueue, Tree};
+use tasm_ted::{
+    CascadeDecision, CascadeScratch, CostModel, LowerBoundCascade, QueryContext, TedStats,
+    TedWorkspace,
+};
+use tasm_tree::{NodeId, PostorderQueue, Tree, TreeView};
 
 /// Computes the top-`k` ranking of the subtrees of a streamed document
 /// w.r.t. `query`, in a single pass over `queue`.
@@ -81,53 +91,63 @@ pub fn tasm_postorder_with_workspace<Q: PostorderQueue + ?Sized>(
     let k = k.max(1);
     let m = query.len() as u64;
     let ctx = QueryContext::new(query, model);
+    let cascade = LowerBoundCascade::from_context(&ctx);
     let tau64 = threshold(m, ctx.max_cost(), c_t, k as u64);
     let tau = u32::try_from(tau64).unwrap_or(u32::MAX);
     ws.reserve(query.len(), tau);
 
     let mut heap = TopKHeap::new(k);
-    let TasmWorkspace { ted, engine, sub } = ws;
-    let mut sink = SingleQuerySink {
-        heap: &mut heap,
-        ctx: &ctx,
-        tau: tau64,
-        opts,
-        sub,
-        ted,
-        stats,
+    let scan = {
+        let TasmWorkspace {
+            ted, engine, lb, ..
+        } = ws;
+        let mut sink = SingleQuerySink {
+            heap: &mut heap,
+            ctx: &ctx,
+            cascade: &cascade,
+            tau: tau64,
+            opts,
+            lb,
+            ted,
+            stats,
+        };
+        engine.scan(queue, &mut sink)
     };
-    engine.scan(queue, &mut sink);
+    ws.last_scan = scan;
     heap.into_sorted()
 }
 
 /// The evaluation layer of TASM-postorder as a [`CandidateSink`]: every
 /// candidate the scan engine emits is descended per Algorithm 3
-/// (lines 7–19) against one query's context, heap and τ bound.
+/// (lines 7–19) against one query's context, cascade, heap and τ bound.
 pub(crate) struct SingleQuerySink<'a> {
     pub(crate) heap: &'a mut TopKHeap,
     pub(crate) ctx: &'a QueryContext<'a>,
+    pub(crate) cascade: &'a LowerBoundCascade<'a>,
     /// The Theorem 3 bound τ for this query (Lemma 4 refines it per
     /// candidate once the heap is full).
     pub(crate) tau: u64,
     pub(crate) opts: TasmOptions,
-    pub(crate) sub: &'a mut Tree,
+    pub(crate) lb: &'a mut CascadeScratch,
     pub(crate) ted: &'a mut TedWorkspace,
     pub(crate) stats: Option<&'a mut TedStats>,
 }
 
 impl CandidateSink for SingleQuerySink<'_> {
-    fn consume(&mut self, cand: &Tree, root: NodeId) {
+    fn consume(&mut self, cand: &Tree, root: NodeId, scan: &mut ScanStats) {
         // Document postorder number of the node before the candidate span.
         let offset = root.post() - cand.len() as u32;
         process_candidate_parts(
             self.heap,
             self.ctx,
+            self.cascade,
             cand,
             offset,
             self.tau,
             self.opts,
-            self.sub,
+            self.lb,
             self.ted,
+            scan,
             self.stats.as_deref_mut(),
         );
     }
@@ -135,27 +155,44 @@ impl CandidateSink for SingleQuerySink<'_> {
 
 /// Algorithm 3, lines 7–19, against a caller-owned workspace: traverse
 /// the subtrees of candidate `cand` in reverse postorder; evaluate each
-/// maximal subtree below the current bound `τ'` with TASM-dynamic and
-/// skip over its nodes, descending one node at a time otherwise.
+/// maximal subtree below the current bound `τ'` with TASM-dynamic —
+/// unless the lower-bound `cascade` refutes it against the current heap
+/// cutoff — and skip over its nodes, descending one node at a time
+/// otherwise.
 ///
 /// `doc_post_offset` is the document postorder number of the node
 /// preceding the candidate's leftmost node; `tau` is the Theorem 3 bound
-/// used by the Lemma 4 refinement. Exposed so external drivers (e.g. the
-/// allocation regression test) can replicate the candidate loop of
+/// used by the Lemma 4 refinement; `scan` accumulates the per-tier
+/// pruning funnel. Exposed so external drivers (e.g. the allocation
+/// regression test) can replicate the candidate loop of
 /// [`tasm_postorder_with_workspace`] step by step.
 #[allow(clippy::too_many_arguments)]
 pub fn process_candidate(
     heap: &mut TopKHeap,
     ctx: &QueryContext<'_>,
+    cascade: &LowerBoundCascade<'_>,
     cand: &Tree,
     doc_post_offset: u32,
     tau: u64,
     opts: TasmOptions,
     ws: &mut TasmWorkspace,
+    scan: &mut ScanStats,
     stats: Option<&mut TedStats>,
 ) {
-    let TasmWorkspace { ted, sub, .. } = ws;
-    process_candidate_parts(heap, ctx, cand, doc_post_offset, tau, opts, sub, ted, stats);
+    let TasmWorkspace { ted, lb, .. } = ws;
+    process_candidate_parts(
+        heap,
+        ctx,
+        cascade,
+        cand,
+        doc_post_offset,
+        tau,
+        opts,
+        lb,
+        ted,
+        scan,
+        stats,
+    );
 }
 
 /// [`process_candidate`] with the workspace split into fields, so
@@ -166,12 +203,14 @@ pub fn process_candidate(
 pub(crate) fn process_candidate_parts(
     heap: &mut TopKHeap,
     ctx: &QueryContext<'_>,
+    cascade: &LowerBoundCascade<'_>,
     cand: &Tree,
     doc_post_offset: u32,
     tau: u64,
     opts: TasmOptions,
-    sub: &mut Tree,
+    lb: &mut CascadeScratch,
     ted: &mut TedWorkspace,
+    scan: &mut ScanStats,
     mut stats: Option<&mut TedStats>,
 ) {
     let m = ctx.len() as u64;
@@ -191,20 +230,37 @@ pub(crate) fn process_candidate_parts(
         // exact — the batch and parallel paths rely on it for result-set
         // equality with this sequential path.
         if !heap.is_full() || size <= tau_prime {
+            // Zero-copy: the subtree (whole candidate included) is a
+            // contiguous slice of the candidate arena.
+            let doc: TreeView<'_> = cand.subtree_view(node);
+            // The cascade's verdict covers *all* subtrees of `doc` (one
+            // DP would rank them all), so a refuted subtree is skipped
+            // wholesale. Strictness (`bound > max(R)`) keeps the heap
+            // content — and hence every later τ'/cutoff — identical to
+            // a cascade-off run.
+            if opts.use_cascade && heap.is_full() {
+                let cutoff = heap.max_distance().expect("full heap");
+                match cascade.decide(doc, cutoff, lb) {
+                    CascadeDecision::Evaluate => {}
+                    CascadeDecision::PrunedByHistogram => {
+                        scan.pruned_histogram += 1;
+                        r -= size as u32;
+                        continue;
+                    }
+                    CascadeDecision::PrunedBySed => {
+                        scan.pruned_sed += 1;
+                        r -= size as u32;
+                        continue;
+                    }
+                }
+            }
+            scan.evaluated += 1;
             let sub_offset = doc_post_offset + r - size as u32;
-            // Whole-candidate fast path: no copy needed; proper subtrees
-            // are renumbered into the scratch tree (no allocation once
-            // its capacity covers τ).
-            let doc: &Tree = if size as usize == cand.len() {
-                cand
-            } else {
-                sub.clone_subtree_from(cand, node);
-                sub
-            };
             rank_subtrees_into(heap, ctx, doc, sub_offset, opts, ted, stats.as_deref_mut());
             // All subtrees of `doc` were ranked as a side effect.
             r -= size as u32;
         } else {
+            scan.pruned_size += 1;
             r -= 1;
         }
     }

@@ -40,7 +40,7 @@ pub fn threshold(query_size: u64, c_q: u64, c_t: u64, k: u64) -> u64 {
 /// Computes τ for a concrete query under a cost model, given the maximum
 /// document node cost `c_t`.
 pub fn threshold_for_query(query: &Tree, model: &dyn CostModel, c_t: u64, k: u64) -> u64 {
-    let c_q = NodeCosts::compute(query, model).max();
+    let c_q = NodeCosts::compute(query.view(), model).max();
     threshold(query.len() as u64, c_q, c_t, k)
 }
 

@@ -11,9 +11,8 @@
 //! allocations** — verified by the counting-allocator regression test in
 //! `tasm-bench`.
 
-use crate::engine::ScanEngine;
-use tasm_ted::TedWorkspace;
-use tasm_tree::{LabelId, Tree};
+use crate::engine::{ScanEngine, ScanStats};
+use tasm_ted::{CascadeScratch, TedWorkspace};
 
 /// Reusable scratch state for [`tasm_postorder`](crate::tasm_postorder)
 /// and [`tasm_dynamic`](crate::tasm_dynamic).
@@ -22,7 +21,9 @@ use tasm_tree::{LabelId, Tree};
 /// `&mut` to the `_with_workspace` entry points. All buffers grow but
 /// never shrink. The scan layer — the [`ScanEngine`] with its candidate
 /// scratch tree — lives inside the workspace, so workspace reuse also
-/// amortizes the scan warm-up.
+/// amortizes the scan warm-up. Evaluated subtrees are zero-copy
+/// [`TreeView`](tasm_tree::TreeView) slices of the engine's candidate
+/// arena, so no per-subtree scratch tree exists anymore.
 #[derive(Debug)]
 pub struct TasmWorkspace {
     /// Distance-side scratch: DP matrices, doc keyroots, doc costs.
@@ -30,9 +31,10 @@ pub struct TasmWorkspace {
     /// The scan layer: ring-buffer pass plus the scratch tree candidates
     /// are renumbered into.
     pub(crate) engine: ScanEngine,
-    /// Scratch tree for proper subtrees of a candidate (Algorithm 3's
-    /// descent below τ').
-    pub(crate) sub: Tree,
+    /// Lower-bound cascade scratch (histogram counters, SED rows).
+    pub(crate) lb: CascadeScratch,
+    /// Scan + pruning-funnel statistics of the most recent run.
+    pub(crate) last_scan: ScanStats,
 }
 
 impl Default for TasmWorkspace {
@@ -47,7 +49,8 @@ impl TasmWorkspace {
         TasmWorkspace {
             ted: TedWorkspace::new(),
             engine: ScanEngine::new(1),
-            sub: Tree::leaf(LabelId(0)),
+            lb: CascadeScratch::new(),
+            last_scan: ScanStats::default(),
         }
     }
 
@@ -67,7 +70,7 @@ impl TasmWorkspace {
         if matrices_fit_cap(m, n) {
             self.ted.reserve(m, n);
             self.engine.reserve();
-            self.sub.reserve(n);
+            self.lb.reserve(m, n);
         }
     }
 
@@ -76,6 +79,13 @@ impl TasmWorkspace {
     /// calls sharing the same buffers).
     pub fn ted_mut(&mut self) -> &mut TedWorkspace {
         &mut self.ted
+    }
+
+    /// The scan and pruning-funnel statistics of the most recent
+    /// [`tasm_postorder_with_workspace`](crate::tasm_postorder_with_workspace)
+    /// (or `tasm_dynamic_with_workspace`) run through this workspace.
+    pub fn last_scan_stats(&self) -> ScanStats {
+        self.last_scan
     }
 }
 

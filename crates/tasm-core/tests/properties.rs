@@ -181,6 +181,52 @@ proptest! {
     }
 
     #[test]
+    fn cascade_on_off_rankings_are_identical_down_to_ids(
+        q in arb_query(),
+        t in arb_doc(),
+        k in 1usize..8,
+        threads in 1usize..5,
+    ) {
+        // The lower-bound cascade prunes only on strict `bound > max(R)`,
+        // so enabling it must not change a single ranked id — across every
+        // algorithm (naive/dynamic ignore it trivially; postorder, batch
+        // and parallel run it against their live cutoffs).
+        let on = TasmOptions { use_cascade: true, ..Default::default() };
+        let off = TasmOptions { use_cascade: false, ..Default::default() };
+        let key = |ms: &[Match]| ms
+            .iter()
+            .map(|m| (m.root.post(), m.distance.halves()))
+            .collect::<Vec<_>>();
+
+        let naive = key(&tasm_naive(&q, &t, k, &UnitCost, on, None));
+        prop_assert_eq!(&naive, &key(&tasm_naive(&q, &t, k, &UnitCost, off, None)));
+
+        let dyn_on = key(&tasm_dynamic(&q, &t, k, &UnitCost, on, None));
+        prop_assert_eq!(&dyn_on, &key(&tasm_dynamic(&q, &t, k, &UnitCost, off, None)));
+        prop_assert_eq!(&dyn_on, &naive);
+
+        let mut s = TreeQueue::new(&t);
+        let po_on = key(&tasm_postorder(&q, &mut s, k, &UnitCost, 1, on, None));
+        let mut s = TreeQueue::new(&t);
+        let po_off = key(&tasm_postorder(&q, &mut s, k, &UnitCost, 1, off, None));
+        prop_assert_eq!(&po_on, &po_off);
+        prop_assert_eq!(&po_on, &naive);
+
+        let bq = [BatchQuery { query: &q, k }];
+        let mut s = TreeQueue::new(&t);
+        let batch_on = key(&tasm_batch(&bq, &mut s, &UnitCost, 1, on, None)[0]);
+        let mut s = TreeQueue::new(&t);
+        let batch_off = key(&tasm_batch(&bq, &mut s, &UnitCost, 1, off, None)[0]);
+        prop_assert_eq!(&batch_on, &batch_off);
+        prop_assert_eq!(&batch_on, &naive);
+
+        let par_on = key(&tasm_parallel(&q, &t, k, &UnitCost, 1, on, threads));
+        let par_off = key(&tasm_parallel(&q, &t, k, &UnitCost, 1, off, threads));
+        prop_assert_eq!(&par_on, &par_off);
+        prop_assert_eq!(&par_on, &naive);
+    }
+
+    #[test]
     fn heap_merge_equals_single_heap(
         entries in proptest::collection::vec((0u64..6, 1u32..60), 0..24),
         k in 1usize..6,

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
-use tasm_tree::{LabelId, NodeId, Tree};
+use tasm_tree::{LabelId, NodeId, TreeView};
 
 /// An exact edit cost or distance, stored in half-units.
 ///
@@ -102,16 +102,18 @@ impl fmt::Display for Cost {
 
 /// Assigns a cost `cst(x) >= 1` to every tree node (Def. 4).
 ///
-/// Implementations see the whole tree, so costs may depend on structure
-/// (e.g. fanout) as well as the label. Return values are clamped to `>= 1`
-/// by the distance algorithms, as required for Lemma 3 to hold.
+/// Implementations see the whole tree — as a borrowed [`TreeView`], so
+/// the evaluation layer can cost candidate subtrees in place (zero-copy
+/// slices of the scan arena) — and costs may depend on structure (e.g.
+/// fanout) as well as the label. Return values are clamped to `>= 1` by
+/// the distance algorithms, as required for Lemma 3 to hold.
 pub trait CostModel {
     /// The cost of node `node` of `tree`, in natural units.
-    fn node_cost(&self, tree: &Tree, node: NodeId) -> u64;
+    fn node_cost(&self, tree: TreeView<'_>, node: NodeId) -> u64;
 
     /// The maximum node cost over the whole tree (`c_Q` / `c_T` in
     /// Theorem 3). The default scans all nodes.
-    fn max_cost(&self, tree: &Tree) -> u64 {
+    fn max_cost(&self, tree: TreeView<'_>) -> u64 {
         tree.nodes()
             .map(|id| self.node_cost(tree, id).max(1))
             .max()
@@ -126,11 +128,11 @@ pub struct UnitCost;
 
 impl CostModel for UnitCost {
     #[inline]
-    fn node_cost(&self, _tree: &Tree, _node: NodeId) -> u64 {
+    fn node_cost(&self, _tree: TreeView<'_>, _node: NodeId) -> u64 {
         1
     }
 
-    fn max_cost(&self, _tree: &Tree) -> u64 {
+    fn max_cost(&self, _tree: TreeView<'_>) -> u64 {
         1
     }
 }
@@ -153,7 +155,7 @@ impl Default for FanoutWeighted {
 }
 
 impl CostModel for FanoutWeighted {
-    fn node_cost(&self, tree: &Tree, node: NodeId) -> u64 {
+    fn node_cost(&self, tree: TreeView<'_>, node: NodeId) -> u64 {
         self.base.max(1) + self.weight * tree.fanout(node) as u64
     }
 }
@@ -189,7 +191,7 @@ impl PerLabelCost {
 }
 
 impl CostModel for PerLabelCost {
-    fn node_cost(&self, tree: &Tree, node: NodeId) -> u64 {
+    fn node_cost(&self, tree: TreeView<'_>, node: NodeId) -> u64 {
         self.costs
             .get(&tree.label(node))
             .copied()
@@ -216,7 +218,7 @@ impl Default for NodeCosts {
 
 impl NodeCosts {
     /// Evaluates `model` on every node of `tree`.
-    pub fn compute(tree: &Tree, model: &dyn CostModel) -> Self {
+    pub fn compute(tree: TreeView<'_>, model: &dyn CostModel) -> Self {
         let mut nc = NodeCosts::empty();
         nc.compute_into(tree, model);
         nc
@@ -234,7 +236,7 @@ impl NodeCosts {
     /// Re-evaluates `model` on every node of `tree` in place, reusing the
     /// buffer (allocation-free once capacity covers the largest tree
     /// seen).
-    pub fn compute_into(&mut self, tree: &Tree, model: &dyn CostModel) {
+    pub fn compute_into(&mut self, tree: TreeView<'_>, model: &dyn CostModel) {
         self.costs.clear();
         self.max = 1;
         for id in tree.nodes() {
@@ -323,7 +325,7 @@ mod tests {
     fn unit_cost_model() {
         let mut d = LabelDict::new();
         let t = bracket::parse("{a{b}{c}}", &mut d).unwrap();
-        let nc = NodeCosts::compute(&t, &UnitCost);
+        let nc = NodeCosts::compute(t.view(), &UnitCost);
         assert_eq!(nc.max(), 1);
         assert_eq!(nc.del_ins(1), Cost::from_natural(1));
         assert_eq!(nc.natural(3), 1);
@@ -333,7 +335,7 @@ mod tests {
     fn fanout_weighted_model() {
         let mut d = LabelDict::new();
         let t = bracket::parse("{a{b}{c}{d}}", &mut d).unwrap();
-        let nc = NodeCosts::compute(&t, &FanoutWeighted { base: 1, weight: 2 });
+        let nc = NodeCosts::compute(t.view(), &FanoutWeighted { base: 1, weight: 2 });
         assert_eq!(nc.natural(1), 1); // leaf
         assert_eq!(nc.natural(4), 1 + 2 * 3); // root, 3 children
         assert_eq!(nc.max(), 7);
@@ -345,7 +347,7 @@ mod tests {
         let t = bracket::parse("{a{b}{c}}", &mut d).unwrap();
         let b = d.get("b").unwrap();
         let model = PerLabelCost::new(2).with(b, 9);
-        let nc = NodeCosts::compute(&t, &model);
+        let nc = NodeCosts::compute(t.view(), &model);
         assert_eq!(nc.natural(1), 9); // b
         assert_eq!(nc.natural(2), 2); // c -> default
         assert_eq!(nc.max(), 9);
@@ -355,15 +357,15 @@ mod tests {
     fn costs_are_clamped_to_one() {
         struct Zero;
         impl CostModel for Zero {
-            fn node_cost(&self, _: &Tree, _: NodeId) -> u64 {
+            fn node_cost(&self, _: TreeView<'_>, _: NodeId) -> u64 {
                 0
             }
         }
         let mut d = LabelDict::new();
         let t = bracket::parse("{a}", &mut d).unwrap();
-        let nc = NodeCosts::compute(&t, &Zero);
+        let nc = NodeCosts::compute(t.view(), &Zero);
         assert_eq!(nc.natural(1), 1);
-        assert_eq!(Zero.max_cost(&t), 1);
+        assert_eq!(Zero.max_cost(t.view()), 1);
     }
 
     #[test]

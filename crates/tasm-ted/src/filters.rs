@@ -12,13 +12,43 @@
 //!   pq-gram pseudo-distance that approximates the fanout-weighted edit
 //!   distance; 0 for equal trees, cheap, and effective at ranking.
 //!
-//! All three operate on the postorder arena directly and share the bag
-//! (multiset) machinery at the bottom of this module.
+//! The first two are **admissible** (proven lower bounds of the unit
+//! edit distance). The pq-gram distance is **not**: it is a
+//! pseudo-distance with no lower-bound relation to the edit distance,
+//! so it may only serve heuristic candidate *ranking* and must stay out
+//! of the exact [`LowerBoundCascade`](crate::LowerBoundCascade) — a
+//! pq-gram tier would silently turn the exact top-k ranking into an
+//! approximate one.
+//!
+//! For the streaming hot path, the cascade in [`crate::cascade`] uses
+//! allocation-free variants of these ideas; the pair-wise entry points
+//! here are for join-style pipelines and tests.
 
 use std::collections::HashMap;
 
 use crate::cost::Cost;
 use tasm_tree::{LabelId, Tree};
+
+/// Reusable dense scratch for [`label_histogram_lower_bound_with`]: one
+/// signed counter per label id, plus the list of touched slots so a pass
+/// resets in `O(distinct labels)` instead of `O(label universe)`.
+///
+/// Grows to the largest label id seen and never shrinks; repeated calls
+/// are allocation-free in steady state.
+#[derive(Debug, Default)]
+pub struct HistogramScratch {
+    /// `counts[label]` = multiplicity in `t1` minus multiplicity in `t2`.
+    counts: Vec<i32>,
+    /// Label ids with a (possibly) non-zero counter this pass.
+    touched: Vec<u32>,
+}
+
+impl HistogramScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        HistogramScratch::default()
+    }
+}
 
 /// Lower bound on the **unit-cost** tree edit distance from label
 /// histograms.
@@ -26,17 +56,76 @@ use tasm_tree::{LabelId, Tree};
 /// Every delete/insert changes the label multiset by one element; every
 /// rename by two (one removed, one added). Hence
 /// `δ_unit(T1, T2) >= max(|n1 − n2|, L1(hist1, hist2) / 2)`.
+///
+/// This one-shot entry point counts by sort-and-merge —
+/// `O((n1 + n2) log)` time and `O(n1 + n2)` scratch, independent of the
+/// label-id universe. Repeated-evaluation loops should use
+/// [`label_histogram_lower_bound_with`] with a shared scratch instead.
 pub fn label_histogram_lower_bound(t1: &Tree, t2: &Tree) -> Cost {
-    let mut hist: HashMap<LabelId, i64> = HashMap::new();
+    let mut a: Vec<LabelId> = t1.labels().to_vec();
+    let mut b: Vec<LabelId> = t2.labels().to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    // The multiset intersection size: L1 = (n1 − common) + (n2 − common).
+    let (mut i, mut j, mut common) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    let l1 = (a.len() as u64 - common) + (b.len() as u64 - common);
+    let size_diff = (t1.len() as i64 - t2.len() as i64).unsigned_abs();
+    Cost::from_natural((l1 / 2).max(size_diff))
+}
+
+/// As [`label_histogram_lower_bound`], but counting in a reusable dense
+/// `u32`-indexed array instead of a per-call `HashMap` or sort — the
+/// form for repeated-evaluation loops (one scratch, many candidate
+/// pairs, zero steady-state allocation). The scratch grows to the
+/// largest label id seen, so it assumes a reasonably dense label
+/// dictionary (true for interned XML labels); the one-shot entry point
+/// above has no such dependence.
+pub fn label_histogram_lower_bound_with(
+    t1: &Tree,
+    t2: &Tree,
+    scratch: &mut HistogramScratch,
+) -> Cost {
+    let slot_count = t1
+        .labels()
+        .iter()
+        .chain(t2.labels())
+        .map(|l| l.0 as usize + 1)
+        .max()
+        .unwrap_or(0);
+    if scratch.counts.len() < slot_count {
+        scratch.counts.resize(slot_count, 0);
+    }
+    scratch.touched.clear();
     for &l in t1.labels() {
-        *hist.entry(l).or_insert(0) += 1;
+        if scratch.counts[l.0 as usize] == 0 {
+            scratch.touched.push(l.0);
+        }
+        scratch.counts[l.0 as usize] += 1;
     }
     for &l in t2.labels() {
-        *hist.entry(l).or_insert(0) -= 1;
+        if scratch.counts[l.0 as usize] == 0 {
+            scratch.touched.push(l.0);
+        }
+        scratch.counts[l.0 as usize] -= 1;
     }
-    let l1: i64 = hist.values().map(|v| v.abs()).sum();
+    let mut l1: u64 = 0;
+    for &l in &scratch.touched {
+        l1 += scratch.counts[l as usize].unsigned_abs() as u64;
+        scratch.counts[l as usize] = 0;
+    }
     let size_diff = (t1.len() as i64 - t2.len() as i64).unsigned_abs();
-    Cost::from_natural(((l1 as u64) / 2).max(size_diff))
+    Cost::from_natural((l1 / 2).max(size_diff))
 }
 
 /// A binary branch: a node label with the labels of its leftmost child
@@ -188,6 +277,39 @@ mod tests {
             let lb = label_histogram_lower_bound(&t1, &t2);
             let d = ted(&t1, &t2, &UnitCost);
             assert!(lb <= d, "{x} vs {y}: lb {lb} > ted {d}");
+        }
+    }
+
+    #[test]
+    fn dense_histogram_matches_hashmap_reference() {
+        let cases = [
+            ("{a{b}{c}}", "{x{a{b}{d}}{a{b}{c}}}"),
+            ("{a}", "{b}"),
+            ("{a{a}{a}}", "{b{b}{b}{b}}"),
+            ("{a{b{c{d}}}}", "{a{b}{c}{d}}"),
+        ];
+        let mut scratch = HistogramScratch::new();
+        for (x, y) in cases {
+            let (t1, t2) = parse2(x, y);
+            // Reference: the straightforward HashMap bag difference.
+            let mut bag: HashMap<LabelId, i64> = HashMap::new();
+            for &l in t1.labels() {
+                *bag.entry(l).or_insert(0) += 1;
+            }
+            for &l in t2.labels() {
+                *bag.entry(l).or_insert(0) -= 1;
+            }
+            let l1: u64 = bag.values().map(|v| v.unsigned_abs()).sum();
+            let size_diff = (t1.len() as i64 - t2.len() as i64).unsigned_abs();
+            let want = Cost::from_natural((l1 / 2).max(size_diff));
+            // Same scratch reused across pairs: counters must come back
+            // clean after every call.
+            assert_eq!(
+                label_histogram_lower_bound_with(&t1, &t2, &mut scratch),
+                want,
+                "{x} vs {y}"
+            );
+            assert_eq!(label_histogram_lower_bound(&t1, &t2), want);
         }
     }
 

@@ -30,6 +30,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cascade;
 mod cost;
 pub mod filters;
 mod mapping;
@@ -40,12 +41,13 @@ pub mod stats;
 mod workspace;
 mod zhang_shasha;
 
+pub use cascade::{CascadeDecision, CascadeScratch, LowerBoundCascade};
 pub use cost::{rename_cost, Cost, CostModel, FanoutWeighted, NodeCosts, PerLabelCost, UnitCost};
 pub use mapping::{edit_script, validate_mapping, EditOp, EditScript};
 pub use matrix::Matrix;
 pub use stats::TedStats;
 pub use workspace::{QueryContext, TedWorkspace};
 pub use zhang_shasha::{
-    ted, ted_full, ted_full_with_costs, ted_full_with_workspace, ted_with_workspace, TreeDistances,
-    TreeDistancesView,
+    ted, ted_full, ted_full_with_costs, ted_full_with_workspace, ted_view_with_workspace,
+    ted_with_workspace, TreeDistances, TreeDistancesView,
 };

@@ -211,8 +211,8 @@ pub fn edit_script(query: &Tree, doc: &Tree, model: &dyn CostModel) -> EditScrip
     let mut bt = Backtracer {
         q: query,
         t: doc,
-        cq: NodeCosts::compute(query, model),
-        ct: NodeCosts::compute(doc, model),
+        cq: NodeCosts::compute(query.view(), model),
+        ct: NodeCosts::compute(doc.view(), model),
         memo: HashMap::new(),
     };
     let f = (1, query.len() as u32);

@@ -95,8 +95,8 @@ pub fn ted_oracle(query: &Tree, doc: &Tree, model: &dyn CostModel) -> Cost {
     let mut o = Oracle {
         q: query,
         t: doc,
-        cq: NodeCosts::compute(query, model),
-        ct: NodeCosts::compute(doc, model),
+        cq: NodeCosts::compute(query.view(), model),
+        ct: NodeCosts::compute(doc.view(), model),
         memo: HashMap::new(),
     };
     o.dist((1, query.len() as u32), (1, doc.len() as u32))

@@ -22,7 +22,7 @@
 
 use crate::cost::{Cost, CostModel, NodeCosts};
 use crate::matrix::Matrix;
-use tasm_tree::{keyroots_into, NodeId, Tree};
+use tasm_tree::{keyroots_into, NodeId, Tree, TreeView};
 
 /// Query-side state of a TASM evaluation, computed once per query.
 ///
@@ -53,10 +53,10 @@ impl std::fmt::Debug for QueryContext<'_> {
 impl<'a> QueryContext<'a> {
     /// Precomputes keyroots, leftmost leaves and node costs for `query`.
     pub fn new(query: &'a Tree, model: &'a dyn CostModel) -> Self {
-        let costs = NodeCosts::compute(query, model);
+        let costs = NodeCosts::compute(query.view(), model);
         let mut seen = Vec::new();
         let mut keyroots = Vec::new();
-        keyroots_into(query, &mut seen, &mut keyroots);
+        keyroots_into(query.view(), &mut seen, &mut keyroots);
         let lml = query.nodes().map(|id| query.lml(id).post()).collect();
         QueryContext {
             query,
@@ -179,8 +179,10 @@ impl TedWorkspace {
 
     /// Prepares the document side of a run: recomputes document
     /// keyroots, costs and the hoisted per-node arrays into the
-    /// reusable buffers.
-    pub(crate) fn prepare(&mut self, doc: &Tree, model: &dyn CostModel) {
+    /// reusable buffers. The document arrives as a borrowed
+    /// [`TreeView`], so candidate subtrees are prepared in place
+    /// (zero-copy slices of the scan arena).
+    pub(crate) fn prepare(&mut self, doc: TreeView<'_>, model: &dyn CostModel) {
         self.doc_costs.compute_into(doc, model);
         keyroots_into(doc, &mut self.kr_seen, &mut self.doc_keyroots);
         self.doc_lml.clear();
@@ -218,7 +220,7 @@ mod tests {
         let t = bracket::parse("{a{b}{c}}", &mut d).unwrap();
         let mut ws = TedWorkspace::new();
         ws.reserve(8, 32);
-        ws.prepare(&t, &UnitCost);
+        ws.prepare(t.view(), &UnitCost);
         assert_eq!(ws.doc_keyroots.len(), keyroots(&t).len());
         assert_eq!(ws.doc_costs.len(), 3);
     }

@@ -25,7 +25,7 @@ use crate::cost::{rename_cost, Cost, CostModel, NodeCosts};
 use crate::matrix::Matrix;
 use crate::stats::TedStats;
 use crate::workspace::{QueryContext, TedWorkspace};
-use tasm_tree::{keyroots, NodeId, Tree};
+use tasm_tree::{keyroots, NodeId, Tree, TreeView};
 
 /// The tree distance matrix `td` plus everything needed to interpret it.
 ///
@@ -130,8 +130,8 @@ pub fn ted_full(
     model: &dyn CostModel,
     stats: Option<&mut TedStats>,
 ) -> TreeDistances {
-    let cq = NodeCosts::compute(query, model);
-    let ct = NodeCosts::compute(doc, model);
+    let cq = NodeCosts::compute(query.view(), model);
+    let ct = NodeCosts::compute(doc.view(), model);
     ted_full_with_costs(query, &cq, doc, &ct, stats)
 }
 
@@ -162,7 +162,7 @@ pub fn ted_full_with_costs(
         &kq,
         &q_lml,
         query_costs,
-        doc,
+        doc.view(),
         &kt,
         &t_lml,
         &t_del,
@@ -187,6 +187,20 @@ pub fn ted_full_with_costs(
 pub fn ted_full_with_workspace<'w>(
     ctx: &QueryContext<'_>,
     doc: &Tree,
+    ws: &'w mut TedWorkspace,
+    stats: Option<&mut TedStats>,
+) -> TreeDistancesView<'w> {
+    ted_view_with_workspace(ctx, doc.view(), ws, stats)
+}
+
+/// As [`ted_full_with_workspace`], but over a borrowed [`TreeView`] of
+/// the document — the zero-copy entry point of the scan-engine
+/// evaluation layer. A proper subtree of a ring-buffer candidate is a
+/// contiguous slice of the candidate arena, so the DP runs directly on
+/// that slice; no scratch-tree copy is made for any evaluated subtree.
+pub fn ted_view_with_workspace<'w>(
+    ctx: &QueryContext<'_>,
+    doc: TreeView<'_>,
     ws: &'w mut TedWorkspace,
     stats: Option<&mut TedStats>,
 ) -> TreeDistancesView<'w> {
@@ -242,7 +256,7 @@ fn fill_td(
     kq: &[NodeId],
     q_lml: &[u32],
     query_costs: &NodeCosts,
-    doc: &Tree,
+    doc: TreeView<'_>,
     kt: &[NodeId],
     t_lml: &[u32],
     t_del: &[Cost],

@@ -118,8 +118,8 @@ proptest! {
 
     #[test]
     fn postorder_sed_is_lower_bound(q in arb_tree(3), t in arb_tree(3)) {
-        let nq = NodeCosts::compute(&q, &UnitCost);
-        let nt = NodeCosts::compute(&t, &UnitCost);
+        let nq = NodeCosts::compute(q.view(), &UnitCost);
+        let nt = NodeCosts::compute(t.view(), &UnitCost);
         let cq: Vec<u64> = (1..=q.len() as u32).map(|i| nq.natural(i)).collect();
         let ct: Vec<u64> = (1..=t.len() as u32).map(|j| nt.natural(j)).collect();
         let sed = string_edit_distance(q.labels(), &cq, t.labels(), &ct);
@@ -150,10 +150,10 @@ proptest! {
     #[test]
     fn max_cost_matches_scan(t in arb_tree(4)) {
         let model = PerLabelCost::new(2).with(LabelId(1), 5);
-        let via_trait = model.max_cost(&t);
+        let via_trait = model.max_cost(t.view());
         let manual = t
             .nodes()
-            .map(|id| model.node_cost(&t, id).max(1))
+            .map(|id| model.node_cost(t.view(), id).max(1))
             .max()
             .unwrap();
         prop_assert_eq!(via_trait, manual);
@@ -295,6 +295,103 @@ mod mapping_properties {
                     EditOp::Rename { q, t } => prop_assert_ne!(a.label(q), b.label(t)),
                     _ => {}
                 }
+            }
+        }
+    }
+}
+
+/// Admissibility of the lower-bound pruning cascade: every tier must
+/// lower-bound the exact Zhang–Shasha distance to **every** subtree of
+/// the document — the property that makes cascade pruning exact.
+mod cascade_admissibility {
+    use super::*;
+    use tasm_ted::{CascadeDecision, CascadeScratch, LowerBoundCascade, QueryContext};
+
+    /// Queries stay small so `min_subtree` (one ZS run per subtree)
+    /// remains cheap.
+    fn arb_query(n_labels: u32) -> impl Strategy<Value = Tree> {
+        (any::<u64>(), 1usize..=8).prop_map(move |(seed, n)| random_tree(seed, n, n_labels))
+    }
+
+    /// Exact `min_{T' ⊆ t} δ(q, T')` by brute force.
+    fn min_subtree_ted(q: &Tree, t: &Tree, model: &dyn CostModel) -> Cost {
+        t.nodes()
+            .map(|id| ted(q, &t.subtree(id), model))
+            .min()
+            .expect("non-empty")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        #[test]
+        fn histogram_tier_lower_bounds_every_subtree(
+            q in arb_query(3),
+            t in arb_tree(3),
+        ) {
+            let ctx = QueryContext::new(&q, &UnitCost);
+            let cascade = LowerBoundCascade::from_context(&ctx);
+            let mut scratch = CascadeScratch::new();
+            let bound = cascade.histogram_bound(t.view(), &mut scratch);
+            let exact = min_subtree_ted(&q, &t, &UnitCost);
+            prop_assert!(bound <= exact, "histogram {} > min subtree ted {}", bound, exact);
+        }
+
+        #[test]
+        fn sed_tier_lower_bounds_every_subtree(
+            q in arb_query(3),
+            t in arb_tree(3),
+        ) {
+            let ctx = QueryContext::new(&q, &UnitCost);
+            let cascade = LowerBoundCascade::from_context(&ctx);
+            let mut scratch = CascadeScratch::new();
+            let bound = cascade.sed_lower_bound(t.view(), &mut scratch);
+            let exact = min_subtree_ted(&q, &t, &UnitCost);
+            prop_assert!(bound <= exact, "sed {} > min subtree ted {}", bound, exact);
+        }
+
+        #[test]
+        fn tiers_stay_admissible_under_weighted_costs(
+            q in arb_query(4),
+            t in arb_tree(4),
+        ) {
+            // Label i costs i + 1: fractional renames, document costs the
+            // SED tier must under- (never over-) approximate.
+            let model = PerLabelCost::new(1)
+                .with(LabelId(0), 1)
+                .with(LabelId(1), 2)
+                .with(LabelId(2), 3)
+                .with(LabelId(3), 4);
+            let ctx = QueryContext::new(&q, &model);
+            let cascade = LowerBoundCascade::from_context(&ctx);
+            let mut scratch = CascadeScratch::new();
+            let exact = min_subtree_ted(&q, &t, &model);
+            let hist = cascade.histogram_bound(t.view(), &mut scratch);
+            let sed = cascade.sed_lower_bound(t.view(), &mut scratch);
+            prop_assert!(hist <= exact, "histogram {} > {}", hist, exact);
+            prop_assert!(sed <= exact, "sed {} > {}", sed, exact);
+        }
+
+        #[test]
+        fn decide_is_sound_at_every_cutoff(
+            q in arb_query(3),
+            t in arb_tree(3),
+            cutoff_halves in 0u64..24,
+        ) {
+            // A prune verdict at cutoff c certifies min subtree distance
+            // > c — the exactness contract of the cascade.
+            let ctx = QueryContext::new(&q, &UnitCost);
+            let cascade = LowerBoundCascade::from_context(&ctx);
+            let mut scratch = CascadeScratch::new();
+            let cutoff = Cost::from_halves(cutoff_halves);
+            let decision = cascade.decide(t.view(), cutoff, &mut scratch);
+            if decision != CascadeDecision::Evaluate {
+                let exact = min_subtree_ted(&q, &t, &UnitCost);
+                prop_assert!(
+                    exact > cutoff,
+                    "{:?} at cutoff {} but min subtree ted is {}",
+                    decision, cutoff, exact
+                );
             }
         }
     }

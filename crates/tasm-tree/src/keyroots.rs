@@ -14,7 +14,7 @@
 //! cost — this is what Figs. 11 and 12 of the paper count.
 
 use crate::node::NodeId;
-use crate::tree::Tree;
+use crate::tree::{Tree, TreeView};
 
 /// Returns the keyroots of `tree` in ascending postorder.
 ///
@@ -41,16 +41,18 @@ use crate::tree::Tree;
 pub fn keyroots(tree: &Tree) -> Vec<NodeId> {
     let mut seen = Vec::new();
     let mut roots = Vec::new();
-    keyroots_into(tree, &mut seen, &mut roots);
+    keyroots_into(tree.view(), &mut seen, &mut roots);
     roots
 }
 
-/// As [`keyroots`], but writing into caller-owned buffers so repeated
-/// decompositions (one per streamed candidate subtree) are
-/// allocation-free once the buffers' capacity covers the largest tree
-/// seen. `seen` is scratch space (a bitmap over `lml` values); `out`
-/// receives the keyroots in ascending postorder.
-pub fn keyroots_into(tree: &Tree, seen: &mut Vec<bool>, out: &mut Vec<NodeId>) {
+/// As [`keyroots`], but over a borrowed [`TreeView`] (so candidate
+/// subtrees can be decomposed in place, without a scratch-tree copy) and
+/// writing into caller-owned buffers so repeated decompositions (one per
+/// streamed candidate subtree) are allocation-free once the buffers'
+/// capacity covers the largest tree seen. `seen` is scratch space (a
+/// bitmap over `lml` values); `out` receives the keyroots in ascending
+/// postorder.
+pub fn keyroots_into(tree: TreeView<'_>, seen: &mut Vec<bool>, out: &mut Vec<NodeId>) {
     let n = tree.len();
     // A node k is a keyroot iff there is no node with the same lml later in
     // postorder. Scanning backwards and remembering seen lmls gives the

@@ -54,4 +54,4 @@ pub use postorder_queue::{
     collect_tree, IterQueue, PostorderEntry, PostorderQueue, TreeQueue, VecQueue,
 };
 pub use traversal::{ancestors, lca, preorder, Ancestors, Preorder};
-pub use tree::{ChildrenRl, Tree};
+pub use tree::{ChildrenRl, Tree, TreeView};

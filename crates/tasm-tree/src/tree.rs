@@ -327,6 +327,175 @@ impl Tree {
     pub fn max_node_cost(&self, mut cost: impl FnMut(LabelId) -> u64) -> u64 {
         self.labels.iter().map(|&l| cost(l)).max().unwrap_or(1)
     }
+
+    /// A borrowed [`TreeView`] of the whole tree.
+    #[inline]
+    pub fn view(&self) -> TreeView<'_> {
+        TreeView {
+            labels: &self.labels,
+            sizes: &self.sizes,
+        }
+    }
+
+    /// A borrowed [`TreeView`] of the subtree rooted at `node`, without
+    /// copying: the subtree occupies the contiguous postorder interval
+    /// `[lml(node), node]` of the arena, so the view is two subslices.
+    /// Postorder numbers inside the view are `1..=size(node)` (the same
+    /// renumbering as [`Tree::subtree`]).
+    #[inline]
+    pub fn subtree_view(&self, node: NodeId) -> TreeView<'_> {
+        let lo = self.lml(node).index();
+        let hi = node.index() + 1;
+        TreeView {
+            labels: &self.labels[lo..hi],
+            sizes: &self.sizes[lo..hi],
+        }
+    }
+}
+
+/// A borrowed, zero-copy view of a tree (or of any subtree): two parallel
+/// postorder slices of labels and subtree sizes.
+///
+/// Because a subtree spans a contiguous postorder interval of its host
+/// arena and subtree sizes are invariant under the renumbering shift, a
+/// `TreeView` of a subtree is just a pair of subslices — no copy, no
+/// allocation. This is what lets the TASM evaluation layer run the
+/// Zhang–Shasha DP directly over a slice of the scan engine's candidate
+/// arena instead of cloning each proper subtree into a scratch tree.
+///
+/// The read API mirrors [`Tree`]; node ids are 1-based postorder numbers
+/// **local to the view** (`1..=len`).
+///
+/// # Examples
+///
+/// ```
+/// use tasm_tree::{bracket, LabelDict, NodeId};
+///
+/// let mut dict = LabelDict::new();
+/// let h = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict).unwrap();
+/// let h6 = h.subtree_view(NodeId::new(6)); // the second a(b, c) subtree
+/// assert_eq!(h6.len(), 3);
+/// assert_eq!(h6.label(h6.root()), h.label(NodeId::new(6)));
+/// assert_eq!(h6.to_tree(), h.subtree(NodeId::new(6)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeView<'a> {
+    labels: &'a [LabelId],
+    sizes: &'a [u32],
+}
+
+impl<'a> TreeView<'a> {
+    /// A view over raw postorder slices **without validation**; the caller
+    /// must guarantee they encode a single well-formed tree (the
+    /// invariants of [`Tree::from_postorder_unchecked`]).
+    pub fn from_slices_unchecked(labels: &'a [LabelId], sizes: &'a [u32]) -> Self {
+        debug_assert_eq!(labels.len(), sizes.len());
+        debug_assert!(!labels.is_empty());
+        debug_assert_eq!(sizes[labels.len() - 1] as usize, labels.len());
+        TreeView { labels, sizes }
+    }
+
+    /// Number of nodes in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Trees are non-empty by definition; always `false`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root node (largest local postorder number).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId::from_index(self.labels.len() - 1)
+    }
+
+    /// The label of `node` (local postorder).
+    #[inline]
+    pub fn label(&self, node: NodeId) -> LabelId {
+        self.labels[node.index()]
+    }
+
+    /// The size of the subtree rooted at `node`.
+    #[inline]
+    pub fn size(&self, node: NodeId) -> u32 {
+        self.sizes[node.index()]
+    }
+
+    /// The leftmost leaf `lml(node)` in local postorder numbering.
+    #[inline]
+    pub fn lml(&self, node: NodeId) -> NodeId {
+        NodeId::new(node.post() - self.size(node) + 1)
+    }
+
+    /// Whether `node` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.size(node) == 1
+    }
+
+    /// Iterates over all node ids in local postorder (ascending).
+    pub fn nodes(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator {
+        (0..self.labels.len()).map(NodeId::from_index)
+    }
+
+    /// The fanout (number of children) of `node`, recovered from the size
+    /// slice by skipping child subtrees right to left. O(fanout).
+    pub fn fanout(&self, node: NodeId) -> usize {
+        let lml = self.lml(node).post();
+        let mut next = node.post() - 1;
+        let mut count = 0;
+        while next >= lml && next > 0 {
+            count += 1;
+            next -= self.sizes[(next - 1) as usize]; // skip the child's subtree
+        }
+        count
+    }
+
+    /// Direct access to the postorder label slice (index = postorder − 1).
+    #[inline]
+    pub fn labels(&self) -> &'a [LabelId] {
+        self.labels
+    }
+
+    /// Direct access to the postorder size slice (index = postorder − 1).
+    #[inline]
+    pub fn sizes(&self) -> &'a [u32] {
+        self.sizes
+    }
+
+    /// A narrower view of the subtree rooted at `node` (local postorder).
+    #[inline]
+    pub fn subtree_view(&self, node: NodeId) -> TreeView<'a> {
+        let lo = self.lml(node).index();
+        let hi = node.index() + 1;
+        TreeView {
+            labels: &self.labels[lo..hi],
+            sizes: &self.sizes[lo..hi],
+        }
+    }
+
+    /// Copies the subtree rooted at `node` out as an owned [`Tree`]
+    /// (allocates; used only for surviving top-k matches).
+    pub fn subtree(&self, node: NodeId) -> Tree {
+        let lo = self.lml(node).index();
+        let hi = node.index() + 1;
+        Tree {
+            labels: self.labels[lo..hi].to_vec(),
+            sizes: self.sizes[lo..hi].to_vec(),
+        }
+    }
+
+    /// Copies the whole view out as an owned [`Tree`] (allocates).
+    pub fn to_tree(&self) -> Tree {
+        Tree {
+            labels: self.labels.to_vec(),
+            sizes: self.sizes.to_vec(),
+        }
+    }
 }
 
 /// Iterator over children right-to-left; see [`Tree::children_rl`].

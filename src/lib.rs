@@ -54,7 +54,7 @@ pub use tasm_ted as ted;
 pub use tasm_tree as tree;
 pub use tasm_xml as xml;
 
-pub use tasm_core::{Match, TasmOptions};
+pub use tasm_core::{Match, ScanStats, TasmOptions};
 pub use tasm_ted::{Cost, CostModel, FanoutWeighted, PerLabelCost, UnitCost};
 pub use tasm_tree::{LabelDict, NodeId, Tree};
 
@@ -68,11 +68,11 @@ pub mod prelude {
         prb_pruning, tasm_batch, tasm_batch_with_workspace, tasm_dynamic,
         tasm_dynamic_with_workspace, tasm_naive, tasm_parallel, tasm_postorder,
         tasm_postorder_with_workspace, threshold, BatchQuery, BatchWorkspace, CandidateSink, Match,
-        PrefixRingBuffer, ScanEngine, TasmOptions, TasmWorkspace, TopKHeap,
+        PrefixRingBuffer, ScanEngine, ScanStats, TasmOptions, TasmWorkspace, TopKHeap,
     };
     pub use crate::ted::{
-        ted, ted_full, ted_with_workspace, Cost, CostModel, FanoutWeighted, QueryContext,
-        TedWorkspace, UnitCost,
+        ted, ted_full, ted_with_workspace, CascadeScratch, Cost, CostModel, FanoutWeighted,
+        LowerBoundCascade, QueryContext, TedWorkspace, UnitCost,
     };
     pub use crate::tree::{
         bracket, LabelDict, LabelId, NodeId, PostorderEntry, PostorderQueue, Tree, TreeBuilder,
@@ -130,6 +130,9 @@ pub struct TasmQuery {
     /// Evaluation workspace reused across runs: repeated streaming
     /// evaluations are allocation-free in steady state.
     workspace: core::TasmWorkspace,
+    /// Merged per-shard stats of the most recent parallel run (`None`
+    /// when the last run went through the workspace).
+    parallel_scan: Option<ScanStats>,
 }
 
 impl TasmQuery {
@@ -147,6 +150,7 @@ impl TasmQuery {
             },
             threads: 1,
             workspace: core::TasmWorkspace::new(),
+            parallel_scan: None,
         })
     }
 
@@ -164,6 +168,7 @@ impl TasmQuery {
             },
             threads: 1,
             workspace: core::TasmWorkspace::new(),
+            parallel_scan: None,
         })
     }
 
@@ -225,6 +230,7 @@ impl TasmQuery {
             let doc = xml::parse_tree(reader, &mut self.dict)?;
             return Ok(self.run_tree(&doc));
         }
+        self.parallel_scan = None;
         let mut queue = xml::XmlPostorderQueue::new(reader, &mut self.dict);
         let matches = core::tasm_postorder_with_workspace(
             &self.query,
@@ -246,9 +252,9 @@ impl TasmQuery {
     /// dictionary (e.g. built with [`TasmQuery::parse_document`]),
     /// sharding the scan across [`TasmQuery::threads`] workers when more
     /// than one is configured.
-    pub fn run_tree(&self, doc: &Tree) -> Vec<Match> {
+    pub fn run_tree(&mut self, doc: &Tree) -> Vec<Match> {
         if self.threads != 1 {
-            return core::tasm_parallel(
+            let (matches, scan) = core::tasm_parallel_with_stats(
                 &self.query,
                 doc,
                 self.k,
@@ -256,16 +262,21 @@ impl TasmQuery {
                 1,
                 self.options,
                 self.threads,
+                None,
             );
+            self.parallel_scan = Some(scan);
+            return matches;
         }
+        self.parallel_scan = None;
         let mut queue = tree::TreeQueue::new(doc);
-        core::tasm_postorder(
+        core::tasm_postorder_with_workspace(
             &self.query,
             &mut queue,
             self.k,
             &UnitCost,
             1,
             self.options,
+            &mut self.workspace,
             None,
         )
     }
@@ -274,6 +285,16 @@ impl TasmQuery {
     /// [`TasmQuery::run_tree`] / repeated runs.
     pub fn parse_document(&mut self, xml_text: &str) -> Result<Tree, TasmError> {
         Ok(xml::parse_tree_str(xml_text, &mut self.dict)?)
+    }
+
+    /// Scan and pruning-funnel statistics ([`ScanStats`]) of the most
+    /// recent run, whichever path it took — streaming (`run_xml_str` /
+    /// `run_xml_file` / `run_reader`), in-memory ([`TasmQuery::run_tree`])
+    /// or sharded parallel (merged over all shards): candidates emitted,
+    /// per-tier cascade prunes, exact evaluations.
+    pub fn last_scan_stats(&self) -> ScanStats {
+        self.parallel_scan
+            .unwrap_or_else(|| self.workspace.last_scan_stats())
     }
 
     /// Renders a match's subtree back to XML (requires `keep_trees`).
@@ -412,6 +433,12 @@ impl TasmBatch {
     pub fn match_to_xml(&self, m: &Match) -> Option<String> {
         m.tree.as_ref().map(|t| xml::tree_to_xml(t, &self.dict))
     }
+
+    /// Scan and pruning-funnel statistics ([`ScanStats`]) of the most
+    /// recent shared-scan run, aggregated over all query lanes.
+    pub fn last_scan_stats(&self) -> ScanStats {
+        self.workspace.last_scan_stats()
+    }
 }
 
 #[cfg(test)]
@@ -536,6 +563,43 @@ mod tests {
     #[test]
     fn batch_rejects_malformed_query() {
         assert!(TasmBatch::from_xml(&["<a/>", "<broken"]).is_err());
+    }
+
+    #[test]
+    fn scan_stats_report_the_pruning_funnel() {
+        let doc: String = std::iter::once("<dblp>".to_string())
+            .chain((0..60).map(|i| format!("<article><a>n{i}</a><t>t{}</t></article>", i % 5)))
+            .chain(std::iter::once("</dblp>".to_string()))
+            .collect();
+        let mut q = TasmQuery::from_xml("<article><a>n3</a><t>t3</t></article>")
+            .unwrap()
+            .k(2);
+        let matches = q.run_xml_str(&doc).unwrap();
+        assert_eq!(matches.len(), 2);
+        let scan = q.last_scan_stats();
+        assert_eq!(scan.candidates, 60);
+        assert!(scan.evaluated > 0);
+        // Exact matches exist, so the cutoff drops to 0 and the cascade
+        // must kill most non-matching records before their DP.
+        assert!(scan.pruned_histogram + scan.pruned_sed > 0);
+
+        let mut batch = TasmBatch::from_xml(&["<article><a>n3</a><t>t3</t></article>"]).unwrap();
+        batch.run_xml_str(&doc).unwrap();
+        assert_eq!(batch.last_scan_stats().candidates, 60);
+
+        // The sharded parallel path must report its merged stats too —
+        // not the stale stats of an earlier sequential run.
+        let mut par = TasmQuery::from_xml("<article><a>n3</a><t>t3</t></article>")
+            .unwrap()
+            .k(2)
+            .threads(2);
+        par.run_xml_str(&doc).unwrap();
+        assert_eq!(par.last_scan_stats().candidates, 60);
+        assert!(par.last_scan_stats().evaluated > 0);
+        // And switching back to one thread refreshes them again.
+        let mut seq = par.threads(1);
+        seq.run_xml_str(&doc).unwrap();
+        assert_eq!(seq.last_scan_stats().candidates, 60);
     }
 
     #[test]
