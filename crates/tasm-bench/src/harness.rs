@@ -13,9 +13,10 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use tasm_core::{
-    prb_pruning_stats, simple_pruning, tasm_batch_with_workspace, tasm_dynamic, tasm_parallel,
-    tasm_postorder, tasm_postorder_with_workspace, threshold, BatchQuery, BatchWorkspace,
-    TasmOptions, TasmWorkspace,
+    prb_pruning_stats, simple_pruning, tasm_batch_parallel, tasm_batch_parallel_stream,
+    tasm_batch_with_workspace, tasm_dynamic, tasm_parallel, tasm_parallel_stream, tasm_postorder,
+    tasm_postorder_with_workspace, threshold, BatchQuery, BatchWorkspace, TasmOptions,
+    TasmWorkspace,
 };
 use tasm_data::{
     dblp_tree, psd_tree, random_query, xmark_tree, DblpConfig, PsdConfig, XMarkConfig,
@@ -808,6 +809,116 @@ pub fn scaling_summary(
                 ..Default::default()
             },
         );
+        // Streaming shard hand-off: the same sharded scan fed from a
+        // postorder stream, document never materialized (parity with
+        // `parallel tN` expected; flat on 1-core containers).
+        let mut run = || {
+            let mut q = TreeQueue::new(&doc);
+            let m = tasm_parallel_stream(
+                &query,
+                &mut q,
+                k,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                threads,
+            );
+            std::hint::black_box(m.len());
+        };
+        let seconds = time3(&mut run);
+        let peak = measure(&mut run);
+        push(
+            &mut records,
+            BenchRecord {
+                name: format!("stream t{threads} dblp q{qsize} k{k}"),
+                nodes: doc.len(),
+                query_size: qsize as usize,
+                k,
+                tau,
+                candidates,
+                seconds,
+                peak_heap_bytes: peak,
+                ..Default::default()
+            },
+        );
+    }
+
+    // --- Batch×parallel composition: 4 query lanes × T threads, both
+    // over the materialized spans and over the postorder stream.
+    let lane_queries: Vec<Tree> = (0..4)
+        .map(|i| random_query(&doc, qsize, 0x5CA1E + i as u64).0)
+        .collect();
+    let lane_tau = lane_queries
+        .iter()
+        .map(|q| threshold(q.len() as u64, 1, 1, k as u64))
+        .max()
+        .expect("non-empty batch");
+    let mut q = TreeQueue::new(&doc);
+    let lane_candidates =
+        prb_pruning_stats(&mut q, u32::try_from(lane_tau).unwrap_or(u32::MAX), None).candidates;
+    let lane_evaluations = lane_candidates * lane_queries.len();
+    for &threads in &[1usize, 2, 4] {
+        let batch: Vec<BatchQuery<'_>> = lane_queries
+            .iter()
+            .map(|query| BatchQuery { query, k })
+            .collect();
+        let mut run = || {
+            let r = tasm_batch_parallel(
+                &batch,
+                &doc,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                threads,
+                None,
+            );
+            std::hint::black_box(r.len());
+        };
+        let seconds = time3(&mut run);
+        let peak = measure(&mut run);
+        push(
+            &mut records,
+            BenchRecord {
+                name: format!("batchpar x4 t{threads} dblp q{qsize} k{k}"),
+                nodes: doc.len(),
+                query_size: qsize as usize,
+                k,
+                tau: lane_tau,
+                candidates: lane_evaluations,
+                seconds,
+                peak_heap_bytes: peak,
+                ..Default::default()
+            },
+        );
+        let mut run = || {
+            let mut q = TreeQueue::new(&doc);
+            let r = tasm_batch_parallel_stream(
+                &batch,
+                &mut q,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                threads,
+                None,
+            );
+            std::hint::black_box(r.len());
+        };
+        let seconds = time3(&mut run);
+        let peak = measure(&mut run);
+        push(
+            &mut records,
+            BenchRecord {
+                name: format!("batchpar-stream x4 t{threads} dblp q{qsize} k{k}"),
+                nodes: doc.len(),
+                query_size: qsize as usize,
+                k,
+                tau: lane_tau,
+                candidates: lane_evaluations,
+                seconds,
+                peak_heap_bytes: peak,
+                ..Default::default()
+            },
+        );
     }
 
     if let Some(path) = json_out {
@@ -1015,8 +1126,10 @@ mod tests {
             None,
             "test",
         );
-        // 3 batch widths × (seq + batch) + 3 thread counts.
-        assert_eq!(records.len(), 9);
+        // 3 batch widths × (seq + batch) + 3 thread counts × (span-
+        // sharded + streaming) + 3 thread counts × (batch×parallel
+        // materialized + streaming).
+        assert_eq!(records.len(), 18);
         for width in [1usize, 4, 16] {
             let seq = records
                 .iter()
@@ -1031,6 +1144,24 @@ mod tests {
             assert!(seq.candidates > 0);
         }
         assert!(records.iter().any(|r| r.name.starts_with("parallel t2 ")));
+        assert!(records.iter().any(|r| r.name.starts_with("stream t2 ")));
+        for threads in [1usize, 2, 4] {
+            // Streaming and materialized variants time the same work, so
+            // their records must be directly comparable.
+            let get = |prefix: String| {
+                records
+                    .iter()
+                    .find(|r| r.name.starts_with(&prefix))
+                    .unwrap_or_else(|| panic!("missing record {prefix}"))
+            };
+            let span = get(format!("parallel t{threads} "));
+            let stream = get(format!("stream t{threads} "));
+            assert_eq!(span.candidates, stream.candidates);
+            let bp = get(format!("batchpar x4 t{threads} "));
+            let bps = get(format!("batchpar-stream x4 t{threads} "));
+            assert_eq!(bp.candidates, bps.candidates);
+            assert!(bp.candidates > 0);
+        }
         std::fs::remove_dir_all(&ctx.out_dir).ok();
     }
 

@@ -19,9 +19,9 @@ use std::time::Instant;
 
 use args::Args;
 use tasm_core::{
-    prb_pruning_stats, simple_pruning, tasm_batch_with_workspace, tasm_dynamic, tasm_naive,
-    tasm_parallel_with_stats, tasm_postorder_with_workspace, threshold_for_query, BatchQuery,
-    BatchWorkspace, ScanStats, TasmOptions, TasmWorkspace,
+    prb_pruning_stats, simple_pruning, tasm_batch_parallel_stream_with_stats, tasm_dynamic,
+    tasm_naive, tasm_parallel_stream_with_stats, tasm_postorder_with_workspace,
+    threshold_for_query, BatchQuery, ScanStats, TasmOptions, TasmWorkspace,
 };
 use tasm_data::{
     dblp_tree, psd_tree, random_tree, xmark_tree, DblpConfig, PsdConfig, RandomTreeConfig,
@@ -46,12 +46,16 @@ COMMANDS:
                   --doc <file.xml>       document XML
                   --k <n>                ranking size          [default: 5]
                   --algorithm <name>     postorder|dynamic|naive [postorder]
-                  --threads <n>          shard the scan across n worker
-                                         threads (0 = all cores; postorder,
-                                         single query)         [default: 1]
+                  --threads <n>          shard candidate evaluation across
+                                         n worker threads (0 = all cores;
+                                         postorder only). The document
+                                         still STREAMS — no materialized
+                                         tree — and composes with repeated
+                                         --query (batch×parallel) [default: 1]
                   --show-xml             print matched subtrees as XML
                   --stats                print work statistics and the
-                                         per-tier pruning funnel
+                                         per-tier pruning funnel (per query
+                                         lane in batch mode)
 
     ted         Tree edit distance between two XML files
                   --left <a.xml> --right <b.xml>
@@ -161,6 +165,40 @@ fn check_pq_complete<R: std::io::Read>(
     Ok(())
 }
 
+/// Opens `doc_path` as a postorder stream and runs `f` over it,
+/// centralizing the `.pq` vs XML differences for every streaming query
+/// path: `.pq` files get the queries re-encoded into the file's
+/// dictionary (which then replaces `dict`, since the results refer to
+/// its ids) and a truncation check after the scan; XML streams surface
+/// mid-stream parse errors.
+fn run_over_doc_stream<T>(
+    doc_path: &str,
+    dict: &mut LabelDict,
+    queries: &[Tree],
+    f: impl FnOnce(&[Tree], &mut dyn PostorderQueue) -> T,
+) -> Result<T, String> {
+    if doc_path.ends_with(".pq") {
+        let mut reader = PostFileReader::open(doc_path).map_err(|e| format!("{doc_path}: {e}"))?;
+        let mut file_dict = reader.dict().clone();
+        let reencoded: Vec<Tree> = queries
+            .iter()
+            .map(|q| reencode_query(q, dict, &mut file_dict))
+            .collect();
+        let out = f(&reencoded, &mut reader);
+        check_pq_complete(&reader, doc_path)?;
+        *dict = file_dict;
+        Ok(out)
+    } else {
+        let file = File::open(doc_path).map_err(|e| format!("cannot open {doc_path}: {e}"))?;
+        let mut queue = XmlPostorderQueue::new(BufReader::new(file), dict);
+        let out = f(queries, &mut queue);
+        if let Some(e) = queue.take_error() {
+            return Err(format!("{doc_path}: {e}"));
+        }
+        Ok(out)
+    }
+}
+
 fn cmd_query(args: &Args) -> Result<(), String> {
     let mut dict = LabelDict::new();
     // Collect queries in command-line order, even when --query files and
@@ -202,11 +240,6 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             "--threads applies to --algorithm postorder, not {algorithm}"
         ));
     }
-    if batch && parallel {
-        return Err("--threads with multiple queries is not supported yet; \
-                    run the batch sequentially or shard per query"
-            .into());
-    }
     let sink = want_stats.then_some(&mut stats);
     // One evaluation workspace for the whole run: the candidate loop is
     // allocation-free in steady state (PR-2 tentpole).
@@ -214,104 +247,45 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     // Scan + pruning-funnel statistics of the run, when the scan-engine
     // path produced them (postorder single/batch/parallel).
     let mut scan_stats: Option<ScanStats> = None;
+    // Per-query-lane stats of a batch run (sequential or sharded).
+    let mut lane_stats: Option<Vec<ScanStats>> = None;
 
     let t0 = Instant::now();
     let rankings: Vec<Vec<tasm_core::Match>> = if batch {
-        // All queries share ONE scan of the document stream.
-        fn batch_of(queries: &[Tree], k: usize) -> Vec<BatchQuery<'_>> {
-            queries
-                .iter()
-                .map(|query| BatchQuery { query, k })
-                .collect()
-        }
-        let mut bws = BatchWorkspace::new();
-        let r = if doc_path.ends_with(".pq") {
-            let mut reader =
-                PostFileReader::open(doc_path).map_err(|e| format!("{doc_path}: {e}"))?;
-            let mut file_dict = reader.dict().clone();
-            let reencoded: Vec<Tree> = queries
-                .iter()
-                .map(|q| reencode_query(q, &dict, &mut file_dict))
-                .collect();
-            let r = tasm_batch_with_workspace(
-                &batch_of(&reencoded, k),
-                &mut reader,
-                &UnitCost,
-                1,
-                opts,
-                &mut bws,
-                sink,
-            );
-            check_pq_complete(&reader, doc_path)?;
-            dict = file_dict;
-            r
-        } else {
-            let file = File::open(doc_path).map_err(|e| format!("cannot open {doc_path}: {e}"))?;
-            let mut queue = XmlPostorderQueue::new(BufReader::new(file), &mut dict);
-            let r = tasm_batch_with_workspace(
-                &batch_of(&queries, k),
-                &mut queue,
-                &UnitCost,
-                1,
-                opts,
-                &mut bws,
-                sink,
-            );
-            if let Some(e) = queue.take_error() {
-                return Err(format!("{doc_path}: {e}"));
-            }
-            r
-        };
-        scan_stats = Some(bws.last_scan_stats());
+        // All queries share ONE streaming scan; with --threads > 1 the
+        // candidate segments are sharded across workers and each worker
+        // fans them out to every query lane (batch×parallel).
+        let (r, scan, lanes) = run_over_doc_stream(doc_path, &mut dict, &queries, |qs, queue| {
+            let bqs: Vec<BatchQuery<'_>> = qs.iter().map(|query| BatchQuery { query, k }).collect();
+            tasm_batch_parallel_stream_with_stats(&bqs, queue, &UnitCost, 1, opts, threads, sink)
+        })?;
+        scan_stats = Some(scan);
+        lane_stats = Some(lanes);
         r
     } else {
-        let query = &queries[0];
         let matches = match algorithm {
             "postorder" if parallel => {
-                // Sharded scan: needs the materialized document.
-                let doc = load_xml(doc_path, &mut dict)?;
-                let (m, st) =
-                    tasm_parallel_with_stats(query, &doc, k, &UnitCost, 1, opts, threads, sink);
+                // Sharded streaming scan: candidate segments hand off to
+                // the workers; the document is never materialized.
+                let (m, st) = run_over_doc_stream(doc_path, &mut dict, &queries, |qs, queue| {
+                    tasm_parallel_stream_with_stats(
+                        &qs[0], queue, k, &UnitCost, 1, opts, threads, sink,
+                    )
+                })?;
                 scan_stats = Some(st);
                 m
             }
-            "postorder" if doc_path.ends_with(".pq") => {
-                // Stream the binary postorder file. Label ids in the file
-                // come from its own dictionary, so the query is re-encoded
-                // into it.
-                let mut reader =
-                    PostFileReader::open(doc_path).map_err(|e| format!("{doc_path}: {e}"))?;
-                let mut file_dict = reader.dict().clone();
-                let query_in_file_ids = reencode_query(query, &dict, &mut file_dict);
-                let m = tasm_postorder_with_workspace(
-                    &query_in_file_ids,
-                    &mut reader,
-                    k,
-                    &UnitCost,
-                    1,
-                    opts,
-                    &mut ws,
-                    sink,
-                );
-                check_pq_complete(&reader, doc_path)?;
-                dict = file_dict;
-                scan_stats = Some(ws.last_scan_stats());
-                m
-            }
             "postorder" => {
-                let file =
-                    File::open(doc_path).map_err(|e| format!("cannot open {doc_path}: {e}"))?;
-                let mut queue = XmlPostorderQueue::new(BufReader::new(file), &mut dict);
-                let m = tasm_postorder_with_workspace(
-                    query, &mut queue, k, &UnitCost, 1, opts, &mut ws, sink,
-                );
-                if let Some(e) = queue.take_error() {
-                    return Err(format!("{doc_path}: {e}"));
-                }
+                let m = run_over_doc_stream(doc_path, &mut dict, &queries, |qs, queue| {
+                    tasm_postorder_with_workspace(
+                        &qs[0], queue, k, &UnitCost, 1, opts, &mut ws, sink,
+                    )
+                })?;
                 scan_stats = Some(ws.last_scan_stats());
                 m
             }
             "dynamic" | "naive" => {
+                let query = &queries[0];
                 let doc = load_xml(doc_path, &mut dict)?;
                 if algorithm == "dynamic" {
                     tasm_dynamic(query, &doc, k, &UnitCost, opts, sink)
@@ -328,9 +302,14 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     for (qi, (query, matches)) in queries.iter().zip(&rankings).enumerate() {
         if batch {
             println!(
-                "# query {}: {} nodes, k = {k}, algorithm = {algorithm} (batched scan)",
+                "# query {}: {} nodes, k = {k}, algorithm = {algorithm} (batched scan{})",
                 qi + 1,
-                query.len()
+                query.len(),
+                if parallel {
+                    format!(", threads = {threads}")
+                } else {
+                    String::new()
+                }
             );
         } else {
             println!(
@@ -377,6 +356,20 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         );
         if let Some(scan) = scan_stats {
             print_scan_stats(&scan);
+        }
+        if let Some(lanes) = lane_stats.filter(|l| l.len() > 1) {
+            for (i, lane) in lanes.iter().enumerate() {
+                println!(
+                    "# lane {} funnel: size-skipped {}, histogram-pruned {}, \
+                     sed-pruned {}, evaluated {} (prune rate {:.1}%)",
+                    i + 1,
+                    lane.pruned_size,
+                    lane.pruned_histogram,
+                    lane.pruned_sed,
+                    lane.evaluated,
+                    100.0 * lane.prune_rate(),
+                );
+            }
         }
     }
     Ok(())

@@ -441,21 +441,121 @@ fn threads_misuse_is_rejected() {
     ]);
     assert!(!out.status.success());
     assert!(String::from_utf8(out.stderr).unwrap().contains("--threads"));
-    // --threads with a batch of queries.
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn threads_compose_with_batch_queries() {
+    // --threads together with repeated --query: batch×parallel. Every
+    // per-query table must equal the sequential batched run, and the
+    // funnel must be reported per query lane.
+    let doc = tmp("batchpar.xml");
+    let mut xml = String::from("<dblp>");
+    for i in 0..60 {
+        xml.push_str(&format!("<article><a>n{i}</a><t>t{}</t></article>", i % 5));
+        if i % 4 == 0 {
+            xml.push_str(&format!("<book><t>t{}</t></book>", i % 3));
+        }
+    }
+    xml.push_str("</dblp>");
+    std::fs::write(&doc, &xml).unwrap();
+    let doc_s = doc.to_str().unwrap();
+    let q1 = "<article><a>n7</a><t>t2</t></article>";
+    let q2 = "<book><t>t1</t></book>";
+
+    let rows = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit()))
+            .map(|s| s.to_string())
+            .collect()
+    };
+    let seq = tasm(&[
+        "query",
+        "--query-str",
+        q1,
+        "--query-str",
+        q2,
+        "--doc",
+        doc_s,
+        "--k",
+        "3",
+    ]);
+    assert!(
+        seq.status.success(),
+        "{}",
+        String::from_utf8_lossy(&seq.stderr)
+    );
+    let seq_rows = rows(&String::from_utf8(seq.stdout).unwrap());
+    assert_eq!(seq_rows.len(), 6); // 2 queries × k=3
+
+    for threads in ["2", "4", "0"] {
+        let par = tasm(&[
+            "query",
+            "--query-str",
+            q1,
+            "--query-str",
+            q2,
+            "--doc",
+            doc_s,
+            "--k",
+            "3",
+            "--threads",
+            threads,
+            "--stats",
+        ]);
+        assert!(
+            par.status.success(),
+            "--threads {threads}: {}",
+            String::from_utf8_lossy(&par.stderr)
+        );
+        let text = String::from_utf8(par.stdout).unwrap();
+        assert_eq!(rows(&text), seq_rows, "--threads {threads}");
+        assert_eq!(text.matches("batched scan").count(), 2, "{text}");
+        // The per-lane funnel: one line per query.
+        assert!(text.contains("# lane 1 funnel:"), "{text}");
+        assert!(text.contains("# lane 2 funnel:"), "{text}");
+        assert!(text.contains("# prune funnel:"), "{text}");
+    }
+    std::fs::remove_file(&doc).ok();
+}
+
+#[test]
+fn batch_threads_works_on_pq_files() {
+    let xml = tmp("batchpar_conv.xml");
+    let pq = tmp("batchpar_conv.pq");
+    std::fs::write(&xml, "<r><a><b>x</b></a><a><b>y</b></a><c><d>z</d></c></r>").unwrap();
+    let out = tasm(&[
+        "convert",
+        "--doc",
+        xml.to_str().unwrap(),
+        "--out",
+        pq.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
     let out = tasm(&[
         "query",
         "--query-str",
-        "<a/>",
+        "<a><b>x</b></a>",
         "--query-str",
-        "<b/>",
+        "<c><d>z</d></c>",
         "--doc",
-        doc_s,
+        pq.to_str().unwrap(),
+        "--k",
+        "1",
         "--threads",
         "2",
+        "--show-xml",
     ]);
-    assert!(!out.status.success());
-    assert!(String::from_utf8(out.stderr).unwrap().contains("--threads"));
-    std::fs::remove_file(&doc).ok();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("<a><b>x</b></a>"), "{text}");
+    assert!(text.contains("<c><d>z</d></c>"), "{text}");
+    std::fs::remove_file(&xml).ok();
+    std::fs::remove_file(&pq).ok();
 }
 
 #[test]

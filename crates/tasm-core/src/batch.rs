@@ -7,12 +7,13 @@
 //! threshold, so it can be shared: the [`ScanEngine`] runs once at
 //! `τ_scan = max_i τ_i` and every candidate is offered to one
 //! evaluation *lane* per query, each with its own
-//! [`QueryContext`], its own Theorem 3/Lemma 4 pruning bound and its
-//! own [`TopKHeap`]. A query whose own τ is smaller than `τ_scan`
+//! [`QueryContext`](tasm_ted::QueryContext), its own Theorem 3/Lemma 4
+//! pruning bound and its own [`TopKHeap`](crate::TopKHeap). A query
+//! whose own τ is smaller than `τ_scan`
 //! simply prunes harder inside each candidate; the per-lane bounds are
 //! exactly the sequential ones, so every lane returns **exactly** the
-//! ranking [`tasm_postorder`](crate::tasm_postorder) would (property
-//! tested in `tests/properties.rs`).
+//! ranking [`tasm_postorder`](crate::tasm_postorder) would (pinned by
+//! the differential matrix in `tests/differential.rs`).
 //!
 //! Memory stays document-independent: `O(Σ m_i² + τ_scan · Σ m_i)` for
 //! the lane matrices plus the shared `O(τ_scan)` ring — and with a warm
@@ -21,14 +22,11 @@
 //! counting allocator in `tasm-bench`).
 
 use crate::engine::{CandidateSink, ScanEngine, ScanStats};
-use crate::ranking::{Match, TopKHeap};
+use crate::lane::{build_lanes, fan_out, reserve_lanes, EvalLane};
+use crate::ranking::Match;
 use crate::tasm_dynamic::TasmOptions;
-use crate::tasm_postorder::process_candidate_parts;
-use crate::threshold::threshold;
-use crate::workspace::{matrices_fit_cap, scratch_fits_cap};
-use tasm_ted::{
-    CascadeScratch, CostModel, LowerBoundCascade, QueryContext, TedStats, TedWorkspace,
-};
+use crate::workspace::scratch_fits_cap;
+use tasm_ted::{CascadeScratch, CostModel, TedStats, TedWorkspace};
 use tasm_tree::{NodeId, PostorderQueue, Tree};
 
 /// One query of a batch: the query tree and its ranking size.
@@ -55,6 +53,9 @@ pub struct BatchWorkspace {
     /// Scan + pruning-funnel statistics of the most recent run
     /// (aggregated over all lanes).
     last_scan: ScanStats,
+    /// Per-lane statistics of the most recent run: the shared
+    /// scan-layer counters plus each lane's own pruning funnel.
+    last_lanes: Vec<ScanStats>,
 }
 
 impl Default for BatchWorkspace {
@@ -71,6 +72,7 @@ impl BatchWorkspace {
             lb: CascadeScratch::new(),
             lanes: Vec::new(),
             last_scan: ScanStats::default(),
+            last_lanes: Vec::new(),
         }
     }
 
@@ -80,45 +82,36 @@ impl BatchWorkspace {
     pub fn last_scan_stats(&self) -> ScanStats {
         self.last_scan
     }
-}
 
-/// The per-query evaluation lane of a batch scan.
-struct BatchLane<'a> {
-    ctx: QueryContext<'a>,
-    /// This lane's admissible lower-bound cascade (its own cutoff).
-    cascade: LowerBoundCascade<'a>,
-    /// This query's own Theorem 3 bound τ_i (pruning is per lane).
-    tau: u64,
-    heap: TopKHeap,
-    ted: &'a mut TedWorkspace,
+    /// Per-lane statistics of the most recent run, in query order: each
+    /// record carries the shared scan-layer counters (every lane saw
+    /// the same candidates) and that lane's own pruning funnel.
+    pub fn last_lane_stats(&self) -> &[ScanStats] {
+        &self.last_lanes
+    }
 }
 
 /// [`CandidateSink`] fanning each candidate out to every query lane.
 struct MultiQuerySink<'a> {
-    lanes: Vec<BatchLane<'a>>,
+    lanes: Vec<EvalLane<'a>>,
+    teds: &'a mut [TedWorkspace],
     lb: &'a mut CascadeScratch,
     opts: TasmOptions,
     stats: Option<&'a mut TedStats>,
 }
 
 impl CandidateSink for MultiQuerySink<'_> {
-    fn consume(&mut self, cand: &Tree, root: NodeId, scan: &mut ScanStats) {
+    fn consume(&mut self, cand: &Tree, root: NodeId, _scan: &mut ScanStats) {
         let offset = root.post() - cand.len() as u32;
-        for lane in &mut self.lanes {
-            process_candidate_parts(
-                &mut lane.heap,
-                &lane.ctx,
-                &lane.cascade,
-                cand,
-                offset,
-                lane.tau,
-                self.opts,
-                self.lb,
-                lane.ted,
-                scan,
-                self.stats.as_deref_mut(),
-            );
-        }
+        fan_out(
+            &mut self.lanes,
+            self.teds,
+            self.lb,
+            cand,
+            offset,
+            self.opts,
+            self.stats.as_deref_mut(),
+        );
     }
 }
 
@@ -185,49 +178,38 @@ pub fn tasm_batch_with_workspace<Q: PostorderQueue + ?Sized>(
     }
 
     // Per-query contexts and bounds; the scan must cover the widest τ.
-    let mut scan_tau: u32 = 1;
-    let mut lanes = Vec::with_capacity(queries.len());
-    for (bq, ted) in queries.iter().zip(ws.lanes.iter_mut()) {
-        let k = bq.k.max(1);
-        let ctx = QueryContext::new(bq.query, model);
-        let cascade = LowerBoundCascade::from_context(&ctx);
-        let tau64 = threshold(bq.query.len() as u64, ctx.max_cost(), c_t, k as u64);
-        let tau = u32::try_from(tau64).unwrap_or(u32::MAX);
-        scan_tau = scan_tau.max(tau);
-        lanes.push(BatchLane {
-            ctx,
-            cascade,
-            tau: tau64,
-            heap: TopKHeap::new(k),
-            ted,
-        });
-    }
+    let (mut lanes, scan_tau) = build_lanes(queries, model, c_t);
 
     // Reserve lanes for the widest candidate the scan can emit; the same
     // byte cap as `TasmWorkspace::reserve` guards pathological τ.
-    let n = scan_tau as usize;
-    let mut max_m = 0usize;
-    for lane in &mut lanes {
-        let m = lane.ctx.len();
-        max_m = max_m.max(m);
-        if matrices_fit_cap(m, n) {
-            lane.ted.reserve(m, n);
-        }
-    }
+    let teds = &mut ws.lanes[..queries.len()];
+    reserve_lanes(&lanes, teds, &mut ws.lb, scan_tau);
     ws.engine.set_tau(scan_tau);
-    if scratch_fits_cap(n) {
+    if scratch_fits_cap(scan_tau as usize) {
         ws.engine.reserve();
-        ws.lb.reserve(max_m, n);
     }
 
     let mut sink = MultiQuerySink {
         lanes,
+        teds,
         lb: &mut ws.lb,
         opts,
         stats,
     };
-    ws.last_scan = ws.engine.scan(queue, &mut sink);
-    sink.lanes
+    let shared = ws.engine.scan(queue, &mut sink);
+    lanes = sink.lanes;
+
+    // Stats: every lane saw the one shared pass; the aggregate sums the
+    // per-lane funnels on top of it.
+    let mut aggregate = shared;
+    ws.last_lanes.clear();
+    for lane in &mut lanes {
+        lane.stats.adopt_scan_layer(&shared);
+        aggregate.merge_funnel(&lane.stats);
+        ws.last_lanes.push(lane.stats);
+    }
+    ws.last_scan = aggregate;
+    lanes
         .into_iter()
         .map(|lane| lane.heap.into_sorted())
         .collect()

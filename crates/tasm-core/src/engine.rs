@@ -83,6 +83,26 @@ impl ScanStats {
         self.evaluated += other.evaluated;
     }
 
+    /// Sums only the pruning-funnel counters of `other` into this one,
+    /// leaving the scan-layer counters (`candidates`, `nodes_seen`,
+    /// `peak_buffered`) untouched. Used to aggregate per-lane funnels
+    /// over **one** shared scan without double-counting the pass.
+    pub fn merge_funnel(&mut self, other: &ScanStats) {
+        self.pruned_size += other.pruned_size;
+        self.pruned_histogram += other.pruned_histogram;
+        self.pruned_sed += other.pruned_sed;
+        self.evaluated += other.evaluated;
+    }
+
+    /// Copies the scan-layer counters of a shared pass into this
+    /// (per-lane) record, leaving the funnel counters untouched — every
+    /// lane of a shared scan saw the same candidates.
+    pub fn adopt_scan_layer(&mut self, shared: &ScanStats) {
+        self.candidates = shared.candidates;
+        self.nodes_seen = shared.nodes_seen;
+        self.peak_buffered = shared.peak_buffered;
+    }
+
     /// Evaluation decisions the cascade faced: pruned (any tier beyond
     /// the size bound) plus actually evaluated.
     pub fn eval_decisions(&self) -> u64 {

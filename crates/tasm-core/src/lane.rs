@@ -1,0 +1,158 @@
+//! Per-query evaluation lanes: the unit shared by every multi-query
+//! scan composition.
+//!
+//! A *lane* is everything one query needs to evaluate candidates: its
+//! [`QueryContext`], its admissible [`LowerBoundCascade`], its own
+//! Theorem 3 bound τ_i, its [`TopKHeap`] and its pruning-funnel
+//! counters. The scan axes compose by instantiating lanes in different
+//! places:
+//!
+//! * [`tasm_batch`](crate::tasm_batch) — N lanes behind **one** shared
+//!   scan;
+//! * [`tasm_batch_parallel`](crate::tasm_batch_parallel) — N lanes
+//!   inside **each** span shard (batch×parallel, materialized);
+//! * [`tasm_batch_parallel_stream`](crate::tasm_batch_parallel_stream)
+//!   — N lanes inside each streaming shard worker (batch×parallel over
+//!   a postorder stream, no materialized tree).
+//!
+//! Per-lane heaps of the sharded paths merge with
+//! [`TopKHeap::merge`]; the rank key is a total order, so any
+//! composition returns exactly the sequential per-query rankings
+//! (pinned by `tests/differential.rs`).
+
+use crate::batch::BatchQuery;
+use crate::engine::ScanStats;
+use crate::ranking::TopKHeap;
+use crate::tasm_dynamic::TasmOptions;
+use crate::tasm_postorder::process_candidate_parts;
+use crate::threshold::threshold;
+use crate::workspace::{matrices_fit_cap, scratch_fits_cap};
+use tasm_ted::{
+    CascadeScratch, CostModel, LowerBoundCascade, QueryContext, TedStats, TedWorkspace,
+};
+use tasm_tree::Tree;
+
+/// One per-query evaluation lane of a (possibly sharded) scan.
+pub(crate) struct EvalLane<'a> {
+    pub(crate) ctx: QueryContext<'a>,
+    /// This lane's admissible lower-bound cascade (its own cutoff).
+    pub(crate) cascade: LowerBoundCascade<'a>,
+    /// This query's own Theorem 3 bound τ_i (pruning is per lane).
+    pub(crate) tau: u64,
+    pub(crate) heap: TopKHeap,
+    /// Funnel counters of this lane only; the scan-layer counters
+    /// belong to the pass and are adopted afterwards.
+    pub(crate) stats: ScanStats,
+}
+
+impl<'a> EvalLane<'a> {
+    /// Builds the lane for one query (`k` clamped to `>= 1`).
+    pub(crate) fn new(query: &'a Tree, k: usize, model: &'a dyn CostModel, c_t: u64) -> Self {
+        let k = k.max(1);
+        let ctx = QueryContext::new(query, model);
+        let cascade = LowerBoundCascade::from_context(&ctx);
+        let tau = threshold(query.len() as u64, ctx.max_cost(), c_t, k as u64);
+        EvalLane {
+            ctx,
+            cascade,
+            tau,
+            heap: TopKHeap::new(k),
+            stats: ScanStats::default(),
+        }
+    }
+
+    /// This lane's threshold clamped to the scan's `u32` domain.
+    pub(crate) fn tau32(&self) -> u32 {
+        u32::try_from(self.tau).unwrap_or(u32::MAX)
+    }
+}
+
+/// The widest lane threshold of a batch — `τ_scan = max_i τ_i`, which
+/// the shared scan must cover — computed *without* building the lanes
+/// (no contexts, cascades or heaps; used by the sharded drivers whose
+/// workers rebuild their own lanes anyway).
+pub(crate) fn scan_tau_of(queries: &[BatchQuery<'_>], model: &dyn CostModel, c_t: u64) -> u32 {
+    queries
+        .iter()
+        .map(|bq| {
+            let tau =
+                crate::threshold::threshold_for_query(bq.query, model, c_t, bq.k.max(1) as u64);
+            u32::try_from(tau).unwrap_or(u32::MAX)
+        })
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Builds one lane per batch query and returns them with the widest
+/// lane threshold — the shared scan must cover `τ_scan = max_i τ_i`.
+pub(crate) fn build_lanes<'a>(
+    queries: &[BatchQuery<'a>],
+    model: &'a dyn CostModel,
+    c_t: u64,
+) -> (Vec<EvalLane<'a>>, u32) {
+    let mut scan_tau = 1u32;
+    let lanes = queries
+        .iter()
+        .map(|bq| {
+            let lane = EvalLane::new(bq.query, bq.k, model, c_t);
+            scan_tau = scan_tau.max(lane.tau32());
+            lane
+        })
+        .collect();
+    (lanes, scan_tau)
+}
+
+/// Pre-reserves every lane's DP workspace plus the shared cascade
+/// scratch for candidates of up to `scan_tau` nodes, under the same
+/// byte cap as [`TasmWorkspace::reserve`](crate::TasmWorkspace::reserve)
+/// (a pathological τ falls back to on-demand growth).
+pub(crate) fn reserve_lanes(
+    lanes: &[EvalLane<'_>],
+    teds: &mut [TedWorkspace],
+    lb: &mut CascadeScratch,
+    scan_tau: u32,
+) {
+    let n = scan_tau as usize;
+    let mut max_m = 0usize;
+    for (lane, ted) in lanes.iter().zip(teds.iter_mut()) {
+        let m = lane.ctx.len();
+        max_m = max_m.max(m);
+        if matrices_fit_cap(m, n) {
+            ted.reserve(m, n);
+        }
+    }
+    if scratch_fits_cap(n) {
+        lb.reserve(max_m, n);
+    }
+}
+
+/// Offers one candidate to every lane: per-lane Lemma 4 cutoff, cascade
+/// decision and heap, with the funnel counters landing in each lane's
+/// own [`ScanStats`]. `doc_post_offset` is the document postorder
+/// number of the node preceding the candidate span.
+pub(crate) fn fan_out(
+    lanes: &mut [EvalLane<'_>],
+    teds: &mut [TedWorkspace],
+    lb: &mut CascadeScratch,
+    cand: &Tree,
+    doc_post_offset: u32,
+    opts: TasmOptions,
+    mut ted_stats: Option<&mut TedStats>,
+) {
+    for (lane, ted) in lanes.iter_mut().zip(teds.iter_mut()) {
+        process_candidate_parts(
+            &mut lane.heap,
+            &lane.ctx,
+            &lane.cascade,
+            cand,
+            doc_post_offset,
+            lane.tau,
+            opts,
+            lb,
+            ted,
+            &mut lane.stats,
+            ted_stats.as_deref_mut(),
+        );
+    }
+}

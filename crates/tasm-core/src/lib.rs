@@ -18,7 +18,13 @@
 //!   algorithms above are built on, reusable for custom evaluations;
 //! * [`tasm_batch`] — N queries answered in **one** shared document scan;
 //! * [`tasm_parallel`] — the candidate stream sharded across worker
-//!   threads, merged with [`TopKHeap::merge`].
+//!   threads, merged with [`TopKHeap::merge`];
+//! * [`tasm_batch_parallel`] — the two axes composed: N query lanes
+//!   inside each of T span shards of a materialized document;
+//! * [`tasm_parallel_stream`] / [`tasm_batch_parallel_stream`] — the
+//!   sharded scans over a pure postorder **stream**: candidates travel
+//!   to the workers as pooled postorder segments, so the document is
+//!   never materialized and memory stays `O(threads · τ + Σ m_i²)`.
 //!
 //! Between the scan and every evaluation sits the admissible
 //! lower-bound **pruning cascade**
@@ -55,11 +61,13 @@
 
 mod batch;
 mod engine;
+mod lane;
 mod naive;
 mod parallel;
 mod ranking;
 mod ring_buffer;
 mod simple_pruning;
+mod stream_shard;
 mod tasm_dynamic;
 mod tasm_postorder;
 mod threshold;
@@ -68,13 +76,20 @@ mod workspace;
 pub use batch::{tasm_batch, tasm_batch_with_workspace, BatchQuery, BatchWorkspace};
 pub use engine::{CandidateSink, ScanEngine, ScanStats};
 pub use naive::tasm_naive;
-pub use parallel::{tasm_parallel, tasm_parallel_with_stats};
+pub use parallel::{
+    tasm_batch_parallel, tasm_batch_parallel_with_stats, tasm_parallel, tasm_parallel_with_stats,
+};
 pub use ranking::{Match, TopKHeap};
 pub use ring_buffer::{
     candidate_set_reference, prb_pruning, prb_pruning_stats, Candidate, PrefixRingBuffer,
     PruningStats,
 };
 pub use simple_pruning::simple_pruning;
+pub use stream_shard::{
+    tasm_batch_parallel_stream, tasm_batch_parallel_stream_with_stats,
+    tasm_batch_parallel_stream_with_workspace, tasm_parallel_stream,
+    tasm_parallel_stream_with_stats,
+};
 pub use tasm_dynamic::{tasm_dynamic, tasm_dynamic_with_workspace, TasmOptions};
 pub use tasm_postorder::{process_candidate, tasm_postorder, tasm_postorder_with_workspace};
 pub use threshold::{refined_threshold, threshold, threshold_for_query};

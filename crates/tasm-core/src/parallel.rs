@@ -6,27 +6,36 @@
 //! lines 7–19) touches nothing outside the candidate plus the query-side
 //! state. That makes the scan embarrassingly parallel once the candidate
 //! spans are known: shard the spans into contiguous, node-balanced
-//! ranges, give every worker its own [`ScanEngine`] + [`TasmWorkspace`]
-//! over a [`SpanQueue`] replaying just its spans (a valid postorder
-//! *forest* stream), and merge the per-shard heaps with
-//! [`TopKHeap::merge`] at the end.
+//! ranges, give every worker its own [`ScanEngine`] over a [`SpanQueue`]
+//! replaying just its spans (a valid postorder *forest* stream), and
+//! merge the per-shard heaps with [`TopKHeap::merge`] at the end.
+//!
+//! The two scan axes **compose**: each shard worker fans its candidates
+//! out to N per-query evaluation lanes — exactly the lanes of
+//! [`tasm_batch`](crate::tasm_batch) — so [`tasm_batch_parallel`]
+//! answers N queries across T threads in one sharded pass.
+//! [`tasm_parallel`] is the single-lane special case.
 //!
 //! Determinism: the heap's rank key (distance, document postorder, size)
-//! is a total order, every subtree that can appear in the final ranking
+//! is a total order, every subtree that can appear in a final ranking
 //! is evaluated by exactly one shard (its candidate is in exactly one
-//! shard), and merging keeps the k smallest keys — so the result is
-//! **identical** to the sequential [`tasm_postorder`] ranking for any
-//! thread count (property tested in `tests/properties.rs`).
+//! shard), and merging keeps the k smallest keys — so every lane's
+//! result is **identical** to the sequential [`tasm_postorder`](crate::tasm_postorder) ranking
+//! for any thread count (pinned by `tests/differential.rs`).
+//!
+//! Sharding spans needs random access to the materialized document; for
+//! parallel scans over a pure postorder *stream* see
+//! [`tasm_parallel_stream`](crate::tasm_parallel_stream).
 //!
 //! Only `std::thread::scope` is used — no external dependencies.
 
-use crate::engine::{CandidateSink, ScanStats};
+use crate::batch::{tasm_batch_with_workspace, BatchQuery, BatchWorkspace};
+use crate::engine::{CandidateSink, ScanEngine, ScanStats};
+use crate::lane::{build_lanes, fan_out, reserve_lanes, scan_tau_of, EvalLane};
 use crate::ranking::{Match, TopKHeap};
 use crate::tasm_dynamic::TasmOptions;
-use crate::tasm_postorder::{process_candidate_parts, tasm_postorder_with_workspace};
-use crate::threshold::threshold;
-use crate::workspace::TasmWorkspace;
-use tasm_ted::{CostModel, LowerBoundCascade, QueryContext, TedStats};
+use crate::workspace::scratch_fits_cap;
+use tasm_ted::{CascadeScratch, CostModel, TedStats, TedWorkspace};
 use tasm_tree::{NodeId, PostorderEntry, PostorderQueue, Tree, TreeQueue};
 
 /// A postorder queue replaying selected `(lml, root)` spans of an
@@ -135,22 +144,19 @@ pub(crate) fn shard_spans(spans: &[(u32, u32)], shards: usize) -> Vec<&[(u32, u3
 
 /// Shard-side sink: maps each emitted candidate back to its document
 /// span (the scan re-derives candidates 1:1 with the shard's spans, in
-/// order) and hands it to the standard single-query evaluation.
+/// order) and fans it out to every query lane of the shard.
 struct ShardSink<'a> {
-    heap: &'a mut TopKHeap,
-    ctx: &'a QueryContext<'a>,
-    cascade: &'a LowerBoundCascade<'a>,
-    tau: u64,
+    lanes: Vec<EvalLane<'a>>,
+    teds: Vec<TedWorkspace>,
+    lb: CascadeScratch,
     opts: TasmOptions,
-    lb: &'a mut tasm_ted::CascadeScratch,
-    ted: &'a mut tasm_ted::TedWorkspace,
     spans: &'a [(u32, u32)],
     next: usize,
-    stats: Option<&'a mut TedStats>,
+    stats: Option<TedStats>,
 }
 
 impl CandidateSink for ShardSink<'_> {
-    fn consume(&mut self, cand: &Tree, _local_root: NodeId, scan: &mut ScanStats) {
+    fn consume(&mut self, cand: &Tree, _local_root: NodeId, _scan: &mut ScanStats) {
         let (lml, root) = self.spans[self.next];
         self.next += 1;
         debug_assert_eq!(
@@ -158,27 +164,83 @@ impl CandidateSink for ShardSink<'_> {
             root - lml + 1,
             "shard scan must re-derive exactly the sharded candidate"
         );
-        process_candidate_parts(
-            self.heap,
-            self.ctx,
-            self.cascade,
+        fan_out(
+            &mut self.lanes,
+            &mut self.teds,
+            &mut self.lb,
             cand,
             lml - 1,
-            self.tau,
             self.opts,
-            self.lb,
-            self.ted,
-            scan,
-            self.stats.as_deref_mut(),
+            self.stats.as_mut(),
         );
     }
+}
+
+/// Resolves a `threads` argument: `0` means "one per available core".
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// The result one shard worker hands back: per-lane heaps and funnels
+/// plus the shard's scan-layer counters and (optional) distance stats.
+pub(crate) struct ShardResult {
+    pub(crate) heaps: Vec<TopKHeap>,
+    pub(crate) lane_funnels: Vec<ScanStats>,
+    pub(crate) scan: ScanStats,
+    pub(crate) ted_stats: Option<TedStats>,
+}
+
+/// Merges per-shard results into one ranking per lane plus the
+/// aggregated statistics, preserving lane (query) order. `scan-layer`
+/// counters sum across shards (each scanned disjoint candidates);
+/// per-lane funnels sum; the aggregate adds all lane funnels on top.
+pub(crate) fn merge_shard_results(
+    n_lanes: usize,
+    results: Vec<ShardResult>,
+    mut stats: Option<&mut TedStats>,
+) -> (Vec<Vec<Match>>, ScanStats, Vec<ScanStats>) {
+    let mut merged: Vec<Option<TopKHeap>> = (0..n_lanes).map(|_| None).collect();
+    let mut lane_stats = vec![ScanStats::default(); n_lanes];
+    let mut scan = ScanStats::default();
+    for shard in results {
+        scan.merge(&shard.scan);
+        if let (Some(out), Some(ts)) = (stats.as_deref_mut(), shard.ted_stats.as_ref()) {
+            out.merge(ts);
+        }
+        for (i, (heap, funnel)) in shard.heaps.into_iter().zip(shard.lane_funnels).enumerate() {
+            lane_stats[i].merge(&funnel);
+            merged[i] = Some(match merged[i].take() {
+                None => heap,
+                Some(mut acc) => {
+                    acc.merge(heap);
+                    acc
+                }
+            });
+        }
+    }
+    let mut aggregate = scan;
+    for ls in &mut lane_stats {
+        ls.adopt_scan_layer(&scan);
+        aggregate.merge_funnel(ls);
+    }
+    let rankings = merged
+        .into_iter()
+        .map(|h| h.expect("every lane ran on every shard").into_sorted())
+        .collect();
+    (rankings, aggregate, lane_stats)
 }
 
 /// Computes the top-`k` ranking of `query` against the in-memory `doc`
 /// with the candidate stream sharded across `threads` worker threads.
 ///
 /// Returns **exactly** the ranking of the sequential
-/// [`tasm_postorder`] for any `threads >= 1` (`0` means "use
+/// [`tasm_postorder`](crate::tasm_postorder) for any `threads >= 1` (`0` means "use
 /// [`std::thread::available_parallelism`]"). Each worker owns a full
 /// [`TasmWorkspace`] and a [`ScanEngine`] over its shard of the
 /// candidate spans; the per-shard heaps are combined with
@@ -187,7 +249,7 @@ impl CandidateSink for ShardSink<'_> {
 /// Unlike the streaming entry point this needs the materialized
 /// document (`O(n)` memory) — sharding requires random access to the
 /// candidate spans. `c_t` is the maximum document node cost under
-/// `model`, as for [`tasm_postorder`].
+/// `model`, as for [`tasm_postorder`](crate::tasm_postorder).
 ///
 /// # Examples
 ///
@@ -227,74 +289,132 @@ pub fn tasm_parallel_with_stats(
     c_t: u64,
     opts: TasmOptions,
     threads: usize,
-    mut stats: Option<&mut TedStats>,
+    stats: Option<&mut TedStats>,
 ) -> (Vec<Match>, ScanStats) {
-    let k = k.max(1);
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        threads
-    };
-    let m = query.len() as u64;
-    let c_q = QueryContext::new(query, model).max_cost();
-    let tau64 = threshold(m, c_q, c_t, k as u64);
-    let tau = u32::try_from(tau64).unwrap_or(u32::MAX);
+    let queries = [BatchQuery { query, k }];
+    let (mut rankings, scan, _) =
+        tasm_batch_parallel_with_stats(&queries, doc, model, c_t, opts, threads, stats);
+    (rankings.pop().expect("one lane"), scan)
+}
 
-    let spans = candidate_spans(doc, tau);
+/// Batch×parallel composition over a materialized document: answers
+/// every query of `queries` with the candidate spans sharded across
+/// `threads` worker threads, each shard fanning its candidates out to
+/// one evaluation lane per query.
+///
+/// Every ranking is **exactly** what the sequential
+/// [`tasm_postorder`](crate::tasm_postorder) returns for that query
+/// alone, for any `threads >= 1` (`0` = one per available core): the
+/// scan work is paid once per shard instead of once per query, and the
+/// per-lane heaps merge deterministically. `c_t` is the maximum
+/// document node cost under `model`, as for the sequential entry
+/// points.
+///
+/// For a document that exists only as a postorder *stream*, use
+/// [`tasm_batch_parallel_stream`](crate::tasm_batch_parallel_stream).
+///
+/// # Examples
+///
+/// ```
+/// use tasm_tree::{bracket, LabelDict};
+/// use tasm_ted::UnitCost;
+/// use tasm_core::{tasm_batch_parallel, BatchQuery, TasmOptions};
+///
+/// let mut dict = LabelDict::new();
+/// let q1 = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
+/// let q2 = bracket::parse("{a{b}}", &mut dict).unwrap();
+/// let doc = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict).unwrap();
+/// let queries = [
+///     BatchQuery { query: &q1, k: 1 },
+///     BatchQuery { query: &q2, k: 1 },
+/// ];
+/// let rankings =
+///     tasm_batch_parallel(&queries, &doc, &UnitCost, 1, TasmOptions::default(), 2, None);
+/// assert_eq!(rankings.len(), 2);
+/// assert_eq!(rankings[0][0].root.post(), 6); // exact match for q1
+/// ```
+pub fn tasm_batch_parallel(
+    queries: &[BatchQuery<'_>],
+    doc: &Tree,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+    stats: Option<&mut TedStats>,
+) -> Vec<Vec<Match>> {
+    tasm_batch_parallel_with_stats(queries, doc, model, c_t, opts, threads, stats).0
+}
+
+/// As [`tasm_batch_parallel`], but also returning the aggregated
+/// [`ScanStats`] (scan-layer counters summed over the shards, funnel
+/// over all lanes) and the per-lane statistics in query order.
+#[allow(clippy::too_many_arguments)]
+pub fn tasm_batch_parallel_with_stats(
+    queries: &[BatchQuery<'_>],
+    doc: &Tree,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+    stats: Option<&mut TedStats>,
+) -> (Vec<Vec<Match>>, ScanStats, Vec<ScanStats>) {
+    if queries.is_empty() {
+        return (Vec::new(), ScanStats::default(), Vec::new());
+    }
+    let threads = resolve_threads(threads);
+    // The scan must cover the widest lane threshold; the workers build
+    // their own lanes, so only the thresholds are computed here.
+    let scan_tau = scan_tau_of(queries, model, c_t);
+
+    let spans = candidate_spans(doc, scan_tau);
     let shards = shard_spans(&spans, threads);
     if shards.len() <= 1 {
-        // One shard (or no candidates at all): the sequential path is the
-        // same work without the thread.
+        // One shard (or no candidates at all): the shared-scan batch
+        // path is the same work without the thread.
         let mut queue = TreeQueue::new(doc);
-        let mut ws = TasmWorkspace::new();
-        let matches = tasm_postorder_with_workspace(
-            query,
-            &mut queue,
-            k,
-            model,
-            c_t,
-            opts,
-            &mut ws,
-            stats.as_deref_mut(),
+        let mut ws = BatchWorkspace::new();
+        let rankings =
+            tasm_batch_with_workspace(queries, &mut queue, model, c_t, opts, &mut ws, stats);
+        return (
+            rankings,
+            ws.last_scan_stats(),
+            ws.last_lane_stats().to_vec(),
         );
-        return (matches, ws.last_scan_stats());
     }
 
     let want_ted_stats = stats.is_some();
-    let results: Vec<(TopKHeap, ScanStats, Option<TedStats>)> = std::thread::scope(|scope| {
+    let results: Vec<ShardResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
             .map(|shard| {
                 scope.spawn(move || {
-                    let ctx = QueryContext::new(query, model);
-                    let cascade = LowerBoundCascade::from_context(&ctx);
-                    let mut ws = TasmWorkspace::new();
-                    ws.reserve(query.len(), tau); // also targets ws.engine at τ
-                    let mut heap = TopKHeap::new(k);
-                    let mut ted_stats = want_ted_stats.then(TedStats::new);
-                    let scan = {
-                        let TasmWorkspace {
-                            ted, engine, lb, ..
-                        } = &mut ws;
-                        let mut sink = ShardSink {
-                            heap: &mut heap,
-                            ctx: &ctx,
-                            cascade: &cascade,
-                            tau: tau64,
-                            opts,
-                            lb,
-                            ted,
-                            spans: shard,
-                            next: 0,
-                            stats: ted_stats.as_mut(),
-                        };
-                        let mut queue = SpanQueue::new(doc, shard);
-                        engine.scan(&mut queue, &mut sink)
+                    let (lanes, _) = build_lanes(queries, model, c_t);
+                    let mut teds: Vec<TedWorkspace> =
+                        (0..lanes.len()).map(|_| TedWorkspace::new()).collect();
+                    let mut lb = CascadeScratch::new();
+                    reserve_lanes(&lanes, &mut teds, &mut lb, scan_tau);
+                    let mut engine = ScanEngine::new(scan_tau);
+                    if scratch_fits_cap(scan_tau as usize) {
+                        engine.reserve();
+                    }
+                    let mut sink = ShardSink {
+                        lanes,
+                        teds,
+                        lb,
+                        opts,
+                        spans: shard,
+                        next: 0,
+                        stats: want_ted_stats.then(TedStats::new),
                     };
+                    let mut queue = SpanQueue::new(doc, shard);
+                    let scan = engine.scan(&mut queue, &mut sink);
                     debug_assert_eq!(scan.candidates, shard.len());
-                    (heap, scan, ted_stats)
+                    ShardResult {
+                        lane_funnels: sink.lanes.iter().map(|l| l.stats).collect(),
+                        heaps: sink.lanes.into_iter().map(|l| l.heap).collect(),
+                        scan,
+                        ted_stats: sink.stats,
+                    }
                 })
             })
             .collect();
@@ -304,23 +424,7 @@ pub fn tasm_parallel_with_stats(
             .collect()
     });
 
-    let mut merged: Option<TopKHeap> = None;
-    let mut scan = ScanStats::default();
-    for (heap, shard_scan, ted_stats) in results {
-        scan.merge(&shard_scan);
-        if let (Some(out), Some(ts)) = (stats.as_deref_mut(), ted_stats.as_ref()) {
-            out.merge(ts);
-        }
-        merged = Some(match merged {
-            None => heap,
-            Some(mut acc) => {
-                acc.merge(heap);
-                acc
-            }
-        });
-    }
-    let merged = merged.expect("at least two shards");
-    (merged.into_sorted(), scan)
+    merge_shard_results(queries.len(), results, stats)
 }
 
 #[cfg(test)]

@@ -1,0 +1,703 @@
+//! Streaming shard hand-off: parallel (and batch×parallel) TASM over a
+//! postorder **stream** — the document never resides in memory.
+//!
+//! [`tasm_parallel`](crate::tasm_parallel) shards the candidate *spans*
+//! of a materialized tree, which costs `O(n)` memory for the tree
+//! itself. This module removes that requirement: one [`ScanEngine`]
+//! pass over the stream (the same `O(τ)` prefix ring buffer as the
+//! sequential path) derives the candidates, and instead of evaluating
+//! them inline it copies each candidate's postorder entries into a
+//! **segment** — a flat `(label, size)` buffer holding a run of
+//! complete candidate subtrees plus their document root numbers — and
+//! hands full segments to worker threads over a bounded pipe.
+//!
+//! Each worker replays its segments' candidates into a scratch tree
+//! (subtree sizes are invariant under renumbering, so the entries are
+//! the candidate's local postorder as-is) and fans every candidate out
+//! to N per-query evaluation lanes, exactly as the batch and
+//! span-sharded paths do. Per-lane heaps merge with
+//! [`TopKHeap::merge`](crate::TopKHeap::merge); the rank key is a total
+//! order, so the rankings are **identical** to the sequential ones no
+//! matter how candidates land on workers (pinned by
+//! `tests/differential.rs`).
+//!
+//! # Memory bound
+//!
+//! The pipe owns a fixed pool of `2·threads + 1` segments of
+//! `O(clamp(τ_scan, 1024, 2¹⁸))` entries each (a candidate larger than
+//! the budget grows its segment on demand, bounded by the candidate's
+//! actual size); consumed segments return to the producer through a
+//! free list, and every buffer (segments, scratch trees, lane matrices)
+//! grows but never shrinks. End to end the scan therefore runs in
+//! `O(threads · min(τ_scan, max candidate) + Σ m_i² )` memory —
+//! document-independent — and its steady state performs **zero heap
+//! allocations per candidate** (regression-tested with the counting
+//! allocator in `tasm-bench`). Backpressure is the free list: when all
+//! segments are in flight the producer blocks until a worker recycles
+//! one.
+//!
+//! Only `std::thread::scope`, `Mutex` and `Condvar` are used — no
+//! external dependencies, no unbounded channels.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::batch::{tasm_batch_with_workspace, BatchQuery, BatchWorkspace};
+use crate::engine::{CandidateSink, ScanEngine, ScanStats};
+use crate::lane::{build_lanes, fan_out, reserve_lanes, scan_tau_of};
+use crate::parallel::{merge_shard_results, resolve_threads, ShardResult};
+use crate::ranking::Match;
+use crate::tasm_dynamic::TasmOptions;
+use crate::workspace::scratch_fits_cap;
+use tasm_ted::{CascadeScratch, CostModel, TedStats, TedWorkspace};
+use tasm_tree::{LabelId, NodeId, PostorderEntry, PostorderQueue, Tree};
+
+/// Segments are flushed once they hold at least this many entries (a
+/// single candidate larger than the floor still travels whole — the
+/// buffer grows to the candidate's real size at most). Batching many
+/// small candidates per hand-off amortizes the pipe synchronization.
+const SEGMENT_MIN_NODES: usize = 1024;
+
+/// Upper bound on the flush budget (and thus on each segment's eager
+/// reservation, ~12 bytes per entry): a saturated τ must not pre-claim
+/// gigabytes up front. With the `2T + 1` pool this caps the pipe at
+/// roughly `(2T + 1) · 3 MiB`; larger individual candidates still grow
+/// their segment on demand, bounded by the candidate's actual size.
+const SEGMENT_MAX_NODES: usize = 1 << 18;
+
+/// One hand-off unit: a run of complete candidate subtrees in stream
+/// order, stored as flat postorder entries.
+#[derive(Debug, Default)]
+struct Segment {
+    /// `(document root postorder, candidate length)` per candidate.
+    roots: Vec<(u32, u32)>,
+    /// Concatenated `(label, local size)` entries of all candidates.
+    entries: Vec<PostorderEntry>,
+}
+
+impl Segment {
+    fn with_capacity(nodes: usize) -> Self {
+        Segment {
+            roots: Vec::with_capacity(nodes / 2 + 1),
+            entries: Vec::with_capacity(nodes + 1),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.roots.clear();
+        self.entries.clear();
+    }
+}
+
+/// The bounded SPMC hand-off pipe: the producer pushes full segments
+/// into `ready`, any worker pops the next one (work stealing — shard
+/// balance is automatic), and consumed segments return through the
+/// `free` pool. Buffers only ever *move*, so the steady state
+/// synchronizes without allocating.
+struct Pipe {
+    ready: Mutex<ReadyState>,
+    ready_cv: Condvar,
+    free: Mutex<Vec<Segment>>,
+    free_cv: Condvar,
+    /// Set when either side of the pipe unwinds: both blocking waits
+    /// bail out instead of deadlocking on a peer that will never come
+    /// back (the panic then propagates through `thread::scope`).
+    aborted: AtomicBool,
+}
+
+struct ReadyState {
+    queue: VecDeque<Segment>,
+    done: bool,
+}
+
+impl Pipe {
+    /// A pipe owning `pool` pre-sized segments.
+    fn new(pool: usize, segment_nodes: usize) -> Self {
+        Pipe {
+            ready: Mutex::new(ReadyState {
+                queue: VecDeque::with_capacity(pool),
+                done: false,
+            }),
+            ready_cv: Condvar::new(),
+            free: Mutex::new(
+                (0..pool)
+                    .map(|_| Segment::with_capacity(segment_nodes))
+                    .collect(),
+            ),
+            free_cv: Condvar::new(),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the pipe dead and wakes every waiter on both sides.
+    ///
+    /// Each notify happens while holding the matching mutex: a naked
+    /// notify could land in the gap between a waiter's abort check and
+    /// its `wait()`, be lost, and turn the panic this exists for into a
+    /// hang. Lock results are deliberately not `expect`ed — abort runs
+    /// during unwinding, where a poisoned mutex must not double-panic
+    /// (the waiter's own `expect` surfaces the poisoning).
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        let ready = self.ready.lock();
+        self.ready_cv.notify_all();
+        drop(ready);
+        let free = self.free.lock();
+        self.free_cv.notify_all();
+        drop(free);
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// Producer: publishes a full segment to the workers.
+    fn send(&self, seg: Segment) {
+        self.ready
+            .lock()
+            .expect("pipe poisoned")
+            .queue
+            .push_back(seg);
+        self.ready_cv.notify_one();
+    }
+
+    /// Producer: marks the stream exhausted and wakes every worker.
+    fn finish(&self) {
+        self.ready.lock().expect("pipe poisoned").done = true;
+        self.ready_cv.notify_all();
+    }
+
+    /// Worker: takes the next segment, blocking while the stream is
+    /// still live; `None` once the producer finished and the queue
+    /// drained.
+    fn recv(&self) -> Option<Segment> {
+        let mut state = self.ready.lock().expect("pipe poisoned");
+        loop {
+            if self.is_aborted() {
+                // The producer died; exit so its panic can propagate.
+                return None;
+            }
+            if let Some(seg) = state.queue.pop_front() {
+                return Some(seg);
+            }
+            if state.done {
+                return None;
+            }
+            state = self.ready_cv.wait(state).expect("pipe poisoned");
+        }
+    }
+
+    /// Worker: returns a consumed segment to the pool (capacity kept).
+    fn recycle(&self, mut seg: Segment) {
+        seg.clear();
+        self.free.lock().expect("pipe poisoned").push(seg);
+        self.free_cv.notify_one();
+    }
+
+    /// Producer: acquires an empty segment, blocking until a worker
+    /// recycles one (the backpressure that bounds total memory).
+    fn take_free(&self) -> Segment {
+        let mut free = self.free.lock().expect("pipe poisoned");
+        loop {
+            assert!(
+                !self.is_aborted(),
+                "stream shard worker died; aborting the scan"
+            );
+            if let Some(seg) = free.pop() {
+                return seg;
+            }
+            free = self.free_cv.wait(free).expect("pipe poisoned");
+        }
+    }
+}
+
+/// Unwind guard held by both sides of the pipe: if its holder panics,
+/// the pipe is aborted so the other side stops waiting and the panic
+/// reaches `thread::scope` instead of deadlocking the scan.
+struct AbortOnPanic<'p>(&'p Pipe);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort();
+        }
+    }
+}
+
+/// Producer-side [`CandidateSink`]: copies every candidate the scan
+/// emits into the segment in hand and flushes it downstream once the
+/// node budget is reached.
+struct SegmentSink<'p> {
+    pipe: &'p Pipe,
+    current: Segment,
+    budget: usize,
+}
+
+impl CandidateSink for SegmentSink<'_> {
+    fn consume(&mut self, cand: &Tree, root: NodeId, _stats: &mut ScanStats) {
+        self.current.roots.push((root.post(), cand.len() as u32));
+        self.current
+            .entries
+            .extend(cand.postorder().map(|(l, s)| PostorderEntry::new(l, s)));
+        if self.current.entries.len() >= self.budget {
+            let full = std::mem::replace(&mut self.current, self.pipe.take_free());
+            self.pipe.send(full);
+        }
+    }
+}
+
+/// One streaming shard worker: consumes segments until the pipe drains,
+/// replaying every candidate through this worker's own lanes.
+fn stream_worker(
+    pipe: &Pipe,
+    queries: &[BatchQuery<'_>],
+    model: &dyn CostModel,
+    c_t: u64,
+    scan_tau: u32,
+    opts: TasmOptions,
+    want_ted_stats: bool,
+) -> ShardResult {
+    let _guard = AbortOnPanic(pipe);
+    let (mut lanes, _) = build_lanes(queries, model, c_t);
+    let mut teds: Vec<TedWorkspace> = (0..lanes.len()).map(|_| TedWorkspace::new()).collect();
+    let mut lb = CascadeScratch::new();
+    // Reserve up front so no candidate — whichever worker it lands on —
+    // grows a buffer mid-stream (also what keeps the loop zero-alloc).
+    reserve_lanes(&lanes, &mut teds, &mut lb, scan_tau);
+    let mut scratch = Tree::leaf(LabelId(0));
+    if scratch_fits_cap(scan_tau as usize) {
+        scratch.reserve(scan_tau as usize);
+    }
+    let mut ted_stats = want_ted_stats.then(TedStats::new);
+    let mut scan = ScanStats::default();
+    while let Some(seg) = pipe.recv() {
+        let mut lo = 0usize;
+        for &(root, len) in &seg.roots {
+            let hi = lo + len as usize;
+            scratch.set_postorder_unchecked(seg.entries[lo..hi].iter().map(|e| (e.label, e.size)));
+            fan_out(
+                &mut lanes,
+                &mut teds,
+                &mut lb,
+                &scratch,
+                root - len,
+                opts,
+                ted_stats.as_mut(),
+            );
+            lo = hi;
+        }
+        scan.candidates += seg.roots.len();
+        pipe.recycle(seg);
+    }
+    ShardResult {
+        lane_funnels: lanes.iter().map(|l| l.stats).collect(),
+        heaps: lanes.into_iter().map(|l| l.heap).collect(),
+        scan: ScanStats {
+            // Scan-layer counters of the pass (nodes seen, ring peak)
+            // belong to the producer; workers report only how many
+            // candidates they evaluated so the sum checks out.
+            candidates: scan.candidates,
+            ..ScanStats::default()
+        },
+        ted_stats,
+    }
+}
+
+/// Batch×parallel composition over a postorder **stream**: answers
+/// every query of `queries` across `threads` worker threads in one
+/// pass of `queue`, without ever materializing the document.
+///
+/// The calling thread runs the `O(τ_scan)` ring-buffer scan and hands
+/// candidate segments to the workers through a bounded, recycling pipe
+/// (see the [module docs](self) for the memory bound). Every ranking is
+/// **exactly** what the sequential
+/// [`tasm_postorder`](crate::tasm_postorder) returns for that query
+/// alone, for any `threads` (`0` = one per available core; `<= 1`
+/// falls back to the shared-scan [`tasm_batch`](crate::tasm_batch)
+/// without spawning threads). `c_t` is the maximum document node cost
+/// under `model`, as for the sequential entry points.
+///
+/// # Examples
+///
+/// ```
+/// use tasm_tree::{bracket, LabelDict, TreeQueue};
+/// use tasm_ted::UnitCost;
+/// use tasm_core::{tasm_batch_parallel_stream, BatchQuery, TasmOptions};
+///
+/// let mut dict = LabelDict::new();
+/// let q1 = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
+/// let q2 = bracket::parse("{a{b}}", &mut dict).unwrap();
+/// let doc = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict).unwrap();
+/// let queries = [
+///     BatchQuery { query: &q1, k: 1 },
+///     BatchQuery { query: &q2, k: 1 },
+/// ];
+/// // Any postorder queue works — an XML stream included.
+/// let mut queue = TreeQueue::new(&doc);
+/// let rankings = tasm_batch_parallel_stream(
+///     &queries, &mut queue, &UnitCost, 1, TasmOptions::default(), 2, None);
+/// assert_eq!(rankings[0][0].root.post(), 6); // exact match for q1
+/// ```
+pub fn tasm_batch_parallel_stream<Q: PostorderQueue + ?Sized>(
+    queries: &[BatchQuery<'_>],
+    queue: &mut Q,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+    stats: Option<&mut TedStats>,
+) -> Vec<Vec<Match>> {
+    tasm_batch_parallel_stream_with_stats(queries, queue, model, c_t, opts, threads, stats).0
+}
+
+/// As [`tasm_batch_parallel_stream`], but also returning the aggregated
+/// [`ScanStats`] (one scan; funnel summed over all lanes) and the
+/// per-lane statistics in query order.
+pub fn tasm_batch_parallel_stream_with_stats<Q: PostorderQueue + ?Sized>(
+    queries: &[BatchQuery<'_>],
+    queue: &mut Q,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+    stats: Option<&mut TedStats>,
+) -> (Vec<Vec<Match>>, ScanStats, Vec<ScanStats>) {
+    let mut ws = BatchWorkspace::new();
+    tasm_batch_parallel_stream_with_workspace(
+        queries, queue, model, c_t, opts, threads, &mut ws, stats,
+    )
+}
+
+/// As [`tasm_batch_parallel_stream_with_stats`], but reusing the
+/// caller's [`BatchWorkspace`] for the single-threaded fallback: when
+/// `threads` resolves to `<= 1` the scan runs through the shared-scan
+/// batch path with the caller's warm buffers, preserving the
+/// O(#queries)-allocations-per-scan reuse contract. The sharded path
+/// leaves `ws` untouched — each worker owns its state by design.
+#[allow(clippy::too_many_arguments)]
+pub fn tasm_batch_parallel_stream_with_workspace<Q: PostorderQueue + ?Sized>(
+    queries: &[BatchQuery<'_>],
+    queue: &mut Q,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+    ws: &mut BatchWorkspace,
+    stats: Option<&mut TedStats>,
+) -> (Vec<Vec<Match>>, ScanStats, Vec<ScanStats>) {
+    if queries.is_empty() {
+        return (Vec::new(), ScanStats::default(), Vec::new());
+    }
+    let threads = resolve_threads(threads);
+    if threads <= 1 {
+        // One worker would only add hand-off copies: the shared-scan
+        // batch path is the same streaming work inline.
+        let rankings = tasm_batch_with_workspace(queries, queue, model, c_t, opts, ws, stats);
+        return (
+            rankings,
+            ws.last_scan_stats(),
+            ws.last_lane_stats().to_vec(),
+        );
+    }
+
+    // The scan must cover the widest lane threshold; the workers build
+    // their own lanes, so only the thresholds are computed here.
+    let scan_tau = scan_tau_of(queries, model, c_t);
+    // The flush budget is capped so a pathological τ (e.g. saturated by
+    // a huge k) cannot pre-reserve gigabytes of segments or defer every
+    // flush to the end of the stream; an individual candidate larger
+    // than the budget still travels whole (the buffer grows to its real
+    // size on demand, bounded by the actual subtree).
+    let budget = (scan_tau as usize).clamp(SEGMENT_MIN_NODES, SEGMENT_MAX_NODES);
+    let pipe = Pipe::new(2 * threads + 1, budget);
+    let want_ted_stats = stats.is_some();
+
+    let (producer_scan, results) = std::thread::scope(|scope| {
+        let pipe = &pipe;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    stream_worker(pipe, queries, model, c_t, scan_tau, opts, want_ted_stats)
+                })
+            })
+            .collect();
+
+        // The producer runs on the calling thread: one ring-buffer pass
+        // over the stream, segmenting candidates as they fall out.
+        let _guard = AbortOnPanic(pipe);
+        let mut engine = ScanEngine::new(scan_tau);
+        if scratch_fits_cap(scan_tau as usize) {
+            engine.reserve();
+        }
+        let mut sink = SegmentSink {
+            pipe,
+            current: pipe.take_free(),
+            budget,
+        };
+        let scan = engine.scan(queue, &mut sink);
+        let last = sink.current;
+        if last.roots.is_empty() {
+            pipe.recycle(last);
+        } else {
+            pipe.send(last);
+        }
+        pipe.finish();
+
+        let results: Vec<ShardResult> = handles
+            .into_iter()
+            .map(|h| h.join().expect("stream shard worker panicked"))
+            .collect();
+        (scan, results)
+    });
+
+    debug_assert_eq!(
+        results.iter().map(|r| r.scan.candidates).sum::<usize>(),
+        producer_scan.candidates,
+        "every candidate must be evaluated by exactly one worker"
+    );
+    let (rankings, mut aggregate, mut lane_stats) =
+        merge_shard_results(queries.len(), results, stats);
+    // Scan-layer truth comes from the producer's single pass.
+    aggregate.adopt_scan_layer(&producer_scan);
+    for ls in &mut lane_stats {
+        ls.adopt_scan_layer(&producer_scan);
+    }
+    (rankings, aggregate, lane_stats)
+}
+
+/// Computes the top-`k` ranking of `query` against a postorder
+/// **stream**, sharding candidate evaluation across `threads` worker
+/// threads — the streaming counterpart of
+/// [`tasm_parallel`](crate::tasm_parallel), with no materialized
+/// document and `O(threads · τ + m²)` memory.
+///
+/// Returns **exactly** the sequential
+/// [`tasm_postorder`](crate::tasm_postorder) ranking for any `threads`
+/// (`0` = one per available core).
+///
+/// # Examples
+///
+/// ```
+/// use tasm_tree::{bracket, LabelDict, TreeQueue};
+/// use tasm_ted::UnitCost;
+/// use tasm_core::{tasm_parallel_stream, TasmOptions};
+///
+/// let mut dict = LabelDict::new();
+/// let g = bracket::parse("{a{b}{c}}", &mut dict).unwrap();
+/// let h = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict).unwrap();
+/// let mut queue = TreeQueue::new(&h);
+/// let top2 =
+///     tasm_parallel_stream(&g, &mut queue, 2, &UnitCost, 1, TasmOptions::default(), 2);
+/// assert_eq!(top2[0].root.post(), 6);
+/// assert_eq!(top2[1].root.post(), 3);
+/// ```
+pub fn tasm_parallel_stream<Q: PostorderQueue + ?Sized>(
+    query: &Tree,
+    queue: &mut Q,
+    k: usize,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+) -> Vec<Match> {
+    tasm_parallel_stream_with_stats(query, queue, k, model, c_t, opts, threads, None).0
+}
+
+/// As [`tasm_parallel_stream`], but also returning the pass's
+/// [`ScanStats`] and, if `stats` is given, merging every worker's
+/// [`TedStats`] into it.
+#[allow(clippy::too_many_arguments)]
+pub fn tasm_parallel_stream_with_stats<Q: PostorderQueue + ?Sized>(
+    query: &Tree,
+    queue: &mut Q,
+    k: usize,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+    stats: Option<&mut TedStats>,
+) -> (Vec<Match>, ScanStats) {
+    let queries = [BatchQuery { query, k }];
+    let (mut rankings, scan, _) =
+        tasm_batch_parallel_stream_with_stats(&queries, queue, model, c_t, opts, threads, stats);
+    (rankings.pop().expect("one lane"), scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasm_postorder::tasm_postorder;
+    use tasm_ted::UnitCost;
+    use tasm_tree::{bracket, LabelDict, TreeQueue};
+
+    fn wide_doc(dict: &mut LabelDict, records: usize) -> Tree {
+        let mut s = String::from("{dblp");
+        for i in 0..records {
+            match i % 3 {
+                0 => s.push_str("{article{a}{t}}"),
+                1 => s.push_str("{book{t}}"),
+                _ => s.push_str("{article{a}{t}{y}}"),
+            }
+        }
+        s.push('}');
+        bracket::parse(&s, dict).unwrap()
+    }
+
+    #[test]
+    fn stream_parallel_equals_sequential() {
+        let mut dict = LabelDict::new();
+        let doc = wide_doc(&mut dict, 80);
+        let query = bracket::parse("{article{a}{t}}", &mut dict).unwrap();
+        let opts = TasmOptions {
+            keep_trees: true,
+            ..Default::default()
+        };
+        for k in [1usize, 3, 10] {
+            let mut q = TreeQueue::new(&doc);
+            let want = tasm_postorder(&query, &mut q, k, &UnitCost, 1, opts, None);
+            for threads in [1usize, 2, 3, 4, 7] {
+                let mut q = TreeQueue::new(&doc);
+                let got = tasm_parallel_stream(&query, &mut q, k, &UnitCost, 1, opts, threads);
+                assert_eq!(got, want, "k = {k}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_batch_parallel_matches_per_query_sequential() {
+        let mut dict = LabelDict::new();
+        let doc = wide_doc(&mut dict, 60);
+        let q1 = bracket::parse("{article{a}{t}}", &mut dict).unwrap();
+        let q2 = bracket::parse("{book{t}}", &mut dict).unwrap();
+        let q3 = bracket::parse("{y}", &mut dict).unwrap();
+        let queries = [
+            BatchQuery { query: &q1, k: 4 },
+            BatchQuery { query: &q2, k: 1 },
+            BatchQuery { query: &q3, k: 9 },
+        ];
+        let opts = TasmOptions::default();
+        for threads in [2usize, 4, 7] {
+            let mut q = TreeQueue::new(&doc);
+            let (rankings, agg, lanes) = tasm_batch_parallel_stream_with_stats(
+                &queries, &mut q, &UnitCost, 1, opts, threads, None,
+            );
+            assert_eq!(rankings.len(), 3);
+            assert_eq!(lanes.len(), 3);
+            assert_eq!(agg.nodes_seen as usize, doc.len());
+            for (bq, got) in queries.iter().zip(&rankings) {
+                let mut q = TreeQueue::new(&doc);
+                let want = tasm_postorder(bq.query, &mut q, bq.k, &UnitCost, 1, opts, None);
+                assert_eq!(got, &want, "threads = {threads}");
+            }
+            // Per-lane funnels sum to the aggregate funnel.
+            let funnel_sum: u64 = lanes.iter().map(|l| l.evaluated).sum();
+            assert_eq!(funnel_sum, agg.evaluated);
+            for lane in &lanes {
+                assert_eq!(lane.candidates, agg.candidates);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_stats_merge_ted_stats() {
+        let mut dict = LabelDict::new();
+        let doc = wide_doc(&mut dict, 40);
+        let query = bracket::parse("{book{t}}", &mut dict).unwrap();
+        let mut ted = TedStats::new();
+        let mut q = TreeQueue::new(&doc);
+        let (m, scan) = tasm_parallel_stream_with_stats(
+            &query,
+            &mut q,
+            2,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            3,
+            Some(&mut ted),
+        );
+        assert_eq!(m.len(), 2);
+        assert!(scan.candidates > 0);
+        assert!(ted.ted_calls > 0);
+    }
+
+    #[test]
+    fn zero_and_one_threads_match_sequential() {
+        let mut dict = LabelDict::new();
+        let doc = wide_doc(&mut dict, 20);
+        let query = bracket::parse("{book{t}}", &mut dict).unwrap();
+        let mut q = TreeQueue::new(&doc);
+        let want = tasm_postorder(
+            &query,
+            &mut q,
+            2,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            None,
+        );
+        for threads in [0usize, 1] {
+            let mut q = TreeQueue::new(&doc);
+            let got = tasm_parallel_stream(
+                &query,
+                &mut q,
+                2,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                threads,
+            );
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn single_node_stream_works() {
+        let mut dict = LabelDict::new();
+        let doc = bracket::parse("{a}", &mut dict).unwrap();
+        let query = bracket::parse("{a}", &mut dict).unwrap();
+        let mut q = TreeQueue::new(&doc);
+        let got = tasm_parallel_stream(&query, &mut q, 1, &UnitCost, 1, TasmOptions::default(), 4);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].distance, tasm_ted::Cost::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue exploded")]
+    fn producer_panic_propagates_instead_of_hanging() {
+        // A queue that dies mid-stream: the producer's panic must abort
+        // the pipe so the workers exit and `thread::scope` can re-raise
+        // it — a lost wakeup here would hang the scan forever.
+        struct PanicQueue(u32);
+        impl PostorderQueue for PanicQueue {
+            fn dequeue(&mut self) -> Option<PostorderEntry> {
+                self.0 += 1;
+                assert!(self.0 <= 5000, "queue exploded");
+                // An endless forest of leaves (every prefix valid).
+                Some(PostorderEntry::new(LabelId(0), 1))
+            }
+        }
+        let mut dict = LabelDict::new();
+        let query = bracket::parse("{a}", &mut dict).unwrap();
+        tasm_parallel_stream(
+            &query,
+            &mut PanicQueue(0),
+            1,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            4,
+        );
+    }
+
+    #[test]
+    fn empty_query_list_consumes_nothing() {
+        let mut dict = LabelDict::new();
+        let doc = wide_doc(&mut dict, 5);
+        let mut q = TreeQueue::new(&doc);
+        let out =
+            tasm_batch_parallel_stream(&[], &mut q, &UnitCost, 1, TasmOptions::default(), 4, None);
+        assert!(out.is_empty());
+        assert!(q.dequeue().is_some(), "queue untouched");
+    }
+}

@@ -1,0 +1,437 @@
+//! The differential matrix: **one** generator, every algorithm variant,
+//! exact ranking equality down to subtree ids.
+//!
+//! Five algorithms now claim identical rankings — naive, dynamic,
+//! postorder, batch and parallel — across two document
+//! representations (materialized tree vs postorder stream), any thread
+//! count and with the pruning cascade on or off. Instead of scattered
+//! pairwise proptests, this harness pins the whole matrix against a
+//! single oracle (`tasm_naive`):
+//!
+//! ```text
+//! {naive, dynamic, postorder, batch, parallel, batch×parallel}
+//!   × {materialized Tree, streaming postorder queue}
+//!   × threads ∈ {1, 2, 4, 7}
+//!   × cascade ∈ {on, off}
+//! ```
+//!
+//! Equality is on `(root id, distance, size)` — not just the distance
+//! sequence — so tie-breaking must agree everywhere too. A second
+//! matrix covers multi-query batches per lane, and an end-to-end case
+//! feeds the sharded scans from a real `XmlPostorderQueue` with **no**
+//! materialized document (the acceptance criterion of the streaming
+//! shard hand-off).
+//!
+//! The seeded variant (`differential_matrix_seeded`) re-runs the matrix
+//! on a deterministic seed sweep; CI shifts the sweep with the
+//! `TASM_DIFF_SEED` environment variable (shuffle-style seeds) under
+//! `--test-threads=1`.
+
+use proptest::prelude::*;
+use tasm_core::{
+    tasm_batch, tasm_batch_parallel, tasm_batch_parallel_stream, tasm_dynamic, tasm_naive,
+    tasm_parallel, tasm_parallel_stream, tasm_postorder, BatchQuery, Match, TasmOptions,
+};
+use tasm_ted::UnitCost;
+use tasm_tree::{LabelId, Tree, TreeBuilder, TreeQueue, VecQueue};
+
+/// Thread counts of the parallel axes.
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// Builds a uniformly-shaped random tree of exactly `n` nodes by random
+/// attachment (node `i` picks a uniformly random existing parent), over
+/// `n_labels` distinct labels.
+fn random_tree(seed: u64, n: usize, n_labels: u32) -> Tree {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut labels: Vec<u32> = Vec::with_capacity(n);
+    labels.push(rng.gen_range(0..n_labels));
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        children[parent].push(i);
+        labels.push(rng.gen_range(0..n_labels));
+    }
+    fn rec(node: usize, children: &[Vec<usize>], labels: &[u32], b: &mut TreeBuilder) {
+        b.start(LabelId(labels[node]));
+        for &c in &children[node] {
+            rec(c, children, labels, b);
+        }
+        b.end().expect("balanced");
+    }
+    let mut b = TreeBuilder::with_capacity(n);
+    rec(0, &children, &labels, &mut b);
+    b.finish().expect("single root")
+}
+
+/// A streaming view of `doc` that hides the materialized tree: the
+/// algorithms under test only ever see a postorder queue.
+fn stream(doc: &Tree) -> VecQueue {
+    VecQueue::from_tree(doc)
+}
+
+/// The full rank key — id, distance AND size must agree.
+fn key(ms: &[Match]) -> Vec<(u32, u64, u32)> {
+    ms.iter()
+        .map(|m| (m.root.post(), m.distance.halves(), m.size))
+        .collect()
+}
+
+/// Runs every single-query variant of the matrix against the oracle.
+fn check_single_query_matrix(q: &Tree, doc: &Tree, k: usize) -> Result<(), String> {
+    let oracle = key(&tasm_naive(
+        q,
+        doc,
+        k,
+        &UnitCost,
+        TasmOptions::default(),
+        None,
+    ));
+    let check = |name: String, got: Vec<Match>| -> Result<(), String> {
+        let got = key(&got);
+        if got != oracle {
+            return Err(format!("{name}: {got:?} != oracle {oracle:?}"));
+        }
+        Ok(())
+    };
+    for cascade in [true, false] {
+        let opts = TasmOptions {
+            use_cascade: cascade,
+            ..Default::default()
+        };
+        let tag = if cascade { "cascade-on" } else { "cascade-off" };
+
+        check(
+            format!("dynamic/{tag}"),
+            tasm_dynamic(q, doc, k, &UnitCost, opts, None),
+        )?;
+        check(
+            format!("postorder/materialized/{tag}"),
+            tasm_postorder(q, &mut TreeQueue::new(doc), k, &UnitCost, 1, opts, None),
+        )?;
+        check(
+            format!("postorder/streaming/{tag}"),
+            tasm_postorder(q, &mut stream(doc), k, &UnitCost, 1, opts, None),
+        )?;
+        let bq = [BatchQuery { query: q, k }];
+        check(
+            format!("batch/materialized/{tag}"),
+            tasm_batch(&bq, &mut TreeQueue::new(doc), &UnitCost, 1, opts, None).remove(0),
+        )?;
+        check(
+            format!("batch/streaming/{tag}"),
+            tasm_batch(&bq, &mut stream(doc), &UnitCost, 1, opts, None).remove(0),
+        )?;
+        for threads in THREADS {
+            check(
+                format!("parallel/materialized/t{threads}/{tag}"),
+                tasm_parallel(q, doc, k, &UnitCost, 1, opts, threads),
+            )?;
+            check(
+                format!("parallel/streaming/t{threads}/{tag}"),
+                tasm_parallel_stream(q, &mut stream(doc), k, &UnitCost, 1, opts, threads),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs the multi-query variants: every batch composition must return,
+/// per lane, exactly the sequential ranking of that query alone.
+fn check_multi_query_matrix(queries: &[(Tree, usize)], doc: &Tree) -> Result<(), String> {
+    let oracles: Vec<Vec<(u32, u64, u32)>> = queries
+        .iter()
+        .map(|(q, k)| {
+            key(&tasm_naive(
+                q,
+                doc,
+                *k,
+                &UnitCost,
+                TasmOptions::default(),
+                None,
+            ))
+        })
+        .collect();
+    let bqs: Vec<BatchQuery<'_>> = queries
+        .iter()
+        .map(|(query, k)| BatchQuery { query, k: *k })
+        .collect();
+    let check = |name: String, got: Vec<Vec<Match>>| -> Result<(), String> {
+        if got.len() != oracles.len() {
+            return Err(format!("{name}: {} lanes != {}", got.len(), oracles.len()));
+        }
+        for (i, (g, want)) in got.iter().zip(&oracles).enumerate() {
+            let g = key(g);
+            if &g != want {
+                return Err(format!("{name} lane {i}: {g:?} != oracle {want:?}"));
+            }
+        }
+        Ok(())
+    };
+    for cascade in [true, false] {
+        let opts = TasmOptions {
+            use_cascade: cascade,
+            ..Default::default()
+        };
+        let tag = if cascade { "cascade-on" } else { "cascade-off" };
+        check(
+            format!("batch/materialized/{tag}"),
+            tasm_batch(&bqs, &mut TreeQueue::new(doc), &UnitCost, 1, opts, None),
+        )?;
+        check(
+            format!("batch/streaming/{tag}"),
+            tasm_batch(&bqs, &mut stream(doc), &UnitCost, 1, opts, None),
+        )?;
+        for threads in THREADS {
+            check(
+                format!("batch×parallel/materialized/t{threads}/{tag}"),
+                tasm_batch_parallel(&bqs, doc, &UnitCost, 1, opts, threads, None),
+            )?;
+            check(
+                format!("batch×parallel/streaming/t{threads}/{tag}"),
+                tasm_batch_parallel_stream(
+                    &bqs,
+                    &mut stream(doc),
+                    &UnitCost,
+                    1,
+                    opts,
+                    threads,
+                    None,
+                ),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn differential_matrix_single_query(
+        doc_seed in any::<u64>(),
+        doc_n in 1usize..150,
+        q_seed in any::<u64>(),
+        q_n in 1usize..10,
+        k in 1usize..8,
+    ) {
+        let doc = random_tree(doc_seed, doc_n, 4);
+        let q = random_tree(q_seed, q_n, 4);
+        if let Err(e) = check_single_query_matrix(&q, &doc, k) {
+            panic!("{e}");
+        }
+    }
+
+    #[test]
+    fn differential_matrix_multi_query(
+        doc_seed in any::<u64>(),
+        doc_n in 1usize..120,
+        specs in proptest::collection::vec((any::<u64>(), 1usize..9, 1usize..7), 1..5),
+    ) {
+        let doc = random_tree(doc_seed, doc_n, 4);
+        let queries: Vec<(Tree, usize)> = specs
+            .iter()
+            .map(|&(seed, n, k)| (random_tree(seed, n, 4), k))
+            .collect();
+        if let Err(e) = check_multi_query_matrix(&queries, &doc) {
+            panic!("{e}");
+        }
+    }
+}
+
+/// Deterministic seed-sweep version of the matrix for CI: the base seed
+/// shifts with `TASM_DIFF_SEED`, so repeated CI runs cover different
+/// corners while any failure reproduces with the printed seed.
+#[test]
+fn differential_matrix_seeded() {
+    let base: u64 = std::env::var("TASM_DIFF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD1FF);
+    for round in 0..12u64 {
+        let s = base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(round);
+        let doc = random_tree(s, 20 + (s % 120) as usize, 4);
+        let q = random_tree(s ^ 0xABCD, 1 + (s % 9) as usize, 4);
+        let k = 1 + (s % 7) as usize;
+        if let Err(e) = check_single_query_matrix(&q, &doc, k) {
+            panic!("seed {base} round {round}: {e}");
+        }
+        let queries = vec![
+            (
+                random_tree(s ^ 1, 1 + (s % 8) as usize, 4),
+                1 + (s % 5) as usize,
+            ),
+            (random_tree(s ^ 2, 1 + (s % 6) as usize, 4), 2),
+        ];
+        if let Err(e) = check_multi_query_matrix(&queries, &doc) {
+            panic!("seed {base} round {round}: {e}");
+        }
+    }
+}
+
+/// End-to-end acceptance: the sharded scans fed from a **real XML
+/// stream** — parsed on the fly, never materialized — return rankings
+/// identical to sequential `tasm_dynamic` on the parsed tree, down to
+/// subtree ids.
+#[test]
+fn xml_stream_matches_materialized_dynamic_down_to_ids() {
+    use tasm_tree::LabelDict;
+    use tasm_xml::{parse_tree_str, XmlPostorderQueue};
+
+    // A DBLP-shaped document with enough repetition for ties.
+    let mut xml = String::from("<dblp>");
+    for i in 0..70 {
+        xml.push_str(&format!(
+            "<article><auth>A{}</auth><title>T{}</title></article>",
+            i % 6,
+            i % 4
+        ));
+        if i % 5 == 0 {
+            xml.push_str(&format!("<book><title>T{}</title></book>", i % 3));
+        }
+    }
+    xml.push_str("</dblp>");
+
+    let mut dict = LabelDict::new();
+    let query = parse_tree_str(
+        "<article><auth>A3</auth><title>T2</title></article>",
+        &mut dict,
+    )
+    .unwrap();
+    let query2 = parse_tree_str("<book><title>T1</title></book>", &mut dict).unwrap();
+    // The oracle parses the document once (same dictionary, so label ids
+    // line up with the streaming runs below).
+    let doc = parse_tree_str(&xml, &mut dict).unwrap();
+
+    for k in [1usize, 4, 9] {
+        let want = key(&tasm_dynamic(
+            &query,
+            &doc,
+            k,
+            &UnitCost,
+            TasmOptions::default(),
+            None,
+        ));
+        for threads in THREADS {
+            // Fresh queue per run: the parser streams, nothing is kept.
+            let mut queue = XmlPostorderQueue::new(xml.as_bytes(), &mut dict);
+            let got = tasm_parallel_stream(
+                &query,
+                &mut queue,
+                k,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                threads,
+            );
+            assert!(queue.is_ok());
+            assert_eq!(key(&got), want, "k = {k}, threads = {threads}");
+        }
+    }
+
+    // Batch×parallel over the XML stream, per lane.
+    let bqs = [
+        BatchQuery {
+            query: &query,
+            k: 5,
+        },
+        BatchQuery {
+            query: &query2,
+            k: 3,
+        },
+    ];
+    let wants: Vec<_> = bqs
+        .iter()
+        .map(|bq| {
+            key(&tasm_dynamic(
+                bq.query,
+                &doc,
+                bq.k,
+                &UnitCost,
+                TasmOptions::default(),
+                None,
+            ))
+        })
+        .collect();
+    for threads in THREADS {
+        let mut queue = XmlPostorderQueue::new(xml.as_bytes(), &mut dict);
+        let got = tasm_batch_parallel_stream(
+            &bqs,
+            &mut queue,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            threads,
+            None,
+        );
+        assert!(queue.is_ok());
+        for (lane, (g, want)) in got.iter().zip(&wants).enumerate() {
+            assert_eq!(&key(g), want, "lane {lane}, threads = {threads}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Weighted-cost axis: the matrix is not unit-cost-specific. The
+    /// document-side cost bound `c_t` is the table maximum, as Theorem 3
+    /// requires.
+    #[test]
+    fn differential_matrix_weighted_costs(
+        doc_seed in any::<u64>(),
+        doc_n in 1usize..100,
+        q_seed in any::<u64>(),
+        q_n in 1usize..8,
+        k in 1usize..5,
+    ) {
+        use tasm_ted::PerLabelCost;
+        let model = PerLabelCost::new(1)
+            .with(LabelId(0), 2)
+            .with(LabelId(1), 3)
+            .with(LabelId(2), 1)
+            .with(LabelId(3), 5);
+        let c_t = 5; // max of the table
+        let doc = random_tree(doc_seed, doc_n, 4);
+        let q = random_tree(q_seed, q_n, 4);
+        let opts = TasmOptions::default();
+        let want = key(&tasm_dynamic(&q, &doc, k, &model, opts, None));
+        let got = key(&tasm_postorder(
+            &q, &mut stream(&doc), k, &model, c_t, opts, None,
+        ));
+        prop_assert_eq!(&got, &want);
+        for threads in [2usize, 7] {
+            let par = key(&tasm_parallel(&q, &doc, k, &model, c_t, opts, threads));
+            prop_assert_eq!(&par, &want);
+            let par_stream = key(&tasm_parallel_stream(
+                &q, &mut stream(&doc), k, &model, c_t, opts, threads,
+            ));
+            prop_assert_eq!(&par_stream, &want);
+        }
+    }
+}
+
+/// The matrix holds on hand-shaped corner cases the generator is
+/// unlikely to hit exactly: single nodes, deep paths, wide-flat trees.
+#[test]
+fn differential_matrix_corner_shapes() {
+    use tasm_tree::bracket;
+    let mut dict = tasm_tree::LabelDict::new();
+    let corners = [
+        "{a}",
+        "{a{a{a{a{a{a{a{a}}}}}}}}",
+        "{r{a}{a}{a}{a}{a}{a}{a}{a}{a}{a}{a}{a}}",
+        "{r{x{a{b}}}{x{a{b}}}{x{a{b}}}}",
+    ];
+    for doc_s in corners {
+        let doc = bracket::parse(doc_s, &mut dict).unwrap();
+        for q_s in ["{a}", "{x{a{b}}}", "{r{a}}"] {
+            let q = bracket::parse(q_s, &mut dict).unwrap();
+            for k in [1usize, 3, 30] {
+                check_single_query_matrix(&q, &doc, k)
+                    .unwrap_or_else(|e| panic!("doc {doc_s}, q {q_s}, k {k}: {e}"));
+            }
+        }
+    }
+}

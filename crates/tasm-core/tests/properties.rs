@@ -3,24 +3,22 @@
 //! * the prefix ring buffer emits exactly `cand(T, τ)` (Def. 9) — checked
 //!   against a brute-force reference and against the simple pruning;
 //! * the ring buffer never holds more than τ nodes (Theorem 2);
-//! * TASM-postorder, TASM-dynamic and the naive algorithm return the
-//!   **identical** ranking (the rank key — distance, postorder number,
-//!   size — is a total order, and the τ' boundary is evaluated
-//!   inclusively, so even ties resolve the same way);
-//! * `tasm_batch` and `tasm_parallel` (any thread count) return exactly
-//!   the sequential single-query rankings;
 //! * `TopKHeap::merge` equals offering every entry into one heap;
 //! * every returned match respects the Theorem 3 size bound;
 //! * the rankings satisfy Def. 1 against exhaustive distances.
+//!
+//! Cross-algorithm ranking equality (naive/dynamic/postorder/batch/
+//! parallel × materialized/streaming × thread counts × cascade on/off)
+//! lives in `tests/differential.rs` — one matrix, one oracle — instead
+//! of scattered pairwise tests here.
 
 use proptest::prelude::*;
 use tasm_core::{
-    candidate_set_reference, prb_pruning, simple_pruning, tasm_batch, tasm_dynamic,
-    tasm_dynamic_with_workspace, tasm_naive, tasm_parallel, tasm_postorder,
-    tasm_postorder_with_workspace, threshold, BatchQuery, Match, PrefixRingBuffer, TasmOptions,
-    TasmWorkspace, TopKHeap,
+    candidate_set_reference, prb_pruning, simple_pruning, tasm_dynamic,
+    tasm_dynamic_with_workspace, tasm_postorder, tasm_postorder_with_workspace, threshold, Match,
+    PrefixRingBuffer, TasmOptions, TasmWorkspace, TopKHeap,
 };
-use tasm_ted::{ted, ted_with_workspace, Cost, PerLabelCost, TedWorkspace, UnitCost};
+use tasm_ted::{ted, ted_with_workspace, Cost, TedWorkspace, UnitCost};
 use tasm_tree::{LabelId, Tree, TreeBuilder, TreeQueue};
 
 /// Builds a uniformly-shaped random tree of exactly `n` nodes by random
@@ -59,10 +57,6 @@ fn arb_doc() -> impl Strategy<Value = Tree> {
 /// Queries: 1–10 nodes over the same label universe.
 fn arb_query() -> impl Strategy<Value = Tree> {
     (any::<u64>(), 1usize..10).prop_map(|(seed, n)| random_tree(seed, n, 4))
-}
-
-fn distances(ms: &[tasm_core::Match]) -> Vec<u64> {
-    ms.iter().map(|m| m.distance.halves()).collect()
 }
 
 proptest! {
@@ -123,110 +117,6 @@ proptest! {
     }
 
     #[test]
-    fn all_three_algorithms_agree_exactly(
-        q in arb_query(),
-        t in arb_doc(),
-        k in 1usize..8,
-    ) {
-        let opts = TasmOptions::default();
-        let naive = tasm_naive(&q, &t, k, &UnitCost, opts, None);
-        let dynamic = tasm_dynamic(&q, &t, k, &UnitCost, opts, None);
-        let mut stream = TreeQueue::new(&t);
-        let postorder = tasm_postorder(&q, &mut stream, k, &UnitCost, 1, opts, None);
-
-        prop_assert_eq!(distances(&naive), distances(&dynamic));
-        prop_assert_eq!(distances(&naive), distances(&postorder));
-        // The rank key is a total order and the τ' boundary is evaluated
-        // inclusively, so all three agree on the ids too — not just the
-        // distance sequence.
-        let ids = |ms: &[Match]| ms.iter().map(|m| m.root).collect::<Vec<_>>();
-        prop_assert_eq!(ids(&naive), ids(&dynamic));
-        prop_assert_eq!(ids(&naive), ids(&postorder));
-    }
-
-    #[test]
-    fn batch_returns_exactly_the_sequential_rankings(
-        queries in proptest::collection::vec((arb_query(), 1usize..8), 1..5),
-        t in arb_doc(),
-        keep in any::<bool>(),
-    ) {
-        let opts = TasmOptions { keep_trees: keep, ..Default::default() };
-        let batch_queries: Vec<BatchQuery<'_>> = queries
-            .iter()
-            .map(|(q, k)| BatchQuery { query: q, k: *k })
-            .collect();
-        let mut stream = TreeQueue::new(&t);
-        let batch = tasm_batch(&batch_queries, &mut stream, &UnitCost, 1, opts, None);
-        prop_assert_eq!(batch.len(), queries.len());
-        for ((q, k), got) in queries.iter().zip(&batch) {
-            let mut stream = TreeQueue::new(&t);
-            let want = tasm_postorder(q, &mut stream, *k, &UnitCost, 1, opts, None);
-            prop_assert_eq!(got, &want);
-        }
-    }
-
-    #[test]
-    fn parallel_returns_exactly_the_sequential_ranking(
-        q in arb_query(),
-        t in arb_doc(),
-        k in 1usize..8,
-        threads in 1usize..6,
-        keep in any::<bool>(),
-    ) {
-        let opts = TasmOptions { keep_trees: keep, ..Default::default() };
-        let mut stream = TreeQueue::new(&t);
-        let want = tasm_postorder(&q, &mut stream, k, &UnitCost, 1, opts, None);
-        let got = tasm_parallel(&q, &t, k, &UnitCost, 1, opts, threads);
-        prop_assert_eq!(got, want, "threads = {}", threads);
-    }
-
-    #[test]
-    fn cascade_on_off_rankings_are_identical_down_to_ids(
-        q in arb_query(),
-        t in arb_doc(),
-        k in 1usize..8,
-        threads in 1usize..5,
-    ) {
-        // The lower-bound cascade prunes only on strict `bound > max(R)`,
-        // so enabling it must not change a single ranked id — across every
-        // algorithm (naive/dynamic ignore it trivially; postorder, batch
-        // and parallel run it against their live cutoffs).
-        let on = TasmOptions { use_cascade: true, ..Default::default() };
-        let off = TasmOptions { use_cascade: false, ..Default::default() };
-        let key = |ms: &[Match]| ms
-            .iter()
-            .map(|m| (m.root.post(), m.distance.halves()))
-            .collect::<Vec<_>>();
-
-        let naive = key(&tasm_naive(&q, &t, k, &UnitCost, on, None));
-        prop_assert_eq!(&naive, &key(&tasm_naive(&q, &t, k, &UnitCost, off, None)));
-
-        let dyn_on = key(&tasm_dynamic(&q, &t, k, &UnitCost, on, None));
-        prop_assert_eq!(&dyn_on, &key(&tasm_dynamic(&q, &t, k, &UnitCost, off, None)));
-        prop_assert_eq!(&dyn_on, &naive);
-
-        let mut s = TreeQueue::new(&t);
-        let po_on = key(&tasm_postorder(&q, &mut s, k, &UnitCost, 1, on, None));
-        let mut s = TreeQueue::new(&t);
-        let po_off = key(&tasm_postorder(&q, &mut s, k, &UnitCost, 1, off, None));
-        prop_assert_eq!(&po_on, &po_off);
-        prop_assert_eq!(&po_on, &naive);
-
-        let bq = [BatchQuery { query: &q, k }];
-        let mut s = TreeQueue::new(&t);
-        let batch_on = key(&tasm_batch(&bq, &mut s, &UnitCost, 1, on, None)[0]);
-        let mut s = TreeQueue::new(&t);
-        let batch_off = key(&tasm_batch(&bq, &mut s, &UnitCost, 1, off, None)[0]);
-        prop_assert_eq!(&batch_on, &batch_off);
-        prop_assert_eq!(&batch_on, &naive);
-
-        let par_on = key(&tasm_parallel(&q, &t, k, &UnitCost, 1, on, threads));
-        let par_off = key(&tasm_parallel(&q, &t, k, &UnitCost, 1, off, threads));
-        prop_assert_eq!(&par_on, &par_off);
-        prop_assert_eq!(&par_on, &naive);
-    }
-
-    #[test]
     fn heap_merge_equals_single_heap(
         entries in proptest::collection::vec((0u64..6, 1u32..60), 0..24),
         k in 1usize..6,
@@ -252,25 +142,6 @@ proptest! {
         }
         left.merge(right);
         prop_assert_eq!(left.into_sorted(), one.into_sorted());
-    }
-
-    #[test]
-    fn algorithms_agree_under_weighted_costs(
-        q in arb_query(),
-        t in arb_doc(),
-        k in 1usize..5,
-    ) {
-        let model = PerLabelCost::new(1)
-            .with(LabelId(0), 2)
-            .with(LabelId(1), 3)
-            .with(LabelId(2), 1)
-            .with(LabelId(3), 5);
-        let c_t = 5; // max of the table
-        let opts = TasmOptions::default();
-        let dynamic = tasm_dynamic(&q, &t, k, &model, opts, None);
-        let mut stream = TreeQueue::new(&t);
-        let postorder = tasm_postorder(&q, &mut stream, k, &model, c_t, opts, None);
-        prop_assert_eq!(distances(&dynamic), distances(&postorder));
     }
 
     #[test]

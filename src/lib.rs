@@ -65,10 +65,11 @@ use std::path::Path;
 /// Everything needed for typical use, in one import.
 pub mod prelude {
     pub use crate::core::{
-        prb_pruning, tasm_batch, tasm_batch_with_workspace, tasm_dynamic,
-        tasm_dynamic_with_workspace, tasm_naive, tasm_parallel, tasm_postorder,
-        tasm_postorder_with_workspace, threshold, BatchQuery, BatchWorkspace, CandidateSink, Match,
-        PrefixRingBuffer, ScanEngine, ScanStats, TasmOptions, TasmWorkspace, TopKHeap,
+        prb_pruning, tasm_batch, tasm_batch_parallel, tasm_batch_parallel_stream,
+        tasm_batch_with_workspace, tasm_dynamic, tasm_dynamic_with_workspace, tasm_naive,
+        tasm_parallel, tasm_parallel_stream, tasm_postorder, tasm_postorder_with_workspace,
+        threshold, BatchQuery, BatchWorkspace, CandidateSink, Match, PrefixRingBuffer, ScanEngine,
+        ScanStats, TasmOptions, TasmWorkspace, TopKHeap,
     };
     pub use crate::ted::{
         ted, ted_full, ted_with_workspace, CascadeScratch, Cost, CostModel, FanoutWeighted,
@@ -181,10 +182,13 @@ impl TasmQuery {
     /// Sets the number of worker threads for sharded evaluation
     /// (default 1 = sequential; 0 = one per available core).
     ///
-    /// With more than one thread the document is materialized and its
-    /// candidate stream sharded across workers
-    /// ([`core::tasm_parallel`]), trading the `O(τ)` streaming memory
-    /// bound for `O(n)` — results are identical to the sequential pass.
+    /// The streaming entry points (`run_xml_str` / `run_xml_file` /
+    /// `run_reader`) keep streaming: candidate segments are handed off
+    /// to the workers ([`core::tasm_parallel_stream`]) with
+    /// `O(threads · τ)` memory and **no** materialized document.
+    /// [`TasmQuery::run_tree`] shards the candidate spans of the
+    /// already-materialized tree instead ([`core::tasm_parallel`]).
+    /// Results are identical to the sequential pass either way.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -223,14 +227,30 @@ impl TasmQuery {
     /// workspace is reused, so back-to-back runs skip all warm-up
     /// allocations.
     ///
-    /// With [`TasmQuery::threads`] above 1 the document is parsed into
-    /// memory first and evaluated by the sharded parallel path.
+    /// With [`TasmQuery::threads`] above 1 the document **still
+    /// streams**: the scan hands candidate segments to the worker
+    /// threads ([`core::tasm_parallel_stream`]) and no document tree is
+    /// ever materialized.
     pub fn run_reader<R: std::io::BufRead>(&mut self, reader: R) -> Result<Vec<Match>, TasmError> {
-        if self.threads != 1 {
-            let doc = xml::parse_tree(reader, &mut self.dict)?;
-            return Ok(self.run_tree(&doc));
-        }
         self.parallel_scan = None;
+        if self.threads != 1 {
+            let mut queue = xml::XmlPostorderQueue::new(reader, &mut self.dict);
+            let (matches, scan) = core::tasm_parallel_stream_with_stats(
+                &self.query,
+                &mut queue,
+                self.k,
+                &UnitCost,
+                1,
+                self.options,
+                self.threads,
+                None,
+            );
+            if let Some(err) = queue.take_error() {
+                return Err(err.into());
+            }
+            self.parallel_scan = Some(scan);
+            return Ok(matches);
+        }
         let mut queue = xml::XmlPostorderQueue::new(reader, &mut self.dict);
         let matches = core::tasm_postorder_with_workspace(
             &self.query,
@@ -336,8 +356,14 @@ pub struct TasmBatch {
     queries: Vec<Tree>,
     k: usize,
     options: TasmOptions,
+    /// Worker threads for the sharded streaming scan (1 = one shared
+    /// sequential scan).
+    threads: usize,
     /// Scan + per-lane workspaces reused across runs.
     workspace: core::BatchWorkspace,
+    /// Aggregate + per-lane stats of the most recent sharded run
+    /// (`None` when the last run used the shared sequential scan).
+    parallel_scan: Option<(ScanStats, Vec<ScanStats>)>,
 }
 
 impl TasmBatch {
@@ -357,13 +383,28 @@ impl TasmBatch {
                 keep_trees: true,
                 ..Default::default()
             },
+            threads: 1,
             workspace: core::BatchWorkspace::new(),
+            parallel_scan: None,
         })
     }
 
     /// Sets the ranking size `k` for every query (default 1).
     pub fn k(mut self, k: usize) -> Self {
         self.k = k.max(1);
+        self
+    }
+
+    /// Sets the number of worker threads (default 1 = one shared
+    /// sequential scan; 0 = one per available core).
+    ///
+    /// With more than one thread the batch runs **batch×parallel**: the
+    /// document still streams once, candidate segments are handed off
+    /// to the workers, and every worker fans each candidate out to all
+    /// query lanes ([`core::tasm_batch_parallel_stream`]). Each ranking
+    /// is identical to the sequential shared-scan result.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -414,15 +455,34 @@ impl TasmBatch {
             .map(|query| core::BatchQuery { query, k: self.k })
             .collect();
         let mut queue = xml::XmlPostorderQueue::new(reader, &mut self.dict);
-        let rankings = core::tasm_batch_with_workspace(
-            &batch,
-            &mut queue,
-            &UnitCost,
-            1,
-            self.options,
-            &mut self.workspace,
-            None,
-        );
+        self.parallel_scan = None;
+        let rankings = if self.threads != 1 {
+            // The workspace is threaded through so a thread count that
+            // resolves to 1 (e.g. `threads(0)` on a single core) keeps
+            // the warm-buffer reuse of the shared sequential scan.
+            let (rankings, scan, lanes) = core::tasm_batch_parallel_stream_with_workspace(
+                &batch,
+                &mut queue,
+                &UnitCost,
+                1,
+                self.options,
+                self.threads,
+                &mut self.workspace,
+                None,
+            );
+            self.parallel_scan = Some((scan, lanes));
+            rankings
+        } else {
+            core::tasm_batch_with_workspace(
+                &batch,
+                &mut queue,
+                &UnitCost,
+                1,
+                self.options,
+                &mut self.workspace,
+                None,
+            )
+        };
         if let Some(err) = queue.take_error() {
             return Err(err.into());
         }
@@ -435,9 +495,23 @@ impl TasmBatch {
     }
 
     /// Scan and pruning-funnel statistics ([`ScanStats`]) of the most
-    /// recent shared-scan run, aggregated over all query lanes.
+    /// recent run — shared sequential scan or sharded streaming scan —
+    /// aggregated over all query lanes.
     pub fn last_scan_stats(&self) -> ScanStats {
-        self.workspace.last_scan_stats()
+        match &self.parallel_scan {
+            Some((scan, _)) => *scan,
+            None => self.workspace.last_scan_stats(),
+        }
+    }
+
+    /// Per-lane statistics of the most recent run, in query order: the
+    /// scan-layer counters of the (single) pass plus each query lane's
+    /// own pruning funnel.
+    pub fn last_lane_stats(&self) -> Vec<ScanStats> {
+        match &self.parallel_scan {
+            Some((_, lanes)) => lanes.clone(),
+            None => self.workspace.last_lane_stats().to_vec(),
+        }
     }
 }
 
@@ -563,6 +637,46 @@ mod tests {
     #[test]
     fn batch_rejects_malformed_query() {
         assert!(TasmBatch::from_xml(&["<a/>", "<broken"]).is_err());
+    }
+
+    #[test]
+    fn batch_threads_matches_sequential_batch() {
+        let doc: String = std::iter::once("<dblp>".to_string())
+            .chain((0..40).map(|i| format!("<article><a>n{i}</a><t>t{}</t></article>", i % 7)))
+            .chain(std::iter::once("</dblp>".to_string()))
+            .collect();
+        let queries = [
+            "<article><a>n3</a><t>t3</t></article>",
+            "<book><t>t1</t></book>",
+        ];
+        let sequential = TasmBatch::from_xml(&queries)
+            .unwrap()
+            .k(3)
+            .run_xml_str(&doc)
+            .unwrap();
+        for threads in [0usize, 2, 4] {
+            let mut batch = TasmBatch::from_xml(&queries).unwrap().k(3).threads(threads);
+            let parallel = batch.run_xml_str(&doc).unwrap();
+            assert_eq!(parallel.len(), sequential.len(), "threads = {threads}");
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(p.len(), s.len());
+                for (g, w) in p.iter().zip(s) {
+                    assert_eq!((g.root, g.size, g.distance), (w.root, w.size, w.distance));
+                }
+            }
+            // Per-lane stats are live on the sharded path too.
+            let lanes = batch.last_lane_stats();
+            assert_eq!(lanes.len(), queries.len());
+            assert_eq!(batch.last_scan_stats().candidates, lanes[0].candidates);
+        }
+    }
+
+    #[test]
+    fn batch_threads_surfaces_parse_errors() {
+        let mut batch = TasmBatch::from_xml(&["<a/>"]).unwrap().threads(2);
+        assert!(batch.run_xml_str("<r><a></r>").is_err());
+        // And recovers on the next run.
+        assert_eq!(batch.run_xml_str("<r><a/></r>").unwrap().len(), 1);
     }
 
     #[test]
