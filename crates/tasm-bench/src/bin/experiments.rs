@@ -16,16 +16,18 @@ use tasm_bench::harness::{self, Ctx};
 static ALLOC: CountingAlloc = CountingAlloc;
 
 const USAGE: &str = "\
-usage: experiments [fig9a|fig9b|fig9c|fig10|fig11|fig12|ablation-tau|ablation-buffer|bench|scaling|funnel|all]...
+usage: experiments [fig9a|fig9b|fig9c|fig10|fig11|fig12|ablation-tau|ablation-buffer|bench|scaling|index|funnel|all]...
                    [--scale N] [--quick] [--json] [--label S]
 
 `bench` times the tasm_postorder hot path (candidates/s, ns/candidate,
 peak heap, cascade prune rate); `scaling` times multi-query batching
 (one shared scan vs N independent scans) and sharded parallel scans
-(1/2/4 threads); `funnel` prints the per-tier prune funnel of the
-lower-bound cascade. With `--json`, bench and scaling append snapshots
-(named by --label) to BENCH_tasm.json in the current directory — the
-perf trajectory.
+(1/2/4 threads); `index` compares .pqi index-driven candidate
+generation against the full scan (nodes examined, identical rankings);
+`funnel` prints the per-tier prune funnel of the lower-bound cascade.
+With `--json`, bench, scaling and index append snapshots (named by
+--label) to BENCH_tasm.json in the current directory — the perf
+trajectory.
 ";
 
 fn main() {
@@ -64,10 +66,11 @@ fn main() {
     if json
         && !which
             .iter()
-            .any(|w| w == "bench" || w == "scaling" || w == "all")
+            .any(|w| w == "bench" || w == "scaling" || w == "index" || w == "all")
     {
         which.push("bench".to_string());
         which.push("scaling".to_string());
+        which.push("index".to_string());
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = [
@@ -81,6 +84,7 @@ fn main() {
             "ablation-buffer",
             "bench",
             "scaling",
+            "index",
             "funnel",
         ]
         .iter()
@@ -120,6 +124,15 @@ fn main() {
                     &|f: &mut dyn FnMut()| measure_peak(f).1,
                     out.as_deref(),
                     &format!("{label} (scaling)"),
+                );
+            }
+            "index" => {
+                let out = json.then(|| std::path::PathBuf::from(tasm_bench::report::BENCH_JSON));
+                harness::index_summary(
+                    &ctx,
+                    &|f: &mut dyn FnMut()| measure_peak(f).1,
+                    out.as_deref(),
+                    &format!("{label} (index)"),
                 );
             }
             other => {

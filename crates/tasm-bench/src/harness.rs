@@ -14,14 +14,15 @@ use std::time::{Duration, Instant};
 
 use tasm_core::{
     prb_pruning_stats, simple_pruning, tasm_batch_parallel, tasm_batch_parallel_stream,
-    tasm_batch_with_workspace, tasm_dynamic, tasm_parallel, tasm_parallel_stream, tasm_postorder,
-    tasm_postorder_with_workspace, threshold, BatchQuery, BatchWorkspace, TasmOptions,
-    TasmWorkspace,
+    tasm_batch_with_workspace, tasm_dynamic, tasm_indexed_with_stats, tasm_parallel,
+    tasm_parallel_stream, tasm_postorder, tasm_postorder_with_workspace, threshold, BatchQuery,
+    BatchWorkspace, TasmOptions, TasmWorkspace,
 };
 use tasm_data::{
     dblp_tree, psd_tree, random_query, xmark_tree, DblpConfig, PsdConfig, XMarkConfig,
     DBLP_NODES_PER_MB, PSD_NODES_PER_MB, XMARK_NODES_PER_MB,
 };
+use tasm_index::IndexedDocument;
 use tasm_ted::{TedStats, UnitCost};
 use tasm_tree::{LabelDict, Tree, TreeQueue};
 use tasm_xml::{parse_tree, write_tree, XmlPostorderQueue};
@@ -823,7 +824,7 @@ pub fn scaling_summary(
                 TasmOptions::default(),
                 threads,
             );
-            std::hint::black_box(m.len());
+            std::hint::black_box(m.expect("complete stream").len());
         };
         let seconds = time3(&mut run);
         let peak = measure(&mut run);
@@ -901,7 +902,7 @@ pub fn scaling_summary(
                 threads,
                 None,
             );
-            std::hint::black_box(r.len());
+            std::hint::black_box(r.expect("complete stream").len());
         };
         let seconds = time3(&mut run);
         let peak = measure(&mut run);
@@ -921,6 +922,157 @@ pub fn scaling_summary(
         );
     }
 
+    if let Some(path) = json_out {
+        crate::report::write_json(path, label, ctx.scale, &records).expect("write bench json");
+        println!("wrote {} (snapshot \"{label}\")", path.display());
+    }
+    records
+}
+
+/// Index-vs-scan snapshot: the same top-k queries answered by a full
+/// streaming scan (`scan …`) and by the `.pqi` label index
+/// (`indexed …`), on the [`bench_summary`] workloads. `nodes_examined`
+/// is the comparison that matters — the scan touches every document
+/// node, the index only the posting-driven candidate regions — and the
+/// rankings are asserted identical before anything is recorded. With
+/// `json_out` set, the records are appended to the
+/// [`crate::report::BENCH_JSON`] trajectory.
+pub fn index_summary(
+    ctx: &Ctx,
+    measure: &dyn Fn(&mut dyn FnMut()) -> usize,
+    json_out: Option<&Path>,
+    label: &str,
+) -> Vec<crate::report::BenchRecord> {
+    use crate::report::BenchRecord;
+    let nodes = (800_000 / ctx.scale).max(2_000);
+    println!("\n=== index: .pqi candidate generation vs full scan ({nodes}-node documents) ===");
+    println!(
+        "{:>20} {:>9} {:>4} {:>4} {:>10} {:>10} {:>10} {:>12}",
+        "workload", "nodes", "|Q|", "k", "seconds", "cand", "examined", "peak(KiB)"
+    );
+    let mut records = Vec::new();
+    for (dataset, qsize, k) in [("dblp", 11u32, 5usize), ("xmark", 8, 5)] {
+        let mut dict = LabelDict::new();
+        let doc = match dataset {
+            "dblp" => dblp_tree(&mut dict, &DblpConfig::new(7, nodes)),
+            _ => xmark_tree(&mut dict, &XMarkConfig::new(7, nodes)),
+        };
+        let (query, _) = random_query(&doc, qsize, 0x1DE0 + qsize as u64);
+        let tau = threshold(query.len() as u64, 1, 1, k as u64);
+        let idx = IndexedDocument::build(&doc, &dict);
+
+        let push = |records: &mut Vec<BenchRecord>,
+                    name: String,
+                    run: &mut dyn FnMut() -> tasm_core::ScanStats| {
+            let mut timed = || {
+                std::hint::black_box(run());
+            };
+            timed(); // warm-up
+            let seconds = (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    timed();
+                    t0.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min);
+            let peak_heap_bytes = measure(&mut timed);
+            let scan = run();
+            let r = BenchRecord {
+                name,
+                nodes: doc.len(),
+                query_size: query.len(),
+                k,
+                tau,
+                candidates: scan.candidates,
+                seconds,
+                peak_heap_bytes,
+                ..Default::default()
+            }
+            .with_scan_stats(&scan);
+            println!(
+                "{:>20} {:>9} {:>4} {:>4} {:>10.4} {:>10} {:>10} {:>12.1}",
+                r.name,
+                r.nodes,
+                r.query_size,
+                r.k,
+                r.seconds,
+                r.candidates,
+                r.nodes_examined,
+                r.peak_heap_bytes as f64 / 1024.0,
+            );
+            records.push(r);
+        };
+
+        // Both paths must return the exact same ranking before either
+        // one is worth timing.
+        let scan_ranking = {
+            let mut q = TreeQueue::new(&doc);
+            tasm_postorder(
+                &query,
+                &mut q,
+                k,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                None,
+            )
+        };
+        let (indexed_ranking, _) = tasm_indexed_with_stats(
+            &query,
+            &dict,
+            &idx,
+            k,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            1,
+            None,
+        );
+        assert_eq!(
+            scan_ranking, indexed_ranking,
+            "{dataset}: indexed ranking diverged from the scan"
+        );
+
+        let mut ws = TasmWorkspace::new();
+        push(
+            &mut records,
+            format!("scan {dataset} q{} k{k}", query.len()),
+            &mut || {
+                let mut q = TreeQueue::new(&doc);
+                let m = tasm_postorder_with_workspace(
+                    &query,
+                    &mut q,
+                    k,
+                    &UnitCost,
+                    1,
+                    TasmOptions::default(),
+                    &mut ws,
+                    None,
+                );
+                std::hint::black_box(m.len());
+                ws.last_scan_stats()
+            },
+        );
+        push(
+            &mut records,
+            format!("indexed {dataset} q{} k{k}", query.len()),
+            &mut || {
+                let (m, scan) = tasm_indexed_with_stats(
+                    &query,
+                    &dict,
+                    &idx,
+                    k,
+                    &UnitCost,
+                    1,
+                    TasmOptions::default(),
+                    1,
+                    None,
+                );
+                std::hint::black_box(m.len());
+                scan
+            },
+        );
+    }
     if let Some(path) = json_out {
         crate::report::write_json(path, label, ctx.scale, &records).expect("write bench json");
         println!("wrote {} (snapshot \"{label}\")", path.display());

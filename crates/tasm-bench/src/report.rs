@@ -32,6 +32,10 @@ pub struct BenchRecord {
     pub tau: u64,
     /// Number of candidate subtrees emitted by the ring buffer.
     pub candidates: usize,
+    /// Document nodes the pass actually examined: every streamed node
+    /// for a scan, only the posting-driven candidate-region nodes for an
+    /// index-driven pass (0 when not recorded).
+    pub nodes_examined: u64,
     /// Best-of-N wall-clock seconds for one full pass.
     pub seconds: f64,
     /// Extra peak heap (bytes) one pass needed, per the counting
@@ -88,6 +92,7 @@ impl BenchRecord {
 
     /// Copies the pruning-funnel counters out of a scan's [`ScanStats`].
     pub fn with_scan_stats(mut self, scan: &tasm_core::ScanStats) -> Self {
+        self.nodes_examined = u64::from(scan.nodes_seen);
         self.pruned_size = scan.pruned_size;
         self.pruned_histogram = scan.pruned_histogram;
         self.pruned_sed = scan.pruned_sed;
@@ -128,6 +133,7 @@ pub fn render_snapshot(label: &str, scale: usize, records: &[BenchRecord]) -> St
         let _ = writeln!(out, "          \"k\": {},", r.k);
         let _ = writeln!(out, "          \"tau\": {},", r.tau);
         let _ = writeln!(out, "          \"candidates\": {},", r.candidates);
+        let _ = writeln!(out, "          \"nodes_examined\": {},", r.nodes_examined);
         let _ = writeln!(out, "          \"seconds\": {:.6},", r.seconds);
         let _ = writeln!(
             out,
@@ -229,6 +235,7 @@ mod tests {
             k: 5,
             tau: 21,
             candidates: 10_000,
+            nodes_examined: 50_000,
             seconds: 0.5,
             peak_heap_bytes: 4096,
             pruned_size: 7,

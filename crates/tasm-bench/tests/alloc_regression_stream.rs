@@ -52,7 +52,8 @@ fn streaming_sharded_scan_allocations_are_document_independent() {
     let run = |doc: &Tree| -> usize {
         let mut q = TreeQueue::new(doc);
         let before = alloc_count();
-        let r = tasm_batch_parallel_stream(&batch, &mut q, &UnitCost, 1, opts, threads, None);
+        let r = tasm_batch_parallel_stream(&batch, &mut q, &UnitCost, 1, opts, threads, None)
+            .expect("complete stream");
         assert_eq!(r.len(), batch.len());
         assert!(r.iter().all(|lane| lane.len() == 2));
         alloc_count() - before

@@ -7,6 +7,8 @@
 //! * `gen`    — generate synthetic datasets (xmark / dblp / psd / random)
 //! * `stats`  — shape statistics of an XML document
 //! * `candidates` — run the prefix-ring-buffer pruning and report stats
+//! * `index`  — build a label-indexed postorder file (`.pqi`) that
+//!   `query --index` answers from without scanning the document
 //!
 //! Run `tasm help` for details.
 
@@ -20,13 +22,15 @@ use std::time::Instant;
 use args::Args;
 use tasm_core::{
     prb_pruning_stats, simple_pruning, tasm_batch_parallel_stream_with_stats, tasm_dynamic,
-    tasm_naive, tasm_parallel_stream_with_stats, tasm_postorder_with_workspace,
-    threshold_for_query, BatchQuery, ScanStats, TasmOptions, TasmWorkspace,
+    tasm_indexed_batch_with_stats, tasm_naive, tasm_parallel_stream_with_stats,
+    tasm_postorder_with_workspace, threshold_for_query, BatchQuery, ScanStats, TasmOptions,
+    TasmWorkspace,
 };
 use tasm_data::{
     dblp_tree, psd_tree, random_tree, xmark_tree, DblpConfig, PsdConfig, RandomTreeConfig,
     XMarkConfig,
 };
+use tasm_index::IndexedDocument;
 use tasm_ted::{ted, TedStats, UnitCost};
 use tasm_tree::postfile::{save_tree, PostFileReader};
 use tasm_tree::{LabelDict, PostorderQueue, Tree, TreeQueue};
@@ -52,6 +56,10 @@ COMMANDS:
                                          still STREAMS — no materialized
                                          tree — and composes with repeated
                                          --query (batch×parallel) [default: 1]
+                  --index <file.pqi>     answer from a prebuilt label
+                                         index (see `index`) instead of
+                                         scanning --doc; composes with
+                                         repeated --query and --threads
                   --show-xml             print matched subtrees as XML
                   --stats                print work statistics and the
                                          per-tier pruning funnel (per query
@@ -76,6 +84,12 @@ COMMANDS:
                 (.pq), which all other commands accept in place of XML
                   --doc <file.xml> --out <file.pq>
 
+    index       Index a document once into a .pqi file: the .pq node
+                stream plus per-label postings and frequency-ordered
+                labels. `query --index` then generates candidates from
+                the index instead of scanning the whole document
+                  --doc <file.xml|file.pq> --out <file.pqi>
+
     help        Show this message
 ";
 
@@ -88,6 +102,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args),
         Some("candidates") => cmd_candidates(&args),
         Some("convert") => cmd_convert(&args),
+        Some("index") => cmd_index(&args),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
@@ -135,6 +150,23 @@ fn cmd_convert(args: &Args) -> Result<(), String> {
     eprintln!(
         "converted {} nodes: {doc_path} ({in_size} B) -> {out} ({out_size} B)",
         tree.len()
+    );
+    Ok(())
+}
+
+fn cmd_index(args: &Args) -> Result<(), String> {
+    let doc_path = args.require("doc")?;
+    let out = args.require("out")?;
+    let mut dict = LabelDict::new();
+    let tree = load_xml(doc_path, &mut dict)?;
+    let t0 = Instant::now();
+    let idx = IndexedDocument::save(out, &tree, &dict).map_err(|e| format!("{out}: {e}"))?;
+    let out_size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    eprintln!(
+        "indexed {} nodes, {} distinct labels: {doc_path} -> {out} ({out_size} B, {:?})",
+        tree.len(),
+        idx.dict().len(),
+        t0.elapsed()
     );
     Ok(())
 }
@@ -218,7 +250,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     if queries.is_empty() {
         return Err("missing required option --query <file> (or --query-str '<xml>')".into());
     }
-    let doc_path = args.require("doc")?;
+    let index_path = args.get("index");
     let k: usize = args.get_num("k", 5)?;
     let threads: usize = args.get_num("threads", 1)?;
     let algorithm = args.get("algorithm").unwrap_or("postorder");
@@ -240,6 +272,11 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             "--threads applies to --algorithm postorder, not {algorithm}"
         ));
     }
+    if index_path.is_some() && algorithm != "postorder" {
+        return Err(format!(
+            "--index generates candidates for the postorder engine, not --algorithm {algorithm}"
+        ));
+    }
     let sink = want_stats.then_some(&mut stats);
     // One evaluation workspace for the whole run: the candidate loop is
     // allocation-free in steady state (PR-2 tentpole).
@@ -251,18 +288,41 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let mut lane_stats: Option<Vec<ScanStats>> = None;
 
     let t0 = Instant::now();
-    let rankings: Vec<Vec<tasm_core::Match>> = if batch {
+    let rankings: Vec<Vec<tasm_core::Match>> = if let Some(ipath) = index_path {
+        // Scan-free candidate generation from the prebuilt .pqi index:
+        // candidate regions come from the subtree-size column, bounded
+        // per query by the label postings, and only surviving regions
+        // are materialized and evaluated.
+        let idx = IndexedDocument::open(ipath).map_err(|e| format!("{ipath}: {e}"))?;
+        let bqs: Vec<BatchQuery<'_>> = queries
+            .iter()
+            .map(|query| BatchQuery { query, k })
+            .collect();
+        let (r, scan, lanes) =
+            tasm_indexed_batch_with_stats(&bqs, &dict, &idx, &UnitCost, 1, opts, threads, sink);
+        scan_stats = Some(scan);
+        if batch {
+            lane_stats = Some(lanes);
+        }
+        // Matched node ids (and kept subtrees) live in the index's
+        // frequency-ordered label space.
+        dict = idx.dict().clone();
+        r
+    } else if batch {
         // All queries share ONE streaming scan; with --threads > 1 the
         // candidate segments are sharded across workers and each worker
         // fans them out to every query lane (batch×parallel).
+        let doc_path = args.require("doc")?;
         let (r, scan, lanes) = run_over_doc_stream(doc_path, &mut dict, &queries, |qs, queue| {
             let bqs: Vec<BatchQuery<'_>> = qs.iter().map(|query| BatchQuery { query, k }).collect();
             tasm_batch_parallel_stream_with_stats(&bqs, queue, &UnitCost, 1, opts, threads, sink)
-        })?;
+        })?
+        .map_err(|e| format!("{doc_path}: {e}"))?;
         scan_stats = Some(scan);
         lane_stats = Some(lanes);
         r
     } else {
+        let doc_path = args.require("doc")?;
         let matches = match algorithm {
             "postorder" if parallel => {
                 // Sharded streaming scan: candidate segments hand off to
@@ -271,7 +331,8 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                     tasm_parallel_stream_with_stats(
                         &qs[0], queue, k, &UnitCost, 1, opts, threads, sink,
                     )
-                })?;
+                })?
+                .map_err(|e| format!("{doc_path}: {e}"))?;
                 scan_stats = Some(st);
                 m
             }
@@ -488,6 +549,12 @@ fn cmd_candidates(args: &Args) -> Result<(), String> {
     let mut dict = LabelDict::new();
     let doc = load_xml(args.require("doc")?, &mut dict)?;
     let tau: u32 = args.get_num("tau", 50)?;
+    if tau == 0 {
+        // cand(T, 0) is empty by Def. 9 — a zero threshold is always a
+        // mistake, and silently clamping it to 1 (the old behavior)
+        // reported a plausible-looking leaf-only candidate set.
+        return Err("--tau must be >= 1: cand(T, 0) is empty by definition".into());
+    }
     let mut queue = TreeQueue::new(&doc);
     let t0 = Instant::now();
     let st = prb_pruning_stats(&mut queue, tau, None);

@@ -24,7 +24,12 @@
 //! * [`tasm_parallel_stream`] / [`tasm_batch_parallel_stream`] — the
 //!   sharded scans over a pure postorder **stream**: candidates travel
 //!   to the workers as pooled postorder segments, so the document is
-//!   never materialized and memory stays `O(threads · τ + Σ m_i²)`.
+//!   never materialized and memory stays `O(threads · τ + Σ m_i²)`;
+//! * [`tasm_indexed`] / [`tasm_indexed_batch`] — scan-free candidate
+//!   generation from a persistent `.pqi` label index
+//!   ([`IndexedDocument`](tasm_index::IndexedDocument)): candidate
+//!   regions come from the subtree-size column and the label postings
+//!   bound each region before it is ever materialized.
 //!
 //! Between the scan and every evaluation sits the admissible
 //! lower-bound **pruning cascade**
@@ -61,6 +66,7 @@
 
 mod batch;
 mod engine;
+mod indexed;
 mod lane;
 mod naive;
 mod parallel;
@@ -75,6 +81,9 @@ mod workspace;
 
 pub use batch::{tasm_batch, tasm_batch_with_workspace, BatchQuery, BatchWorkspace};
 pub use engine::{CandidateSink, ScanEngine, ScanStats};
+pub use indexed::{
+    tasm_indexed, tasm_indexed_batch, tasm_indexed_batch_with_stats, tasm_indexed_with_stats,
+};
 pub use naive::tasm_naive;
 pub use parallel::{
     tasm_batch_parallel, tasm_batch_parallel_with_stats, tasm_parallel, tasm_parallel_with_stats,
@@ -88,7 +97,7 @@ pub use simple_pruning::simple_pruning;
 pub use stream_shard::{
     tasm_batch_parallel_stream, tasm_batch_parallel_stream_with_stats,
     tasm_batch_parallel_stream_with_workspace, tasm_parallel_stream,
-    tasm_parallel_stream_with_stats,
+    tasm_parallel_stream_with_stats, BatchStreamOutput, StreamIntegrityError,
 };
 pub use tasm_dynamic::{tasm_dynamic, tasm_dynamic_with_workspace, TasmOptions};
 pub use tasm_postorder::{process_candidate, tasm_postorder, tasm_postorder_with_workspace};

@@ -41,7 +41,7 @@ use tasm_tree::{NodeId, PostorderEntry, PostorderQueue, Tree, TreeQueue};
 /// A postorder queue replaying selected `(lml, root)` spans of an
 /// in-memory document — each span a complete subtree, so every prefix of
 /// the stream is a valid forest (what the ring buffer requires).
-struct SpanQueue<'a> {
+pub(crate) struct SpanQueue<'a> {
     doc: &'a Tree,
     spans: &'a [(u32, u32)],
     /// Index of the span currently being replayed.
@@ -52,7 +52,7 @@ struct SpanQueue<'a> {
 }
 
 impl<'a> SpanQueue<'a> {
-    fn new(doc: &'a Tree, spans: &'a [(u32, u32)]) -> Self {
+    pub(crate) fn new(doc: &'a Tree, spans: &'a [(u32, u32)]) -> Self {
         SpanQueue {
             doc,
             spans,
@@ -145,14 +145,14 @@ pub(crate) fn shard_spans(spans: &[(u32, u32)], shards: usize) -> Vec<&[(u32, u3
 /// Shard-side sink: maps each emitted candidate back to its document
 /// span (the scan re-derives candidates 1:1 with the shard's spans, in
 /// order) and fans it out to every query lane of the shard.
-struct ShardSink<'a> {
-    lanes: Vec<EvalLane<'a>>,
-    teds: Vec<TedWorkspace>,
-    lb: CascadeScratch,
-    opts: TasmOptions,
-    spans: &'a [(u32, u32)],
-    next: usize,
-    stats: Option<TedStats>,
+pub(crate) struct ShardSink<'a> {
+    pub(crate) lanes: Vec<EvalLane<'a>>,
+    pub(crate) teds: Vec<TedWorkspace>,
+    pub(crate) lb: CascadeScratch,
+    pub(crate) opts: TasmOptions,
+    pub(crate) spans: &'a [(u32, u32)],
+    pub(crate) next: usize,
+    pub(crate) stats: Option<TedStats>,
 }
 
 impl CandidateSink for ShardSink<'_> {

@@ -76,8 +76,19 @@ pub struct PrefixRingBuffer<'q, Q: PostorderQueue + ?Sized> {
 }
 
 impl<'q, Q: PostorderQueue + ?Sized> PrefixRingBuffer<'q, Q> {
-    /// Creates the buffer for threshold `tau >= 1` over `queue`.
+    /// Creates the buffer for threshold `tau` over `queue`.
+    ///
+    /// # Panics (debug)
+    ///
+    /// `tau` must be `>= 1`: `cand(T, 0)` is empty by Def. 9, so a zero
+    /// threshold is always a caller bug (typically an unvalidated user
+    /// argument — reject it at the boundary, as [`ScanEngine`] and the
+    /// CLI do). The old behavior of silently clamping `0` to `1` turned
+    /// that bug into a plausible-looking leaf ranking.
+    ///
+    /// [`ScanEngine`]: crate::ScanEngine
     pub fn new(queue: &'q mut Q, tau: u32) -> Self {
+        debug_assert!(tau >= 1, "PrefixRingBuffer requires tau >= 1, got {tau}");
         let tau = tau.max(1);
         let b = tau as usize + 1;
         PrefixRingBuffer {
@@ -370,6 +381,17 @@ mod tests {
         .unwrap();
         assert_eq!(t.len(), 22);
         (t, dict)
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "tau >= 1")]
+    fn zero_tau_is_rejected_not_silently_clamped() {
+        // Before the fix, tau = 0 was clamped to 1 without a word and
+        // the scan returned a plausible-looking leaf ranking.
+        let (t, _) = example_d();
+        let mut q = TreeQueue::new(&t);
+        let _ = PrefixRingBuffer::new(&mut q, 0);
     }
 
     #[test]

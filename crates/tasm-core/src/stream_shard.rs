@@ -40,8 +40,9 @@
 //! external dependencies, no unbounded channels.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 use crate::batch::{tasm_batch_with_workspace, BatchQuery, BatchWorkspace};
 use crate::engine::{CandidateSink, ScanEngine, ScanStats};
@@ -52,6 +53,41 @@ use crate::tasm_dynamic::TasmOptions;
 use crate::workspace::scratch_fits_cap;
 use tasm_ted::{CascadeScratch, CostModel, TedStats, TedWorkspace};
 use tasm_tree::{LabelId, NodeId, PostorderEntry, PostorderQueue, Tree};
+
+/// The postorder stream ended abnormally: the scan consumed the whole
+/// queue, but the queue reports the document is incomplete (truncated
+/// `.pq`/`.pqi` file, malformed XML, an I/O error mid-stream, …).
+///
+/// The streaming entry points refuse to return a ranking built from a
+/// partial document — silently accepting one would report top-k answers
+/// that may miss better subtrees in the lost suffix. The message comes
+/// from [`PostorderQueue::integrity_error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamIntegrityError(String);
+
+impl StreamIntegrityError {
+    /// The queue's description of the abnormal end.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for StreamIntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "incomplete document stream: {}", self.0)
+    }
+}
+
+impl std::error::Error for StreamIntegrityError {}
+
+/// Locks `mutex`, recovering the guard if a peer poisoned it while
+/// unwinding: the pipe's abort flag — not poisoning — is the signal
+/// that a side died, and the originating panic payload (preserved by
+/// the workers' `catch_unwind`) must reach the caller instead of a
+/// secondary "poisoned" panic on an innocent thread.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Segments are flushed once they hold at least this many entries (a
 /// single candidate larger than the floor still travels whole — the
@@ -136,8 +172,7 @@ impl Pipe {
     /// notify could land in the gap between a waiter's abort check and
     /// its `wait()`, be lost, and turn the panic this exists for into a
     /// hang. Lock results are deliberately not `expect`ed — abort runs
-    /// during unwinding, where a poisoned mutex must not double-panic
-    /// (the waiter's own `expect` surfaces the poisoning).
+    /// during unwinding, where a poisoned mutex must not double-panic.
     fn abort(&self) {
         self.aborted.store(true, Ordering::SeqCst);
         let ready = self.ready.lock();
@@ -154,17 +189,13 @@ impl Pipe {
 
     /// Producer: publishes a full segment to the workers.
     fn send(&self, seg: Segment) {
-        self.ready
-            .lock()
-            .expect("pipe poisoned")
-            .queue
-            .push_back(seg);
+        lock_recovering(&self.ready).queue.push_back(seg);
         self.ready_cv.notify_one();
     }
 
     /// Producer: marks the stream exhausted and wakes every worker.
     fn finish(&self) {
-        self.ready.lock().expect("pipe poisoned").done = true;
+        lock_recovering(&self.ready).done = true;
         self.ready_cv.notify_all();
     }
 
@@ -172,10 +203,10 @@ impl Pipe {
     /// still live; `None` once the producer finished and the queue
     /// drained.
     fn recv(&self) -> Option<Segment> {
-        let mut state = self.ready.lock().expect("pipe poisoned");
+        let mut state = lock_recovering(&self.ready);
         loop {
             if self.is_aborted() {
-                // The producer died; exit so its panic can propagate.
+                // A peer died; exit so its panic can propagate.
                 return None;
             }
             if let Some(seg) = state.queue.pop_front() {
@@ -184,21 +215,28 @@ impl Pipe {
             if state.done {
                 return None;
             }
-            state = self.ready_cv.wait(state).expect("pipe poisoned");
+            state = self
+                .ready_cv
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Worker: returns a consumed segment to the pool (capacity kept).
     fn recycle(&self, mut seg: Segment) {
         seg.clear();
-        self.free.lock().expect("pipe poisoned").push(seg);
+        lock_recovering(&self.free).push(seg);
         self.free_cv.notify_one();
     }
 
     /// Producer: acquires an empty segment, blocking until a worker
     /// recycles one (the backpressure that bounds total memory).
+    ///
+    /// The abort assertion below fires on the producer when a worker
+    /// dies mid-stream; the entry point catches it and re-raises the
+    /// *worker's* payload, so the caller sees the original panic.
     fn take_free(&self) -> Segment {
-        let mut free = self.free.lock().expect("pipe poisoned");
+        let mut free = lock_recovering(&self.free);
         loop {
             assert!(
                 !self.is_aborted(),
@@ -207,7 +245,10 @@ impl Pipe {
             if let Some(seg) = free.pop() {
                 return seg;
             }
-            free = self.free_cv.wait(free).expect("pipe poisoned");
+            free = self
+                .free_cv
+                .wait(free)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -318,6 +359,13 @@ fn stream_worker(
 /// without spawning threads). `c_t` is the maximum document node cost
 /// under `model`, as for the sequential entry points.
 ///
+/// # Errors
+///
+/// [`StreamIntegrityError`] if the queue reports an abnormal end after
+/// the scan drained it (truncated postorder file, malformed XML, …):
+/// a ranking over a partial document could silently miss better
+/// subtrees, so none is returned.
+///
 /// # Examples
 ///
 /// ```
@@ -336,7 +384,7 @@ fn stream_worker(
 /// // Any postorder queue works — an XML stream included.
 /// let mut queue = TreeQueue::new(&doc);
 /// let rankings = tasm_batch_parallel_stream(
-///     &queries, &mut queue, &UnitCost, 1, TasmOptions::default(), 2, None);
+///     &queries, &mut queue, &UnitCost, 1, TasmOptions::default(), 2, None).unwrap();
 /// assert_eq!(rankings[0][0].root.post(), 6); // exact match for q1
 /// ```
 pub fn tasm_batch_parallel_stream<Q: PostorderQueue + ?Sized>(
@@ -347,9 +395,16 @@ pub fn tasm_batch_parallel_stream<Q: PostorderQueue + ?Sized>(
     opts: TasmOptions,
     threads: usize,
     stats: Option<&mut TedStats>,
-) -> Vec<Vec<Match>> {
-    tasm_batch_parallel_stream_with_stats(queries, queue, model, c_t, opts, threads, stats).0
+) -> Result<Vec<Vec<Match>>, StreamIntegrityError> {
+    tasm_batch_parallel_stream_with_stats(queries, queue, model, c_t, opts, threads, stats)
+        .map(|out| out.0)
 }
+
+/// Successful output of the stats-reporting batch streaming entry
+/// points: per-query rankings, the aggregated [`ScanStats`] (one scan;
+/// funnel summed over all lanes), and the per-lane statistics in query
+/// order.
+pub type BatchStreamOutput = (Vec<Vec<Match>>, ScanStats, Vec<ScanStats>);
 
 /// As [`tasm_batch_parallel_stream`], but also returning the aggregated
 /// [`ScanStats`] (one scan; funnel summed over all lanes) and the
@@ -362,7 +417,7 @@ pub fn tasm_batch_parallel_stream_with_stats<Q: PostorderQueue + ?Sized>(
     opts: TasmOptions,
     threads: usize,
     stats: Option<&mut TedStats>,
-) -> (Vec<Vec<Match>>, ScanStats, Vec<ScanStats>) {
+) -> Result<BatchStreamOutput, StreamIntegrityError> {
     let mut ws = BatchWorkspace::new();
     tasm_batch_parallel_stream_with_workspace(
         queries, queue, model, c_t, opts, threads, &mut ws, stats,
@@ -385,20 +440,23 @@ pub fn tasm_batch_parallel_stream_with_workspace<Q: PostorderQueue + ?Sized>(
     threads: usize,
     ws: &mut BatchWorkspace,
     stats: Option<&mut TedStats>,
-) -> (Vec<Vec<Match>>, ScanStats, Vec<ScanStats>) {
+) -> Result<BatchStreamOutput, StreamIntegrityError> {
     if queries.is_empty() {
-        return (Vec::new(), ScanStats::default(), Vec::new());
+        return Ok((Vec::new(), ScanStats::default(), Vec::new()));
     }
     let threads = resolve_threads(threads);
     if threads <= 1 {
         // One worker would only add hand-off copies: the shared-scan
         // batch path is the same streaming work inline.
         let rankings = tasm_batch_with_workspace(queries, queue, model, c_t, opts, ws, stats);
-        return (
+        if let Some(msg) = queue.integrity_error() {
+            return Err(StreamIntegrityError(msg));
+        }
+        return Ok((
             rankings,
             ws.last_scan_stats(),
             ws.last_lane_stats().to_vec(),
-        );
+        ));
     }
 
     // The scan must cover the widest lane threshold; the workers build
@@ -413,43 +471,86 @@ pub fn tasm_batch_parallel_stream_with_workspace<Q: PostorderQueue + ?Sized>(
     let pipe = Pipe::new(2 * threads + 1, budget);
     let want_ted_stats = stats.is_some();
 
-    let (producer_scan, results) = std::thread::scope(|scope| {
+    let (producer_out, worker_outs) = std::thread::scope(|scope| {
         let pipe = &pipe;
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
-                    stream_worker(pipe, queries, model, c_t, scan_tau, opts, want_ted_stats)
+                    // The guard inside `stream_worker` aborts the pipe
+                    // while unwinding; catching here preserves the
+                    // payload so the caller re-raises the *original*
+                    // panic, not a join shim or a "poisoned" secondary.
+                    catch_unwind(AssertUnwindSafe(|| {
+                        stream_worker(pipe, queries, model, c_t, scan_tau, opts, want_ted_stats)
+                    }))
                 })
             })
             .collect();
 
         // The producer runs on the calling thread: one ring-buffer pass
-        // over the stream, segmenting candidates as they fall out.
-        let _guard = AbortOnPanic(pipe);
-        let mut engine = ScanEngine::new(scan_tau);
-        if scratch_fits_cap(scan_tau as usize) {
-            engine.reserve();
+        // over the stream, segmenting candidates as they fall out. Its
+        // own panics are caught too — when a worker dies first, the
+        // producer goes down on the `take_free` abort assertion, and
+        // that secondary panic must not shadow the worker's.
+        let producer_out = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = AbortOnPanic(pipe);
+            let mut engine = ScanEngine::new(scan_tau);
+            if scratch_fits_cap(scan_tau as usize) {
+                engine.reserve();
+            }
+            let mut sink = SegmentSink {
+                pipe,
+                current: pipe.take_free(),
+                budget,
+            };
+            let scan = engine.scan(queue, &mut sink);
+            let integrity = queue.integrity_error();
+            let last = sink.current;
+            if last.roots.is_empty() {
+                pipe.recycle(last);
+            } else {
+                pipe.send(last);
+            }
+            pipe.finish();
+            (scan, integrity)
+        }));
+        if producer_out.is_err() {
+            // The guard already aborted inside the closure, but only
+            // after its own unwinding began; make doubly sure no worker
+            // is left waiting on a stream that will never finish.
+            pipe.abort();
         }
-        let mut sink = SegmentSink {
-            pipe,
-            current: pipe.take_free(),
-            budget,
-        };
-        let scan = engine.scan(queue, &mut sink);
-        let last = sink.current;
-        if last.roots.is_empty() {
-            pipe.recycle(last);
-        } else {
-            pipe.send(last);
-        }
-        pipe.finish();
 
-        let results: Vec<ShardResult> = handles
+        let worker_outs: Vec<_> = handles
             .into_iter()
-            .map(|h| h.join().expect("stream shard worker panicked"))
+            .map(|h| h.join().expect("stream worker died outside catch_unwind"))
             .collect();
-        (scan, results)
+        (producer_out, worker_outs)
     });
+
+    // A worker's own panic outranks whatever the producer reports: the
+    // producer's failure is usually the *consequence* (abort assertion)
+    // of the worker's death, never its cause.
+    let mut results: Vec<ShardResult> = Vec::with_capacity(worker_outs.len());
+    let mut worker_panic = None;
+    for out in worker_outs {
+        match out {
+            Ok(r) => results.push(r),
+            Err(payload) => {
+                worker_panic.get_or_insert(payload);
+            }
+        }
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+    let (producer_scan, integrity) = match producer_out {
+        Ok(out) => out,
+        Err(payload) => resume_unwind(payload),
+    };
+    if let Some(msg) = integrity {
+        return Err(StreamIntegrityError(msg));
+    }
 
     debug_assert_eq!(
         results.iter().map(|r| r.scan.candidates).sum::<usize>(),
@@ -463,7 +564,7 @@ pub fn tasm_batch_parallel_stream_with_workspace<Q: PostorderQueue + ?Sized>(
     for ls in &mut lane_stats {
         ls.adopt_scan_layer(&producer_scan);
     }
-    (rankings, aggregate, lane_stats)
+    Ok((rankings, aggregate, lane_stats))
 }
 
 /// Computes the top-`k` ranking of `query` against a postorder
@@ -475,6 +576,11 @@ pub fn tasm_batch_parallel_stream_with_workspace<Q: PostorderQueue + ?Sized>(
 /// Returns **exactly** the sequential
 /// [`tasm_postorder`](crate::tasm_postorder) ranking for any `threads`
 /// (`0` = one per available core).
+///
+/// # Errors
+///
+/// [`StreamIntegrityError`] if the queue ends abnormally (truncated
+/// file, malformed XML, …) — see [`tasm_batch_parallel_stream`].
 ///
 /// # Examples
 ///
@@ -488,7 +594,7 @@ pub fn tasm_batch_parallel_stream_with_workspace<Q: PostorderQueue + ?Sized>(
 /// let h = bracket::parse("{x{a{b}{d}}{a{b}{c}}}", &mut dict).unwrap();
 /// let mut queue = TreeQueue::new(&h);
 /// let top2 =
-///     tasm_parallel_stream(&g, &mut queue, 2, &UnitCost, 1, TasmOptions::default(), 2);
+///     tasm_parallel_stream(&g, &mut queue, 2, &UnitCost, 1, TasmOptions::default(), 2).unwrap();
 /// assert_eq!(top2[0].root.post(), 6);
 /// assert_eq!(top2[1].root.post(), 3);
 /// ```
@@ -500,8 +606,9 @@ pub fn tasm_parallel_stream<Q: PostorderQueue + ?Sized>(
     c_t: u64,
     opts: TasmOptions,
     threads: usize,
-) -> Vec<Match> {
-    tasm_parallel_stream_with_stats(query, queue, k, model, c_t, opts, threads, None).0
+) -> Result<Vec<Match>, StreamIntegrityError> {
+    tasm_parallel_stream_with_stats(query, queue, k, model, c_t, opts, threads, None)
+        .map(|out| out.0)
 }
 
 /// As [`tasm_parallel_stream`], but also returning the pass's
@@ -517,11 +624,11 @@ pub fn tasm_parallel_stream_with_stats<Q: PostorderQueue + ?Sized>(
     opts: TasmOptions,
     threads: usize,
     stats: Option<&mut TedStats>,
-) -> (Vec<Match>, ScanStats) {
+) -> Result<(Vec<Match>, ScanStats), StreamIntegrityError> {
     let queries = [BatchQuery { query, k }];
     let (mut rankings, scan, _) =
-        tasm_batch_parallel_stream_with_stats(&queries, queue, model, c_t, opts, threads, stats);
-    (rankings.pop().expect("one lane"), scan)
+        tasm_batch_parallel_stream_with_stats(&queries, queue, model, c_t, opts, threads, stats)?;
+    Ok((rankings.pop().expect("one lane"), scan))
 }
 
 #[cfg(test)]
@@ -558,7 +665,8 @@ mod tests {
             let want = tasm_postorder(&query, &mut q, k, &UnitCost, 1, opts, None);
             for threads in [1usize, 2, 3, 4, 7] {
                 let mut q = TreeQueue::new(&doc);
-                let got = tasm_parallel_stream(&query, &mut q, k, &UnitCost, 1, opts, threads);
+                let got =
+                    tasm_parallel_stream(&query, &mut q, k, &UnitCost, 1, opts, threads).unwrap();
                 assert_eq!(got, want, "k = {k}, threads = {threads}");
             }
         }
@@ -581,7 +689,8 @@ mod tests {
             let mut q = TreeQueue::new(&doc);
             let (rankings, agg, lanes) = tasm_batch_parallel_stream_with_stats(
                 &queries, &mut q, &UnitCost, 1, opts, threads, None,
-            );
+            )
+            .unwrap();
             assert_eq!(rankings.len(), 3);
             assert_eq!(lanes.len(), 3);
             assert_eq!(agg.nodes_seen as usize, doc.len());
@@ -615,7 +724,8 @@ mod tests {
             TasmOptions::default(),
             3,
             Some(&mut ted),
-        );
+        )
+        .unwrap();
         assert_eq!(m.len(), 2);
         assert!(scan.candidates > 0);
         assert!(ted.ted_calls > 0);
@@ -646,7 +756,8 @@ mod tests {
                 1,
                 TasmOptions::default(),
                 threads,
-            );
+            )
+            .unwrap();
             assert_eq!(got, want, "threads = {threads}");
         }
     }
@@ -657,7 +768,8 @@ mod tests {
         let doc = bracket::parse("{a}", &mut dict).unwrap();
         let query = bracket::parse("{a}", &mut dict).unwrap();
         let mut q = TreeQueue::new(&doc);
-        let got = tasm_parallel_stream(&query, &mut q, 1, &UnitCost, 1, TasmOptions::default(), 4);
+        let got = tasm_parallel_stream(&query, &mut q, 1, &UnitCost, 1, TasmOptions::default(), 4)
+            .unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].distance, tasm_ted::Cost::ZERO);
     }
@@ -679,7 +791,7 @@ mod tests {
         }
         let mut dict = LabelDict::new();
         let query = bracket::parse("{a}", &mut dict).unwrap();
-        tasm_parallel_stream(
+        let _ = tasm_parallel_stream(
             &query,
             &mut PanicQueue(0),
             1,
@@ -696,8 +808,103 @@ mod tests {
         let doc = wide_doc(&mut dict, 5);
         let mut q = TreeQueue::new(&doc);
         let out =
-            tasm_batch_parallel_stream(&[], &mut q, &UnitCost, 1, TasmOptions::default(), 4, None);
+            tasm_batch_parallel_stream(&[], &mut q, &UnitCost, 1, TasmOptions::default(), 4, None)
+                .unwrap();
         assert!(out.is_empty());
         assert!(q.dequeue().is_some(), "queue untouched");
+    }
+
+    /// A queue that serves a fixed prefix of a larger document, then
+    /// reports the difference as an integrity error — the in-memory
+    /// analogue of a truncated `.pq` file.
+    struct TruncatedQueue {
+        entries: Vec<PostorderEntry>,
+        next: usize,
+        missing: usize,
+    }
+
+    impl PostorderQueue for TruncatedQueue {
+        fn dequeue(&mut self) -> Option<PostorderEntry> {
+            let e = self.entries.get(self.next).copied();
+            self.next += e.is_some() as usize;
+            e
+        }
+
+        fn integrity_error(&self) -> Option<String> {
+            (self.next >= self.entries.len() && self.missing > 0)
+                .then(|| format!("postorder file truncated: {} nodes missing", self.missing))
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_a_partial_ranking() {
+        // Before the fix, both paths happily ranked whatever prefix the
+        // queue produced — a truncated corpus file went unnoticed.
+        let mut dict = LabelDict::new();
+        let doc = wide_doc(&mut dict, 30);
+        let query = bracket::parse("{article{a}{t}}", &mut dict).unwrap();
+        let cut = doc.len() / 2; // leaves a valid forest prefix
+        for threads in [1usize, 4] {
+            let mut q = TruncatedQueue {
+                entries: doc
+                    .postorder()
+                    .take(cut)
+                    .map(|(l, s)| PostorderEntry::new(l, s))
+                    .collect(),
+                next: 0,
+                missing: doc.len() - cut,
+            };
+            let err = tasm_parallel_stream(
+                &query,
+                &mut q,
+                3,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                threads,
+            )
+            .unwrap_err();
+            assert!(
+                err.to_string().contains("truncated"),
+                "threads = {threads}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panic_payload_reaches_the_caller() {
+        // A cost model that explodes on a label only the document
+        // contains: the panic happens on a *worker* thread, mid-pipe.
+        // Before the fix the caller saw the producer's secondary
+        // "stream shard worker died" assert (or a join shim) instead of
+        // the original payload.
+        struct BoomCost(LabelId);
+        impl CostModel for BoomCost {
+            fn node_cost(&self, tree: tasm_tree::TreeView<'_>, node: NodeId) -> u64 {
+                assert!(tree.label(node) != self.0, "cost model exploded");
+                1
+            }
+            fn max_cost(&self, _: tasm_tree::TreeView<'_>) -> u64 {
+                1
+            }
+        }
+        let mut dict = LabelDict::new();
+        let doc = wide_doc(&mut dict, 50);
+        let query = bracket::parse("{article{a}{t}}", &mut dict).unwrap();
+        let boom = BoomCost(dict.get("book").unwrap());
+        let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut q = TreeQueue::new(&doc);
+            let _ = tasm_parallel_stream(&query, &mut q, 2, &boom, 1, TasmOptions::default(), 4);
+        }))
+        .unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("cost model exploded"),
+            "caller saw `{msg}` instead of the worker's own panic"
+        );
     }
 }

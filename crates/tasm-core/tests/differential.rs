@@ -29,11 +29,13 @@
 
 use proptest::prelude::*;
 use tasm_core::{
-    tasm_batch, tasm_batch_parallel, tasm_batch_parallel_stream, tasm_dynamic, tasm_naive,
-    tasm_parallel, tasm_parallel_stream, tasm_postorder, BatchQuery, Match, TasmOptions,
+    tasm_batch, tasm_batch_parallel, tasm_batch_parallel_stream, tasm_dynamic, tasm_indexed,
+    tasm_indexed_batch, tasm_naive, tasm_parallel, tasm_parallel_stream, tasm_postorder,
+    BatchQuery, Match, TasmOptions,
 };
+use tasm_index::IndexedDocument;
 use tasm_ted::UnitCost;
-use tasm_tree::{LabelId, Tree, TreeBuilder, TreeQueue, VecQueue};
+use tasm_tree::{LabelDict, LabelId, Tree, TreeBuilder, TreeQueue, VecQueue};
 
 /// Thread counts of the parallel axes.
 const THREADS: [usize; 4] = [1, 2, 4, 7];
@@ -78,6 +80,31 @@ fn key(ms: &[Match]) -> Vec<(u32, u64, u32)> {
         .collect()
 }
 
+/// Builds the `.pqi` index of `doc` through a full in-memory file
+/// round trip — the indexed rows of the matrix exercise the on-disk
+/// format, not just the in-memory builder. Synthesizes a dictionary
+/// covering every label id in play (the generator hands out raw
+/// `LabelId`s; names only have to be consistent).
+fn index_of(doc: &Tree, q_labels: &[LabelId]) -> (IndexedDocument, LabelDict) {
+    let max_label = doc
+        .labels()
+        .iter()
+        .chain(q_labels)
+        .map(|l| l.0)
+        .max()
+        .unwrap_or(0);
+    let mut dict = LabelDict::new();
+    for i in 0..=max_label {
+        dict.intern(&format!("L{i}"));
+    }
+    let mut bytes = Vec::new();
+    IndexedDocument::build(doc, &dict)
+        .write_to(&mut bytes)
+        .expect("write .pqi");
+    let idx = IndexedDocument::from_reader(bytes.as_slice()).expect("read .pqi back");
+    (idx, dict)
+}
+
 /// Runs every single-query variant of the matrix against the oracle.
 fn check_single_query_matrix(q: &Tree, doc: &Tree, k: usize) -> Result<(), String> {
     let oracle = key(&tasm_naive(
@@ -95,6 +122,7 @@ fn check_single_query_matrix(q: &Tree, doc: &Tree, k: usize) -> Result<(), Strin
         }
         Ok(())
     };
+    let (idx, dict) = index_of(doc, q.labels());
     for cascade in [true, false] {
         let opts = TasmOptions {
             use_cascade: cascade,
@@ -130,7 +158,12 @@ fn check_single_query_matrix(q: &Tree, doc: &Tree, k: usize) -> Result<(), Strin
             )?;
             check(
                 format!("parallel/streaming/t{threads}/{tag}"),
-                tasm_parallel_stream(q, &mut stream(doc), k, &UnitCost, 1, opts, threads),
+                tasm_parallel_stream(q, &mut stream(doc), k, &UnitCost, 1, opts, threads)
+                    .expect("complete stream"),
+            )?;
+            check(
+                format!("indexed/t{threads}/{tag}"),
+                tasm_indexed(q, &dict, &idx, k, &UnitCost, 1, opts, threads),
             )?;
         }
     }
@@ -169,6 +202,11 @@ fn check_multi_query_matrix(queries: &[(Tree, usize)], doc: &Tree) -> Result<(),
         }
         Ok(())
     };
+    let q_labels: Vec<LabelId> = queries
+        .iter()
+        .flat_map(|(q, _)| q.labels().iter().copied())
+        .collect();
+    let (idx, dict) = index_of(doc, &q_labels);
     for cascade in [true, false] {
         let opts = TasmOptions {
             use_cascade: cascade,
@@ -198,7 +236,12 @@ fn check_multi_query_matrix(queries: &[(Tree, usize)], doc: &Tree) -> Result<(),
                     opts,
                     threads,
                     None,
-                ),
+                )
+                .expect("complete stream"),
+            )?;
+            check(
+                format!("indexed×batch/t{threads}/{tag}"),
+                tasm_indexed_batch(&bqs, &dict, &idx, &UnitCost, 1, opts, threads, None),
             )?;
         }
     }
@@ -324,7 +367,8 @@ fn xml_stream_matches_materialized_dynamic_down_to_ids() {
                 1,
                 TasmOptions::default(),
                 threads,
-            );
+            )
+            .expect("complete stream");
             assert!(queue.is_ok());
             assert_eq!(key(&got), want, "k = {k}, threads = {threads}");
         }
@@ -364,7 +408,8 @@ fn xml_stream_matches_materialized_dynamic_down_to_ids() {
             TasmOptions::default(),
             threads,
             None,
-        );
+        )
+        .expect("complete stream");
         assert!(queue.is_ok());
         for (lane, (g, want)) in got.iter().zip(&wants).enumerate() {
             assert_eq!(&key(g), want, "lane {lane}, threads = {threads}");
@@ -406,8 +451,23 @@ proptest! {
             prop_assert_eq!(&par, &want);
             let par_stream = key(&tasm_parallel_stream(
                 &q, &mut stream(&doc), k, &model, c_t, opts, threads,
-            ));
+            )
+            .expect("complete stream"));
             prop_assert_eq!(&par_stream, &want);
+        }
+        // The indexed path re-encodes labels by corpus frequency, so a
+        // label-keyed model must be rebuilt in index space: same names,
+        // the index's ids. Distances must still agree exactly.
+        let (idx, dict) = index_of(&doc, q.labels());
+        let mut imodel = PerLabelCost::new(1);
+        for (i, w) in [2u64, 3, 1, 5].into_iter().enumerate() {
+            if let Some(id) = idx.dict().get(&format!("L{i}")) {
+                imodel = imodel.with(id, w);
+            }
+        }
+        for threads in [1usize, 3] {
+            let idxed = key(&tasm_indexed(&q, &dict, &idx, k, &imodel, c_t, opts, threads));
+            prop_assert_eq!(&idxed, &want, "indexed, threads = {}", threads);
         }
     }
 }

@@ -20,6 +20,16 @@
 //!
 //! The whole dictionary is stored in the header so readers can stream the
 //! fixed-width entry section with O(1) state per node.
+//!
+//! # Format version 2 (`.pqi`, indexed)
+//!
+//! Version 2 (magic `"TASMPQ2\n"`) keeps the header and entry sections
+//! byte-identical to version 1 — so this streaming reader handles both
+//! transparently — and appends inverted-index sections after the entries
+//! (per-label postings of postorder positions). The label dictionary of a
+//! v2 file is written in **descending frequency** order. The index
+//! sections are written and consumed by the `tasm-index` crate; this
+//! reader simply stops after `n_nodes` entries and never touches them.
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -29,7 +39,10 @@ use crate::label::{LabelDict, LabelId};
 use crate::postorder_queue::{PostorderEntry, PostorderQueue};
 use crate::tree::Tree;
 
-const MAGIC: &[u8; 8] = b"TASMPQ1\n";
+/// Magic of a version-1 (plain postorder stream) file.
+pub const MAGIC_V1: &[u8; 8] = b"TASMPQ1\n";
+/// Magic of a version-2 (indexed, `.pqi`) file.
+pub const MAGIC_V2: &[u8; 8] = b"TASMPQ2\n";
 
 /// Errors for the postorder file format.
 #[derive(Debug)]
@@ -65,7 +78,7 @@ pub fn write_postfile<W: Write>(
     queue: &mut dyn PostorderQueue,
     n_nodes: u64,
 ) -> Result<(), PostFileError> {
-    out.write_all(MAGIC)?;
+    out.write_all(MAGIC_V1)?;
     out.write_all(&n_nodes.to_le_bytes())?;
     out.write_all(&(dict.len() as u64).to_le_bytes())?;
     for (_, name) in dict.iter() {
@@ -99,7 +112,7 @@ pub fn save_tree(
     write_postfile(BufWriter::new(file), dict, &mut queue, tree.len() as u64)
 }
 
-/// A streaming reader over a postorder file: implements
+/// A streaming reader over a postorder file (version 1 or 2): implements
 /// [`PostorderQueue`], holding O(1) state beyond the dictionary.
 #[derive(Debug)]
 pub struct PostFileReader<R: Read> {
@@ -107,6 +120,11 @@ pub struct PostFileReader<R: Read> {
     dict: LabelDict,
     remaining: u64,
     total: u64,
+    /// Format version from the magic (1 = plain `.pq`, 2 = indexed `.pqi`).
+    version: u8,
+    /// Set when the entry section ended before `total` nodes were read:
+    /// the file is truncated and any ranking over it would be partial.
+    truncated: bool,
 }
 
 impl PostFileReader<BufReader<File>> {
@@ -122,11 +140,15 @@ impl<R: Read> PostFileReader<R> {
     pub fn new(mut input: R) -> Result<Self, PostFileError> {
         let mut magic = [0u8; 8];
         input.read_exact(&mut magic)?;
-        if &magic != MAGIC {
+        let version = if &magic == MAGIC_V1 {
+            1
+        } else if &magic == MAGIC_V2 {
+            2
+        } else {
             return Err(PostFileError::Format(
-                "bad magic; not a TASMPQ1 file".into(),
+                "bad magic; not a TASMPQ1/TASMPQ2 file".into(),
             ));
-        }
+        };
         let total = read_u64(&mut input)?;
         let n_labels = read_u64(&mut input)?;
         let mut dict = LabelDict::with_capacity(n_labels as usize);
@@ -150,12 +172,19 @@ impl<R: Read> PostFileReader<R> {
             dict,
             remaining: total,
             total,
+            version,
+            truncated: false,
         })
     }
 
     /// The dictionary stored in the file.
     pub fn dict(&self) -> &LabelDict {
         &self.dict
+    }
+
+    /// The format version from the magic: 1 (`.pq`) or 2 (`.pqi`).
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     /// Total number of nodes in the file.
@@ -168,7 +197,9 @@ impl<R: Read> PostFileReader<R> {
     /// [`PostorderQueue::dequeue`] ends the stream early (returns `None`)
     /// on a short read, so after a scan a non-zero value means the file
     /// was **truncated** — callers that must not silently accept partial
-    /// documents (e.g. the CLI) check this.
+    /// documents (e.g. the CLI) check this. The scan drivers in
+    /// `tasm-core` detect the same condition through
+    /// [`PostorderQueue::integrity_error`].
     pub fn remaining_nodes(&self) -> u64 {
         self.remaining
     }
@@ -178,6 +209,14 @@ impl<R: Read> PostFileReader<R> {
     pub fn into_dict(self) -> LabelDict {
         self.dict
     }
+
+    /// Consumes the reader, returning the underlying input positioned
+    /// after the last byte read, plus the dictionary — so an index
+    /// loader can continue with the sections that follow the entry
+    /// stream of a version-2 file.
+    pub fn into_inner(self) -> (R, LabelDict) {
+        (self.input, self.dict)
+    }
 }
 
 impl<R: Read> PostorderQueue for PostFileReader<R> {
@@ -185,8 +224,18 @@ impl<R: Read> PostorderQueue for PostFileReader<R> {
         if self.remaining == 0 {
             return None;
         }
-        let label = read_u32(&mut self.input).ok()?;
-        let size = read_u32(&mut self.input).ok()?;
+        let entry = read_u32(&mut self.input)
+            .and_then(|label| read_u32(&mut self.input).map(|size| (label, size)));
+        let (label, size) = match entry {
+            Ok(e) => e,
+            Err(_) => {
+                // The header promised more nodes than the byte stream
+                // holds: remember the shortfall so drivers can refuse
+                // the partial document instead of ranking it.
+                self.truncated = true;
+                return None;
+            }
+        };
         self.remaining -= 1;
         Some(PostorderEntry {
             label: LabelId(label),
@@ -196,6 +245,15 @@ impl<R: Read> PostorderQueue for PostFileReader<R> {
 
     fn len_hint(&self) -> Option<usize> {
         usize::try_from(self.remaining).ok()
+    }
+
+    fn integrity_error(&self) -> Option<String> {
+        self.truncated.then(|| {
+            format!(
+                "postorder file truncated: {} of {} nodes missing",
+                self.remaining, self.total
+            )
+        })
     }
 }
 
@@ -292,6 +350,38 @@ mod tests {
         assert_eq!(n, t.len() - 1);
         // The shortfall is detectable after the scan.
         assert_eq!(reader.remaining_nodes(), 1);
+        let msg = reader.integrity_error().expect("truncation is reported");
+        assert!(msg.contains("truncated"), "{msg}");
+    }
+
+    #[test]
+    fn complete_stream_reports_no_integrity_error() {
+        let (t, dict) = sample();
+        let mut bytes = Vec::new();
+        let mut q = crate::postorder_queue::TreeQueue::new(&t);
+        write_postfile(&mut bytes, &dict, &mut q, t.len() as u64).unwrap();
+        let mut reader = PostFileReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.version(), 1);
+        while reader.dequeue().is_some() {}
+        assert_eq!(reader.integrity_error(), None);
+    }
+
+    #[test]
+    fn v2_magic_streams_like_v1() {
+        // A v2 file is a v1 file with a different magic plus trailing
+        // index sections; the streaming reader must accept it and stop
+        // after the entry section.
+        let (t, dict) = sample();
+        let mut bytes = Vec::new();
+        let mut q = crate::postorder_queue::TreeQueue::new(&t);
+        write_postfile(&mut bytes, &dict, &mut q, t.len() as u64).unwrap();
+        bytes[..8].copy_from_slice(MAGIC_V2);
+        bytes.extend_from_slice(&[0xAB; 16]); // fake trailing index data
+        let mut reader = PostFileReader::new(bytes.as_slice()).unwrap();
+        assert_eq!(reader.version(), 2);
+        let t2 = collect_tree(&mut reader).unwrap();
+        assert_eq!(t, t2);
+        assert_eq!(reader.integrity_error(), None);
     }
 
     #[test]

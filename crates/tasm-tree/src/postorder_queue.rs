@@ -43,6 +43,19 @@ pub trait PostorderQueue {
     fn len_hint(&self) -> Option<usize> {
         None
     }
+
+    /// After [`dequeue`](Self::dequeue) has returned `None`: a description
+    /// of why the stream ended **abnormally**, or `None` for a clean end.
+    ///
+    /// `dequeue` cannot distinguish "document complete" from "source died
+    /// mid-document" (a truncated file, an I/O error, malformed XML), so
+    /// sources that can fail record the condition and report it here.
+    /// Scan drivers check this once the scan is over and refuse to return
+    /// a ranking computed from a partial document. The default — for
+    /// in-memory queues that cannot fail — is `None`.
+    fn integrity_error(&self) -> Option<String> {
+        None
+    }
 }
 
 /// A postorder queue over an in-memory [`Tree`].

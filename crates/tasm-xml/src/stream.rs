@@ -155,6 +155,10 @@ impl<R: BufRead> PostorderQueue for XmlPostorderQueue<'_, R> {
         }
         self.ready.pop_front()
     }
+
+    fn integrity_error(&self) -> Option<String> {
+        self.error.as_ref().map(|e| e.to_string())
+    }
 }
 
 /// Parses an entire XML document into an in-memory [`Tree`].

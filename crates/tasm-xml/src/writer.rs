@@ -202,6 +202,26 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_with_numeric_character_references() {
+        // Decimal and hex references decode to their code points on the
+        // way in; the writer re-escapes only the XML metacharacters, so
+        // a second parse sees the identical label multiset. Pins the
+        // parser's numeric-reference decoding through a full cycle.
+        let xml = "<a k=\"&#x41;&#66;\"><b>caf&#233; &#x263A; &#60;tag&#62;</b></a>";
+        let mut dict = LabelDict::new();
+        let t = parse_tree_str(xml, &mut dict).unwrap();
+        assert!(
+            dict.get("café ☺ <tag>").is_some(),
+            "numeric references must decode before interning"
+        );
+        assert!(dict.get("AB").is_some(), "attribute references too");
+        let rendered = tree_to_xml(&t, &dict);
+        let mut dict2 = dict.clone();
+        let t2 = parse_tree_str(&rendered, &mut dict2).unwrap();
+        assert_eq!(t, t2, "rendered: {rendered}");
+    }
+
+    #[test]
     #[should_panic(expected = "must follow start")]
     fn attr_after_text_panics() {
         let mut out = Vec::new();

@@ -13,6 +13,7 @@
 //! | [`tree`] | ordered labeled trees, label dictionary, postorder queues |
 //! | [`ted`] | Zhang–Shasha tree edit distance, cost models |
 //! | [`core`] | τ threshold, prefix ring buffer, TASM-dynamic/postorder |
+//! | [`index`] | persistent `.pqi` label index for scan-free candidates |
 //! | [`xml`] | streaming XML parser → postorder queue |
 //! | [`data`] | XMark/DBLP/PSD-like workload generators |
 //!
@@ -50,11 +51,13 @@
 
 pub use tasm_core as core;
 pub use tasm_data as data;
+pub use tasm_index as index;
 pub use tasm_ted as ted;
 pub use tasm_tree as tree;
 pub use tasm_xml as xml;
 
-pub use tasm_core::{Match, ScanStats, TasmOptions};
+pub use tasm_core::{Match, ScanStats, StreamIntegrityError, TasmOptions};
+pub use tasm_index::IndexedDocument;
 pub use tasm_ted::{Cost, CostModel, FanoutWeighted, PerLabelCost, UnitCost};
 pub use tasm_tree::{LabelDict, NodeId, Tree};
 
@@ -66,11 +69,13 @@ use std::path::Path;
 pub mod prelude {
     pub use crate::core::{
         prb_pruning, tasm_batch, tasm_batch_parallel, tasm_batch_parallel_stream,
-        tasm_batch_with_workspace, tasm_dynamic, tasm_dynamic_with_workspace, tasm_naive,
-        tasm_parallel, tasm_parallel_stream, tasm_postorder, tasm_postorder_with_workspace,
-        threshold, BatchQuery, BatchWorkspace, CandidateSink, Match, PrefixRingBuffer, ScanEngine,
-        ScanStats, TasmOptions, TasmWorkspace, TopKHeap,
+        tasm_batch_with_workspace, tasm_dynamic, tasm_dynamic_with_workspace, tasm_indexed,
+        tasm_indexed_batch, tasm_naive, tasm_parallel, tasm_parallel_stream, tasm_postorder,
+        tasm_postorder_with_workspace, threshold, BatchQuery, BatchWorkspace, CandidateSink, Match,
+        PrefixRingBuffer, ScanEngine, ScanStats, StreamIntegrityError, TasmOptions, TasmWorkspace,
+        TopKHeap,
     };
+    pub use crate::index::IndexedDocument;
     pub use crate::ted::{
         ted, ted_full, ted_with_workspace, CascadeScratch, Cost, CostModel, FanoutWeighted,
         LowerBoundCascade, QueryContext, TedWorkspace, UnitCost,
@@ -90,6 +95,12 @@ pub enum TasmError {
     Xml(xml::XmlError),
     /// I/O failure opening or reading the document.
     Io(std::io::Error),
+    /// The document stream ended abnormally (truncated or unreadable
+    /// mid-document), so the ranking would be computed over a partial
+    /// document.
+    Stream(StreamIntegrityError),
+    /// A `.pq` / `.pqi` postorder file failed to load.
+    File(tree::postfile::PostFileError),
 }
 
 impl std::fmt::Display for TasmError {
@@ -97,6 +108,8 @@ impl std::fmt::Display for TasmError {
         match self {
             TasmError::Xml(e) => write!(f, "XML error: {e}"),
             TasmError::Io(e) => write!(f, "I/O error: {e}"),
+            TasmError::Stream(e) => write!(f, "stream error: {e}"),
+            TasmError::File(e) => write!(f, "index error: {e}"),
         }
     }
 }
@@ -113,6 +126,38 @@ impl From<std::io::Error> for TasmError {
     fn from(e: std::io::Error) -> Self {
         TasmError::Io(e)
     }
+}
+
+impl From<StreamIntegrityError> for TasmError {
+    fn from(e: StreamIntegrityError) -> Self {
+        TasmError::Stream(e)
+    }
+}
+
+impl From<tree::postfile::PostFileError> for TasmError {
+    fn from(e: tree::postfile::PostFileError) -> Self {
+        TasmError::File(e)
+    }
+}
+
+/// Re-interns kept match subtrees from the index's dictionary into the
+/// caller's, so the rendering helpers keep working after an indexed run.
+fn adopt_match_trees(
+    mut matches: Vec<Match>,
+    idx_dict: &LabelDict,
+    dict: &mut LabelDict,
+) -> Vec<Match> {
+    for m in &mut matches {
+        if let Some(t) = m.tree.take() {
+            let labels = t
+                .nodes()
+                .map(|id| dict.intern(idx_dict.resolve(t.label(id))))
+                .collect();
+            let sizes = t.nodes().map(|id| t.size(id)).collect();
+            m.tree = Some(Tree::from_postorder_unchecked(labels, sizes));
+        }
+    }
+    matches
 }
 
 /// A configured TASM query: the high-level entry point.
@@ -235,7 +280,7 @@ impl TasmQuery {
         self.parallel_scan = None;
         if self.threads != 1 {
             let mut queue = xml::XmlPostorderQueue::new(reader, &mut self.dict);
-            let (matches, scan) = core::tasm_parallel_stream_with_stats(
+            let result = core::tasm_parallel_stream_with_stats(
                 &self.query,
                 &mut queue,
                 self.k,
@@ -245,9 +290,13 @@ impl TasmQuery {
                 self.threads,
                 None,
             );
+            // Prefer the parser's own error: it carries the byte offset
+            // and reason, while the stream error only records that the
+            // document ended early.
             if let Some(err) = queue.take_error() {
                 return Err(err.into());
             }
+            let (matches, scan) = result?;
             self.parallel_scan = Some(scan);
             return Ok(matches);
         }
@@ -305,6 +354,38 @@ impl TasmQuery {
     /// [`TasmQuery::run_tree`] / repeated runs.
     pub fn parse_document(&mut self, xml_text: &str) -> Result<Tree, TasmError> {
         Ok(xml::parse_tree_str(xml_text, &mut self.dict)?)
+    }
+
+    /// Runs the query against a prebuilt `.pqi` index file (see
+    /// [`IndexedDocument`] and the `tasm index` CLI subcommand):
+    /// candidate regions come from the label postings instead of a full
+    /// document scan, and the ranking is identical to the streamed run.
+    pub fn run_index_file(&mut self, path: impl AsRef<Path>) -> Result<Vec<Match>, TasmError> {
+        let idx = IndexedDocument::open(path)?;
+        Ok(self.run_index(&idx))
+    }
+
+    /// Runs the query against an already-loaded [`IndexedDocument`].
+    ///
+    /// The index carries its own label dictionary; query labels are
+    /// translated by name and kept match subtrees are translated back,
+    /// so [`TasmQuery::match_to_xml`] works exactly as after a
+    /// streamed run.
+    pub fn run_index(&mut self, idx: &IndexedDocument) -> Vec<Match> {
+        let (matches, scan) = core::tasm_indexed_with_stats(
+            &self.query,
+            &self.dict,
+            idx,
+            self.k,
+            &UnitCost,
+            1,
+            self.options,
+            self.threads,
+            None,
+        );
+        let matches = adopt_match_trees(matches, idx.dict(), &mut self.dict);
+        self.parallel_scan = Some(scan);
+        matches
     }
 
     /// Scan and pruning-funnel statistics ([`ScanStats`]) of the most
@@ -460,7 +541,7 @@ impl TasmBatch {
             // The workspace is threaded through so a thread count that
             // resolves to 1 (e.g. `threads(0)` on a single core) keeps
             // the warm-buffer reuse of the shared sequential scan.
-            let (rankings, scan, lanes) = core::tasm_batch_parallel_stream_with_workspace(
+            let result = core::tasm_batch_parallel_stream_with_workspace(
                 &batch,
                 &mut queue,
                 &UnitCost,
@@ -470,6 +551,13 @@ impl TasmBatch {
                 &mut self.workspace,
                 None,
             );
+            // Prefer the parser's own error: it carries the byte offset
+            // and reason, while the stream error only records that the
+            // document ended early.
+            if let Some(err) = queue.take_error() {
+                return Err(err.into());
+            }
+            let (rankings, scan, lanes) = result?;
             self.parallel_scan = Some((scan, lanes));
             rankings
         } else {
@@ -487,6 +575,41 @@ impl TasmBatch {
             return Err(err.into());
         }
         Ok(rankings)
+    }
+
+    /// Answers the whole batch from a prebuilt `.pqi` index file: one
+    /// index lookup feeds every query lane, and each ranking is
+    /// identical to the corresponding streamed run.
+    pub fn run_index_file(&mut self, path: impl AsRef<Path>) -> Result<Vec<Vec<Match>>, TasmError> {
+        let idx = IndexedDocument::open(path)?;
+        Ok(self.run_index(&idx))
+    }
+
+    /// Answers the whole batch from an already-loaded
+    /// [`IndexedDocument`], translating labels by name in both
+    /// directions (see [`TasmQuery::run_index`]).
+    pub fn run_index(&mut self, idx: &IndexedDocument) -> Vec<Vec<Match>> {
+        let batch: Vec<core::BatchQuery<'_>> = self
+            .queries
+            .iter()
+            .map(|query| core::BatchQuery { query, k: self.k })
+            .collect();
+        let (rankings, scan, lanes) = core::tasm_indexed_batch_with_stats(
+            &batch,
+            &self.dict,
+            idx,
+            &UnitCost,
+            1,
+            self.options,
+            self.threads,
+            None,
+        );
+        let rankings = rankings
+            .into_iter()
+            .map(|matches| adopt_match_trees(matches, idx.dict(), &mut self.dict))
+            .collect();
+        self.parallel_scan = Some((scan, lanes));
+        rankings
     }
 
     /// Renders a match's subtree back to XML (requires `keep_trees`).
@@ -723,5 +846,78 @@ mod tests {
         assert!(q.run_xml_str("<r><a><b>x</b></a><broken>").is_err());
         let matches = q.run_xml_str("<r><a><b>x</b></a></r>").unwrap();
         assert_eq!(matches[0].distance, Cost::ZERO);
+    }
+
+    #[test]
+    fn indexed_run_matches_streaming_run() {
+        let doc: String = std::iter::once("<dblp>".to_string())
+            .chain((0..40).map(|i| format!("<article><a>n{i}</a><t>t{}</t></article>", i % 7)))
+            .chain(std::iter::once("</dblp>".to_string()))
+            .collect();
+        let query = "<article><a>n3</a><t>t3</t></article>";
+        for threads in [1usize, 3] {
+            let mut q = TasmQuery::from_xml(query).unwrap().k(4).threads(threads);
+            let want = q.run_xml_str(&doc).unwrap();
+            let want_xml: Vec<_> = want.iter().map(|m| q.match_to_xml(m)).collect();
+
+            // Build the index over an independently-parsed document; the
+            // facade must bridge both label spaces by name.
+            let mut dict = LabelDict::new();
+            let tree = xml::parse_tree_str(&doc, &mut dict).unwrap();
+            let idx = IndexedDocument::build(&tree, &dict);
+            let got = q.run_index(&idx);
+
+            assert_eq!(got.len(), want.len(), "threads = {threads}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!((g.root, g.size, g.distance), (w.root, w.size, w.distance));
+            }
+            // Kept subtrees are re-interned into the query dictionary, so
+            // rendering works and agrees with the streamed run.
+            let got_xml: Vec<_> = got.iter().map(|m| q.match_to_xml(m)).collect();
+            assert_eq!(got_xml, want_xml, "threads = {threads}");
+            // Indexed runs refresh the scan stats like any other path.
+            assert!(q.last_scan_stats().candidates > 0);
+        }
+    }
+
+    #[test]
+    fn indexed_run_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join(format!("tasm-facade-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.pqi");
+
+        let doc = "<r><a><b>x</b></a><a><b>y</b></a><c><d/></c></r>";
+        let mut dict = LabelDict::new();
+        let tree = xml::parse_tree_str(doc, &mut dict).unwrap();
+        IndexedDocument::save(&path, &tree, &dict).unwrap();
+
+        let mut q = TasmQuery::from_xml("<a><b>x</b></a>").unwrap().k(2);
+        let want = q.run_xml_str(doc).unwrap();
+        let got = q.run_index_file(&path).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!((g.root, g.size, g.distance), (w.root, w.size, w.distance));
+        }
+
+        let mut batch = TasmBatch::from_xml(&["<a><b>x</b></a>", "<c><d/></c>"])
+            .unwrap()
+            .k(2);
+        let want = batch.run_xml_str(doc).unwrap();
+        let got = batch.run_index_file(&path).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (gs, ws) in got.iter().zip(&want) {
+            assert_eq!(gs.len(), ws.len());
+            for (g, w) in gs.iter().zip(ws) {
+                assert_eq!((g.root, g.size, g.distance), (w.root, w.size, w.distance));
+            }
+        }
+        assert_eq!(batch.last_lane_stats().len(), 2);
+
+        // A missing index surfaces as a file error, not a panic.
+        assert!(matches!(
+            q.run_index_file(dir.join("missing.pqi")),
+            Err(TasmError::File(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
