@@ -1,0 +1,46 @@
+//! CLI error discipline: every failure is classified so scripts can
+//! branch on the exit code.
+//!
+//! * **Usage** (`exit 1`) — the command line itself is wrong: missing
+//!   or malformed options, unknown commands, incompatible flags. The
+//!   invocation would fail identically every time.
+//! * **Runtime** (`exit 2`) — the command line was fine but the work
+//!   failed: unreadable files, XML/postorder parse errors, corrupt
+//!   indexes, socket errors, a dirty daemon drain. Retrying or fixing
+//!   the environment may help.
+//! * A closed stdout pipe (`head`, `grep -q`) is **success** (`exit
+//!   0`): truncating output downstream is not a failure of this
+//!   process. See [`crate::output::Out`].
+
+/// A classified CLI failure; the variant decides the process exit code.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line is wrong (exit 1).
+    Usage(String),
+    /// The work failed (exit 2).
+    Runtime(String),
+}
+
+/// Classifies a `Result<_, String>` as a usage error.
+pub trait UsageExt<T> {
+    /// Maps the error into [`CliError::Usage`].
+    fn usage(self) -> Result<T, CliError>;
+}
+
+impl<T> UsageExt<T> for Result<T, String> {
+    fn usage(self) -> Result<T, CliError> {
+        self.map_err(CliError::Usage)
+    }
+}
+
+/// Classifies a `Result<_, String>` as a runtime error.
+pub trait RuntimeExt<T> {
+    /// Maps the error into [`CliError::Runtime`].
+    fn runtime(self) -> Result<T, CliError>;
+}
+
+impl<T> RuntimeExt<T> for Result<T, String> {
+    fn runtime(self) -> Result<T, CliError> {
+        self.map_err(CliError::Runtime)
+    }
+}

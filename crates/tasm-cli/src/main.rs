@@ -9,10 +9,20 @@
 //! * `candidates` — run the prefix-ring-buffer pruning and report stats
 //! * `index`  — build a label-indexed postorder file (`.pqi`) that
 //!   `query --index` answers from without scanning the document
+//! * `serve`  — resident query daemon over a Unix or TCP socket
+//! * `client` — line-protocol client for `serve`
+//!
+//! Exit codes: 0 success (including output truncated by a closed
+//! pipe), 1 usage error, 2 runtime/I-O/protocol error.
 //!
 //! Run `tasm help` for details.
 
 mod args;
+mod errors;
+#[macro_use]
+mod output;
+mod serve;
+mod signal;
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -20,6 +30,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use args::Args;
+use errors::{CliError, RuntimeExt, UsageExt};
 use tasm_core::{
     prb_pruning_stats, simple_pruning, tasm_batch_parallel_stream_with_stats, tasm_dynamic,
     tasm_indexed_batch_with_stats, tasm_naive, tasm_parallel_stream_with_stats,
@@ -90,7 +101,42 @@ COMMANDS:
                 the index instead of scanning the whole document
                   --doc <file.xml|file.pq> --out <file.pqi>
 
+    serve       Resident query daemon: documents stay parsed, queries
+                multiplex onto the batch engine, failures stay contained
+                (per-request deadlines, BUSY load shedding, panic
+                isolation, graceful drain on SIGTERM/SHUTDOWN)
+                  --socket <path>        listen on a Unix socket
+                  --tcp <addr:port>      …or on TCP (mutually exclusive)
+                  --doc <name=file.xml>  resident document (repeatable;
+                                         name defaults to the file stem)
+                  --workers <n>          evaluation threads     [2]
+                  --queue <n>            admission queue bound  [64]
+                  --max-batch <n>        max shared-scan batch  [16]
+                  --batch-window-ms <n>  batch gather window    [1]
+                  --default-timeout-ms <n>  deadline when a request
+                                         names none             [2000]
+                  --max-timeout-ms <n>   cap on client deadlines [30000]
+                  --drain-timeout-ms <n> graceful drain budget  [5000]
+                  --read-timeout-ms <n>  idle connection cutoff [10000]
+
+    client      Send protocol lines to a running daemon and print the
+                responses (transport only: server ERR/BUSY still exit 0)
+                  --socket <path> | --tcp <addr:port>
+                  --send <line>          request line (repeatable);
+                                         without it, stdin is forwarded
+                                         verbatim
+
     help        Show this message
+
+PROTOCOL (serve/client, newline-delimited):
+    PING                                  -> PONG
+    DOCS                                  -> DOCS <n>, rows, END
+    QUERY doc=<name> [k=<n>] [timeout=<ms>] q=<xml>
+                                          -> OK <n>, '<rank> <node>
+                                             <distance> <size>' rows, END
+    SHUTDOWN                              -> OK draining
+    errors: ERR <proto|parse|doc|timeout|internal> <message>
+    overload: BUSY retry-after-ms=<n>
 ";
 
 fn main() -> ExitCode {
@@ -103,26 +149,35 @@ fn main() -> ExitCode {
         Some("candidates") => cmd_candidates(&args),
         Some("convert") => cmd_convert(&args),
         Some("index") => cmd_index(&args),
+        Some("serve") => serve::cmd_serve(&args),
+        Some("client") => serve::cmd_client(&args),
         Some("help") | None => {
-            print!("{HELP}");
-            Ok(())
+            let mut out = output::stdout();
+            out.raw(HELP.as_bytes()).and_then(|()| out.flush())
         }
-        Some(other) => Err(format!("unknown command '{other}'; see `tasm help`")),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command '{other}'; see `tasm help`"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
+            eprintln!("usage error: {msg}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Runtime(msg)) => {
             eprintln!("error: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
 
 /// Loads a document: `.pq` postorder files are streamed directly, anything
 /// else is parsed as XML. The file's labels are re-interned into `dict`.
-fn load_xml(path: &str, dict: &mut LabelDict) -> Result<Tree, String> {
+fn load_xml(path: &str, dict: &mut LabelDict) -> Result<Tree, CliError> {
     if path.ends_with(".pq") {
-        let mut reader = PostFileReader::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut reader =
+            PostFileReader::open(path).map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
         // Remap the file's label ids into the caller's dictionary.
         let file_dict = reader.dict().clone();
         let mut entries = Vec::new();
@@ -133,18 +188,20 @@ fn load_xml(path: &str, dict: &mut LabelDict) -> Result<Tree, String> {
         // not pass as a smaller document even when the surviving prefix
         // happens to form a valid tree.
         check_pq_complete(&reader, path)?;
-        return Tree::from_postorder(entries).map_err(|e| format!("{path}: {e}"));
+        return Tree::from_postorder(entries)
+            .map_err(|e| CliError::Runtime(format!("{path}: {e}")));
     }
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    parse_tree(BufReader::new(file), dict).map_err(|e| format!("{path}: {e}"))
+    let file =
+        File::open(path).map_err(|e| CliError::Runtime(format!("cannot open {path}: {e}")))?;
+    parse_tree(BufReader::new(file), dict).map_err(|e| CliError::Runtime(format!("{path}: {e}")))
 }
 
-fn cmd_convert(args: &Args) -> Result<(), String> {
-    let doc_path = args.require("doc")?;
-    let out = args.require("out")?;
+fn cmd_convert(args: &Args) -> Result<(), CliError> {
+    let doc_path = args.require("doc").usage()?;
+    let out = args.require("out").usage()?;
     let mut dict = LabelDict::new();
     let tree = load_xml(doc_path, &mut dict)?;
-    save_tree(out, &tree, &dict).map_err(|e| format!("{out}: {e}"))?;
+    save_tree(out, &tree, &dict).map_err(|e| CliError::Runtime(format!("{out}: {e}")))?;
     let in_size = std::fs::metadata(doc_path).map(|m| m.len()).unwrap_or(0);
     let out_size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     eprintln!(
@@ -154,13 +211,14 @@ fn cmd_convert(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_index(args: &Args) -> Result<(), String> {
-    let doc_path = args.require("doc")?;
-    let out = args.require("out")?;
+fn cmd_index(args: &Args) -> Result<(), CliError> {
+    let doc_path = args.require("doc").usage()?;
+    let out = args.require("out").usage()?;
     let mut dict = LabelDict::new();
     let tree = load_xml(doc_path, &mut dict)?;
     let t0 = Instant::now();
-    let idx = IndexedDocument::save(out, &tree, &dict).map_err(|e| format!("{out}: {e}"))?;
+    let idx = IndexedDocument::save(out, &tree, &dict)
+        .map_err(|e| CliError::Runtime(format!("{out}: {e}")))?;
     let out_size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     eprintln!(
         "indexed {} nodes, {} distinct labels: {doc_path} -> {out} ({out_size} B, {:?})",
@@ -186,13 +244,13 @@ fn reencode_query(query: &Tree, dict: &LabelDict, file_dict: &mut LabelDict) -> 
 fn check_pq_complete<R: std::io::Read>(
     reader: &PostFileReader<R>,
     doc_path: &str,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     if reader.remaining_nodes() > 0 {
-        return Err(format!(
+        return Err(CliError::Runtime(format!(
             "{doc_path}: truncated postorder file ({} of {} nodes missing)",
             reader.remaining_nodes(),
             reader.total_nodes()
-        ));
+        )));
     }
     Ok(())
 }
@@ -208,9 +266,10 @@ fn run_over_doc_stream<T>(
     dict: &mut LabelDict,
     queries: &[Tree],
     f: impl FnOnce(&[Tree], &mut dyn PostorderQueue) -> T,
-) -> Result<T, String> {
+) -> Result<T, CliError> {
     if doc_path.ends_with(".pq") {
-        let mut reader = PostFileReader::open(doc_path).map_err(|e| format!("{doc_path}: {e}"))?;
+        let mut reader = PostFileReader::open(doc_path)
+            .map_err(|e| CliError::Runtime(format!("{doc_path}: {e}")))?;
         let mut file_dict = reader.dict().clone();
         let reencoded: Vec<Tree> = queries
             .iter()
@@ -221,17 +280,18 @@ fn run_over_doc_stream<T>(
         *dict = file_dict;
         Ok(out)
     } else {
-        let file = File::open(doc_path).map_err(|e| format!("cannot open {doc_path}: {e}"))?;
+        let file = File::open(doc_path)
+            .map_err(|e| CliError::Runtime(format!("cannot open {doc_path}: {e}")))?;
         let mut queue = XmlPostorderQueue::new(BufReader::new(file), dict);
         let out = f(queries, &mut queue);
         if let Some(e) = queue.take_error() {
-            return Err(format!("{doc_path}: {e}"));
+            return Err(CliError::Runtime(format!("{doc_path}: {e}")));
         }
         Ok(out)
     }
 }
 
-fn cmd_query(args: &Args) -> Result<(), String> {
+fn cmd_query(args: &Args) -> Result<(), CliError> {
     let mut dict = LabelDict::new();
     // Collect queries in command-line order, even when --query files and
     // --query-str literals are interleaved: output tables are numbered by
@@ -242,17 +302,19 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             "query" => queries.push(load_xml(value, &mut dict)?),
             "query-str" => queries.push(
                 tasm_xml::parse_tree_str(value, &mut dict)
-                    .map_err(|e| format!("--query-str: {e}"))?,
+                    .map_err(|e| CliError::Runtime(format!("--query-str: {e}")))?,
             ),
             _ => {}
         }
     }
     if queries.is_empty() {
-        return Err("missing required option --query <file> (or --query-str '<xml>')".into());
+        return Err(CliError::Usage(
+            "missing required option --query <file> (or --query-str '<xml>')".into(),
+        ));
     }
     let index_path = args.get("index");
-    let k: usize = args.get_num("k", 5)?;
-    let threads: usize = args.get_num("threads", 1)?;
+    let k: usize = args.get_num("k", 5).usage()?;
+    let threads: usize = args.get_num("threads", 1).usage()?;
     let algorithm = args.get("algorithm").unwrap_or("postorder");
     let opts = TasmOptions {
         keep_trees: args.flag("show-xml"),
@@ -263,19 +325,19 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let batch = queries.len() > 1;
     let parallel = threads != 1;
     if batch && algorithm != "postorder" {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "--algorithm {algorithm} evaluates a single query; batch mode needs postorder"
-        ));
+        )));
     }
     if parallel && algorithm != "postorder" {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "--threads applies to --algorithm postorder, not {algorithm}"
-        ));
+        )));
     }
     if index_path.is_some() && algorithm != "postorder" {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "--index generates candidates for the postorder engine, not --algorithm {algorithm}"
-        ));
+        )));
     }
     let sink = want_stats.then_some(&mut stats);
     // One evaluation workspace for the whole run: the candidate loop is
@@ -293,7 +355,8 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         // candidate regions come from the subtree-size column, bounded
         // per query by the label postings, and only surviving regions
         // are materialized and evaluated.
-        let idx = IndexedDocument::open(ipath).map_err(|e| format!("{ipath}: {e}"))?;
+        let idx =
+            IndexedDocument::open(ipath).map_err(|e| CliError::Runtime(format!("{ipath}: {e}")))?;
         let bqs: Vec<BatchQuery<'_>> = queries
             .iter()
             .map(|query| BatchQuery { query, k })
@@ -312,17 +375,18 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         // All queries share ONE streaming scan; with --threads > 1 the
         // candidate segments are sharded across workers and each worker
         // fans them out to every query lane (batch×parallel).
-        let doc_path = args.require("doc")?;
+        let doc_path = args.require("doc").usage()?;
         let (r, scan, lanes) = run_over_doc_stream(doc_path, &mut dict, &queries, |qs, queue| {
             let bqs: Vec<BatchQuery<'_>> = qs.iter().map(|query| BatchQuery { query, k }).collect();
             tasm_batch_parallel_stream_with_stats(&bqs, queue, &UnitCost, 1, opts, threads, sink)
         })?
-        .map_err(|e| format!("{doc_path}: {e}"))?;
+        .map_err(|e| format!("{doc_path}: {e}"))
+        .runtime()?;
         scan_stats = Some(scan);
         lane_stats = Some(lanes);
         r
     } else {
-        let doc_path = args.require("doc")?;
+        let doc_path = args.require("doc").usage()?;
         let matches = match algorithm {
             "postorder" if parallel => {
                 // Sharded streaming scan: candidate segments hand off to
@@ -332,7 +396,8 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                         &qs[0], queue, k, &UnitCost, 1, opts, threads, sink,
                     )
                 })?
-                .map_err(|e| format!("{doc_path}: {e}"))?;
+                .map_err(|e| format!("{doc_path}: {e}"))
+                .runtime()?;
                 scan_stats = Some(st);
                 m
             }
@@ -354,15 +419,17 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                     tasm_naive(query, &doc, k, &UnitCost, opts, sink)
                 }
             }
-            other => return Err(format!("unknown algorithm '{other}'")),
+            other => return Err(CliError::Usage(format!("unknown algorithm '{other}'"))),
         };
         vec![matches]
     };
     let elapsed = t0.elapsed();
 
+    let mut out = output::stdout();
     for (qi, (query, matches)) in queries.iter().zip(&rankings).enumerate() {
         if batch {
-            println!(
+            wln!(
+                out,
                 "# query {}: {} nodes, k = {k}, algorithm = {algorithm} (batched scan{})",
                 qi + 1,
                 query.len(),
@@ -371,9 +438,10 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                 } else {
                     String::new()
                 }
-            );
+            )?;
         } else {
-            println!(
+            wln!(
+                out,
                 "# query: {} nodes, k = {k}, algorithm = {algorithm}{}",
                 query.len(),
                 if parallel {
@@ -381,46 +449,53 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                 } else {
                     String::new()
                 }
-            );
+            )?;
         }
-        println!(
+        wln!(
+            out,
             "{:<6} {:>10} {:>10} {:>8}",
-            "rank", "node", "distance", "size"
-        );
+            "rank",
+            "node",
+            "distance",
+            "size"
+        )?;
         for (rank, m) in matches.iter().enumerate() {
-            println!(
+            wln!(
+                out,
                 "{:<6} {:>10} {:>10} {:>8}",
                 rank + 1,
                 m.root.post(),
                 m.distance.to_string(),
                 m.size
-            );
+            )?;
             if let Some(tree) = &m.tree {
-                println!("       {}", tree_to_xml(tree, &dict));
+                wln!(out, "       {}", tree_to_xml(tree, &dict))?;
             }
         }
     }
-    println!("# elapsed: {elapsed:?}");
+    wln!(out, "# elapsed: {elapsed:?}")?;
     if want_stats {
         let tau = queries
             .iter()
             .map(|q| threshold_for_query(q, &UnitCost, 1, k as u64))
             .max()
             .expect("at least one query");
-        println!(
+        wln!(
+            out,
             "# relevant subtrees computed: {} (largest {} nodes), ted calls: {}, {} = {}",
             stats.total_relevant(),
             stats.max_relevant_size(),
             stats.ted_calls,
             if batch { "scan tau" } else { "tau" },
             tau,
-        );
+        )?;
         if let Some(scan) = scan_stats {
-            print_scan_stats(&scan);
+            print_scan_stats(&mut out, &scan)?;
         }
         if let Some(lanes) = lane_stats.filter(|l| l.len() > 1) {
             for (i, lane) in lanes.iter().enumerate() {
-                println!(
+                wln!(
+                    out,
                     "# lane {} funnel: size-skipped {}, histogram-pruned {}, \
                      sed-pruned {}, evaluated {} (prune rate {:.1}%)",
                     i + 1,
@@ -429,20 +504,23 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                     lane.pruned_sed,
                     lane.evaluated,
                     100.0 * lane.prune_rate(),
-                );
+                )?;
             }
         }
     }
-    Ok(())
+    out.flush()
 }
 
 /// Prints the scan-layer counters and the per-tier pruning funnel of a
 /// run (shared by single, batch and parallel `query` invocations).
-fn print_scan_stats(scan: &ScanStats) {
-    println!(
+fn print_scan_stats<W: Write>(out: &mut output::Out<W>, scan: &ScanStats) -> Result<(), CliError> {
+    wln!(
+        out,
         "# scan: {} candidates from {} nodes (peak ring buffer {})",
-        scan.candidates, scan.nodes_seen, scan.peak_buffered
-    );
+        scan.candidates,
+        scan.nodes_seen,
+        scan.peak_buffered
+    )?;
     let decisions = scan.eval_decisions();
     let pct = |n: u64| {
         if decisions == 0 {
@@ -451,7 +529,8 @@ fn print_scan_stats(scan: &ScanStats) {
             100.0 * n as f64 / decisions as f64
         }
     };
-    println!(
+    wln!(
+        out,
         "# prune funnel: size-skipped {}, histogram-pruned {} ({:.1}%), \
          sed-pruned {} ({:.1}%), evaluated {} ({:.1}%); cascade prune rate {:.1}%",
         scan.pruned_size,
@@ -462,28 +541,30 @@ fn print_scan_stats(scan: &ScanStats) {
         scan.evaluated,
         pct(scan.evaluated),
         100.0 * scan.prune_rate(),
-    );
+    )
 }
 
-fn cmd_ted(args: &Args) -> Result<(), String> {
+fn cmd_ted(args: &Args) -> Result<(), CliError> {
     let mut dict = LabelDict::new();
-    let left = load_xml(args.require("left")?, &mut dict)?;
-    let right = load_xml(args.require("right")?, &mut dict)?;
+    let left = load_xml(args.require("left").usage()?, &mut dict)?;
+    let right = load_xml(args.require("right").usage()?, &mut dict)?;
     let t0 = Instant::now();
     let d = ted(&left, &right, &UnitCost);
-    println!(
+    let mut out = output::stdout();
+    wln!(
+        out,
         "delta = {d}  (|left| = {}, |right| = {}, {:?})",
         left.len(),
         right.len(),
         t0.elapsed()
-    );
-    Ok(())
+    )?;
+    out.flush()
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
+fn cmd_gen(args: &Args) -> Result<(), CliError> {
     let dataset = args.get("dataset").unwrap_or("dblp");
-    let nodes: usize = args.get_num("nodes", 10_000)?;
-    let seed: u64 = args.get_num("seed", 42)?;
+    let nodes: usize = args.get_num("nodes", 10_000).usage()?;
+    let seed: u64 = args.get_num("seed", 42).usage()?;
     let mut dict = LabelDict::new();
     let tree = match dataset {
         "xmark" => xmark_tree(&mut dict, &XMarkConfig::new(seed, nodes)),
@@ -497,88 +578,92 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
                 ..Default::default()
             },
         ),
-        other => return Err(format!("unknown dataset '{other}'")),
+        other => return Err(CliError::Usage(format!("unknown dataset '{other}'"))),
     };
     let xml = tree_to_xml(&tree, &dict);
     match args.get("out") {
         Some(path) => {
-            let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let file = File::create(path)
+                .map_err(|e| CliError::Runtime(format!("cannot create {path}: {e}")))?;
             let mut w = BufWriter::new(file);
-            w.write_all(xml.as_bytes()).map_err(|e| e.to_string())?;
+            w.write_all(xml.as_bytes())
+                .and_then(|()| w.flush())
+                .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
             eprintln!("wrote {} nodes to {path}", tree.len());
         }
         None => {
             // Large documents are routinely piped into `head`/`grep`;
-            // treat a closed pipe as a clean exit instead of the default
-            // println! panic, and report real write failures.
-            let mut out = std::io::stdout().lock();
-            let result = out
-                .write_all(xml.as_bytes())
-                .and_then(|()| out.write_all(b"\n"))
-                .and_then(|()| out.flush());
-            if let Err(e) = result {
-                if e.kind() != std::io::ErrorKind::BrokenPipe {
-                    return Err(format!("stdout: {e}"));
-                }
-            }
+            // a closed pipe is a clean exit (handled inside Out), and
+            // real write failures are runtime errors.
+            let mut out = output::stdout();
+            out.raw(xml.as_bytes())?;
+            out.raw(b"\n")?;
+            out.flush()?;
         }
     }
     Ok(())
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
+fn cmd_stats(args: &Args) -> Result<(), CliError> {
     let mut dict = LabelDict::new();
-    let doc = load_xml(args.require("doc")?, &mut dict)?;
+    let doc = load_xml(args.require("doc").usage()?, &mut dict)?;
     let s = tasm_tree::stats::TreeStats::of(&doc);
-    println!("nodes:            {}", s.nodes);
-    println!("leaves:           {}", s.leaves);
-    println!("height:           {}", s.height);
-    println!("max fanout:       {}", s.max_fanout);
-    println!("mean fanout:      {:.2}", s.mean_internal_fanout);
-    println!("distinct labels:  {}", s.distinct_labels);
+    let mut out = output::stdout();
+    wln!(out, "nodes:            {}", s.nodes)?;
+    wln!(out, "leaves:           {}", s.leaves)?;
+    wln!(out, "height:           {}", s.height)?;
+    wln!(out, "max fanout:       {}", s.max_fanout)?;
+    wln!(out, "mean fanout:      {:.2}", s.mean_internal_fanout)?;
+    wln!(out, "distinct labels:  {}", s.distinct_labels)?;
     for tau in [10u32, 50, 100] {
-        println!(
+        wln!(
+            out,
             "subtrees <= {tau:>3}:  {:.2}%",
             100.0 * tasm_tree::stats::fraction_below(&doc, tau)
-        );
+        )?;
     }
-    Ok(())
+    out.flush()
 }
 
-fn cmd_candidates(args: &Args) -> Result<(), String> {
+fn cmd_candidates(args: &Args) -> Result<(), CliError> {
     let mut dict = LabelDict::new();
-    let doc = load_xml(args.require("doc")?, &mut dict)?;
-    let tau: u32 = args.get_num("tau", 50)?;
+    let doc = load_xml(args.require("doc").usage()?, &mut dict)?;
+    let tau: u32 = args.get_num("tau", 50).usage()?;
     if tau == 0 {
         // cand(T, 0) is empty by Def. 9 — a zero threshold is always a
         // mistake, and silently clamping it to 1 (the old behavior)
         // reported a plausible-looking leaf-only candidate set.
-        return Err("--tau must be >= 1: cand(T, 0) is empty by definition".into());
+        return Err(CliError::Usage(
+            "--tau must be >= 1: cand(T, 0) is empty by definition".into(),
+        ));
     }
     let mut queue = TreeQueue::new(&doc);
     let t0 = Instant::now();
     let st = prb_pruning_stats(&mut queue, tau, None);
     let dt = t0.elapsed();
-    println!("tau = {tau}");
-    println!("candidates:        {}", st.candidates);
-    println!("candidate nodes:   {}", st.candidate_nodes);
-    println!(
+    let mut out = output::stdout();
+    wln!(out, "tau = {tau}")?;
+    wln!(out, "candidates:        {}", st.candidates)?;
+    wln!(out, "candidate nodes:   {}", st.candidate_nodes)?;
+    wln!(
+        out,
         "peak ring buffer:  {} nodes (bound: tau = {tau})",
         st.peak_buffered
-    );
-    println!("nodes scanned:     {}", st.nodes_seen);
-    println!("elapsed:           {dt:?}");
+    )?;
+    wln!(out, "nodes scanned:     {}", st.nodes_seen)?;
+    wln!(out, "elapsed:           {dt:?}")?;
     if args.flag("compare-simple") {
         let mut queue = TreeQueue::new(&doc);
         let (_, simple) = simple_pruning(&mut queue, tau);
-        println!(
+        wln!(
+            out,
             "simple pruning (Sec. V-B) peak buffer: {} nodes ({}x the ring buffer)",
             simple.peak_buffered,
             simple
                 .peak_buffered
                 .checked_div(st.peak_buffered)
                 .unwrap_or(0)
-        );
+        )?;
     }
-    Ok(())
+    out.flush()
 }

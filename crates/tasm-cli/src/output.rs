@@ -1,0 +1,136 @@
+//! Stdout with pipe-aware failure semantics.
+//!
+//! CLI output is routinely piped into `head`, `grep -m1`, or a pager
+//! that exits early. The default `println!` panics on the resulting
+//! `EPIPE`; treating it as an error would make `tasm gen | head` exit
+//! nonzero. [`Out`] makes the policy explicit: a broken pipe silences
+//! all further output and the command exits 0; every other write error
+//! is a [`CliError::Runtime`] (exit 2).
+
+use std::fmt;
+use std::io::{ErrorKind, Write};
+
+use crate::errors::CliError;
+
+/// A write sink that swallows `EPIPE` (output truncated downstream —
+/// success) and classifies real write failures as runtime errors.
+pub struct Out<W: Write> {
+    inner: W,
+    closed: bool,
+}
+
+/// Writes one line to an [`Out`], `println!`-style:
+/// `wln!(out, "{} nodes", n)?`.
+macro_rules! wln {
+    ($out:expr) => {
+        $out.line(format_args!(""))
+    };
+    ($out:expr, $($arg:tt)*) => {
+        $out.line(format_args!($($arg)*))
+    };
+}
+
+impl<W: Write> Out<W> {
+    /// Wraps a writer (typically a locked stdout).
+    pub fn new(inner: W) -> Self {
+        Out {
+            inner,
+            closed: false,
+        }
+    }
+
+    fn check(&mut self, result: std::io::Result<()>) -> Result<(), CliError> {
+        match result {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == ErrorKind::BrokenPipe => {
+                // The reader went away; everything further is no-op.
+                self.closed = true;
+                Ok(())
+            }
+            Err(e) => Err(CliError::Runtime(format!("stdout: {e}"))),
+        }
+    }
+
+    /// Writes `args` followed by a newline (use via [`wln!`]).
+    pub fn line(&mut self, args: fmt::Arguments<'_>) -> Result<(), CliError> {
+        if self.closed {
+            return Ok(());
+        }
+        let r = self
+            .inner
+            .write_fmt(args)
+            .and_then(|()| self.inner.write_all(b"\n"));
+        self.check(r)
+    }
+
+    /// Writes raw bytes (bulk output like generated XML).
+    pub fn raw(&mut self, bytes: &[u8]) -> Result<(), CliError> {
+        if self.closed {
+            return Ok(());
+        }
+        let r = self.inner.write_all(bytes);
+        self.check(r)
+    }
+
+    /// Flushes buffered output.
+    pub fn flush(&mut self) -> Result<(), CliError> {
+        if self.closed {
+            return Ok(());
+        }
+        let r = self.inner.flush();
+        self.check(r)
+    }
+}
+
+/// An [`Out`] over this process's stdout.
+pub fn stdout() -> Out<std::io::Stdout> {
+    Out::new(std::io::stdout())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FailAfter {
+        n: usize,
+        kind: ErrorKind,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.n == 0 {
+                return Err(std::io::Error::new(self.kind, "boom"));
+            }
+            self.n -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn broken_pipe_is_swallowed_and_sticky() {
+        let mut out = Out::new(FailAfter {
+            n: 0,
+            kind: ErrorKind::BrokenPipe,
+        });
+        assert!(wln!(out, "first").is_ok());
+        // Later writes are silent no-ops, not retries.
+        assert!(wln!(out, "second").is_ok());
+        assert!(out.raw(b"third").is_ok());
+        assert!(out.flush().is_ok());
+    }
+
+    #[test]
+    fn real_write_errors_are_runtime_errors() {
+        let mut out = Out::new(FailAfter {
+            n: 0,
+            kind: ErrorKind::Other,
+        });
+        match wln!(out, "x") {
+            Err(CliError::Runtime(msg)) => assert!(msg.contains("stdout")),
+            other => panic!("{other:?}"),
+        }
+    }
+}

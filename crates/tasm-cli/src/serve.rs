@@ -1,0 +1,253 @@
+//! The `serve` and `client` subcommands: the resident query daemon and
+//! a minimal line-protocol client for scripts and tests.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::args::Args;
+use crate::errors::{CliError, UsageExt};
+use crate::output::Out;
+use tasm_core::{Doc, DocStore, QueryParser, Server, ServerConfig};
+use tasm_tree::LabelDict;
+
+/// Derives the document alias from `--doc <name=path>` (or the file
+/// stem when no `name=` is given).
+fn doc_alias(value: &str) -> (String, &str) {
+    if let Some((name, path)) = value.split_once('=') {
+        if !name.is_empty() {
+            return (name.to_string(), path);
+        }
+    }
+    let stem = std::path::Path::new(value)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(value);
+    (stem.to_string(), value)
+}
+
+fn build_config(args: &Args) -> Result<ServerConfig, CliError> {
+    let defaults = ServerConfig::default();
+    Ok(ServerConfig {
+        workers: args.get_num("workers", defaults.workers).usage()?,
+        queue_capacity: args.get_num("queue", defaults.queue_capacity).usage()?,
+        max_batch: args.get_num("max-batch", defaults.max_batch).usage()?,
+        batch_window: Duration::from_millis(
+            args.get_num("batch-window-ms", defaults.batch_window.as_millis() as u64)
+                .usage()?,
+        ),
+        default_deadline: Duration::from_millis(
+            args.get_num(
+                "default-timeout-ms",
+                defaults.default_deadline.as_millis() as u64,
+            )
+            .usage()?,
+        ),
+        max_deadline: Duration::from_millis(
+            args.get_num("max-timeout-ms", defaults.max_deadline.as_millis() as u64)
+                .usage()?,
+        ),
+        drain_deadline: Duration::from_millis(
+            args.get_num(
+                "drain-timeout-ms",
+                defaults.drain_deadline.as_millis() as u64,
+            )
+            .usage()?,
+        ),
+        read_timeout: Duration::from_millis(
+            args.get_num("read-timeout-ms", defaults.read_timeout.as_millis() as u64)
+                .usage()?,
+        ),
+        ..defaults
+    })
+}
+
+/// `tasm serve` — load documents, bind a socket, answer queries until
+/// SIGTERM/SIGINT or a client's SHUTDOWN, then drain gracefully.
+///
+/// Exit code 0 means every admitted request's response reached its
+/// socket before the drain deadline; a dirty drain exits 2.
+pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let mut store = DocStore::new();
+    for (name, value) in &args.options {
+        if name != "doc" {
+            continue;
+        }
+        let (alias, path) = doc_alias(value);
+        let mut dict = LabelDict::new();
+        let tree = crate::load_xml(path, &mut dict)?;
+        eprintln!(
+            "tasm serve: loaded doc '{alias}': {} nodes from {path}",
+            tree.len()
+        );
+        store.insert(Doc::new(alias, tree, dict));
+    }
+    if store.is_empty() {
+        return Err(CliError::Usage(
+            "serve needs at least one --doc <name=file.xml> (or --doc file.xml)".into(),
+        ));
+    }
+    let cfg = build_config(args)?;
+    // Queries arrive over the wire as XML; parse them with the same
+    // parser the one-shot CLI uses so rankings are identical.
+    let parser: QueryParser =
+        Arc::new(|text, dict| tasm_xml::parse_tree_str(text, dict).map_err(|e| e.to_string()));
+    let server = Server::new(cfg, store, Some(parser));
+    let stop = crate::signal::install_term_flag();
+
+    let socket = args.get("socket");
+    let tcp = args.get("tcp");
+    match (socket, tcp) {
+        (Some(path), None) => {
+            #[cfg(unix)]
+            {
+                // A previous crash can leave the socket file behind;
+                // binding over it needs the stale file gone.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| CliError::Runtime(format!("bind {path}: {e}")))?;
+                eprintln!("tasm serve: listening on unix socket {path}");
+                let served = server.serve_unix(&listener, Some(stop));
+                let clean = server.drain();
+                let _ = std::fs::remove_file(path);
+                served.map_err(|e| CliError::Runtime(format!("serve: {e}")))?;
+                finish(clean)
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err(CliError::Usage(
+                    "--socket needs a Unix platform; use --tcp".into(),
+                ))
+            }
+        }
+        (None, Some(addr)) => {
+            let listener = TcpListener::bind(addr)
+                .map_err(|e| CliError::Runtime(format!("bind {addr}: {e}")))?;
+            eprintln!(
+                "tasm serve: listening on tcp {}",
+                listener
+                    .local_addr()
+                    .map_err(|e| CliError::Runtime(e.to_string()))?
+            );
+            let served = server.serve_tcp(&listener, Some(stop));
+            let clean = server.drain();
+            served.map_err(|e| CliError::Runtime(format!("serve: {e}")))?;
+            finish(clean)
+        }
+        (None, None) => Err(CliError::Usage(
+            "serve needs --socket <path> or --tcp <addr:port>".into(),
+        )),
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--socket and --tcp are mutually exclusive".into(),
+        )),
+    }
+}
+
+fn finish(clean: bool) -> Result<(), CliError> {
+    if clean {
+        eprintln!("tasm serve: drained cleanly");
+        Ok(())
+    } else {
+        Err(CliError::Runtime(
+            "drain deadline passed with requests still in flight".into(),
+        ))
+    }
+}
+
+/// `tasm client` — connect, send requests, stream responses to stdout.
+///
+/// Requests come from repeated `--send <line>` options, or — when none
+/// are given — verbatim from stdin (including a final line *without* a
+/// newline, which is how the truncated-request path is exercised).
+/// The client transports; it does not interpret. Server-side `ERR`/
+/// `BUSY` lines still exit 0 — scripts branch on the response text.
+pub fn cmd_client(args: &Args) -> Result<(), CliError> {
+    let sends: Vec<&str> = args.get_all("send");
+    match (args.get("socket"), args.get("tcp")) {
+        (Some(path), None) => {
+            #[cfg(unix)]
+            {
+                let stream = UnixStream::connect(path)
+                    .map_err(|e| CliError::Runtime(format!("connect {path}: {e}")))?;
+                let shutdown = |s: &UnixStream| s.shutdown(std::net::Shutdown::Write);
+                run_client(stream, shutdown, &sends)
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err(CliError::Usage(
+                    "--socket needs a Unix platform; use --tcp".into(),
+                ))
+            }
+        }
+        (None, Some(addr)) => {
+            let stream = TcpStream::connect(addr)
+                .map_err(|e| CliError::Runtime(format!("connect {addr}: {e}")))?;
+            let shutdown = |s: &TcpStream| s.shutdown(std::net::Shutdown::Write);
+            run_client(stream, shutdown, &sends)
+        }
+        (None, None) => Err(CliError::Usage(
+            "client needs --socket <path> or --tcp <addr:port>".into(),
+        )),
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--socket and --tcp are mutually exclusive".into(),
+        )),
+    }
+}
+
+fn run_client<S: Read + Write>(
+    mut stream: S,
+    shutdown_write: impl Fn(&S) -> std::io::Result<()>,
+    sends: &[&str],
+) -> Result<(), CliError> {
+    if sends.is_empty() {
+        // Raw mode: forward stdin bytes verbatim (no newline fixing —
+        // deliberately, so torn requests can be produced).
+        std::io::copy(&mut std::io::stdin().lock(), &mut stream)
+            .map_err(|e| CliError::Runtime(format!("send: {e}")))?;
+    } else {
+        for line in sends {
+            stream
+                .write_all(line.as_bytes())
+                .and_then(|()| stream.write_all(b"\n"))
+                .map_err(|e| CliError::Runtime(format!("send: {e}")))?;
+        }
+    }
+    stream
+        .flush()
+        .and_then(|()| shutdown_write(&stream))
+        .map_err(|e| CliError::Runtime(format!("send: {e}")))?;
+    // Stream every response byte to stdout until the server closes.
+    let mut out = Out::new(std::io::stdout());
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.raw(&buf[..n])?,
+            Err(e) => return Err(CliError::Runtime(format!("receive: {e}"))),
+        }
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_alias_prefers_the_explicit_name() {
+        assert_eq!(
+            doc_alias("dblp=/data/d.xml"),
+            ("dblp".into(), "/data/d.xml")
+        );
+        assert_eq!(
+            doc_alias("/data/corpus.xml"),
+            ("corpus".into(), "/data/corpus.xml")
+        );
+        assert_eq!(doc_alias("plain.pq"), ("plain".into(), "plain.pq"));
+    }
+}

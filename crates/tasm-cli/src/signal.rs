@@ -1,0 +1,45 @@
+//! SIGTERM/SIGINT as a poll-able flag, with no dependencies.
+//!
+//! The daemon's accept loop is a nonblocking poll, so graceful shutdown
+//! only needs a flag the signal handler can flip. The handler body is a
+//! single atomic store — async-signal-safe by construction.
+//!
+//! This is the one place in the workspace that touches `unsafe`:
+//! registering the handler goes through libc's `signal(2)`, declared
+//! here directly so the CLI stays dependency-free. `tasm-core` forbids
+//! unsafe code outright, which is why this lives in the binary crate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+const SIGINT: i32 = 2;
+#[cfg(unix)]
+const SIGTERM: i32 = 15;
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod ffi {
+    extern "C" {
+        /// libc `signal(2)`; the handler is passed as a raw fn address.
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+}
+
+#[cfg(unix)]
+extern "C" fn on_term(_signum: i32) {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers (best effort) and returns the flag
+/// they flip. On non-Unix targets the flag simply never fires.
+#[allow(unsafe_code)]
+pub fn install_term_flag() -> &'static AtomicBool {
+    #[cfg(unix)]
+    unsafe {
+        ffi::signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+        ffi::signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+    }
+    &TERM_REQUESTED
+}

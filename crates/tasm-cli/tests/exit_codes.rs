@@ -1,0 +1,118 @@
+//! Exit-code discipline, end to end: 0 = success (including stdout
+//! truncated by a closed pipe), 1 = usage error, 2 = runtime error.
+//! Scripts branch on these; each class is pinned for every subcommand
+//! family.
+
+use std::io::Read;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn tasm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tasm"))
+        .args(args)
+        .output()
+        .expect("spawn tasm")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tasm_exit_{}_{name}", std::process::id()))
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+#[test]
+fn usage_errors_exit_1() {
+    // Unknown command.
+    assert_eq!(code(&tasm(&["frobnicate"])), 1);
+    // Missing required options.
+    assert_eq!(code(&tasm(&["query"])), 1);
+    assert_eq!(code(&tasm(&["ted"])), 1);
+    assert_eq!(code(&tasm(&["stats"])), 1);
+    assert_eq!(code(&tasm(&["convert"])), 1);
+    assert_eq!(code(&tasm(&["index"])), 1);
+    assert_eq!(code(&tasm(&["serve"])), 1); // no --doc
+    assert_eq!(code(&tasm(&["client"])), 1); // no --socket/--tcp
+                                             // Malformed option values and domain misuse.
+    assert_eq!(
+        code(&tasm(&["gen", "--dataset", "nope", "--nodes", "10"])),
+        1
+    );
+    assert_eq!(code(&tasm(&["gen", "--nodes", "many"])), 1);
+    let err = tasm(&["gen", "--nodes", "many"]);
+    assert!(
+        String::from_utf8_lossy(&err.stderr).starts_with("usage error:"),
+        "usage failures say so on stderr"
+    );
+}
+
+#[test]
+fn runtime_errors_exit_2() {
+    // Unreadable input file.
+    let out = tasm(&[
+        "query",
+        "--query-str",
+        "<a/>",
+        "--doc",
+        "/nonexistent/never.xml",
+    ]);
+    assert_eq!(code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).starts_with("error:"));
+
+    // Malformed XML content (the command line itself was fine).
+    let bad = tmp("bad.xml");
+    std::fs::write(&bad, "<open><unclosed>").unwrap();
+    let out = tasm(&["stats", "--doc", bad.to_str().unwrap()]);
+    assert_eq!(code(&out), 2);
+
+    // A truncated .pq must be a loud runtime error, not a smaller doc.
+    let doc = tmp("trunc_src.xml");
+    let pq = tmp("trunc.pq");
+    assert_eq!(
+        code(&tasm(&[
+            "gen",
+            "--nodes",
+            "500",
+            "--out",
+            doc.to_str().unwrap()
+        ])),
+        0
+    );
+    assert_eq!(
+        code(&tasm(&[
+            "convert",
+            "--doc",
+            doc.to_str().unwrap(),
+            "--out",
+            pq.to_str().unwrap()
+        ])),
+        0
+    );
+    let bytes = std::fs::read(&pq).unwrap();
+    std::fs::write(&pq, &bytes[..bytes.len() - 12]).unwrap();
+    let out = tasm(&["stats", "--doc", pq.to_str().unwrap()]);
+    assert_eq!(code(&out), 2);
+
+    let _ = std::fs::remove_file(&bad);
+    let _ = std::fs::remove_file(&doc);
+    let _ = std::fs::remove_file(&pq);
+}
+
+#[test]
+fn closed_stdout_pipe_exits_0() {
+    // `tasm gen | head` — the reader hangs up after a few bytes; the
+    // generator must treat that as success, not an error.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tasm"))
+        .args(["gen", "--dataset", "dblp", "--nodes", "300000"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tasm gen");
+    let mut stdout = child.stdout.take().unwrap();
+    let mut first = [0u8; 64];
+    stdout.read_exact(&mut first).unwrap();
+    drop(stdout); // close the pipe with megabytes still unwritten
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "EPIPE is a clean exit");
+}

@@ -1,0 +1,245 @@
+//! `tasm serve` / `tasm client` end to end, through the real binary
+//! and a real Unix socket: protocol behavior, ranking parity with the
+//! one-shot CLI, SIGTERM drain, and the torn-request path.
+
+#![cfg(unix)]
+
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn tasm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tasm"))
+        .args(args)
+        .output()
+        .expect("spawn tasm")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tasm_serve_{}_{name}", std::process::id()))
+}
+
+/// A running `tasm serve` child; killed on drop so failed asserts can't
+/// leak daemons.
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn start(name: &str, doc: &str, extra: &[&str]) -> Daemon {
+        let socket = tmp(&format!("{name}.sock"));
+        let _ = std::fs::remove_file(&socket);
+        let mut args = vec![
+            "serve".to_string(),
+            "--socket".to_string(),
+            socket.to_str().unwrap().to_string(),
+            "--doc".to_string(),
+            format!("d={doc}"),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let child = Command::new(env!("CARGO_BIN_EXE_tasm"))
+            .args(&args)
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn tasm serve");
+        // Readiness: the socket accepts once the listener is bound.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if UnixStream::connect(&socket).is_ok() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "daemon never became ready");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Daemon { child, socket }
+    }
+
+    fn client(&self, sends: &[&str]) -> Output {
+        let mut args = vec!["client", "--socket", self.socket.to_str().unwrap()];
+        for s in sends {
+            args.push("--send");
+            args.push(s);
+        }
+        tasm(&args)
+    }
+
+    /// SIGTERM, then wait; returns the daemon's exit code.
+    fn terminate(mut self) -> i32 {
+        let pid = self.child.id().to_string();
+        let ok = Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .expect("spawn kill")
+            .success();
+        assert!(ok, "kill -TERM failed");
+        let status = self.child.wait().expect("wait for daemon");
+        let _ = std::fs::remove_file(&self.socket);
+        status.code().expect("daemon exit code")
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+fn gen_doc(name: &str) -> PathBuf {
+    let doc = tmp(&format!("{name}.xml"));
+    let out = tasm(&[
+        "gen",
+        "--dataset",
+        "dblp",
+        "--nodes",
+        "2000",
+        "--seed",
+        "11",
+        "--out",
+        doc.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    doc
+}
+
+/// Extracts `(node, distance, size)` ranking rows from either the
+/// one-shot table or the daemon protocol: both print data rows as
+/// `<rank> <node> <distance> <size>` (whitespace-separated).
+fn ranking_rows(text: &str) -> Vec<(String, String, String)> {
+    text.lines()
+        .filter_map(|line| {
+            let mut f = line.split_whitespace();
+            let rank = f.next()?;
+            if !rank.chars().all(|c| c.is_ascii_digit()) {
+                return None;
+            }
+            Some((
+                f.next()?.to_string(),
+                f.next()?.to_string(),
+                f.next()?.to_string(),
+            ))
+        })
+        .collect()
+}
+
+#[test]
+fn daemon_rankings_match_the_oneshot_cli() {
+    let doc = gen_doc("parity");
+    let daemon = Daemon::start("parity", doc.to_str().unwrap(), &[]);
+
+    let query = "<article><author/><title/></article>";
+    let served = daemon.client(&[&format!("QUERY doc=d k=5 q={query}")]);
+    assert_eq!(served.status.code(), Some(0));
+    let served_text = String::from_utf8(served.stdout).unwrap();
+    assert!(served_text.starts_with("OK "), "{served_text}");
+    assert!(served_text.trim_end().ends_with("END"), "{served_text}");
+
+    let oneshot = tasm(&[
+        "query",
+        "--query-str",
+        query,
+        "--doc",
+        doc.to_str().unwrap(),
+        "--k",
+        "5",
+    ]);
+    assert_eq!(oneshot.status.code(), Some(0));
+    let oneshot_text = String::from_utf8(oneshot.stdout).unwrap();
+
+    let served_rows = ranking_rows(&served_text);
+    let oneshot_rows = ranking_rows(&oneshot_text);
+    assert_eq!(served_rows.len(), 5, "{served_text}");
+    assert_eq!(
+        served_rows, oneshot_rows,
+        "daemon and one-shot rankings must be identical"
+    );
+
+    assert_eq!(daemon.terminate(), 0, "SIGTERM drain exits 0");
+    let _ = std::fs::remove_file(&doc);
+}
+
+#[test]
+fn protocol_surface_over_the_binary() {
+    let doc = gen_doc("surface");
+    let daemon = Daemon::start("surface", doc.to_str().unwrap(), &[]);
+
+    // PING, DOCS, a bad line (connection survives), then a query —
+    // one connection, in order.
+    let out = daemon.client(&[
+        "PING",
+        "DOCS",
+        "FROBNICATE",
+        "QUERY doc=nope k=1 q=<a/>",
+        "QUERY doc=d k=0 q=<a/>",
+        "QUERY doc=d k=1 timeout=0 q=<article/>",
+        "QUERY doc=d k=1 q=<article/>",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("PONG"), "{text}");
+    assert!(text.contains("DOCS 1"), "{text}");
+    assert!(text.contains("\nd "), "{text}");
+    assert!(text.contains("ERR proto "), "{text}");
+    assert!(text.contains("ERR doc "), "{text}");
+    assert!(text.contains("ERR parse "), "{text}");
+    assert!(text.contains("ERR timeout "), "{text}");
+    assert!(text.contains("no partial ranking"), "{text}");
+    assert!(text.contains("OK 1"), "{text}");
+
+    assert_eq!(daemon.terminate(), 0);
+    let _ = std::fs::remove_file(&doc);
+}
+
+#[test]
+fn torn_request_gets_a_structured_proto_error() {
+    let doc = gen_doc("torn");
+    let daemon = Daemon::start("torn", doc.to_str().unwrap(), &[]);
+
+    // Raw stdin mode forwards bytes verbatim: no trailing newline means
+    // the server sees EOF mid-record.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tasm"))
+        .args(["client", "--socket", daemon.socket.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn client");
+    use std::io::Write;
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"QUERY doc=d k=1 q=<a")
+        .unwrap(); // dropped: EOF, no newline
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "client transported fine");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("ERR proto truncated request"),
+        "server must diagnose the torn record: {text}"
+    );
+
+    // The daemon survived the torn connection.
+    let out = daemon.client(&["PING"]);
+    assert!(String::from_utf8(out.stdout).unwrap().contains("PONG"));
+
+    assert_eq!(daemon.terminate(), 0);
+    let _ = std::fs::remove_file(&doc);
+}
+
+#[test]
+fn client_against_a_dead_socket_exits_2() {
+    let sock = tmp("dead.sock");
+    let _ = std::fs::remove_file(&sock);
+    let out = tasm(&[
+        "client",
+        "--socket",
+        sock.to_str().unwrap(),
+        "--send",
+        "PING",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).starts_with("error:"));
+}

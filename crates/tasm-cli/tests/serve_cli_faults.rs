@@ -1,0 +1,150 @@
+//! Drain-under-load and worker-fault behavior of `tasm serve`, through
+//! the real binary. Needs `--features fault-inject` so the magic query
+//! labels (`__fault_sleep_<ms>__`, `__fault_panic__`) are armed.
+
+#![cfg(all(unix, feature = "fault-inject"))]
+
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn tasm_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tasm"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tasm_sfault_{}_{name}", std::process::id()))
+}
+
+fn gen_doc(name: &str) -> PathBuf {
+    let doc = tmp(&format!("{name}.xml"));
+    let out = tasm_bin()
+        .args([
+            "gen",
+            "--nodes",
+            "1500",
+            "--seed",
+            "3",
+            "--out",
+            doc.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    doc
+}
+
+fn start_daemon(name: &str, doc: &Path) -> (Child, PathBuf) {
+    let socket = tmp(&format!("{name}.sock"));
+    let _ = std::fs::remove_file(&socket);
+    let child = tasm_bin()
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--doc",
+            &format!("d={}", doc.display()),
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while UnixStream::connect(&socket).is_err() {
+        assert!(Instant::now() < deadline, "daemon never became ready");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    (child, socket)
+}
+
+fn client(socket: &Path, sends: &[&str]) -> Output {
+    let mut args = vec!["client", "--socket", socket.to_str().unwrap()];
+    for s in sends {
+        args.push("--send");
+        args.push(s);
+    }
+    tasm_bin().args(&args).output().unwrap()
+}
+
+#[test]
+fn sigterm_mid_request_drains_and_exits_0() {
+    let doc = gen_doc("drain");
+    let (mut daemon, socket) = start_daemon("drain", &doc);
+
+    // A request that will still be evaluating when SIGTERM lands
+    // (worker stalls 300 ms; its 2 s budget outlives the stall).
+    let socket2 = socket.clone();
+    let inflight = std::thread::spawn(move || {
+        client(
+            &socket2,
+            &["QUERY doc=d k=1 timeout=2000 q=<__fault_sleep_300__/>"],
+        )
+    });
+    std::thread::sleep(Duration::from_millis(100)); // worker holds it
+
+    let killed = Command::new("kill")
+        .args(["-TERM", &daemon.id().to_string()])
+        .status()
+        .unwrap()
+        .success();
+    assert!(killed);
+
+    // The in-flight request completes with a real ranking…
+    let out = inflight.join().unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("OK "), "in-flight answer: {text}");
+
+    // …and the daemon exits 0 within the drain budget.
+    let deadline = Instant::now() + Duration::from_secs(8);
+    let code = loop {
+        if let Some(status) = daemon.try_wait().unwrap() {
+            break status.code();
+        }
+        assert!(Instant::now() < deadline, "daemon did not exit after drain");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(code, Some(0), "clean drain exits 0");
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&doc);
+}
+
+#[test]
+fn worker_faults_surface_as_structured_errors_and_daemon_recovers() {
+    let doc = gen_doc("faults");
+    let (mut daemon, socket) = start_daemon("faults", &doc);
+
+    // Stall past the deadline: structured timeout.
+    let out = client(
+        &socket,
+        &["QUERY doc=d k=1 timeout=30 q=<__fault_sleep_200__/>"],
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("ERR timeout "), "{text}");
+
+    // Panic in the worker: structured internal error, daemon survives.
+    let out = client(&socket, &["QUERY doc=d k=1 q=<__fault_panic__/>"]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("ERR internal "), "{text}");
+
+    let out = client(&socket, &["QUERY doc=d k=2 q=<article/>", "PING"]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("OK 2"), "daemon still answers: {text}");
+    assert!(text.contains("PONG"), "{text}");
+
+    // Graceful stop via the protocol this time.
+    let out = client(&socket, &["SHUTDOWN"]);
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("OK draining"));
+    let deadline = Instant::now() + Duration::from_secs(8);
+    let code = loop {
+        if let Some(status) = daemon.try_wait().unwrap() {
+            break status.code();
+        }
+        assert!(Instant::now() < deadline, "daemon did not exit");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(code, Some(0));
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&doc);
+}

@@ -24,6 +24,7 @@
 use crate::engine::{CandidateSink, ScanEngine, ScanStats};
 use crate::lane::{build_lanes, fan_out, reserve_lanes, EvalLane};
 use crate::ranking::Match;
+use crate::server::deadline::{Deadline, DeadlineExceeded};
 use crate::tasm_dynamic::TasmOptions;
 use crate::workspace::scratch_fits_cap;
 use tasm_ted::{CascadeScratch, CostModel, TedStats, TedWorkspace};
@@ -170,8 +171,45 @@ pub fn tasm_batch_with_workspace<Q: PostorderQueue + ?Sized>(
     ws: &mut BatchWorkspace,
     stats: Option<&mut TedStats>,
 ) -> Vec<Vec<Match>> {
+    match tasm_batch_deadline_with_workspace(
+        queries,
+        queue,
+        model,
+        c_t,
+        opts,
+        ws,
+        stats,
+        &Deadline::none(),
+    ) {
+        Ok(rankings) => rankings,
+        Err(DeadlineExceeded) => unreachable!("Deadline::none() never expires"),
+    }
+}
+
+/// As [`tasm_batch_with_workspace`], but cooperatively cancellable: the
+/// whole batch shares one scan, so one `deadline` bounds it (the
+/// `tasm serve` daemon passes the *earliest* member deadline and
+/// retries survivors solo when a batch is cancelled).
+///
+/// # Errors
+///
+/// [`DeadlineExceeded`] if the deadline expires before the scan
+/// completes — no partial rankings are returned (a top-k over a prefix
+/// of the candidate stream could miss better subtrees), and the
+/// workspace's last-run statistics are left untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn tasm_batch_deadline_with_workspace<Q: PostorderQueue + ?Sized>(
+    queries: &[BatchQuery<'_>],
+    queue: &mut Q,
+    model: &dyn CostModel,
+    c_t: u64,
+    opts: TasmOptions,
+    ws: &mut BatchWorkspace,
+    stats: Option<&mut TedStats>,
+    deadline: &Deadline,
+) -> Result<Vec<Vec<Match>>, DeadlineExceeded> {
     if queries.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     if ws.lanes.len() < queries.len() {
         ws.lanes.resize_with(queries.len(), TedWorkspace::new);
@@ -196,7 +234,7 @@ pub fn tasm_batch_with_workspace<Q: PostorderQueue + ?Sized>(
         opts,
         stats,
     };
-    let shared = ws.engine.scan(queue, &mut sink);
+    let shared = ws.engine.scan_with_deadline(queue, &mut sink, deadline)?;
     lanes = sink.lanes;
 
     // Stats: every lane saw the one shared pass; the aggregate sums the
@@ -209,10 +247,10 @@ pub fn tasm_batch_with_workspace<Q: PostorderQueue + ?Sized>(
         ws.last_lanes.push(lane.stats);
     }
     ws.last_scan = aggregate;
-    lanes
+    Ok(lanes
         .into_iter()
         .map(|lane| lane.heap.into_sorted())
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 //! the scan emits candidates without heap allocation.
 
 use crate::ring_buffer::PrefixRingBuffer;
+use crate::server::deadline::{Deadline, DeadlineExceeded};
 use tasm_tree::{LabelId, NodeId, PostorderQueue, Tree};
 
 /// A consumer of candidate subtrees emitted by a [`ScanEngine`] pass.
@@ -199,15 +200,43 @@ impl ScanEngine {
         queue: &mut Q,
         sink: &mut dyn CandidateSink,
     ) -> ScanStats {
+        match self.scan_with_deadline(queue, sink, &Deadline::none()) {
+            Ok(stats) => stats,
+            Err(DeadlineExceeded) => unreachable!("Deadline::none() never expires"),
+        }
+    }
+
+    /// As [`scan`](Self::scan), but cooperatively cancellable: the
+    /// `deadline` token is checked once before the pass starts (forced)
+    /// and once per candidate (strided — see [`Deadline::poll`]). When
+    /// it expires the pass stops where it is and **no partial result**
+    /// reaches the caller beyond what the sink already consumed; the
+    /// sink's state must be discarded, since a ranking over a prefix of
+    /// the candidate stream could silently miss better subtrees.
+    ///
+    /// This is the cancellation point the `tasm serve` daemon relies on
+    /// to keep slow queries from wedging a worker.
+    pub fn scan_with_deadline<Q: PostorderQueue + ?Sized>(
+        &mut self,
+        queue: &mut Q,
+        sink: &mut dyn CandidateSink,
+        deadline: &Deadline,
+    ) -> Result<ScanStats, DeadlineExceeded> {
+        if deadline.expired_now() {
+            return Err(DeadlineExceeded);
+        }
         let mut prb = PrefixRingBuffer::new(queue, self.tau);
         let mut stats = ScanStats::default();
         while let Some(root) = prb.next_candidate_into(&mut self.cand) {
+            if deadline.poll() {
+                return Err(DeadlineExceeded);
+            }
             sink.consume(&self.cand, root, &mut stats);
             stats.candidates += 1;
         }
         stats.nodes_seen = prb.nodes_seen();
         stats.peak_buffered = prb.peak_buffered();
-        stats
+        Ok(stats)
     }
 }
 

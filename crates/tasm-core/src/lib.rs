@@ -72,6 +72,7 @@ mod naive;
 mod parallel;
 mod ranking;
 mod ring_buffer;
+mod server;
 mod simple_pruning;
 mod stream_shard;
 mod tasm_dynamic;
@@ -79,7 +80,10 @@ mod tasm_postorder;
 mod threshold;
 mod workspace;
 
-pub use batch::{tasm_batch, tasm_batch_with_workspace, BatchQuery, BatchWorkspace};
+pub use batch::{
+    tasm_batch, tasm_batch_deadline_with_workspace, tasm_batch_with_workspace, BatchQuery,
+    BatchWorkspace,
+};
 pub use engine::{CandidateSink, ScanEngine, ScanStats};
 pub use indexed::{
     tasm_indexed, tasm_indexed_batch, tasm_indexed_batch_with_stats, tasm_indexed_with_stats,
@@ -93,11 +97,14 @@ pub use ring_buffer::{
     candidate_set_reference, prb_pruning, prb_pruning_stats, Candidate, PrefixRingBuffer,
     PruningStats,
 };
+pub use server::deadline::{Deadline, DeadlineExceeded};
+pub use server::{Doc, DocStore, QueryParser, Server, ServerConfig};
 pub use simple_pruning::simple_pruning;
 pub use stream_shard::{
-    tasm_batch_parallel_stream, tasm_batch_parallel_stream_with_stats,
-    tasm_batch_parallel_stream_with_workspace, tasm_parallel_stream,
-    tasm_parallel_stream_with_stats, BatchStreamOutput, StreamIntegrityError,
+    tasm_batch_parallel_stream, tasm_batch_parallel_stream_deadline_with_workspace,
+    tasm_batch_parallel_stream_with_stats, tasm_batch_parallel_stream_with_workspace,
+    tasm_parallel_stream, tasm_parallel_stream_with_stats, BatchStreamOutput, StreamIntegrityError,
+    StreamScanError,
 };
 pub use tasm_dynamic::{tasm_dynamic, tasm_dynamic_with_workspace, TasmOptions};
 pub use tasm_postorder::{process_candidate, tasm_postorder, tasm_postorder_with_workspace};

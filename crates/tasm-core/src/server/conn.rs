@@ -1,0 +1,484 @@
+//! Per-connection protocol handling for the query daemon.
+//!
+//! The wire protocol is deliberately boring: newline-delimited ASCII
+//! requests, newline-delimited responses, no framing beyond `\n`, no
+//! dependencies beyond `std`. One thread per connection reads lines,
+//! classifies failures, and blocks on a [`ResponseSlot`] while a worker
+//! evaluates.
+//!
+//! Requests:
+//!
+//! ```text
+//! PING
+//! DOCS
+//! QUERY doc=<name> [k=<n>] [timeout=<ms>] q=<query to end of line>
+//! SHUTDOWN
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! PONG
+//! DOCS <n>      then per document "<name> <nodes>", then "END"
+//! OK <n>        then per match "<rank> <root> <distance> <size>", then "END"
+//! BUSY retry-after-ms=<n>
+//! ERR <kind> <message>     kind ∈ {proto, parse, doc, timeout, internal}
+//! ```
+//!
+//! Failure discipline: a malformed line gets `ERR proto` and the
+//! connection keeps serving (one bad request must not cost the client
+//! its session); a connection that closes mid-line gets `ERR proto
+//! truncated request` back (best effort) and is dropped; a read that
+//! times out idles out with `ERR timeout`; an in-request panic surfaces
+//! as `ERR internal` with the daemon alive.
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use super::admission::{Admission, PendingRequest};
+use super::{DocStore, QueryParser, ServerConfig};
+use tasm_ted::Cost;
+
+/// A duplex byte stream the daemon can serve: cloneable into separate
+/// read/write halves, with an idle read timeout.
+pub(crate) trait ConnStream: Read + Write + Send + Sized + 'static {
+    /// A second handle to the same stream (read half / write half).
+    fn try_clone_stream(&self) -> io::Result<Self>;
+    /// Read timeout for the receive half.
+    fn set_stream_read_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+}
+
+impl ConnStream for TcpStream {
+    fn try_clone_stream(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_stream_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(dur)
+    }
+}
+
+#[cfg(unix)]
+impl ConnStream for UnixStream {
+    fn try_clone_stream(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_stream_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(dur)
+    }
+}
+
+/// One ranked match, already projected to wire-friendly fields.
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    /// Postorder number of the matched subtree's root in the document.
+    pub(crate) root: u32,
+    /// Tree edit distance to the query.
+    pub(crate) distance: Cost,
+    /// Node count of the matched subtree.
+    pub(crate) size: u32,
+}
+
+/// What a worker hands back for one request.
+#[derive(Debug, Clone)]
+pub(crate) enum Response {
+    /// A complete ranking (possibly shorter than `k` on small documents).
+    Ranking(Vec<Row>),
+    /// The request ran past its deadline; no partial ranking exists.
+    Timeout {
+        /// The deadline the request was admitted under, for the error text.
+        limit_ms: u64,
+    },
+    /// Evaluation panicked; the worker recovered and logged the payload.
+    Internal,
+}
+
+/// A one-shot rendezvous: the connection thread waits, the worker
+/// delivers exactly once.
+#[derive(Clone)]
+pub(crate) struct ResponseSlot {
+    cell: Arc<(Mutex<Option<Response>>, Condvar)>,
+}
+
+impl ResponseSlot {
+    pub(crate) fn new() -> Self {
+        ResponseSlot {
+            cell: Arc::new((Mutex::new(None), Condvar::new())),
+        }
+    }
+
+    /// Worker side: publish the response and wake the connection.
+    pub(crate) fn deliver(&self, resp: Response) {
+        let (lock, cv) = &*self.cell;
+        let mut slot = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        *slot = Some(resp);
+        cv.notify_all();
+    }
+
+    /// Connection side: block until the worker delivers, or `limit`
+    /// elapses (a worker lost to a wedge — `None`).
+    pub(crate) fn wait(&self, limit: Duration) -> Option<Response> {
+        let end = Instant::now() + limit;
+        let (lock, cv) = &*self.cell;
+        let mut slot = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(resp) = slot.take() {
+                return Some(resp);
+            }
+            let now = Instant::now();
+            if now >= end {
+                return None;
+            }
+            let (s, _) = cv
+                .wait_timeout(slot, end - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            slot = s;
+        }
+    }
+}
+
+/// Everything a connection thread needs, cloneable per accept.
+#[derive(Clone)]
+pub(crate) struct ConnCtx {
+    pub(crate) store: Arc<DocStore>,
+    pub(crate) parser: QueryParser,
+    pub(crate) admission: Arc<Admission>,
+    pub(crate) cfg: ServerConfig,
+    /// Flipped by `SHUTDOWN` (and the host's signal handler); the
+    /// accept loop polls it.
+    pub(crate) stop: Arc<AtomicBool>,
+}
+
+/// A parsed request line.
+#[derive(Debug, PartialEq, Eq)]
+enum Request {
+    Ping,
+    Docs,
+    Shutdown,
+    Query {
+        doc: String,
+        k: usize,
+        timeout_ms: Option<u64>,
+        q: String,
+    },
+}
+
+/// Finds `q=` at a token boundary; everything after it is the query.
+fn find_query_param(rest: &str) -> Option<usize> {
+    let b = rest.as_bytes();
+    (0..b.len().saturating_sub(1))
+        .find(|&i| b[i] == b'q' && b[i + 1] == b'=' && (i == 0 || b[i - 1].is_ascii_whitespace()))
+}
+
+fn parse_request(line: &str) -> Result<Request, String> {
+    let mut words = line.split_whitespace();
+    let verb = words.next().ok_or_else(|| "empty request".to_string())?;
+    match verb {
+        "PING" => Ok(Request::Ping),
+        "DOCS" => Ok(Request::Docs),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "QUERY" => {
+            let rest = line[line.find("QUERY").expect("verb present") + 5..].trim_start();
+            let q_at = find_query_param(rest)
+                .ok_or_else(|| "QUERY needs q=<query> (to end of line)".to_string())?;
+            let (head, tail) = rest.split_at(q_at);
+            let q = tail[2..].trim().to_string();
+            if q.is_empty() {
+                return Err("QUERY needs a non-empty query after q=".to_string());
+            }
+            let mut doc = None;
+            let mut k = 5usize;
+            let mut timeout_ms = None;
+            for tok in head.split_whitespace() {
+                match tok.split_once('=') {
+                    Some(("doc", v)) if !v.is_empty() => doc = Some(v.to_string()),
+                    Some(("k", v)) => {
+                        k = v
+                            .parse()
+                            .map_err(|_| format!("k must be a positive integer, got '{v}'"))?;
+                    }
+                    Some(("timeout", v)) => {
+                        let ms: u64 = v
+                            .parse()
+                            .map_err(|_| format!("timeout must be milliseconds, got '{v}'"))?;
+                        timeout_ms = Some(ms);
+                    }
+                    _ => return Err(format!("unknown QUERY parameter '{tok}'")),
+                }
+            }
+            let doc = doc.ok_or_else(|| "QUERY needs doc=<name>".to_string())?;
+            Ok(Request::Query {
+                doc,
+                k,
+                timeout_ms,
+                q,
+            })
+        }
+        other => Err(format!(
+            "unknown command '{other}' (expected PING, DOCS, QUERY, or SHUTDOWN)"
+        )),
+    }
+}
+
+fn send(writer: &mut impl Write, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn write_response(writer: &mut impl Write, resp: Response) -> io::Result<()> {
+    match resp {
+        Response::Ranking(rows) => {
+            send(writer, &format!("OK {}", rows.len()))?;
+            for (rank, row) in rows.iter().enumerate() {
+                send(
+                    writer,
+                    &format!("{} {} {} {}", rank + 1, row.root, row.distance, row.size),
+                )?;
+            }
+            send(writer, "END")
+        }
+        Response::Timeout { limit_ms } => send(
+            writer,
+            &format!(
+                "ERR timeout request exceeded its {limit_ms} ms deadline; \
+                 no partial ranking is returned"
+            ),
+        ),
+        Response::Internal => send(
+            writer,
+            "ERR internal request evaluation failed; the daemon logged the \
+             panic and keeps serving",
+        ),
+    }
+}
+
+/// Serves one connection until EOF, a fatal protocol error, or
+/// `SHUTDOWN`.
+pub(crate) fn handle_conn<S: ConnStream>(stream: S, ctx: ConnCtx) {
+    let _ = stream.set_stream_read_timeout(Some(ctx.cfg.read_timeout));
+    let reader = match stream.try_clone_stream() {
+        Ok(half) => BufReader::new(half),
+        Err(_) => return,
+    };
+    serve_lines(reader, stream, ctx);
+}
+
+/// The protocol loop, generic over the halves so tests can drive it
+/// with in-memory pipes.
+pub(crate) fn serve_lines<R: BufRead, W: Write>(mut reader: R, mut writer: W, ctx: ConnCtx) {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // clean EOF
+            Ok(_) if !line.ends_with('\n') => {
+                // The stream ended mid-line: the request record was cut
+                // off. Best-effort diagnosis, then drop the connection —
+                // there is no way to resynchronize.
+                let _ = send(
+                    &mut writer,
+                    "ERR proto truncated request (stream ended mid-line)",
+                );
+                return;
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                let _ = send(
+                    &mut writer,
+                    "ERR timeout idle connection: no complete request within the read timeout",
+                );
+                return;
+            }
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                // Non-UTF-8 request bytes: corruption on the wire.
+                let _ = send(&mut writer, "ERR proto request is not valid UTF-8");
+                return;
+            }
+            Err(_) => return,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let req = match parse_request(trimmed) {
+            Ok(req) => req,
+            Err(msg) => {
+                // One malformed line must not cost the client its
+                // session: answer and keep reading.
+                if send(&mut writer, &format!("ERR proto {msg}")).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let keep_going = match req {
+            Request::Ping => send(&mut writer, "PONG").is_ok(),
+            Request::Docs => write_docs(&mut writer, &ctx).is_ok(),
+            Request::Shutdown => {
+                ctx.stop.store(true, Ordering::SeqCst);
+                ctx.admission.begin_drain();
+                let _ = send(&mut writer, "OK draining");
+                false
+            }
+            Request::Query {
+                doc,
+                k,
+                timeout_ms,
+                q,
+            } => handle_query(&mut writer, &ctx, &doc, k, timeout_ms, &q, trimmed).is_ok(),
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+fn write_docs(writer: &mut impl Write, ctx: &ConnCtx) -> io::Result<()> {
+    send(writer, &format!("DOCS {}", ctx.store.len()))?;
+    for doc in ctx.store.iter() {
+        send(writer, &format!("{} {}", doc.name(), doc.tree().len()))?;
+    }
+    send(writer, "END")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_query(
+    writer: &mut impl Write,
+    ctx: &ConnCtx,
+    doc_name: &str,
+    k: usize,
+    timeout_ms: Option<u64>,
+    q: &str,
+    raw: &str,
+) -> io::Result<()> {
+    let Some(doc) = ctx.store.get(doc_name) else {
+        return send(
+            writer,
+            &format!("ERR doc unknown document '{doc_name}' (list with DOCS)"),
+        );
+    };
+    if k == 0 {
+        return send(writer, "ERR parse k must be >= 1");
+    }
+    if k > ctx.cfg.max_k {
+        return send(
+            writer,
+            &format!(
+                "ERR parse k={k} exceeds the server limit of {}",
+                ctx.cfg.max_k
+            ),
+        );
+    }
+    // Parse into a copy of the document's label space so query labels
+    // and document labels share one id universe.
+    let mut dict = doc.dict().clone();
+    let query = match (ctx.parser)(q, &mut dict) {
+        Ok(tree) => tree,
+        Err(msg) => return send(writer, &format!("ERR parse {msg}")),
+    };
+    let root_label = dict.resolve(query.label(query.root())).to_string();
+    let dur = timeout_ms
+        .map(Duration::from_millis)
+        .unwrap_or(ctx.cfg.default_deadline)
+        .min(ctx.cfg.max_deadline);
+    let limit_ms = dur.as_millis() as u64;
+    let slot = ResponseSlot::new();
+    let req = PendingRequest {
+        doc: doc.clone(),
+        query,
+        k,
+        timeout_ms: limit_ms,
+        deadline_at: Instant::now() + dur,
+        root_label,
+        raw: raw.to_string(),
+        slot: slot.clone(),
+    };
+    match ctx.admission.submit(req) {
+        Err(_) => send(
+            writer,
+            &format!("BUSY retry-after-ms={}", ctx.cfg.retry_after.as_millis()),
+        ),
+        Ok(token) => {
+            // Generous upper bound: the request deadline plus slack for
+            // queueing and response delivery. A miss means a worker was
+            // lost in a way panic isolation did not catch.
+            let grace = dur + ctx.cfg.drain_deadline + Duration::from_secs(30);
+            let outcome = match slot.wait(grace) {
+                Some(resp) => write_response(writer, resp),
+                None => send(writer, "ERR internal response lost (worker did not answer)"),
+            };
+            // Only now has the response hit the socket: release the
+            // drain accounting.
+            drop(token);
+            outcome
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_grammar_round_trips() {
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("DOCS").unwrap(), Request::Docs);
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+        let q = parse_request("QUERY doc=dblp k=3 timeout=250 q=<a><b/></a>").unwrap();
+        assert_eq!(
+            q,
+            Request::Query {
+                doc: "dblp".into(),
+                k: 3,
+                timeout_ms: Some(250),
+                q: "<a><b/></a>".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn query_text_runs_to_end_of_line() {
+        let q = parse_request("QUERY doc=d q=<a x=\"1\"> spaces </a>").unwrap();
+        match q {
+            Request::Query { q, k, .. } => {
+                assert_eq!(q, "<a x=\"1\"> spaces </a>");
+                assert_eq!(k, 5, "k defaults");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn q_param_is_found_at_token_boundaries_only() {
+        // "doc=myq=weird" must not be mistaken for the query parameter.
+        let q = parse_request("QUERY doc=myq=weird q={a}").unwrap();
+        match q {
+            Request::Query { doc, q, .. } => {
+                assert_eq!(doc, "myq=weird");
+                assert_eq!(q, "{a}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_diagnosed() {
+        for (line, needle) in [
+            ("NOPE", "unknown command"),
+            ("QUERY doc=d", "q=<query>"),
+            ("QUERY doc=d q=", "non-empty query"),
+            ("QUERY q={a}", "doc=<name>"),
+            ("QUERY doc=d k=zero q={a}", "positive integer"),
+            ("QUERY doc=d timeout=soon q={a}", "milliseconds"),
+            ("QUERY doc=d frob=1 q={a}", "unknown QUERY parameter"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+}

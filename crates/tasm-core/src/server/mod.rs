@@ -1,0 +1,486 @@
+//! A resident TASM query daemon: parsed documents stay warm, requests
+//! multiplex onto the batch engine, and failures stay *contained*.
+//!
+//! One-shot CLI runs re-parse the document and rebuild every workspace
+//! per query — fine for a benchmark, wasteful for a workload. `serve`
+//! keeps [`Doc`]s (parsed tree + label dictionary) resident behind a
+//! newline-delimited socket protocol (see [`conn`]) and drives each
+//! request through the same `tasm_batch` evaluation path the CLI uses,
+//! so a ranking from the daemon is byte-for-byte the ranking the
+//! one-shot CLI prints (differential-tested).
+//!
+//! The robustness contract, layer by layer:
+//!
+//! * **Deadlines** ([`deadline`]): every request carries an absolute
+//!   expiry; the scan loop polls it per candidate and aborts with a
+//!   structured `ERR timeout` — no partial rankings, no wedged workers.
+//! * **Admission control** ([`admission`]): a bounded queue sheds
+//!   overload with an immediate `BUSY retry-after-ms=…`; compatible
+//!   queries (same document) arriving within the batching window share
+//!   one scan.
+//! * **Panic isolation**: workers evaluate under `catch_unwind`; a
+//!   panicking request gets `ERR internal`, its workspace is discarded
+//!   and rebuilt (never reused poisoned), the payload is logged, and
+//!   the daemon keeps serving.
+//! * **Graceful drain**: [`Server::drain`] stops admission, waits for
+//!   in-flight responses to reach their sockets under a drain deadline,
+//!   and reports whether the drain was clean.
+//! * **Fault injection** ([`fault`]): test-only levers (behind the
+//!   `fault-inject` feature) that make the above paths reachable from
+//!   integration tests.
+
+pub(crate) mod admission;
+pub(crate) mod conn;
+pub mod deadline;
+pub(crate) mod fault;
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::batch::{tasm_batch_deadline_with_workspace, BatchQuery, BatchWorkspace};
+use crate::server::admission::{Admission, PendingRequest};
+use crate::server::conn::{handle_conn, ConnCtx, ConnStream, Response, Row};
+use crate::server::deadline::Deadline;
+use crate::tasm_dynamic::TasmOptions;
+use tasm_ted::UnitCost;
+use tasm_tree::{bracket, LabelDict, Tree, TreeQueue};
+
+/// A resident document: parsed tree plus the label dictionary its
+/// node labels live in. Queries against it are parsed into a copy of
+/// the same dictionary so both sides share one label-id universe.
+#[derive(Debug)]
+pub struct Doc {
+    name: String,
+    tree: Tree,
+    dict: LabelDict,
+}
+
+impl Doc {
+    /// Wraps a parsed document under the name clients address it by.
+    pub fn new(name: impl Into<String>, tree: Tree, dict: LabelDict) -> Self {
+        Doc {
+            name: name.into(),
+            tree,
+            dict,
+        }
+    }
+
+    /// The name clients pass as `doc=<name>`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parsed document tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The label dictionary the tree was parsed into.
+    pub fn dict(&self) -> &LabelDict {
+        &self.dict
+    }
+}
+
+/// The set of documents a [`Server`] answers queries over.
+///
+/// Insertion order is preserved (it is the `DOCS` listing order).
+/// Inserting a document under an existing name replaces it.
+#[derive(Debug, Default)]
+pub struct DocStore {
+    docs: Vec<Arc<Doc>>,
+}
+
+impl DocStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        DocStore::default()
+    }
+
+    /// Adds `doc`, replacing any document with the same name.
+    pub fn insert(&mut self, doc: Doc) {
+        let doc = Arc::new(doc);
+        match self.docs.iter_mut().find(|d| d.name() == doc.name()) {
+            Some(slot) => *slot = doc,
+            None => self.docs.push(doc),
+        }
+    }
+
+    /// Looks a document up by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<Doc>> {
+        self.docs.iter().find(|d| d.name() == name)
+    }
+
+    /// The documents, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Doc>> {
+        self.docs.iter()
+    }
+
+    /// Number of resident documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+/// Parses a client's query text into the document's label space.
+///
+/// Injected so the server core stays below the XML layer: the CLI
+/// passes `tasm-xml`'s parser; the default understands the bracket
+/// notation (`{a{b}{c}}`). Errors surface to the client as
+/// `ERR parse <message>`.
+pub type QueryParser = Arc<dyn Fn(&str, &mut LabelDict) -> Result<Tree, String> + Send + Sync>;
+
+/// Tuning knobs for a [`Server`]. Start from [`ServerConfig::default`]
+/// and override what the deployment needs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Evaluation worker threads (min 1).
+    pub workers: usize,
+    /// Bound on queued (admitted, not yet picked up) requests; beyond
+    /// it requests are shed with `BUSY`.
+    pub queue_capacity: usize,
+    /// Most requests one worker evaluates under a single shared scan.
+    pub max_batch: usize,
+    /// How long a worker holds the batch open for compatible arrivals.
+    pub batch_window: Duration,
+    /// Deadline applied when a request names none.
+    pub default_deadline: Duration,
+    /// Hard cap on any client-requested deadline.
+    pub max_deadline: Duration,
+    /// How long [`Server::drain`] waits for in-flight responses.
+    pub drain_deadline: Duration,
+    /// The hint sent with `BUSY retry-after-ms=…`.
+    pub retry_after: Duration,
+    /// Idle-connection read timeout.
+    pub read_timeout: Duration,
+    /// Hard cap on a request's `k` (protects workspace memory, which
+    /// grows with the ring-buffer bound τ = |Q| + k).
+    pub max_k: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 16,
+            batch_window: Duration::from_millis(1),
+            default_deadline: Duration::from_secs(2),
+            max_deadline: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(5),
+            retry_after: Duration::from_millis(50),
+            read_timeout: Duration::from_secs(10),
+            max_k: 10_000,
+        }
+    }
+}
+
+/// The bracket-notation query parser used when the host injects none.
+fn default_parser() -> QueryParser {
+    Arc::new(|text, dict| bracket::parse(text, dict).map_err(|e| e.to_string()))
+}
+
+/// Something the accept loop can poll for new connections.
+trait Acceptor {
+    type Stream: ConnStream;
+    fn set_nonblocking_mode(&self, nb: bool) -> io::Result<()>;
+    /// `Ok(None)` when no connection is pending right now.
+    fn accept_pending(&self) -> io::Result<Option<Self::Stream>>;
+}
+
+impl Acceptor for TcpListener {
+    type Stream = TcpStream;
+    fn set_nonblocking_mode(&self, nb: bool) -> io::Result<()> {
+        self.set_nonblocking(nb)
+    }
+    fn accept_pending(&self) -> io::Result<Option<TcpStream>> {
+        match self.accept() {
+            Ok((stream, _)) => Ok(Some(stream)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Acceptor for UnixListener {
+    type Stream = UnixStream;
+    fn set_nonblocking_mode(&self, nb: bool) -> io::Result<()> {
+        self.set_nonblocking(nb)
+    }
+    fn accept_pending(&self) -> io::Result<Option<UnixStream>> {
+        match self.accept() {
+            Ok((stream, _)) => Ok(Some(stream)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The resident query daemon: worker pool, admission queue, and the
+/// accept loops that feed it.
+pub struct Server {
+    cfg: ServerConfig,
+    store: Arc<DocStore>,
+    parser: QueryParser,
+    admission: Arc<Admission>,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Builds the daemon and spawns its evaluation workers. Pass
+    /// `parser: None` for the bracket-notation default; the CLI injects
+    /// the XML parser here.
+    pub fn new(cfg: ServerConfig, store: DocStore, parser: Option<QueryParser>) -> Server {
+        let admission = Admission::new(cfg.queue_capacity, cfg.batch_window, cfg.max_batch);
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let admission = admission.clone();
+                thread::Builder::new()
+                    .name(format!("tasm-worker-{i}"))
+                    .spawn(move || worker_loop(&admission))
+                    .expect("spawn evaluation worker")
+            })
+            .collect();
+        Server {
+            cfg,
+            store: Arc::new(store),
+            parser: parser.unwrap_or_else(default_parser),
+            admission,
+            stop: Arc::new(AtomicBool::new(false)),
+            workers,
+        }
+    }
+
+    /// True once `SHUTDOWN` (or the host via `external_stop`) asked the
+    /// daemon to stop accepting.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Requests shed with `BUSY` so far (overload visibility for the
+    /// host's logs).
+    pub fn shed_count(&self) -> usize {
+        self.admission.shed_count()
+    }
+
+    fn conn_ctx(&self) -> ConnCtx {
+        ConnCtx {
+            store: self.store.clone(),
+            parser: self.parser.clone(),
+            admission: self.admission.clone(),
+            cfg: self.cfg.clone(),
+            stop: self.stop.clone(),
+        }
+    }
+
+    fn accept_loop<A: Acceptor>(
+        &self,
+        listener: &A,
+        external_stop: Option<&AtomicBool>,
+    ) -> io::Result<()> {
+        listener.set_nonblocking_mode(true)?;
+        loop {
+            let stopped = self.stop.load(Ordering::SeqCst)
+                || external_stop.is_some_and(|s| s.load(Ordering::SeqCst));
+            if stopped {
+                self.stop.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+            match listener.accept_pending() {
+                Ok(Some(stream)) => {
+                    let ctx = self.conn_ctx();
+                    // Connection threads are deliberately detached: the
+                    // drain accounting tracks admitted *requests*, not
+                    // idle readers, so an idle client cannot hold up
+                    // shutdown.
+                    let _ = thread::Builder::new()
+                        .name("tasm-conn".to_string())
+                        .spawn(move || handle_conn(stream, ctx));
+                }
+                Ok(None) => thread::sleep(Duration::from_millis(2)),
+                Err(e) => {
+                    eprintln!("tasm serve: accept failed: {e}");
+                    thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    /// Serves connections from a pre-bound TCP listener until a stop is
+    /// requested (via `SHUTDOWN` or `external_stop`, typically a signal
+    /// handler's flag). Returns without draining — call
+    /// [`Server::drain`] next.
+    pub fn serve_tcp(
+        &self,
+        listener: &TcpListener,
+        external_stop: Option<&AtomicBool>,
+    ) -> io::Result<()> {
+        self.accept_loop(listener, external_stop)
+    }
+
+    /// Serves connections from a pre-bound Unix socket listener; see
+    /// [`Server::serve_tcp`].
+    #[cfg(unix)]
+    pub fn serve_unix(
+        &self,
+        listener: &UnixListener,
+        external_stop: Option<&AtomicBool>,
+    ) -> io::Result<()> {
+        self.accept_loop(listener, external_stop)
+    }
+
+    /// Graceful shutdown: stops admitting (late arrivals get `BUSY`),
+    /// waits up to the drain deadline for every in-flight response to
+    /// reach its socket, and joins the workers. Returns `true` for a
+    /// clean drain; `false` means the deadline passed with work still
+    /// in flight (the host should exit nonzero or log loudly).
+    pub fn drain(self) -> bool {
+        self.admission.begin_drain();
+        let clean = self.admission.wait_idle(self.cfg.drain_deadline);
+        if clean {
+            // Workers exit once the queue is empty under drain; join is
+            // bounded. On a dirty drain a wedged worker could block
+            // forever, so leave it to process teardown instead.
+            for handle in self.workers {
+                let _ = handle.join();
+            }
+        }
+        clean
+    }
+}
+
+/// A worker: pull batches, evaluate under panic isolation, deliver.
+fn worker_loop(admission: &Admission) {
+    let mut ws = BatchWorkspace::new();
+    while let Some(batch) = admission.next_batch() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| evaluate_batch(&mut ws, &batch)));
+        match outcome {
+            Ok(responses) => {
+                for (req, resp) in batch.iter().zip(responses) {
+                    req.slot.deliver(resp);
+                }
+            }
+            Err(payload) => {
+                // Panic isolation: log the payload and the offending
+                // request lines, answer ERR internal, and REPLACE the
+                // workspace — its buffers were abandoned mid-update and
+                // must never be reused.
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic payload>");
+                eprintln!(
+                    "tasm serve: worker panicked evaluating {} request(s): {msg}",
+                    batch.len()
+                );
+                for req in &batch {
+                    eprintln!("tasm serve:   request: {}", req.raw);
+                }
+                ws = BatchWorkspace::new();
+                for req in &batch {
+                    req.slot.deliver(Response::Internal);
+                }
+            }
+        }
+    }
+}
+
+fn rows(matches: Vec<crate::ranking::Match>) -> Response {
+    Response::Ranking(
+        matches
+            .into_iter()
+            .map(|m| Row {
+                root: m.root.post(),
+                distance: m.distance,
+                size: m.size,
+            })
+            .collect(),
+    )
+}
+
+/// Evaluates one compatible batch (all requests target the same
+/// document) under the earliest member deadline; on expiry, survivors
+/// are retried solo under their own deadlines.
+fn evaluate_batch(ws: &mut BatchWorkspace, batch: &[PendingRequest]) -> Vec<Response> {
+    for req in batch {
+        fault::maybe_inject(&req.root_label);
+    }
+    let doc = &batch[0].doc;
+    let earliest = batch
+        .iter()
+        .map(|r| r.deadline_at)
+        .min()
+        .expect("batches are non-empty");
+    let deadline = Deadline::at(earliest);
+    let queries: Vec<BatchQuery<'_>> = batch
+        .iter()
+        .map(|r| BatchQuery {
+            query: &r.query,
+            k: r.k,
+        })
+        .collect();
+    let mut queue = TreeQueue::new(doc.tree());
+    let shared = tasm_batch_deadline_with_workspace(
+        &queries,
+        &mut queue,
+        &UnitCost,
+        1,
+        TasmOptions::default(),
+        ws,
+        None,
+        &deadline,
+    );
+    match shared {
+        Ok(rankings) => rankings.into_iter().map(rows).collect(),
+        Err(_) => {
+            // The shared scan died at the earliest member's deadline.
+            // That member is out of time; the others still have budget,
+            // so each gets a solo retry under its own deadline.
+            batch
+                .iter()
+                .map(|req| {
+                    if Instant::now() >= req.deadline_at {
+                        return Response::Timeout {
+                            limit_ms: req.timeout_ms,
+                        };
+                    }
+                    let solo = [BatchQuery {
+                        query: &req.query,
+                        k: req.k,
+                    }];
+                    let d = Deadline::at(req.deadline_at);
+                    let mut queue = TreeQueue::new(doc.tree());
+                    match tasm_batch_deadline_with_workspace(
+                        &solo,
+                        &mut queue,
+                        &UnitCost,
+                        1,
+                        TasmOptions::default(),
+                        ws,
+                        None,
+                        &d,
+                    ) {
+                        Ok(mut rankings) => rows(rankings.pop().expect("one lane")),
+                        Err(_) => Response::Timeout {
+                            limit_ms: req.timeout_ms,
+                        },
+                    }
+                })
+                .collect()
+        }
+    }
+}

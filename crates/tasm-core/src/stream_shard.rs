@@ -44,11 +44,12 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
 
-use crate::batch::{tasm_batch_with_workspace, BatchQuery, BatchWorkspace};
+use crate::batch::{tasm_batch_deadline_with_workspace, BatchQuery, BatchWorkspace};
 use crate::engine::{CandidateSink, ScanEngine, ScanStats};
 use crate::lane::{build_lanes, fan_out, reserve_lanes, scan_tau_of};
 use crate::parallel::{merge_shard_results, resolve_threads, ShardResult};
 use crate::ranking::Match;
+use crate::server::deadline::{Deadline, DeadlineExceeded};
 use crate::tasm_dynamic::TasmOptions;
 use crate::workspace::scratch_fits_cap;
 use tasm_ted::{CascadeScratch, CostModel, TedStats, TedWorkspace};
@@ -79,6 +80,41 @@ impl std::fmt::Display for StreamIntegrityError {
 }
 
 impl std::error::Error for StreamIntegrityError {}
+
+/// Failure of a deadline-aware streaming scan: either the stream ended
+/// abnormally ([`StreamIntegrityError`]) or the request's cooperative
+/// [`Deadline`] expired mid-pass ([`DeadlineExceeded`]). Both refuse to
+/// return a partial ranking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamScanError {
+    /// The postorder stream ended abnormally.
+    Integrity(StreamIntegrityError),
+    /// The request's deadline expired before the scan completed.
+    Deadline(DeadlineExceeded),
+}
+
+impl std::fmt::Display for StreamScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamScanError::Integrity(e) => e.fmt(f),
+            StreamScanError::Deadline(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for StreamScanError {}
+
+impl From<StreamIntegrityError> for StreamScanError {
+    fn from(e: StreamIntegrityError) -> Self {
+        StreamScanError::Integrity(e)
+    }
+}
+
+impl From<DeadlineExceeded> for StreamScanError {
+    fn from(e: DeadlineExceeded) -> Self {
+        StreamScanError::Deadline(e)
+    }
+}
 
 /// Locks `mutex`, recovering the guard if a peer poisoned it while
 /// unwinding: the pipe's abort flag — not poisoning — is the signal
@@ -441,6 +477,46 @@ pub fn tasm_batch_parallel_stream_with_workspace<Q: PostorderQueue + ?Sized>(
     ws: &mut BatchWorkspace,
     stats: Option<&mut TedStats>,
 ) -> Result<BatchStreamOutput, StreamIntegrityError> {
+    match tasm_batch_parallel_stream_deadline_with_workspace(
+        queries,
+        queue,
+        model,
+        c_t,
+        opts,
+        threads,
+        ws,
+        stats,
+        &Deadline::none(),
+    ) {
+        Ok(out) => Ok(out),
+        Err(StreamScanError::Integrity(e)) => Err(e),
+        Err(StreamScanError::Deadline(_)) => unreachable!("Deadline::none() never expires"),
+    }
+}
+
+/// As [`tasm_batch_parallel_stream_with_workspace`], but cooperatively
+/// cancellable: the producer — the one thread running the unbounded
+/// per-candidate scan loop — polls `deadline` and aborts the whole pass
+/// when it expires. Workers drain the already-published segments and
+/// exit; their partial heaps are discarded.
+///
+/// # Errors
+///
+/// [`StreamScanError::Deadline`] if the deadline expires mid-scan,
+/// [`StreamScanError::Integrity`] if the stream ends abnormally. In
+/// both cases no partial rankings are returned.
+#[allow(clippy::too_many_arguments)]
+pub fn tasm_batch_parallel_stream_deadline_with_workspace<Q: PostorderQueue + ?Sized>(
+    queries: &[BatchQuery<'_>],
+    queue: &mut Q,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+    ws: &mut BatchWorkspace,
+    stats: Option<&mut TedStats>,
+    deadline: &Deadline,
+) -> Result<BatchStreamOutput, StreamScanError> {
     if queries.is_empty() {
         return Ok((Vec::new(), ScanStats::default(), Vec::new()));
     }
@@ -448,9 +524,11 @@ pub fn tasm_batch_parallel_stream_with_workspace<Q: PostorderQueue + ?Sized>(
     if threads <= 1 {
         // One worker would only add hand-off copies: the shared-scan
         // batch path is the same streaming work inline.
-        let rankings = tasm_batch_with_workspace(queries, queue, model, c_t, opts, ws, stats);
+        let rankings = tasm_batch_deadline_with_workspace(
+            queries, queue, model, c_t, opts, ws, stats, deadline,
+        )?;
         if let Some(msg) = queue.integrity_error() {
-            return Err(StreamIntegrityError(msg));
+            return Err(StreamIntegrityError(msg).into());
         }
         return Ok((
             rankings,
@@ -503,10 +581,13 @@ pub fn tasm_batch_parallel_stream_with_workspace<Q: PostorderQueue + ?Sized>(
                 current: pipe.take_free(),
                 budget,
             };
-            let scan = engine.scan(queue, &mut sink);
+            let scan = engine.scan_with_deadline(queue, &mut sink, deadline);
             let integrity = queue.integrity_error();
             let last = sink.current;
-            if last.roots.is_empty() {
+            if scan.is_err() || last.roots.is_empty() {
+                // On a deadline abort the partial segment is dropped:
+                // the workers' heaps are discarded anyway, so feeding
+                // them more candidates is pure waste.
                 pipe.recycle(last);
             } else {
                 pipe.send(last);
@@ -548,8 +629,11 @@ pub fn tasm_batch_parallel_stream_with_workspace<Q: PostorderQueue + ?Sized>(
         Ok(out) => out,
         Err(payload) => resume_unwind(payload),
     };
+    // A deadline abort outranks integrity reporting: a scan cancelled
+    // mid-stream naturally leaves the queue "incomplete".
+    let producer_scan = producer_scan?;
     if let Some(msg) = integrity {
-        return Err(StreamIntegrityError(msg));
+        return Err(StreamIntegrityError(msg).into());
     }
 
     debug_assert_eq!(

@@ -1,0 +1,230 @@
+//! End-to-end daemon tests: a real [`Server`] behind a real Unix
+//! socket, driven by real client connections.
+//!
+//! The protocol surface (PING/DOCS/QUERY/SHUTDOWN, ERR kinds, BUSY,
+//! truncated requests) is exercised without any fault-injection
+//! feature; the paths that need a misbehaving *worker* (panic
+//! isolation, stalls) live in `server_faults.rs` behind
+//! `--features fault-inject`.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::Shutdown;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tasm_core::{tasm_postorder, Doc, DocStore, Server, ServerConfig, TasmOptions};
+use tasm_ted::UnitCost;
+use tasm_tree::{bracket, LabelDict, TreeQueue};
+
+const DOC: &str =
+    "{dblp{article{auth{John}}{title{X1}}}{article{auth{Mary}}{title{X2}}}{book{title{X3}}}}";
+
+fn store() -> (DocStore, LabelDict) {
+    let mut dict = LabelDict::new();
+    let tree = bracket::parse(DOC, &mut dict).unwrap();
+    let mut store = DocStore::new();
+    store.insert(Doc::new("dblp", tree, dict.clone()));
+    (store, dict)
+}
+
+struct Daemon {
+    path: PathBuf,
+    handle: JoinHandle<bool>,
+}
+
+impl Daemon {
+    /// Serves `cfg` over a fresh Unix socket; the thread exits after a
+    /// SHUTDOWN request, returning `drain()`'s verdict.
+    fn start(name: &str, cfg: ServerConfig) -> Daemon {
+        let path = std::env::temp_dir().join(format!(
+            "tasm-core-daemon-{}-{name}.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).unwrap();
+        let (store, _) = store();
+        let server = Server::new(cfg, store, None);
+        let handle = std::thread::spawn(move || {
+            server.serve_unix(&listener, None).unwrap();
+            server.drain()
+        });
+        Daemon { path, handle }
+    }
+
+    fn connect(&self) -> (BufReader<UnixStream>, UnixStream) {
+        let stream = UnixStream::connect(&self.path).unwrap();
+        (BufReader::new(stream.try_clone().unwrap()), stream)
+    }
+
+    /// SHUTDOWN over a fresh connection, then join the serve thread.
+    fn shutdown(self) -> bool {
+        let (mut rd, mut wr) = self.connect();
+        wr.write_all(b"SHUTDOWN\n").unwrap();
+        assert_eq!(read_line(&mut rd), "OK draining");
+        let clean = self.handle.join().unwrap();
+        let _ = std::fs::remove_file(&self.path);
+        clean
+    }
+}
+
+fn read_line(rd: &mut BufReader<UnixStream>) -> String {
+    let mut line = String::new();
+    rd.read_line(&mut line).unwrap();
+    line.trim_end().to_string()
+}
+
+/// Sends one request line and collects the full response (single line,
+/// or OK/DOCS header + rows + END).
+fn roundtrip(rd: &mut BufReader<UnixStream>, wr: &mut UnixStream, req: &str) -> Vec<String> {
+    wr.write_all(req.as_bytes()).unwrap();
+    wr.write_all(b"\n").unwrap();
+    let head = read_line(rd);
+    let mut out = vec![head.clone()];
+    if head.starts_with("OK ") && head != "OK draining" || head.starts_with("DOCS ") {
+        loop {
+            let row = read_line(rd);
+            let done = row == "END";
+            out.push(row);
+            if done {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn ping_docs_query_match_the_oneshot_engine() {
+    let daemon = Daemon::start("basic", ServerConfig::default());
+    let (mut rd, mut wr) = daemon.connect();
+
+    assert_eq!(roundtrip(&mut rd, &mut wr, "PING"), ["PONG"]);
+
+    let docs = roundtrip(&mut rd, &mut wr, "DOCS");
+    assert_eq!(docs[0], "DOCS 1");
+    assert!(docs[1].starts_with("dblp "), "{docs:?}");
+
+    // Differential: the daemon's ranking is the one-shot engine's.
+    let query_text = "{article{auth}{title}}";
+    let resp = roundtrip(
+        &mut rd,
+        &mut wr,
+        &format!("QUERY doc=dblp k=3 q={query_text}"),
+    );
+    let (_, mut dict) = store();
+    let query = bracket::parse(query_text, &mut dict).unwrap();
+    let doc = bracket::parse(DOC, &mut dict).unwrap();
+    let mut queue = TreeQueue::new(&doc);
+    let expect = tasm_postorder(
+        &query,
+        &mut queue,
+        3,
+        &UnitCost,
+        1,
+        TasmOptions::default(),
+        None,
+    );
+    assert_eq!(resp[0], format!("OK {}", expect.len()));
+    for (i, m) in expect.iter().enumerate() {
+        assert_eq!(
+            resp[1 + i],
+            format!("{} {} {} {}", i + 1, m.root.post(), m.distance, m.size)
+        );
+    }
+    assert_eq!(resp.last().unwrap(), "END");
+
+    assert!(daemon.shutdown(), "drain must be clean");
+}
+
+#[test]
+fn protocol_errors_are_structured_and_survivable() {
+    let daemon = Daemon::start("errors", ServerConfig::default());
+    let (mut rd, mut wr) = daemon.connect();
+
+    // A garbage line costs one ERR proto, not the connection.
+    let resp = roundtrip(&mut rd, &mut wr, "FROBNICATE all the things");
+    assert!(resp[0].starts_with("ERR proto "), "{resp:?}");
+    assert_eq!(roundtrip(&mut rd, &mut wr, "PING"), ["PONG"]);
+
+    let resp = roundtrip(&mut rd, &mut wr, "QUERY doc=nope k=1 q={a}");
+    assert!(resp[0].starts_with("ERR doc "), "{resp:?}");
+
+    let resp = roundtrip(&mut rd, &mut wr, "QUERY doc=dblp k=0 q={a}");
+    assert!(resp[0].starts_with("ERR parse "), "{resp:?}");
+
+    let resp = roundtrip(&mut rd, &mut wr, "QUERY doc=dblp k=999999999 q={a}");
+    assert!(
+        resp[0].starts_with("ERR parse ") && resp[0].contains("server limit"),
+        "{resp:?}"
+    );
+
+    let resp = roundtrip(&mut rd, &mut wr, "QUERY doc=dblp k=1 q={unclosed");
+    assert!(resp[0].starts_with("ERR parse "), "{resp:?}");
+
+    assert!(daemon.shutdown());
+}
+
+#[test]
+fn truncated_request_is_diagnosed_and_dropped() {
+    let daemon = Daemon::start("truncated", ServerConfig::default());
+    let (mut rd, wr) = daemon.connect();
+
+    // A request cut off mid-line (no trailing newline, then EOF).
+    (&wr).write_all(b"QUERY doc=dblp k=1 q={a").unwrap();
+    wr.shutdown(Shutdown::Write).unwrap();
+    let resp = read_line(&mut rd);
+    assert!(
+        resp.starts_with("ERR proto truncated request"),
+        "got: {resp}"
+    );
+    // The daemon dropped only THIS connection; a fresh one works.
+    let (mut rd2, mut wr2) = daemon.connect();
+    assert_eq!(roundtrip(&mut rd2, &mut wr2, "PING"), ["PONG"]);
+
+    assert!(daemon.shutdown());
+}
+
+#[test]
+fn an_already_expired_deadline_times_out_with_no_partial_ranking() {
+    let daemon = Daemon::start("deadline", ServerConfig::default());
+    let (mut rd, mut wr) = daemon.connect();
+
+    // timeout=0: the deadline has passed before the scan starts; the
+    // forced pre-scan check refuses the request.
+    let resp = roundtrip(&mut rd, &mut wr, "QUERY doc=dblp k=2 timeout=0 q={article}");
+    assert!(resp[0].starts_with("ERR timeout "), "{resp:?}");
+    assert!(resp[0].contains("no partial ranking"), "{resp:?}");
+
+    // The worker is fine afterwards.
+    let resp = roundtrip(&mut rd, &mut wr, "QUERY doc=dblp k=1 q={article}");
+    assert!(resp[0].starts_with("OK "), "{resp:?}");
+
+    assert!(daemon.shutdown());
+}
+
+#[test]
+fn queries_after_shutdown_are_shed_with_busy() {
+    let daemon = Daemon::start("late", ServerConfig::default());
+    // Open the connection BEFORE the drain begins…
+    let (mut rd, mut wr) = daemon.connect();
+    let (mut srd, mut swr) = daemon.connect();
+    swr.write_all(b"SHUTDOWN\n").unwrap();
+    assert_eq!(read_line(&mut srd), "OK draining");
+    // …and race the request against it: once draining, admission sheds.
+    let mut saw_busy = false;
+    for _ in 0..10 {
+        let resp = roundtrip(&mut rd, &mut wr, "QUERY doc=dblp k=1 q={a}");
+        if resp[0].starts_with("BUSY retry-after-ms=") {
+            saw_busy = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(saw_busy, "post-drain queries must be shed with BUSY");
+    assert!(daemon.handle.join().unwrap(), "drain stays clean");
+    let _ = std::fs::remove_file(&daemon.path);
+}

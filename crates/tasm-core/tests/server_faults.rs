@@ -1,0 +1,196 @@
+//! Fault-matrix tests for the daemon: every recovery path that needs a
+//! *misbehaving worker* to become reachable. Compiled only with
+//! `--features fault-inject`, which arms the magic query labels
+//! (`__fault_panic__`, `__fault_sleep_<ms>__`) inside the evaluation
+//! path.
+//!
+//! Matrix rows covered here: in-request panic, stall past deadline,
+//! overload burst, SIGTERM-style drain with a request in flight. The
+//! torn-bytes rows (short read, truncation, corruption) live against
+//! the file formats in `tasm-index`/`tasm-tree` and against the CLI in
+//! `tasm-cli`.
+
+#![cfg(all(unix, feature = "fault-inject"))]
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tasm_core::{Doc, DocStore, Server, ServerConfig};
+use tasm_tree::{bracket, LabelDict};
+
+const DOC: &str = "{dblp{article{auth{John}}{title{X1}}}{book{title{X2}}}}";
+
+struct Daemon {
+    path: PathBuf,
+    handle: JoinHandle<bool>,
+}
+
+impl Daemon {
+    fn start(name: &str, cfg: ServerConfig) -> Daemon {
+        let path = std::env::temp_dir().join(format!(
+            "tasm-core-faults-{}-{name}.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).unwrap();
+        let mut dict = LabelDict::new();
+        let tree = bracket::parse(DOC, &mut dict).unwrap();
+        let mut store = DocStore::new();
+        store.insert(Doc::new("dblp", tree, dict));
+        let server = Server::new(cfg, store, None);
+        let handle = std::thread::spawn(move || {
+            server.serve_unix(&listener, None).unwrap();
+            server.drain()
+        });
+        Daemon { path, handle }
+    }
+
+    fn connect(&self) -> (BufReader<UnixStream>, UnixStream) {
+        let stream = UnixStream::connect(&self.path).unwrap();
+        (BufReader::new(stream.try_clone().unwrap()), stream)
+    }
+
+    fn shutdown(self) -> bool {
+        let (mut rd, mut wr) = self.connect();
+        wr.write_all(b"SHUTDOWN\n").unwrap();
+        assert_eq!(read_line(&mut rd), "OK draining");
+        let clean = self.handle.join().unwrap();
+        let _ = std::fs::remove_file(&self.path);
+        clean
+    }
+}
+
+fn read_line(rd: &mut BufReader<UnixStream>) -> String {
+    let mut line = String::new();
+    rd.read_line(&mut line).unwrap();
+    line.trim_end().to_string()
+}
+
+fn roundtrip(rd: &mut BufReader<UnixStream>, wr: &mut UnixStream, req: &str) -> Vec<String> {
+    wr.write_all(req.as_bytes()).unwrap();
+    wr.write_all(b"\n").unwrap();
+    let head = read_line(rd);
+    let mut out = vec![head.clone()];
+    if head.starts_with("OK ") && head != "OK draining" {
+        loop {
+            let row = read_line(rd);
+            let done = row == "END";
+            out.push(row);
+            if done {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn in_request_panic_is_isolated_and_the_daemon_keeps_serving() {
+    let daemon = Daemon::start("panic", ServerConfig::default());
+    let (mut rd, mut wr) = daemon.connect();
+
+    let resp = roundtrip(&mut rd, &mut wr, "QUERY doc=dblp k=1 q={__fault_panic__}");
+    assert!(resp[0].starts_with("ERR internal "), "{resp:?}");
+
+    // Same daemon, same connection: the poisoned workspace was
+    // discarded, a fresh one answers correctly.
+    let resp = roundtrip(&mut rd, &mut wr, "QUERY doc=dblp k=2 q={article{auth}}");
+    assert!(resp[0].starts_with("OK "), "{resp:?}");
+    assert_eq!(resp.last().unwrap(), "END");
+
+    assert!(daemon.shutdown(), "panic must not dirty the drain");
+}
+
+#[test]
+fn a_stalled_request_times_out_while_later_requests_still_answer() {
+    let daemon = Daemon::start("stall", ServerConfig::default());
+    let (mut rd, mut wr) = daemon.connect();
+
+    // The worker stalls 200 ms; the request's budget is 30 ms. The
+    // pre-scan deadline check refuses it — structured, no partials.
+    let resp = roundtrip(
+        &mut rd,
+        &mut wr,
+        "QUERY doc=dblp k=1 timeout=30 q={__fault_sleep_200__}",
+    );
+    assert!(resp[0].starts_with("ERR timeout "), "{resp:?}");
+    assert!(resp[0].contains("30 ms"), "{resp:?}");
+
+    let resp = roundtrip(&mut rd, &mut wr, "QUERY doc=dblp k=1 q={article}");
+    assert!(resp[0].starts_with("OK "), "{resp:?}");
+
+    assert!(daemon.shutdown());
+}
+
+#[test]
+fn overload_burst_is_shed_with_busy_not_queued_without_bound() {
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        batch_window: Duration::ZERO,
+        ..ServerConfig::default()
+    };
+    let daemon = Daemon::start("burst", cfg);
+
+    // Wedge the single worker for 400 ms…
+    let (mut wrd, mut wwr) = daemon.connect();
+    wwr.write_all(b"QUERY doc=dblp k=1 timeout=2000 q={__fault_sleep_400__}\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(60)); // worker holds it now
+
+    // …then burst 6 clients at a queue of capacity 2.
+    let heads: Vec<String> = (0..6)
+        .map(|_| {
+            let (mut rd, mut wr) = daemon.connect();
+            std::thread::spawn(move || {
+                roundtrip(
+                    &mut rd,
+                    &mut wr,
+                    "QUERY doc=dblp k=1 timeout=2000 q={article}",
+                )[0]
+                .clone()
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+
+    let busy = heads
+        .iter()
+        .filter(|h| h.starts_with("BUSY retry-after-ms="))
+        .count();
+    let ok = heads.iter().filter(|h| h.starts_with("OK ")).count();
+    assert_eq!(busy + ok, 6, "{heads:?}");
+    assert!(
+        busy >= 4,
+        "capacity 2 must shed most of the burst: {heads:?}"
+    );
+    assert!(ok >= 1, "queued requests still complete: {heads:?}");
+
+    // The wedged request itself completes fine (2 s budget > 400 ms).
+    assert!(read_line(&mut wrd).starts_with("OK "), "wedge answer");
+
+    assert!(daemon.shutdown());
+}
+
+#[test]
+fn drain_waits_for_the_in_flight_request() {
+    let daemon = Daemon::start("drain", ServerConfig::default());
+
+    // A request that will still be running when SHUTDOWN lands.
+    let (mut rd, mut wr) = daemon.connect();
+    wr.write_all(b"QUERY doc=dblp k=1 timeout=2000 q={__fault_sleep_150__}\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(40)); // worker holds it
+
+    let clean = daemon.shutdown(); // SHUTDOWN + drain() verdict
+    assert!(clean, "drain must wait out the in-flight request");
+
+    // The in-flight request completed with a real answer, not an error.
+    let head = read_line(&mut rd);
+    assert!(head.starts_with("OK "), "in-flight answer was: {head}");
+}

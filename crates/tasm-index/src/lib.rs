@@ -19,7 +19,14 @@
 //! labels   n_labels × (u32 len, bytes)        dictionary, frequency order
 //! entries  n_nodes × (u32 label, u32 size)    postorder records
 //! postings n_labels × (u32 len, len × u32)    postorder positions per label
+//! crc32    u32                                CRC-32 (IEEE) of the postings
 //! ```
+//!
+//! The trailing checksum covers every byte of the postings section and
+//! is verified on open: a torn or bit-rotted index is a structured
+//! [`PostFileError::Corrupt`] error, never a silent misparse. Writes go
+//! through [`tasm_tree::postfile::atomic_write`] (temp file + fsync +
+//! rename), so readers only ever observe complete files.
 //!
 //! Two properties make the index useful:
 //!
@@ -45,7 +52,7 @@
 #![warn(missing_docs)]
 
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::path::Path;
 
 use tasm_tree::postfile::{PostFileError, PostFileReader, MAGIC_V2};
@@ -135,7 +142,10 @@ impl IndexedDocument {
         }
         let tree = Tree::from_postorder(entries)
             .map_err(|e| PostFileError::Format(format!("invalid postorder entries: {e}")))?;
-        let (mut input, dict) = reader.into_inner();
+        let (input, dict) = reader.into_inner();
+        // Hash the postings section as it streams by; the trailing
+        // checksum is compared after the last list.
+        let mut input = CrcReader::new(input);
 
         let n = tree.len() as u64;
         let n_labels = dict.len();
@@ -177,6 +187,15 @@ impl IndexedDocument {
                 "postings cover {covered} of {n} nodes"
             )));
         }
+        let computed = input.crc();
+        let mut input = input.into_inner();
+        let stored = read_u32(&mut input).map_err(|e| truncation(e, "postings checksum"))?;
+        if stored != computed {
+            return Err(PostFileError::Corrupt(format!(
+                "postings checksum mismatch (stored {stored:08x}, computed {computed:08x}): \
+                 torn or bit-rotted index write — rebuild with `tasm index`"
+            )));
+        }
         Ok(IndexedDocument {
             tree,
             dict,
@@ -198,25 +217,33 @@ impl IndexedDocument {
             out.write_all(&label.0.to_le_bytes())?;
             out.write_all(&size.to_le_bytes())?;
         }
+        let mut crc = 0u32;
         for list in &self.postings {
-            out.write_all(&(list.len() as u32).to_le_bytes())?;
+            let len = (list.len() as u32).to_le_bytes();
+            crc = crc32_update(crc, &len);
+            out.write_all(&len)?;
             for pos in list {
-                out.write_all(&pos.to_le_bytes())?;
+                let bytes = pos.to_le_bytes();
+                crc = crc32_update(crc, &bytes);
+                out.write_all(&bytes)?;
             }
         }
+        out.write_all(&crc.to_le_bytes())?;
         out.flush()?;
         Ok(())
     }
 
-    /// Convenience: builds the index for `tree` and writes it to `path`.
+    /// Convenience: builds the index for `tree` and writes it to `path`
+    /// **atomically** (temp file + fsync + rename, see
+    /// [`tasm_tree::postfile::atomic_write`]): a crash mid-write leaves
+    /// the previous index intact, never a torn `.pqi`.
     pub fn save(
         path: impl AsRef<Path>,
         tree: &Tree,
         dict: &LabelDict,
     ) -> Result<IndexedDocument, PostFileError> {
         let idx = IndexedDocument::build(tree, dict);
-        let file = File::create(path)?;
-        idx.write_to(BufWriter::new(file))?;
+        tasm_tree::postfile::atomic_write(path, |out| idx.write_to(out))?;
         Ok(idx)
     }
 
@@ -365,6 +392,67 @@ impl IndexedDocument {
             }
         }
         common
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/final `0xFFFF_FFFF`) — the
+/// classic table-driven implementation, dependency-free. `update(0, b)`
+/// equals the standard `crc32(b)`; chain calls to hash a stream.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = !crc;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// [`Read`] adapter hashing every byte it delivers with CRC-32.
+struct CrcReader<R> {
+    inner: R,
+    crc: u32,
+}
+
+impl<R> CrcReader<R> {
+    fn new(inner: R) -> Self {
+        CrcReader { inner, crc: 0 }
+    }
+
+    fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for CrcReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc = crc32_update(self.crc, &buf[..n]);
+        Ok(n)
     }
 }
 
@@ -524,6 +612,72 @@ mod tests {
         bytes.truncate(bytes.len() - 2);
         let err = IndexedDocument::from_reader(bytes.as_slice()).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32_update(0, b"123456789"), 0xCBF4_3926);
+        // Chained updates equal one-shot hashing.
+        let chained = crc32_update(crc32_update(0, b"12345"), b"6789");
+        assert_eq!(chained, 0xCBF4_3926);
+        assert_eq!(crc32_update(0, b""), 0);
+    }
+
+    #[test]
+    fn corrupted_postings_byte_fails_the_checksum() {
+        let (t, dict) = sample();
+        let idx = IndexedDocument::build(&t, &dict);
+        let mut bytes = Vec::new();
+        idx.write_to(&mut bytes).unwrap();
+        let postings_bytes: usize = idx.postings.iter().map(|p| 4 + 4 * p.len()).sum();
+        let postings_start = bytes.len() - 4 - postings_bytes;
+        // Flip one byte in every postings position: each must be caught,
+        // either by the structural cross-checks or by the checksum —
+        // never accepted silently.
+        for at in postings_start..bytes.len() {
+            let mut broken = bytes.clone();
+            broken[at] ^= 0x20;
+            let err = IndexedDocument::from_reader(broken.as_slice())
+                .expect_err(&format!("byte {at} flipped"));
+            assert!(
+                matches!(err, PostFileError::Corrupt(_) | PostFileError::Format(_)),
+                "byte {at}: {err}"
+            );
+        }
+        // At least the length byte of the first list slips past the
+        // structural checks only when semantically plausible; verify the
+        // checksum specifically catches a pure trailer flip.
+        let mut broken = bytes.clone();
+        let last = broken.len() - 1;
+        broken[last] ^= 0x01;
+        let err = IndexedDocument::from_reader(broken.as_slice()).unwrap_err();
+        assert!(matches!(err, PostFileError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn missing_checksum_is_a_truncation_error() {
+        let (t, dict) = sample();
+        let idx = IndexedDocument::build(&t, &dict);
+        let mut bytes = Vec::new();
+        idx.write_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 4); // drop the whole trailer
+        let err = IndexedDocument::from_reader(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn save_is_atomic_and_verifies_on_open() {
+        let (t, dict) = sample();
+        let path = std::env::temp_dir().join(format!("tasm_idx_{}.pqi", std::process::id()));
+        IndexedDocument::save(&path, &t, &dict).unwrap();
+        let back = IndexedDocument::open(&path).unwrap();
+        assert_eq!(back.tree().len(), t.len());
+        // Overwrite in place: still whole, still verifiable.
+        IndexedDocument::save(&path, &t, &dict).unwrap();
+        assert!(IndexedDocument::open(&path).is_ok());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Fault injection for byte streams (compiled only with the
+//! `fault-inject` feature).
+//!
+//! A resident matcher must survive what one-shot runs never see: readers
+//! that return two bytes at a time, stall mid-record, cut off inside an
+//! entry, or hand back flipped bits. [`FaultyReader`] wraps any
+//! [`Read`] and injects exactly those failures at byte-precise offsets,
+//! so integration tests can prove every failure mode yields a clean
+//! structured error — never a crash, a hang past the deadline, or a
+//! silently wrong ranking.
+//!
+//! The faults compose: a [`FaultPlan`] is an ordered list applied to
+//! every `read` call. Offsets count bytes of the *underlying* stream
+//! delivered so far (truncation points are exact; corruption hits the
+//! exact byte).
+
+use std::io::{self, Read};
+use std::time::Duration;
+
+/// One injected failure mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Deliver at most `max` bytes per `read` call (exercises every
+    /// short-read loop; a correct consumer sees identical bytes).
+    ShortReads {
+        /// Per-call byte cap (clamped to `>= 1`).
+        max: usize,
+    },
+    /// End the stream (EOF) after exactly `at` bytes — a torn write or
+    /// a peer that died mid-record.
+    TruncateAt {
+        /// Byte offset at which the stream ends.
+        at: u64,
+    },
+    /// Sleep once for `dur` before the read that would cross offset
+    /// `at` — a stalled disk or network peer. The stream then resumes.
+    StallAt {
+        /// Byte offset at which the stall happens.
+        at: u64,
+        /// How long the single stall lasts.
+        dur: Duration,
+    },
+    /// XOR the byte at offset `at` with `xor` — silent bit rot that
+    /// only checksums or cross-validation can catch.
+    CorruptAt {
+        /// Byte offset of the corrupted byte.
+        at: u64,
+        /// Mask XORed into that byte (use a non-zero mask).
+        xor: u8,
+    },
+}
+
+/// An ordered list of [`Fault`]s applied to a [`FaultyReader`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the reader behaves transparently).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a [`Fault::ShortReads`] cap.
+    pub fn short_reads(mut self, max: usize) -> Self {
+        self.faults.push(Fault::ShortReads { max });
+        self
+    }
+
+    /// Adds a [`Fault::TruncateAt`] cut.
+    pub fn truncate_at(mut self, at: u64) -> Self {
+        self.faults.push(Fault::TruncateAt { at });
+        self
+    }
+
+    /// Adds a [`Fault::StallAt`] delay.
+    pub fn stall_at(mut self, at: u64, dur: Duration) -> Self {
+        self.faults.push(Fault::StallAt { at, dur });
+        self
+    }
+
+    /// Adds a [`Fault::CorruptAt`] bit flip.
+    pub fn corrupt_at(mut self, at: u64, xor: u8) -> Self {
+        self.faults.push(Fault::CorruptAt { at, xor });
+        self
+    }
+
+    /// The faults in application order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+}
+
+/// A [`Read`] adapter executing a [`FaultPlan`] over an inner reader.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    plan: FaultPlan,
+    /// Bytes of the underlying stream delivered so far.
+    pos: u64,
+    /// Each `StallAt` fires once; indexed in plan order.
+    stalled: Vec<bool>,
+}
+
+impl<R> FaultyReader<R> {
+    /// Wraps `inner`, injecting the faults of `plan`.
+    pub fn new(inner: R, plan: FaultPlan) -> Self {
+        let stalled = vec![false; plan.faults.len()];
+        FaultyReader {
+            inner,
+            plan,
+            pos: 0,
+            stalled,
+        }
+    }
+
+    /// Bytes delivered so far.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Consumes the adapter, returning the inner reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut limit = buf.len();
+        for (i, fault) in self.plan.faults.iter().enumerate() {
+            match *fault {
+                Fault::ShortReads { max } => limit = limit.min(max.max(1)),
+                Fault::TruncateAt { at } => {
+                    if self.pos >= at {
+                        return Ok(0); // premature EOF
+                    }
+                    limit = limit.min((at - self.pos) as usize);
+                }
+                Fault::StallAt { at, dur } => {
+                    if self.pos >= at && !self.stalled[i] {
+                        self.stalled[i] = true;
+                        std::thread::sleep(dur);
+                    }
+                }
+                Fault::CorruptAt { .. } => {}
+            }
+        }
+        let n = self.inner.read(&mut buf[..limit])?;
+        for fault in &self.plan.faults {
+            if let Fault::CorruptAt { at, xor } = *fault {
+                if at >= self.pos && at < self.pos + n as u64 {
+                    buf[(at - self.pos) as usize] ^= xor;
+                }
+            }
+        }
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: &[u8] = b"0123456789abcdef";
+
+    fn drain(mut r: impl Read) -> Vec<u8> {
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn short_reads_deliver_identical_bytes() {
+        let r = FaultyReader::new(DATA, FaultPlan::new().short_reads(3));
+        assert_eq!(drain(r), DATA);
+        // Per-call cap is respected.
+        let mut r = FaultyReader::new(DATA, FaultPlan::new().short_reads(3));
+        let mut buf = [0u8; 16];
+        assert_eq!(r.read(&mut buf).unwrap(), 3);
+        assert_eq!(&buf[..3], b"012");
+    }
+
+    #[test]
+    fn truncate_cuts_at_the_exact_offset() {
+        let r = FaultyReader::new(DATA, FaultPlan::new().truncate_at(5));
+        assert_eq!(drain(r), b"01234");
+        let r = FaultyReader::new(DATA, FaultPlan::new().truncate_at(0));
+        assert_eq!(drain(r), b"");
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_byte() {
+        let r = FaultyReader::new(DATA, FaultPlan::new().corrupt_at(4, 0xFF));
+        let got = drain(r);
+        assert_eq!(got.len(), DATA.len());
+        assert_eq!(got[4], b'4' ^ 0xFF);
+        let mut want = DATA.to_vec();
+        want[4] = got[4];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn corrupt_hits_its_byte_even_under_short_reads() {
+        let r = FaultyReader::new(DATA, FaultPlan::new().short_reads(2).corrupt_at(7, 0x01));
+        let got = drain(r);
+        assert_eq!(got[7], b'7' ^ 0x01);
+    }
+
+    #[test]
+    fn stall_fires_once_and_the_stream_resumes() {
+        let plan = FaultPlan::new().stall_at(8, Duration::from_millis(30));
+        let r = FaultyReader::new(DATA, plan);
+        let t0 = std::time::Instant::now();
+        assert_eq!(drain(r), DATA);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn position_tracks_delivered_bytes() {
+        let mut r = FaultyReader::new(DATA, FaultPlan::new().short_reads(4));
+        let mut buf = [0u8; 16];
+        let n = r.read(&mut buf).unwrap();
+        assert_eq!(n, 4, "short-read plan caps the first read");
+        assert_eq!(r.position(), 4);
+    }
+}

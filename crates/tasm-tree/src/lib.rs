@@ -36,6 +36,8 @@
 pub mod bracket;
 mod builder;
 mod error;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod keyroots;
 mod label;
 mod node;

@@ -51,6 +51,9 @@ pub enum PostFileError {
     Io(io::Error),
     /// Bad magic or malformed header/dictionary.
     Format(String),
+    /// The file is structurally readable but fails an integrity check
+    /// (checksum mismatch, torn write): its content cannot be trusted.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for PostFileError {
@@ -58,6 +61,7 @@ impl std::fmt::Display for PostFileError {
         match self {
             PostFileError::Io(e) => write!(f, "postorder file I/O error: {e}"),
             PostFileError::Format(m) => write!(f, "postorder file format error: {m}"),
+            PostFileError::Corrupt(m) => write!(f, "postorder file corrupt: {m}"),
         }
     }
 }
@@ -101,15 +105,56 @@ pub fn write_postfile<W: Write>(
     Ok(())
 }
 
-/// Convenience: persists an in-memory tree to `path`.
+/// Convenience: persists an in-memory tree to `path` **atomically**
+/// (see [`atomic_write`]): readers never observe a torn `.pq` file.
 pub fn save_tree(
     path: impl AsRef<Path>,
     tree: &Tree,
     dict: &LabelDict,
 ) -> Result<(), PostFileError> {
-    let file = File::create(path)?;
-    let mut queue = crate::postorder_queue::TreeQueue::new(tree);
-    write_postfile(BufWriter::new(file), dict, &mut queue, tree.len() as u64)
+    atomic_write(path, |out| {
+        let mut queue = crate::postorder_queue::TreeQueue::new(tree);
+        write_postfile(out, dict, &mut queue, tree.len() as u64)
+    })
+}
+
+/// Crash-safe file publication: runs `write` against a temp file in the
+/// target's directory, fsyncs it, then atomically renames it over
+/// `path`. A crash at any point leaves either the old file or the new
+/// one — never a torn mix — and a failed write cleans up the temp file
+/// instead of leaving it behind.
+pub fn atomic_write(
+    path: impl AsRef<Path>,
+    write: impl FnOnce(&mut BufWriter<File>) -> Result<(), PostFileError>,
+) -> Result<(), PostFileError> {
+    let path = path.as_ref();
+    // The temp file must live on the same filesystem as the target for
+    // the rename to be atomic, so it goes next to it.
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut out = BufWriter::new(File::create(&tmp)?);
+        write(&mut out)?;
+        out.flush()?;
+        // Data must be durable BEFORE the rename publishes the name: a
+        // rename surviving a crash that the data didn't would swap a
+        // good file for garbage.
+        out.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself (directory entry). Best-effort:
+        // some filesystems refuse directory fsync.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// A streaming reader over a postorder file (version 1 or 2): implements
@@ -382,6 +427,50 @@ mod tests {
         let t2 = collect_tree(&mut reader).unwrap();
         assert_eq!(t, t2);
         assert_eq!(reader.integrity_error(), None);
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file_on_success_or_failure() {
+        let (t, dict) = sample();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tasm_aw_{}.pq", std::process::id()));
+        save_tree(&path, &t, &dict).unwrap();
+        assert!(path.exists());
+        // A failing writer must clean up and leave the published file
+        // exactly as it was.
+        let before = std::fs::read(&path).unwrap();
+        let err = atomic_write(&path, |_| {
+            Err(PostFileError::Format("writer exploded".into()))
+        })
+        .unwrap_err();
+        assert!(matches!(err, PostFileError::Format(_)));
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| {
+                n.starts_with(&format!("tasm_aw_{}", std::process::id())) && n.contains(".tmp.")
+            })
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_tree_overwrites_atomically() {
+        let (t, dict) = sample();
+        let path = std::env::temp_dir().join(format!("tasm_ow_{}.pq", std::process::id()));
+        save_tree(&path, &t, &dict).unwrap();
+        // Overwrite with a different tree; the new content replaces the
+        // old wholesale.
+        let mut dict2 = LabelDict::new();
+        let t2 = bracket::parse("{a{b}}", &mut dict2).unwrap();
+        save_tree(&path, &t2, &dict2).unwrap();
+        let mut reader = PostFileReader::open(&path).unwrap();
+        let back = collect_tree(&mut reader).unwrap();
+        assert_eq!(back, t2);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
