@@ -24,7 +24,7 @@ use tasm_data::{
 };
 use tasm_index::IndexedDocument;
 use tasm_ted::{TedStats, UnitCost};
-use tasm_tree::{LabelDict, Tree, TreeQueue};
+use tasm_tree::{LabelDict, LabelId, Tree, TreeBuilder, TreeQueue};
 use tasm_xml::{parse_tree, write_tree, XmlPostorderQueue};
 
 /// Paper x-axis: XMark document sizes in MB (Fig. 9a).
@@ -552,6 +552,33 @@ pub fn ablation_buffer(ctx: &Ctx) {
 /// peak-heap proxy. With `json_out` set, a [`crate::report::BENCH_JSON`]
 /// summary is written for machine consumption.
 ///
+/// A right-comb query of `2·depth + 1` nodes over the document's own
+/// labels: every internal node has a leaf left child and carries its
+/// subtree on the right. Zhang–Shasha's worst decomposition (every
+/// right-spine node is a keyroot) and the strategy kernel's best — the
+/// query shape of the deep-query BENCH workload.
+pub fn deep_query(doc: &Tree, depth: usize) -> Tree {
+    let labels = doc.labels();
+    let label = |i: usize| labels[(i * 37) % labels.len()];
+    let mut b = TreeBuilder::new();
+    fn rec(d: usize, i: &mut usize, label: &dyn Fn(usize) -> LabelId, b: &mut TreeBuilder) {
+        let l = label(*i);
+        *i += 1;
+        b.start(l);
+        if d > 0 {
+            let leaf = label(*i);
+            *i += 1;
+            b.start(leaf);
+            b.end().expect("balanced");
+            rec(d - 1, i, label, b);
+        }
+        b.end().expect("balanced");
+    }
+    let mut i = 0;
+    rec(depth, &mut i, &label, &mut b);
+    b.finish().expect("single root")
+}
+
 /// Workload sizes scale with `ctx.scale` (default 16 ⇒ ~50k-node
 /// documents); compare runs only at equal scale.
 pub fn bench_summary(
@@ -568,13 +595,25 @@ pub fn bench_summary(
         "workload", "nodes", "|Q|", "k", "seconds", "cand/s", "ns/candidate", "peak(KiB)", "pruned"
     );
     let mut records = Vec::new();
-    for (dataset, qsize, k) in [("dblp", 8u32, 5usize), ("xmark", 8, 5), ("xmark", 16, 100)] {
+    for (dataset, qsize, k) in [
+        ("dblp", 8u32, 5usize),
+        ("xmark", 8, 5),
+        ("xmark", 16, 100),
+        // The deep-query workload: a right-comb query, where the
+        // left-path (ZS) and right-path (strategy) TED decompositions
+        // differ most — tracks what the auto kernel selection buys.
+        ("xmark-deep", 16, 100),
+    ] {
         let mut dict = LabelDict::new();
         let doc = match dataset {
             "dblp" => dblp_tree(&mut dict, &DblpConfig::new(7, nodes)),
             _ => xmark_tree(&mut dict, &XMarkConfig::new(7, nodes)),
         };
-        let (query, _) = random_query(&doc, qsize, 0xBE40 + qsize as u64);
+        let query = if dataset == "xmark-deep" {
+            deep_query(&doc, qsize as usize / 2)
+        } else {
+            random_query(&doc, qsize, 0xBE40 + qsize as u64).0
+        };
         let tau = threshold(query.len() as u64, 1, 1, k as u64);
         let mut q = TreeQueue::new(&doc);
         let candidates =

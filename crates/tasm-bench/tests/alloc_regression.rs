@@ -1,9 +1,11 @@
 //! Zero-allocation steady-state regression test (the PR-2 tentpole
-//! guarantee, extended to the PR-4 pruning cascade): with a warmed
-//! [`TasmWorkspace`], the TASM-postorder candidate loop — including the
-//! [`LowerBoundCascade`] checks against the live heap cutoff — performs
-//! **no heap allocation at all**, and a full stream costs O(1)
-//! allocations independent of its length.
+//! guarantee, extended to the PR-4 pruning cascade and the PR-8
+//! strategy kernel): with a warmed [`TasmWorkspace`], the
+//! TASM-postorder candidate loop — including the [`LowerBoundCascade`]
+//! checks against the live heap cutoff, and including the mirrored
+//! right-path DP when the strategy kernel is selected — performs **no
+//! heap allocation at all**, and a full stream costs O(1) allocations
+//! independent of its length.
 //!
 //! This file intentionally holds a single `#[test]` so no sibling test
 //! can allocate concurrently while the counters are being diffed.
@@ -11,7 +13,7 @@
 use tasm_bench::alloc::{alloc_count, CountingAlloc};
 use tasm_core::{
     process_candidate, tasm_postorder_with_workspace, threshold, PrefixRingBuffer, ScanStats,
-    TasmOptions, TasmWorkspace, TopKHeap,
+    TasmOptions, TasmWorkspace, TedKernel, TopKHeap,
 };
 use tasm_ted::{LowerBoundCascade, QueryContext, UnitCost};
 use tasm_tree::{bracket, LabelDict, NodeId, Tree, TreeQueue};
@@ -35,26 +37,30 @@ fn varied_doc(dict: &mut LabelDict, records: usize) -> Tree {
     bracket::parse(&s, dict).unwrap()
 }
 
-#[test]
-fn candidate_loop_is_allocation_free_after_warmup() {
-    let mut dict = LabelDict::new();
-    let doc = varied_doc(&mut dict, 60);
-    let query = bracket::parse("{article{a}{t}}", &mut dict).unwrap();
-    let k = 2;
-    let opts = TasmOptions::default();
+/// Replicates the candidate loop of `tasm_postorder_with_workspace`
+/// step by step under one kernel selection, asserting that everything
+/// past the first (warm-up) candidate is allocation-free.
+fn assert_loop_allocation_free(query: &Tree, doc: &Tree, k: usize, kernel: TedKernel) {
+    let opts = TasmOptions {
+        kernel,
+        ..Default::default()
+    };
     assert!(opts.use_cascade, "the cascade must be part of the loop");
 
-    // Replicate the candidate loop of `tasm_postorder_with_workspace`
-    // step by step so the measurement brackets exactly the steady state.
-    let ctx = QueryContext::new(&query, &UnitCost);
+    let ctx = QueryContext::with_kernel(query, &UnitCost, kernel);
     let cascade = LowerBoundCascade::from_context(&ctx);
     let tau64 = threshold(query.len() as u64, ctx.max_cost(), 1, k as u64);
     let tau = u32::try_from(tau64).unwrap();
     let mut ws = TasmWorkspace::new();
     ws.reserve(query.len(), tau);
+    if ctx.uses_strategy_kernel() {
+        // What the drivers do: the mirror buffers of the right-path
+        // kernel are reserved up front for the widest candidate.
+        ws.reserve_mirror(tau);
+    }
     let mut heap = TopKHeap::new(k);
     let mut scan = ScanStats::default();
-    let mut queue = TreeQueue::new(&doc);
+    let mut queue = TreeQueue::new(doc);
     let mut prb = PrefixRingBuffer::new(&mut queue, tau);
     let mut cand = doc.subtree(NodeId::new(1));
     cand.reserve(tau as usize);
@@ -101,8 +107,9 @@ fn candidate_loop_is_allocation_free_after_warmup() {
     );
     assert_eq!(
         loop_allocs, 0,
-        "candidate loop performed {loop_allocs} heap allocations across \
-         {streamed} candidates; steady state must be allocation-free"
+        "candidate loop ({kernel} kernel) performed {loop_allocs} heap \
+         allocations across {streamed} candidates; steady state must be \
+         allocation-free"
     );
     assert_eq!(heap.len(), k, "sanity: ranking still filled");
     // The cascade really ran: the stream contains both prunable
@@ -113,10 +120,37 @@ fn candidate_loop_is_allocation_free_after_warmup() {
         "cascade never pruned: {scan:?}"
     );
     assert!(scan.evaluated > 0, "cascade pruned everything: {scan:?}");
+    // The per-kernel funnel attributes every evaluation to the kernel
+    // under test.
+    let (want_zs, want_strategy) = match ctx.uses_strategy_kernel() {
+        false => (scan.evaluated, 0),
+        true => (0, scan.evaluated),
+    };
+    assert_eq!(
+        (scan.evaluated_zs, scan.evaluated_strategy),
+        (want_zs, want_strategy)
+    );
+}
+
+#[test]
+fn candidate_loop_is_allocation_free_after_warmup() {
+    let mut dict = LabelDict::new();
+    let doc = varied_doc(&mut dict, 60);
+    let query = bracket::parse("{article{a}{t}}", &mut dict).unwrap();
+    let k = 2;
+
+    // Both decomposition paths share the guarantee: the classic
+    // left-path DP and the mirrored right-path DP (whose per-candidate
+    // mirror permutation and permuted cost arrays live in the workspace).
+    assert_loop_allocation_free(&query, &doc, k, TedKernel::Zs);
+    assert_loop_allocation_free(&query, &doc, k, TedKernel::Strategy);
 
     // And end to end: with a warm workspace, a whole stream costs the
-    // same O(1) allocations regardless of its length.
+    // same O(1) allocations regardless of its length — under the
+    // default (auto) kernel selection.
+    let opts = TasmOptions::default();
     let long_doc = varied_doc(&mut dict, 400);
+    let mut ws = TasmWorkspace::new();
     let run = |ws: &mut TasmWorkspace, doc: &Tree| {
         let mut q = TreeQueue::new(doc);
         let before = alloc_count();

@@ -42,7 +42,7 @@ use tasm_data::{
     XMarkConfig,
 };
 use tasm_index::IndexedDocument;
-use tasm_ted::{ted, TedStats, UnitCost};
+use tasm_ted::{ted, TedKernel, TedStats, UnitCost};
 use tasm_tree::postfile::{save_tree, PostFileReader};
 use tasm_tree::{LabelDict, PostorderQueue, Tree, TreeQueue};
 use tasm_xml::{parse_tree, tree_to_xml, XmlPostorderQueue};
@@ -71,6 +71,13 @@ COMMANDS:
                                          index (see `index`) instead of
                                          scanning --doc; composes with
                                          repeated --query and --threads
+                  --kernel <name>        TED kernel for surviving
+                                         candidates: auto picks the
+                                         cheaper decomposition per query
+                                         shape, zs/strategy pin the
+                                         left/right path. All three return
+                                         identical rankings
+                                         auto|zs|strategy       [auto]
                   --show-xml             print matched subtrees as XML
                   --stats                print work statistics and the
                                          per-tier pruning funnel (per query
@@ -316,8 +323,14 @@ fn cmd_query(args: &Args) -> Result<(), CliError> {
     let k: usize = args.get_num("k", 5).usage()?;
     let threads: usize = args.get_num("threads", 1).usage()?;
     let algorithm = args.get("algorithm").unwrap_or("postorder");
+    let kernel: TedKernel = args
+        .get("kernel")
+        .unwrap_or("auto")
+        .parse()
+        .map_err(CliError::Usage)?;
     let opts = TasmOptions {
         keep_trees: args.flag("show-xml"),
+        kernel,
         ..Default::default()
     };
     let mut stats = TedStats::new();
@@ -541,6 +554,12 @@ fn print_scan_stats<W: Write>(out: &mut output::Out<W>, scan: &ScanStats) -> Res
         scan.evaluated,
         pct(scan.evaluated),
         100.0 * scan.prune_rate(),
+    )?;
+    wln!(
+        out,
+        "# kernel funnel: zs={} strategy={}",
+        scan.evaluated_zs,
+        scan.evaluated_strategy,
     )
 }
 

@@ -216,7 +216,7 @@ pub fn tasm_batch_deadline_with_workspace<Q: PostorderQueue + ?Sized>(
     }
 
     // Per-query contexts and bounds; the scan must cover the widest τ.
-    let (mut lanes, scan_tau) = build_lanes(queries, model, c_t);
+    let (mut lanes, scan_tau) = build_lanes(queries, model, c_t, opts.kernel);
 
     // Reserve lanes for the widest candidate the scan can emit; the same
     // byte cap as `TasmWorkspace::reserve` guards pathological τ.

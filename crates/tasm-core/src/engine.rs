@@ -68,6 +68,14 @@ pub struct ScanStats {
     /// Subtrees that survived every tier and were evaluated by the exact
     /// DP (one DP ranks the subtree *and* all its descendants).
     pub evaluated: u64,
+    /// Of the evaluated subtrees, how many ran under the classic
+    /// Zhang–Shasha left-path kernel. The split is per *query* (the
+    /// kernel is resolved once at context construction), so one of the
+    /// two per-kernel counters is zero for a single-query scan.
+    pub evaluated_zs: u64,
+    /// Of the evaluated subtrees, how many ran under the right-path
+    /// (mirrored) strategy kernel.
+    pub evaluated_strategy: u64,
 }
 
 impl ScanStats {
@@ -82,6 +90,8 @@ impl ScanStats {
         self.pruned_histogram += other.pruned_histogram;
         self.pruned_sed += other.pruned_sed;
         self.evaluated += other.evaluated;
+        self.evaluated_zs += other.evaluated_zs;
+        self.evaluated_strategy += other.evaluated_strategy;
     }
 
     /// Sums only the pruning-funnel counters of `other` into this one,
@@ -93,6 +103,8 @@ impl ScanStats {
         self.pruned_histogram += other.pruned_histogram;
         self.pruned_sed += other.pruned_sed;
         self.evaluated += other.evaluated;
+        self.evaluated_zs += other.evaluated_zs;
+        self.evaluated_strategy += other.evaluated_strategy;
     }
 
     /// Copies the scan-layer counters of a shared pass into this
@@ -320,6 +332,8 @@ mod tests {
             pruned_histogram: 6,
             pruned_sed: 2,
             evaluated: 2,
+            evaluated_zs: 2,
+            evaluated_strategy: 0,
         };
         let mut b = ScanStats {
             candidates: 2,

@@ -213,7 +213,7 @@ pub fn tasm_indexed_batch_with_stats(
         .map(|(query, bq)| BatchQuery { query, k: bq.k })
         .collect();
 
-    let (mut lanes, scan_tau) = build_lanes(&equeries, model, c_t);
+    let (mut lanes, scan_tau) = build_lanes(&equeries, model, c_t, opts.kernel);
     debug_assert_eq!(scan_tau, scan_tau_of(&equeries, model, c_t));
     let msizes: Vec<u64> = encoded.iter().map(|q| q.len() as u64).collect();
 
@@ -318,7 +318,7 @@ pub fn tasm_indexed_batch_with_stats(
                 .iter()
                 .map(|shard| {
                     scope.spawn(move || {
-                        let (lanes, _) = build_lanes(equeries, model, c_t);
+                        let (lanes, _) = build_lanes(equeries, model, c_t, opts.kernel);
                         let mut teds: Vec<TedWorkspace> =
                             (0..lanes.len()).map(|_| TedWorkspace::new()).collect();
                         let mut lb = CascadeScratch::new();

@@ -28,7 +28,7 @@ use crate::tasm_postorder::process_candidate_parts;
 use crate::threshold::threshold;
 use crate::workspace::{matrices_fit_cap, scratch_fits_cap};
 use tasm_ted::{
-    CascadeScratch, CostModel, LowerBoundCascade, QueryContext, TedStats, TedWorkspace,
+    CascadeScratch, CostModel, LowerBoundCascade, QueryContext, TedKernel, TedStats, TedWorkspace,
 };
 use tasm_tree::Tree;
 
@@ -46,10 +46,17 @@ pub(crate) struct EvalLane<'a> {
 }
 
 impl<'a> EvalLane<'a> {
-    /// Builds the lane for one query (`k` clamped to `>= 1`).
-    pub(crate) fn new(query: &'a Tree, k: usize, model: &'a dyn CostModel, c_t: u64) -> Self {
+    /// Builds the lane for one query (`k` clamped to `>= 1`); `kernel`
+    /// is resolved to a decomposition path here, once per query.
+    pub(crate) fn new(
+        query: &'a Tree,
+        k: usize,
+        model: &'a dyn CostModel,
+        c_t: u64,
+        kernel: TedKernel,
+    ) -> Self {
         let k = k.max(1);
-        let ctx = QueryContext::new(query, model);
+        let ctx = QueryContext::with_kernel(query, model, kernel);
         let cascade = LowerBoundCascade::from_context(&ctx);
         let tau = threshold(query.len() as u64, ctx.max_cost(), c_t, k as u64);
         EvalLane {
@@ -90,12 +97,13 @@ pub(crate) fn build_lanes<'a>(
     queries: &[BatchQuery<'a>],
     model: &'a dyn CostModel,
     c_t: u64,
+    kernel: TedKernel,
 ) -> (Vec<EvalLane<'a>>, u32) {
     let mut scan_tau = 1u32;
     let lanes = queries
         .iter()
         .map(|bq| {
-            let lane = EvalLane::new(bq.query, bq.k, model, c_t);
+            let lane = EvalLane::new(bq.query, bq.k, model, c_t, kernel);
             scan_tau = scan_tau.max(lane.tau32());
             lane
         })
@@ -120,6 +128,9 @@ pub(crate) fn reserve_lanes(
         max_m = max_m.max(m);
         if matrices_fit_cap(m, n) {
             ted.reserve(m, n);
+            if lane.ctx.uses_strategy_kernel() {
+                ted.reserve_mirror(n);
+            }
         }
     }
     if scratch_fits_cap(n) {

@@ -388,7 +388,7 @@ pub fn tasm_batch_parallel_with_stats(
             .iter()
             .map(|shard| {
                 scope.spawn(move || {
-                    let (lanes, _) = build_lanes(queries, model, c_t);
+                    let (lanes, _) = build_lanes(queries, model, c_t, opts.kernel);
                     let mut teds: Vec<TedWorkspace> =
                         (0..lanes.len()).map(|_| TedWorkspace::new()).collect();
                     let mut lb = CascadeScratch::new();

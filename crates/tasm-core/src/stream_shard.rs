@@ -336,7 +336,7 @@ fn stream_worker(
     want_ted_stats: bool,
 ) -> ShardResult {
     let _guard = AbortOnPanic(pipe);
-    let (mut lanes, _) = build_lanes(queries, model, c_t);
+    let (mut lanes, _) = build_lanes(queries, model, c_t, opts.kernel);
     let mut teds: Vec<TedWorkspace> = (0..lanes.len()).map(|_| TedWorkspace::new()).collect();
     let mut lb = CascadeScratch::new();
     // Reserve up front so no candidate — whichever worker it lands on —

@@ -13,7 +13,7 @@ use crate::ranking::{Match, TopKHeap};
 use crate::tasm_postorder::SingleQuerySink;
 use crate::workspace::TasmWorkspace;
 use tasm_ted::{
-    ted_view_with_workspace, Cost, CostModel, LowerBoundCascade, QueryContext, TedStats,
+    ted_row_with_workspace, Cost, CostModel, LowerBoundCascade, QueryContext, TedKernel, TedStats,
     TedWorkspace,
 };
 use tasm_tree::{NodeId, Tree, TreeView};
@@ -35,6 +35,13 @@ pub struct TasmOptions {
     /// so the ranking is **identical** with the cascade on or off
     /// (property-tested); disabling it measures what the cascade buys.
     pub use_cascade: bool,
+    /// Which TED kernel evaluates surviving candidates: the classic
+    /// Zhang–Shasha left-path decomposition, the right-path (mirrored)
+    /// strategy kernel, or a per-query shape estimate (`Auto`, the
+    /// default). Resolved once per query at lane/context construction;
+    /// every selection returns **identical** rankings (pinned by the
+    /// differential matrix).
+    pub kernel: TedKernel,
 }
 
 impl Default for TasmOptions {
@@ -43,6 +50,7 @@ impl Default for TasmOptions {
             keep_trees: false,
             use_tau_prime: true,
             use_cascade: true,
+            kernel: TedKernel::Auto,
         }
     }
 }
@@ -100,7 +108,7 @@ pub fn tasm_dynamic_with_workspace(
     ws: &mut TasmWorkspace,
     stats: Option<&mut TedStats>,
 ) -> Vec<Match> {
-    let ctx = QueryContext::new(query, model);
+    let ctx = QueryContext::with_kernel(query, model, opts.kernel);
     let cascade = LowerBoundCascade::from_context(&ctx);
     let mut heap = TopKHeap::new(k.max(1));
     let mut scan = ScanStats::default();
@@ -142,8 +150,7 @@ pub(crate) fn rank_subtrees_into(
     ted_ws: &mut TedWorkspace,
     stats: Option<&mut TedStats>,
 ) {
-    let td = ted_view_with_workspace(ctx, doc, ted_ws, stats);
-    let row = td.query_row();
+    let row = ted_row_with_workspace(ctx, doc, ted_ws, stats);
     for j in doc.nodes() {
         let distance: Cost = row[j.post() as usize];
         heap.offer(Match {

@@ -90,11 +90,14 @@ pub fn tasm_postorder_with_workspace<Q: PostorderQueue + ?Sized>(
 ) -> Vec<Match> {
     let k = k.max(1);
     let m = query.len() as u64;
-    let ctx = QueryContext::new(query, model);
+    let ctx = QueryContext::with_kernel(query, model, opts.kernel);
     let cascade = LowerBoundCascade::from_context(&ctx);
     let tau64 = threshold(m, ctx.max_cost(), c_t, k as u64);
     let tau = u32::try_from(tau64).unwrap_or(u32::MAX);
     ws.reserve(query.len(), tau);
+    if ctx.uses_strategy_kernel() {
+        ws.reserve_mirror(tau);
+    }
 
     let mut heap = TopKHeap::new(k);
     let scan = {
@@ -255,6 +258,11 @@ pub(crate) fn process_candidate_parts(
                 }
             }
             scan.evaluated += 1;
+            if ctx.uses_strategy_kernel() {
+                scan.evaluated_strategy += 1;
+            } else {
+                scan.evaluated_zs += 1;
+            }
             let sub_offset = doc_post_offset + r - size as u32;
             rank_subtrees_into(heap, ctx, doc, sub_offset, opts, ted, stats.as_deref_mut());
             // All subtrees of `doc` were ranked as a side effect.

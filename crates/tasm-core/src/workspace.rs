@@ -74,6 +74,20 @@ impl TasmWorkspace {
         }
     }
 
+    /// Pre-reserves the mirrored-document buffers of the right-path
+    /// (strategy) TED kernel for candidates of up to `tau` nodes, under
+    /// the same byte cap as [`reserve`](Self::reserve). Separate from
+    /// `reserve` so pure left-path runs never pay the extra `O(τ)`
+    /// buffers; the drivers call it when the query's resolved kernel is
+    /// the strategy kernel
+    /// ([`QueryContext::uses_strategy_kernel`](tasm_ted::QueryContext::uses_strategy_kernel)).
+    pub fn reserve_mirror(&mut self, tau: u32) {
+        let n = tau as usize;
+        if scratch_fits_cap(n) {
+            self.ted.reserve_mirror(n);
+        }
+    }
+
     /// Access to the inner distance workspace (e.g. for standalone
     /// [`ted_full_with_workspace`](tasm_ted::ted_full_with_workspace)
     /// calls sharing the same buffers).

@@ -13,6 +13,7 @@
 //!   × {materialized Tree, streaming postorder queue}
 //!   × threads ∈ {1, 2, 4, 7}
 //!   × cascade ∈ {on, off}
+//!   × kernel ∈ {zs, strategy, auto}
 //! ```
 //!
 //! Equality is on `(root id, distance, size)` — not just the distance
@@ -31,7 +32,7 @@ use proptest::prelude::*;
 use tasm_core::{
     tasm_batch, tasm_batch_parallel, tasm_batch_parallel_stream, tasm_dynamic, tasm_indexed,
     tasm_indexed_batch, tasm_naive, tasm_parallel, tasm_parallel_stream, tasm_postorder,
-    BatchQuery, Match, TasmOptions,
+    BatchQuery, Match, TasmOptions, TedKernel,
 };
 use tasm_index::IndexedDocument;
 use tasm_ted::UnitCost;
@@ -39,6 +40,11 @@ use tasm_tree::{LabelDict, LabelId, Tree, TreeBuilder, TreeQueue, VecQueue};
 
 /// Thread counts of the parallel axes.
 const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// The TED-kernel axis: the classic left-path DP, the mirrored
+/// right-path kernel, and the per-query shape estimator. All three must
+/// return identical rankings everywhere.
+const KERNELS: [TedKernel; 3] = [TedKernel::Zs, TedKernel::Strategy, TedKernel::Auto];
 
 /// Builds a uniformly-shaped random tree of exactly `n` nodes by random
 /// attachment (node `i` picks a uniformly random existing parent), over
@@ -123,12 +129,16 @@ fn check_single_query_matrix(q: &Tree, doc: &Tree, k: usize) -> Result<(), Strin
         Ok(())
     };
     let (idx, dict) = index_of(doc, q.labels());
-    for cascade in [true, false] {
+    for (kernel, cascade) in KERNELS.into_iter().flat_map(|kr| [(kr, true), (kr, false)]) {
         let opts = TasmOptions {
             use_cascade: cascade,
+            kernel,
             ..Default::default()
         };
-        let tag = if cascade { "cascade-on" } else { "cascade-off" };
+        let tag = format!(
+            "{kernel}/{}",
+            if cascade { "cascade-on" } else { "cascade-off" }
+        );
 
         check(
             format!("dynamic/{tag}"),
@@ -207,12 +217,16 @@ fn check_multi_query_matrix(queries: &[(Tree, usize)], doc: &Tree) -> Result<(),
         .flat_map(|(q, _)| q.labels().iter().copied())
         .collect();
     let (idx, dict) = index_of(doc, &q_labels);
-    for cascade in [true, false] {
+    for (kernel, cascade) in KERNELS.into_iter().flat_map(|kr| [(kr, true), (kr, false)]) {
         let opts = TasmOptions {
             use_cascade: cascade,
+            kernel,
             ..Default::default()
         };
-        let tag = if cascade { "cascade-on" } else { "cascade-off" };
+        let tag = format!(
+            "{kernel}/{}",
+            if cascade { "cascade-on" } else { "cascade-off" }
+        );
         check(
             format!("batch/materialized/{tag}"),
             tasm_batch(&bqs, &mut TreeQueue::new(doc), &UnitCost, 1, opts, None),
@@ -249,7 +263,10 @@ fn check_multi_query_matrix(queries: &[(Tree, usize)], doc: &Tree) -> Result<(),
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    // The kernel axis tripled the matrix volume per case; fewer random
+    // cases keep tier-1 runtime flat (the seeded CI sweep still shifts
+    // coverage every run).
+    #![proptest_config(ProptestConfig::with_cases(20))]
 
     #[test]
     fn differential_matrix_single_query(
@@ -446,6 +463,17 @@ proptest! {
             &q, &mut stream(&doc), k, &model, c_t, opts, None,
         ));
         prop_assert_eq!(&got, &want);
+        // Kernel axis under weighted costs: the mirrored DP permutes
+        // per-node costs, so exactness here is load-bearing.
+        for kernel in KERNELS {
+            let kopts = TasmOptions { kernel, ..opts };
+            let kd = key(&tasm_dynamic(&q, &doc, k, &model, kopts, None));
+            prop_assert_eq!(&kd, &want, "dynamic kernel {}", kernel);
+            let kp = key(&tasm_postorder(
+                &q, &mut stream(&doc), k, &model, c_t, kopts, None,
+            ));
+            prop_assert_eq!(&kp, &want, "postorder kernel {}", kernel);
+        }
         for threads in [2usize, 7] {
             let par = key(&tasm_parallel(&q, &doc, k, &model, c_t, opts, threads));
             prop_assert_eq!(&par, &want);

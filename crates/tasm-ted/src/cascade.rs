@@ -310,12 +310,10 @@ impl<'a> LowerBoundCascade<'a> {
             cur[0] = clamp(prev[0] + del);
             row_min = cur[0];
             for j in 1..=n {
+                // Branchless mismatch test: labels are dense u32 ids, so
+                // the comparison result scales the miss cost directly.
                 let sub = prev[j - 1]
-                    + if doc_labels[j - 1] == ql {
-                        Cost::ZERO
-                    } else {
-                        sub_miss
-                    };
+                    + Cost::from_halves(sub_miss.halves() * u64::from(doc_labels[j - 1] != ql));
                 let v = clamp(sub.min(prev[j] + del).min(cur[j - 1] + ins));
                 cur[j] = v;
                 row_min = row_min.min(v);

@@ -264,6 +264,13 @@ impl NodeCosts {
         self.costs[(post - 1) as usize]
     }
 
+    /// The full natural-unit cost array (index = postorder − 1), for DP
+    /// inner loops that index it directly.
+    #[inline]
+    pub fn naturals(&self) -> &[u64] {
+        &self.costs
+    }
+
     /// Maximum node cost (natural units).
     #[inline]
     pub fn max(&self) -> u64 {
@@ -284,13 +291,13 @@ impl NodeCosts {
 
 /// The rename cost between two nodes given their natural costs and labels:
 /// `0` if labels match, else `(cq + ct) / 2` — exact in half-units.
+///
+/// Branchless: labels are dense `u32` ids, so the mismatch test compiles
+/// to a single comparison whose result scales the half-sum (no branch in
+/// the DP inner loop).
 #[inline]
 pub fn rename_cost(label_q: LabelId, cq: u64, label_t: LabelId, ct: u64) -> Cost {
-    if label_q == label_t {
-        Cost::ZERO
-    } else {
-        Cost::from_halves(cq + ct)
-    }
+    Cost::from_halves((cq + ct) * u64::from(label_q != label_t))
 }
 
 #[cfg(test)]

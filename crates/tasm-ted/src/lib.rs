@@ -38,6 +38,7 @@ mod matrix;
 pub mod oracle;
 pub mod sed;
 pub mod stats;
+mod strategy;
 mod workspace;
 mod zhang_shasha;
 
@@ -46,8 +47,9 @@ pub use cost::{rename_cost, Cost, CostModel, FanoutWeighted, NodeCosts, PerLabel
 pub use mapping::{edit_script, validate_mapping, EditOp, EditScript};
 pub use matrix::Matrix;
 pub use stats::TedStats;
+pub use strategy::TedKernel;
 pub use workspace::{QueryContext, TedWorkspace};
 pub use zhang_shasha::{
-    ted, ted_full, ted_full_with_costs, ted_full_with_workspace, ted_view_with_workspace,
-    ted_with_workspace, TreeDistances, TreeDistancesView,
+    ted, ted_full, ted_full_with_costs, ted_full_with_workspace, ted_row_with_workspace,
+    ted_view_with_workspace, ted_with_kernel, ted_with_workspace, TreeDistances, TreeDistancesView,
 };

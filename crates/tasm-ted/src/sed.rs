@@ -37,12 +37,9 @@ pub fn string_edit_distance(a: &[LabelId], cost_a: &[u64], b: &[LabelId], cost_b
         for j in 0..n {
             let del = prev[j + 1] + Cost::from_natural(cost_a[i]);
             let ins = cur[j] + Cost::from_natural(cost_b[j]);
-            let sub = prev[j]
-                + if a[i] == b[j] {
-                    Cost::ZERO
-                } else {
-                    Cost::from_halves(cost_a[i] + cost_b[j])
-                };
+            // Branchless mismatch test (labels are dense u32 ids).
+            let sub =
+                prev[j] + Cost::from_halves((cost_a[i] + cost_b[j]) * u64::from(a[i] != b[j]));
             cur[j + 1] = del.min(ins).min(sub);
         }
         std::mem::swap(&mut prev, &mut cur);

@@ -1,0 +1,275 @@
+//! Shape-adaptive single-path decomposition strategies (APTED family).
+//!
+//! Zhang–Shasha decomposes both trees along their **left** paths: the
+//! relevant subtrees are the keyroot subtrees (Def. 8), and the DP cost
+//! is the product of the two keyroot-subtree *areas*
+//! `A_L(T) = Σ_{k ∈ keyroots(T)} |T_k|`. On left-deep trees `A_L` is
+//! tiny (a left path has a single keyroot: the root), but on
+//! **right-deep** trees it degenerates — every node on the right spine
+//! is a keyroot, and `A_L` approaches `Σ_i i = O(n²)/n·n`.
+//!
+//! Pawlik & Augsten's APTED observes that the decomposition path is a
+//! free choice: decomposing along the **right** path instead flips which
+//! shapes are cheap. This module implements the right-path kernel by a
+//! reduction instead of a second DP: the tree edit distance is invariant
+//! under mirroring *both* trees (reversing every child sequence maps an
+//! edit mapping to an edit mapping of equal cost), and the right-path
+//! decomposition of `T` is exactly the left-path decomposition of its
+//! mirror. So the right-path kernel *is* the existing, heavily-tuned
+//! Zhang–Shasha DP — run over mirrored postorder arenas.
+//!
+//! The mirror of a postorder arena needs no tree rebuild: for a node `v`
+//! of an `n`-node tree, the mirrored postorder index is
+//! `mir(v) = n + 1 − pre(v)` (mirrored postorder = reversed preorder),
+//! subtrees stay contiguous, sizes are preserved, and the mirrored
+//! leftmost leaf is `mir(v) − size(v) + 1`. Everything is an `O(n)`
+//! permutation, built here with an explicit stack (no recursion).
+//!
+//! [`TedKernel`] selects the strategy: `Zs` pins the left path,
+//! `Strategy` pins the right path, and `Auto` (default) compares the two
+//! decomposition areas of the *query* — computed once per query in
+//! `QueryContext` — and picks the smaller, bounding the DP work by the
+//! query shape rather than the worst case.
+
+use std::fmt;
+use std::str::FromStr;
+
+use tasm_tree::NodeId;
+
+/// Which TED kernel evaluates candidates — the user-facing selection.
+///
+/// Resolved once per query (in `QueryContext::with_kernel`) to a concrete
+/// decomposition path; the per-candidate loop never re-decides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TedKernel {
+    /// Estimate both decomposition areas of the query and pick the
+    /// smaller (left path on left-deep/balanced shapes, right path on
+    /// right-deep shapes).
+    #[default]
+    Auto,
+    /// Always the classic Zhang–Shasha left-path decomposition.
+    Zs,
+    /// Always the right-path (mirrored) decomposition.
+    Strategy,
+}
+
+impl fmt::Display for TedKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TedKernel::Auto => "auto",
+            TedKernel::Zs => "zs",
+            TedKernel::Strategy => "strategy",
+        })
+    }
+}
+
+impl FromStr for TedKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(TedKernel::Auto),
+            "zs" => Ok(TedKernel::Zs),
+            "strategy" => Ok(TedKernel::Strategy),
+            other => Err(format!(
+                "unknown kernel '{other}' (expected auto, zs or strategy)"
+            )),
+        }
+    }
+}
+
+/// The decomposition path a query resolved to (internal: the candidate
+/// loop branches on this exactly once per evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DecompPath {
+    /// Left-path keyroots — the classic Zhang–Shasha run.
+    Left,
+    /// Right-path keyroots — the Zhang–Shasha run over mirrored arenas.
+    Right,
+}
+
+/// Fills `mir_of_post` with the mirror permutation of a postorder arena:
+/// `mir_of_post[p − 1]` is the mirrored postorder index of the node with
+/// original postorder `p`, i.e. `n + 1 − pre(p)`.
+///
+/// `sizes` is the postorder subtree-size array of a single well-formed
+/// tree. `stack` is caller-owned scratch (grow-don't-shrink); one `(post,
+/// pre)` frame per node, O(n) total.
+pub(crate) fn mirror_permutation_into(
+    sizes: &[u32],
+    stack: &mut Vec<(u32, u32)>,
+    mir_of_post: &mut Vec<u32>,
+) {
+    let n = sizes.len() as u32;
+    debug_assert!(n >= 1, "trees are non-empty");
+    debug_assert_eq!(sizes[(n - 1) as usize], n, "root size must equal n");
+    mir_of_post.clear();
+    mir_of_post.resize(n as usize, 0);
+    stack.clear();
+    stack.push((n, 1)); // the root has postorder n and preorder 1
+    while let Some((p, pre)) = stack.pop() {
+        mir_of_post[(p - 1) as usize] = n + 1 - pre;
+        let size = sizes[(p - 1) as usize];
+        // Children right to left: the rightmost child sits at p − 1; each
+        // further sibling is found by skipping the previous child's
+        // subtree. Preorders run left to right, so walking right to left
+        // we hand out preorders from the back of the subtree's preorder
+        // interval [pre + 1, pre + size − 1].
+        let mut child_post = p - 1;
+        let mut child_pre_end = pre + size;
+        while child_post + size > p {
+            let child_size = sizes[(child_post - 1) as usize];
+            let child_pre = child_pre_end - child_size;
+            stack.push((child_post, child_pre));
+            child_pre_end = child_pre;
+            child_post -= child_size;
+        }
+    }
+}
+
+/// Computes the Zhang–Shasha keyroots from a bare leftmost-leaf slice
+/// (`lml[i]` = lml of postorder `i + 1`), ascending postorder — the
+/// slice-based twin of `tasm_tree::keyroots_into` for mirrored arenas,
+/// which exist only as permuted arrays, never as a `TreeView`.
+///
+/// `seen` is a scratch bitmap over lml values; both buffers grow but
+/// never shrink.
+pub(crate) fn keyroots_from_lml_into(lml: &[u32], seen: &mut Vec<bool>, out: &mut Vec<NodeId>) {
+    let n = lml.len();
+    seen.clear();
+    seen.resize(n + 1, false);
+    out.clear();
+    // A node is a keyroot iff no later node shares its lml.
+    for post in (1..=n as u32).rev() {
+        let l = lml[(post - 1) as usize] as usize;
+        if !seen[l] {
+            seen[l] = true;
+            out.push(NodeId::new(post));
+        }
+    }
+    out.reverse();
+}
+
+/// The decomposition *area* `Σ_k (post(k) − lml(k) + 1)` of a keyroot
+/// set over its lml slice — the per-document factor of the Zhang–Shasha
+/// cost, used by the `Auto` estimator to compare paths.
+pub(crate) fn keyroot_area(keyroots: &[NodeId], lml: &[u32]) -> u64 {
+    keyroots
+        .iter()
+        .map(|&k| u64::from(k.post() - lml[k.index()] + 1))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasm_tree::{bracket, LabelDict, Tree};
+
+    fn parse(s: &str) -> Tree {
+        let mut d = LabelDict::new();
+        bracket::parse(s, &mut d).unwrap()
+    }
+
+    /// Reference mirror permutation via an O(n²) preorder recomputation.
+    fn mirror_reference(t: &Tree) -> Vec<u32> {
+        let n = t.len() as u32;
+        // pre(v) = 1 + #ancestors(v) + #nodes-left-of(v).
+        t.nodes()
+            .map(|v| {
+                let pre = 1
+                    + t.nodes().filter(|&a| t.is_ancestor(a, v)).count() as u32
+                    + t.nodes().filter(|&a| t.is_left_of(a, v)).count() as u32;
+                n + 1 - pre
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mirror_permutation_matches_reference() {
+        for s in [
+            "{a}",
+            "{a{b}}",
+            "{a{b}{c}}",
+            "{x{a{b}{d}}{a{b}{c}}}",
+            "{a{b{c{d}}}}",
+            "{r{a}{b}{c}{d}}",
+            "{r{a{x}{y}}{b}{c{z}}}",
+            "{a{b{c}{d}{e}}{f{g{h}}}}",
+        ] {
+            let t = parse(s);
+            let mut stack = Vec::new();
+            let mut mir = Vec::new();
+            mirror_permutation_into(t.sizes(), &mut stack, &mut mir);
+            assert_eq!(mir, mirror_reference(&t), "tree {s}");
+            // A permutation of 1..=n, with the root fixed at n.
+            let mut sorted = mir.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (1..=t.len() as u32).collect::<Vec<_>>());
+            assert_eq!(mir[t.len() - 1], t.len() as u32);
+        }
+    }
+
+    #[test]
+    fn mirrored_lml_spans_subtrees() {
+        // In mirror coordinates the subtree of v spans
+        // [mir(v) − size(v) + 1, mir(v)] — check it contains exactly the
+        // mirrored descendants.
+        let t = parse("{x{a{b}{d}}{a{b}{c}}}");
+        let mut stack = Vec::new();
+        let mut mir = Vec::new();
+        mirror_permutation_into(t.sizes(), &mut stack, &mut mir);
+        for v in t.nodes() {
+            let j = mir[v.index()];
+            let lo = j - t.size(v) + 1;
+            for w in t.nodes() {
+                let inside = mir[w.index()] >= lo && mir[w.index()] <= j;
+                let descendant = w == v || t.is_ancestor(v, w);
+                assert_eq!(inside, descendant, "v={v:?} w={w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn right_path_keyroots_flip_chain_shapes() {
+        // Left chain a(b(c(d))): a single left keyroot (area 4), but in
+        // mirror coordinates it is a right chain: every node a keyroot.
+        let chain = parse("{a{b{c{d}}}}");
+        let mut stack = Vec::new();
+        let mut mir = Vec::new();
+        mirror_permutation_into(chain.sizes(), &mut stack, &mut mir);
+        // A unary chain is its own mirror: identical permutation.
+        assert_eq!(mir, vec![1, 2, 3, 4]);
+
+        // A genuinely right-deep tree: r(l, m(l, m(l, ...))).
+        let right_comb = parse("{r{l}{m{l}{m{l}{m}}}}");
+        let n = right_comb.len();
+        let left_area: u64 = tasm_tree::keyroot_sizes(&right_comb)
+            .iter()
+            .map(|&s| u64::from(s))
+            .sum();
+        mirror_permutation_into(right_comb.sizes(), &mut stack, &mut mir);
+        let mut mir_lml = vec![0u32; n];
+        for p in 1..=n {
+            let j = mir[p - 1];
+            mir_lml[(j - 1) as usize] = j - right_comb.sizes()[p - 1] + 1;
+        }
+        let mut seen = Vec::new();
+        let mut kr = Vec::new();
+        keyroots_from_lml_into(&mir_lml, &mut seen, &mut kr);
+        let right_area = keyroot_area(&kr, &mir_lml);
+        // The mirrored comb is left-deep: the right path must be cheaper.
+        assert!(
+            right_area < left_area,
+            "right {right_area} vs left {left_area}"
+        );
+    }
+
+    #[test]
+    fn kernel_parse_and_display_round_trip() {
+        for k in [TedKernel::Auto, TedKernel::Zs, TedKernel::Strategy] {
+            assert_eq!(k.to_string().parse::<TedKernel>().unwrap(), k);
+        }
+        assert!("apted".parse::<TedKernel>().is_err());
+        assert_eq!(TedKernel::default(), TedKernel::Auto);
+    }
+}

@@ -9,11 +9,14 @@
 //!
 //! * [`QueryContext`] — everything derivable from the query alone,
 //!   computed **once per query**: its keyroot decomposition (Def. 8), the
-//!   leftmost-leaf array `lml`, and the per-node [`NodeCosts`] (Def. 4).
+//!   leftmost-leaf array `lml`, the per-node [`NodeCosts`] (Def. 4), and —
+//!   when a shape-adaptive [`TedKernel`] is requested — the mirrored
+//!   decomposition of the right-path strategy plus the resolved path.
 //! * [`TedWorkspace`] — the per-candidate scratch state, **owned by the
 //!   caller and reused across candidates**: the tree/forest distance
 //!   matrices `td`/`fd` with grow-don't-shrink buffers, the document-side
-//!   keyroot buffers, and the document-side node costs.
+//!   keyroot buffers, the document-side node costs, and the mirrored
+//!   document arrays of the right-path kernel.
 //!
 //! With both in place, [`ted_full_with_workspace`](crate::ted_full_with_workspace)
 //! performs **zero heap allocations** once the workspace's capacity covers
@@ -22,13 +25,72 @@
 
 use crate::cost::{Cost, CostModel, NodeCosts};
 use crate::matrix::Matrix;
-use tasm_tree::{keyroots_into, NodeId, Tree, TreeView};
+use crate::strategy::{
+    keyroot_area, keyroots_from_lml_into, mirror_permutation_into, DecompPath, TedKernel,
+};
+use tasm_tree::{keyroots_into, LabelId, NodeId, Tree, TreeView};
+
+/// The mirrored query-side decomposition of the right-path kernel: the
+/// query's postorder arrays permuted into mirror coordinates, built once
+/// per query alongside the left decomposition.
+#[derive(Debug)]
+pub(crate) struct MirrorQuery {
+    /// Labels in mirror postorder.
+    pub(crate) labels: Vec<LabelId>,
+    /// Leftmost leaves in mirror postorder (`lml[j] = j + 1 − size + 1`).
+    pub(crate) lml: Vec<u32>,
+    /// Keyroots of the mirrored query, ascending mirror postorder.
+    pub(crate) keyroots: Vec<NodeId>,
+    /// Delete/insert costs in mirror postorder (half-units).
+    pub(crate) del: Vec<Cost>,
+    /// Natural-unit node costs in mirror postorder.
+    pub(crate) nat: Vec<u64>,
+}
+
+impl MirrorQuery {
+    /// Permutes the query's arrays into mirror coordinates. Costs are
+    /// evaluated on the *original* tree (exact for arbitrary
+    /// [`CostModel`]s, including structure-dependent ones) and permuted.
+    fn build(query: &Tree, costs: &NodeCosts) -> Self {
+        let n = query.len();
+        let sizes = query.sizes();
+        let mut stack = Vec::new();
+        let mut mir_of_post = Vec::new();
+        mirror_permutation_into(sizes, &mut stack, &mut mir_of_post);
+        let mut labels = vec![LabelId(0); n];
+        let mut lml = vec![0u32; n];
+        let mut del = vec![Cost::ZERO; n];
+        let mut nat = vec![0u64; n];
+        for p in 1..=n {
+            let j = mir_of_post[p - 1] as usize;
+            labels[j - 1] = query.labels()[p - 1];
+            lml[j - 1] = j as u32 - sizes[p - 1] + 1;
+            del[j - 1] = costs.del_ins(p as u32);
+            nat[j - 1] = costs.natural(p as u32);
+        }
+        let mut seen = Vec::new();
+        let mut keyroots = Vec::new();
+        keyroots_from_lml_into(&lml, &mut seen, &mut keyroots);
+        MirrorQuery {
+            labels,
+            lml,
+            keyroots,
+            del,
+            nat,
+        }
+    }
+}
 
 /// Query-side state of a TASM evaluation, computed once per query.
 ///
 /// Borrows the query tree and cost model; owns the derived arrays. Build
 /// it outside the candidate loop and pass it to every
 /// [`ted_full_with_workspace`](crate::ted_full_with_workspace) call.
+///
+/// [`QueryContext::new`] pins the classic Zhang–Shasha left-path kernel;
+/// [`QueryContext::with_kernel`] resolves a [`TedKernel`] selection —
+/// including the `Auto` shape estimator — once, so the candidate loop
+/// never re-decides.
 pub struct QueryContext<'a> {
     query: &'a Tree,
     model: &'a dyn CostModel,
@@ -39,6 +101,15 @@ pub struct QueryContext<'a> {
     lml: Vec<u32>,
     /// Per-node costs `cst(q)` (Def. 4), clamped to `>= 1`.
     costs: NodeCosts,
+    /// Delete/insert costs in half-units (`del[i]` for postorder `i+1`),
+    /// hoisted out of the DP inner loop.
+    del: Vec<Cost>,
+    /// The requested kernel selection.
+    kernel: TedKernel,
+    /// The decomposition path the selection resolved to.
+    path: DecompPath,
+    /// The mirrored query decomposition (present iff `path` is `Right`).
+    mirror: Option<MirrorQuery>,
 }
 
 impl std::fmt::Debug for QueryContext<'_> {
@@ -46,24 +117,59 @@ impl std::fmt::Debug for QueryContext<'_> {
         f.debug_struct("QueryContext")
             .field("query_len", &self.query.len())
             .field("keyroots", &self.keyroots)
+            .field("kernel", &self.kernel)
+            .field("path", &self.path)
             .finish_non_exhaustive()
     }
 }
 
 impl<'a> QueryContext<'a> {
-    /// Precomputes keyroots, leftmost leaves and node costs for `query`.
+    /// Precomputes keyroots, leftmost leaves and node costs for `query`,
+    /// pinning the classic Zhang–Shasha left-path kernel.
     pub fn new(query: &'a Tree, model: &'a dyn CostModel) -> Self {
+        QueryContext::with_kernel(query, model, TedKernel::Zs)
+    }
+
+    /// As [`QueryContext::new`], but resolving `kernel` to a
+    /// decomposition path:
+    ///
+    /// * [`TedKernel::Zs`] — always the left path.
+    /// * [`TedKernel::Strategy`] — always the right (mirrored) path.
+    /// * [`TedKernel::Auto`] — compare the query's left and right
+    ///   keyroot-subtree areas (the per-query factor of the DP cost) and
+    ///   pick the smaller; ties keep the left path.
+    pub fn with_kernel(query: &'a Tree, model: &'a dyn CostModel, kernel: TedKernel) -> Self {
         let costs = NodeCosts::compute(query.view(), model);
         let mut seen = Vec::new();
         let mut keyroots = Vec::new();
         keyroots_into(query.view(), &mut seen, &mut keyroots);
-        let lml = query.nodes().map(|id| query.lml(id).post()).collect();
+        let lml: Vec<u32> = query.nodes().map(|id| query.lml(id).post()).collect();
+        let del: Vec<Cost> = (1..=query.len() as u32).map(|i| costs.del_ins(i)).collect();
+
+        let (path, mirror) = match kernel {
+            TedKernel::Zs => (DecompPath::Left, None),
+            TedKernel::Strategy => (DecompPath::Right, Some(MirrorQuery::build(query, &costs))),
+            TedKernel::Auto => {
+                let m = MirrorQuery::build(query, &costs);
+                let left_area = keyroot_area(&keyroots, &lml);
+                let right_area = keyroot_area(&m.keyroots, &m.lml);
+                if right_area < left_area {
+                    (DecompPath::Right, Some(m))
+                } else {
+                    (DecompPath::Left, None)
+                }
+            }
+        };
         QueryContext {
             query,
             model,
             keyroots,
             lml,
             costs,
+            del,
+            kernel,
+            path,
+            mirror,
         }
     }
 
@@ -95,6 +201,49 @@ impl<'a> QueryContext<'a> {
     #[inline]
     pub fn lml_array(&self) -> &[u32] {
         &self.lml
+    }
+
+    /// The hoisted delete/insert cost array (half-units, postorder).
+    #[inline]
+    pub(crate) fn del_array(&self) -> &[Cost] {
+        &self.del
+    }
+
+    /// The mirrored query decomposition (right-path runs only).
+    #[inline]
+    pub(crate) fn mirror(&self) -> Option<&MirrorQuery> {
+        self.mirror.as_ref()
+    }
+
+    /// The kernel selection this context was built with (possibly
+    /// [`TedKernel::Auto`]).
+    #[inline]
+    pub fn requested_kernel(&self) -> TedKernel {
+        self.kernel
+    }
+
+    /// The kernel the selection *resolved* to: [`TedKernel::Zs`]
+    /// (left path) or [`TedKernel::Strategy`] (right path), never
+    /// [`TedKernel::Auto`].
+    #[inline]
+    pub fn kernel(&self) -> TedKernel {
+        match self.path {
+            DecompPath::Left => TedKernel::Zs,
+            DecompPath::Right => TedKernel::Strategy,
+        }
+    }
+
+    /// Whether candidates are evaluated by the right-path (mirrored)
+    /// strategy kernel.
+    #[inline]
+    pub fn uses_strategy_kernel(&self) -> bool {
+        self.path == DecompPath::Right
+    }
+
+    /// The resolved decomposition path.
+    #[inline]
+    pub(crate) fn path(&self) -> DecompPath {
+        self.path
     }
 
     /// Number of query nodes `|Q|`.
@@ -139,6 +288,24 @@ pub struct TedWorkspace {
     /// Document-side delete/insert costs in half-units, pre-multiplied so
     /// the inner loop reads a `Cost` directly.
     pub(crate) doc_del_ins: Vec<Cost>,
+    /// Mirror permutation of the current document (`mir_of_post[p−1]` =
+    /// mirror postorder of original postorder `p`); right-path runs only.
+    pub(crate) mir_of_post: Vec<u32>,
+    /// Explicit-stack scratch of the mirror permutation.
+    pub(crate) mir_stack: Vec<(u32, u32)>,
+    /// Document labels in mirror postorder.
+    pub(crate) mir_labels: Vec<LabelId>,
+    /// Document leftmost leaves in mirror postorder.
+    pub(crate) mir_lml: Vec<u32>,
+    /// Document keyroots of the mirrored arena.
+    pub(crate) mir_keyroots: Vec<NodeId>,
+    /// Document delete/insert costs in mirror postorder (half-units).
+    pub(crate) mir_del: Vec<Cost>,
+    /// Document natural-unit node costs in mirror postorder.
+    pub(crate) mir_nat: Vec<u64>,
+    /// The query row of a right-path run, permuted back to *original*
+    /// document postorder (index 0 is padding, as in `query_row`).
+    pub(crate) row_out: Vec<Cost>,
 }
 
 impl Default for TedWorkspace {
@@ -158,12 +325,23 @@ impl TedWorkspace {
             doc_costs: NodeCosts::empty(),
             doc_lml: Vec::new(),
             doc_del_ins: Vec::new(),
+            mir_of_post: Vec::new(),
+            mir_stack: Vec::new(),
+            mir_labels: Vec::new(),
+            mir_lml: Vec::new(),
+            mir_keyroots: Vec::new(),
+            mir_del: Vec::new(),
+            mir_nat: Vec::new(),
+            row_out: Vec::new(),
         }
     }
 
     /// Pre-reserves every buffer for an `m`-node query against documents
     /// of up to `n` nodes, so that not even the first evaluation
-    /// allocates. For TASM, `n` is the Theorem 3 threshold τ.
+    /// allocates. For TASM, `n` is the Theorem 3 threshold τ. (The
+    /// mirror-side buffers of the right-path kernel are reserved
+    /// separately by [`TedWorkspace::reserve_mirror`], only when that
+    /// kernel is selected.)
     pub fn reserve(&mut self, m: usize, n: usize) {
         self.td.reset_stale(m + 1, n + 1);
         self.fd.reset_stale(m + 1, n + 1);
@@ -175,6 +353,26 @@ impl TedWorkspace {
         self.doc_lml.reserve(n.saturating_sub(self.doc_lml.len()));
         self.doc_del_ins
             .reserve(n.saturating_sub(self.doc_del_ins.len()));
+    }
+
+    /// Pre-reserves the mirror-side buffers of the right-path kernel for
+    /// documents of up to `n` nodes. Call alongside
+    /// [`TedWorkspace::reserve`] when the query context resolved to the
+    /// strategy kernel.
+    pub fn reserve_mirror(&mut self, n: usize) {
+        let grow = |len: usize| n.saturating_sub(len);
+        self.mir_of_post.reserve(grow(self.mir_of_post.len()));
+        self.mir_stack.reserve(grow(self.mir_stack.len()));
+        self.mir_labels.reserve(grow(self.mir_labels.len()));
+        self.mir_lml.reserve(grow(self.mir_lml.len()));
+        self.mir_keyroots.reserve(grow(self.mir_keyroots.len()));
+        self.mir_del.reserve(grow(self.mir_del.len()));
+        self.mir_nat.reserve(grow(self.mir_nat.len()));
+        self.kr_seen
+            .reserve((n + 1).saturating_sub(self.kr_seen.len()));
+        self.row_out
+            .reserve((n + 1).saturating_sub(self.row_out.len()));
+        self.doc_costs.reserve(n);
     }
 
     /// Prepares the document side of a run: recomputes document
@@ -192,6 +390,34 @@ impl TedWorkspace {
         self.doc_del_ins.clear();
         self.doc_del_ins
             .extend(doc.nodes().map(|id| costs.del_ins(id.post())));
+    }
+
+    /// Prepares the *mirrored* document side of a right-path run: node
+    /// costs evaluated on the original view (exact for arbitrary cost
+    /// models), then labels, lml, del/ins and keyroots permuted into
+    /// mirror coordinates. All buffers grow but never shrink.
+    pub(crate) fn prepare_mirror(&mut self, doc: TreeView<'_>, model: &dyn CostModel) {
+        self.doc_costs.compute_into(doc, model);
+        let n = doc.len();
+        let sizes = doc.sizes();
+        mirror_permutation_into(sizes, &mut self.mir_stack, &mut self.mir_of_post);
+        self.mir_labels.clear();
+        self.mir_labels.resize(n, LabelId(0));
+        self.mir_lml.clear();
+        self.mir_lml.resize(n, 0);
+        self.mir_del.clear();
+        self.mir_del.resize(n, Cost::ZERO);
+        self.mir_nat.clear();
+        self.mir_nat.resize(n, 0);
+        let labels = doc.labels();
+        for p in 1..=n {
+            let j = self.mir_of_post[p - 1] as usize;
+            self.mir_labels[j - 1] = labels[p - 1];
+            self.mir_lml[j - 1] = j as u32 - sizes[p - 1] + 1;
+            self.mir_del[j - 1] = self.doc_costs.del_ins(p as u32);
+            self.mir_nat[j - 1] = self.doc_costs.natural(p as u32);
+        }
+        keyroots_from_lml_into(&self.mir_lml, &mut self.kr_seen, &mut self.mir_keyroots);
     }
 }
 
@@ -223,5 +449,48 @@ mod tests {
         ws.prepare(t.view(), &UnitCost);
         assert_eq!(ws.doc_keyroots.len(), keyroots(&t).len());
         assert_eq!(ws.doc_costs.len(), 3);
+    }
+
+    #[test]
+    fn auto_kernel_picks_right_path_on_right_combs() {
+        let mut d = LabelDict::new();
+        // Right-deep comb: every internal node's deep child is rightmost.
+        let right = bracket::parse("{r{l}{m{l}{m{l}{m}}}}", &mut d).unwrap();
+        let ctx = QueryContext::with_kernel(&right, &UnitCost, TedKernel::Auto);
+        assert!(ctx.uses_strategy_kernel());
+        assert_eq!(ctx.kernel(), TedKernel::Strategy);
+        assert_eq!(ctx.requested_kernel(), TedKernel::Auto);
+        // Left-deep comb: the classic kernel is already optimal.
+        let left = bracket::parse("{r{m{m{m}{l}}{l}}{l}}", &mut d).unwrap();
+        let ctx = QueryContext::with_kernel(&left, &UnitCost, TedKernel::Auto);
+        assert!(!ctx.uses_strategy_kernel());
+        assert_eq!(ctx.kernel(), TedKernel::Zs);
+    }
+
+    #[test]
+    fn explicit_kernels_pin_their_path() {
+        let mut d = LabelDict::new();
+        let q = bracket::parse("{a{b}{c}}", &mut d).unwrap();
+        let zs = QueryContext::with_kernel(&q, &UnitCost, TedKernel::Zs);
+        assert_eq!(zs.kernel(), TedKernel::Zs);
+        assert!(zs.mirror().is_none());
+        let st = QueryContext::with_kernel(&q, &UnitCost, TedKernel::Strategy);
+        assert_eq!(st.kernel(), TedKernel::Strategy);
+        let mirror = st.mirror().expect("strategy kernel builds the mirror");
+        assert_eq!(mirror.labels.len(), q.len());
+        // Mirror of a(b, c) is a(c, b): labels at mirror postorder 1, 2
+        // are swapped relative to the original arena.
+        assert_eq!(mirror.labels[0], q.labels()[1]);
+        assert_eq!(mirror.labels[1], q.labels()[0]);
+        assert_eq!(mirror.labels[2], q.labels()[2]);
+    }
+
+    #[test]
+    fn single_node_query_resolves_left() {
+        let mut d = LabelDict::new();
+        let q = bracket::parse("{a}", &mut d).unwrap();
+        // Both areas are 1; ties keep the left path.
+        let ctx = QueryContext::with_kernel(&q, &UnitCost, TedKernel::Auto);
+        assert_eq!(ctx.kernel(), TedKernel::Zs);
     }
 }

@@ -24,8 +24,9 @@
 use crate::cost::{rename_cost, Cost, CostModel, NodeCosts};
 use crate::matrix::Matrix;
 use crate::stats::TedStats;
+use crate::strategy::DecompPath;
 use crate::workspace::{QueryContext, TedWorkspace};
-use tasm_tree::{keyroots, NodeId, Tree, TreeView};
+use tasm_tree::{keyroots, LabelId, NodeId, Tree, TreeView};
 
 /// The tree distance matrix `td` plus everything needed to interpret it.
 ///
@@ -153,20 +154,25 @@ pub fn ted_full_with_costs(
     let kt = keyroots(doc);
     let q_lml: Vec<u32> = query.nodes().map(|id| query.lml(id).post()).collect();
     let t_lml: Vec<u32> = doc.nodes().map(|id| doc.lml(id).post()).collect();
+    let q_del: Vec<Cost> = query
+        .nodes()
+        .map(|id| query_costs.del_ins(id.post()))
+        .collect();
     let t_del: Vec<Cost> = doc.nodes().map(|id| doc_costs.del_ins(id.post())).collect();
     // td[i][j] = δ(Q_i, T_j); row/col 0 are padding so indexes are postorder.
     let mut td: Matrix<Cost> = Matrix::new(m + 1, n + 1);
     let mut fd: Matrix<Cost> = Matrix::new(m + 1, n + 1);
     fill_td(
-        query,
+        query.labels(),
         &kq,
         &q_lml,
-        query_costs,
-        doc.view(),
+        &q_del,
+        query_costs.naturals(),
+        doc.labels(),
         &kt,
         &t_lml,
         &t_del,
-        doc_costs,
+        doc_costs.naturals(),
         &mut td,
         &mut fd,
         stats,
@@ -215,20 +221,95 @@ pub fn ted_view_with_workspace<'w>(
     ws.td.reset_stale(m + 1, n + 1);
     ws.fd.reset_stale(m + 1, n + 1);
     fill_td(
-        ctx.query(),
+        ctx.query().labels(),
         ctx.keyroots(),
         ctx.lml_array(),
-        ctx.costs(),
-        doc,
+        ctx.del_array(),
+        ctx.costs().naturals(),
+        doc.labels(),
         &ws.doc_keyroots,
         &ws.doc_lml,
         &ws.doc_del_ins,
-        &ws.doc_costs,
+        ws.doc_costs.naturals(),
         &mut ws.td,
         &mut ws.fd,
         stats,
     );
     TreeDistancesView { td: &ws.td }
+}
+
+/// The row-level, kernel-dispatching seam of the TASM evaluation layer:
+/// computes `δ(Q, T_j)` for **every** subtree `T_j` of `doc` — the last
+/// row of the tree distance matrix, indexed by original document
+/// postorder with index 0 as padding — using whichever decomposition
+/// path the context resolved to.
+///
+/// * Left path: the classic [`ted_view_with_workspace`] run; the row is
+///   borrowed straight from the `td` matrix.
+/// * Right path: the same Zhang–Shasha DP over the *mirrored* arenas
+///   (tree edit distance is invariant under mirroring both trees, and a
+///   mirrored arena is just an `O(n)` permutation — see
+///   [`TedKernel`](crate::TedKernel)), then the query row is permuted
+///   back to original postorder into the workspace's `row_out` buffer.
+///
+/// Zero heap allocation once the workspace capacity covers the largest
+/// candidate (or after [`TedWorkspace::reserve`] /
+/// [`TedWorkspace::reserve_mirror`]).
+pub fn ted_row_with_workspace<'w>(
+    ctx: &QueryContext<'_>,
+    doc: TreeView<'_>,
+    ws: &'w mut TedWorkspace,
+    stats: Option<&mut TedStats>,
+) -> &'w [Cost] {
+    match ctx.path() {
+        DecompPath::Left => ted_view_with_workspace(ctx, doc, ws, stats).query_row(),
+        DecompPath::Right => {
+            let m = ctx.len();
+            let n = doc.len();
+            ws.prepare_mirror(doc, ctx.model());
+            ws.td.reset_stale(m + 1, n + 1);
+            ws.fd.reset_stale(m + 1, n + 1);
+            let mq = ctx.mirror().expect("right path carries a mirrored query");
+            fill_td(
+                &mq.labels,
+                &mq.keyroots,
+                &mq.lml,
+                &mq.del,
+                &mq.nat,
+                &ws.mir_labels,
+                &ws.mir_keyroots,
+                &ws.mir_lml,
+                &ws.mir_del,
+                &ws.mir_nat,
+                &mut ws.td,
+                &mut ws.fd,
+                stats,
+            );
+            // td[m][mir(p)] is δ(mirror(Q), mirror(T)_mir(p)) =
+            // δ(Q, T_p): permute the row back to original postorder.
+            let row = ws.td.row(m);
+            ws.row_out.clear();
+            ws.row_out.push(Cost::ZERO); // index 0 is padding
+            ws.row_out
+                .extend(ws.mir_of_post.iter().map(|&j| row[j as usize]));
+            &ws.row_out
+        }
+    }
+}
+
+/// As [`ted`], but with an explicit [`TedKernel`](crate::TedKernel)
+/// selection — the entry point the differential and property suites use
+/// to pin a decomposition path and prove `zs == strategy` equality.
+pub fn ted_with_kernel(
+    query: &Tree,
+    doc: &Tree,
+    model: &dyn CostModel,
+    kernel: crate::TedKernel,
+) -> Cost {
+    let ctx = QueryContext::with_kernel(query, model, kernel);
+    let mut ws = TedWorkspace::new();
+    let row = ted_row_with_workspace(&ctx, doc.view(), &mut ws, None);
+    row[doc.len()]
 }
 
 /// As [`ted`], but reusing the caller's [`TedWorkspace`] for the DP
@@ -248,27 +329,34 @@ pub fn ted_with_workspace(
 /// The Zhang–Shasha dynamic program over prepared inputs (the shared
 /// core of all public entry points).
 ///
+/// Fully symmetric over plain postorder slices, so the same code runs
+/// both decomposition paths: the left path passes the original arenas,
+/// the right path passes the mirrored ones (mirrored postorder arrays
+/// are postorder arrays of the mirrored trees, nothing else changes).
+///
 /// `td`/`fd` must be `(m+1) × (n+1)`; their prior content is irrelevant
 /// (see the stale-reset note in [`ted_full_with_workspace`]).
 #[allow(clippy::too_many_arguments)]
 fn fill_td(
-    query: &Tree,
+    q_labels: &[LabelId],
     kq: &[NodeId],
     q_lml: &[u32],
-    query_costs: &NodeCosts,
-    doc: TreeView<'_>,
+    q_del: &[Cost],
+    q_nat: &[u64],
+    t_labels: &[LabelId],
     kt: &[NodeId],
     t_lml: &[u32],
     t_del: &[Cost],
-    doc_costs: &NodeCosts,
+    t_nat: &[u64],
     td: &mut Matrix<Cost>,
     fd: &mut Matrix<Cost>,
     stats: Option<&mut TedStats>,
 ) {
-    let m = query.len();
-    let n = doc.len();
-    debug_assert_eq!(query_costs.len(), m);
-    debug_assert_eq!(doc_costs.len(), n);
+    let m = q_labels.len();
+    let n = t_labels.len();
+    debug_assert_eq!(q_nat.len(), m);
+    debug_assert_eq!(t_nat.len(), n);
+    assert_eq!(q_del.len(), m, "query del/ins cost array length mismatch");
     assert_eq!(t_del.len(), n, "del/ins cost array length mismatch");
     // Keyroots are ascending and end at the root, so every postorder
     // index visited below is bounded by m (query side) / n (doc side).
@@ -303,11 +391,19 @@ fn fill_td(
 
     if let Some(s) = stats {
         s.record_call();
+        // Keyroot subtree sizes are recoverable from the lml arrays:
+        // size(k) = post(k) − lml(k) + 1.
         for &k in kt {
-            s.record_relevant(doc.size(k));
+            s.record_relevant(k.post() - t_lml[k.index()] + 1);
         }
-        let qwork: u64 = kq.iter().map(|&k| query.size(k) as u64).sum();
-        let twork: u64 = kt.iter().map(|&k| doc.size(k) as u64).sum();
+        let qwork: u64 = kq
+            .iter()
+            .map(|&k| u64::from(k.post() - q_lml[k.index()] + 1))
+            .sum();
+        let twork: u64 = kt
+            .iter()
+            .map(|&k| u64::from(k.post() - t_lml[k.index()] + 1))
+            .sum();
         s.record_cells(qwork * twork);
     }
 
@@ -316,7 +412,6 @@ fn fill_td(
     // exposes the same content as the zero-filled fresh path.
     td.set(m, 0, Cost::ZERO);
 
-    let t_labels = doc.labels();
     for &q_key in kq {
         let lq = q_lml[q_key.index()] as usize; // leftmost leaf of Q_kq
         let q_hi = q_key.post() as usize;
@@ -342,7 +437,7 @@ fn fill_td(
                 fd.set_unchecked(lq - 1, lt - 1, Cost::ZERO);
                 // First column: delete all query prefix nodes.
                 for i in lq..=q_hi {
-                    let v = *fd.get_unchecked(i - 1, lt - 1) + query_costs.del_ins(i as u32);
+                    let v = *fd.get_unchecked(i - 1, lt - 1) + q_del[i - 1];
                     fd.set_unchecked(i, lt - 1, v);
                 }
                 // First row: insert all document prefix nodes.
@@ -353,27 +448,22 @@ fn fill_td(
 
                 for i in lq..=q_hi {
                     let lqi = q_lml[i - 1] as usize;
-                    let q_del = query_costs.del_ins(i as u32);
+                    let del_i = q_del[i - 1];
                     if lqi == lq {
                         // Q-prefix is a whole subtree: cells split on
                         // whether the T-prefix is one too.
-                        let q_label = query.label(NodeId::new(i as u32));
-                        let q_nat = query_costs.natural(i as u32);
+                        let q_label = q_labels[i - 1];
+                        let q_nat_i = q_nat[i - 1];
                         for j in lt..=t_hi {
                             let ltj = t_lml[j - 1] as usize;
-                            let del = *fd.get_unchecked(i - 1, j) + q_del;
+                            let del = *fd.get_unchecked(i - 1, j) + del_i;
                             let ins = *fd.get_unchecked(i, j - 1) + t_del[j - 1];
                             if ltj == lt {
                                 // Both prefixes are whole subtrees: the
                                 // match case is a rename, and the value
                                 // is a tree distance.
                                 let ren = *fd.get_unchecked(i - 1, j - 1)
-                                    + rename_cost(
-                                        q_label,
-                                        q_nat,
-                                        t_labels[j - 1],
-                                        doc_costs.natural(j as u32),
-                                    );
+                                    + rename_cost(q_label, q_nat_i, t_labels[j - 1], t_nat[j - 1]);
                                 let v = del.min(ins).min(ren);
                                 fd.set_unchecked(i, j, v);
                                 td.set_unchecked(i, j, v);
@@ -389,7 +479,7 @@ fn fill_td(
                         // whole subtrees via the persisted tree distance.
                         for j in lt..=t_hi {
                             let ltj = t_lml[j - 1] as usize;
-                            let del = *fd.get_unchecked(i - 1, j) + q_del;
+                            let del = *fd.get_unchecked(i - 1, j) + del_i;
                             let ins = *fd.get_unchecked(i, j - 1) + t_del[j - 1];
                             let sub = *fd.get_unchecked(lqi - 1, ltj - 1) + *td.get_unchecked(i, j);
                             let v = del.min(ins).min(sub);

@@ -396,3 +396,176 @@ mod cascade_admissibility {
         }
     }
 }
+
+mod kernel_equality {
+    //! The single-path strategy kernel is the same function as
+    //! Zhang–Shasha: `δ` is invariant under mirroring both trees, so the
+    //! right-path (mirrored) DP and the left-path DP must agree to the
+    //! half-unit on every input — including the adversarial shapes each
+    //! decomposition is worst on (combs, chains, stars) and under
+    //! weighted per-label costs, where the mirrored kernel permutes the
+    //! per-node cost arrays.
+
+    use super::*;
+    use tasm_ted::{ted_with_kernel, TedKernel};
+
+    /// All three user-facing kernel selections must agree.
+    fn assert_kernels_agree(q: &Tree, t: &Tree, model: &dyn CostModel, what: &str) {
+        let zs = ted_with_kernel(q, t, model, TedKernel::Zs);
+        let st = ted_with_kernel(q, t, model, TedKernel::Strategy);
+        let auto = ted_with_kernel(q, t, model, TedKernel::Auto);
+        assert_eq!(zs, st, "{what}: zs vs strategy");
+        assert_eq!(zs, auto, "{what}: zs vs auto");
+        assert_eq!(zs, ted(q, t, model), "{what}: zs vs ted()");
+    }
+
+    /// A chain (each node one child), deepest node first in postorder.
+    fn chain(n: usize, label_of: impl Fn(usize) -> u32) -> Tree {
+        let entries: Vec<(LabelId, u32)> = (0..n)
+            .map(|i| (LabelId(label_of(i)), i as u32 + 1))
+            .collect();
+        Tree::from_postorder(entries).expect("chain encoding is valid")
+    }
+
+    /// A left comb: every internal node has a subtree-carrying left
+    /// child and a leaf right child (Zhang–Shasha's best case).
+    fn left_comb(depth: usize, label_of: impl Fn(usize) -> u32) -> Tree {
+        let mut b = TreeBuilder::new();
+        fn rec(d: usize, i: &mut usize, label_of: &dyn Fn(usize) -> u32, b: &mut TreeBuilder) {
+            let l = LabelId(label_of(*i));
+            *i += 1;
+            b.start(l);
+            if d > 0 {
+                rec(d - 1, i, label_of, b);
+                let leaf = LabelId(label_of(*i));
+                *i += 1;
+                b.start(leaf);
+                b.end().unwrap();
+            }
+            b.end().unwrap();
+        }
+        let mut i = 0;
+        rec(depth, &mut i, &label_of, &mut b);
+        b.finish().expect("single root")
+    }
+
+    /// A right comb: leaf left child, subtree-carrying right child
+    /// (Zhang–Shasha's worst case; the right-path kernel's best).
+    fn right_comb(depth: usize, label_of: impl Fn(usize) -> u32) -> Tree {
+        let mut b = TreeBuilder::new();
+        fn rec(d: usize, i: &mut usize, label_of: &dyn Fn(usize) -> u32, b: &mut TreeBuilder) {
+            let l = LabelId(label_of(*i));
+            *i += 1;
+            b.start(l);
+            if d > 0 {
+                let leaf = LabelId(label_of(*i));
+                *i += 1;
+                b.start(leaf);
+                b.end().unwrap();
+                rec(d - 1, i, label_of, b);
+            }
+            b.end().unwrap();
+        }
+        let mut i = 0;
+        rec(depth, &mut i, &label_of, &mut b);
+        b.finish().expect("single root")
+    }
+
+    /// A star: one root, `n - 1` leaf children.
+    fn star(n: usize, label_of: impl Fn(usize) -> u32) -> Tree {
+        let mut b = TreeBuilder::new();
+        b.start(LabelId(label_of(0)));
+        for i in 1..n {
+            b.start(LabelId(label_of(i)));
+            b.end().unwrap();
+        }
+        b.end().unwrap();
+        b.finish().expect("single root")
+    }
+
+    /// A full binary tree of the given depth.
+    fn full_binary(depth: usize, label_of: impl Fn(usize) -> u32) -> Tree {
+        let mut b = TreeBuilder::new();
+        fn rec(d: usize, i: &mut usize, label_of: &dyn Fn(usize) -> u32, b: &mut TreeBuilder) {
+            let l = LabelId(label_of(*i));
+            *i += 1;
+            b.start(l);
+            if d > 0 {
+                rec(d - 1, i, label_of, b);
+                rec(d - 1, i, label_of, b);
+            }
+            b.end().unwrap();
+        }
+        let mut i = 0;
+        rec(depth, &mut i, &label_of, &mut b);
+        b.finish().expect("single root")
+    }
+
+    #[test]
+    fn kernels_agree_on_adversarial_shape_pairs() {
+        let shapes: Vec<(&str, Tree)> = vec![
+            ("chain-7", chain(7, |i| i as u32 % 3)),
+            ("chain-1", chain(1, |_| 0)),
+            ("left-comb-5", left_comb(5, |i| i as u32 % 4)),
+            ("right-comb-5", right_comb(5, |i| i as u32 % 4)),
+            ("star-9", star(9, |i| i as u32 % 2)),
+            ("binary-3", full_binary(3, |i| i as u32 % 3)),
+        ];
+        let weighted = PerLabelCost::new(1)
+            .with(LabelId(0), 2)
+            .with(LabelId(1), 3)
+            .with(LabelId(3), 5);
+        for (qn, q) in &shapes {
+            for (tn, t) in &shapes {
+                assert_kernels_agree(q, t, &UnitCost, &format!("{qn} vs {tn} (unit)"));
+                assert_kernels_agree(q, t, &weighted, &format!("{qn} vs {tn} (weighted)"));
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_single_nodes_and_boundaries() {
+        // 1-node queries and documents — the τ-boundary degenerate cases
+        // of the candidate loop hit these exact inputs.
+        let one_a = chain(1, |_| 0);
+        let one_b = chain(1, |_| 1);
+        assert_kernels_agree(&one_a, &one_a, &UnitCost, "identical single nodes");
+        assert_kernels_agree(&one_a, &one_b, &UnitCost, "renamed single nodes");
+        assert_kernels_agree(&one_a, &chain(12, |i| i as u32), &UnitCost, "1 vs chain");
+        assert_kernels_agree(&star(30, |i| i as u32 % 5), &one_b, &UnitCost, "star vs 1");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn kernels_agree_on_random_trees_unit(q in arb_tree(3), t in arb_tree(3)) {
+            let zs = ted_with_kernel(&q, &t, &UnitCost, TedKernel::Zs);
+            let st = ted_with_kernel(&q, &t, &UnitCost, TedKernel::Strategy);
+            prop_assert_eq!(zs, st);
+        }
+
+        #[test]
+        fn kernels_agree_on_random_trees_weighted(q in arb_tree(4), t in arb_tree(4)) {
+            let model = PerLabelCost::new(1)
+                .with(LabelId(0), 1)
+                .with(LabelId(1), 2)
+                .with(LabelId(2), 3)
+                .with(LabelId(3), 4);
+            let zs = ted_with_kernel(&q, &t, &model, TedKernel::Zs);
+            let st = ted_with_kernel(&q, &t, &model, TedKernel::Strategy);
+            let auto = ted_with_kernel(&q, &t, &model, TedKernel::Auto);
+            prop_assert_eq!(zs, st);
+            prop_assert_eq!(zs, auto);
+        }
+
+        #[test]
+        fn kernels_agree_on_path_trees(q in arb_path_tree(3), t in arb_path_tree(3)) {
+            // Chains are their own mirrors — the permutation is the
+            // identity, and any bug there shows up as asymmetry here.
+            let zs = ted_with_kernel(&q, &t, &UnitCost, TedKernel::Zs);
+            let st = ted_with_kernel(&q, &t, &UnitCost, TedKernel::Strategy);
+            prop_assert_eq!(zs, st);
+        }
+    }
+}
