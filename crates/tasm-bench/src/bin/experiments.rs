@@ -16,7 +16,7 @@ use tasm_bench::harness::{self, Ctx};
 static ALLOC: CountingAlloc = CountingAlloc;
 
 const USAGE: &str = "\
-usage: experiments [fig9a|fig9b|fig9c|fig10|fig11|fig12|ablation-tau|ablation-buffer|bench|scaling|index|funnel|all]...
+usage: experiments [fig9a|fig9b|fig9c|fig10|fig11|fig12|ablation-tau|ablation-buffer|bench|scaling|index|corpus|funnel|all]...
                    [--scale N] [--quick] [--json] [--label S]
 
 `bench` times the tasm_postorder hot path (candidates/s, ns/candidate,
@@ -24,10 +24,11 @@ peak heap, cascade prune rate); `scaling` times multi-query batching
 (one shared scan vs N independent scans) and sharded parallel scans
 (1/2/4 threads); `index` compares .pqi index-driven candidate
 generation against the full scan (nodes examined, identical rankings);
-`funnel` prints the per-tier prune funnel of the lower-bound cascade.
-With `--json`, bench, scaling and index append snapshots (named by
---label) to BENCH_tasm.json in the current directory — the perf
-trajectory.
+`corpus` times multi-shard corpus queries (healthy and degraded)
+against merged per-document runs; `funnel` prints the per-tier prune
+funnel of the lower-bound cascade. With `--json`, bench, scaling,
+index and corpus append snapshots (named by --label) to
+BENCH_tasm.json in the current directory — the perf trajectory.
 ";
 
 fn main() {
@@ -66,11 +67,12 @@ fn main() {
     if json
         && !which
             .iter()
-            .any(|w| w == "bench" || w == "scaling" || w == "index" || w == "all")
+            .any(|w| w == "bench" || w == "scaling" || w == "index" || w == "corpus" || w == "all")
     {
         which.push("bench".to_string());
         which.push("scaling".to_string());
         which.push("index".to_string());
+        which.push("corpus".to_string());
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = [
@@ -85,6 +87,7 @@ fn main() {
             "bench",
             "scaling",
             "index",
+            "corpus",
             "funnel",
         ]
         .iter()
@@ -134,6 +137,10 @@ fn main() {
                     out.as_deref(),
                     &format!("{label} (index)"),
                 );
+            }
+            "corpus" => {
+                let out = json.then(|| std::path::PathBuf::from(tasm_bench::report::BENCH_JSON));
+                harness::corpus_summary(&ctx, out.as_deref(), &format!("{label} (corpus)"));
             }
             other => {
                 eprintln!("unknown experiment '{other}'\n{USAGE}");

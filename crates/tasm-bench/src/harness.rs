@@ -1119,6 +1119,149 @@ pub fn index_summary(
     records
 }
 
+/// Corpus-store experiment: one query over a multi-shard on-disk
+/// corpus — healthy at 1 and 4 threads, degraded with a quarantined
+/// shard, and the merged per-document baseline the corpus path must
+/// reproduce. Each ranking is checked against the baseline before its
+/// timing is reported, so the numbers only ever describe correct runs.
+pub fn corpus_summary(
+    ctx: &Ctx,
+    json_out: Option<&Path>,
+    label: &str,
+) -> Vec<crate::report::BenchRecord> {
+    use crate::report::BenchRecord;
+    use tasm_core::tasm_corpus;
+    use tasm_index::Corpus;
+
+    let shards = 4usize;
+    let nodes = (800_000 / ctx.scale / shards).max(1_000);
+    println!(
+        "\n=== corpus: {shards}-shard store vs merged per-document runs ({nodes}-node shards) ==="
+    );
+    println!(
+        "{:>24} {:>9} {:>7} {:>4} {:>10} {:>8}",
+        "workload", "nodes", "healthy", "k", "seconds", "matches"
+    );
+
+    let dir = std::env::temp_dir().join(format!("tasm-bench-corpus-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let mut dict = LabelDict::new();
+    let mut builder = Corpus::create(&dir).expect("create corpus");
+    let mut total_nodes = 0usize;
+    for i in 0..shards {
+        let doc = dblp_tree(&mut dict, &DblpConfig::new(7 + i as u64, nodes));
+        total_nodes += doc.len();
+        builder
+            .add(&format!("doc-{i}"), &doc, &dict, None)
+            .expect("add shard");
+    }
+    drop(builder);
+    let query_src = dblp_tree(&mut dict, &DblpConfig::new(99, nodes));
+    let (query, _) = random_query(&query_src, 11, 0xC0DE);
+    let k = 10usize;
+    let tau = threshold(query.len() as u64, 1, 1, k as u64);
+
+    // The reference every corpus run must reproduce exactly: per-shard
+    // indexed runs merged on the corpus rank key.
+    let reference = |corpus: &Corpus| {
+        let mut merged = Vec::new();
+        for (shard, _, doc) in corpus.healthy() {
+            let (hits, _) = tasm_indexed_with_stats(
+                &query,
+                &dict,
+                doc,
+                k,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                1,
+                None,
+            );
+            merged.extend(
+                hits.into_iter()
+                    .map(|h| (h.distance, shard, h.root.post(), h.size)),
+            );
+        }
+        merged.sort();
+        merged.truncate(k);
+        merged
+    };
+
+    let mut records = Vec::new();
+    let run_one =
+        |records: &mut Vec<BenchRecord>, name: String, corpus: &Corpus, threads: usize| {
+            let want = reference(corpus);
+            let (matches, status) = tasm_corpus(
+                &query,
+                &dict,
+                corpus,
+                k,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                threads,
+            );
+            let got: Vec<_> = matches
+                .iter()
+                .map(|m| (m.hit.distance, m.shard, m.hit.root.post(), m.hit.size))
+                .collect();
+            assert_eq!(got, want, "{name}: corpus ranking diverged from the merge");
+            let seconds = (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(tasm_corpus(
+                        &query,
+                        &dict,
+                        corpus,
+                        k,
+                        &UnitCost,
+                        1,
+                        TasmOptions::default(),
+                        threads,
+                    ));
+                    t0.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min);
+            let r = BenchRecord {
+                name,
+                nodes: total_nodes,
+                query_size: query.len(),
+                k,
+                tau,
+                candidates: matches.len(),
+                seconds,
+                ..Default::default()
+            };
+            println!(
+                "{:>24} {:>9} {:>3}/{:<3} {:>4} {:>10.4} {:>8}",
+                r.name, r.nodes, status.healthy, status.total, r.k, r.seconds, r.candidates,
+            );
+            records.push(r);
+        };
+
+    let corpus = Corpus::open(&dir).expect("open corpus");
+    run_one(&mut records, "corpus healthy t1".into(), &corpus, 1);
+    run_one(&mut records, "corpus healthy t4".into(), &corpus, 4);
+
+    // Quarantine one shard by flipping a bit mid-file: the degraded run
+    // must still match the merge over the three survivors.
+    let victim = dir.join("doc-1.pqi");
+    let mut bytes = fs::read(&victim).expect("read shard");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    fs::write(&victim, &bytes).expect("corrupt shard");
+    let degraded = Corpus::open(&dir).expect("open degraded corpus");
+    assert!(degraded.is_degraded());
+    run_one(&mut records, "corpus degraded t1".into(), &degraded, 1);
+
+    let _ = fs::remove_dir_all(&dir);
+    if let Some(path) = json_out {
+        crate::report::write_json(path, label, ctx.scale, &records).expect("write bench json");
+        println!("wrote {} (snapshot \"{label}\")", path.display());
+    }
+    records
+}
+
 /// Per-tier prune-funnel table: how many subtree evaluations each tier
 /// of the lower-bound cascade kills on the recorded workloads, so
 /// future PRs can see which tier is earning its keep.

@@ -9,6 +9,8 @@
 //! * `candidates` — run the prefix-ring-buffer pruning and report stats
 //! * `index`  — build a label-indexed postorder file (`.pqi`) that
 //!   `query --index` answers from without scanning the document
+//! * `corpus` — crash-safe multi-document store: build/add/fsck/query a
+//!   directory of shards behind a checksummed manifest
 //! * `serve`  — resident query daemon over a Unix or TCP socket
 //! * `client` — line-protocol client for `serve`
 //!
@@ -21,6 +23,7 @@ mod args;
 mod errors;
 #[macro_use]
 mod output;
+mod corpus;
 mod serve;
 mod signal;
 
@@ -108,6 +111,28 @@ COMMANDS:
                 the index instead of scanning the whole document
                   --doc <file.xml|file.pq> --out <file.pqi>
 
+    corpus      Crash-safe multi-document store: a directory of .pqi
+                shards plus a versioned, checksummed MANIFEST, updated
+                atomically — a crash mid-update always leaves the
+                previous generation readable. Damaged shards are
+                quarantined, never fatal: queries answer from the
+                healthy shards with an explicit degraded marker
+                  corpus build --dir <d> --doc <name=f.xml> ...
+                                         initialize and index documents
+                  corpus add   --dir <d> --doc <name=f.xml> ...
+                                         index more documents
+                  corpus fsck  --dir <d> [--repair]
+                                         verify every shard (exit 2 when
+                                         any is quarantined); --repair
+                                         re-indexes damaged shards from
+                                         their recorded sources
+                  corpus query --dir <d> --query <f.xml> [--k <n>]
+                               [--threads <n>] [--kernel <name>]
+                               [--stats]
+                                         cross-document top-k over the
+                                         healthy shards (rows carry the
+                                         source document)
+
     serve       Resident query daemon: documents stay parsed, queries
                 multiplex onto the batch engine, failures stay contained
                 (per-request deadlines, BUSY load shedding, panic
@@ -116,6 +141,9 @@ COMMANDS:
                   --tcp <addr:port>      …or on TCP (mutually exclusive)
                   --doc <name=file.xml>  resident document (repeatable;
                                          name defaults to the file stem)
+                  --corpus <name=dir>    resident corpus served in
+                                         degraded mode when shards are
+                                         quarantined (repeatable)
                   --workers <n>          evaluation threads     [2]
                   --queue <n>            admission queue bound  [64]
                   --max-batch <n>        max shared-scan batch  [16]
@@ -132,15 +160,22 @@ COMMANDS:
                   --send <line>          request line (repeatable);
                                          without it, stdin is forwarded
                                          verbatim
+                  --retries <n>          honor BUSY retry-after-ms with
+                                         bounded jittered exponential
+                                         backoff (framed mode; needs
+                                         --send)                [0]
+                  --max-backoff-ms <n>   backoff ceiling        [2000]
 
     help        Show this message
 
 PROTOCOL (serve/client, newline-delimited):
     PING                                  -> PONG
     DOCS                                  -> DOCS <n>, rows, END
-    QUERY doc=<name> [k=<n>] [timeout=<ms>] q=<xml>
-                                          -> OK <n>, '<rank> <node>
-                                             <distance> <size>' rows, END
+    QUERY doc=<name> [k=<n>] [timeout=<ms>] [stats=1] q=<xml>
+                                          -> OK <n>[ degraded=<h>/<t>],
+                                             '<rank> <node> <distance>
+                                             <size>[ <doc>]' rows,
+                                             optional STATS line, END
     SHUTDOWN                              -> OK draining
     errors: ERR <proto|parse|doc|timeout|internal> <message>
     overload: BUSY retry-after-ms=<n>
@@ -156,6 +191,7 @@ fn main() -> ExitCode {
         Some("candidates") => cmd_candidates(&args),
         Some("convert") => cmd_convert(&args),
         Some("index") => cmd_index(&args),
+        Some("corpus") => corpus::cmd_corpus(&args),
         Some("serve") => serve::cmd_serve(&args),
         Some("client") => serve::cmd_client(&args),
         Some("help") | None => {
@@ -258,6 +294,11 @@ fn check_pq_complete<R: std::io::Read>(
             reader.remaining_nodes(),
             reader.total_nodes()
         )));
+    }
+    // Entry count intact but the trailer disagrees: bit rot inside the
+    // node stream (v1 CRC trailer, satellite of the corpus-store PR).
+    if let Some(msg) = reader.integrity_error() {
+        return Err(CliError::Runtime(format!("{doc_path}: {msg}")));
     }
     Ok(())
 }
@@ -526,7 +567,10 @@ fn cmd_query(args: &Args) -> Result<(), CliError> {
 
 /// Prints the scan-layer counters and the per-tier pruning funnel of a
 /// run (shared by single, batch and parallel `query` invocations).
-fn print_scan_stats<W: Write>(out: &mut output::Out<W>, scan: &ScanStats) -> Result<(), CliError> {
+pub(crate) fn print_scan_stats<W: Write>(
+    out: &mut output::Out<W>,
+    scan: &ScanStats,
+) -> Result<(), CliError> {
     wln!(
         out,
         "# scan: {} candidates from {} nodes (peak ring buffer {})",

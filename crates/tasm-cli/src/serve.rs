@@ -1,7 +1,7 @@
 //! The `serve` and `client` subcommands: the resident query daemon and
 //! a minimal line-protocol client for scripts and tests.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -12,11 +12,12 @@ use crate::args::Args;
 use crate::errors::{CliError, UsageExt};
 use crate::output::Out;
 use tasm_core::{Doc, DocStore, QueryParser, Server, ServerConfig};
+use tasm_index::Corpus;
 use tasm_tree::LabelDict;
 
 /// Derives the document alias from `--doc <name=path>` (or the file
-/// stem when no `name=` is given).
-fn doc_alias(value: &str) -> (String, &str) {
+/// stem when no `name=` is given). Shared with `corpus build/add`.
+pub(crate) fn doc_alias(value: &str) -> (String, &str) {
     if let Some((name, path)) = value.split_once('=') {
         if !name.is_empty() {
             return (name.to_string(), path);
@@ -73,21 +74,43 @@ fn build_config(args: &Args) -> Result<ServerConfig, CliError> {
 pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let mut store = DocStore::new();
     for (name, value) in &args.options {
-        if name != "doc" {
-            continue;
+        match name.as_str() {
+            "doc" => {
+                let (alias, path) = doc_alias(value);
+                let mut dict = LabelDict::new();
+                let tree = crate::load_xml(path, &mut dict)?;
+                eprintln!(
+                    "tasm serve: loaded doc '{alias}': {} nodes from {path}",
+                    tree.len()
+                );
+                store.insert(Doc::new(alias, tree, dict));
+            }
+            "corpus" => {
+                // A damaged corpus still serves: healthy shards answer,
+                // the protocol carries the degraded marker, and the
+                // operator sees the quarantine reasons here at startup.
+                let (alias, path) = doc_alias(value);
+                let corpus =
+                    Corpus::open(path).map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+                for r in corpus.quarantined() {
+                    eprintln!(
+                        "tasm serve: warning: corpus '{alias}' quarantined '{}': {}",
+                        r.name, r.error
+                    );
+                }
+                eprintln!(
+                    "tasm serve: loaded corpus '{alias}': {}/{} shard(s) healthy from {path}",
+                    corpus.healthy_count(),
+                    corpus.total_shards()
+                );
+                store.insert(Doc::new_corpus(alias, Arc::new(corpus)));
+            }
+            _ => {}
         }
-        let (alias, path) = doc_alias(value);
-        let mut dict = LabelDict::new();
-        let tree = crate::load_xml(path, &mut dict)?;
-        eprintln!(
-            "tasm serve: loaded doc '{alias}': {} nodes from {path}",
-            tree.len()
-        );
-        store.insert(Doc::new(alias, tree, dict));
     }
     if store.is_empty() {
         return Err(CliError::Usage(
-            "serve needs at least one --doc <name=file.xml> (or --doc file.xml)".into(),
+            "serve needs at least one --doc <name=file.xml> or --corpus <name=dir>".into(),
         ));
     }
     let cfg = build_config(args)?;
@@ -165,14 +188,31 @@ fn finish(clean: bool) -> Result<(), CliError> {
 /// newline, which is how the truncated-request path is exercised).
 /// The client transports; it does not interpret. Server-side `ERR`/
 /// `BUSY` lines still exit 0 — scripts branch on the response text.
+///
+/// With `--retries <n>` the client switches to *framed* mode: each
+/// `--send` request is written and its response read before the next,
+/// and a `BUSY retry-after-ms=<t>` answer is retried up to `n` times
+/// with bounded, jittered exponential backoff starting from the
+/// server's hint (capped by `--max-backoff-ms`). Exhausted retries
+/// surface the final `BUSY` line verbatim — still exit 0.
 pub fn cmd_client(args: &Args) -> Result<(), CliError> {
     let sends: Vec<&str> = args.get_all("send");
+    let retries: u32 = args.get_num("retries", 0).usage()?;
+    let max_backoff_ms: u64 = args.get_num("max-backoff-ms", 2000).usage()?;
+    if retries > 0 && sends.is_empty() {
+        return Err(CliError::Usage(
+            "--retries reads one response per request (framed mode) and needs --send <line>".into(),
+        ));
+    }
     match (args.get("socket"), args.get("tcp")) {
         (Some(path), None) => {
             #[cfg(unix)]
             {
                 let stream = UnixStream::connect(path)
                     .map_err(|e| CliError::Runtime(format!("connect {path}: {e}")))?;
+                if retries > 0 {
+                    return run_client_framed(stream, &sends, retries, max_backoff_ms);
+                }
                 let shutdown = |s: &UnixStream| s.shutdown(std::net::Shutdown::Write);
                 run_client(stream, shutdown, &sends)
             }
@@ -187,6 +227,9 @@ pub fn cmd_client(args: &Args) -> Result<(), CliError> {
         (None, Some(addr)) => {
             let stream = TcpStream::connect(addr)
                 .map_err(|e| CliError::Runtime(format!("connect {addr}: {e}")))?;
+            if retries > 0 {
+                return run_client_framed(stream, &sends, retries, max_backoff_ms);
+            }
             let shutdown = |s: &TcpStream| s.shutdown(std::net::Shutdown::Write);
             run_client(stream, shutdown, &sends)
         }
@@ -197,6 +240,103 @@ pub fn cmd_client(args: &Args) -> Result<(), CliError> {
             "--socket and --tcp are mutually exclusive".into(),
         )),
     }
+}
+
+/// One response line, without the trailing newline. EOF mid-response is
+/// a transport error in framed mode — the server never half-answers.
+fn read_line<S: Read>(stream: &mut BufReader<S>) -> Result<String, CliError> {
+    let mut line = String::new();
+    let n = stream
+        .read_line(&mut line)
+        .map_err(|e| CliError::Runtime(format!("receive: {e}")))?;
+    if n == 0 {
+        return Err(CliError::Runtime(
+            "receive: connection closed mid-response".into(),
+        ));
+    }
+    if line.ends_with('\n') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Whether a response head opens a multi-line body (`OK <n>` / `DOCS
+/// <n>` rows up to `END`). `OK draining` and every `ERR`/`BUSY`/`PONG`
+/// is a single line.
+fn is_multiline(head: &str) -> bool {
+    let mut toks = head.split_whitespace();
+    matches!(toks.next(), Some("OK") | Some("DOCS"))
+        && toks.next().is_some_and(|n| n.parse::<u64>().is_ok())
+}
+
+/// The server's `retry-after-ms=<t>` hint, scaled exponentially by the
+/// attempt number, capped, and jittered into `[cap/2, cap]` so a burst
+/// of shed clients does not reconverge on the same instant.
+fn backoff_ms(retry_after: u64, attempt: u32, max_backoff_ms: u64, rng: &mut u64) -> u64 {
+    let cap = retry_after
+        .max(1)
+        .saturating_mul(1u64 << attempt.min(16))
+        .min(max_backoff_ms.max(1));
+    *rng = rng
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let span = cap - cap / 2 + 1;
+    cap / 2 + (*rng >> 33) % span
+}
+
+/// Framed client: per-request request/response cycles over one
+/// connection, honoring `BUSY retry-after-ms` with bounded backoff.
+fn run_client_framed<S: Read + Write>(
+    stream: S,
+    sends: &[&str],
+    retries: u32,
+    max_backoff_ms: u64,
+) -> Result<(), CliError> {
+    let mut stream = BufReader::new(stream);
+    let mut out = Out::new(std::io::stdout());
+    // Small LCG for jitter: no rand dependency, seeded per process.
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ u64::from(std::process::id());
+    for line in sends {
+        let mut attempt = 0u32;
+        loop {
+            stream
+                .get_mut()
+                .write_all(line.as_bytes())
+                .and_then(|()| stream.get_mut().write_all(b"\n"))
+                .and_then(|()| stream.get_mut().flush())
+                .map_err(|e| CliError::Runtime(format!("send: {e}")))?;
+            let head = read_line(&mut stream)?;
+            if let Some(rest) = head.strip_prefix("BUSY") {
+                if attempt < retries {
+                    let retry_after = rest
+                        .split_whitespace()
+                        .find_map(|tok| tok.strip_prefix("retry-after-ms="))
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or(100);
+                    let delay = backoff_ms(retry_after, attempt, max_backoff_ms, &mut rng);
+                    attempt += 1;
+                    eprintln!("tasm client: BUSY, retry {attempt}/{retries} in {delay}ms");
+                    std::thread::sleep(Duration::from_millis(delay));
+                    continue;
+                }
+                // Retries exhausted: fall through and report the BUSY.
+            }
+            out.raw(head.as_bytes())?;
+            out.raw(b"\n")?;
+            if is_multiline(&head) {
+                loop {
+                    let row = read_line(&mut stream)?;
+                    out.raw(row.as_bytes())?;
+                    out.raw(b"\n")?;
+                    if row == "END" {
+                        break;
+                    }
+                }
+            }
+            break;
+        }
+    }
+    out.flush()
 }
 
 fn run_client<S: Read + Write>(
@@ -249,5 +389,32 @@ mod tests {
             ("corpus".into(), "/data/corpus.xml")
         );
         assert_eq!(doc_alias("plain.pq"), ("plain".into(), "plain.pq"));
+    }
+
+    #[test]
+    fn framing_distinguishes_single_and_multi_line_heads() {
+        assert!(is_multiline("OK 3"));
+        assert!(is_multiline("OK 0 degraded=1/2"));
+        assert!(is_multiline("DOCS 2"));
+        assert!(!is_multiline("OK draining"));
+        assert!(!is_multiline("PONG"));
+        assert!(!is_multiline("ERR doc unknown document"));
+        assert!(!is_multiline("BUSY retry-after-ms=100"));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_respects_the_cap() {
+        let mut rng = 42u64;
+        for attempt in 0..20 {
+            let cap = 50u64.saturating_mul(1 << attempt.min(16)).min(1000);
+            let d = backoff_ms(50, attempt, 1000, &mut rng);
+            assert!(
+                d >= cap / 2 && d <= cap,
+                "attempt {attempt}: {d} vs cap {cap}"
+            );
+        }
+        // Degenerate hints stay sane.
+        assert!(backoff_ms(0, 0, 1000, &mut rng) <= 1);
+        assert!(backoff_ms(500, 30, 200, &mut rng) <= 200);
     }
 }

@@ -67,6 +67,102 @@ fn client(socket: &Path, sends: &[&str]) -> Output {
 }
 
 #[test]
+fn busy_retry_client_rides_out_a_burst() {
+    let doc = gen_doc("burst");
+    // One worker, one queue slot: the third concurrent request is shed.
+    let socket = tmp("burst.sock");
+    let _ = std::fs::remove_file(&socket);
+    let mut daemon = tasm_bin()
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--doc",
+            &format!("d={}", doc.display()),
+            "--workers",
+            "1",
+            "--queue",
+            "1",
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while UnixStream::connect(&socket).is_err() {
+        assert!(Instant::now() < deadline, "daemon never became ready");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Saturate: the worker stalls on one request, the queue holds one.
+    let s1 = socket.clone();
+    let t1 = std::thread::spawn(move || {
+        client(
+            &s1,
+            &["QUERY doc=d k=1 timeout=5000 q=<__fault_sleep_400__/>"],
+        )
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let s2 = socket.clone();
+    let t2 = std::thread::spawn(move || {
+        client(
+            &s2,
+            &["QUERY doc=d k=1 timeout=5000 q=<__fault_sleep_400__/>"],
+        )
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A retry-less client is shed verbatim — the legacy contract.
+    let out = client(&socket, &["QUERY doc=d k=1 q=<article/>"]);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("BUSY retry-after-ms="), "{text}");
+
+    // The framed client honors the hint, backs off, and rides it out.
+    let out = tasm_bin()
+        .args([
+            "client",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--retries",
+            "15",
+            "--max-backoff-ms",
+            "250",
+            "--send",
+            "QUERY doc=d k=2 q=<article/>",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("OK 2"),
+        "retries should end in success: {text}"
+    );
+    assert!(!text.contains("BUSY"), "{text}");
+    let notes = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        notes.contains("BUSY, retry"),
+        "the burst should shed the client at least once: {notes}"
+    );
+
+    assert!(t1.join().unwrap().status.success());
+    assert!(t2.join().unwrap().status.success());
+    let out = client(&socket, &["SHUTDOWN"]);
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("OK draining"));
+    let deadline = Instant::now() + Duration::from_secs(8);
+    loop {
+        if daemon.try_wait().unwrap().is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "daemon did not exit");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&doc);
+}
+
+#[test]
 fn sigterm_mid_request_drains_and_exits_0() {
     let doc = gen_doc("drain");
     let (mut daemon, socket) = start_daemon("drain", &doc);

@@ -1,0 +1,392 @@
+//! Cross-document top-k over a [`Corpus`]: every healthy shard answers
+//! through the index-backed path
+//! ([`tasm_indexed_batch`](crate::tasm_indexed_batch)), and the
+//! per-shard rankings merge into one corpus-wide top-k per query.
+//!
+//! # Degraded mode is explicit, never silent
+//!
+//! A corpus opened with quarantined shards still answers: the healthy
+//! shards are queried normally and the result carries a
+//! [`CorpusStatus`] stating exactly how many shards participated.
+//! Callers (the CLI's `--stats`, the daemon's `OK`/`STATS` lines)
+//! surface the `healthy/total` marker so a degraded answer can never be
+//! mistaken for a complete one.
+//!
+//! # Determinism
+//!
+//! Within a shard the rank key `(distance, postorder, size)` is a total
+//! order; across shards postorder numbers collide, so the corpus rank
+//! key inserts the manifest shard index: `(distance, shard, postorder,
+//! size)`. The merge is a plain sort on that key truncated to `k` —
+//! independent of shard evaluation order and thread count, and
+//! byte-identical to concatenating per-document
+//! [`tasm_indexed`](crate::tasm_indexed) runs and sorting (pinned by
+//! `tests/corpus_differential.rs`).
+
+use crate::batch::BatchQuery;
+use crate::engine::ScanStats;
+use crate::indexed::tasm_indexed_batch_with_stats;
+use crate::ranking::Match;
+use crate::server::deadline::{Deadline, DeadlineExceeded};
+use crate::tasm_dynamic::TasmOptions;
+use tasm_index::Corpus;
+use tasm_ted::{CostModel, TedStats};
+use tasm_tree::{LabelDict, Tree};
+
+/// One corpus-level match: a [`Match`] plus which document it came from.
+#[derive(Debug, Clone)]
+pub struct CorpusMatch {
+    /// Document (shard) name the subtree was found in.
+    pub doc: String,
+    /// Shard index in manifest order (the rank-key tiebreaker).
+    pub shard: usize,
+    /// The match inside that document (root postorder, size, distance).
+    pub hit: Match,
+}
+
+/// How much of the corpus answered: `healthy` of `total` shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusStatus {
+    /// Shards that passed verification and were queried.
+    pub healthy: usize,
+    /// Shards listed by the manifest.
+    pub total: usize,
+}
+
+impl CorpusStatus {
+    /// Whether any shard was quarantined — the answer misses whatever
+    /// the damaged shards contained.
+    pub fn is_degraded(&self) -> bool {
+        self.healthy < self.total
+    }
+
+    /// The `healthy/total` marker surfaced by `--stats` and the daemon.
+    pub fn marker(&self) -> String {
+        format!("{}/{}", self.healthy, self.total)
+    }
+}
+
+/// Full result of a stats-carrying corpus batch: per-query rankings,
+/// corpus health, the merged [`ScanStats`] funnel, and the per-query
+/// funnels in query order.
+pub type CorpusBatchOutput = (
+    Vec<Vec<CorpusMatch>>,
+    CorpusStatus,
+    ScanStats,
+    Vec<ScanStats>,
+);
+
+/// Corpus-wide top-`k` for one query: every healthy shard of `corpus`
+/// answers via the `.pqi` index, merged on the deterministic corpus
+/// rank key. See the module docs for the degraded-mode contract.
+///
+/// `src_dict` is the dictionary `query` was parsed with (any dictionary
+/// works — each shard re-encodes the query into its own label space).
+#[allow(clippy::too_many_arguments)]
+pub fn tasm_corpus(
+    query: &Tree,
+    src_dict: &LabelDict,
+    corpus: &Corpus,
+    k: usize,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+) -> (Vec<CorpusMatch>, CorpusStatus) {
+    let queries = [BatchQuery { query, k }];
+    let (mut rankings, status, _, _) =
+        tasm_corpus_batch_with_stats(&queries, src_dict, corpus, model, c_t, opts, threads, None);
+    (rankings.pop().expect("one lane"), status)
+}
+
+/// Batch composition of [`tasm_corpus`]: every query of `queries` is
+/// answered over every healthy shard, sharing each shard's candidate
+/// pass across the whole batch.
+#[allow(clippy::too_many_arguments)]
+pub fn tasm_corpus_batch(
+    queries: &[BatchQuery<'_>],
+    src_dict: &LabelDict,
+    corpus: &Corpus,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+) -> (Vec<Vec<CorpusMatch>>, CorpusStatus) {
+    let (rankings, status, _, _) =
+        tasm_corpus_batch_with_stats(queries, src_dict, corpus, model, c_t, opts, threads, None);
+    (rankings, status)
+}
+
+/// As [`tasm_corpus_batch`], but also returning the merged [`ScanStats`]
+/// funnel (summed over shards) and the per-query funnels in query order.
+#[allow(clippy::too_many_arguments)]
+pub fn tasm_corpus_batch_with_stats(
+    queries: &[BatchQuery<'_>],
+    src_dict: &LabelDict,
+    corpus: &Corpus,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+    stats: Option<&mut TedStats>,
+) -> CorpusBatchOutput {
+    tasm_corpus_batch_deadline_with_stats(
+        queries,
+        src_dict,
+        corpus,
+        model,
+        c_t,
+        opts,
+        threads,
+        stats,
+        &Deadline::none(),
+    )
+    .expect("no deadline to exceed")
+}
+
+/// As [`tasm_corpus_batch_with_stats`], polling `deadline` between
+/// shards: a corpus query that cannot finish in time fails with
+/// [`DeadlineExceeded`] instead of stalling the caller. The granularity
+/// is one shard — the per-shard index pass itself is not interrupted.
+#[allow(clippy::too_many_arguments)]
+pub fn tasm_corpus_batch_deadline_with_stats(
+    queries: &[BatchQuery<'_>],
+    src_dict: &LabelDict,
+    corpus: &Corpus,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+    mut stats: Option<&mut TedStats>,
+    deadline: &Deadline,
+) -> Result<CorpusBatchOutput, DeadlineExceeded> {
+    let status = CorpusStatus {
+        healthy: corpus.healthy_count(),
+        total: corpus.total_shards(),
+    };
+    if queries.is_empty() {
+        return Ok((Vec::new(), status, ScanStats::default(), Vec::new()));
+    }
+    let mut merged: Vec<Vec<CorpusMatch>> = (0..queries.len()).map(|_| Vec::new()).collect();
+    let mut scan = ScanStats::default();
+    let mut lane_scans = vec![ScanStats::default(); queries.len()];
+    for (shard, name, doc) in corpus.healthy() {
+        if deadline.expired_now() {
+            return Err(DeadlineExceeded);
+        }
+        let (rankings, shard_scan, shard_lanes) = tasm_indexed_batch_with_stats(
+            queries,
+            src_dict,
+            doc,
+            model,
+            c_t,
+            opts,
+            threads,
+            stats.as_deref_mut(),
+        );
+        scan.merge(&shard_scan);
+        for (lane, shard_lane) in lane_scans.iter_mut().zip(&shard_lanes) {
+            lane.merge(shard_lane);
+        }
+        for (lane, ranking) in merged.iter_mut().zip(rankings) {
+            lane.extend(ranking.into_iter().map(|hit| CorpusMatch {
+                doc: name.to_string(),
+                shard,
+                hit,
+            }));
+        }
+    }
+    for (lane, bq) in merged.iter_mut().zip(queries) {
+        lane.sort_by(|a, b| {
+            (a.hit.distance, a.shard, a.hit.root.post(), a.hit.size).cmp(&(
+                b.hit.distance,
+                b.shard,
+                b.hit.root.post(),
+                b.hit.size,
+            ))
+        });
+        lane.truncate(bq.k);
+    }
+    Ok((merged, status, scan, lane_scans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexed::tasm_indexed;
+    use std::fs;
+    use std::path::PathBuf;
+    use tasm_ted::UnitCost;
+    use tasm_tree::bracket;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tasm-core-corpus-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn build_corpus(dir: &PathBuf) -> Corpus {
+        let mut corpus = Corpus::create(dir).unwrap();
+        let docs = [
+            (
+                "a",
+                "{dblp{article{auth{John}}{title{X1}}}{book{title{X2}}}}",
+            ),
+            ("b", "{dblp{article{auth{Mike}}{title{X3}}{year}}}"),
+            (
+                "c",
+                "{lib{proceedings{conf{VLDB}}}{article{auth{John}}{title{X9}}}}",
+            ),
+        ];
+        for (name, src) in docs {
+            let mut dict = LabelDict::new();
+            let tree = bracket::parse(src, &mut dict).unwrap();
+            corpus.add(name, &tree, &dict, None).unwrap();
+        }
+        corpus
+    }
+
+    fn key(ms: &[CorpusMatch]) -> Vec<(String, u32, u64, u32)> {
+        ms.iter()
+            .map(|m| {
+                (
+                    m.doc.clone(),
+                    m.hit.root.post(),
+                    m.hit.distance.halves(),
+                    m.hit.size,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corpus_ranking_merges_per_document_runs() {
+        let dir = tmp_dir("merge");
+        let corpus = build_corpus(&dir);
+        let mut qdict = LabelDict::new();
+        let q = bracket::parse("{article{auth{John}}{title{X1}}}", &mut qdict).unwrap();
+        let k = 4;
+        let (got, status) = tasm_corpus(
+            &q,
+            &qdict,
+            &corpus,
+            k,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            1,
+        );
+        assert!(!status.is_degraded());
+        assert_eq!(status.marker(), "3/3");
+        assert_eq!(got.len(), k);
+
+        // Reference: per-document tasm_indexed runs, concatenated and
+        // sorted on the corpus rank key.
+        let mut want: Vec<CorpusMatch> = Vec::new();
+        for (shard, name, doc) in corpus.healthy() {
+            let hits = tasm_indexed(&q, &qdict, doc, k, &UnitCost, 1, TasmOptions::default(), 1);
+            want.extend(hits.into_iter().map(|hit| CorpusMatch {
+                doc: name.to_string(),
+                shard,
+                hit,
+            }));
+        }
+        want.sort_by_key(|m| (m.hit.distance, m.shard, m.hit.root.post(), m.hit.size));
+        want.truncate(k);
+        assert_eq!(key(&got), key(&want));
+        // The best hit is the exact match in document "a".
+        assert_eq!(got[0].doc, "a");
+        assert_eq!(got[0].hit.distance.halves(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantined_shards_degrade_but_keep_healthy_rankings() {
+        let dir = tmp_dir("degraded");
+        drop(build_corpus(&dir));
+        let mut qdict = LabelDict::new();
+        let q = bracket::parse("{article{auth{John}}{title{X1}}}", &mut qdict).unwrap();
+        // Corrupt shard b; the other shards' results must be identical
+        // to merged per-document runs over just the healthy shards.
+        let shard = dir.join("b.pqi");
+        let mut bytes = fs::read(&shard).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&shard, &bytes).unwrap();
+        let corpus = Corpus::open(&dir).unwrap();
+        let (got, status) = tasm_corpus(
+            &q,
+            &qdict,
+            &corpus,
+            6,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            1,
+        );
+        assert!(status.is_degraded());
+        assert_eq!(status.marker(), "2/3");
+        let mut want: Vec<CorpusMatch> = Vec::new();
+        for (shard, name, doc) in corpus.healthy() {
+            let hits = tasm_indexed(&q, &qdict, doc, 6, &UnitCost, 1, TasmOptions::default(), 1);
+            want.extend(hits.into_iter().map(|hit| CorpusMatch {
+                doc: name.to_string(),
+                shard,
+                hit,
+            }));
+        }
+        want.sort_by_key(|m| (m.hit.distance, m.shard, m.hit.root.post(), m.hit.size));
+        want.truncate(6);
+        let got_key = key(&got);
+        assert_eq!(got_key, key(&want));
+        assert!(got_key.iter().all(|(doc, ..)| doc != "b"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_corpus_answers_empty() {
+        let dir = tmp_dir("empty");
+        let corpus = Corpus::create(&dir).unwrap();
+        let mut qdict = LabelDict::new();
+        let q = bracket::parse("{a{b}}", &mut qdict).unwrap();
+        let (got, status) = tasm_corpus(
+            &q,
+            &qdict,
+            &corpus,
+            3,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            1,
+        );
+        assert!(got.is_empty());
+        assert_eq!(status.marker(), "0/0");
+        assert!(!status.is_degraded());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_fails_between_shards() {
+        let dir = tmp_dir("deadline");
+        let corpus = build_corpus(&dir);
+        let mut qdict = LabelDict::new();
+        let q = bracket::parse("{a{b}}", &mut qdict).unwrap();
+        let queries = [BatchQuery { query: &q, k: 2 }];
+        let deadline = Deadline::after(std::time::Duration::from_millis(0));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let got = tasm_corpus_batch_deadline_with_stats(
+            &queries,
+            &qdict,
+            &corpus,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            1,
+            None,
+            &deadline,
+        );
+        assert!(got.is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

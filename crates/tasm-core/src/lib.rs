@@ -29,7 +29,13 @@
 //!   generation from a persistent `.pqi` label index
 //!   ([`IndexedDocument`](tasm_index::IndexedDocument)): candidate
 //!   regions come from the subtree-size column and the label postings
-//!   bound each region before it is ever materialized.
+//!   bound each region before it is ever materialized;
+//! * [`tasm_corpus`] / [`tasm_corpus_batch`] — cross-document top-k
+//!   over a crash-safe corpus store ([`Corpus`](tasm_index::Corpus)):
+//!   every healthy shard answers via the index path and the per-shard
+//!   rankings merge on a deterministic corpus rank key, with
+//!   quarantined shards surfaced as an explicit `healthy/total`
+//!   degraded marker ([`CorpusStatus`]).
 //!
 //! Between the scan and every evaluation sits the admissible
 //! lower-bound **pruning cascade**
@@ -65,6 +71,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod corpus;
 mod engine;
 mod indexed;
 mod lane;
@@ -83,6 +90,10 @@ mod workspace;
 pub use batch::{
     tasm_batch, tasm_batch_deadline_with_workspace, tasm_batch_with_workspace, BatchQuery,
     BatchWorkspace,
+};
+pub use corpus::{
+    tasm_corpus, tasm_corpus_batch, tasm_corpus_batch_deadline_with_stats,
+    tasm_corpus_batch_with_stats, CorpusMatch, CorpusStatus,
 };
 pub use engine::{CandidateSink, ScanEngine, ScanStats};
 pub use indexed::{

@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use super::conn::ResponseSlot;
 use super::Doc;
-use tasm_tree::Tree;
+use tasm_tree::{LabelDict, Tree};
 
 /// One admitted query waiting for (or undergoing) evaluation.
 pub(crate) struct PendingRequest {
@@ -33,12 +33,18 @@ pub(crate) struct PendingRequest {
     pub(crate) doc: Arc<Doc>,
     /// The query, parsed into the document's label space.
     pub(crate) query: Tree,
+    /// The document dictionary extended with the query's own labels —
+    /// the label space `query` actually lives in (corpus evaluation
+    /// re-encodes per shard from here).
+    pub(crate) dict: LabelDict,
     /// Ranking size (validated `>= 1` at the connection layer).
     pub(crate) k: usize,
     /// The effective deadline duration, for error messages.
     pub(crate) timeout_ms: u64,
     /// Absolute expiry instant, fixed at admission.
     pub(crate) deadline_at: Instant,
+    /// Whether the client asked for the `STATS` line (`stats=1`).
+    pub(crate) stats: bool,
     /// The query root's label name (fault-injection hook + log line).
     pub(crate) root_label: String,
     /// The original request line, logged verbatim when evaluation
@@ -228,9 +234,11 @@ mod tests {
         PendingRequest {
             doc: doc.clone(),
             query,
+            dict,
             k: 1,
             timeout_ms: 1000,
             deadline_at: Instant::now() + Duration::from_secs(1),
+            stats: false,
             root_label: "a".into(),
             raw: "QUERY doc=d k=1 q={a}".into(),
             slot: ResponseSlot::new(),

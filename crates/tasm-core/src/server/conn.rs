@@ -11,7 +11,7 @@
 //! ```text
 //! PING
 //! DOCS
-//! QUERY doc=<name> [k=<n>] [timeout=<ms>] q=<query to end of line>
+//! QUERY doc=<name> [k=<n>] [timeout=<ms>] [stats=1] q=<query to end of line>
 //! SHUTDOWN
 //! ```
 //!
@@ -24,6 +24,15 @@
 //! BUSY retry-after-ms=<n>
 //! ERR <kind> <message>     kind ∈ {proto, parse, doc, timeout, internal}
 //! ```
+//!
+//! Corpus documents extend the ranking shape without changing it for
+//! tree documents: each match row carries the source document name as a
+//! fifth column, and when shards are quarantined the `OK` line carries
+//! an explicit `degraded=<healthy>/<total>` marker — a degraded answer
+//! is never silent. With `stats=1` the response also carries one
+//! `STATS key=value ...` line (the [`ScanStats`] funnel, plus
+//! `shards=<healthy>/<total>` for corpus queries) immediately before
+//! `END`.
 //!
 //! Failure discipline: a malformed line gets `ERR proto` and the
 //! connection keeps serving (one bad request must not cost the client
@@ -42,6 +51,7 @@ use std::time::{Duration, Instant};
 
 use super::admission::{Admission, PendingRequest};
 use super::{DocStore, QueryParser, ServerConfig};
+use crate::engine::ScanStats;
 use tasm_ted::Cost;
 
 /// A duplex byte stream the daemon can serve: cloneable into separate
@@ -81,13 +91,60 @@ pub(crate) struct Row {
     pub(crate) distance: Cost,
     /// Node count of the matched subtree.
     pub(crate) size: u32,
+    /// Corpus queries: the document the match came from (the fifth
+    /// column of the row; tree queries omit it).
+    pub(crate) doc: Option<String>,
+}
+
+/// Per-request statistics sent on the `STATS` line when the client
+/// asked with `stats=1`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WireStats {
+    /// The scan/pruning funnel of this request's evaluation.
+    pub(crate) scan: ScanStats,
+    /// Corpus queries: `(healthy, total)` shard count — rendered as
+    /// `shards=h/t` whether or not the corpus is degraded.
+    pub(crate) shards: Option<(usize, usize)>,
+}
+
+impl WireStats {
+    fn render(&self) -> String {
+        let s = &self.scan;
+        let mut line = format!(
+            "STATS candidates={} nodes_seen={} peak_buffered={} pruned_size={} \
+             pruned_histogram={} pruned_sed={} evaluated={} evaluated_zs={} \
+             evaluated_strategy={}",
+            s.candidates,
+            s.nodes_seen,
+            s.peak_buffered,
+            s.pruned_size,
+            s.pruned_histogram,
+            s.pruned_sed,
+            s.evaluated,
+            s.evaluated_zs,
+            s.evaluated_strategy,
+        );
+        if let Some((healthy, total)) = self.shards {
+            line.push_str(&format!(" shards={healthy}/{total}"));
+        }
+        line
+    }
 }
 
 /// What a worker hands back for one request.
 #[derive(Debug, Clone)]
 pub(crate) enum Response {
     /// A complete ranking (possibly shorter than `k` on small documents).
-    Ranking(Vec<Row>),
+    Ranking {
+        /// The ranked matches, best first.
+        rows: Vec<Row>,
+        /// `Some((healthy, total))` when a corpus answered degraded:
+        /// the `OK` line carries the marker so the partial coverage is
+        /// explicit on the wire.
+        degraded: Option<(usize, usize)>,
+        /// Present iff the request asked with `stats=1`.
+        stats: Option<WireStats>,
+    },
     /// The request ran past its deadline; no partial ranking exists.
     Timeout {
         /// The deadline the request was admitted under, for the error text.
@@ -163,6 +220,7 @@ enum Request {
         doc: String,
         k: usize,
         timeout_ms: Option<u64>,
+        stats: bool,
         q: String,
     },
 }
@@ -193,6 +251,7 @@ fn parse_request(line: &str) -> Result<Request, String> {
             let mut doc = None;
             let mut k = 5usize;
             let mut timeout_ms = None;
+            let mut stats = false;
             for tok in head.split_whitespace() {
                 match tok.split_once('=') {
                     Some(("doc", v)) if !v.is_empty() => doc = Some(v.to_string()),
@@ -207,6 +266,13 @@ fn parse_request(line: &str) -> Result<Request, String> {
                             .map_err(|_| format!("timeout must be milliseconds, got '{v}'"))?;
                         timeout_ms = Some(ms);
                     }
+                    Some(("stats", v)) => {
+                        stats = match v {
+                            "1" => true,
+                            "0" => false,
+                            _ => return Err(format!("stats must be 0 or 1, got '{v}'")),
+                        };
+                    }
                     _ => return Err(format!("unknown QUERY parameter '{tok}'")),
                 }
             }
@@ -215,6 +281,7 @@ fn parse_request(line: &str) -> Result<Request, String> {
                 doc,
                 k,
                 timeout_ms,
+                stats,
                 q,
             })
         }
@@ -232,13 +299,26 @@ fn send(writer: &mut impl Write, line: &str) -> io::Result<()> {
 
 fn write_response(writer: &mut impl Write, resp: Response) -> io::Result<()> {
     match resp {
-        Response::Ranking(rows) => {
-            send(writer, &format!("OK {}", rows.len()))?;
+        Response::Ranking {
+            rows,
+            degraded,
+            stats,
+        } => {
+            let mut head = format!("OK {}", rows.len());
+            if let Some((healthy, total)) = degraded {
+                head.push_str(&format!(" degraded={healthy}/{total}"));
+            }
+            send(writer, &head)?;
             for (rank, row) in rows.iter().enumerate() {
-                send(
-                    writer,
-                    &format!("{} {} {} {}", rank + 1, row.root, row.distance, row.size),
-                )?;
+                let mut line = format!("{} {} {} {}", rank + 1, row.root, row.distance, row.size);
+                if let Some(doc) = &row.doc {
+                    line.push(' ');
+                    line.push_str(doc);
+                }
+                send(writer, &line)?;
+            }
+            if let Some(stats) = stats {
+                send(writer, &stats.render())?;
             }
             send(writer, "END")
         }
@@ -329,8 +409,9 @@ pub(crate) fn serve_lines<R: BufRead, W: Write>(mut reader: R, mut writer: W, ct
                 doc,
                 k,
                 timeout_ms,
+                stats,
                 q,
-            } => handle_query(&mut writer, &ctx, &doc, k, timeout_ms, &q, trimmed).is_ok(),
+            } => handle_query(&mut writer, &ctx, &doc, k, timeout_ms, stats, &q, trimmed).is_ok(),
         };
         if !keep_going {
             return;
@@ -341,7 +422,7 @@ pub(crate) fn serve_lines<R: BufRead, W: Write>(mut reader: R, mut writer: W, ct
 fn write_docs(writer: &mut impl Write, ctx: &ConnCtx) -> io::Result<()> {
     send(writer, &format!("DOCS {}", ctx.store.len()))?;
     for doc in ctx.store.iter() {
-        send(writer, &format!("{} {}", doc.name(), doc.tree().len()))?;
+        send(writer, &format!("{} {}", doc.name(), doc.node_count()))?;
     }
     send(writer, "END")
 }
@@ -353,6 +434,7 @@ fn handle_query(
     doc_name: &str,
     k: usize,
     timeout_ms: Option<u64>,
+    stats: bool,
     q: &str,
     raw: &str,
 ) -> io::Result<()> {
@@ -362,6 +444,21 @@ fn handle_query(
             &format!("ERR doc unknown document '{doc_name}' (list with DOCS)"),
         );
     };
+    if let Some(corpus) = doc.corpus() {
+        // A degraded corpus still answers, but a fully quarantined one
+        // has nothing left to answer from: refuse explicitly instead of
+        // returning a silently empty ranking.
+        if corpus.healthy_count() == 0 && corpus.total_shards() > 0 {
+            return send(
+                writer,
+                &format!(
+                    "ERR doc corpus '{doc_name}' has all {} shard(s) quarantined \
+                     (diagnose with `tasm corpus fsck`)",
+                    corpus.total_shards()
+                ),
+            );
+        }
+    }
     if k == 0 {
         return send(writer, "ERR parse k must be >= 1");
     }
@@ -391,9 +488,11 @@ fn handle_query(
     let req = PendingRequest {
         doc: doc.clone(),
         query,
+        dict,
         k,
         timeout_ms: limit_ms,
         deadline_at: Instant::now() + dur,
+        stats,
         root_label,
         raw: raw.to_string(),
         slot: slot.clone(),
@@ -436,9 +535,15 @@ mod tests {
                 doc: "dblp".into(),
                 k: 3,
                 timeout_ms: Some(250),
+                stats: false,
                 q: "<a><b/></a>".into(),
             }
         );
+        let q = parse_request("QUERY doc=dblp stats=1 q={a}").unwrap();
+        match q {
+            Request::Query { stats, .. } => assert!(stats),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -475,6 +580,7 @@ mod tests {
             ("QUERY q={a}", "doc=<name>"),
             ("QUERY doc=d k=zero q={a}", "positive integer"),
             ("QUERY doc=d timeout=soon q={a}", "milliseconds"),
+            ("QUERY doc=d stats=yes q={a}", "stats must be 0 or 1"),
             ("QUERY doc=d frob=1 q={a}", "unknown QUERY parameter"),
         ] {
             let err = parse_request(line).unwrap_err();

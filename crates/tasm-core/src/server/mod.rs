@@ -45,20 +45,30 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crate::batch::{tasm_batch_deadline_with_workspace, BatchQuery, BatchWorkspace};
+use crate::corpus::tasm_corpus_batch_deadline_with_stats;
 use crate::server::admission::{Admission, PendingRequest};
-use crate::server::conn::{handle_conn, ConnCtx, ConnStream, Response, Row};
+use crate::server::conn::{handle_conn, ConnCtx, ConnStream, Response, Row, WireStats};
 use crate::server::deadline::Deadline;
 use crate::tasm_dynamic::TasmOptions;
+use tasm_index::Corpus;
 use tasm_ted::UnitCost;
 use tasm_tree::{bracket, LabelDict, Tree, TreeQueue};
 
-/// A resident document: parsed tree plus the label dictionary its
-/// node labels live in. Queries against it are parsed into a copy of
-/// the same dictionary so both sides share one label-id universe.
+/// What a resident document holds: one parsed tree, or a whole corpus
+/// of indexed shards.
+#[derive(Debug)]
+enum DocContent {
+    Tree(Tree),
+    Corpus(Arc<Corpus>),
+}
+
+/// A resident document: a parsed tree (or an opened [`Corpus`]) plus
+/// the label dictionary queries against it are parsed into, so both
+/// sides share one label-id universe.
 #[derive(Debug)]
 pub struct Doc {
     name: String,
-    tree: Tree,
+    content: DocContent,
     dict: LabelDict,
 }
 
@@ -67,7 +77,19 @@ impl Doc {
     pub fn new(name: impl Into<String>, tree: Tree, dict: LabelDict) -> Self {
         Doc {
             name: name.into(),
-            tree,
+            content: DocContent::Tree(tree),
+            dict,
+        }
+    }
+
+    /// Wraps an opened corpus: queries against this name run
+    /// cross-document over every healthy shard, in explicit degraded
+    /// mode when shards are quarantined.
+    pub fn new_corpus(name: impl Into<String>, corpus: Arc<Corpus>) -> Self {
+        let dict = corpus.global_dict().clone();
+        Doc {
+            name: name.into(),
+            content: DocContent::Corpus(corpus),
             dict,
         }
     }
@@ -77,14 +99,37 @@ impl Doc {
         &self.name
     }
 
-    /// The parsed document tree.
-    pub fn tree(&self) -> &Tree {
-        &self.tree
+    /// The parsed document tree (`None` for a corpus document).
+    pub fn tree(&self) -> Option<&Tree> {
+        match &self.content {
+            DocContent::Tree(tree) => Some(tree),
+            DocContent::Corpus(_) => None,
+        }
     }
 
-    /// The label dictionary the tree was parsed into.
+    /// The opened corpus (`None` for a single-tree document).
+    pub fn corpus(&self) -> Option<&Arc<Corpus>> {
+        match &self.content {
+            DocContent::Tree(_) => None,
+            DocContent::Corpus(corpus) => Some(corpus),
+        }
+    }
+
+    /// The label dictionary queries are parsed into.
     pub fn dict(&self) -> &LabelDict {
         &self.dict
+    }
+
+    /// Node count reported by `DOCS`: the tree's size, or the summed
+    /// size of the corpus's healthy shards.
+    pub fn node_count(&self) -> u64 {
+        match &self.content {
+            DocContent::Tree(tree) => tree.len() as u64,
+            DocContent::Corpus(corpus) => corpus
+                .healthy()
+                .map(|(_, _, doc)| doc.tree().len() as u64)
+                .sum(),
+        }
     }
 }
 
@@ -399,27 +444,44 @@ fn worker_loop(admission: &Admission) {
     }
 }
 
-fn rows(matches: Vec<crate::ranking::Match>) -> Response {
-    Response::Ranking(
-        matches
-            .into_iter()
-            .map(|m| Row {
-                root: m.root.post(),
-                distance: m.distance,
-                size: m.size,
-            })
-            .collect(),
-    )
+fn rows(matches: Vec<crate::ranking::Match>) -> Vec<Row> {
+    matches
+        .into_iter()
+        .map(|m| Row {
+            root: m.root.post(),
+            distance: m.distance,
+            size: m.size,
+            doc: None,
+        })
+        .collect()
 }
 
 /// Evaluates one compatible batch (all requests target the same
-/// document) under the earliest member deadline; on expiry, survivors
-/// are retried solo under their own deadlines.
+/// document). Tree documents run under the earliest member deadline
+/// with solo retries on expiry; corpus documents evaluate per request
+/// under each member's own deadline (every request carries its own
+/// extended dictionary, so corpus queries cannot share one encoding).
 fn evaluate_batch(ws: &mut BatchWorkspace, batch: &[PendingRequest]) -> Vec<Response> {
     for req in batch {
         fault::maybe_inject(&req.root_label);
     }
     let doc = &batch[0].doc;
+    match &doc.content {
+        DocContent::Tree(tree) => evaluate_tree_batch(ws, batch, tree),
+        DocContent::Corpus(corpus) => batch
+            .iter()
+            .map(|req| evaluate_corpus_request(req, corpus))
+            .collect(),
+    }
+}
+
+/// The tree path: one shared scan under the earliest member deadline;
+/// on expiry, survivors are retried solo under their own deadlines.
+fn evaluate_tree_batch(
+    ws: &mut BatchWorkspace,
+    batch: &[PendingRequest],
+    tree: &Tree,
+) -> Vec<Response> {
     let earliest = batch
         .iter()
         .map(|r| r.deadline_at)
@@ -433,7 +495,7 @@ fn evaluate_batch(ws: &mut BatchWorkspace, batch: &[PendingRequest]) -> Vec<Resp
             k: r.k,
         })
         .collect();
-    let mut queue = TreeQueue::new(doc.tree());
+    let mut queue = TreeQueue::new(tree);
     let shared = tasm_batch_deadline_with_workspace(
         &queries,
         &mut queue,
@@ -445,7 +507,22 @@ fn evaluate_batch(ws: &mut BatchWorkspace, batch: &[PendingRequest]) -> Vec<Resp
         &deadline,
     );
     match shared {
-        Ok(rankings) => rankings.into_iter().map(rows).collect(),
+        Ok(rankings) => {
+            let lanes = ws.last_lane_stats().to_vec();
+            rankings
+                .into_iter()
+                .zip(batch)
+                .enumerate()
+                .map(|(i, (ranking, req))| Response::Ranking {
+                    rows: rows(ranking),
+                    degraded: None,
+                    stats: req.stats.then(|| WireStats {
+                        scan: lanes[i],
+                        shards: None,
+                    }),
+                })
+                .collect()
+        }
         Err(_) => {
             // The shared scan died at the earliest member's deadline.
             // That member is out of time; the others still have budget,
@@ -463,7 +540,7 @@ fn evaluate_batch(ws: &mut BatchWorkspace, batch: &[PendingRequest]) -> Vec<Resp
                         k: req.k,
                     }];
                     let d = Deadline::at(req.deadline_at);
-                    let mut queue = TreeQueue::new(doc.tree());
+                    let mut queue = TreeQueue::new(tree);
                     match tasm_batch_deadline_with_workspace(
                         &solo,
                         &mut queue,
@@ -474,7 +551,14 @@ fn evaluate_batch(ws: &mut BatchWorkspace, batch: &[PendingRequest]) -> Vec<Resp
                         None,
                         &d,
                     ) {
-                        Ok(mut rankings) => rows(rankings.pop().expect("one lane")),
+                        Ok(mut rankings) => Response::Ranking {
+                            rows: rows(rankings.pop().expect("one lane")),
+                            degraded: None,
+                            stats: req.stats.then(|| WireStats {
+                                scan: ws.last_lane_stats()[0],
+                                shards: None,
+                            }),
+                        },
                         Err(_) => Response::Timeout {
                             limit_ms: req.timeout_ms,
                         },
@@ -482,5 +566,52 @@ fn evaluate_batch(ws: &mut BatchWorkspace, batch: &[PendingRequest]) -> Vec<Resp
                 })
                 .collect()
         }
+    }
+}
+
+/// The corpus path: cross-document top-k over the healthy shards under
+/// the request's own deadline, with the degraded marker threaded into
+/// the `OK` line (and `STATS`, when requested).
+fn evaluate_corpus_request(req: &PendingRequest, corpus: &Arc<Corpus>) -> Response {
+    let deadline = Deadline::at(req.deadline_at);
+    let queries = [BatchQuery {
+        query: &req.query,
+        k: req.k,
+    }];
+    match tasm_corpus_batch_deadline_with_stats(
+        &queries,
+        &req.dict,
+        corpus,
+        &UnitCost,
+        1,
+        TasmOptions::default(),
+        1,
+        None,
+        &deadline,
+    ) {
+        Ok((mut rankings, status, scan, _lanes)) => {
+            let ranking = rankings.pop().expect("one lane");
+            let rows = ranking
+                .into_iter()
+                .map(|cm| Row {
+                    root: cm.hit.root.post(),
+                    distance: cm.hit.distance,
+                    size: cm.hit.size,
+                    doc: Some(cm.doc),
+                })
+                .collect();
+            let health = (status.healthy, status.total);
+            Response::Ranking {
+                rows,
+                degraded: status.is_degraded().then_some(health),
+                stats: req.stats.then_some(WireStats {
+                    scan,
+                    shards: Some(health),
+                }),
+            }
+        }
+        Err(_) => Response::Timeout {
+            limit_ms: req.timeout_ms,
+        },
     }
 }

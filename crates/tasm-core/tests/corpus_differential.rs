@@ -1,0 +1,183 @@
+//! Differential tests pinning the corpus query path to its reference
+//! semantics: `tasm_corpus` over N shards must return exactly the
+//! concatenation of per-document `tasm_indexed` runs, sorted on the
+//! corpus rank key `(distance, shard, postorder, size)` and truncated
+//! to `k` — under every combination of thread count, pruning cascade,
+//! and TED kernel, and with shards quarantined mid-corpus.
+//!
+//! The reference is computed ONCE with default options: distances are
+//! kernel-independent and the rank key is a total order, so every axis
+//! combination must reproduce the identical ranking, byte for byte.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use tasm_core::{tasm_corpus_batch, tasm_indexed, BatchQuery, CorpusMatch, TasmOptions, TedKernel};
+use tasm_index::Corpus;
+use tasm_ted::UnitCost;
+use tasm_tree::{LabelDict, LabelId, Tree, TreeBuilder};
+
+/// Random tree by uniform attachment (the same shape generator the
+/// other differential suites use).
+fn random_tree(seed: u64, n: usize, n_labels: u32) -> Tree {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut labels: Vec<u32> = Vec::with_capacity(n);
+    labels.push(rng.gen_range(0..n_labels));
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        children[parent].push(i);
+        labels.push(rng.gen_range(0..n_labels));
+    }
+    fn rec(node: usize, children: &[Vec<usize>], labels: &[u32], b: &mut TreeBuilder) {
+        b.start(LabelId(labels[node]));
+        for &c in &children[node] {
+            rec(c, children, labels, b);
+        }
+        b.end().expect("balanced");
+    }
+    let mut b = TreeBuilder::with_capacity(n);
+    rec(0, &children, &labels, &mut b);
+    b.finish().expect("single root")
+}
+
+/// A dictionary naming labels `l0..l<n>` so every document and query
+/// shares one label universe.
+fn label_dict(n_labels: u32) -> LabelDict {
+    let mut dict = LabelDict::new();
+    for i in 0..n_labels {
+        dict.intern(&format!("l{i}"));
+    }
+    dict
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tasm-cdiff-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Five random documents of varied size, one label universe.
+fn build_corpus(dir: &Path, n_labels: u32) -> Corpus {
+    let dict = label_dict(n_labels);
+    let mut corpus = Corpus::create(dir).unwrap();
+    for (i, n) in [120usize, 45, 200, 80, 150].iter().enumerate() {
+        let tree = random_tree(1000 + i as u64, *n, n_labels);
+        corpus.add(&format!("doc-{i}"), &tree, &dict, None).unwrap();
+    }
+    corpus
+}
+
+/// Comparable projection of a corpus ranking.
+fn key(ms: &[CorpusMatch]) -> Vec<(String, u32, u64, u32)> {
+    ms.iter()
+        .map(|m| {
+            (
+                m.doc.clone(),
+                m.hit.root.post(),
+                m.hit.distance.halves(),
+                m.hit.size,
+            )
+        })
+        .collect()
+}
+
+/// Per-document `tasm_indexed` runs over the healthy shards, merged on
+/// the corpus rank key — the semantics every axis must reproduce.
+fn reference(
+    corpus: &Corpus,
+    queries: &[&Tree],
+    qdict: &LabelDict,
+    k: usize,
+) -> Vec<Vec<CorpusMatch>> {
+    queries
+        .iter()
+        .map(|q| {
+            let mut lane: Vec<CorpusMatch> = Vec::new();
+            for (shard, name, doc) in corpus.healthy() {
+                let hits = tasm_indexed(q, qdict, doc, k, &UnitCost, 1, TasmOptions::default(), 1);
+                lane.extend(hits.into_iter().map(|hit| CorpusMatch {
+                    doc: name.to_string(),
+                    shard,
+                    hit,
+                }));
+            }
+            lane.sort_by_key(|m| (m.hit.distance, m.shard, m.hit.root.post(), m.hit.size));
+            lane.truncate(k);
+            lane
+        })
+        .collect()
+}
+
+/// Runs the full axis matrix against `corpus` and compares every combo
+/// to the shared reference.
+fn assert_matrix(corpus: &Corpus, tag: &str) {
+    let n_labels = 5;
+    let qdict = label_dict(n_labels);
+    let q1 = random_tree(77, 6, n_labels);
+    let q2 = random_tree(78, 4, n_labels);
+    let q3 = random_tree(79, 8, n_labels);
+    let queries = [&q1, &q2, &q3];
+    let k = 7;
+    let want: Vec<_> = reference(corpus, &queries, &qdict, k)
+        .iter()
+        .map(|lane| key(lane))
+        .collect();
+    let bqs: Vec<BatchQuery<'_>> = queries
+        .iter()
+        .map(|query| BatchQuery { query, k })
+        .collect();
+    for threads in [1usize, 2, 4, 7] {
+        for use_cascade in [true, false] {
+            for kernel in [TedKernel::Auto, TedKernel::Zs, TedKernel::Strategy] {
+                let opts = TasmOptions {
+                    use_cascade,
+                    kernel,
+                    ..Default::default()
+                };
+                let (got, status) =
+                    tasm_corpus_batch(&bqs, &qdict, corpus, &UnitCost, 1, opts, threads);
+                assert_eq!(status.total, corpus.total_shards());
+                assert_eq!(status.healthy, corpus.healthy_count());
+                for (lane, (got_lane, want_lane)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        &key(got_lane),
+                        want_lane,
+                        "{tag}: lane {lane} diverged at threads={threads} \
+                         cascade={use_cascade} kernel={kernel:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_matches_merged_per_document_runs_across_all_axes() {
+    let dir = tmp_dir("healthy");
+    let corpus = build_corpus(&dir, 5);
+    assert_matrix(&corpus, "healthy corpus");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn degraded_corpus_matches_the_reference_over_surviving_shards() {
+    let dir = tmp_dir("degraded");
+    drop(build_corpus(&dir, 5));
+    // Corrupt two shards; the matrix must hold exactly over the three
+    // survivors — corruption never perturbs healthy rankings.
+    for name in ["doc-0", "doc-3"] {
+        let path = dir.join(format!("{name}.pqi"));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 3;
+        bytes[mid] ^= 0x08;
+        fs::write(&path, &bytes).unwrap();
+    }
+    let corpus = Corpus::open(&dir).unwrap();
+    assert_eq!(corpus.healthy_count(), 3);
+    assert!(corpus.is_degraded());
+    assert_matrix(&corpus, "degraded corpus");
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -13,10 +13,12 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::Shutdown;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use tasm_core::{tasm_postorder, Doc, DocStore, Server, ServerConfig, TasmOptions};
+use tasm_core::{tasm_corpus, tasm_postorder, Doc, DocStore, Server, ServerConfig, TasmOptions};
+use tasm_index::Corpus;
 use tasm_ted::UnitCost;
 use tasm_tree::{bracket, LabelDict, TreeQueue};
 
@@ -40,13 +42,17 @@ impl Daemon {
     /// Serves `cfg` over a fresh Unix socket; the thread exits after a
     /// SHUTDOWN request, returning `drain()`'s verdict.
     fn start(name: &str, cfg: ServerConfig) -> Daemon {
+        let (store, _) = store();
+        Daemon::start_with_store(name, cfg, store)
+    }
+
+    fn start_with_store(name: &str, cfg: ServerConfig, store: DocStore) -> Daemon {
         let path = std::env::temp_dir().join(format!(
             "tasm-core-daemon-{}-{name}.sock",
             std::process::id()
         ));
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path).unwrap();
-        let (store, _) = store();
         let server = Server::new(cfg, store, None);
         let handle = std::thread::spawn(move || {
             server.serve_unix(&listener, None).unwrap();
@@ -204,6 +210,153 @@ fn an_already_expired_deadline_times_out_with_no_partial_ranking() {
     assert!(resp[0].starts_with("OK "), "{resp:?}");
 
     assert!(daemon.shutdown());
+}
+
+/// On-disk corpus for the daemon tests: two bracket documents whose
+/// subtree structure mirrors the tree-doc fixture.
+fn corpus_on_disk(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tasm-daemon-corpus-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut corpus = Corpus::create(&dir).unwrap();
+    let docs = [
+        (
+            "alpha",
+            "{dblp{article{auth{John}}{title{X1}}}{book{title{X2}}}}",
+        ),
+        (
+            "beta",
+            "{dblp{article{auth{Mary}}{title{X2}}}{article{auth{John}}{title{X3}}}}",
+        ),
+    ];
+    for (name, src) in docs {
+        let mut dict = LabelDict::new();
+        let tree = bracket::parse(src, &mut dict).unwrap();
+        corpus.add(name, &tree, &dict, None).unwrap();
+    }
+    dir
+}
+
+fn corpus_store(dir: &PathBuf) -> DocStore {
+    let corpus = Corpus::open(dir).unwrap();
+    let mut store = DocStore::new();
+    store.insert(Doc::new_corpus("corp", Arc::new(corpus)));
+    store
+}
+
+#[test]
+fn corpus_doc_rows_carry_the_document_and_match_the_engine() {
+    let dir = corpus_on_disk("healthy");
+    let daemon = Daemon::start_with_store("corpus", ServerConfig::default(), corpus_store(&dir));
+    let (mut rd, mut wr) = daemon.connect();
+
+    let docs = roundtrip(&mut rd, &mut wr, "DOCS");
+    assert_eq!(docs[0], "DOCS 1");
+    assert!(docs[1].starts_with("corp "), "{docs:?}");
+
+    let query_text = "{article{auth{John}}{title{X1}}}";
+    let resp = roundtrip(
+        &mut rd,
+        &mut wr,
+        &format!("QUERY doc=corp k=3 q={query_text}"),
+    );
+    // Healthy corpus: no degraded marker on the OK line.
+    assert_eq!(resp[0], "OK 3", "{resp:?}");
+
+    // Differential: identical to the direct corpus engine call.
+    let corpus = Corpus::open(&dir).unwrap();
+    let mut qdict = corpus.global_dict().clone();
+    let query = bracket::parse(query_text, &mut qdict).unwrap();
+    let (expect, status) = tasm_corpus(
+        &query,
+        &qdict,
+        &corpus,
+        3,
+        &UnitCost,
+        1,
+        TasmOptions::default(),
+        1,
+    );
+    assert!(!status.is_degraded());
+    for (i, m) in expect.iter().enumerate() {
+        assert_eq!(
+            resp[1 + i],
+            format!(
+                "{} {} {} {} {}",
+                i + 1,
+                m.hit.root.post(),
+                m.hit.distance,
+                m.hit.size,
+                m.doc
+            )
+        );
+    }
+    // The exact match lives in alpha.
+    assert!(resp[1].ends_with(" alpha"), "{resp:?}");
+    assert_eq!(resp.last().unwrap(), "END");
+
+    // stats=1 adds the funnel with the shard health count.
+    let resp = roundtrip(
+        &mut rd,
+        &mut wr,
+        &format!("QUERY doc=corp k=3 stats=1 q={query_text}"),
+    );
+    let stats_line = resp
+        .iter()
+        .find(|l| l.starts_with("STATS "))
+        .expect("STATS line present");
+    assert!(stats_line.contains("candidates="), "{stats_line}");
+    assert!(stats_line.contains("shards=2/2"), "{stats_line}");
+
+    assert!(daemon.shutdown());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn degraded_corpus_answers_with_an_explicit_marker() {
+    let dir = corpus_on_disk("degraded");
+    // Corrupt beta's shard: the daemon must keep serving alpha.
+    let shard = dir.join("beta.pqi");
+    let mut bytes = std::fs::read(&shard).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x02;
+    std::fs::write(&shard, &bytes).unwrap();
+
+    let daemon = Daemon::start_with_store("degraded", ServerConfig::default(), corpus_store(&dir));
+    let (mut rd, mut wr) = daemon.connect();
+    let resp = roundtrip(
+        &mut rd,
+        &mut wr,
+        "QUERY doc=corp k=2 stats=1 q={article{auth{John}}{title{X1}}}",
+    );
+    assert!(resp[0].starts_with("OK 2 degraded=1/2"), "{resp:?}");
+    for row in &resp[1..resp.len() - 2] {
+        assert!(row.ends_with(" alpha"), "quarantined doc leaked: {resp:?}");
+    }
+    let stats_line = resp.iter().find(|l| l.starts_with("STATS ")).unwrap();
+    assert!(stats_line.contains("shards=1/2"), "{stats_line}");
+
+    assert!(daemon.shutdown());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fully_quarantined_corpus_refuses_queries_but_keeps_serving() {
+    let dir = corpus_on_disk("dead");
+    for name in ["alpha", "beta"] {
+        let shard = dir.join(format!("{name}.pqi"));
+        let mut bytes = std::fs::read(&shard).unwrap();
+        bytes.truncate(bytes.len() - 1);
+        std::fs::write(&shard, &bytes).unwrap();
+    }
+    let daemon = Daemon::start_with_store("dead", ServerConfig::default(), corpus_store(&dir));
+    let (mut rd, mut wr) = daemon.connect();
+    let resp = roundtrip(&mut rd, &mut wr, "QUERY doc=corp k=1 q={article}");
+    assert!(resp[0].starts_with("ERR doc "), "{resp:?}");
+    assert!(resp[0].contains("quarantined"), "{resp:?}");
+    // The daemon itself is healthy: the refusal is per-document.
+    assert_eq!(roundtrip(&mut rd, &mut wr, "PING"), ["PONG"]);
+    assert!(daemon.shutdown());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,183 @@
+//! Corruption-injection matrix for the corpus store, runnable with
+//! `cargo test -p tasm-index --features fault-inject`.
+//!
+//! Sweeps the damage space the manifest + quarantine design claims to
+//! survive: a bit flip at EVERY byte of a shard, truncation at every
+//! offset, file growth, generation skew, and a crash simulated between
+//! the shard write and the manifest rename. The invariants under every
+//! injection:
+//!
+//! * `Corpus::open` never fails on shard damage — the damaged shard is
+//!   quarantined with a structured report and the rest stays healthy;
+//! * the healthy shards' bytes (and hence their rankings) are
+//!   untouched — degraded answers are exact over what remains;
+//! * only `MANIFEST` damage is fatal, and it is always detected.
+#![cfg(feature = "fault-inject")]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use tasm_index::{Corpus, Manifest};
+use tasm_tree::{bracket, LabelDict, Tree};
+
+fn parse(src: &str) -> (Tree, LabelDict) {
+    let mut dict = LabelDict::new();
+    let tree = bracket::parse(src, &mut dict).unwrap();
+    (tree, dict)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tasm-cfault-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Two-shard corpus: `victim` gets damaged, `witness` must survive.
+fn build(dir: &Path) -> Corpus {
+    let mut corpus = Corpus::create(dir).unwrap();
+    let (t1, d1) = parse("{dblp{article{auth{John}}{title{X1}}}{book{title{X2}}}}");
+    corpus.add("victim", &t1, &d1, Some("victim.xml")).unwrap();
+    let (t2, d2) = parse("{dblp{article{auth{Mike}}{title{X3}}{year}}}");
+    corpus.add("witness", &t2, &d2, None).unwrap();
+    corpus
+}
+
+/// Opens the corpus and asserts exactly `victim` is quarantined while
+/// `witness` still matches its original bytes.
+fn assert_victim_quarantined(dir: &Path, witness_bytes: &[u8], what: &str) {
+    let corpus = Corpus::open(dir).unwrap_or_else(|e| panic!("{what}: open failed: {e}"));
+    assert_eq!(corpus.total_shards(), 2, "{what}");
+    assert_eq!(corpus.healthy_count(), 1, "{what}");
+    assert!(corpus.is_degraded(), "{what}");
+    assert_eq!(corpus.quarantined().len(), 1, "{what}");
+    assert_eq!(corpus.quarantined()[0].name, "victim", "{what}");
+    assert!(!corpus.quarantined()[0].error.is_empty(), "{what}");
+    let healthy: Vec<&str> = corpus.healthy().map(|(_, n, _)| n).collect();
+    assert_eq!(healthy, ["witness"], "{what}");
+    assert_eq!(
+        fs::read(dir.join("witness.pqi")).unwrap(),
+        witness_bytes,
+        "{what}: witness bytes changed"
+    );
+}
+
+#[test]
+fn bit_flip_at_every_byte_is_quarantined() {
+    let dir = tmp_dir("flip");
+    drop(build(&dir));
+    let shard = dir.join("victim.pqi");
+    let clean = fs::read(&shard).unwrap();
+    let witness = fs::read(dir.join("witness.pqi")).unwrap();
+    for i in 0..clean.len() {
+        let mut bytes = clean.clone();
+        bytes[i] ^= 1 << (i % 8);
+        fs::write(&shard, &bytes).unwrap();
+        assert_victim_quarantined(&dir, &witness, &format!("flip at byte {i}"));
+    }
+    // Restoring the clean bytes restores full health — the quarantine
+    // carries no sticky state outside the files themselves.
+    fs::write(&shard, &clean).unwrap();
+    let corpus = Corpus::open(&dir).unwrap();
+    assert_eq!(corpus.healthy_count(), 2);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncation_at_every_offset_is_quarantined() {
+    let dir = tmp_dir("trunc");
+    drop(build(&dir));
+    let shard = dir.join("victim.pqi");
+    let clean = fs::read(&shard).unwrap();
+    let witness = fs::read(dir.join("witness.pqi")).unwrap();
+    for cut in 0..clean.len() {
+        fs::write(&shard, &clean[..cut]).unwrap();
+        assert_victim_quarantined(&dir, &witness, &format!("truncation at {cut}"));
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn grown_shard_is_quarantined() {
+    let dir = tmp_dir("grow");
+    drop(build(&dir));
+    let shard = dir.join("victim.pqi");
+    let witness = fs::read(dir.join("witness.pqi")).unwrap();
+    let mut bytes = fs::read(&shard).unwrap();
+    bytes.extend_from_slice(b"trailing garbage from a torn append");
+    fs::write(&shard, &bytes).unwrap();
+    assert_victim_quarantined(&dir, &witness, "grown shard");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn generation_skew_is_quarantined() {
+    let dir = tmp_dir("skew");
+    drop(build(&dir));
+    let mut manifest = Manifest::load(&dir).unwrap();
+    let idx = manifest
+        .shards
+        .iter()
+        .position(|s| s.name == "victim")
+        .unwrap();
+    manifest.shards[idx].generation = manifest.generation + 1;
+    manifest.store(&dir).unwrap();
+    let witness = fs::read(dir.join("witness.pqi")).unwrap();
+    assert_victim_quarantined(&dir, &witness, "generation skew");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_between_shard_write_and_manifest_rename_keeps_previous_generation() {
+    let dir = tmp_dir("crash");
+    let corpus = build(&dir);
+    let generation = corpus.generation();
+    let manifest_before = fs::read(dir.join("MANIFEST")).unwrap();
+    drop(corpus);
+    // Simulate `corpus add` dying after the shard write but before the
+    // manifest rename: a fully-written orphan shard plus the NEW
+    // manifest stranded under its temp name.
+    let (t3, d3) = parse("{lib{article{title{X9}}}}");
+    let mut scratch = Corpus::open(&dir).unwrap();
+    scratch.add("orphan", &t3, &d3, None).unwrap();
+    let manifest_after = fs::read(dir.join("MANIFEST")).unwrap();
+    // Roll the manifest back to the pre-add bytes and strand the new
+    // one as an interrupted rename.
+    fs::write(dir.join("MANIFEST"), &manifest_before).unwrap();
+    fs::write(dir.join("MANIFEST.tmp.1234"), &manifest_after).unwrap();
+    let corpus = Corpus::open(&dir).unwrap();
+    assert_eq!(corpus.generation(), generation);
+    assert_eq!(corpus.total_shards(), 2, "orphan shard is not referenced");
+    assert_eq!(corpus.healthy_count(), 2);
+    assert!(!corpus.is_degraded());
+    // Completing the rename (recovery finishing the interrupted commit)
+    // yields the full three-shard corpus.
+    fs::rename(dir.join("MANIFEST.tmp.1234"), dir.join("MANIFEST")).unwrap();
+    let corpus = Corpus::open(&dir).unwrap();
+    assert_eq!(corpus.total_shards(), 3);
+    assert_eq!(corpus.healthy_count(), 3);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn manifest_damage_is_fatal_and_detected() {
+    let dir = tmp_dir("mfatal");
+    drop(build(&dir));
+    let path = dir.join("MANIFEST");
+    let clean = fs::read(&path).unwrap();
+    // Bit flips anywhere in the manifest: always a structured error.
+    for i in (0..clean.len()).step_by(7) {
+        let mut bytes = clean.clone();
+        bytes[i] ^= 0x20;
+        fs::write(&path, &bytes).unwrap();
+        let err = Corpus::open(&dir).expect_err("flipped manifest opened");
+        assert!(
+            err.to_string().contains("manifest"),
+            "flip at {i}: unexpected error {err}"
+        );
+    }
+    // Missing manifest: fatal, with a readable message.
+    fs::remove_file(&path).unwrap();
+    let err = Corpus::open(&dir).expect_err("missing manifest opened");
+    assert!(err.to_string().contains("cannot read"), "{err}");
+    fs::remove_dir_all(&dir).unwrap();
+}

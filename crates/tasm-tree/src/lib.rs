@@ -35,6 +35,7 @@
 
 pub mod bracket;
 mod builder;
+pub mod crc;
 mod error;
 #[cfg(feature = "fault-inject")]
 pub mod fault;

@@ -16,10 +16,22 @@
 //! n_labels u64
 //! labels  n_labels × (u32 len, bytes)       the dictionary, id order
 //! entries n_nodes × (u32 label, u32 size)   postorder
+//! trailer u32 crc32, "PQC1"                 optional integrity trailer
 //! ```
 //!
 //! The whole dictionary is stored in the header so readers can stream the
 //! fixed-width entry section with O(1) state per node.
+//!
+//! The trailer is a CRC-32 of the entry section followed by the
+//! self-identifying magic `"PQC1"`. [`write_postfile`] always emits it;
+//! the reader verifies it after the last entry and reports a mismatch
+//! through [`PostorderQueue::integrity_error`]. Files written before the
+//! trailer existed simply end after the entries — the reader accepts
+//! them unverified (their entries are complete, which is the property
+//! that matters), while a *partial* trailer or a checksum mismatch is an
+//! integrity error, never silently ignored. Version-2 (`.pqi`) files
+//! carry their own postings checksum and have index sections where the
+//! trailer would sit, so the trailer applies to version 1 only.
 //!
 //! # Format version 2 (`.pqi`, indexed)
 //!
@@ -35,6 +47,7 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use crate::crc::crc32_update;
 use crate::label::{LabelDict, LabelId};
 use crate::postorder_queue::{PostorderEntry, PostorderQueue};
 use crate::tree::Tree;
@@ -43,6 +56,9 @@ use crate::tree::Tree;
 pub const MAGIC_V1: &[u8; 8] = b"TASMPQ1\n";
 /// Magic of a version-2 (indexed, `.pqi`) file.
 pub const MAGIC_V2: &[u8; 8] = b"TASMPQ2\n";
+/// Magic closing the optional version-1 integrity trailer (it follows
+/// the 4-byte CRC-32 of the entry section).
+pub const TRAILER_MAGIC: &[u8; 4] = b"PQC1";
 
 /// Errors for the postorder file format.
 #[derive(Debug)]
@@ -91,9 +107,14 @@ pub fn write_postfile<W: Write>(
         out.write_all(bytes)?;
     }
     let mut written = 0u64;
+    let mut crc = 0u32;
     while let Some(e) = queue.dequeue() {
-        out.write_all(&e.label.0.to_le_bytes())?;
-        out.write_all(&e.size.to_le_bytes())?;
+        let label = e.label.0.to_le_bytes();
+        let size = e.size.to_le_bytes();
+        crc = crc32_update(crc, &label);
+        crc = crc32_update(crc, &size);
+        out.write_all(&label)?;
+        out.write_all(&size)?;
         written += 1;
     }
     if written != n_nodes {
@@ -101,6 +122,8 @@ pub fn write_postfile<W: Write>(
             "queue yielded {written} entries, header promised {n_nodes}"
         )));
     }
+    out.write_all(&crc.to_le_bytes())?;
+    out.write_all(TRAILER_MAGIC)?;
     out.flush()?;
     Ok(())
 }
@@ -170,6 +193,26 @@ pub struct PostFileReader<R: Read> {
     /// Set when the entry section ended before `total` nodes were read:
     /// the file is truncated and any ranking over it would be partial.
     truncated: bool,
+    /// Running CRC-32 of the entry bytes, compared against the trailer.
+    crc: u32,
+    /// Outcome of the version-1 trailer check, resolved after the last
+    /// entry is dequeued.
+    trailer: TrailerState,
+}
+
+/// Where the optional version-1 integrity trailer stands.
+#[derive(Debug)]
+enum TrailerState {
+    /// The entry section has not finished streaming yet.
+    Unchecked,
+    /// No trailer bytes after the entries: a file from before the
+    /// trailer existed. Its entries are complete, which is what matters.
+    Legacy,
+    /// The trailer's checksum matched the streamed entries.
+    Verified,
+    /// Partial trailer or checksum mismatch: the entries cannot be
+    /// trusted.
+    Error(String),
 }
 
 impl PostFileReader<BufReader<File>> {
@@ -219,6 +262,8 @@ impl<R: Read> PostFileReader<R> {
             total,
             version,
             truncated: false,
+            crc: 0,
+            trailer: TrailerState::Unchecked,
         })
     }
 
@@ -262,26 +307,74 @@ impl<R: Read> PostFileReader<R> {
     pub fn into_inner(self) -> (R, LabelDict) {
         (self.input, self.dict)
     }
+
+    /// Resolves the version-1 integrity trailer once the entry section
+    /// has streamed completely. Absent trailer bytes mean a pre-trailer
+    /// file (accepted — its entries are complete); a partial trailer or
+    /// a checksum mismatch is recorded for
+    /// [`PostorderQueue::integrity_error`]. Version-2 files carry index
+    /// sections here instead, so they are never probed.
+    fn check_trailer(&mut self) {
+        if self.version != 1 || !matches!(self.trailer, TrailerState::Unchecked) {
+            return;
+        }
+        let mut buf = [0u8; 8];
+        let mut n = 0usize;
+        while n < buf.len() {
+            match self.input.read(&mut buf[n..]) {
+                Ok(0) => break,
+                Ok(m) => n += m,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.trailer =
+                        TrailerState::Error(format!("I/O error reading entry trailer: {e}"));
+                    return;
+                }
+            }
+        }
+        self.trailer = if n == 0 {
+            TrailerState::Legacy
+        } else if n == buf.len() && &buf[4..8] == TRAILER_MAGIC {
+            let stored = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+            if stored == self.crc {
+                TrailerState::Verified
+            } else {
+                TrailerState::Error(format!(
+                    "entry checksum mismatch (stored {stored:08x}, computed {:08x}): \
+                     torn or bit-rotted postorder file",
+                    self.crc
+                ))
+            }
+        } else {
+            TrailerState::Error(format!(
+                "malformed entry trailer ({n} trailing bytes; expected crc32 + \"PQC1\")"
+            ))
+        };
+    }
 }
 
 impl<R: Read> PostorderQueue for PostFileReader<R> {
     fn dequeue(&mut self) -> Option<PostorderEntry> {
         if self.remaining == 0 {
+            // Covers n_nodes == 0 files: the trailer check still runs.
+            self.check_trailer();
             return None;
         }
-        let entry = read_u32(&mut self.input)
-            .and_then(|label| read_u32(&mut self.input).map(|size| (label, size)));
-        let (label, size) = match entry {
-            Ok(e) => e,
-            Err(_) => {
-                // The header promised more nodes than the byte stream
-                // holds: remember the shortfall so drivers can refuse
-                // the partial document instead of ranking it.
-                self.truncated = true;
-                return None;
-            }
-        };
+        let mut bytes = [0u8; 8];
+        if self.input.read_exact(&mut bytes).is_err() {
+            // The header promised more nodes than the byte stream
+            // holds: remember the shortfall so drivers can refuse
+            // the partial document instead of ranking it.
+            self.truncated = true;
+            return None;
+        }
+        self.crc = crc32_update(self.crc, &bytes);
+        let label = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let size = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
         self.remaining -= 1;
+        if self.remaining == 0 {
+            self.check_trailer();
+        }
         Some(PostorderEntry {
             label: LabelId(label),
             size,
@@ -293,12 +386,16 @@ impl<R: Read> PostorderQueue for PostFileReader<R> {
     }
 
     fn integrity_error(&self) -> Option<String> {
-        self.truncated.then(|| {
-            format!(
+        if self.truncated {
+            return Some(format!(
                 "postorder file truncated: {} of {} nodes missing",
                 self.remaining, self.total
-            )
-        })
+            ));
+        }
+        match &self.trailer {
+            TrailerState::Error(msg) => Some(msg.clone()),
+            _ => None,
+        }
     }
 }
 
@@ -386,7 +483,7 @@ mod tests {
         let mut bytes = Vec::new();
         let mut q = crate::postorder_queue::TreeQueue::new(&t);
         write_postfile(&mut bytes, &dict, &mut q, t.len() as u64).unwrap();
-        bytes.truncate(bytes.len() - 4); // cut the last entry in half
+        bytes.truncate(bytes.len() - 12); // 8-byte trailer + half an entry
         let mut reader = PostFileReader::new(bytes.as_slice()).unwrap();
         let mut n = 0;
         while reader.dequeue().is_some() {
@@ -397,6 +494,78 @@ mod tests {
         assert_eq!(reader.remaining_nodes(), 1);
         let msg = reader.integrity_error().expect("truncation is reported");
         assert!(msg.contains("truncated"), "{msg}");
+    }
+
+    /// Cuts a `.pq` at every byte offset past the header: each prefix
+    /// must surface as truncation or a trailer error — with one sound
+    /// exception, the cut that removes exactly the whole trailer, which
+    /// leaves every entry intact and reads as a legacy file.
+    #[test]
+    fn every_entry_section_cut_is_detected() {
+        let (t, dict) = sample();
+        let mut bytes = Vec::new();
+        let mut q = crate::postorder_queue::TreeQueue::new(&t);
+        write_postfile(&mut bytes, &dict, &mut q, t.len() as u64).unwrap();
+        let entries_start = bytes.len() - 8 - 8 * t.len();
+        for cut in entries_start..bytes.len() {
+            let mut reader = PostFileReader::new(&bytes[..cut]).unwrap();
+            while reader.dequeue().is_some() {}
+            let err = reader.integrity_error();
+            if cut == bytes.len() - 8 {
+                assert_eq!(err, None, "trailer-only cut reads as legacy");
+            } else {
+                assert!(err.is_some(), "cut at byte {cut} accepted silently");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_files_without_trailer_still_read() {
+        let (t, dict) = sample();
+        let mut bytes = Vec::new();
+        let mut q = crate::postorder_queue::TreeQueue::new(&t);
+        write_postfile(&mut bytes, &dict, &mut q, t.len() as u64).unwrap();
+        bytes.truncate(bytes.len() - 8); // what a pre-trailer writer produced
+        let mut reader = PostFileReader::new(bytes.as_slice()).unwrap();
+        let t2 = collect_tree(&mut reader).unwrap();
+        assert_eq!(t, t2);
+        assert_eq!(reader.integrity_error(), None);
+    }
+
+    #[test]
+    fn flipped_entry_byte_fails_the_trailer_check() {
+        let (t, dict) = sample();
+        let mut bytes = Vec::new();
+        let mut q = crate::postorder_queue::TreeQueue::new(&t);
+        write_postfile(&mut bytes, &dict, &mut q, t.len() as u64).unwrap();
+        let at = bytes.len() - 8 - 3; // inside the last entry
+        bytes[at] ^= 0x04;
+        let mut reader = PostFileReader::new(bytes.as_slice()).unwrap();
+        while reader.dequeue().is_some() {}
+        let msg = reader.integrity_error().expect("bit rot is reported");
+        assert!(msg.contains("checksum mismatch"), "{msg}");
+    }
+
+    #[test]
+    fn empty_document_trailer_is_verified() {
+        struct Empty;
+        impl PostorderQueue for Empty {
+            fn dequeue(&mut self) -> Option<PostorderEntry> {
+                None
+            }
+        }
+        let dict = LabelDict::new();
+        let mut bytes = Vec::new();
+        write_postfile(&mut bytes, &dict, &mut Empty, 0).unwrap();
+        let mut reader = PostFileReader::new(bytes.as_slice()).unwrap();
+        assert!(reader.dequeue().is_none());
+        assert_eq!(reader.integrity_error(), None);
+        // Flip the empty-section CRC: still detected.
+        let at = bytes.len() - 8;
+        bytes[at] ^= 0x01;
+        let mut reader = PostFileReader::new(bytes.as_slice()).unwrap();
+        assert!(reader.dequeue().is_none());
+        assert!(reader.integrity_error().is_some());
     }
 
     #[test]
