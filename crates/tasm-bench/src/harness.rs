@@ -1239,6 +1239,35 @@ pub fn corpus_summary(
             records.push(r);
         };
 
+    // Open-path load time: every shard is read into one buffer and
+    // decoded through the zero-copy slice path (`open_bytes`), CRC
+    // verified once over the buffer. This is the daemon's cold-start
+    // cost per corpus.
+    {
+        let open_seconds = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(Corpus::open(&dir).expect("open corpus"));
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min);
+        let r = BenchRecord {
+            name: "corpus open (zero-copy)".into(),
+            nodes: total_nodes,
+            query_size: query.len(),
+            k,
+            tau,
+            candidates: shards,
+            seconds: open_seconds,
+            ..Default::default()
+        };
+        println!(
+            "{:>24} {:>9} {:>3}/{:<3} {:>4} {:>10.4} {:>8}",
+            r.name, r.nodes, shards, shards, r.k, r.seconds, r.candidates,
+        );
+        records.push(r);
+    }
+
     let corpus = Corpus::open(&dir).expect("open corpus");
     run_one(&mut records, "corpus healthy t1".into(), &corpus, 1);
     run_one(&mut records, "corpus healthy t4".into(), &corpus, 4);

@@ -11,6 +11,11 @@
 //! `fsck` without `--repair` exits 2 when any shard is quarantined so
 //! scripts and CI can branch on corpus health; `query` never aborts on
 //! shard damage — it answers from the healthy shards and says so.
+//! `query --strict` additionally exits 2 *after* printing the healthy
+//! rows when the answer is degraded, for pipelines that must not act on
+//! a partial corpus. `query --threads N` hands the shard-level
+//! scheduler N threads (0 = all cores); `--stats` then shows `# shard`
+//! lines with each shard's wall clock and funnel.
 
 use std::time::Instant;
 
@@ -183,6 +188,7 @@ fn cmd_query(args: &Args) -> Result<(), CliError> {
         ..Default::default()
     };
     let want_stats = args.flag("stats");
+    let strict = args.flag("strict");
     let mut stats = TedStats::new();
     let sink = want_stats.then_some(&mut stats);
 
@@ -200,9 +206,16 @@ fn cmd_query(args: &Args) -> Result<(), CliError> {
         .map(|query| BatchQuery { query, k })
         .collect();
     let t0 = Instant::now();
-    let (rankings, status, scan, lanes) =
+    let result =
         tasm_corpus_batch_with_stats(&bqs, &dict, &corpus, &UnitCost, 1, opts, threads, sink);
     let elapsed = t0.elapsed();
+    let (rankings, status, scan, lanes, shard_stats) = (
+        result.rankings,
+        result.status,
+        result.scan,
+        result.lane_scans,
+        result.shard_stats,
+    );
 
     let batch = queries.len() > 1;
     let mut out = output::stdout();
@@ -261,6 +274,19 @@ fn cmd_query(args: &Args) -> Result<(), CliError> {
             stats.ted_calls,
         )?;
         print_scan_stats(&mut out, &scan)?;
+        // Where the corpus time went, shard by shard, in manifest
+        // order — overlapping shards each report their own wall clock.
+        for s in &shard_stats {
+            wln!(
+                out,
+                "# shard {} ({}): {:.3} ms, candidates {}, evaluated {}",
+                s.shard,
+                s.name,
+                s.millis(),
+                s.scan.candidates,
+                s.scan.evaluated,
+            )?;
+        }
         if batch {
             for (i, lane) in lanes.iter().enumerate() {
                 wln!(
@@ -277,5 +303,16 @@ fn cmd_query(args: &Args) -> Result<(), CliError> {
             }
         }
     }
-    out.flush()
+    out.flush()?;
+    // --strict turns a degraded answer into a failure *after* the
+    // healthy rows have been printed: scripts that must not act on a
+    // partial corpus can branch on the exit code, and interactive use
+    // still sees everything the healthy shards found.
+    if strict && status.is_degraded() {
+        return Err(CliError::Runtime(format!(
+            "degraded answer: {} shard(s) answered (--strict)",
+            status.marker()
+        )));
+    }
+    Ok(())
 }

@@ -128,10 +128,14 @@ COMMANDS:
                                          their recorded sources
                   corpus query --dir <d> --query <f.xml> [--k <n>]
                                [--threads <n>] [--kernel <name>]
-                               [--stats]
+                               [--stats] [--strict]
                                          cross-document top-k over the
                                          healthy shards (rows carry the
-                                         source document)
+                                         source document); --threads
+                                         splits the budget across shards
+                                         first (0 = all cores), --stats
+                                         adds per-shard timing, --strict
+                                         exits 2 on a degraded answer
 
     serve       Resident query daemon: documents stay parsed, queries
                 multiplex onto the batch engine, failures stay contained
@@ -145,6 +149,8 @@ COMMANDS:
                                          degraded mode when shards are
                                          quarantined (repeatable)
                   --workers <n>          evaluation threads     [2]
+                  --corpus-threads <n>   shard-scheduler threads per
+                                         corpus request (0=cores) [1]
                   --queue <n>            admission queue bound  [64]
                   --max-batch <n>        max shared-scan batch  [16]
                   --batch-window-ms <n>  batch gather window    [1]

@@ -62,6 +62,9 @@ fn build_config(args: &Args) -> Result<ServerConfig, CliError> {
             args.get_num("read-timeout-ms", defaults.read_timeout.as_millis() as u64)
                 .usage()?,
         ),
+        corpus_threads: args
+            .get_num("corpus-threads", defaults.corpus_threads)
+            .usage()?,
         ..defaults
     })
 }

@@ -89,6 +89,40 @@ fn corpus_lifecycle_build_corrupt_degrade_repair() {
     let healthy_rows = stdout(&out);
     assert!(!healthy_rows.contains("# degraded"), "{healthy_rows}");
 
+    // --strict on a healthy corpus changes nothing: exit 0.
+    let mut strict_query = query.to_vec();
+    strict_query.push("--strict");
+    let out = tasm(&strict_query);
+    assert!(
+        out.status.success(),
+        "--strict must pass on a healthy corpus"
+    );
+
+    // The shard-level scheduler answers identically (same rows, byte
+    // for byte) and --stats breaks the time down per shard.
+    let mut par_query = query.to_vec();
+    par_query.extend_from_slice(&["--threads", "4", "--stats"]);
+    let out = tasm(&par_query);
+    assert!(out.status.success());
+    let par_rows = stdout(&out);
+    let rows_only = |s: &str| {
+        s.lines()
+            .filter(|l| {
+                l.split_whitespace()
+                    .next()
+                    .is_some_and(|t| t.parse::<u32>().is_ok())
+            })
+            .map(String::from)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        rows_only(&par_rows),
+        rows_only(&healthy_rows),
+        "scheduled rows must match the sequential run"
+    );
+    assert!(par_rows.contains("# shard 0 (a):"), "{par_rows}");
+    assert!(par_rows.contains("# shard 1 (b):"), "{par_rows}");
+
     // Flip one bit in shard a.
     let shard = dir.join("a.pqi");
     let clean = fs::read(&shard).unwrap();
@@ -117,6 +151,21 @@ fn corpus_lifecycle_build_corrupt_degrade_repair() {
         let row_doc = line.split_whitespace().nth(1).unwrap();
         assert_eq!(row_doc, "b", "quarantined shard leaked: {line}");
     }
+
+    // --strict refuses the degraded answer with exit 2 — but only
+    // after printing the healthy rows and the marker.
+    let out = tasm(&strict_query);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--strict must fail on a degraded corpus"
+    );
+    let strict_rows = stdout(&out);
+    assert!(strict_rows.contains("# degraded: 1/2"), "{strict_rows}");
+    assert!(
+        !rows_only(&strict_rows).is_empty(),
+        "healthy rows still print under --strict"
+    );
 
     // Repair re-indexes from the recorded source: exit 0, bytes
     // identical to the pre-corruption shard, rankings restored.

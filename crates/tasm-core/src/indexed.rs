@@ -38,6 +38,7 @@ use crate::parallel::{
     merge_shard_results, resolve_threads, shard_spans, ShardResult, ShardSink, SpanQueue,
 };
 use crate::ranking::Match;
+use crate::server::deadline::{Deadline, DeadlineExceeded};
 use crate::tasm_dynamic::TasmOptions;
 use crate::workspace::scratch_fits_cap;
 use tasm_index::IndexedDocument;
@@ -187,6 +188,11 @@ pub fn tasm_indexed_batch(
     tasm_indexed_batch_with_stats(queries, src_dict, idx, model, c_t, opts, threads, stats).0
 }
 
+/// What a stats-carrying indexed batch returns: per-query rankings,
+/// the aggregated [`ScanStats`], and the per-lane funnels in query
+/// order.
+pub type IndexedBatchOutput = (Vec<Vec<Match>>, ScanStats, Vec<ScanStats>);
+
 /// As [`tasm_indexed_batch`], but also returning the aggregated
 /// [`ScanStats`] and the per-lane statistics in query order (region
 /// skips count into each lane's histogram tier).
@@ -200,9 +206,45 @@ pub fn tasm_indexed_batch_with_stats(
     opts: TasmOptions,
     threads: usize,
     stats: Option<&mut TedStats>,
-) -> (Vec<Vec<Match>>, ScanStats, Vec<ScanStats>) {
+) -> IndexedBatchOutput {
+    tasm_indexed_batch_deadline_with_stats(
+        queries,
+        src_dict,
+        idx,
+        model,
+        c_t,
+        opts,
+        threads,
+        stats,
+        &Deadline::none(),
+    )
+    .expect("no deadline to exceed")
+}
+
+/// As [`tasm_indexed_batch_with_stats`], cooperatively cancellable at
+/// **region** granularity: the promise-ordered region loop polls
+/// `deadline` per region (strided — see [`Deadline::poll`]) and the
+/// shard workers poll per candidate, so one large document cannot
+/// overrun a request deadline by more than a single region evaluation.
+/// Expiry anywhere aborts the whole call with [`DeadlineExceeded`] —
+/// no partial ranking is returned.
+#[allow(clippy::too_many_arguments)]
+pub fn tasm_indexed_batch_deadline_with_stats(
+    queries: &[BatchQuery<'_>],
+    src_dict: &LabelDict,
+    idx: &IndexedDocument,
+    model: &(dyn CostModel + Sync),
+    c_t: u64,
+    opts: TasmOptions,
+    threads: usize,
+    stats: Option<&mut TedStats>,
+    deadline: &Deadline,
+) -> Result<IndexedBatchOutput, DeadlineExceeded> {
     if queries.is_empty() {
-        return (Vec::new(), ScanStats::default(), Vec::new());
+        return Ok((Vec::new(), ScanStats::default(), Vec::new()));
+    }
+    if deadline.expired_now() {
+        return Err(DeadlineExceeded);
     }
     let threads = resolve_threads(threads);
     let trees: Vec<&Tree> = queries.iter().map(|bq| bq.query).collect();
@@ -256,6 +298,9 @@ pub fn tasm_indexed_batch_with_stats(
     let mut rest_start = order.len();
     let mut extra_after_full = 0usize;
     for (pos, &ri) in order.iter().enumerate() {
+        if deadline.poll() {
+            return Err(DeadlineExceeded);
+        }
         if threads > 1 && lanes.iter().all(|l| l.heap.is_full()) {
             extra_after_full += 1;
             if extra_after_full > SEED_EXTRA {
@@ -298,6 +343,9 @@ pub fn tasm_indexed_batch_with_stats(
         // Too few survivors to be worth worker threads: finish on the
         // warm seed lanes.
         for &span in &survivors {
+            if deadline.poll() {
+                return Err(DeadlineExceeded);
+            }
             eval_span(
                 span,
                 idx.tree(),
@@ -313,47 +361,59 @@ pub fn tasm_indexed_batch_with_stats(
     } else {
         let doc = idx.tree();
         let equeries = &equeries;
-        let worker_results: Vec<ShardResult> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter()
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let (lanes, _) = build_lanes(equeries, model, c_t, opts.kernel);
-                        let mut teds: Vec<TedWorkspace> =
-                            (0..lanes.len()).map(|_| TedWorkspace::new()).collect();
-                        let mut lb = CascadeScratch::new();
-                        reserve_lanes(&lanes, &mut teds, &mut lb, scan_tau);
-                        let mut engine = ScanEngine::new(scan_tau);
-                        if scratch_fits_cap(scan_tau as usize) {
-                            engine.reserve();
-                        }
-                        let mut sink = ShardSink {
-                            lanes,
-                            teds,
-                            lb,
-                            opts,
-                            spans: shard,
-                            next: 0,
-                            stats: want_ted_stats.then(TedStats::new),
-                        };
-                        let mut queue = SpanQueue::new(doc, shard);
-                        let scan = engine.scan(&mut queue, &mut sink);
-                        debug_assert_eq!(scan.candidates, shard.len());
-                        ShardResult {
-                            lane_funnels: sink.lanes.iter().map(|l| l.stats).collect(),
-                            heaps: sink.lanes.into_iter().map(|l| l.heap).collect(),
-                            scan,
-                            ted_stats: sink.stats,
-                        }
+        // `Deadline` is deliberately `!Sync`, so each worker mints its
+        // own token from the shared expiry instant.
+        let expiry = deadline.instant();
+        let worker_results: Result<Vec<ShardResult>, DeadlineExceeded> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            let worker_deadline = match expiry {
+                                Some(at) => Deadline::at(at),
+                                None => Deadline::none(),
+                            };
+                            let (lanes, _) = build_lanes(equeries, model, c_t, opts.kernel);
+                            let mut teds: Vec<TedWorkspace> =
+                                (0..lanes.len()).map(|_| TedWorkspace::new()).collect();
+                            let mut lb = CascadeScratch::new();
+                            reserve_lanes(&lanes, &mut teds, &mut lb, scan_tau);
+                            let mut engine = ScanEngine::new(scan_tau);
+                            if scratch_fits_cap(scan_tau as usize) {
+                                engine.reserve();
+                            }
+                            let mut sink = ShardSink {
+                                lanes,
+                                teds,
+                                lb,
+                                opts,
+                                spans: shard,
+                                next: 0,
+                                stats: want_ted_stats.then(TedStats::new),
+                            };
+                            let mut queue = SpanQueue::new(doc, shard);
+                            let scan = engine.scan_with_deadline(
+                                &mut queue,
+                                &mut sink,
+                                &worker_deadline,
+                            )?;
+                            debug_assert_eq!(scan.candidates, shard.len());
+                            Ok(ShardResult {
+                                lane_funnels: sink.lanes.iter().map(|l| l.stats).collect(),
+                                heaps: sink.lanes.into_iter().map(|l| l.heap).collect(),
+                                scan,
+                                ted_stats: sink.stats,
+                            })
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("indexed shard worker panicked"))
-                .collect()
-        });
-        results.extend(worker_results);
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("indexed shard worker panicked"))
+                    .collect()
+            });
+        results.extend(worker_results?);
     }
 
     results.push(ShardResult {
@@ -362,7 +422,7 @@ pub fn tasm_indexed_batch_with_stats(
         scan,
         ted_stats: ted_local,
     });
-    merge_shard_results(queries.len(), results, stats)
+    Ok(merge_shard_results(queries.len(), results, stats))
 }
 
 #[cfg(test)]
@@ -450,6 +510,67 @@ mod tests {
             doc.len()
         );
         assert!(scan.pruned_histogram > 0, "region filter never fired");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_any_region() {
+        let mut dict = LabelDict::new();
+        let doc = wide_doc(&mut dict, 30);
+        let q = bracket::parse("{article{auth{John}}{title{X1}}}", &mut dict).unwrap();
+        let idx = IndexedDocument::build(&doc, &dict);
+        let queries = [BatchQuery { query: &q, k: 3 }];
+        let deadline = Deadline::after(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let got = tasm_indexed_batch_deadline_with_stats(
+            &queries,
+            &dict,
+            &idx,
+            &UnitCost,
+            1,
+            TasmOptions::default(),
+            1,
+            None,
+            &deadline,
+        );
+        assert_eq!(got.unwrap_err(), DeadlineExceeded);
+    }
+
+    #[test]
+    fn no_deadline_matches_the_plain_entry_point() {
+        let mut dict = LabelDict::new();
+        let doc = wide_doc(&mut dict, 40);
+        let q = bracket::parse("{article{auth{Mike}}{title{X3}}}", &mut dict).unwrap();
+        let idx = IndexedDocument::build(&doc, &dict);
+        let queries = [BatchQuery { query: &q, k: 5 }];
+        for threads in [1, 3] {
+            let (want, _, _) = tasm_indexed_batch_with_stats(
+                &queries,
+                &dict,
+                &idx,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                threads,
+                None,
+            );
+            let (got, _, _) = tasm_indexed_batch_deadline_with_stats(
+                &queries,
+                &dict,
+                &idx,
+                &UnitCost,
+                1,
+                TasmOptions::default(),
+                threads,
+                None,
+                &Deadline::none(),
+            )
+            .unwrap();
+            assert_eq!(
+                got.iter().map(|l| key(l)).collect::<Vec<_>>(),
+                want.iter().map(|l| key(l)).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

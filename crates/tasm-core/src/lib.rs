@@ -93,11 +93,12 @@ pub use batch::{
 };
 pub use corpus::{
     tasm_corpus, tasm_corpus_batch, tasm_corpus_batch_deadline_with_stats,
-    tasm_corpus_batch_with_stats, CorpusMatch, CorpusStatus,
+    tasm_corpus_batch_with_stats, CorpusBatchOutput, CorpusMatch, CorpusShardStats, CorpusStatus,
 };
 pub use engine::{CandidateSink, ScanEngine, ScanStats};
 pub use indexed::{
-    tasm_indexed, tasm_indexed_batch, tasm_indexed_batch_with_stats, tasm_indexed_with_stats,
+    tasm_indexed, tasm_indexed_batch, tasm_indexed_batch_deadline_with_stats,
+    tasm_indexed_batch_with_stats, tasm_indexed_with_stats, IndexedBatchOutput,
 };
 pub use naive::tasm_naive;
 pub use parallel::{

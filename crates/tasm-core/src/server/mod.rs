@@ -212,6 +212,11 @@ pub struct ServerConfig {
     /// Hard cap on a request's `k` (protects workspace memory, which
     /// grows with the ring-buffer bound τ = |Q| + k).
     pub max_k: usize,
+    /// Thread budget for one corpus request: the shard-level scheduler
+    /// splits it across shards first, then across intra-shard lanes
+    /// (`0` = all available cores). Rankings are identical for every
+    /// value — only latency changes.
+    pub corpus_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -227,6 +232,7 @@ impl Default for ServerConfig {
             retry_after: Duration::from_millis(50),
             read_timeout: Duration::from_secs(10),
             max_k: 10_000,
+            corpus_threads: 1,
         }
     }
 }
@@ -290,12 +296,13 @@ impl Server {
     /// the XML parser here.
     pub fn new(cfg: ServerConfig, store: DocStore, parser: Option<QueryParser>) -> Server {
         let admission = Admission::new(cfg.queue_capacity, cfg.batch_window, cfg.max_batch);
+        let corpus_threads = cfg.corpus_threads;
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
                 let admission = admission.clone();
                 thread::Builder::new()
                     .name(format!("tasm-worker-{i}"))
-                    .spawn(move || worker_loop(&admission))
+                    .spawn(move || worker_loop(&admission, corpus_threads))
                     .expect("spawn evaluation worker")
             })
             .collect();
@@ -408,10 +415,12 @@ impl Server {
 }
 
 /// A worker: pull batches, evaluate under panic isolation, deliver.
-fn worker_loop(admission: &Admission) {
+fn worker_loop(admission: &Admission, corpus_threads: usize) {
     let mut ws = BatchWorkspace::new();
     while let Some(batch) = admission.next_batch() {
-        let outcome = catch_unwind(AssertUnwindSafe(|| evaluate_batch(&mut ws, &batch)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            evaluate_batch(&mut ws, &batch, corpus_threads)
+        }));
         match outcome {
             Ok(responses) => {
                 for (req, resp) in batch.iter().zip(responses) {
@@ -461,7 +470,11 @@ fn rows(matches: Vec<crate::ranking::Match>) -> Vec<Row> {
 /// with solo retries on expiry; corpus documents evaluate per request
 /// under each member's own deadline (every request carries its own
 /// extended dictionary, so corpus queries cannot share one encoding).
-fn evaluate_batch(ws: &mut BatchWorkspace, batch: &[PendingRequest]) -> Vec<Response> {
+fn evaluate_batch(
+    ws: &mut BatchWorkspace,
+    batch: &[PendingRequest],
+    corpus_threads: usize,
+) -> Vec<Response> {
     for req in batch {
         fault::maybe_inject(&req.root_label);
     }
@@ -470,7 +483,7 @@ fn evaluate_batch(ws: &mut BatchWorkspace, batch: &[PendingRequest]) -> Vec<Resp
         DocContent::Tree(tree) => evaluate_tree_batch(ws, batch, tree),
         DocContent::Corpus(corpus) => batch
             .iter()
-            .map(|req| evaluate_corpus_request(req, corpus))
+            .map(|req| evaluate_corpus_request(req, corpus, corpus_threads))
             .collect(),
     }
 }
@@ -572,7 +585,11 @@ fn evaluate_tree_batch(
 /// The corpus path: cross-document top-k over the healthy shards under
 /// the request's own deadline, with the degraded marker threaded into
 /// the `OK` line (and `STATS`, when requested).
-fn evaluate_corpus_request(req: &PendingRequest, corpus: &Arc<Corpus>) -> Response {
+fn evaluate_corpus_request(
+    req: &PendingRequest,
+    corpus: &Arc<Corpus>,
+    corpus_threads: usize,
+) -> Response {
     let deadline = Deadline::at(req.deadline_at);
     let queries = [BatchQuery {
         query: &req.query,
@@ -585,11 +602,13 @@ fn evaluate_corpus_request(req: &PendingRequest, corpus: &Arc<Corpus>) -> Respon
         &UnitCost,
         1,
         TasmOptions::default(),
-        1,
+        corpus_threads,
         None,
         &deadline,
     ) {
-        Ok((mut rankings, status, scan, _lanes)) => {
+        Ok(out) => {
+            let (status, scan) = (out.status, out.scan);
+            let mut rankings = out.rankings;
             let ranking = rankings.pop().expect("one lane");
             let rows = ranking
                 .into_iter()

@@ -12,7 +12,10 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use tasm_core::{tasm_corpus_batch, tasm_indexed, BatchQuery, CorpusMatch, TasmOptions, TedKernel};
+use tasm_core::{
+    tasm_corpus_batch, tasm_corpus_batch_with_stats, tasm_indexed, BatchQuery, CorpusMatch,
+    ScanStats, TasmOptions, TedKernel,
+};
 use tasm_index::Corpus;
 use tasm_ted::UnitCost;
 use tasm_tree::{LabelDict, LabelId, Tree, TreeBuilder};
@@ -159,6 +162,102 @@ fn corpus_matches_merged_per_document_runs_across_all_axes() {
     let dir = tmp_dir("healthy");
     let corpus = build_corpus(&dir, 5);
     assert_matrix(&corpus, "healthy corpus");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The shard-parallel axis, stats included: for every worker/lane
+/// split the scheduler must reproduce the sequential run — rankings
+/// down to ids, merged funnels, and a per-shard breakdown that covers
+/// exactly the healthy shards in manifest order.
+fn assert_scheduled_stats(corpus: &Corpus, tag: &str) {
+    let n_labels = 5;
+    let qdict = label_dict(n_labels);
+    let q1 = random_tree(77, 6, n_labels);
+    let q2 = random_tree(78, 4, n_labels);
+    let queries = [&q1, &q2];
+    let k = 7;
+    let bqs: Vec<BatchQuery<'_>> = queries
+        .iter()
+        .map(|query| BatchQuery { query, k })
+        .collect();
+    let opts = TasmOptions::default();
+    let sequential =
+        tasm_corpus_batch_with_stats(&bqs, &qdict, corpus, &UnitCost, 1, opts, 1, None);
+    let healthy_shards: Vec<usize> = corpus.healthy().map(|(i, _, _)| i).collect();
+    let healthy_names: Vec<String> = corpus
+        .healthy()
+        .map(|(_, name, _)| name.to_string())
+        .collect();
+    for threads in [2usize, 4, 7] {
+        let scheduled =
+            tasm_corpus_batch_with_stats(&bqs, &qdict, corpus, &UnitCost, 1, opts, threads, None);
+        for (lane, (got, want)) in scheduled
+            .rankings
+            .iter()
+            .zip(&sequential.rankings)
+            .enumerate()
+        {
+            assert_eq!(
+                key(got),
+                key(want),
+                "{tag}: lane {lane} diverged at threads={threads}"
+            );
+        }
+        assert_eq!(scheduled.status, sequential.status);
+        // With one inner lane per worker every shard evaluates exactly
+        // as in the sequential run, so the whole funnel is identical.
+        // When threads outnumber shards the leftover budget becomes
+        // intra-shard lanes, which may prune differently; the candidate
+        // count is scan-determined and stays invariant regardless.
+        let workers = threads.min(healthy_shards.len());
+        if threads / workers <= 1 {
+            assert_eq!(scheduled.scan, sequential.scan, "{tag}: threads={threads}");
+            assert_eq!(scheduled.lane_scans, sequential.lane_scans);
+        }
+        assert_eq!(scheduled.scan.candidates, sequential.scan.candidates);
+        // Per-shard stats: exactly the healthy shards, manifest order,
+        // funnels summing to the merged funnel.
+        let shards: Vec<usize> = scheduled.shard_stats.iter().map(|s| s.shard).collect();
+        assert_eq!(shards, healthy_shards, "{tag}: threads={threads}");
+        let names: Vec<String> = scheduled
+            .shard_stats
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        assert_eq!(names, healthy_names);
+        let mut summed = ScanStats::default();
+        for s in &scheduled.shard_stats {
+            summed.merge(&s.scan);
+        }
+        assert_eq!(summed, scheduled.scan, "{tag}: threads={threads}");
+    }
+}
+
+#[test]
+fn scheduled_runs_reproduce_sequential_stats_and_shard_coverage() {
+    let dir = tmp_dir("sched-healthy");
+    let corpus = build_corpus(&dir, 5);
+    // 5 healthy shards: threads 7 → 5 workers × 1 inner lane.
+    assert_scheduled_stats(&corpus, "healthy corpus");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn scheduled_runs_reproduce_sequential_stats_when_degraded() {
+    let dir = tmp_dir("sched-degraded");
+    drop(build_corpus(&dir, 5));
+    for name in ["doc-0", "doc-3"] {
+        let path = dir.join(format!("{name}.pqi"));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 3;
+        bytes[mid] ^= 0x08;
+        fs::write(&path, &bytes).unwrap();
+    }
+    let corpus = Corpus::open(&dir).unwrap();
+    assert_eq!(corpus.healthy_count(), 3);
+    // 3 survivors: threads 7 → 3 workers × 2 inner lanes, covering the
+    // intra-shard fallback regime of the scheduler.
+    assert_scheduled_stats(&corpus, "degraded corpus");
     fs::remove_dir_all(&dir).unwrap();
 }
 

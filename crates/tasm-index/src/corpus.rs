@@ -635,7 +635,10 @@ fn verify_shard(
             meta.file_crc
         ));
     }
-    let doc = IndexedDocument::from_reader(&bytes[..])
+    // The whole file is already in memory for the CRC pass above, so the
+    // decode takes the zero-copy slice path — no second read, no
+    // per-field reader calls.
+    let doc = IndexedDocument::open_bytes(&bytes)
         .map_err(|e| format!("shard failed .pqi validation: {e}"))?;
     if doc.tree().len() as u64 != meta.n_nodes {
         return Err(format!(

@@ -2,8 +2,7 @@
 //! index (frequency-ordered dictionary, per-label postings, checksummed
 //! postings section). See the crate docs for the file format.
 
-use std::fs::File;
-use std::io::{self, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::path::Path;
 
 use tasm_tree::crc::{crc32_update, Crc32Reader};
@@ -67,10 +66,13 @@ impl IndexedDocument {
         }
     }
 
-    /// Opens a `.pqi` file.
+    /// Opens a `.pqi` file through the zero-copy slice path: one
+    /// `fs::read` into a buffer, then [`open_bytes`](Self::open_bytes)
+    /// over it — no per-field reader calls, and the postings checksum
+    /// is computed in a single pass over the buffer.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, PostFileError> {
-        let file = File::open(path)?;
-        Self::from_reader(BufReader::new(file))
+        let bytes = std::fs::read(path)?;
+        Self::open_bytes(&bytes)
     }
 
     /// Reads an index from any byte source, validating it fully: the
@@ -142,6 +144,101 @@ impl IndexedDocument {
         let computed = input.crc();
         let mut input = input.into_inner();
         let stored = read_u32(&mut input).map_err(|e| truncation(e, "postings checksum"))?;
+        if stored != computed {
+            return Err(PostFileError::Corrupt(format!(
+                "postings checksum mismatch (stored {stored:08x}, computed {computed:08x}): \
+                 torn or bit-rotted index write — rebuild with `tasm index`"
+            )));
+        }
+        Ok(IndexedDocument {
+            tree,
+            dict,
+            postings,
+        })
+    }
+
+    /// Decodes an index from one in-memory buffer through a borrowed
+    /// [`PqiView`]: bulk slice decoding instead of per-field reader
+    /// calls, with the postings checksum computed in **one** pass over
+    /// the postings slice. Validation is identical to
+    /// [`from_reader`](Self::from_reader) — every truncation,
+    /// structural inconsistency and checksum mismatch is the same
+    /// error, never a silent misparse (pinned by the corruption tests,
+    /// which run both paths).
+    pub fn open_bytes(bytes: &[u8]) -> Result<Self, PostFileError> {
+        Self::from_view(&PqiView::parse(bytes)?)
+    }
+
+    /// Materializes a parsed [`PqiView`] into an owned document,
+    /// running the full structural + checksum validation against the
+    /// borrowed sections.
+    pub fn from_view(view: &PqiView<'_>) -> Result<Self, PostFileError> {
+        let mut dict = LabelDict::with_capacity(view.labels.len());
+        for (i, name) in view.labels.iter().enumerate() {
+            let id = dict.intern(name);
+            if id.index() != i {
+                return Err(PostFileError::Format(format!("duplicate label {name}")));
+            }
+        }
+        // Bulk-decode the fixed-width entry section.
+        let mut entries = Vec::with_capacity(view.records.len() / 8);
+        for rec in view.records.chunks_exact(8) {
+            let label = u32::from_le_bytes(rec[..4].try_into().unwrap());
+            let size = u32::from_le_bytes(rec[4..].try_into().unwrap());
+            entries.push((LabelId(label), size));
+        }
+        let tree = Tree::from_postorder(entries)
+            .map_err(|e| PostFileError::Format(format!("invalid postorder entries: {e}")))?;
+
+        let n = tree.len() as u64;
+        let n_labels = dict.len();
+        let mut freq = vec![0u32; n_labels];
+        for l in tree.labels() {
+            freq[l.index()] += 1;
+        }
+        // Walk the postings section structurally to find its extent,
+        // cross-checking every list against the entry section.
+        let tail = view.tail;
+        let mut cur = SliceCursor { buf: tail, pos: 0 };
+        let mut postings: Vec<Vec<u32>> = Vec::with_capacity(n_labels);
+        let mut covered = 0u64;
+        for (label, &expected) in freq.iter().enumerate() {
+            let len = cur.u32("postings length")?;
+            if u64::from(len) > n || len != expected {
+                return Err(PostFileError::Format(format!(
+                    "postings of label {label} list {len} nodes, entries have {expected}"
+                )));
+            }
+            let raw = cur.take(len as usize * 4, "postings entry")?;
+            let mut list = Vec::with_capacity(len as usize);
+            let mut prev = 0u32;
+            for chunk in raw.chunks_exact(4) {
+                let pos = u32::from_le_bytes(chunk.try_into().unwrap());
+                if pos <= prev || u64::from(pos) > n {
+                    return Err(PostFileError::Format(format!(
+                        "postings of label {label} are not ascending positions in 1..={n}"
+                    )));
+                }
+                if tree.label(NodeId::new(pos)).index() != label {
+                    return Err(PostFileError::Format(format!(
+                        "postings of label {label} point at a node labeled differently"
+                    )));
+                }
+                prev = pos;
+                list.push(pos);
+            }
+            covered += u64::from(len);
+            postings.push(list);
+        }
+        if covered != n {
+            return Err(PostFileError::Format(format!(
+                "postings cover {covered} of {n} nodes"
+            )));
+        }
+        // One crc32 call over the whole postings slice — the streaming
+        // path hashes the same bytes 4 at a time.
+        let computed = crc32_update(0, &tail[..cur.pos]);
+        let stored = cur.u32("postings checksum")?;
         if stored != computed {
             return Err(PostFileError::Corrupt(format!(
                 "postings checksum mismatch (stored {stored:08x}, computed {computed:08x}): \
@@ -347,6 +444,122 @@ impl IndexedDocument {
     }
 }
 
+/// Borrowed view of one `.pqi` (version-2) buffer: the header decoded,
+/// every section a slice into the caller's bytes — nothing copied yet.
+///
+/// This is the **zero-copy seam**: [`parse`](PqiView::parse) does only
+/// bounds-checked section slicing (magic, counts, label names, entry
+/// and postings extents), so it works unchanged over any contiguous
+/// byte source — a `fs::read` buffer today, an `mmap` region tomorrow.
+/// Full structural validation and the postings checksum run in
+/// [`IndexedDocument::from_view`], which materializes the owned
+/// document; a future mmap-resident document would keep the view and
+/// serve postings straight from these slices instead.
+#[derive(Debug)]
+pub struct PqiView<'a> {
+    /// Node count from the header.
+    n_nodes: u64,
+    /// Label names in id order (frequency order in a v2 file), borrowed
+    /// from the buffer.
+    labels: Vec<&'a str>,
+    /// The fixed-width entry section: `n_nodes × (u32 label, u32 size)`.
+    records: &'a [u8],
+    /// Postings lists plus the trailing checksum (the postings extent is
+    /// only known after walking the lengths, which `from_view` does).
+    tail: &'a [u8],
+}
+
+impl<'a> PqiView<'a> {
+    /// Parses the header and section bounds of a version-2 buffer.
+    /// Version-1 files are rejected with the same guidance as
+    /// [`IndexedDocument::from_reader`] (they carry no postings).
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, PostFileError> {
+        use tasm_tree::postfile::MAGIC_V1;
+        let mut cur = SliceCursor { buf: bytes, pos: 0 };
+        let magic = cur.take(MAGIC_V2.len(), "magic")?;
+        if magic == MAGIC_V1 {
+            return Err(PostFileError::Format(
+                "not an indexed file: version 1 has no postings (run `tasm index`)".into(),
+            ));
+        }
+        if magic != MAGIC_V2 {
+            return Err(PostFileError::Format(
+                "bad magic; not a TASMPQ1/TASMPQ2 file".into(),
+            ));
+        }
+        let n_nodes = cur.u64("node count")?;
+        let n_labels = cur.u64("label count")?;
+        // Cap the pre-allocation: a torn header can claim any count, and
+        // the takes below will catch the lie before the vec grows far.
+        let mut labels = Vec::with_capacity(usize::try_from(n_labels).unwrap_or(0).min(1 << 16));
+        for i in 0..n_labels {
+            let len = cur.u32(&format!("length of label {i}"))? as usize;
+            if len > 1 << 24 {
+                return Err(PostFileError::Format(format!("label {i} is {len} bytes")));
+            }
+            let raw = cur.take(len, &format!("label {i}"))?;
+            let name = std::str::from_utf8(raw)
+                .map_err(|_| PostFileError::Format(format!("label {i} is not UTF-8")))?;
+            labels.push(name);
+        }
+        let record_bytes = usize::try_from(n_nodes)
+            .ok()
+            .and_then(|n| n.checked_mul(8))
+            .unwrap_or(usize::MAX);
+        let records = cur.take(record_bytes, "entry section")?;
+        let tail = &bytes[cur.pos..];
+        Ok(PqiView {
+            n_nodes,
+            labels,
+            records,
+            tail,
+        })
+    }
+
+    /// Node count the header promises.
+    pub fn n_nodes(&self) -> u64 {
+        self.n_nodes
+    }
+
+    /// Borrowed label names in id order.
+    pub fn labels(&self) -> &[&'a str] {
+        &self.labels
+    }
+
+    /// The raw fixed-width entry section.
+    pub fn records(&self) -> &'a [u8] {
+        self.records
+    }
+}
+
+/// Bounds-checked little-endian slice cursor; a short buffer is the
+/// same "truncated" error the streaming reader reports.
+struct SliceCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceCursor<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], PostFileError> {
+        if self.buf.len() - self.pos < n {
+            return Err(PostFileError::Format(format!(
+                "indexed file truncated while reading {what}"
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, PostFileError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, PostFileError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+}
+
 fn truncation(e: io::Error, what: &str) -> PostFileError {
     if e.kind() == io::ErrorKind::UnexpectedEof {
         PostFileError::Format(format!("indexed file truncated while reading {what}"))
@@ -450,17 +663,43 @@ mod tests {
         assert_eq!(covered, t.len());
     }
 
+    /// Both decode paths — the streaming reader and the zero-copy
+    /// slice path — must accept and reject exactly the same inputs.
+    fn both_paths(bytes: &[u8]) -> [Result<IndexedDocument, PostFileError>; 2] {
+        [
+            IndexedDocument::from_reader(bytes),
+            IndexedDocument::open_bytes(bytes),
+        ]
+    }
+
     #[test]
     fn file_round_trip() {
         let (t, dict) = sample();
         let idx = IndexedDocument::build(&t, &dict);
         let mut bytes = Vec::new();
         idx.write_to(&mut bytes).unwrap();
-        let back = IndexedDocument::from_reader(bytes.as_slice()).unwrap();
-        assert_eq!(back.tree(), idx.tree());
-        assert_eq!(back.postings, idx.postings);
-        for (id, name) in idx.dict().iter() {
-            assert_eq!(back.dict().resolve(id), name);
+        for back in both_paths(&bytes) {
+            let back = back.unwrap();
+            assert_eq!(back.tree(), idx.tree());
+            assert_eq!(back.postings, idx.postings);
+            for (id, name) in idx.dict().iter() {
+                assert_eq!(back.dict().resolve(id), name);
+            }
+        }
+    }
+
+    #[test]
+    fn view_exposes_the_borrowed_sections() {
+        let (t, dict) = sample();
+        let idx = IndexedDocument::build(&t, &dict);
+        let mut bytes = Vec::new();
+        idx.write_to(&mut bytes).unwrap();
+        let view = PqiView::parse(&bytes).unwrap();
+        assert_eq!(view.n_nodes(), t.len() as u64);
+        assert_eq!(view.labels().len(), dict.len());
+        assert_eq!(view.records().len(), t.len() * 8);
+        for (i, name) in view.labels().iter().enumerate() {
+            assert_eq!(*name, idx.dict().resolve(LabelId(i as u32)));
         }
     }
 
@@ -489,9 +728,10 @@ mod tests {
         // of the entries = postings size; chop past it.
         let postings_bytes: usize = idx.postings.iter().map(|p| 4 + 4 * p.len()).sum();
         bytes.truncate(bytes.len() - postings_bytes - 4);
-        let err = IndexedDocument::from_reader(bytes.as_slice()).unwrap_err();
-        let msg = err.to_string();
-        assert!(msg.contains("truncated"), "{msg}");
+        for got in both_paths(&bytes) {
+            let msg = got.unwrap_err().to_string();
+            assert!(msg.contains("truncated"), "{msg}");
+        }
     }
 
     #[test]
@@ -501,8 +741,10 @@ mod tests {
         let mut bytes = Vec::new();
         idx.write_to(&mut bytes).unwrap();
         bytes.truncate(bytes.len() - 2);
-        let err = IndexedDocument::from_reader(bytes.as_slice()).unwrap_err();
-        assert!(err.to_string().contains("truncated"), "{err}");
+        for got in both_paths(&bytes) {
+            let err = got.unwrap_err();
+            assert!(err.to_string().contains("truncated"), "{err}");
+        }
     }
 
     #[test]
@@ -519,12 +761,13 @@ mod tests {
         for at in postings_start..bytes.len() {
             let mut broken = bytes.clone();
             broken[at] ^= 0x20;
-            let err = IndexedDocument::from_reader(broken.as_slice())
-                .expect_err(&format!("byte {at} flipped"));
-            assert!(
-                matches!(err, PostFileError::Corrupt(_) | PostFileError::Format(_)),
-                "byte {at}: {err}"
-            );
+            for got in both_paths(&broken) {
+                let err = got.expect_err(&format!("byte {at} flipped"));
+                assert!(
+                    matches!(err, PostFileError::Corrupt(_) | PostFileError::Format(_)),
+                    "byte {at}: {err}"
+                );
+            }
         }
         // At least the length byte of the first list slips past the
         // structural checks only when semantically plausible; verify the
@@ -532,9 +775,11 @@ mod tests {
         let mut broken = bytes.clone();
         let last = broken.len() - 1;
         broken[last] ^= 0x01;
-        let err = IndexedDocument::from_reader(broken.as_slice()).unwrap_err();
-        assert!(matches!(err, PostFileError::Corrupt(_)), "{err}");
-        assert!(err.to_string().contains("checksum"), "{err}");
+        for got in both_paths(&broken) {
+            let err = got.unwrap_err();
+            assert!(matches!(err, PostFileError::Corrupt(_)), "{err}");
+            assert!(err.to_string().contains("checksum"), "{err}");
+        }
     }
 
     #[test]
@@ -544,8 +789,10 @@ mod tests {
         let mut bytes = Vec::new();
         idx.write_to(&mut bytes).unwrap();
         bytes.truncate(bytes.len() - 4); // drop the whole trailer
-        let err = IndexedDocument::from_reader(bytes.as_slice()).unwrap_err();
-        assert!(err.to_string().contains("truncated"), "{err}");
+        for got in both_paths(&bytes) {
+            let err = got.unwrap_err();
+            assert!(err.to_string().contains("truncated"), "{err}");
+        }
     }
 
     #[test]
@@ -567,8 +814,10 @@ mod tests {
         let mut bytes = Vec::new();
         let mut q = tasm_tree::TreeQueue::new(&t);
         tasm_tree::postfile::write_postfile(&mut bytes, &dict, &mut q, t.len() as u64).unwrap();
-        let err = IndexedDocument::from_reader(bytes.as_slice()).unwrap_err();
-        assert!(err.to_string().contains("tasm index"), "{err}");
+        for got in both_paths(&bytes) {
+            let err = got.unwrap_err();
+            assert!(err.to_string().contains("tasm index"), "{err}");
+        }
     }
 
     #[test]
@@ -694,6 +943,14 @@ mod tests {
             let back = IndexedDocument::from_reader(bytes.as_slice()).expect("read");
             proptest::prop_assert_eq!(
                 canonical(back.tree(), back.dict()),
+                canonical(&t, &dict)
+            );
+            // The zero-copy slice path decodes the identical document.
+            let sliced = IndexedDocument::open_bytes(&bytes).expect("slice read");
+            proptest::prop_assert_eq!(sliced.tree(), back.tree());
+            proptest::prop_assert_eq!(&sliced.postings, &back.postings);
+            proptest::prop_assert_eq!(
+                canonical(sliced.tree(), sliced.dict()),
                 canonical(&t, &dict)
             );
             for label in 0..back.dict().len() as u32 {

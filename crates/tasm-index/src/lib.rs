@@ -83,4 +83,4 @@ pub use corpus::{
     Corpus, CorpusError, FsckOutcome, Manifest, ShardMeta, ShardReport, MANIFEST_MAGIC,
     MANIFEST_NAME,
 };
-pub use document::IndexedDocument;
+pub use document::{IndexedDocument, PqiView};
